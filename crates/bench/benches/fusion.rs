@@ -1,0 +1,95 @@
+//! Knowledge-fusion benches: Dempster–Shafer combination, prognostic
+//! envelope fusion, report ingestion, maintenance-list rendering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpros_core::{Belief, ConditionReport, MachineCondition, MachineId, PrognosticVector};
+use mpros_fusion::{fuse_prognostics, FusionEngine, MassFunction, Subset};
+use std::hint::black_box;
+
+fn bench_mass_combination(c: &mut Criterion) {
+    // Frames of the sizes the logical groups actually use (2–4 incl.
+    // the implicit "other"), and a dense many-focal case.
+    let m1 = MassFunction::simple_support(4, Subset::singleton(0), 0.7).expect("valid");
+    let m2 = MassFunction::simple_support(4, Subset::of(&[1, 2]), 0.6).expect("valid");
+    c.bench_function("ds_combine_group_frame", |b| {
+        b.iter(|| black_box(m1.combine(black_box(&m2)).expect("combinable")))
+    });
+    let dense = MassFunction::from_masses(
+        8,
+        &[
+            (Subset::of(&[0]), 0.2),
+            (Subset::of(&[1, 2]), 0.2),
+            (Subset::of(&[3, 4, 5]), 0.2),
+            (Subset::of(&[0, 6]), 0.2),
+            (Subset::full(8), 0.2),
+        ],
+    )
+    .expect("valid");
+    c.bench_function("ds_combine_dense_frame", |b| {
+        b.iter(|| black_box(dense.combine(black_box(&dense)).expect("combinable")))
+    });
+}
+
+fn bench_prognostic_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prognostic_fusion");
+    for &count in &[2usize, 8, 32] {
+        let vectors: Vec<PrognosticVector> = (0..count)
+            .map(|i| {
+                let base = 1.0 + i as f64 * 0.3;
+                // Keep the first probability under the 0.5 mid-point so
+                // the curve stays cumulative for any fan-out width.
+                PrognosticVector::from_months(&[
+                    (base, 0.1 + 0.02 * (i % 15) as f64),
+                    (base + 1.0, 0.5),
+                    (base + 2.0, 0.9),
+                ])
+                .expect("valid")
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("curves", count), &vectors, |b, v| {
+            b.iter(|| black_box(fuse_prognostics(black_box(v)).expect("fusable")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_ingest(c: &mut Criterion) {
+    let reports: Vec<ConditionReport> = (0..100)
+        .map(|i| {
+            ConditionReport::builder(
+                MachineId::new(i % 10),
+                MachineCondition::from_index((i % 12) as usize).expect("in range"),
+                Belief::new(0.3 + (i % 7) as f64 * 0.08),
+            )
+            .severity(0.5)
+            .prognostic(
+                PrognosticVector::from_months(&[(1.0 + (i % 5) as f64, 0.5)]).expect("valid"),
+            )
+            .build()
+        })
+        .collect();
+    c.bench_function("fusion_engine_ingest_100_reports", |b| {
+        b.iter(|| {
+            let mut engine = FusionEngine::new();
+            for r in &reports {
+                engine.ingest(black_box(r)).expect("ingestible");
+            }
+            black_box(engine.reports_ingested())
+        })
+    });
+    let mut engine = FusionEngine::new();
+    for r in &reports {
+        engine.ingest(r).expect("ingestible");
+    }
+    c.bench_function("maintenance_list_10_machines", |b| {
+        b.iter(|| black_box(engine.maintenance_list()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mass_combination,
+    bench_prognostic_fusion,
+    bench_engine_ingest
+);
+criterion_main!(benches);

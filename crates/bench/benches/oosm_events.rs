@@ -1,0 +1,76 @@
+//! E12 — §4.5: the OOSM event model lets clients react "without the
+//! need to poll". Measures report-posting latency (object + properties
+//! + relation + event fan-out) and event dispatch with growing
+//! subscriber counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpros_core::{Belief, ConditionReport, MachineCondition, MachineId, ReportId};
+use mpros_oosm::{ObjectKind, Oosm, Value};
+use std::hint::black_box;
+
+fn bench_post_report(c: &mut Criterion) {
+    c.bench_function("oosm_post_report", |b| {
+        let mut oosm = Oosm::new();
+        oosm.register_machine(MachineId::new(1), "motor");
+        let _kf = oosm.subscribe();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let r = ConditionReport::builder(
+                MachineId::new(1),
+                MachineCondition::MotorImbalance,
+                Belief::new(0.5),
+            )
+            .id(ReportId::new(i))
+            .build();
+            black_box(oosm.post_report(black_box(&r)).expect("postable"))
+        });
+    });
+}
+
+fn bench_event_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oosm_event_fanout");
+    for &subs in &[1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("subscribers", subs), &subs, |b, &subs| {
+            let mut oosm = Oosm::new();
+            let subscriptions: Vec<_> = (0..subs).map(|_| oosm.subscribe()).collect();
+            let obj = oosm.create_object(ObjectKind::Machine, "m");
+            let mut i = 0i64;
+            b.iter(|| {
+                i += 1;
+                oosm.set_property(obj, "rpm", Value::Int(i)).expect("settable");
+                for s in &subscriptions {
+                    black_box(s.drain());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_property_and_traversal(c: &mut Criterion) {
+    let mut oosm = Oosm::new();
+    let ship = oosm.create_object(ObjectKind::Ship, "ship");
+    let machines: Vec<_> = (0..100)
+        .map(|i| {
+            let m = oosm.create_object(ObjectKind::Machine, &format!("m{i}"));
+            oosm.relate(m, mpros_oosm::Relation::PartOf, ship).expect("relatable");
+            oosm.set_property(m, "rpm", Value::Float(3_550.0)).expect("settable");
+            m
+        })
+        .collect();
+    c.bench_function("oosm_property_read", |b| {
+        b.iter(|| black_box(oosm.property(black_box(machines[50]), "rpm")))
+    });
+    c.bench_function("oosm_part_of_traversal_100", |b| {
+        b.iter(|| black_box(oosm.related_to(black_box(ship), mpros_oosm::Relation::PartOf)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_post_report,
+    bench_event_fanout,
+    bench_property_and_traversal
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E7 performance leg: PDME report-handling rate vs DC count —
+//! "Results from hundreds of DCs per ship will be correlated at a
+//! system level in another processor, the PDME" (§1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpros_core::{
+    Belief, ConditionReport, DcId, KnowledgeSourceId, MachineCondition, MachineId,
+    PrognosticVector, ReportId, SimTime,
+};
+use mpros_network::NetMessage;
+use mpros_pdme::PdmeExecutive;
+use std::hint::black_box;
+
+/// One report burst as `dc_count` DCs would send it.
+fn burst(dc_count: usize) -> Vec<NetMessage> {
+    (0..dc_count)
+        .map(|i| {
+            let machine = MachineId::new(i as u64 + 1);
+            NetMessage::Report(
+                ConditionReport::builder(
+                    machine,
+                    MachineCondition::from_index(i % 12).expect("in range"),
+                    Belief::new(0.6),
+                )
+                .id(ReportId::new(i as u64))
+                .dc(DcId::new(i as u64 + 1))
+                .knowledge_source(KnowledgeSourceId::new(11))
+                .severity(0.5)
+                .timestamp(SimTime::from_secs(i as f64))
+                .prognostic(PrognosticVector::from_months(&[(1.0, 0.5)]).expect("valid"))
+                .build(),
+            )
+        })
+        .collect()
+}
+
+fn bench_pdme_burst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pdme_report_burst");
+    group.sample_size(20);
+    for &dc_count in &[10usize, 50, 100, 200] {
+        let msgs = burst(dc_count);
+        group.throughput(Throughput::Elements(dc_count as u64));
+        group.bench_with_input(
+            BenchmarkId::new("dcs", dc_count),
+            &msgs,
+            |b, msgs| {
+                b.iter(|| {
+                    let mut pdme = PdmeExecutive::new();
+                    for i in 0..dc_count {
+                        pdme.register_machine(
+                            MachineId::new(i as u64 + 1),
+                            &format!("chiller {i}"),
+                        );
+                    }
+                    for m in msgs {
+                        pdme.handle_message(black_box(m), SimTime::ZERO)
+                            .expect("handled");
+                    }
+                    black_box(pdme.process_events().expect("processed"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pdme_burst);
+criterion_main!(benches);

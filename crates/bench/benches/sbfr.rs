@@ -1,0 +1,55 @@
+//! E4 performance leg: SBFR interpreter cycle time, 1–100 machines.
+//! Paper (§6.3): 100 machines cycle in under 4 ms on late-90s embedded
+//! hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpros_sbfr::builtin::{spike_machine, stiction_machine, EmaTraceGenerator};
+use mpros_sbfr::Interpreter;
+use std::hint::black_box;
+
+fn fleet(pairs: usize) -> Interpreter {
+    let mut it = Interpreter::new();
+    for i in 0..pairs {
+        it.add_program(&spike_machine((i * 2) as u8)).expect("valid");
+        it.add_program(&stiction_machine((i * 2 + 1) as u8, (i * 2) as u8))
+            .expect("valid");
+    }
+    it
+}
+
+fn bench_cycle(c: &mut Criterion) {
+    let trace = EmaTraceGenerator::with_stiction(5, 0.5).generate(4096);
+    let mut group = c.benchmark_group("sbfr_cycle");
+    for &pairs in &[1usize, 10, 50] {
+        let machines = pairs * 2;
+        group.throughput(Throughput::Elements(machines as u64));
+        group.bench_with_input(
+            BenchmarkId::new("machines", machines),
+            &pairs,
+            |b, &pairs| {
+                let mut it = fleet(pairs);
+                let mut i = 0usize;
+                b.iter(|| {
+                    let s = &trace[i % trace.len()];
+                    i += 1;
+                    black_box(it.cycle(black_box(&s[..])));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let program = spike_machine(0);
+    let image = program.encode().expect("valid");
+    c.bench_function("sbfr_encode_spike_machine", |b| {
+        b.iter(|| black_box(program.encode().expect("valid")))
+    });
+    c.bench_function("sbfr_decode_spike_machine", |b| {
+        b.iter(|| black_box(mpros_sbfr::Program::decode(black_box(&image)).expect("valid")))
+    });
+}
+
+criterion_group!(benches, bench_cycle, bench_encode_decode);
+criterion_main!(benches);

@@ -1,0 +1,286 @@
+//! The fault library: the twelve FMEA failure modes with progressive
+//! degradation profiles and seeding (§9: "Seeded faults are worth doing").
+//!
+//! A [`FaultSeed`] plants one failure mode at a point in simulated time
+//! with a progression profile; the resulting [`FaultState`] exposes the
+//! instantaneous severity in `[0, 1]` that the vibration and process
+//! models translate into physical symptoms, and the ground-truth time of
+//! functional failure that validation experiments score prognoses
+//! against.
+
+use mpros_core::{MachineCondition, SimDuration, SimTime};
+
+/// How a seeded fault's severity evolves from onset to failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultProfile {
+    /// Severity grows linearly from 0 at onset to 1 at `time_to_failure`.
+    Linear,
+    /// Slow start, accelerating toward failure (severity = x², x = life
+    /// fraction): typical of bearing spalls and gear wear.
+    Accelerating,
+    /// Fast onset then plateau-and-creep (severity = √x): typical of a
+    /// loosened foot or a step change after an impact event.
+    EarlyOnset,
+    /// Severity jumps to the given level at onset and stays (a sudden,
+    /// stable defect); 1.0 means immediate functional failure.
+    Step(f64),
+}
+
+impl FaultProfile {
+    /// Severity at life fraction `x` (0 = onset, 1 = failure).
+    pub fn severity_at(self, x: f64) -> f64 {
+        let x = x.clamp(0.0, 1.0);
+        match self {
+            FaultProfile::Linear => x,
+            FaultProfile::Accelerating => x * x,
+            FaultProfile::EarlyOnset => x.sqrt(),
+            // Inclusive at onset: the defect exists from the instant it
+            // is seeded (pre-onset gating happens in `FaultSeed`).
+            FaultProfile::Step(level) => level.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// A planted fault: what, when, how fast.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSeed {
+    /// The failure mode.
+    pub condition: MachineCondition,
+    /// When degradation begins.
+    pub onset: SimTime,
+    /// Time from onset to functional failure (severity 1).
+    pub time_to_failure: SimDuration,
+    /// Severity trajectory.
+    pub profile: FaultProfile,
+}
+
+impl FaultSeed {
+    /// A linear-progression seed.
+    pub fn linear(
+        condition: MachineCondition,
+        onset: SimTime,
+        time_to_failure: SimDuration,
+    ) -> Self {
+        FaultSeed {
+            condition,
+            onset,
+            time_to_failure,
+            profile: FaultProfile::Linear,
+        }
+    }
+
+    /// Ground-truth functional-failure instant.
+    pub fn failure_time(&self) -> SimTime {
+        self.onset + self.time_to_failure
+    }
+
+    /// Severity at absolute time `t`.
+    pub fn severity_at(&self, t: SimTime) -> f64 {
+        if t < self.onset {
+            return 0.0;
+        }
+        let ttf = self.time_to_failure.as_secs();
+        let x = if ttf <= 0.0 {
+            1.0
+        } else {
+            t.since(self.onset).as_secs() / ttf
+        };
+        self.profile.severity_at(x)
+    }
+}
+
+/// The set of active faults on one machine train, with query helpers used
+/// by the synthesizers.
+#[derive(Debug, Clone, Default)]
+pub struct FaultState {
+    seeds: Vec<FaultSeed>,
+}
+
+impl FaultState {
+    /// No faults.
+    pub fn healthy() -> Self {
+        Self::default()
+    }
+
+    /// Plant a fault.
+    pub fn seed(&mut self, seed: FaultSeed) {
+        self.seeds.push(seed);
+    }
+
+    /// All planted seeds.
+    pub fn seeds(&self) -> &[FaultSeed] {
+        &self.seeds
+    }
+
+    /// Instantaneous severity of `condition` at `t` (max over seeds of
+    /// that condition; 0 if never seeded).
+    pub fn severity(&self, condition: MachineCondition, t: SimTime) -> f64 {
+        self.seeds
+            .iter()
+            .filter(|s| s.condition == condition)
+            .map(|s| s.severity_at(t))
+            .fold(0.0, f64::max)
+    }
+
+    /// All conditions with severity above `threshold` at `t`, with their
+    /// severities — the ground truth validation experiments score
+    /// against.
+    pub fn active_faults(&self, t: SimTime, threshold: f64) -> Vec<(MachineCondition, f64)> {
+        let mut out: Vec<(MachineCondition, f64)> = Vec::new();
+        for c in MachineCondition::ALL {
+            let s = self.severity(c, t);
+            if s > threshold {
+                out.push((c, s));
+            }
+        }
+        out
+    }
+
+    /// Ground-truth failure time of `condition`, if seeded: the earliest
+    /// failure time over its seeds.
+    pub fn failure_time(&self, condition: MachineCondition) -> Option<SimTime> {
+        self.seeds
+            .iter()
+            .filter(|s| s.condition == condition)
+            .map(|s| s.failure_time())
+            .min_by(|a, b| a.partial_cmp(b).expect("times are finite"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hours(h: f64) -> SimDuration {
+        SimDuration::from_hours(h)
+    }
+
+    #[test]
+    fn severity_zero_before_onset_one_at_failure() {
+        let seed = FaultSeed::linear(
+            MachineCondition::MotorImbalance,
+            SimTime::from_secs(100.0),
+            hours(1.0),
+        );
+        assert_eq!(seed.severity_at(SimTime::from_secs(0.0)), 0.0);
+        assert_eq!(seed.severity_at(SimTime::from_secs(99.9)), 0.0);
+        assert!((seed.severity_at(SimTime::from_secs(100.0 + 1800.0)) - 0.5).abs() < 1e-9);
+        assert_eq!(seed.severity_at(seed.failure_time()), 1.0);
+        // Past failure it saturates.
+        assert_eq!(
+            seed.severity_at(seed.failure_time() + hours(5.0)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn profiles_are_ordered_midlife() {
+        // At half life: early-onset > linear > accelerating.
+        let e = FaultProfile::EarlyOnset.severity_at(0.5);
+        let l = FaultProfile::Linear.severity_at(0.5);
+        let a = FaultProfile::Accelerating.severity_at(0.5);
+        assert!(e > l && l > a);
+    }
+
+    #[test]
+    fn step_profile_jumps() {
+        let p = FaultProfile::Step(0.7);
+        assert_eq!(p.severity_at(0.0), 0.7);
+        assert_eq!(p.severity_at(1e-9), 0.7);
+        assert_eq!(p.severity_at(1.0), 0.7);
+        assert_eq!(FaultProfile::Step(2.0).severity_at(0.5), 1.0); // clamped
+    }
+
+    #[test]
+    fn zero_ttf_means_immediate_failure() {
+        let seed = FaultSeed::linear(
+            MachineCondition::CompressorSurge,
+            SimTime::from_secs(10.0),
+            SimDuration::ZERO,
+        );
+        assert_eq!(seed.severity_at(SimTime::from_secs(10.0)), 1.0);
+    }
+
+    #[test]
+    fn state_tracks_multiple_concurrent_faults() {
+        let mut st = FaultState::healthy();
+        st.seed(FaultSeed::linear(
+            MachineCondition::MotorImbalance,
+            SimTime::ZERO,
+            hours(10.0),
+        ));
+        st.seed(FaultSeed::linear(
+            MachineCondition::RefrigerantLeak,
+            SimTime::from_secs(3600.0),
+            hours(10.0),
+        ));
+        let t = SimTime::from_secs(5.0 * 3600.0);
+        let active = st.active_faults(t, 0.05);
+        assert_eq!(active.len(), 2);
+        assert!(st.severity(MachineCondition::MotorImbalance, t) > 0.0);
+        assert_eq!(st.severity(MachineCondition::GearToothWear, t), 0.0);
+    }
+
+    #[test]
+    fn max_over_seeds_of_same_condition() {
+        let mut st = FaultState::healthy();
+        st.seed(FaultSeed::linear(
+            MachineCondition::GearToothWear,
+            SimTime::ZERO,
+            hours(10.0),
+        ));
+        st.seed(FaultSeed {
+            condition: MachineCondition::GearToothWear,
+            onset: SimTime::ZERO,
+            time_to_failure: hours(10.0),
+            profile: FaultProfile::Step(0.9),
+        });
+        assert_eq!(st.severity(MachineCondition::GearToothWear, SimTime::from_secs(1.0)), 0.9);
+    }
+
+    #[test]
+    fn earliest_failure_time_wins() {
+        let mut st = FaultState::healthy();
+        st.seed(FaultSeed::linear(
+            MachineCondition::MotorBearingDefect,
+            SimTime::ZERO,
+            hours(10.0),
+        ));
+        st.seed(FaultSeed::linear(
+            MachineCondition::MotorBearingDefect,
+            SimTime::ZERO,
+            hours(5.0),
+        ));
+        assert_eq!(
+            st.failure_time(MachineCondition::MotorBearingDefect),
+            Some(SimTime::ZERO + hours(5.0))
+        );
+        assert_eq!(st.failure_time(MachineCondition::CondenserFouling), None);
+    }
+
+    proptest! {
+        #[test]
+        fn severity_is_monotone_for_monotone_profiles(
+            x1 in 0.0..=1.0f64, x2 in 0.0..=1.0f64
+        ) {
+            let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+            for p in [FaultProfile::Linear, FaultProfile::Accelerating, FaultProfile::EarlyOnset] {
+                prop_assert!(p.severity_at(lo) <= p.severity_at(hi) + 1e-12);
+            }
+        }
+
+        #[test]
+        fn severity_always_in_unit_interval(x in -2.0..3.0f64, lvl in -1.0..2.0f64) {
+            for p in [
+                FaultProfile::Linear,
+                FaultProfile::Accelerating,
+                FaultProfile::EarlyOnset,
+                FaultProfile::Step(lvl),
+            ] {
+                let s = p.severity_at(x);
+                prop_assert!((0.0..=1.0).contains(&s));
+            }
+        }
+    }
+}

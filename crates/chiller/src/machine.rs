@@ -1,0 +1,279 @@
+//! Machine-train kinematics.
+//!
+//! The chiller train is an induction motor driving a centrifugal
+//! compressor through a speed-increasing gear set (§2: "induction motors,
+//! gear transmissions, pumps, and centrifugal compressors"). Every
+//! vibration-based diagnosis keys on frequencies derived from this
+//! kinematic description: shaft orders, gear-mesh frequency, and the four
+//! rolling-element bearing defect frequencies.
+
+use mpros_core::MachineId;
+
+/// Rolling-element bearing geometry, from which the standard defect
+/// frequencies derive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BearingGeometry {
+    /// Number of rolling elements.
+    pub ball_count: u32,
+    /// Ball diameter / pitch diameter ratio (d/D), dimensionless.
+    pub ball_pitch_ratio: f64,
+    /// Contact angle, radians.
+    pub contact_angle: f64,
+}
+
+impl BearingGeometry {
+    /// A typical deep-groove ball bearing (8 balls, d/D = 0.28, 0°).
+    pub fn typical_ball() -> Self {
+        BearingGeometry {
+            ball_count: 8,
+            ball_pitch_ratio: 0.28,
+            contact_angle: 0.0,
+        }
+    }
+
+    /// A typical angular-contact bearing used on compressor shafts.
+    pub fn typical_angular_contact() -> Self {
+        BearingGeometry {
+            ball_count: 12,
+            ball_pitch_ratio: 0.22,
+            contact_angle: 0.26, // ~15°
+        }
+    }
+
+    fn cos_term(&self) -> f64 {
+        self.ball_pitch_ratio * self.contact_angle.cos()
+    }
+
+    /// Ball-pass frequency, outer race (Hz) at shaft rate `fr` Hz.
+    pub fn bpfo(&self, fr: f64) -> f64 {
+        self.ball_count as f64 / 2.0 * fr * (1.0 - self.cos_term())
+    }
+
+    /// Ball-pass frequency, inner race (Hz).
+    pub fn bpfi(&self, fr: f64) -> f64 {
+        self.ball_count as f64 / 2.0 * fr * (1.0 + self.cos_term())
+    }
+
+    /// Ball-spin frequency (Hz).
+    pub fn bsf(&self, fr: f64) -> f64 {
+        let r = self.cos_term();
+        fr / (2.0 * self.ball_pitch_ratio) * (1.0 - r * r)
+    }
+
+    /// Fundamental train (cage) frequency (Hz).
+    pub fn ftf(&self, fr: f64) -> f64 {
+        fr / 2.0 * (1.0 - self.cos_term())
+    }
+}
+
+/// One rotating element of the train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RotatingElement {
+    /// The induction motor rotor.
+    Motor,
+    /// The gear set (speed increaser).
+    GearSet,
+    /// The centrifugal compressor impeller shaft.
+    Compressor,
+    /// The chilled-water pump (directly driven, separate motor).
+    ChilledWaterPump,
+}
+
+impl RotatingElement {
+    /// All elements in train order.
+    pub const ALL: [RotatingElement; 4] = [
+        RotatingElement::Motor,
+        RotatingElement::GearSet,
+        RotatingElement::Compressor,
+        RotatingElement::ChilledWaterPump,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RotatingElement::Motor => "A/C compressor motor",
+            RotatingElement::GearSet => "speed-increasing gear set",
+            RotatingElement::Compressor => "centrifugal compressor",
+            RotatingElement::ChilledWaterPump => "chilled water pump",
+        }
+    }
+}
+
+/// Kinematic description of one chiller's machine train.
+#[derive(Debug, Clone)]
+pub struct MachineTrain {
+    /// MPROS machine id of the whole train (the "sensed object" reports
+    /// refer to).
+    pub machine_id: MachineId,
+    /// Line frequency, Hz (60 on US Navy ships).
+    pub line_hz: f64,
+    /// Motor pole-pair count (2-pole machine → 1 pair).
+    pub pole_pairs: u32,
+    /// Full-load slip fraction (speed deficit vs. synchronous).
+    pub full_load_slip: f64,
+    /// Gear ratio (compressor speed / motor speed, > 1: speed increaser).
+    pub gear_ratio: f64,
+    /// Tooth count on the motor-side gear.
+    pub motor_gear_teeth: u32,
+    /// Motor bearing geometry.
+    pub motor_bearing: BearingGeometry,
+    /// Compressor bearing geometry.
+    pub compressor_bearing: BearingGeometry,
+    /// Chilled-water pump speed, Hz (constant-speed auxiliary).
+    pub pump_hz: f64,
+    /// Pump vane count (vane-pass frequency source).
+    pub pump_vanes: u32,
+}
+
+impl MachineTrain {
+    /// A representative Navy centrifugal chiller: 2-pole 60 Hz motor
+    /// (≈ 3550 rpm at full load), 2.6:1 speed-increasing gear, 31-tooth
+    /// pinion, 1750-rpm pump with 6 vanes.
+    pub fn navy_chiller(machine_id: MachineId) -> Self {
+        MachineTrain {
+            machine_id,
+            line_hz: 60.0,
+            pole_pairs: 1,
+            full_load_slip: 0.017,
+            gear_ratio: 2.6,
+            motor_gear_teeth: 31,
+            motor_bearing: BearingGeometry::typical_ball(),
+            compressor_bearing: BearingGeometry::typical_angular_contact(),
+            pump_hz: 29.17,
+            pump_vanes: 6,
+        }
+    }
+
+    /// Synchronous speed, Hz.
+    pub fn synchronous_hz(&self) -> f64 {
+        self.line_hz / self.pole_pairs as f64
+    }
+
+    /// Slip fraction at `load` (0..=1); slip scales roughly linearly with
+    /// load torque.
+    pub fn slip(&self, load: f64) -> f64 {
+        self.full_load_slip * load.clamp(0.0, 1.0)
+    }
+
+    /// Motor shaft speed at `load`, Hz.
+    pub fn motor_hz(&self, load: f64) -> f64 {
+        self.synchronous_hz() * (1.0 - self.slip(load))
+    }
+
+    /// Compressor shaft speed at `load`, Hz.
+    pub fn compressor_hz(&self, load: f64) -> f64 {
+        self.motor_hz(load) * self.gear_ratio
+    }
+
+    /// Gear-mesh frequency at `load`, Hz.
+    pub fn gear_mesh_hz(&self, load: f64) -> f64 {
+        self.motor_hz(load) * self.motor_gear_teeth as f64
+    }
+
+    /// Pole-pass frequency at `load`, Hz: `2 · slip_hz · pole_pairs` —
+    /// the sideband spacing of rotor-bar faults.
+    pub fn pole_pass_hz(&self, load: f64) -> f64 {
+        2.0 * self.slip(load) * self.synchronous_hz() * self.pole_pairs as f64
+    }
+
+    /// Pump vane-pass frequency, Hz.
+    pub fn pump_vane_pass_hz(&self) -> f64 {
+        self.pump_hz * self.pump_vanes as f64
+    }
+
+    /// Shaft rate of a rotating element at `load`, Hz.
+    pub fn shaft_hz(&self, element: RotatingElement, load: f64) -> f64 {
+        match element {
+            RotatingElement::Motor | RotatingElement::GearSet => self.motor_hz(load),
+            RotatingElement::Compressor => self.compressor_hz(load),
+            RotatingElement::ChilledWaterPump => self.pump_hz,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train() -> MachineTrain {
+        MachineTrain::navy_chiller(MachineId::new(1))
+    }
+
+    #[test]
+    fn motor_speed_near_3550_rpm_at_full_load() {
+        let t = train();
+        let rpm = t.motor_hz(1.0) * 60.0;
+        assert!((rpm - 3538.8).abs() < 1.0, "rpm {rpm}");
+        // No load → synchronous speed.
+        assert_eq!(t.motor_hz(0.0), 60.0);
+    }
+
+    #[test]
+    fn compressor_runs_faster_through_gear() {
+        let t = train();
+        assert!(t.compressor_hz(1.0) > t.motor_hz(1.0) * 2.5);
+        assert_eq!(t.compressor_hz(0.5), t.motor_hz(0.5) * t.gear_ratio);
+    }
+
+    #[test]
+    fn gear_mesh_is_teeth_times_shaft() {
+        let t = train();
+        assert_eq!(t.gear_mesh_hz(1.0), t.motor_hz(1.0) * 31.0);
+    }
+
+    #[test]
+    fn pole_pass_frequency_scales_with_load() {
+        let t = train();
+        assert_eq!(t.pole_pass_hz(0.0), 0.0);
+        let pp = t.pole_pass_hz(1.0);
+        assert!((pp - 2.0 * 0.017 * 60.0).abs() < 1e-12);
+        assert!(t.pole_pass_hz(0.5) < pp);
+    }
+
+    #[test]
+    fn bearing_frequency_ordering_and_sum() {
+        // BPFI > BPFO always; BPFO + BPFI = Nb · fr.
+        for g in [
+            BearingGeometry::typical_ball(),
+            BearingGeometry::typical_angular_contact(),
+        ] {
+            let fr = 59.0;
+            assert!(g.bpfi(fr) > g.bpfo(fr));
+            let sum = g.bpfo(fr) + g.bpfi(fr);
+            assert!((sum - g.ball_count as f64 * fr).abs() < 1e-9);
+            // Cage rotates slower than the shaft.
+            assert!(g.ftf(fr) < fr / 2.0 + 1e-12);
+            assert!(g.bsf(fr) > 0.0);
+        }
+    }
+
+    #[test]
+    fn bearing_tones_are_non_synchronous() {
+        // Defect frequencies must not sit on integer shaft orders — that
+        // is what lets rules distinguish bearing faults from imbalance.
+        let g = BearingGeometry::typical_ball();
+        let fr = 59.0;
+        for f in [g.bpfo(fr), g.bpfi(fr)] {
+            let order = f / fr;
+            let frac = (order - order.round()).abs();
+            assert!(frac > 0.05, "defect order {order} too close to integer");
+        }
+    }
+
+    #[test]
+    fn shaft_hz_dispatches_per_element() {
+        let t = train();
+        assert_eq!(t.shaft_hz(RotatingElement::Motor, 1.0), t.motor_hz(1.0));
+        assert_eq!(
+            t.shaft_hz(RotatingElement::Compressor, 1.0),
+            t.compressor_hz(1.0)
+        );
+        assert_eq!(t.shaft_hz(RotatingElement::ChilledWaterPump, 1.0), t.pump_hz);
+    }
+
+    #[test]
+    fn pump_vane_pass() {
+        let t = train();
+        assert!((t.pump_vane_pass_hz() - 29.17 * 6.0).abs() < 1e-9);
+    }
+}

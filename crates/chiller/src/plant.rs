@@ -1,0 +1,205 @@
+//! The assembled chiller plant.
+//!
+//! [`ChillerPlant`] binds the kinematic train, the vibration synthesizer,
+//! the process model, a load schedule and the fault state behind one
+//! sampling API. Sampling is *time-parametric* (pass the instant you want)
+//! so the same plant serves a real-time DC loop and a months-long
+//! prognostic campaign without replaying intermediate states, and every
+//! sample is deterministic given the seed.
+
+use crate::fault::{FaultSeed, FaultState};
+use crate::machine::MachineTrain;
+use crate::process::{ProcessModel, ProcessSnapshot};
+use crate::vibration::{AccelLocation, VibrationSynthesizer};
+use mpros_core::{MachineCondition, MachineId, SimTime};
+
+/// Configuration of a [`ChillerPlant`].
+#[derive(Debug, Clone)]
+pub struct PlantConfig {
+    /// MPROS machine id of this chiller.
+    pub machine_id: MachineId,
+    /// Master random seed (vibration noise, process noise).
+    pub seed: u64,
+    /// Initial load fraction.
+    pub initial_load: f64,
+}
+
+impl PlantConfig {
+    /// A default plant with the given id and seed, at 80 % load.
+    pub fn new(machine_id: MachineId, seed: u64) -> Self {
+        PlantConfig {
+            machine_id,
+            seed,
+            initial_load: 0.8,
+        }
+    }
+}
+
+/// A simulated centrifugal chiller with seeded faults and a load schedule.
+#[derive(Debug, Clone)]
+pub struct ChillerPlant {
+    vibration: VibrationSynthesizer,
+    process: ProcessModel,
+    faults: FaultState,
+    /// Piecewise-constant load: (effective-from, load), sorted by time.
+    load_schedule: Vec<(SimTime, f64)>,
+}
+
+impl ChillerPlant {
+    /// Build a plant from its configuration.
+    pub fn new(config: PlantConfig) -> Self {
+        let train = MachineTrain::navy_chiller(config.machine_id);
+        ChillerPlant {
+            vibration: VibrationSynthesizer::new(train, config.seed),
+            process: ProcessModel::new(config.seed ^ 0x5EED_0F00),
+            faults: FaultState::healthy(),
+            load_schedule: vec![(SimTime::ZERO, config.initial_load.clamp(0.0, 1.0))],
+        }
+    }
+
+    /// The machine id reports about this plant refer to.
+    pub fn machine_id(&self) -> MachineId {
+        self.vibration.train().machine_id
+    }
+
+    /// The kinematic train description.
+    pub fn train(&self) -> &MachineTrain {
+        self.vibration.train()
+    }
+
+    /// Plant a fault.
+    pub fn seed_fault(&mut self, seed: FaultSeed) {
+        self.faults.seed(seed);
+    }
+
+    /// The current fault state (ground truth for validation).
+    pub fn faults(&self) -> &FaultState {
+        &self.faults
+    }
+
+    /// Schedule a load change effective from `from`.
+    pub fn set_load(&mut self, from: SimTime, load: f64) {
+        self.load_schedule.push((from, load.clamp(0.0, 1.0)));
+        self.load_schedule
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("times are finite"));
+    }
+
+    /// The commanded load at `t`.
+    pub fn load_at(&self, t: SimTime) -> f64 {
+        self.load_schedule
+            .iter()
+            .rev()
+            .find(|(from, _)| *from <= t)
+            .map(|(_, l)| *l)
+            .unwrap_or(self.load_schedule[0].1)
+    }
+
+    /// Acquire a vibration block from `location`: `n` samples at
+    /// `sample_rate` Hz starting at `t0`.
+    pub fn sample_vibration(
+        &self,
+        location: AccelLocation,
+        t0: SimTime,
+        n: usize,
+        sample_rate: f64,
+    ) -> Vec<f64> {
+        self.vibration.sample_block(
+            location,
+            t0,
+            n,
+            sample_rate,
+            self.load_at(t0),
+            &self.faults,
+        )
+    }
+
+    /// Read the process variables at `t`.
+    pub fn sample_process(&self, t: SimTime) -> ProcessSnapshot {
+        self.process.sample(t, self.load_at(t), &self.faults)
+    }
+
+    /// Ground truth: conditions whose severity exceeds `threshold` at `t`.
+    pub fn ground_truth(&self, t: SimTime, threshold: f64) -> Vec<(MachineCondition, f64)> {
+        self.faults.active_faults(t, threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultSeed;
+    use mpros_core::SimDuration;
+
+    fn plant() -> ChillerPlant {
+        ChillerPlant::new(PlantConfig::new(MachineId::new(3), 99))
+    }
+
+    #[test]
+    fn load_schedule_is_piecewise_constant() {
+        let mut p = plant();
+        p.set_load(SimTime::from_secs(100.0), 0.5);
+        p.set_load(SimTime::from_secs(200.0), 1.0);
+        assert_eq!(p.load_at(SimTime::ZERO), 0.8);
+        assert_eq!(p.load_at(SimTime::from_secs(99.0)), 0.8);
+        assert_eq!(p.load_at(SimTime::from_secs(100.0)), 0.5);
+        assert_eq!(p.load_at(SimTime::from_secs(150.0)), 0.5);
+        assert_eq!(p.load_at(SimTime::from_secs(1000.0)), 1.0);
+    }
+
+    #[test]
+    fn out_of_order_load_changes_sort() {
+        let mut p = plant();
+        p.set_load(SimTime::from_secs(200.0), 1.0);
+        p.set_load(SimTime::from_secs(100.0), 0.3);
+        assert_eq!(p.load_at(SimTime::from_secs(150.0)), 0.3);
+        assert_eq!(p.load_at(SimTime::from_secs(250.0)), 1.0);
+    }
+
+    #[test]
+    fn load_is_clamped() {
+        let mut p = plant();
+        p.set_load(SimTime::from_secs(1.0), 3.0);
+        assert_eq!(p.load_at(SimTime::from_secs(2.0)), 1.0);
+    }
+
+    #[test]
+    fn fault_progression_shows_in_ground_truth() {
+        let mut p = plant();
+        p.seed_fault(FaultSeed::linear(
+            MachineCondition::MotorBearingDefect,
+            SimTime::from_secs(1000.0),
+            SimDuration::from_hours(10.0),
+        ));
+        assert!(p.ground_truth(SimTime::ZERO, 0.01).is_empty());
+        let later = SimTime::from_secs(1000.0) + SimDuration::from_hours(5.0);
+        let truth = p.ground_truth(later, 0.01);
+        assert_eq!(truth.len(), 1);
+        assert_eq!(truth[0].0, MachineCondition::MotorBearingDefect);
+        assert!((truth[0].1 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let p = plant();
+        let a = p.sample_vibration(AccelLocation::MotorDriveEnd, SimTime::ZERO, 512, 16384.0);
+        let b = p.sample_vibration(AccelLocation::MotorDriveEnd, SimTime::ZERO, 512, 16384.0);
+        assert_eq!(a, b);
+        let pa = p.sample_process(SimTime::from_secs(3.0));
+        let pb = p.sample_process(SimTime::from_secs(3.0));
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn process_sampling_tracks_scheduled_load() {
+        let mut p = plant();
+        p.set_load(SimTime::from_secs(100.0), 0.2);
+        let hi = p.sample_process(SimTime::from_secs(50.0));
+        let lo = p.sample_process(SimTime::from_secs(150.0));
+        assert!(hi.motor_current_a > lo.motor_current_a);
+    }
+
+    #[test]
+    fn machine_id_propagates() {
+        assert_eq!(plant().machine_id(), MachineId::new(3));
+    }
+}

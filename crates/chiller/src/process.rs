@@ -1,0 +1,307 @@
+//! Refrigeration-cycle process variables.
+//!
+//! "Slower changing parameters such as temperatures and pressures must
+//! also be monitored, but at a lower frequency and can be treated as
+//! scalars" (§2). The fuzzy-logic suite diagnoses from exactly these
+//! scalars, and the DLI rules use the load indicators (§6.1 names the
+//! pre-rotation vane position) to sensitize vibration rules.
+//!
+//! The model is a steady-state cycle with load-dependent baselines and
+//! per-fault deviations scaled by severity — enough physics that each
+//! process fault produces its textbook signature, with deterministic
+//! measurement noise on top.
+
+use crate::fault::FaultState;
+use mpros_core::{MachineCondition, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One snapshot of the plant's process variables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessSnapshot {
+    /// Sample instant.
+    pub at: SimTime,
+    /// Commanded load fraction (0..=1).
+    pub load: f64,
+    /// Pre-rotation vane position, 0..=1 (the §6.1 load indicator).
+    pub prv_position: f64,
+    /// Evaporator (suction) pressure, kPa absolute.
+    pub evap_pressure_kpa: f64,
+    /// Condenser (discharge) pressure, kPa absolute.
+    pub cond_pressure_kpa: f64,
+    /// Chilled-water supply temperature, °C.
+    pub chw_supply_c: f64,
+    /// Chilled-water return temperature, °C.
+    pub chw_return_c: f64,
+    /// Condenser-water inlet temperature, °C.
+    pub cw_in_c: f64,
+    /// Condenser-water outlet temperature, °C.
+    pub cw_out_c: f64,
+    /// Lubricating-oil supply pressure, kPa gauge.
+    pub oil_pressure_kpa: f64,
+    /// Lubricating-oil temperature, °C.
+    pub oil_temp_c: f64,
+    /// Motor line current, A.
+    pub motor_current_a: f64,
+    /// Motor winding temperature, °C.
+    pub winding_temp_c: f64,
+}
+
+impl ProcessSnapshot {
+    /// Condenser approach temperature (refrigerant condensing temp minus
+    /// leaving condenser water): the classic fouling indicator. We proxy
+    /// condensing temperature from discharge pressure.
+    pub fn condenser_approach_c(&self) -> f64 {
+        // Linearized R-134a saturation around the operating point:
+        // ~35 °C at 890 kPa, slope ≈ 0.023 °C/kPa.
+        let condensing_c = 35.0 + (self.cond_pressure_kpa - 890.0) * 0.023;
+        condensing_c - self.cw_out_c
+    }
+
+    /// Chilled-water delta-T — a capacity indicator.
+    pub fn chw_delta_c(&self) -> f64 {
+        self.chw_return_c - self.chw_supply_c
+    }
+}
+
+/// Deterministic process-variable model for one chiller.
+#[derive(Debug, Clone)]
+pub struct ProcessModel {
+    seed: u64,
+    /// Measurement noise scale (fraction of each signal's natural range).
+    pub noise: f64,
+}
+
+impl ProcessModel {
+    /// Create a model with deterministic `seed`.
+    pub fn new(seed: u64) -> Self {
+        ProcessModel { seed, noise: 0.01 }
+    }
+
+    /// Sample the process state at `t`, machine `load`, under `faults`.
+    pub fn sample(&self, t: SimTime, load: f64, faults: &FaultState) -> ProcessSnapshot {
+        let load = load.clamp(0.0, 1.0);
+        // Healthy baselines (typical centrifugal chiller, R-134a).
+        let mut evap_p = 350.0 - 30.0 * load; // kPa: deeper vacuum at load
+        let mut cond_p = 800.0 + 90.0 * load;
+        let mut chw_supply = 6.7;
+        let chw_return = chw_supply + 5.6 * load;
+        let cw_in = 29.5;
+        let mut cw_out = cw_in + 5.0 * load;
+        let mut oil_p = 180.0;
+        let mut oil_t = 45.0 + 8.0 * load;
+        let mut current = 40.0 + 260.0 * load;
+        let mut winding_t = 60.0 + 35.0 * load;
+
+        // Fault deviations (full-severity magnitudes from fault physics).
+        let s = |c: MachineCondition| faults.severity(c, t);
+
+        let leak = s(MachineCondition::RefrigerantLeak);
+        evap_p -= 120.0 * leak; // starving evaporator
+        chw_supply += 3.0 * leak; // lost capacity: warmer supply water
+
+        let foul = s(MachineCondition::CondenserFouling);
+        cond_p += 180.0 * foul; // head pressure climbs
+        cw_out -= 1.5 * foul; // poorer heat transfer to water
+        current += 25.0 * foul; // compressor works harder
+
+        let surge = s(MachineCondition::CompressorSurge);
+        if surge > 0.0 {
+            // Characteristic low-frequency oscillation of discharge
+            // pressure and current (≈ 1 Hz here; sampled aliasing is fine
+            // for scalar trends, the fuzzy rules look at the swing).
+            let osc = (t.as_secs() * std::f64::consts::TAU).sin();
+            cond_p += 60.0 * surge * osc;
+            current += 45.0 * surge * osc;
+            evap_p += 25.0 * surge * (t.as_secs() * 2.3).sin();
+        }
+
+        let oil = s(MachineCondition::LubeOilDegradation);
+        oil_p -= 70.0 * oil;
+        oil_t += 20.0 * oil;
+
+        let winding = s(MachineCondition::MotorWindingInsulation);
+        winding_t += 45.0 * winding;
+        current += 15.0 * winding;
+
+        // Mechanical faults add friction losses → slight current rise.
+        let mech = s(MachineCondition::MotorBearingDefect)
+            .max(s(MachineCondition::CompressorBearingDefect))
+            .max(s(MachineCondition::GearToothWear));
+        current += 8.0 * mech;
+        oil_t += 5.0 * mech;
+
+        let mut snap = ProcessSnapshot {
+            at: t,
+            load,
+            prv_position: load, // vanes track commanded load
+            evap_pressure_kpa: evap_p,
+            cond_pressure_kpa: cond_p,
+            chw_supply_c: chw_supply,
+            chw_return_c: chw_return,
+            cw_in_c: cw_in,
+            cw_out_c: cw_out,
+            oil_pressure_kpa: oil_p,
+            oil_temp_c: oil_t,
+            motor_current_a: current,
+            winding_temp_c: winding_t,
+        };
+        self.add_noise(&mut snap);
+        snap
+    }
+
+    fn add_noise(&self, snap: &mut ProcessSnapshot) {
+        if self.noise <= 0.0 {
+            return;
+        }
+        let mixed = self
+            .seed
+            .wrapping_mul(0xD134_2543_DE82_EF95)
+            .wrapping_add(snap.at.as_secs().to_bits());
+        let mut rng = StdRng::seed_from_u64(mixed);
+        let mut jitter = |x: &mut f64, range: f64| {
+            *x += self.noise * range * (rng.gen_range(0.0..1.0) - 0.5) * 2.0;
+        };
+        jitter(&mut snap.evap_pressure_kpa, 10.0);
+        jitter(&mut snap.cond_pressure_kpa, 15.0);
+        jitter(&mut snap.chw_supply_c, 0.3);
+        jitter(&mut snap.chw_return_c, 0.3);
+        jitter(&mut snap.cw_out_c, 0.3);
+        jitter(&mut snap.oil_pressure_kpa, 5.0);
+        jitter(&mut snap.oil_temp_c, 0.8);
+        jitter(&mut snap.motor_current_a, 3.0);
+        jitter(&mut snap.winding_temp_c, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultProfile, FaultSeed};
+    use mpros_core::SimDuration;
+
+    fn step_fault(c: MachineCondition, level: f64) -> FaultState {
+        let mut f = FaultState::healthy();
+        f.seed(FaultSeed {
+            condition: c,
+            onset: SimTime::ZERO,
+            time_to_failure: SimDuration::from_secs(1.0),
+            profile: FaultProfile::Step(level),
+        });
+        f
+    }
+
+    fn model() -> ProcessModel {
+        let mut m = ProcessModel::new(7);
+        m.noise = 0.0; // most assertions want the deterministic core
+        m
+    }
+
+    const T: SimTime = SimTime::ZERO;
+
+    #[test]
+    fn healthy_baselines_scale_with_load() {
+        let m = model();
+        let lo = m.sample(T, 0.2, &FaultState::healthy());
+        let hi = m.sample(T, 1.0, &FaultState::healthy());
+        assert!(hi.motor_current_a > lo.motor_current_a + 100.0);
+        assert!(hi.cond_pressure_kpa > lo.cond_pressure_kpa);
+        assert!(hi.chw_delta_c() > lo.chw_delta_c());
+        assert!((hi.prv_position - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refrigerant_leak_starves_evaporator() {
+        let m = model();
+        let h = m.sample(T, 0.8, &FaultState::healthy());
+        let f = m.sample(T, 0.8, &step_fault(MachineCondition::RefrigerantLeak, 1.0));
+        assert!(f.evap_pressure_kpa < h.evap_pressure_kpa - 80.0);
+        assert!(f.chw_supply_c > h.chw_supply_c + 1.5, "capacity loss");
+    }
+
+    #[test]
+    fn condenser_fouling_raises_head_and_approach() {
+        let m = model();
+        let h = m.sample(T, 0.8, &FaultState::healthy());
+        let f = m.sample(T, 0.8, &step_fault(MachineCondition::CondenserFouling, 1.0));
+        assert!(f.cond_pressure_kpa > h.cond_pressure_kpa + 120.0);
+        assert!(f.condenser_approach_c() > h.condenser_approach_c() + 3.0);
+    }
+
+    #[test]
+    fn oil_degradation_drops_pressure_raises_temp() {
+        let m = model();
+        let h = m.sample(T, 0.8, &FaultState::healthy());
+        let f = m.sample(T, 0.8, &step_fault(MachineCondition::LubeOilDegradation, 1.0));
+        assert!(f.oil_pressure_kpa < h.oil_pressure_kpa - 40.0);
+        assert!(f.oil_temp_c > h.oil_temp_c + 10.0);
+    }
+
+    #[test]
+    fn winding_fault_heats_motor() {
+        let m = model();
+        let h = m.sample(T, 0.8, &FaultState::healthy());
+        let f = m.sample(
+            T,
+            0.8,
+            &step_fault(MachineCondition::MotorWindingInsulation, 1.0),
+        );
+        assert!(f.winding_temp_c > h.winding_temp_c + 30.0);
+    }
+
+    #[test]
+    fn surge_oscillates_discharge_pressure() {
+        let m = model();
+        let f = step_fault(MachineCondition::CompressorSurge, 1.0);
+        let samples: Vec<f64> = (0..40)
+            .map(|i| {
+                m.sample(SimTime::from_secs(i as f64 * 0.1), 0.9, &f)
+                    .cond_pressure_kpa
+            })
+            .collect();
+        let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+        let min = samples.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max - min > 80.0, "surge swing {}", max - min);
+        // Healthy plant at the same instants is steady.
+        let healthy: Vec<f64> = (0..40)
+            .map(|i| {
+                m.sample(SimTime::from_secs(i as f64 * 0.1), 0.9, &FaultState::healthy())
+                    .cond_pressure_kpa
+            })
+            .collect();
+        let hswing = healthy.iter().cloned().fold(f64::MIN, f64::max)
+            - healthy.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(hswing < 1.0);
+    }
+
+    #[test]
+    fn severity_scales_deviation() {
+        let m = model();
+        let half = m.sample(T, 0.8, &step_fault(MachineCondition::CondenserFouling, 0.5));
+        let full = m.sample(T, 0.8, &step_fault(MachineCondition::CondenserFouling, 1.0));
+        let h = m.sample(T, 0.8, &FaultState::healthy());
+        let d_half = half.cond_pressure_kpa - h.cond_pressure_kpa;
+        let d_full = full.cond_pressure_kpa - h.cond_pressure_kpa;
+        assert!((d_full - 2.0 * d_half).abs() < 1.0);
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_time() {
+        let mut m = ProcessModel::new(7);
+        m.noise = 0.02;
+        let a = m.sample(SimTime::from_secs(5.0), 0.8, &FaultState::healthy());
+        let b = m.sample(SimTime::from_secs(5.0), 0.8, &FaultState::healthy());
+        assert_eq!(a, b);
+        let c = m.sample(SimTime::from_secs(6.0), 0.8, &FaultState::healthy());
+        assert_ne!(a.motor_current_a, c.motor_current_a);
+    }
+
+    #[test]
+    fn vibration_faults_leave_process_mostly_unaffected() {
+        let m = model();
+        let h = m.sample(T, 0.8, &FaultState::healthy());
+        let f = m.sample(T, 0.8, &step_fault(MachineCondition::MotorImbalance, 1.0));
+        assert!((f.evap_pressure_kpa - h.evap_pressure_kpa).abs() < 1.0);
+        assert!((f.cond_pressure_kpa - h.cond_pressure_kpa).abs() < 1.0);
+    }
+}

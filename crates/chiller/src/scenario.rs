@@ -1,0 +1,231 @@
+//! Scripted test scenarios.
+//!
+//! §9 of the paper describes the validation strategy available to the
+//! authors: seeded faults, destructive chiller testing, and archived
+//! maintenance data. A [`Scenario`] is the reproducible analogue: a named
+//! script of fault seedings and load changes that configures a
+//! [`ChillerPlant`], plus a library of presets used by the examples,
+//! integration tests and EXPERIMENTS.md campaigns.
+
+use crate::fault::{FaultProfile, FaultSeed};
+use crate::plant::{ChillerPlant, PlantConfig};
+use mpros_core::{MachineCondition, MachineId, SimDuration, SimTime};
+
+/// One scripted event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScenarioEvent {
+    /// Plant a fault.
+    SeedFault(FaultSeed),
+    /// Change the commanded load from a given instant.
+    SetLoad {
+        /// Effective-from instant.
+        at: SimTime,
+        /// New load fraction.
+        load: f64,
+    },
+}
+
+/// A named, reproducible plant scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (used in experiment output).
+    pub name: String,
+    /// Scripted events.
+    pub events: Vec<ScenarioEvent>,
+    /// Nominal observation horizon.
+    pub horizon: SimDuration,
+}
+
+impl Scenario {
+    /// An empty scenario (healthy plant) with the given horizon.
+    pub fn healthy(horizon: SimDuration) -> Self {
+        Scenario {
+            name: "healthy".into(),
+            events: Vec::new(),
+            horizon,
+        }
+    }
+
+    /// Add an event (builder style).
+    pub fn with_event(mut self, e: ScenarioEvent) -> Self {
+        self.events.push(e);
+        self
+    }
+
+    /// Build a plant with this scenario applied.
+    pub fn build_plant(&self, machine_id: MachineId, seed: u64) -> ChillerPlant {
+        let mut plant = ChillerPlant::new(PlantConfig::new(machine_id, seed));
+        for e in &self.events {
+            match *e {
+                ScenarioEvent::SeedFault(f) => plant.seed_fault(f),
+                ScenarioEvent::SetLoad { at, load } => plant.set_load(at, load),
+            }
+        }
+        plant
+    }
+
+    /// Preset: a single fault of `condition` seeded at 10 % of the
+    /// horizon, failing at 90 % of it, with an accelerating profile —
+    /// the canonical single-mode detection/prognosis campaign.
+    pub fn single_fault(condition: MachineCondition, horizon: SimDuration) -> Self {
+        let onset = SimTime::ZERO + horizon * 0.1;
+        Scenario {
+            name: format!("single-fault:{condition}"),
+            events: vec![ScenarioEvent::SeedFault(FaultSeed {
+                condition,
+                onset,
+                time_to_failure: horizon * 0.8,
+                profile: FaultProfile::Accelerating,
+            })],
+            horizon,
+        }
+    }
+
+    /// Preset: the Fig. 2 situation — several knowledge sources will see
+    /// a bearing defect and an imbalance on the same motor, while an
+    /// independent process fault (condenser fouling) develops. Exercises
+    /// within-group belief sharing and cross-group independence (§5.3).
+    pub fn multi_fault(horizon: SimDuration) -> Self {
+        let early = SimTime::ZERO + horizon * 0.05;
+        Scenario {
+            name: "multi-fault".into(),
+            events: vec![
+                ScenarioEvent::SeedFault(FaultSeed {
+                    condition: MachineCondition::MotorBearingDefect,
+                    onset: early,
+                    time_to_failure: horizon * 0.7,
+                    profile: FaultProfile::Accelerating,
+                }),
+                ScenarioEvent::SeedFault(FaultSeed {
+                    condition: MachineCondition::MotorImbalance,
+                    onset: early,
+                    time_to_failure: horizon * 0.9,
+                    profile: FaultProfile::Linear,
+                }),
+                ScenarioEvent::SeedFault(FaultSeed {
+                    condition: MachineCondition::CondenserFouling,
+                    onset: SimTime::ZERO + horizon * 0.2,
+                    time_to_failure: horizon * 0.75,
+                    profile: FaultProfile::Linear,
+                }),
+            ],
+            horizon,
+        }
+    }
+
+    /// Preset: low-load operation with a marginal bearing — the §6.1
+    /// false-positive trap ("some compressors vibrate more at certain
+    /// frequencies when unloaded"), used by the load-sensitization
+    /// ablation.
+    pub fn low_load_trap(horizon: SimDuration) -> Self {
+        Scenario {
+            name: "low-load-trap".into(),
+            events: vec![
+                ScenarioEvent::SetLoad {
+                    at: SimTime::ZERO,
+                    load: 0.15,
+                },
+                ScenarioEvent::SeedFault(FaultSeed {
+                    condition: MachineCondition::BearingHousingLooseness,
+                    onset: SimTime::ZERO + horizon * 0.5,
+                    time_to_failure: horizon,
+                    profile: FaultProfile::Linear,
+                }),
+            ],
+            horizon,
+        }
+    }
+
+    /// Preset: destructive-test compression — every vibration fault mode
+    /// seeded in sequence across the horizon (the surplus-chiller
+    /// destructive test of §9/§10, compressed into simulation).
+    pub fn destructive_test(horizon: SimDuration) -> Self {
+        let modes: Vec<MachineCondition> = MachineCondition::ALL.to_vec();
+        let slot = horizon * (1.0 / modes.len() as f64);
+        let events = modes
+            .iter()
+            .enumerate()
+            .map(|(i, &condition)| {
+                ScenarioEvent::SeedFault(FaultSeed {
+                    condition,
+                    onset: SimTime::ZERO + slot * i as f64,
+                    time_to_failure: slot * 0.9,
+                    profile: FaultProfile::Accelerating,
+                })
+            })
+            .collect();
+        Scenario {
+            name: "destructive-test".into(),
+            events,
+            horizon,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn days(d: f64) -> SimDuration {
+        SimDuration::from_days(d)
+    }
+
+    #[test]
+    fn healthy_scenario_builds_healthy_plant() {
+        let p = Scenario::healthy(days(10.0)).build_plant(MachineId::new(1), 1);
+        assert!(p
+            .ground_truth(SimTime::ZERO + days(9.0), 0.0)
+            .is_empty());
+    }
+
+    #[test]
+    fn single_fault_progresses_to_failure_within_horizon() {
+        let sc = Scenario::single_fault(MachineCondition::GearToothWear, days(30.0));
+        let p = sc.build_plant(MachineId::new(1), 1);
+        let near_end = SimTime::ZERO + days(29.0);
+        let truth = p.ground_truth(near_end, 0.5);
+        assert_eq!(truth.len(), 1);
+        assert_eq!(truth[0].0, MachineCondition::GearToothWear);
+        // Early on the fault is absent.
+        assert!(p.ground_truth(SimTime::ZERO + days(1.0), 0.01).is_empty());
+    }
+
+    #[test]
+    fn multi_fault_has_concurrent_cross_group_faults() {
+        let sc = Scenario::multi_fault(days(30.0));
+        let p = sc.build_plant(MachineId::new(1), 1);
+        let t = SimTime::ZERO + days(25.0);
+        let truth = p.ground_truth(t, 0.1);
+        let groups: std::collections::HashSet<_> =
+            truth.iter().map(|(c, _)| c.group()).collect();
+        assert!(truth.len() >= 3, "want 3 concurrent faults, got {truth:?}");
+        assert!(groups.len() >= 2, "faults must span logical groups");
+    }
+
+    #[test]
+    fn low_load_trap_sets_low_load() {
+        let sc = Scenario::low_load_trap(days(10.0));
+        let p = sc.build_plant(MachineId::new(1), 1);
+        assert!((p.load_at(SimTime::from_secs(60.0)) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn destructive_test_covers_all_modes() {
+        let sc = Scenario::destructive_test(days(120.0));
+        assert_eq!(sc.events.len(), 12);
+        let p = sc.build_plant(MachineId::new(1), 1);
+        // At the very end, every mode has been driven to failure.
+        let t = SimTime::ZERO + days(119.9);
+        let truth = p.ground_truth(t, 0.8);
+        assert!(truth.len() >= 10, "most modes at high severity: {}", truth.len());
+    }
+
+    #[test]
+    fn builder_with_event_appends() {
+        let sc = Scenario::healthy(days(1.0)).with_event(ScenarioEvent::SetLoad {
+            at: SimTime::ZERO,
+            load: 0.4,
+        });
+        assert_eq!(sc.events.len(), 1);
+    }
+}

@@ -1,0 +1,233 @@
+//! Startup (coast-up) transient synthesis.
+//!
+//! §3.3 lists a "simulation of Carrier Chiller startup" among the
+//! project's milestones, and §1.1 assigns transients to the WNN: unlike
+//! the DLI system, it "will excel in drawing conclusions from transitory
+//! phenomena rather than steady state data."
+//!
+//! During a coast-up the shaft speed ramps from rest to nominal, so
+//! every order-tracked tone is a chirp — instantaneous frequency
+//! `k·f_shaft(t)` with phase `2π·k·∫f_shaft` — and the response is
+//! amplified as the 1× sweeps through the structural resonance
+//! (classical single-degree-of-freedom magnification). A fixed-frequency
+//! FFT smears such chirps across bins, which is precisely why the
+//! steady-state rule frames go blind on startups and the wavelet
+//! feature set does not.
+
+use crate::machine::MachineTrain;
+use mpros_core::MachineCondition;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// Fraction of nominal 1× speed where the structural resonance sits.
+const RESONANCE_SPEED_FRACTION: f64 = 0.7;
+/// Resonance amplification factor at exact coincidence (Q).
+const RESONANCE_Q: f64 = 6.0;
+/// Damping ratio implied by Q (for the response-width shape).
+const ZETA: f64 = 1.0 / (2.0 * RESONANCE_Q);
+
+/// Synthesizer for startup transients of one machine train.
+#[derive(Debug, Clone)]
+pub struct StartupSynthesizer {
+    train: MachineTrain,
+    seed: u64,
+    /// Broadband noise RMS, g.
+    pub noise_rms: f64,
+}
+
+impl StartupSynthesizer {
+    /// Create a synthesizer.
+    pub fn new(train: MachineTrain, seed: u64) -> Self {
+        StartupSynthesizer {
+            train,
+            seed,
+            noise_rms: 0.02,
+        }
+    }
+
+    /// Shaft-speed fraction at time `t` of a `ramp` -second coast-up
+    /// (smooth-stepped so acceleration is continuous).
+    fn speed_fraction(t: f64, ramp: f64) -> f64 {
+        let x = (t / ramp).clamp(0.0, 1.0);
+        x * x * (3.0 - 2.0 * x)
+    }
+
+    /// SDOF magnification of a 1×-synchronous excitation at speed
+    /// fraction `s` relative to the resonance crossing.
+    fn magnification(s: f64) -> f64 {
+        let r = s / RESONANCE_SPEED_FRACTION;
+        let denom = ((1.0 - r * r).powi(2) + (2.0 * ZETA * r).powi(2)).sqrt();
+        (1.0 / denom).min(RESONANCE_Q)
+    }
+
+    /// Synthesize a motor-bearing coast-up block: `n` samples at
+    /// `sample_rate`, the shaft ramping to nominal over `ramp_secs`,
+    /// with an optional fault at `severity`. Supported transient
+    /// signatures: imbalance (1× chirp), misalignment (2× chirp),
+    /// looseness (1×–4× chirp family). Process/bearing faults add
+    /// nothing here (their transient physics is out of scope) — the
+    /// healthy baseline still sweeps the resonance.
+    pub fn coastup_block(
+        &self,
+        n: usize,
+        sample_rate: f64,
+        ramp_secs: f64,
+        fault: Option<(MachineCondition, f64)>,
+        load: f64,
+    ) -> Vec<f64> {
+        let nominal = self.train.motor_hz(load);
+        let dt = 1.0 / sample_rate;
+        // Integrate instantaneous shaft frequency for the 1× phase.
+        let mut phase_1x = 0.0f64;
+        let mut out = Vec::with_capacity(n);
+        let (fault_kind, severity) = match fault {
+            Some((c, s)) => (Some(c), s),
+            None => (None, 0.0),
+        };
+        for i in 0..n {
+            let t = i as f64 * dt;
+            let s = Self::speed_fraction(t, ramp_secs);
+            let f_shaft = nominal * s;
+            phase_1x += 2.0 * PI * f_shaft * dt;
+            let mag = Self::magnification(s);
+            // Healthy residual 1× sweeps the resonance too.
+            let mut x = 0.05 * mag * phase_1x.sin();
+            match fault_kind {
+                Some(MachineCondition::MotorImbalance) => {
+                    // Centrifugal forcing grows with speed² and rings
+                    // the resonance on the way up.
+                    x += 0.6 * severity * s * s * mag * phase_1x.sin();
+                }
+                Some(MachineCondition::MotorMisalignment) => {
+                    x += 0.45 * severity * s * mag * (2.0 * phase_1x + 0.7).sin();
+                    x += 0.12 * severity * s * mag * phase_1x.sin();
+                }
+                Some(MachineCondition::BearingHousingLooseness) => {
+                    for h in 1..=4 {
+                        x += 0.35 * severity * s / h as f64
+                            * (h as f64 * phase_1x + h as f64).sin();
+                    }
+                }
+                _ => {}
+            }
+            out.push(x);
+        }
+        // Deterministic measurement noise.
+        let mixed = self
+            .seed
+            .wrapping_mul(0xA24B_AED4_963E_E407)
+            .wrapping_add((n as u64).rotate_left(13))
+            .wrapping_add((severity * 1e6) as u64);
+        let mut rng = StdRng::seed_from_u64(mixed);
+        for x in out.iter_mut() {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            *x += self.noise_rms * (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpros_core::MachineId;
+    use mpros_signal::features::WaveformStats;
+    use mpros_signal::spectrum::Spectrum;
+    use mpros_signal::window::Window;
+
+    const FS: f64 = 4_096.0;
+    const N: usize = 16_384; // 4 s block covering a 3 s ramp
+
+    fn synth() -> StartupSynthesizer {
+        StartupSynthesizer::new(MachineTrain::navy_chiller(MachineId::new(1)), 7)
+    }
+
+    #[test]
+    fn speed_ramp_is_smooth_and_saturates() {
+        assert_eq!(StartupSynthesizer::speed_fraction(0.0, 3.0), 0.0);
+        assert_eq!(StartupSynthesizer::speed_fraction(3.0, 3.0), 1.0);
+        assert_eq!(StartupSynthesizer::speed_fraction(9.0, 3.0), 1.0);
+        let mid = StartupSynthesizer::speed_fraction(1.5, 3.0);
+        assert!((mid - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn magnification_peaks_at_the_resonance_crossing() {
+        let at_res = StartupSynthesizer::magnification(RESONANCE_SPEED_FRACTION);
+        assert!((at_res - RESONANCE_Q).abs() < 0.5, "Q {at_res}");
+        assert!(StartupSynthesizer::magnification(0.2) < 1.2);
+        assert!(StartupSynthesizer::magnification(1.0) < 2.5);
+    }
+
+    #[test]
+    fn coastup_rings_the_resonance() {
+        // The imbalance coast-up peaks while crossing the resonance
+        // (~70% speed, i.e. around t ≈ 1.8 s of a 3 s smooth ramp),
+        // not at full speed.
+        let block = synth().coastup_block(
+            N,
+            FS,
+            3.0,
+            Some((MachineCondition::MotorImbalance, 0.9)),
+            1.0,
+        );
+        let seg_rms = |a: usize, b: usize| {
+            (block[a..b].iter().map(|x| x * x).sum::<f64>() / (b - a) as f64).sqrt()
+        };
+        let early = seg_rms(0, 2_048); // 0.0–0.5 s
+        let at_resonance = seg_rms(6_900, 8_200); // ≈1.7–2.0 s
+        let steady = seg_rms(14_000, N); // past the ramp
+        assert!(
+            at_resonance > 2.0 * steady,
+            "resonance {at_resonance} vs steady {steady}"
+        );
+        assert!(at_resonance > 4.0 * early.max(0.02));
+    }
+
+    #[test]
+    fn chirp_smears_the_spectrum_but_not_the_waveform_stats() {
+        // The same fault, steady vs coast-up: the steady block shows a
+        // crisp 1× line; the coast-up block's energy is spread so the
+        // order lookup underreads it badly — the §1.1 division of labor.
+        let train = MachineTrain::navy_chiller(MachineId::new(1));
+        let nominal = train.motor_hz(1.0);
+        let s = synth();
+        let coastup = s.coastup_block(
+            N,
+            FS,
+            3.5,
+            Some((MachineCondition::MotorImbalance, 0.9)),
+            1.0,
+        );
+        let spec = Spectrum::compute(&coastup, FS, Window::Hann).unwrap();
+        let line = spec.amplitude_at_order(nominal, 1.0);
+        // A steady 0.54 g tone would read ≈0.54; the chirp reads far less.
+        assert!(line < 0.3, "chirp should smear the 1x line: {line}");
+        // Yet the block carries obvious energy.
+        let stats = WaveformStats::of(&coastup);
+        assert!(stats.rms > 0.15, "rms {}", stats.rms);
+    }
+
+    #[test]
+    fn faults_separate_in_transient_space() {
+        let s = synth();
+        let mk = |c: Option<(MachineCondition, f64)>| s.coastup_block(N, FS, 3.0, c, 1.0);
+        let healthy = mk(None);
+        let imbalance = mk(Some((MachineCondition::MotorImbalance, 0.8)));
+        let misalign = mk(Some((MachineCondition::MotorMisalignment, 0.8)));
+        let rms = |b: &[f64]| WaveformStats::of(b).rms;
+        assert!(rms(&imbalance) > 2.0 * rms(&healthy));
+        assert!(rms(&misalign) > 1.5 * rms(&healthy));
+        assert_ne!(imbalance, misalign);
+    }
+
+    #[test]
+    fn determinism() {
+        let s = synth();
+        let a = s.coastup_block(1024, FS, 3.0, None, 1.0);
+        let b = s.coastup_block(1024, FS, 3.0, None, 1.0);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,141 @@
+//! Belief values.
+//!
+//! §7.2 of the paper: "Belief: Numeric value in range 0.0 to 1.0 indicating
+//! belief that this diagnosis is true. Maximal belief is 1.0." The same
+//! unit interval carries Dempster–Shafer masses and DLI believability
+//! factors, so it gets a validated newtype.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A degree of belief in `[0, 1]`.
+///
+/// Construction clamps out-of-range finite values and rejects NaN, so a
+/// `Belief` is always a valid probability-like quantity.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Belief(f64);
+
+impl Belief {
+    /// Zero belief.
+    pub const ZERO: Belief = Belief(0.0);
+    /// Full belief.
+    pub const CERTAIN: Belief = Belief(1.0);
+
+    /// Construct, clamping into `[0, 1]`. Panics on NaN.
+    pub fn new(v: f64) -> Self {
+        assert!(!v.is_nan(), "belief cannot be NaN");
+        Belief(v.clamp(0.0, 1.0))
+    }
+
+    /// Construct only if the value is already in range.
+    pub fn try_new(v: f64) -> Option<Self> {
+        (v.is_finite() && (0.0..=1.0).contains(&v)).then_some(Belief(v))
+    }
+
+    /// The raw value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Complement `1 - b`.
+    pub fn complement(self) -> Belief {
+        Belief(1.0 - self.0)
+    }
+
+    /// Product of beliefs (independent conjunction), still in range.
+    pub fn and(self, other: Belief) -> Belief {
+        Belief(self.0 * other.0)
+    }
+
+    /// Noisy-or of beliefs: `1 - (1-a)(1-b)`.
+    pub fn or(self, other: Belief) -> Belief {
+        Belief(1.0 - (1.0 - self.0) * (1.0 - other.0))
+    }
+
+    /// The larger of two beliefs.
+    pub fn max(self, other: Belief) -> Belief {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two beliefs.
+    pub fn min(self, other: Belief) -> Belief {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl From<f64> for Belief {
+    fn from(v: f64) -> Self {
+        Belief::new(v)
+    }
+}
+
+impl fmt::Display for Belief {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0}%", self.0 * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn clamping_construction() {
+        assert_eq!(Belief::new(-0.5).value(), 0.0);
+        assert_eq!(Belief::new(1.5).value(), 1.0);
+        assert_eq!(Belief::new(0.4).value(), 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Belief::new(f64::NAN);
+    }
+
+    #[test]
+    fn try_new_rejects_out_of_range() {
+        assert!(Belief::try_new(0.5).is_some());
+        assert!(Belief::try_new(-0.1).is_none());
+        assert!(Belief::try_new(1.1).is_none());
+        assert!(Belief::try_new(f64::NAN).is_none());
+        assert!(Belief::try_new(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn display_as_percent() {
+        assert_eq!(Belief::new(0.4).to_string(), "40%");
+        assert_eq!(Belief::CERTAIN.to_string(), "100%");
+    }
+
+    proptest! {
+        #[test]
+        fn combinators_stay_in_range(a in 0.0..=1.0f64, b in 0.0..=1.0f64) {
+            let (ba, bb) = (Belief::new(a), Belief::new(b));
+            for v in [ba.and(bb), ba.or(bb), ba.complement(), ba.max(bb), ba.min(bb)] {
+                prop_assert!((0.0..=1.0).contains(&v.value()));
+            }
+        }
+
+        #[test]
+        fn or_dominates_and(a in 0.0..=1.0f64, b in 0.0..=1.0f64) {
+            let (ba, bb) = (Belief::new(a), Belief::new(b));
+            prop_assert!(ba.or(bb) >= ba.and(bb));
+        }
+
+        #[test]
+        fn double_complement_is_identity(a in 0.0..=1.0f64) {
+            let b = Belief::new(a);
+            prop_assert!((b.complement().complement().value() - a).abs() < 1e-12);
+        }
+    }
+}

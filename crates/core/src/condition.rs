@@ -1,0 +1,255 @@
+//! The machine-condition catalog and logical failure groups.
+//!
+//! The paper's phase-1 FMEA on the centrifugal chilled-water plant selected
+//! *12 candidate failure modes* (§3.3). The proprietary list is not
+//! published, so we re-derive twelve canonical centrifugal-chiller failure
+//! modes from standard rotating-machinery practice; each carries the fault
+//! physics the paper's four algorithm suites key on (spectral signatures
+//! for the vibration paths, process-variable signatures for the fuzzy
+//! path).
+//!
+//! §5.3 introduces *logical groups*: "Failures, which are all part of the
+//! same logical groups, are related to each other (for example, one group
+//! might be electrical failures, another lubricant failures)". Dempster-
+//! Shafer fusion runs within a group (members may be mistaken for one
+//! another and share belief mass) while distinct groups are treated as
+//! independent so multiple concurrent failures are representable.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The twelve candidate failure modes of the chiller FMEA (E9 in
+/// DESIGN.md), plus the catch-all used by Dempster–Shafer frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)] // variants are documented by `description`
+pub enum MachineCondition {
+    MotorImbalance,
+    MotorMisalignment,
+    MotorBearingDefect,
+    MotorRotorBarCrack,
+    MotorWindingInsulation,
+    GearToothWear,
+    CompressorBearingDefect,
+    CompressorSurge,
+    RefrigerantLeak,
+    CondenserFouling,
+    LubeOilDegradation,
+    BearingHousingLooseness,
+}
+
+impl MachineCondition {
+    /// All twelve FMEA failure modes, in catalog order.
+    pub const ALL: [MachineCondition; 12] = [
+        MachineCondition::MotorImbalance,
+        MachineCondition::MotorMisalignment,
+        MachineCondition::MotorBearingDefect,
+        MachineCondition::MotorRotorBarCrack,
+        MachineCondition::MotorWindingInsulation,
+        MachineCondition::GearToothWear,
+        MachineCondition::CompressorBearingDefect,
+        MachineCondition::CompressorSurge,
+        MachineCondition::RefrigerantLeak,
+        MachineCondition::CondenserFouling,
+        MachineCondition::LubeOilDegradation,
+        MachineCondition::BearingHousingLooseness,
+    ];
+
+    /// Stable small integer index of this condition within [`Self::ALL`];
+    /// used as the bit position in Dempster–Shafer subset masks and as the
+    /// condition id on the wire.
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("condition present in catalog")
+    }
+
+    /// Inverse of [`Self::index`].
+    pub fn from_index(i: usize) -> Option<MachineCondition> {
+        Self::ALL.get(i).copied()
+    }
+
+    /// The logical failure group this condition belongs to (§5.3).
+    pub fn group(self) -> FailureGroup {
+        use MachineCondition::*;
+        match self {
+            MotorImbalance | MotorMisalignment => FailureGroup::RotorDynamics,
+            MotorBearingDefect | CompressorBearingDefect => FailureGroup::Bearings,
+            MotorRotorBarCrack | MotorWindingInsulation => FailureGroup::Electrical,
+            GearToothWear | BearingHousingLooseness => FailureGroup::Structural,
+            CompressorSurge | RefrigerantLeak | CondenserFouling => FailureGroup::Process,
+            LubeOilDegradation => FailureGroup::Lubrication,
+        }
+    }
+
+    /// Human-readable description in the style of the paper's examples
+    /// ("motor imbalance, motor rotor bar problem, pump bearing housing
+    /// looseness, ...").
+    pub fn description(self) -> &'static str {
+        use MachineCondition::*;
+        match self {
+            MotorImbalance => "motor imbalance",
+            MotorMisalignment => "motor/compressor shaft misalignment",
+            MotorBearingDefect => "motor rolling-element bearing defect",
+            MotorRotorBarCrack => "motor rotor bar crack",
+            MotorWindingInsulation => "motor winding insulation degradation",
+            GearToothWear => "gear transmission tooth wear",
+            CompressorBearingDefect => "compressor bearing defect",
+            CompressorSurge => "compressor surge",
+            RefrigerantLeak => "refrigerant charge loss / leak",
+            CondenserFouling => "condenser tube fouling",
+            LubeOilDegradation => "lubricating oil degradation",
+            BearingHousingLooseness => "bearing housing looseness",
+        }
+    }
+
+    /// True if the fault expresses itself primarily in vibration spectra
+    /// (the DLI and WNN paths); false if it is primarily a process fault
+    /// (the fuzzy-logic path). Some faults show in both; this reports the
+    /// *primary* evidence channel.
+    pub fn is_vibration_fault(self) -> bool {
+        use MachineCondition::*;
+        !matches!(
+            self,
+            CompressorSurge | RefrigerantLeak | CondenserFouling
+                | LubeOilDegradation
+                | MotorWindingInsulation
+        )
+    }
+}
+
+impl fmt::Display for MachineCondition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.description())
+    }
+}
+
+/// Logical failure groups (§5.3): partitions of the condition catalog.
+/// Dempster–Shafer combination happens within a group; groups are mutually
+/// independent so concurrent failures in different groups are natural.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FailureGroup {
+    /// Shaft/rotor dynamics: imbalance, misalignment.
+    RotorDynamics,
+    /// Rolling-element bearing faults.
+    Bearings,
+    /// Electrical faults of the induction motor.
+    Electrical,
+    /// Mechanical/structural faults: gears, looseness.
+    Structural,
+    /// Refrigeration-cycle process faults.
+    Process,
+    /// Lubrication-system faults.
+    Lubrication,
+}
+
+impl FailureGroup {
+    /// All groups, in catalog order.
+    pub const ALL: [FailureGroup; 6] = [
+        FailureGroup::RotorDynamics,
+        FailureGroup::Bearings,
+        FailureGroup::Electrical,
+        FailureGroup::Structural,
+        FailureGroup::Process,
+        FailureGroup::Lubrication,
+    ];
+
+    /// The conditions belonging to this group, in catalog order.
+    pub fn members(self) -> Vec<MachineCondition> {
+        MachineCondition::ALL
+            .iter()
+            .copied()
+            .filter(|c| c.group() == self)
+            .collect()
+    }
+
+    /// Short label used in user-interface output.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureGroup::RotorDynamics => "rotor dynamics",
+            FailureGroup::Bearings => "bearings",
+            FailureGroup::Electrical => "electrical",
+            FailureGroup::Structural => "structural",
+            FailureGroup::Process => "process",
+            FailureGroup::Lubrication => "lubrication",
+        }
+    }
+}
+
+impl fmt::Display for FailureGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fmea_selected_exactly_twelve_modes() {
+        // §3.3: "used to select 12 candidate failure modes".
+        assert_eq!(MachineCondition::ALL.len(), 12);
+        let unique: HashSet<_> = MachineCondition::ALL.iter().collect();
+        assert_eq!(unique.len(), 12);
+    }
+
+    #[test]
+    fn index_roundtrips() {
+        for (i, c) in MachineCondition::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(MachineCondition::from_index(i), Some(*c));
+        }
+        assert_eq!(MachineCondition::from_index(12), None);
+    }
+
+    #[test]
+    fn groups_partition_the_catalog() {
+        let mut covered = HashSet::new();
+        for g in FailureGroup::ALL {
+            for m in g.members() {
+                assert_eq!(m.group(), g);
+                assert!(covered.insert(m), "{m} in two groups");
+            }
+        }
+        assert_eq!(covered.len(), 12, "every condition is in some group");
+    }
+
+    #[test]
+    fn every_group_is_nonempty() {
+        for g in FailureGroup::ALL {
+            assert!(!g.members().is_empty(), "{g} has no members");
+        }
+    }
+
+    #[test]
+    fn paper_example_groups_exist() {
+        // §5.3 names "electrical failures" and "lubricant failures" as
+        // example groups.
+        assert!(FailureGroup::ALL.contains(&FailureGroup::Electrical));
+        assert!(FailureGroup::ALL.contains(&FailureGroup::Lubrication));
+    }
+
+    #[test]
+    fn vibration_vs_process_split() {
+        use MachineCondition::*;
+        assert!(MotorImbalance.is_vibration_fault());
+        assert!(MotorBearingDefect.is_vibration_fault());
+        assert!(!CompressorSurge.is_vibration_fault());
+        assert!(!RefrigerantLeak.is_vibration_fault());
+        // At least one fault on each evidence channel so every algorithm
+        // suite has something to diagnose.
+        assert!(MachineCondition::ALL.iter().any(|c| c.is_vibration_fault()));
+        assert!(MachineCondition::ALL.iter().any(|c| !c.is_vibration_fault()));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        for c in MachineCondition::ALL {
+            let s = serde_json::to_string(&c).unwrap();
+            let back: MachineCondition = serde_json::from_str(&s).unwrap();
+            assert_eq!(c, back);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type shared across MPROS crates.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by MPROS components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A caller supplied structurally invalid input (unsorted prognostic
+    /// vector, empty rule set, out-of-range channel, ...).
+    InvalidInput(String),
+    /// A referenced entity does not exist (unknown OOSM object, unknown
+    /// machine id, ...).
+    NotFound(String),
+    /// A wire-format encoding or decoding failure.
+    Encoding(String),
+    /// A simulated-network delivery failure (dropped, partitioned,
+    /// disconnected).
+    Network(String),
+    /// A resource limit was exceeded (SBFR program too large, channel
+    /// count beyond the MUX capacity, ...).
+    CapacityExceeded(String),
+}
+
+impl Error {
+    /// Shorthand for [`Error::InvalidInput`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        Error::InvalidInput(msg.into())
+    }
+
+    /// Shorthand for [`Error::NotFound`].
+    pub fn not_found(msg: impl Into<String>) -> Self {
+        Error::NotFound(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidInput(m) => write!(f, "invalid input: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::Encoding(m) => write!(f, "encoding error: {m}"),
+            Error::Network(m) => write!(f, "network error: {m}"),
+            Error::CapacityExceeded(m) => write!(f, "capacity exceeded: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            Error::invalid("bad vector").to_string(),
+            "invalid input: bad vector"
+        );
+        assert_eq!(Error::not_found("M-0001").to_string(), "not found: M-0001");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::invalid("x"));
+    }
+}

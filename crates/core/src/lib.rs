@@ -1,0 +1,32 @@
+//! # mpros-core
+//!
+//! Shared vocabulary for the MPROS (Machinery Prognostics and Diagnostics
+//! System) reproduction: typed identifiers, simulated time, the catalog of
+//! machine conditions selected by the paper's FMEA, condition-report
+//! structures matching the failure-prediction reporting protocol of §7 of
+//! the paper, prognostic vectors (§5.4), severity grades (§6.1), and the
+//! logical failure groups used by diagnostic knowledge fusion (§5.3).
+//!
+//! Every other MPROS crate depends on this one; it has no dependencies on
+//! the rest of the workspace and only `serde` from the outside world.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod belief;
+pub mod condition;
+pub mod error;
+pub mod id;
+pub mod prognostic;
+pub mod report;
+pub mod severity;
+pub mod time;
+
+pub use belief::Belief;
+pub use condition::{FailureGroup, MachineCondition};
+pub use error::{Error, Result};
+pub use id::{DcId, IdAllocator, KnowledgeSourceId, MachineId, ObjectId, ReportId, SensorId};
+pub use prognostic::{PrognosticPoint, PrognosticVector};
+pub use report::{ConditionReport, ReportBuilder};
+pub use severity::{Severity, SeverityGrade, TimeToFailure};
+pub use time::{SimClock, SimDuration, SimTime};

@@ -1,0 +1,460 @@
+//! Prognostic vectors.
+//!
+//! §5.4 of the paper: "Prognostics are defined in this system as time
+//! point, probability pairs, and lists of these pairs. So for example, a
+//! prognostic of (3 months, .1) would indicate that the system has a 10%
+//! likelihood of failure within 3 months time from now."
+//!
+//! §7.3 (wire format): "Zero to n ordered pairs of the form '(probability,
+//! time)'. Each pair indicates the probability that the given machine
+//! condition will lead to failure of the machine within 'time' seconds
+//! from now."
+//!
+//! A prognostic vector is therefore a sampled cumulative failure-
+//! probability curve over *horizons* (durations from the report's
+//! timestamp). The curve is non-decreasing in time — failing within two
+//! months includes failing within one — and we enforce that invariant at
+//! construction. Interpolation between samples and extrapolation beyond
+//! the last sample ("interpolating a smooth curve from point to point",
+//! §5.4) are provided here; the conservative fusion of several curves
+//! lives in `mpros-fusion`.
+
+use crate::belief::Belief;
+use crate::error::{Error, Result};
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One `(time, probability)` sample: probability of failure within
+/// `horizon` from now.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrognosticPoint {
+    /// Horizon measured from the report timestamp. Must be positive.
+    pub horizon: SimDuration,
+    /// Probability of failure within the horizon.
+    pub probability: Belief,
+}
+
+impl PrognosticPoint {
+    /// Construct a point.
+    pub fn new(horizon: SimDuration, probability: impl Into<Belief>) -> Self {
+        Self {
+            horizon,
+            probability: probability.into(),
+        }
+    }
+}
+
+impl fmt::Display for PrognosticPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {:.2})", self.horizon, self.probability.value())
+    }
+}
+
+/// A sampled cumulative failure-probability curve (§5.4, §7.3).
+///
+/// Invariants, checked at construction:
+/// * horizons are strictly increasing and positive;
+/// * probabilities are non-decreasing (cumulative).
+///
+/// The empty vector is legal (§7.3 allows "zero to n ordered pairs") and
+/// denotes "no prognostic information": it interpolates to probability 0
+/// everywhere.
+///
+/// ```
+/// use mpros_core::{PrognosticVector, SimDuration};
+///
+/// // §5.4: "((2 weeks, .1) (1 month, .5) (2 months, .9))"
+/// let v = PrognosticVector::from_months(&[(0.5, 0.1), (1.0, 0.5), (2.0, 0.9)]).unwrap();
+/// assert_eq!(v.probability_at(SimDuration::from_months(1.0)).value(), 0.5);
+/// let median = v.horizon_for_probability(0.5).unwrap();
+/// assert!((median.as_months() - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PrognosticVector {
+    points: Vec<PrognosticPoint>,
+}
+
+impl PrognosticVector {
+    /// An empty vector: no prognostic information.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Build from points, validating the invariants. Points may be given
+    /// in any order; they are sorted by horizon first.
+    pub fn new(mut points: Vec<PrognosticPoint>) -> Result<Self> {
+        points.sort_by(|a, b| {
+            a.horizon
+                .partial_cmp(&b.horizon)
+                .expect("horizons are finite")
+        });
+        for w in points.windows(2) {
+            if w[1].horizon <= w[0].horizon {
+                return Err(Error::invalid(format!(
+                    "duplicate prognostic horizon {}",
+                    w[1].horizon
+                )));
+            }
+            if w[1].probability < w[0].probability {
+                return Err(Error::invalid(format!(
+                    "failure probability must be non-decreasing: {} then {}",
+                    w[0], w[1]
+                )));
+            }
+        }
+        if let Some(first) = points.first() {
+            if first.horizon.as_secs() <= 0.0 {
+                return Err(Error::invalid("prognostic horizons must be positive"));
+            }
+        }
+        Ok(Self { points })
+    }
+
+    /// Convenience constructor from `(months, probability)` pairs, the
+    /// notation of the paper's worked examples.
+    pub fn from_months(pairs: &[(f64, f64)]) -> Result<Self> {
+        Self::new(
+            pairs
+                .iter()
+                .map(|&(m, p)| PrognosticPoint::new(SimDuration::from_months(m), p))
+                .collect(),
+        )
+    }
+
+    /// The samples, sorted by horizon.
+    pub fn points(&self) -> &[PrognosticPoint] {
+        &self.points
+    }
+
+    /// True if the vector carries no information.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Failure probability at an arbitrary horizon, by the piecewise-
+    /// linear curve of §5.4:
+    ///
+    /// * before the first sample the curve rises linearly from `(0, 0)`;
+    /// * between samples it interpolates linearly;
+    /// * past the last sample it extrapolates along the final segment's
+    ///   slope, clamped to 1 (the paper: "the extrapolation of the curve
+    ///   beyond this point"); a single-sample curve extrapolates flat.
+    pub fn probability_at(&self, horizon: SimDuration) -> Belief {
+        let h = horizon.as_secs();
+        if h <= 0.0 || self.points.is_empty() {
+            return Belief::ZERO;
+        }
+        let first = self.points[0];
+        if h <= first.horizon.as_secs() {
+            let frac = h / first.horizon.as_secs();
+            return Belief::new(first.probability.value() * frac);
+        }
+        for w in self.points.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if h <= b.horizon.as_secs() {
+                let span = b.horizon.as_secs() - a.horizon.as_secs();
+                let frac = (h - a.horizon.as_secs()) / span;
+                return Belief::new(
+                    a.probability.value()
+                        + frac * (b.probability.value() - a.probability.value()),
+                );
+            }
+        }
+        // Extrapolate beyond the last point.
+        let last = *self.points.last().expect("nonempty");
+        if self.points.len() == 1 {
+            return last.probability;
+        }
+        let prev = self.points[self.points.len() - 2];
+        let span = last.horizon.as_secs() - prev.horizon.as_secs();
+        let slope = (last.probability.value() - prev.probability.value()) / span;
+        Belief::new(last.probability.value() + slope * (h - last.horizon.as_secs()))
+    }
+
+    /// The earliest horizon at which the interpolated curve reaches
+    /// probability `p`, or `None` if it never does (even under
+    /// extrapolation). This is the "time to failure" estimate the PDME
+    /// reports (§3.3: "prognostic reporting for 'time to failure'
+    /// estimates").
+    pub fn horizon_for_probability(&self, p: impl Into<Belief>) -> Option<SimDuration> {
+        let p = p.into().value();
+        if self.points.is_empty() {
+            return None;
+        }
+        if p <= 0.0 {
+            return Some(SimDuration::ZERO);
+        }
+        // Segment from origin to first point.
+        let first = self.points[0];
+        if p <= first.probability.value() {
+            let frac = p / first.probability.value();
+            return Some(first.horizon * frac);
+        }
+        for w in self.points.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if p <= b.probability.value() {
+                let dp = b.probability.value() - a.probability.value();
+                if dp <= 0.0 {
+                    return Some(b.horizon);
+                }
+                let frac = (p - a.probability.value()) / dp;
+                return Some(a.horizon + (b.horizon - a.horizon) * frac);
+            }
+        }
+        // Extrapolate the final segment.
+        if self.points.len() >= 2 {
+            let last = *self.points.last().expect("nonempty");
+            let prev = self.points[self.points.len() - 2];
+            let slope = (last.probability.value() - prev.probability.value())
+                / (last.horizon.as_secs() - prev.horizon.as_secs());
+            if slope > 0.0 {
+                let extra = (p - last.probability.value()) / slope;
+                return Some(last.horizon + SimDuration::from_secs(extra));
+            }
+        }
+        None
+    }
+
+    /// Push an additional sample, maintaining the invariants.
+    pub fn push(&mut self, point: PrognosticPoint) -> Result<()> {
+        let mut points = self.points.clone();
+        points.push(point);
+        *self = Self::new(points)?;
+        Ok(())
+    }
+}
+
+impl fmt::Display for PrognosticVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// §5.4: "a prognostic list of ((2 weeks, .1) (1 month, .5)
+    /// (2 months, .9)) would indicate a likelihood of failure of 10%
+    /// within 2 weeks, 50% at 1 month and 90% in 2 months."
+    #[test]
+    fn paper_example_list_reads_back() {
+        let v = PrognosticVector::new(vec![
+            PrognosticPoint::new(SimDuration::from_weeks(2.0), 0.1),
+            PrognosticPoint::new(SimDuration::from_months(1.0), 0.5),
+            PrognosticPoint::new(SimDuration::from_months(2.0), 0.9),
+        ])
+        .unwrap();
+        assert_eq!(
+            v.probability_at(SimDuration::from_weeks(2.0)).value(),
+            0.1
+        );
+        assert_eq!(v.probability_at(SimDuration::from_months(1.0)).value(), 0.5);
+        assert_eq!(v.probability_at(SimDuration::from_months(2.0)).value(), 0.9);
+    }
+
+    #[test]
+    fn construction_sorts_points() {
+        let v = PrognosticVector::from_months(&[(2.0, 0.9), (1.0, 0.5)]).unwrap();
+        assert!(v.points()[0].horizon < v.points()[1].horizon);
+    }
+
+    #[test]
+    fn rejects_decreasing_probability() {
+        let err = PrognosticVector::from_months(&[(1.0, 0.5), (2.0, 0.4)]).unwrap_err();
+        assert!(matches!(err, Error::InvalidInput(_)));
+    }
+
+    #[test]
+    fn rejects_duplicate_horizons() {
+        let err = PrognosticVector::from_months(&[(1.0, 0.5), (1.0, 0.6)]).unwrap_err();
+        assert!(matches!(err, Error::InvalidInput(_)));
+    }
+
+    #[test]
+    fn rejects_nonpositive_horizons() {
+        let err = PrognosticVector::from_months(&[(0.0, 0.5)]).unwrap_err();
+        assert!(matches!(err, Error::InvalidInput(_)));
+    }
+
+    #[test]
+    fn empty_vector_has_zero_probability() {
+        let v = PrognosticVector::empty();
+        assert!(v.is_empty());
+        assert_eq!(v.probability_at(SimDuration::from_months(6.0)).value(), 0.0);
+        assert_eq!(v.horizon_for_probability(0.5), None);
+    }
+
+    #[test]
+    fn interpolation_between_samples_is_linear() {
+        let v = PrognosticVector::from_months(&[(1.0, 0.2), (3.0, 0.6)]).unwrap();
+        let mid = v.probability_at(SimDuration::from_months(2.0));
+        assert!((mid.value() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_rises_from_origin_before_first_sample() {
+        let v = PrognosticVector::from_months(&[(2.0, 0.4)]).unwrap();
+        let half = v.probability_at(SimDuration::from_months(1.0));
+        assert!((half.value() - 0.2).abs() < 1e-12);
+        assert_eq!(v.probability_at(SimDuration::ZERO).value(), 0.0);
+    }
+
+    #[test]
+    fn extrapolates_final_segment_clamped_to_one() {
+        let v = PrognosticVector::from_months(&[(4.0, 0.5), (5.0, 0.99)]).unwrap();
+        // slope 0.49/month beyond 5 months, clamps at 1.0.
+        let p55 = v.probability_at(SimDuration::from_months(5.5));
+        assert!(p55.value() > 0.99 && p55.value() <= 1.0);
+        let p12 = v.probability_at(SimDuration::from_months(12.0));
+        assert_eq!(p12.value(), 1.0);
+    }
+
+    #[test]
+    fn single_point_extrapolates_flat() {
+        let v = PrognosticVector::from_months(&[(4.5, 0.12)]).unwrap();
+        assert_eq!(v.probability_at(SimDuration::from_months(9.0)).value(), 0.12);
+    }
+
+    #[test]
+    fn horizon_for_probability_inverts_interpolation() {
+        let v = PrognosticVector::from_months(&[(3.0, 0.01), (4.0, 0.5), (5.0, 0.99)]).unwrap();
+        let h = v.horizon_for_probability(0.5).unwrap();
+        assert!((h.as_months() - 4.0).abs() < 1e-9);
+        let h25 = v.horizon_for_probability(0.255).unwrap();
+        assert!(h25.as_months() > 3.0 && h25.as_months() < 4.0);
+    }
+
+    #[test]
+    fn horizon_for_probability_extrapolates() {
+        let v = PrognosticVector::from_months(&[(4.0, 0.5), (5.0, 0.8)]).unwrap();
+        let h = v.horizon_for_probability(0.95).unwrap();
+        assert!(h.as_months() > 5.0);
+        // 0.3/month slope: 0.15 above 0.8 → 0.5 months past 5.
+        assert!((h.as_months() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_curve_never_reaches_higher_probability() {
+        let v = PrognosticVector::from_months(&[(1.0, 0.3), (2.0, 0.3)]).unwrap();
+        assert_eq!(v.horizon_for_probability(0.9), None);
+    }
+
+    #[test]
+    fn push_maintains_invariants() {
+        let mut v = PrognosticVector::from_months(&[(1.0, 0.2)]).unwrap();
+        v.push(PrognosticPoint::new(SimDuration::from_months(2.0), 0.5))
+            .unwrap();
+        assert_eq!(v.len(), 2);
+        let err = v
+            .push(PrognosticPoint::new(SimDuration::from_months(3.0), 0.1))
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidInput(_)));
+        // Failed push must not corrupt the vector... push is transactional.
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn display_matches_paper_notation_shape() {
+        let v = PrognosticVector::from_months(&[(3.0, 0.01)]).unwrap();
+        assert_eq!(v.to_string(), "((3.00mo, 0.01))");
+    }
+
+    fn arb_vector() -> impl Strategy<Value = PrognosticVector> {
+        proptest::collection::vec((0.1..60.0f64, 0.0..=1.0f64), 0..8).prop_map(|mut raw| {
+            raw.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            raw.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-6);
+            // Make probabilities cumulative.
+            let mut acc: f64 = 0.0;
+            let pts = raw
+                .into_iter()
+                .map(|(m, p)| {
+                    acc = acc.max(p);
+                    PrognosticPoint::new(SimDuration::from_months(m), acc)
+                })
+                .collect();
+            PrognosticVector::new(pts).unwrap()
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn interpolated_curve_is_monotone(v in arb_vector(), a in 0.0..70.0f64, b in 0.0..70.0f64) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let pl = v.probability_at(SimDuration::from_months(lo));
+            let ph = v.probability_at(SimDuration::from_months(hi));
+            prop_assert!(pl <= ph, "curve not monotone: {} @{lo} vs {} @{hi}", pl.value(), ph.value());
+        }
+
+        #[test]
+        fn probability_always_in_range(v in arb_vector(), h in 0.0..200.0f64) {
+            let p = v.probability_at(SimDuration::from_months(h));
+            prop_assert!((0.0..=1.0).contains(&p.value()));
+        }
+
+        #[test]
+        fn inverse_is_consistent(v in arb_vector(), p in 0.01..=0.99f64) {
+            if let Some(h) = v.horizon_for_probability(p) {
+                let back = v.probability_at(h).value();
+                prop_assert!((back - p).abs() < 1e-6,
+                    "probability_at(horizon_for_probability({p})) = {back}");
+            }
+        }
+    }
+}
+
+/// The template prognostic curve implied by a DLI severity grade (§6.1's
+/// loose categories): a three-point curve reaching even odds at the
+/// grade's nominal horizon and 90 % at twice it. `Slight` ("no
+/// foreseeable failure") yields the empty vector. Shared by the DLI and
+/// fuzzy-logic knowledge sources.
+pub fn grade_template(grade: crate::severity::SeverityGrade) -> PrognosticVector {
+    use crate::severity::SeverityGrade;
+    let curve = |unit: SimDuration| {
+        PrognosticVector::new(vec![
+            PrognosticPoint::new(unit * 0.5, 0.25),
+            PrognosticPoint::new(unit, 0.5),
+            PrognosticPoint::new(unit * 2.0, 0.9),
+        ])
+        .expect("template curves are valid")
+    };
+    match grade {
+        SeverityGrade::Slight => PrognosticVector::empty(),
+        SeverityGrade::Moderate => curve(SimDuration::from_months(1.5)),
+        SeverityGrade::Serious => curve(SimDuration::from_weeks(2.0)),
+        SeverityGrade::Extreme => curve(SimDuration::from_days(3.0)),
+    }
+}
+
+#[cfg(test)]
+mod template_tests {
+    use super::*;
+    use crate::severity::SeverityGrade;
+
+    #[test]
+    fn templates_order_by_urgency() {
+        assert!(grade_template(SeverityGrade::Slight).is_empty());
+        let h = |g| {
+            grade_template(g)
+                .horizon_for_probability(0.5)
+                .unwrap()
+                .as_secs()
+        };
+        assert!(h(SeverityGrade::Moderate) > h(SeverityGrade::Serious));
+        assert!(h(SeverityGrade::Serious) > h(SeverityGrade::Extreme));
+    }
+}

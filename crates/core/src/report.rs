@@ -1,0 +1,248 @@
+//! The failure-prediction reporting protocol (§5.5, §7).
+//!
+//! "A standard protocol has been defined for reporting failure predictions
+//! to the PDME for fusion and display" (§7.1). A [`ConditionReport`]
+//! carries every field of §7.2 (diagnostic data) and §7.3 (prognostics
+//! vector); the optional free-text fields may be blank, exactly as the
+//! protocol allows.
+
+use crate::belief::Belief;
+use crate::condition::MachineCondition;
+use crate::id::{DcId, KnowledgeSourceId, MachineId, ReportId};
+use crate::prognostic::PrognosticVector;
+use crate::severity::Severity;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A failure-prediction report as defined by §7 of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConditionReport {
+    /// Unique id of this report instance (assigned by the emitting DC).
+    pub id: ReportId,
+    /// "DC ID – Identifier of the data concentrator source of this
+    /// report" (§5.5).
+    pub dc: DcId,
+    /// "KnowledgeSourceID: The unique MPROS object ID for the instance of
+    /// the knowledge source" (§7.2 item 1).
+    pub knowledge_source: KnowledgeSourceId,
+    /// "SensedObjectID: The unique MPROS object ID for the sensed object
+    /// to which this report applies" (§7.2 item 2).
+    pub machine: MachineId,
+    /// "MachineConditionID: The unique MPROS object ID for the diagnosed
+    /// machine condition" (§7.2 item 3).
+    pub condition: MachineCondition,
+    /// "Severity: Numeric value in range 0.0 to 1.0" (§7.2 item 4).
+    pub severity: Severity,
+    /// "Belief: Numeric value in range 0.0 to 1.0 indicating belief that
+    /// this diagnosis is true" (§7.2 item 5).
+    pub belief: Belief,
+    /// "Timestamp: The timestamp for when this report should be considered
+    /// 'effective'" (§7.2 item 8).
+    pub timestamp: SimTime,
+    /// "Explanation: An optional text string ... providing human-readable
+    /// description of the diagnosis" (§7.2 item 6). Empty when absent.
+    pub explanation: String,
+    /// "Recommendations: An optional text string ... of the recommended
+    /// actions to take" (§7.2 item 7). Empty when absent.
+    pub recommendation: String,
+    /// "Additional Information: An optional text string" (§7.2 item 9).
+    pub additional_info: String,
+    /// "Prognostic vector – This vector of time point, probability pairs
+    /// indicate projected likelihood of failure" (§5.5, §7.3). May be
+    /// empty for purely diagnostic reports.
+    pub prognostic: PrognosticVector,
+}
+
+impl ConditionReport {
+    /// Start building a report. `condition` and `belief` are the only
+    /// semantically mandatory diagnostic payload; everything else has
+    /// protocol-conformant defaults (§5.5: "not all reports need use all
+    /// fields").
+    pub fn builder(
+        machine: MachineId,
+        condition: MachineCondition,
+        belief: impl Into<Belief>,
+    ) -> ReportBuilder {
+        ReportBuilder {
+            report: ConditionReport {
+                id: ReportId::new(0),
+                dc: DcId::new(0),
+                knowledge_source: KnowledgeSourceId::new(0),
+                machine,
+                condition,
+                severity: Severity::NONE,
+                belief: belief.into(),
+                timestamp: SimTime::ZERO,
+                explanation: String::new(),
+                recommendation: String::new(),
+                additional_info: String::new(),
+                prognostic: PrognosticVector::empty(),
+            },
+        }
+    }
+
+    /// True if this report carries prognostic information in addition to
+    /// the diagnosis.
+    pub fn has_prognostic(&self) -> bool {
+        !self.prognostic.is_empty()
+    }
+
+    /// The logical failure group of the diagnosed condition, used to route
+    /// the report to the right Dempster–Shafer frame (§5.3).
+    pub fn group(&self) -> crate::condition::FailureGroup {
+        self.condition.group()
+    }
+}
+
+impl fmt::Display for ConditionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {} {}] {} on {}: belief {}, severity {}",
+            self.timestamp, self.dc, self.knowledge_source, self.condition, self.machine,
+            self.belief, self.severity
+        )?;
+        if self.has_prognostic() {
+            write!(f, ", prognostic {}", self.prognostic)?;
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`ConditionReport`].
+#[derive(Debug, Clone)]
+pub struct ReportBuilder {
+    report: ConditionReport,
+}
+
+impl ReportBuilder {
+    /// Set the report instance id.
+    pub fn id(mut self, id: ReportId) -> Self {
+        self.report.id = id;
+        self
+    }
+
+    /// Set the originating data concentrator.
+    pub fn dc(mut self, dc: DcId) -> Self {
+        self.report.dc = dc;
+        self
+    }
+
+    /// Set the emitting knowledge source.
+    pub fn knowledge_source(mut self, ks: KnowledgeSourceId) -> Self {
+        self.report.knowledge_source = ks;
+        self
+    }
+
+    /// Set the severity score.
+    pub fn severity(mut self, s: impl Into<Severity>) -> Self {
+        self.report.severity = s.into();
+        self
+    }
+
+    /// Set the effective timestamp.
+    pub fn timestamp(mut self, t: SimTime) -> Self {
+        self.report.timestamp = t;
+        self
+    }
+
+    /// Attach a human-readable explanation.
+    pub fn explanation(mut self, text: impl Into<String>) -> Self {
+        self.report.explanation = text.into();
+        self
+    }
+
+    /// Attach a recommended action.
+    pub fn recommendation(mut self, text: impl Into<String>) -> Self {
+        self.report.recommendation = text.into();
+        self
+    }
+
+    /// Attach additional free-form information.
+    pub fn additional_info(mut self, text: impl Into<String>) -> Self {
+        self.report.additional_info = text.into();
+        self
+    }
+
+    /// Attach a prognostic vector.
+    pub fn prognostic(mut self, v: PrognosticVector) -> Self {
+        self.report.prognostic = v;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> ConditionReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prognostic::PrognosticVector;
+
+    fn sample() -> ConditionReport {
+        ConditionReport::builder(MachineId::new(1), MachineCondition::MotorImbalance, 0.8)
+            .id(ReportId::new(7))
+            .dc(DcId::new(2))
+            .knowledge_source(KnowledgeSourceId::new(3))
+            .severity(0.6)
+            .timestamp(SimTime::from_secs(100.0))
+            .explanation("1x radial line dominant")
+            .recommendation("balance rotor at next availability")
+            .prognostic(PrognosticVector::from_months(&[(2.0, 0.5)]).unwrap())
+            .build()
+    }
+
+    #[test]
+    fn builder_sets_all_protocol_fields() {
+        let r = sample();
+        assert_eq!(r.id, ReportId::new(7));
+        assert_eq!(r.dc, DcId::new(2));
+        assert_eq!(r.knowledge_source, KnowledgeSourceId::new(3));
+        assert_eq!(r.machine, MachineId::new(1));
+        assert_eq!(r.condition, MachineCondition::MotorImbalance);
+        assert_eq!(r.severity.value(), 0.6);
+        assert_eq!(r.belief.value(), 0.8);
+        assert_eq!(r.timestamp.as_secs(), 100.0);
+        assert!(r.has_prognostic());
+    }
+
+    #[test]
+    fn optional_fields_default_blank() {
+        // §7.2: explanation/recommendation "allowed to be blank".
+        let r = ConditionReport::builder(
+            MachineId::new(1),
+            MachineCondition::CompressorSurge,
+            0.5,
+        )
+        .build();
+        assert!(r.explanation.is_empty());
+        assert!(r.recommendation.is_empty());
+        assert!(r.additional_info.is_empty());
+        assert!(!r.has_prognostic());
+    }
+
+    #[test]
+    fn group_routing_follows_condition() {
+        let r = sample();
+        assert_eq!(r.group(), crate::condition::FailureGroup::RotorDynamics);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_report() {
+        let r = sample();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ConditionReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = sample().to_string();
+        assert!(s.contains("motor imbalance"));
+        assert!(s.contains("80%"));
+        assert!(s.contains("M-0001"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Severity scores and the DLI gradient categories.
+//!
+//! §6.1 of the paper: the DLI expert system "has provided a numerical
+//! severity score along with the fault diagnosis. This numerical score is
+//! interpreted through empirical methods which map it into four gradient
+//! categories... Slight, Moderate, Serious and Extreme and correspond to
+//! expected lengths of time to failure described loosely as: no foreseeable
+//! failure, failure in months, weeks, and days of operation."
+//!
+//! §7.2 normalizes severity onto `[0, 1]` for the reporting protocol.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A normalized severity score in `[0, 1]` (§7.2: "Maximal severity is
+/// 1.0").
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Severity(f64);
+
+impl Severity {
+    /// No degradation at all.
+    pub const NONE: Severity = Severity(0.0);
+    /// Maximal severity.
+    pub const MAX: Severity = Severity(1.0);
+
+    /// Construct, clamping into `[0, 1]`. Panics on NaN.
+    pub fn new(v: f64) -> Self {
+        assert!(!v.is_nan(), "severity cannot be NaN");
+        Severity(v.clamp(0.0, 1.0))
+    }
+
+    /// The raw value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Map the numerical score onto the four DLI gradient categories. The
+    /// empirical thresholds (0.25 / 0.5 / 0.75) split the unit interval
+    /// evenly; the exact DLI break-points are proprietary, but the
+    /// *mapping structure* (monotone score → four ordered grades) is what
+    /// the paper specifies.
+    pub fn grade(self) -> SeverityGrade {
+        if self.0 < 0.25 {
+            SeverityGrade::Slight
+        } else if self.0 < 0.5 {
+            SeverityGrade::Moderate
+        } else if self.0 < 0.75 {
+            SeverityGrade::Serious
+        } else {
+            SeverityGrade::Extreme
+        }
+    }
+
+    /// The larger of two severities.
+    pub fn max(self, other: Severity) -> Severity {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl From<f64> for Severity {
+    fn from(v: f64) -> Self {
+        Severity::new(v)
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} ({})", self.0, self.grade())
+    }
+}
+
+/// The four DLI gradient categories (§6.1).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum SeverityGrade {
+    /// No foreseeable failure.
+    Slight,
+    /// Failure expected within months.
+    Moderate,
+    /// Failure expected within weeks.
+    Serious,
+    /// Failure expected within days.
+    Extreme,
+}
+
+impl SeverityGrade {
+    /// All four grades in increasing order of urgency.
+    pub const ALL: [SeverityGrade; 4] = [
+        SeverityGrade::Slight,
+        SeverityGrade::Moderate,
+        SeverityGrade::Serious,
+        SeverityGrade::Extreme,
+    ];
+
+    /// The loose time-to-failure interpretation the paper assigns to each
+    /// grade.
+    pub fn time_to_failure(self) -> TimeToFailure {
+        match self {
+            SeverityGrade::Slight => TimeToFailure::NoForeseeableFailure,
+            SeverityGrade::Moderate => TimeToFailure::Months,
+            SeverityGrade::Serious => TimeToFailure::Weeks,
+            SeverityGrade::Extreme => TimeToFailure::Days,
+        }
+    }
+}
+
+impl fmt::Display for SeverityGrade {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SeverityGrade::Slight => "Slight",
+            SeverityGrade::Moderate => "Moderate",
+            SeverityGrade::Serious => "Serious",
+            SeverityGrade::Extreme => "Extreme",
+        })
+    }
+}
+
+/// Loose expected time to failure (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimeToFailure {
+    /// "No foreseeable failure."
+    NoForeseeableFailure,
+    /// "Failure in months."
+    Months,
+    /// "Failure in weeks."
+    Weeks,
+    /// "Failure in days."
+    Days,
+}
+
+impl TimeToFailure {
+    /// A representative horizon for prognostic-vector construction: the
+    /// nominal center of the loose category (6 months / 1.5 months /
+    /// 2 weeks / 3 days). `None` for no-foreseeable-failure.
+    pub fn nominal_horizon(self) -> Option<SimDuration> {
+        match self {
+            TimeToFailure::NoForeseeableFailure => None,
+            TimeToFailure::Months => Some(SimDuration::from_months(1.5)),
+            TimeToFailure::Weeks => Some(SimDuration::from_weeks(2.0)),
+            TimeToFailure::Days => Some(SimDuration::from_days(3.0)),
+        }
+    }
+}
+
+impl fmt::Display for TimeToFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TimeToFailure::NoForeseeableFailure => "no foreseeable failure",
+            TimeToFailure::Months => "failure in months",
+            TimeToFailure::Weeks => "failure in weeks",
+            TimeToFailure::Days => "failure in days",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn grades_cover_unit_interval_in_order() {
+        assert_eq!(Severity::new(0.0).grade(), SeverityGrade::Slight);
+        assert_eq!(Severity::new(0.3).grade(), SeverityGrade::Moderate);
+        assert_eq!(Severity::new(0.6).grade(), SeverityGrade::Serious);
+        assert_eq!(Severity::new(0.9).grade(), SeverityGrade::Extreme);
+        assert_eq!(Severity::MAX.grade(), SeverityGrade::Extreme);
+    }
+
+    #[test]
+    fn paper_grade_to_ttf_mapping() {
+        // §6.1: Slight/Moderate/Serious/Extreme ↔ none/months/weeks/days.
+        use SeverityGrade::*;
+        assert_eq!(Slight.time_to_failure(), TimeToFailure::NoForeseeableFailure);
+        assert_eq!(Moderate.time_to_failure(), TimeToFailure::Months);
+        assert_eq!(Serious.time_to_failure(), TimeToFailure::Weeks);
+        assert_eq!(Extreme.time_to_failure(), TimeToFailure::Days);
+    }
+
+    #[test]
+    fn nominal_horizons_are_ordered() {
+        let months = TimeToFailure::Months.nominal_horizon().unwrap();
+        let weeks = TimeToFailure::Weeks.nominal_horizon().unwrap();
+        let days = TimeToFailure::Days.nominal_horizon().unwrap();
+        assert!(months > weeks && weeks > days);
+        assert!(TimeToFailure::NoForeseeableFailure.nominal_horizon().is_none());
+    }
+
+    #[test]
+    fn severity_clamps() {
+        assert_eq!(Severity::new(7.0).value(), 1.0);
+        assert_eq!(Severity::new(-7.0).value(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn grade_is_monotone(a in 0.0..=1.0f64, b in 0.0..=1.0f64) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(Severity::new(lo).grade() <= Severity::new(hi).grade());
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! The DC's embedded database (§5.8).
+//!
+//! "The data concentrator is a open architecture ODBC compliant
+//! relational database designed to store all of the instrumentation
+//! configuration information, machinery configuration information, test
+//! schedules, resultant measurements, diagnostic results, and condition
+//! reports." Built on the same relational store substrate as the OOSM
+//! (`mpros_oosm::Store`), with the schema the quote enumerates.
+
+use mpros_core::{MachineCondition, Result, SimTime};
+use mpros_oosm::{Store, Value};
+
+/// Summary of one acquired measurement block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasurementRecord {
+    /// Acquisition time.
+    pub at: SimTime,
+    /// Channel label (accelerometer location name).
+    pub channel: String,
+    /// Block RMS, g.
+    pub rms: f64,
+    /// Block peak, g.
+    pub peak: f64,
+}
+
+/// One stored diagnostic result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagnosisRecord {
+    /// Diagnosis time.
+    pub at: SimTime,
+    /// Knowledge source label.
+    pub source: String,
+    /// Condition (catalog index).
+    pub condition: MachineCondition,
+    /// Severity score.
+    pub severity: f64,
+    /// Belief.
+    pub belief: f64,
+}
+
+/// The DC database.
+#[derive(Debug)]
+pub struct DcDatabase {
+    store: Store,
+    next_id: i64,
+}
+
+impl Default for DcDatabase {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DcDatabase {
+    /// Create the schema.
+    pub fn new() -> Self {
+        let mut store = Store::new();
+        store
+            .create_table("measurements", &["id", "time", "channel", "rms", "peak"])
+            .expect("fresh store");
+        store
+            .create_table(
+                "diagnoses",
+                &["id", "time", "source", "condition", "severity", "belief"],
+            )
+            .expect("fresh store");
+        store
+            .create_table("schedule_log", &["id", "time", "task"])
+            .expect("fresh store");
+        DcDatabase { store, next_id: 0 }
+    }
+
+    fn next_id(&mut self) -> i64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Record a measurement summary.
+    pub fn record_measurement(&mut self, rec: &MeasurementRecord) -> Result<()> {
+        let id = self.next_id();
+        self.store.insert(
+            "measurements",
+            vec![
+                Value::Int(id),
+                Value::Float(rec.at.as_secs()),
+                Value::Text(rec.channel.clone()),
+                Value::Float(rec.rms),
+                Value::Float(rec.peak),
+            ],
+        )?;
+        Ok(())
+    }
+
+    /// Record a diagnostic result.
+    pub fn record_diagnosis(&mut self, rec: &DiagnosisRecord) -> Result<()> {
+        let id = self.next_id();
+        self.store.insert(
+            "diagnoses",
+            vec![
+                Value::Int(id),
+                Value::Float(rec.at.as_secs()),
+                Value::Text(rec.source.clone()),
+                Value::Int(rec.condition.index() as i64),
+                Value::Float(rec.severity),
+                Value::Float(rec.belief),
+            ],
+        )?;
+        Ok(())
+    }
+
+    /// Log a scheduler task run.
+    pub fn log_task(&mut self, at: SimTime, task: &str) -> Result<()> {
+        let id = self.next_id();
+        self.store.insert(
+            "schedule_log",
+            vec![
+                Value::Int(id),
+                Value::Float(at.as_secs()),
+                Value::Text(task.into()),
+            ],
+        )?;
+        Ok(())
+    }
+
+    /// Number of stored measurement summaries.
+    pub fn measurement_count(&self) -> usize {
+        self.store.row_count("measurements").expect("schema exists")
+    }
+
+    /// Number of stored diagnoses.
+    pub fn diagnosis_count(&self) -> usize {
+        self.store.row_count("diagnoses").expect("schema exists")
+    }
+
+    /// Number of logged task runs.
+    pub fn task_log_count(&self) -> usize {
+        self.store.row_count("schedule_log").expect("schema exists")
+    }
+
+    /// Diagnoses recorded at or after `since`, in insertion order.
+    pub fn diagnoses_since(&self, since: SimTime) -> Vec<DiagnosisRecord> {
+        self.store
+            .select("diagnoses", |r| {
+                r[1].as_float().is_some_and(|t| t >= since.as_secs())
+            })
+            .expect("schema exists")
+            .iter()
+            .filter_map(|r| {
+                Some(DiagnosisRecord {
+                    at: SimTime::from_secs(r[1].as_float()?),
+                    source: r[2].as_text()?.to_string(),
+                    condition: MachineCondition::from_index(r[3].as_int()? as usize)?,
+                    severity: r[4].as_float()?,
+                    belief: r[5].as_float()?,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_exists_and_counts_start_zero() {
+        let db = DcDatabase::new();
+        assert_eq!(db.measurement_count(), 0);
+        assert_eq!(db.diagnosis_count(), 0);
+        assert_eq!(db.task_log_count(), 0);
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let mut db = DcDatabase::new();
+        db.record_measurement(&MeasurementRecord {
+            at: SimTime::from_secs(1.0),
+            channel: "motor DE".into(),
+            rms: 0.12,
+            peak: 0.4,
+        })
+        .unwrap();
+        db.record_diagnosis(&DiagnosisRecord {
+            at: SimTime::from_secs(2.0),
+            source: "dli".into(),
+            condition: MachineCondition::MotorImbalance,
+            severity: 0.5,
+            belief: 0.8,
+        })
+        .unwrap();
+        db.log_task(SimTime::from_secs(3.0), "VibrationSurvey").unwrap();
+        assert_eq!(db.measurement_count(), 1);
+        assert_eq!(db.diagnosis_count(), 1);
+        assert_eq!(db.task_log_count(), 1);
+        let d = &db.diagnoses_since(SimTime::ZERO)[0];
+        assert_eq!(d.condition, MachineCondition::MotorImbalance);
+        assert_eq!(d.source, "dli");
+    }
+
+    #[test]
+    fn diagnoses_since_filters_by_time() {
+        let mut db = DcDatabase::new();
+        for t in [1.0, 5.0, 9.0] {
+            db.record_diagnosis(&DiagnosisRecord {
+                at: SimTime::from_secs(t),
+                source: "dli".into(),
+                condition: MachineCondition::GearToothWear,
+                severity: 0.3,
+                belief: 0.5,
+            })
+            .unwrap();
+        }
+        assert_eq!(db.diagnoses_since(SimTime::from_secs(4.0)).len(), 2);
+        assert_eq!(db.diagnoses_since(SimTime::from_secs(10.0)).len(), 0);
+    }
+}

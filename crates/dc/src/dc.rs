@@ -1,0 +1,806 @@
+//! The Data Concentrator.
+//!
+//! Hosts the four §1.1 algorithm suites on top of the acquisition chain,
+//! scheduler and embedded database, and emits §7.2 condition reports:
+//! "The data is processed and then sent to an expert system DLL which
+//! applies stored rules for each equipment type and derives the
+//! diagnoses" (§5.8). Report emission is throttled per (source,
+//! condition): a diagnosis is re-reported when its severity moves
+//! materially or a refresh interval elapses, so the PDME's evidence
+//! stream stays approximately independent.
+
+use crate::db::{DcDatabase, DiagnosisRecord, MeasurementRecord};
+use crate::hw::{AcquisitionChain, HwConfig};
+use crate::scheduler::{Scheduler, Task};
+use mpros_chiller::process::ProcessSnapshot;
+use mpros_chiller::ChillerPlant;
+use mpros_core::{
+    Belief, ConditionReport, DcId, IdAllocator, KnowledgeSourceId, MachineCondition,
+    MachineId, ReportId, Result, Severity, SimDuration, SimTime,
+};
+use mpros_dli::{DliExpertSystem, SpectralFeatures, VibrationSurvey};
+use mpros_fuzzy::FuzzyDiagnostics;
+use mpros_network::NetMessage;
+use mpros_sbfr::builtin::{spike_machine, stiction_machine};
+use mpros_sbfr::Interpreter;
+use mpros_core::{PrognosticPoint, PrognosticVector};
+use mpros_signal::features::WaveformStats;
+use mpros_signal::trend::TrendTracker;
+use mpros_wnn::WnnClassifier;
+use std::collections::{HashMap, VecDeque};
+
+/// Configuration of one Data Concentrator.
+#[derive(Debug, Clone)]
+pub struct DcConfig {
+    /// This DC's id.
+    pub id: DcId,
+    /// The machine train it instruments.
+    pub machine: MachineId,
+    /// Acquisition hardware.
+    pub hw: HwConfig,
+    /// Vibration-survey period.
+    pub survey_period: SimDuration,
+    /// Process-sample (and SBFR cycle) period.
+    pub process_period: SimDuration,
+    /// Run fuzzy analysis every this many process samples.
+    pub fuzzy_every: usize,
+    /// Process snapshots retained for the fuzzy window.
+    pub fuzzy_window: usize,
+    /// Minimum time between repeated reports of the same (source,
+    /// condition) unless severity moves more than `rereport_delta`.
+    pub min_report_gap: SimDuration,
+    /// Severity change that forces immediate re-reporting.
+    pub rereport_delta: f64,
+}
+
+impl DcConfig {
+    /// Production-shaped defaults: surveys every 10 minutes, process
+    /// samples at 4 Hz, fuzzy every 20 samples, 30-minute re-report gap.
+    pub fn new(id: DcId, machine: MachineId) -> Self {
+        DcConfig {
+            id,
+            machine,
+            hw: HwConfig::standard(),
+            survey_period: SimDuration::from_minutes(10.0),
+            process_period: SimDuration::from_secs(0.25),
+            fuzzy_every: 20,
+            fuzzy_window: 40,
+            min_report_gap: SimDuration::from_minutes(30.0),
+            rereport_delta: 0.15,
+        }
+    }
+}
+
+/// Knowledge-source slots within a DC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Source {
+    Dli,
+    Sbfr,
+    Wnn,
+    Fuzzy,
+}
+
+impl Source {
+    fn label(self) -> &'static str {
+        match self {
+            Source::Dli => "dli",
+            Source::Sbfr => "sbfr",
+            Source::Wnn => "wnn",
+            Source::Fuzzy => "fuzzy",
+        }
+    }
+
+    fn ks_id(self, dc: DcId) -> KnowledgeSourceId {
+        let offset = match self {
+            Source::Dli => 1,
+            Source::Sbfr => 2,
+            Source::Wnn => 3,
+            Source::Fuzzy => 4,
+        };
+        KnowledgeSourceId::new(dc.raw() * 10 + offset)
+    }
+}
+
+/// The Data Concentrator.
+pub struct DataConcentrator {
+    config: DcConfig,
+    chain: AcquisitionChain,
+    scheduler: Scheduler,
+    db: DcDatabase,
+    dli: DliExpertSystem,
+    fuzzy: FuzzyDiagnostics,
+    sbfr: Interpreter,
+    wnn: Option<WnnClassifier>,
+    process_window: VecDeque<ProcessSnapshot>,
+    process_samples: usize,
+    ids: IdAllocator,
+    last_emitted: HashMap<(&'static str, MachineCondition), (SimTime, f64, f64)>,
+    /// Severity history per (source, condition) — the "trend data,
+    /// histories" input to next-generation prognostics (§1, §5.1).
+    severity_trends: HashMap<(&'static str, MachineCondition), TrendTracker>,
+    suspect_channels: Vec<mpros_chiller::vibration::AccelLocation>,
+}
+
+impl DataConcentrator {
+    /// Build a DC: validates the hardware config, loads the Fig. 3 SBFR
+    /// pair, and schedules the periodic tasks from t = 0.
+    pub fn new(config: DcConfig) -> Result<Self> {
+        let chain = AcquisitionChain::new(config.hw.clone())?;
+        let mut scheduler = Scheduler::new();
+        scheduler.schedule_periodic(Task::VibrationSurvey, config.survey_period, SimTime::ZERO);
+        scheduler.schedule_periodic(Task::ProcessSample, config.process_period, SimTime::ZERO);
+        scheduler.schedule_periodic(Task::SbfrCycle, config.process_period, SimTime::ZERO);
+        let mut sbfr = Interpreter::new();
+        sbfr.add_program(&spike_machine(0))?;
+        sbfr.add_program(&stiction_machine(1, 0))?;
+        Ok(DataConcentrator {
+            ids: IdAllocator::starting_at(config.id.raw() * 1_000_000),
+            config,
+            chain,
+            scheduler,
+            db: DcDatabase::new(),
+            dli: DliExpertSystem::new(),
+            fuzzy: FuzzyDiagnostics::new(),
+            sbfr,
+            wnn: None,
+            process_window: VecDeque::new(),
+            process_samples: 0,
+            last_emitted: HashMap::new(),
+            severity_trends: HashMap::new(),
+            suspect_channels: Vec::new(),
+        })
+    }
+
+    /// This DC's id.
+    pub fn id(&self) -> DcId {
+        self.config.id
+    }
+
+    /// Attach a trained WNN classifier (optional knowledge source).
+    pub fn attach_wnn(&mut self, classifier: WnnClassifier) {
+        self.wnn = Some(classifier);
+    }
+
+    /// Access the DLI expert system (e.g. to toggle load sensitization
+    /// for the ablation experiment).
+    pub fn dli_mut(&mut self) -> &mut DliExpertSystem {
+        &mut self.dli
+    }
+
+    /// The embedded database.
+    pub fn db(&self) -> &DcDatabase {
+        &self.db
+    }
+
+    /// The acquisition chain (alarm states, thresholds).
+    pub fn chain(&self) -> &AcquisitionChain {
+        &self.chain
+    }
+
+    /// Mutable acquisition-chain access (threshold programming, sensor
+    /// fault injection in robustness campaigns).
+    pub fn chain_mut(&mut self) -> &mut AcquisitionChain {
+        &mut self.chain
+    }
+
+    /// Channels whose last survey looked electrically dead (flatline) —
+    /// the §4.9 self-diagnosis that keeps a broken transducer from
+    /// silently blinding an algorithm.
+    pub fn suspect_channels(&self) -> &[mpros_chiller::vibration::AccelLocation] {
+        &self.suspect_channels
+    }
+
+    /// Handle a remote command (§5.8: "the PDME or any other client can
+    /// command the scheduler to conduct another test").
+    pub fn handle_command(&mut self, msg: &NetMessage) -> Result<()> {
+        match msg {
+            NetMessage::RunTest { dc, .. } if *dc == self.config.id => {
+                self.scheduler.request(Task::VibrationSurvey);
+                Ok(())
+            }
+            NetMessage::DownloadSbfr { dc, slot, image } if *dc == self.config.id => {
+                self.sbfr.replace_machine(*slot as usize, image)
+            }
+            _ => Ok(()), // not addressed to this DC
+        }
+    }
+
+    /// Run everything due at `now` against the instrumented plant;
+    /// returns the condition reports to forward to the PDME.
+    pub fn tick(&mut self, plant: &ChillerPlant, now: SimTime) -> Result<Vec<ConditionReport>> {
+        let mut reports = Vec::new();
+        for task in self.scheduler.due(now) {
+            self.db.log_task(now, task_name(task))?;
+            match task {
+                Task::VibrationSurvey => self.run_survey(plant, now, &mut reports)?,
+                Task::ProcessSample => self.run_process_sample(plant, now, &mut reports)?,
+                Task::SbfrCycle => self.run_sbfr_cycle(plant, now, &mut reports),
+            }
+        }
+        for r in &reports {
+            self.db.record_diagnosis(&DiagnosisRecord {
+                at: now,
+                source: source_of(r, self.config.id),
+                condition: r.condition,
+                severity: r.severity.value(),
+                belief: r.belief.value(),
+            })?;
+        }
+        Ok(reports)
+    }
+
+    fn run_survey(
+        &mut self,
+        plant: &ChillerPlant,
+        now: SimTime,
+        reports: &mut Vec<ConditionReport>,
+    ) -> Result<()> {
+        let blocks = self.chain.survey(plant, now);
+        // Channel self-check: an electrically dead block means a failed
+        // transducer, not a silent machine — exclude it from analysis so
+        // the rules reason only over live channels.
+        self.suspect_channels.clear();
+        let mut live_blocks = Vec::with_capacity(blocks.len());
+        for (loc, block) in blocks {
+            let stats = WaveformStats::of(&block);
+            self.db.record_measurement(&MeasurementRecord {
+                at: now,
+                channel: format!("{loc:?}"),
+                rms: stats.rms,
+                peak: stats.peak,
+            })?;
+            if stats.rms < 1e-6 {
+                self.suspect_channels.push(loc);
+                self.db.log_task(now, "suspect_channel")?;
+            } else {
+                live_blocks.push((loc, block));
+            }
+        }
+        let blocks = live_blocks;
+        let load = plant.load_at(now);
+        let survey = VibrationSurvey {
+            train: plant.train().clone(),
+            load,
+            sample_rate: self.config.hw.sample_rate,
+            blocks: blocks.clone(),
+        };
+        // DLI: shared feature extraction, rule evaluation.
+        let features = SpectralFeatures::extract(&survey)?;
+        for d in self.dli.diagnose(&features) {
+            self.record_severity(Source::Dli, d.condition, d.severity.value(), now);
+            if self.should_emit(Source::Dli, d.condition, d.severity.value(), d.belief.value(), now) {
+                let mut report = d.to_report(
+                    self.ids.next_id::<ReportId>(),
+                    self.config.id,
+                    Source::Dli.ks_id(self.config.id),
+                    self.config.machine,
+                    now,
+                );
+                self.refine_prognostic(Source::Dli, d.condition, &mut report);
+                reports.push(report);
+            }
+        }
+        // WNN, when attached: truncate blocks to the classifier's length.
+        if let Some(wnn) = &self.wnn {
+            let want = wnn.config().block_len;
+            let truncated: Vec<_> = blocks
+                .iter()
+                .filter(|(_, b)| b.len() >= want)
+                .map(|(l, b)| (*l, b[..want].to_vec()))
+                .collect();
+            if let Ok(verdict) = wnn.classify_blocks(&truncated, load) {
+                if let Some(condition) = verdict.condition() {
+                    if verdict.confidence > 0.5
+                        && self.should_emit(Source::Wnn, condition, verdict.confidence * 0.7, verdict.confidence, now)
+                    {
+                        reports.push(
+                            ConditionReport::builder(
+                                self.config.machine,
+                                condition,
+                                Belief::new(verdict.confidence),
+                            )
+                            .id(self.ids.next_id())
+                            .dc(self.config.id)
+                            .knowledge_source(Source::Wnn.ks_id(self.config.id))
+                            .severity(Severity::new(verdict.confidence * 0.7))
+                            .timestamp(now)
+                            .explanation(format!(
+                                "WNN classified {} (confidence {:.2})",
+                                verdict.class.label(),
+                                verdict.confidence
+                            ))
+                            .build(),
+                        );
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn run_process_sample(
+        &mut self,
+        plant: &ChillerPlant,
+        now: SimTime,
+        reports: &mut Vec<ConditionReport>,
+    ) -> Result<()> {
+        let snap = plant.sample_process(now);
+        self.process_window.push_back(snap);
+        while self.process_window.len() > self.config.fuzzy_window {
+            self.process_window.pop_front();
+        }
+        self.process_samples += 1;
+        if !self.process_samples.is_multiple_of(self.config.fuzzy_every)
+            || self.process_window.len() < self.config.fuzzy_every
+        {
+            return Ok(());
+        }
+        let window: Vec<ProcessSnapshot> = self.process_window.iter().copied().collect();
+        for d in self.fuzzy.analyze(&window)? {
+            self.record_severity(Source::Fuzzy, d.condition, d.severity.value(), now);
+            if self.should_emit(Source::Fuzzy, d.condition, d.severity.value(), d.belief.value(), now) {
+                let mut report = d.to_report(
+                    self.ids.next_id::<ReportId>(),
+                    self.config.id,
+                    Source::Fuzzy.ks_id(self.config.id),
+                    self.config.machine,
+                    now,
+                );
+                self.refine_prognostic(Source::Fuzzy, d.condition, &mut report);
+                reports.push(report);
+            }
+        }
+        Ok(())
+    }
+
+    fn run_sbfr_cycle(
+        &mut self,
+        plant: &ChillerPlant,
+        now: SimTime,
+        reports: &mut Vec<ConditionReport>,
+    ) {
+        let snap = plant.sample_process(now);
+        // Channel 0: drive current; channel 1: commanded load (the CPOS
+        // analogue for the chiller).
+        self.sbfr.cycle(&[snap.motor_current_a, snap.load]);
+        let flagged = self
+            .sbfr
+            .status(1)
+            .map(|s| s.status & 1 == 1)
+            .unwrap_or(false);
+        if flagged {
+            // Repeated uncommanded current spikes: the compressor is
+            // hunting (surge precursor). Consume the flag.
+            self.sbfr.set_status(1, 0).expect("machine 1 exists");
+            if self.should_emit(Source::Sbfr, MachineCondition::CompressorSurge, 0.55, 0.6, now) {
+                reports.push(
+                    ConditionReport::builder(
+                        self.config.machine,
+                        MachineCondition::CompressorSurge,
+                        Belief::new(0.6),
+                    )
+                    .id(self.ids.next_id())
+                    .dc(self.config.id)
+                    .knowledge_source(Source::Sbfr.ks_id(self.config.id))
+                    .severity(Severity::new(0.55))
+                    .timestamp(now)
+                    .explanation(
+                        "SBFR: >4 drive-current spikes without a commanded load change"
+                            .to_string(),
+                    )
+                    .build(),
+                );
+            }
+        }
+    }
+
+    /// Feed the severity history that data-driven prognosis trends on.
+    fn record_severity(
+        &mut self,
+        source: Source,
+        condition: MachineCondition,
+        severity: f64,
+        now: SimTime,
+    ) {
+        let tracker = self
+            .severity_trends
+            .entry((source.label(), condition))
+            .or_insert_with(|| TrendTracker::new(16).expect("3 <= 16"));
+        // Equal-or-later timestamps only; the scheduler guarantees it.
+        let _ = tracker.record(now, severity);
+    }
+
+    /// §1: "next generation software will use more complex failure
+    /// analysis using historical data, and learning to refine its
+    /// estimates over time." When the observed severity history trends
+    /// cleanly toward 1.0, attach a data-driven prognostic curve around
+    /// the projected crossing; it replaces the generic grade template
+    /// when it is the more conservative (earlier) estimate — the same
+    /// rule prognostic fusion applies at the PDME (§5.4).
+    fn refine_prognostic(
+        &mut self,
+        source: Source,
+        condition: MachineCondition,
+        report: &mut ConditionReport,
+    ) {
+        let Some(tracker) = self.severity_trends.get(&(source.label(), condition)) else {
+            return;
+        };
+        let Some(eta) = tracker.time_to_threshold(1.0, 0.85) else {
+            return;
+        };
+        let trend_curve = PrognosticVector::new(vec![
+            PrognosticPoint::new(eta * 0.5, 0.2),
+            PrognosticPoint::new(eta, 0.6),
+            PrognosticPoint::new(eta * 1.5, 0.9),
+        ])
+        .expect("trend curves are valid");
+        let earlier = |v: &PrognosticVector| {
+            v.horizon_for_probability(0.5)
+                .map(|d| d.as_secs())
+                .unwrap_or(f64::INFINITY)
+        };
+        if earlier(&trend_curve) < earlier(&report.prognostic) {
+            report.additional_info = format!(
+                "trend-refined: severity history projects functional failure in {eta}"
+            );
+            report.prognostic = trend_curve;
+        }
+    }
+
+    /// Re-report gate: first sighting, material severity or belief
+    /// change, or refresh interval elapsed.
+    fn should_emit(
+        &mut self,
+        source: Source,
+        condition: MachineCondition,
+        severity: f64,
+        belief: f64,
+        now: SimTime,
+    ) -> bool {
+        let key = (source.label(), condition);
+        let emit = match self.last_emitted.get(&key) {
+            None => true,
+            Some(&(at, sev, bel)) => {
+                now.since(at) >= self.config.min_report_gap
+                    || (severity - sev).abs() > self.config.rereport_delta
+                    || (belief - bel).abs() > self.config.rereport_delta
+            }
+        };
+        if emit {
+            self.last_emitted.insert(key, (now, severity, belief));
+        }
+        emit
+    }
+}
+
+fn task_name(task: Task) -> &'static str {
+    match task {
+        Task::VibrationSurvey => "vibration_survey",
+        Task::ProcessSample => "process_sample",
+        Task::SbfrCycle => "sbfr_cycle",
+    }
+}
+
+fn source_of(report: &ConditionReport, dc: DcId) -> String {
+    for s in [Source::Dli, Source::Sbfr, Source::Wnn, Source::Fuzzy] {
+        if s.ks_id(dc) == report.knowledge_source {
+            return s.label().to_string();
+        }
+    }
+    "unknown".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpros_chiller::fault::{FaultProfile, FaultSeed};
+    use mpros_chiller::plant::PlantConfig;
+
+    fn plant_with(condition: Option<MachineCondition>, sev: f64) -> ChillerPlant {
+        let mut p = ChillerPlant::new(PlantConfig::new(MachineId::new(1), 77));
+        if let Some(c) = condition {
+            p.seed_fault(FaultSeed {
+                condition: c,
+                onset: SimTime::ZERO,
+                time_to_failure: SimDuration::from_secs(1.0),
+                profile: FaultProfile::Step(sev),
+            });
+        }
+        p
+    }
+
+    fn dc() -> DataConcentrator {
+        let mut cfg = DcConfig::new(DcId::new(1), MachineId::new(1));
+        cfg.survey_period = SimDuration::from_secs(30.0);
+        DataConcentrator::new(cfg).unwrap()
+    }
+
+    /// Drive the DC over `secs` seconds of simulated time at the process
+    /// cadence, collecting all reports.
+    fn run(dc: &mut DataConcentrator, plant: &ChillerPlant, secs: f64) -> Vec<ConditionReport> {
+        let mut out = Vec::new();
+        let dt = 0.25;
+        let steps = (secs / dt) as usize;
+        for i in 0..=steps {
+            let now = SimTime::from_secs(i as f64 * dt);
+            out.extend(dc.tick(plant, now).unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn healthy_plant_stays_quiet() {
+        let mut d = dc();
+        let reports = run(&mut d, &plant_with(None, 0.0), 60.0);
+        assert!(
+            reports.is_empty(),
+            "false positives: {:?}",
+            reports.iter().map(|r| r.condition).collect::<Vec<_>>()
+        );
+        assert!(d.db().measurement_count() > 0, "surveys ran");
+        assert!(d.db().task_log_count() > 100, "scheduler ran");
+    }
+
+    #[test]
+    fn imbalance_is_reported_by_dli() {
+        let mut d = dc();
+        let reports = run(
+            &mut d,
+            &plant_with(Some(MachineCondition::MotorImbalance), 0.9),
+            60.0,
+        );
+        let dli_reports: Vec<_> = reports
+            .iter()
+            .filter(|r| r.condition == MachineCondition::MotorImbalance)
+            .collect();
+        assert!(!dli_reports.is_empty(), "imbalance unreported");
+        let r = dli_reports[0];
+        assert_eq!(r.dc, DcId::new(1));
+        assert_eq!(r.machine, MachineId::new(1));
+        assert!(r.belief.value() > 0.5);
+        assert!(r.has_prognostic());
+        assert_eq!(d.db().diagnosis_count(), reports.len());
+    }
+
+    #[test]
+    fn process_fault_is_reported_by_fuzzy() {
+        let mut d = dc();
+        let reports = run(
+            &mut d,
+            &plant_with(Some(MachineCondition::RefrigerantLeak), 0.9),
+            60.0,
+        );
+        assert!(
+            reports
+                .iter()
+                .any(|r| r.condition == MachineCondition::RefrigerantLeak),
+            "leak unreported: {:?}",
+            reports.iter().map(|r| r.condition).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn surge_is_seen_by_multiple_sources() {
+        let mut d = dc();
+        let reports = run(
+            &mut d,
+            &plant_with(Some(MachineCondition::CompressorSurge), 0.95),
+            120.0,
+        );
+        let surge: Vec<_> = reports
+            .iter()
+            .filter(|r| r.condition == MachineCondition::CompressorSurge)
+            .collect();
+        assert!(!surge.is_empty(), "surge unreported");
+        let sources: std::collections::HashSet<_> =
+            surge.iter().map(|r| r.knowledge_source).collect();
+        assert!(
+            sources.len() >= 2,
+            "expected ≥2 independent sources, got {sources:?}"
+        );
+    }
+
+    #[test]
+    fn reports_are_throttled() {
+        let mut d = dc();
+        // 10 surveys in 5 minutes; gap is 30 min, severity constant →
+        // exactly one DLI report for the imbalance.
+        let reports = run(
+            &mut d,
+            &plant_with(Some(MachineCondition::MotorImbalance), 0.9),
+            300.0,
+        );
+        let dli: Vec<_> = reports
+            .iter()
+            .filter(|r| {
+                r.condition == MachineCondition::MotorImbalance
+                    && r.knowledge_source == KnowledgeSourceId::new(11)
+            })
+            .collect();
+        assert_eq!(dli.len(), 1, "throttle failed: {} reports", dli.len());
+    }
+
+    #[test]
+    fn run_test_command_triggers_immediate_survey() {
+        let mut d = dc();
+        let p = plant_with(Some(MachineCondition::MotorImbalance), 0.9);
+        // Advance a little past the t=0 survey.
+        d.tick(&p, SimTime::ZERO).unwrap();
+        let before = d.db().measurement_count();
+        d.handle_command(&NetMessage::RunTest {
+            dc: DcId::new(1),
+            machine: MachineId::new(1),
+        })
+        .unwrap();
+        d.tick(&p, SimTime::from_secs(1.0)).unwrap();
+        assert!(d.db().measurement_count() > before, "on-demand survey ran");
+        // A command addressed elsewhere is ignored.
+        let before = d.db().measurement_count();
+        d.handle_command(&NetMessage::RunTest {
+            dc: DcId::new(9),
+            machine: MachineId::new(1),
+        })
+        .unwrap();
+        d.tick(&p, SimTime::from_secs(2.0)).unwrap();
+        assert_eq!(d.db().measurement_count(), before);
+    }
+
+    #[test]
+    fn sbfr_download_replaces_machine() {
+        let mut d = dc();
+        let image = spike_machine(0).encode().unwrap();
+        d.handle_command(&NetMessage::DownloadSbfr {
+            dc: DcId::new(1),
+            slot: 0,
+            image,
+        })
+        .unwrap();
+        // Bad image is rejected.
+        assert!(d
+            .handle_command(&NetMessage::DownloadSbfr {
+                dc: DcId::new(1),
+                slot: 0,
+                image: vec![1, 2, 3],
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn report_ids_are_unique_and_dc_scoped() {
+        let mut d = dc();
+        let reports = run(
+            &mut d,
+            &plant_with(Some(MachineCondition::GearToothWear), 0.9),
+            90.0,
+        );
+        let mut ids: Vec<u64> = reports.iter().map(|r| r.id.raw()).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate report ids");
+        assert!(ids.iter().all(|&i| i >= 1_000_000), "ids are DC-scoped");
+    }
+}
+
+#[cfg(test)]
+mod trend_tests {
+    use super::*;
+    use mpros_chiller::fault::{FaultProfile, FaultSeed};
+    use mpros_chiller::plant::PlantConfig;
+
+    /// A steadily progressing fault must eventually ship a trend-refined
+    /// prognostic whose median precedes the generic grade template's.
+    #[test]
+    fn progressing_fault_gets_trend_refined_prognosis() {
+        let mut cfg = DcConfig::new(DcId::new(1), MachineId::new(1));
+        cfg.survey_period = SimDuration::from_secs(30.0);
+        cfg.min_report_gap = SimDuration::from_secs(60.0);
+        cfg.rereport_delta = 0.05;
+        let mut dc = DataConcentrator::new(cfg).unwrap();
+        let mut plant = ChillerPlant::new(PlantConfig::new(MachineId::new(1), 55));
+        plant.seed_fault(FaultSeed {
+            condition: MachineCondition::MotorImbalance,
+            onset: SimTime::ZERO,
+            // Severity ramps over 20 min: the trend projects crossing
+            // 1.0 about (1-s)·20min ahead — far earlier than the
+            // months-scale grade template.
+            time_to_failure: SimDuration::from_minutes(20.0),
+            profile: FaultProfile::Linear,
+        });
+        let mut refined = Vec::new();
+        for i in 0..=2400 {
+            let now = SimTime::from_secs(i as f64 * 0.25);
+            for r in dc.tick(&plant, now).unwrap() {
+                if r.additional_info.contains("trend-refined") {
+                    refined.push(r);
+                }
+            }
+        }
+        assert!(
+            !refined.is_empty(),
+            "no trend-refined report over a 10-minute linear ramp"
+        );
+        let r = refined.last().unwrap();
+        let median = r
+            .prognostic
+            .horizon_for_probability(0.5)
+            .expect("trend curve reaches 50%");
+        // The fault fails within 20 simulated minutes; the refined
+        // median must be on that scale, not on the calendar scale.
+        assert!(
+            median < SimDuration::from_hours(2.0),
+            "median {median} not data-driven"
+        );
+    }
+
+    /// A step fault holds constant severity: no rising trend, no
+    /// refinement — the generic grade prognosis stands.
+    #[test]
+    fn constant_fault_keeps_the_grade_template() {
+        let mut cfg = DcConfig::new(DcId::new(1), MachineId::new(1));
+        cfg.survey_period = SimDuration::from_secs(30.0);
+        let mut dc = DataConcentrator::new(cfg).unwrap();
+        let mut plant = ChillerPlant::new(PlantConfig::new(MachineId::new(1), 55));
+        plant.seed_fault(FaultSeed {
+            condition: MachineCondition::MotorImbalance,
+            onset: SimTime::ZERO,
+            time_to_failure: SimDuration::from_secs(1.0),
+            profile: FaultProfile::Step(0.6),
+        });
+        for i in 0..=1200 {
+            let now = SimTime::from_secs(i as f64 * 0.25);
+            for r in dc.tick(&plant, now).unwrap() {
+                assert!(
+                    !r.additional_info.contains("trend-refined"),
+                    "flat severity must not be trend-refined"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod sensor_robustness_tests {
+    use super::*;
+    use crate::hw::SensorFault;
+    use mpros_chiller::fault::{FaultProfile, FaultSeed};
+    use mpros_chiller::plant::PlantConfig;
+    use mpros_chiller::vibration::AccelLocation;
+
+    #[test]
+    fn dead_channel_is_quarantined_and_analysis_continues() {
+        let mut cfg = DcConfig::new(DcId::new(1), MachineId::new(1));
+        cfg.survey_period = SimDuration::from_secs(30.0);
+        let mut dc = DataConcentrator::new(cfg).unwrap();
+        // Kill the gear-case accelerometer (channel 2).
+        dc.chain_mut().fail_sensor(2, SensorFault::Flatline).unwrap();
+        let mut plant = ChillerPlant::new(PlantConfig::new(MachineId::new(1), 91));
+        plant.seed_fault(FaultSeed {
+            condition: MachineCondition::MotorImbalance,
+            onset: SimTime::ZERO,
+            time_to_failure: SimDuration::from_secs(1.0),
+            profile: FaultProfile::Step(0.9),
+        });
+        let mut reports = Vec::new();
+        for i in 0..=480 {
+            let now = SimTime::from_secs(i as f64 * 0.25);
+            reports.extend(dc.tick(&plant, now).unwrap());
+        }
+        assert_eq!(
+            dc.suspect_channels(),
+            &[AccelLocation::GearCase],
+            "dead channel flagged"
+        );
+        assert!(
+            reports
+                .iter()
+                .any(|r| r.condition == MachineCondition::MotorImbalance),
+            "motor fault still diagnosed from the live channels"
+        );
+        // And no phantom gear diagnosis from the zeroed channel.
+        assert!(!reports
+            .iter()
+            .any(|r| r.condition == MachineCondition::GearToothWear));
+    }
+}

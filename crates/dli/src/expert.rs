@@ -1,0 +1,407 @@
+//! The assembled DLI-style expert system.
+//!
+//! "An elementary level of machinery prognostics has always been
+//! provided by the DLI expert system which since its inception, has
+//! provided a numerical severity score along with the fault diagnosis"
+//! (§6.1). [`DliExpertSystem::analyze`] runs every rule frame against an
+//! extracted feature set and emits, per firing rule: the numerical
+//! severity, its Slight/Moderate/Serious/Extreme grade, a believability-
+//! weighted belief, a human-readable explanation, and the prognostic
+//! vector implied by the grade's loose time-to-failure category.
+
+use crate::believability::BelievabilityDb;
+use crate::features::{SpectralFeatures, VibrationSurvey};
+use crate::rules::{chiller_rules, Rule};
+use mpros_core::{
+    Belief, ConditionReport, DcId, KnowledgeSourceId, MachineCondition, MachineId,
+    PrognosticVector, ReportId, Result, Severity, SeverityGrade, SimTime,
+};
+
+/// Minimum graded severity for a diagnosis to be emitted.
+const EMIT_THRESHOLD: f64 = 0.04;
+
+/// One diagnosis produced by the expert system.
+#[derive(Debug, Clone)]
+pub struct DliDiagnosis {
+    /// Diagnosed condition.
+    pub condition: MachineCondition,
+    /// Numerical severity score (§7.2 scale).
+    pub severity: Severity,
+    /// The DLI gradient category.
+    pub grade: SeverityGrade,
+    /// Believability-weighted belief.
+    pub belief: Belief,
+    /// Human-readable explanation naming the driving feature.
+    pub explanation: String,
+    /// Prognostic vector implied by the grade.
+    pub prognostic: PrognosticVector,
+}
+
+impl DliDiagnosis {
+    /// Render as a §7.2 protocol report.
+    #[allow(clippy::too_many_arguments)]
+    pub fn to_report(
+        &self,
+        id: ReportId,
+        dc: DcId,
+        ks: KnowledgeSourceId,
+        machine: MachineId,
+        timestamp: SimTime,
+    ) -> ConditionReport {
+        ConditionReport::builder(machine, self.condition, self.belief)
+            .id(id)
+            .dc(dc)
+            .knowledge_source(ks)
+            .severity(self.severity)
+            .timestamp(timestamp)
+            .explanation(self.explanation.clone())
+            .recommendation(recommendation_for(self.condition, self.grade))
+            .prognostic(self.prognostic.clone())
+            .build()
+    }
+}
+
+/// The expert system: rule frames plus the believability database.
+#[derive(Debug, Clone)]
+pub struct DliExpertSystem {
+    rules: Vec<Rule>,
+    believability: BelievabilityDb,
+    /// Load sensitization master switch (true in production; the
+    /// ablation experiment turns it off).
+    pub load_sensitized: bool,
+}
+
+impl Default for DliExpertSystem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DliExpertSystem {
+    /// The production configuration: chiller rules, default believability
+    /// database, load sensitization on.
+    pub fn new() -> Self {
+        DliExpertSystem {
+            rules: chiller_rules(),
+            believability: BelievabilityDb::with_defaults(),
+            load_sensitized: true,
+        }
+    }
+
+    /// Replace the rule set (for other equipment types).
+    pub fn with_rules(mut self, rules: Vec<Rule>) -> Self {
+        self.rules = rules;
+        self
+    }
+
+    /// Access the believability database (e.g. to record analyst
+    /// reviews).
+    pub fn believability_mut(&mut self) -> &mut BelievabilityDb {
+        &mut self.believability
+    }
+
+    /// Analyze one survey: extract features, run every rule frame, emit
+    /// diagnoses above the reporting threshold, strongest first.
+    pub fn analyze(&self, survey: &VibrationSurvey) -> Result<Vec<DliDiagnosis>> {
+        let features = SpectralFeatures::extract(survey)?;
+        Ok(self.diagnose(&features))
+    }
+
+    /// Rule evaluation against pre-extracted features (separated so the
+    /// DC can reuse one extraction across knowledge sources).
+    pub fn diagnose(&self, features: &SpectralFeatures) -> Vec<DliDiagnosis> {
+        let mut out = Vec::new();
+        for rule in &self.rules {
+            let Some((sev, feature)) = rule.evaluate(features, self.load_sensitized) else {
+                continue;
+            };
+            if sev < EMIT_THRESHOLD {
+                continue;
+            }
+            let severity = Severity::new(sev);
+            let grade = severity.grade();
+            let believability = self.believability.believability(rule.condition);
+            // Evidence strength tempers the believability factor: a
+            // barely-registering signature is reported with reduced
+            // belief even for a historically reliable rule.
+            let belief = Belief::new(believability * (0.4 + 0.6 * sev));
+            out.push(DliDiagnosis {
+                condition: rule.condition,
+                severity,
+                grade,
+                belief,
+                explanation: format!(
+                    "{} at {:.3} g graded {} ({})",
+                    feature.name(),
+                    feature.value(features),
+                    grade,
+                    grade.time_to_failure(),
+                ),
+                prognostic: prognostic_for(grade),
+            });
+        }
+        out.sort_by(|a, b| {
+            b.severity
+                .partial_cmp(&a.severity)
+                .expect("severities are finite")
+        });
+        out
+    }
+}
+
+/// The prognostic vector implied by a severity grade: the shared §6.1
+/// template curve from `mpros-core`.
+pub fn prognostic_for(grade: SeverityGrade) -> PrognosticVector {
+    mpros_core::prognostic::grade_template(grade)
+}
+
+fn recommendation_for(condition: MachineCondition, grade: SeverityGrade) -> String {
+    let action = match condition {
+        MachineCondition::MotorImbalance => "field balance the motor rotor",
+        MachineCondition::MotorMisalignment => "check coupling alignment",
+        MachineCondition::MotorBearingDefect => "schedule motor bearing replacement",
+        MachineCondition::CompressorBearingDefect => {
+            "schedule compressor bearing replacement"
+        }
+        MachineCondition::MotorRotorBarCrack => "perform motor current signature analysis",
+        MachineCondition::GearToothWear => "inspect gear set; check oil debris",
+        MachineCondition::BearingHousingLooseness => "check hold-down bolts and fits",
+        MachineCondition::CompressorSurge => "verify vane control and head pressure",
+        _ => "investigate",
+    };
+    match grade {
+        SeverityGrade::Slight => format!("monitor; {action} at next overhaul"),
+        SeverityGrade::Moderate => format!("{action} within months"),
+        SeverityGrade::Serious => format!("{action} within weeks"),
+        SeverityGrade::Extreme => format!("{action} within days"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpros_chiller::fault::{FaultProfile, FaultSeed, FaultState};
+    use mpros_chiller::vibration::{AccelLocation, VibrationSynthesizer};
+    use mpros_chiller::MachineTrain;
+    use mpros_core::SimDuration;
+
+    const FS: f64 = 16_384.0;
+    const N: usize = 8192;
+
+    fn survey(condition: Option<MachineCondition>, sev: f64, load: f64) -> VibrationSurvey {
+        let train = MachineTrain::navy_chiller(MachineId::new(1));
+        let synth = VibrationSynthesizer::new(train.clone(), 23);
+        let mut faults = FaultState::healthy();
+        if let Some(c) = condition {
+            faults.seed(FaultSeed {
+                condition: c,
+                onset: SimTime::ZERO,
+                time_to_failure: SimDuration::from_secs(1.0),
+                profile: FaultProfile::Step(sev),
+            });
+        }
+        let t0 = SimTime::from_secs(50.0);
+        let blocks = AccelLocation::ALL
+            .iter()
+            .map(|&loc| (loc, synth.sample_block(loc, t0, N, FS, load, &faults)))
+            .collect();
+        VibrationSurvey {
+            train,
+            load,
+            sample_rate: FS,
+            blocks,
+        }
+    }
+
+    #[test]
+    fn healthy_machine_yields_no_diagnoses() {
+        let sys = DliExpertSystem::new();
+        let out = sys.analyze(&survey(None, 0.0, 0.9)).unwrap();
+        assert!(out.is_empty(), "false positives: {out:?}");
+    }
+
+    #[test]
+    fn severe_imbalance_is_diagnosed_with_high_severity() {
+        let sys = DliExpertSystem::new();
+        let out = sys
+            .analyze(&survey(Some(MachineCondition::MotorImbalance), 0.9, 0.9))
+            .unwrap();
+        let d = out
+            .iter()
+            .find(|d| d.condition == MachineCondition::MotorImbalance)
+            .expect("imbalance diagnosed");
+        assert!(d.severity.value() > 0.6, "severity {}", d.severity);
+        assert!(d.belief.value() > 0.6, "belief {}", d.belief);
+        assert!(!d.prognostic.is_empty(), "graded prognosis attached");
+        assert!(d.explanation.contains("motor 1x"));
+    }
+
+    #[test]
+    fn mild_fault_grades_lower_than_severe() {
+        let sys = DliExpertSystem::new();
+        let mild = sys
+            .analyze(&survey(Some(MachineCondition::MotorImbalance), 0.35, 0.9))
+            .unwrap();
+        let severe = sys
+            .analyze(&survey(Some(MachineCondition::MotorImbalance), 0.95, 0.9))
+            .unwrap();
+        let sm = mild
+            .iter()
+            .find(|d| d.condition == MachineCondition::MotorImbalance)
+            .map(|d| d.severity.value())
+            .unwrap_or(0.0);
+        let ss = severe
+            .iter()
+            .find(|d| d.condition == MachineCondition::MotorImbalance)
+            .map(|d| d.severity.value())
+            .unwrap();
+        assert!(ss > sm, "severe {ss} vs mild {sm}");
+    }
+
+    #[test]
+    fn bearing_defect_diagnosed_from_envelope() {
+        let sys = DliExpertSystem::new();
+        let out = sys
+            .analyze(&survey(Some(MachineCondition::MotorBearingDefect), 0.85, 0.9))
+            .unwrap();
+        assert!(
+            out.iter()
+                .any(|d| d.condition == MachineCondition::MotorBearingDefect),
+            "diagnoses: {:?}",
+            out.iter().map(|d| d.condition).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gear_wear_diagnosed() {
+        let sys = DliExpertSystem::new();
+        let out = sys
+            .analyze(&survey(Some(MachineCondition::GearToothWear), 0.85, 0.9))
+            .unwrap();
+        assert!(out
+            .iter()
+            .any(|d| d.condition == MachineCondition::GearToothWear));
+    }
+
+    #[test]
+    fn surge_diagnosed() {
+        let sys = DliExpertSystem::new();
+        let out = sys
+            .analyze(&survey(Some(MachineCondition::CompressorSurge), 0.9, 0.9))
+            .unwrap();
+        assert!(out
+            .iter()
+            .any(|d| d.condition == MachineCondition::CompressorSurge));
+    }
+
+    #[test]
+    fn low_load_looseness_suppressed_when_sensitized() {
+        let mut sys = DliExpertSystem::new();
+        let s = survey(Some(MachineCondition::BearingHousingLooseness), 0.9, 0.15);
+        let sensitized = sys.analyze(&s).unwrap();
+        assert!(
+            !sensitized
+                .iter()
+                .any(|d| d.condition == MachineCondition::BearingHousingLooseness),
+            "sensitized rule fired at 15% load"
+        );
+        sys.load_sensitized = false;
+        let raw = sys.analyze(&s).unwrap();
+        assert!(
+            raw.iter()
+                .any(|d| d.condition == MachineCondition::BearingHousingLooseness),
+            "ablation variant should fire"
+        );
+    }
+
+    #[test]
+    fn grades_map_to_prognostic_horizons() {
+        assert!(prognostic_for(SeverityGrade::Slight).is_empty());
+        let m = prognostic_for(SeverityGrade::Moderate);
+        let w = prognostic_for(SeverityGrade::Serious);
+        let d = prognostic_for(SeverityGrade::Extreme);
+        let h50 = |v: &PrognosticVector| v.horizon_for_probability(0.5).unwrap();
+        assert!(h50(&m) > h50(&w) && h50(&w) > h50(&d));
+        assert!((h50(&m).as_months() - 1.5).abs() < 1e-9);
+        assert!((h50(&d).as_days() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_rendering_carries_protocol_fields() {
+        let sys = DliExpertSystem::new();
+        let out = sys
+            .analyze(&survey(Some(MachineCondition::MotorImbalance), 0.9, 0.9))
+            .unwrap();
+        let r = out[0].to_report(
+            ReportId::new(1),
+            DcId::new(2),
+            KnowledgeSourceId::new(3),
+            MachineId::new(1),
+            SimTime::from_secs(5.0),
+        );
+        assert_eq!(r.dc, DcId::new(2));
+        assert!(!r.explanation.is_empty());
+        assert!(!r.recommendation.is_empty());
+        assert!(r.has_prognostic());
+    }
+
+    #[test]
+    fn believability_reviews_shift_belief() {
+        let mut sys = DliExpertSystem::new();
+        for _ in 0..300 {
+            sys.believability_mut()
+                .record_review(MachineCondition::MotorImbalance, false);
+        }
+        let out = sys
+            .analyze(&survey(Some(MachineCondition::MotorImbalance), 0.9, 0.9))
+            .unwrap();
+        let d = out
+            .iter()
+            .find(|d| d.condition == MachineCondition::MotorImbalance)
+            .unwrap();
+        assert!(
+            d.belief.value() < 0.5,
+            "discredited rule keeps high belief: {}",
+            d.belief
+        );
+    }
+
+    #[test]
+    fn diagnoses_sorted_by_severity() {
+        // Multi-fault scenario: diagnoses come back worst-first.
+        let train = MachineTrain::navy_chiller(MachineId::new(1));
+        let synth = VibrationSynthesizer::new(train.clone(), 31);
+        let mut faults = FaultState::healthy();
+        for (c, s) in [
+            (MachineCondition::MotorImbalance, 0.9),
+            (MachineCondition::GearToothWear, 0.4),
+        ] {
+            faults.seed(FaultSeed {
+                condition: c,
+                onset: SimTime::ZERO,
+                time_to_failure: SimDuration::from_secs(1.0),
+                profile: FaultProfile::Step(s),
+            });
+        }
+        let blocks = AccelLocation::ALL
+            .iter()
+            .map(|&loc| {
+                (
+                    loc,
+                    synth.sample_block(loc, SimTime::from_secs(9.0), N, FS, 0.9, &faults),
+                )
+            })
+            .collect();
+        let s = VibrationSurvey {
+            train,
+            load: 0.9,
+            sample_rate: FS,
+            blocks,
+        };
+        let out = DliExpertSystem::new().analyze(&s).unwrap();
+        assert!(out.len() >= 2, "both faults seen: {out:?}");
+        for w in out.windows(2) {
+            assert!(w[0].severity >= w[1].severity);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # mpros-dli
+//!
+//! The vibration-based expert system of §6.1: "all standard machinery
+//! vibration FFT analysis and associated diagnostics in the Data
+//! Concentrator are handled by the DLI expert system... The frame based
+//! rules application method employed allows the spectral vibration
+//! features to be analyzed in conjunction with process parameters such
+//! as load or bearing temperatures to arrive at a more accurate and
+//! knowledgeable machinery diagnosis."
+//!
+//! DLI's Expert Alert rule content is proprietary; this crate implements
+//! the same *mechanism* — frame-based rules over shaft-order spectral
+//! features, load sensitization (§6.1's bearing-looseness example),
+//! numerical severity mapped to the Slight/Moderate/Serious/Extreme
+//! gradient, and per-diagnosis believability factors backed by a
+//! reversal-statistics database — with a chiller rule set re-derived
+//! from public vibration-analysis practice.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod believability;
+pub mod expert;
+pub mod features;
+pub mod rules;
+
+pub use believability::BelievabilityDb;
+pub use expert::{DliDiagnosis, DliExpertSystem};
+pub use features::{SpectralFeatures, VibrationSurvey};
+pub use rules::{chiller_rules, Rule};

@@ -1,0 +1,431 @@
+//! The frame-based rule set.
+//!
+//! Each [`Rule`] is a frame in the §6.1 sense: it names the machine
+//! condition it diagnoses, the spectral features whose magnitudes grade
+//! its severity, discriminating *guards* (ratio tests that separate,
+//! e.g., imbalance from misalignment), and an optional load
+//! sensitization — the paper's worked example: "the DLI expert system
+//! rule for bearing looseness can be sensitized to available load
+//! indicators (such as pre-rotation vane position) in order to ensure
+//! that a false positive bearing looseness call is not made when the
+//! compressor enters a low load period of operation."
+
+use crate::features::SpectralFeatures;
+use mpros_chiller::vibration::AccelLocation;
+use mpros_core::MachineCondition;
+
+/// Selector for one scalar feature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FeatureId {
+    /// ½× motor order.
+    MotorHalfX,
+    /// 1× motor order.
+    Motor1X,
+    /// 2× motor order.
+    Motor2X,
+    /// Max of 3×–6× motor harmonics.
+    MotorHarmonics,
+    /// Pole-pass sidebands around motor 1×.
+    PolePassSidebands,
+    /// Motor BPFO line in the envelope spectrum.
+    MotorBpfoEnvelope,
+    /// Compressor BPFI line in the raw spectrum.
+    CompBpfiLine,
+    /// Gear-mesh fundamental.
+    GearMesh,
+    /// Gear-mesh shaft-rate sidebands.
+    GearSidebands,
+    /// 2–10 Hz pulsation at the compressor.
+    SurgeBand,
+    /// Waveform kurtosis at a location.
+    Kurtosis(AccelLocation),
+}
+
+impl FeatureId {
+    /// Read the feature's value from an extracted set.
+    pub fn value(self, f: &SpectralFeatures) -> f64 {
+        match self {
+            FeatureId::MotorHalfX => f.motor_half_x,
+            FeatureId::Motor1X => f.motor_1x,
+            FeatureId::Motor2X => f.motor_2x,
+            FeatureId::MotorHarmonics => f.motor_harmonics,
+            FeatureId::PolePassSidebands => f.pole_pass_sidebands,
+            FeatureId::MotorBpfoEnvelope => f.motor_bpfo_envelope,
+            FeatureId::CompBpfiLine => f.comp_bpfi_line,
+            FeatureId::GearMesh => f.gear_mesh,
+            FeatureId::GearSidebands => f.gear_sidebands,
+            FeatureId::SurgeBand => f.surge_band,
+            FeatureId::Kurtosis(loc) => f.kurtosis.get(&loc).copied().unwrap_or(0.0),
+        }
+    }
+
+    /// Human-readable name for explanations.
+    pub fn name(self) -> &'static str {
+        match self {
+            FeatureId::MotorHalfX => "motor 1/2x",
+            FeatureId::Motor1X => "motor 1x",
+            FeatureId::Motor2X => "motor 2x",
+            FeatureId::MotorHarmonics => "motor running-speed harmonics",
+            FeatureId::PolePassSidebands => "pole-pass sidebands",
+            FeatureId::MotorBpfoEnvelope => "motor BPFO envelope line",
+            FeatureId::CompBpfiLine => "compressor BPFI line",
+            FeatureId::GearMesh => "gear mesh",
+            FeatureId::GearSidebands => "gear-mesh sidebands",
+            FeatureId::SurgeBand => "low-frequency discharge pulsation",
+            FeatureId::Kurtosis(_) => "waveform kurtosis",
+        }
+    }
+}
+
+/// A severity test: feature magnitude graded linearly between the
+/// `slight` threshold (severity 0) and the `extreme` threshold
+/// (severity 1).
+#[derive(Debug, Clone, Copy)]
+pub struct SeverityTest {
+    /// The graded feature.
+    pub feature: FeatureId,
+    /// Amplitude at which the condition starts registering.
+    pub slight: f64,
+    /// Amplitude treated as maximal severity.
+    pub extreme: f64,
+}
+
+impl SeverityTest {
+    /// Severity contribution in `[0, 1]`.
+    pub fn severity(&self, f: &SpectralFeatures) -> f64 {
+        let v = self.feature.value(f);
+        ((v - self.slight) / (self.extreme - self.slight)).clamp(0.0, 1.0)
+    }
+}
+
+/// A discriminating guard: the rule only fires if
+/// `num ≥ ratio · den` (with `den` floored to avoid 0/0 pathologies).
+#[derive(Debug, Clone, Copy)]
+pub struct RatioGuard {
+    /// Numerator feature.
+    pub num: FeatureId,
+    /// Denominator feature.
+    pub den: FeatureId,
+    /// Required minimum ratio.
+    pub min_ratio: f64,
+}
+
+impl RatioGuard {
+    /// Evaluate the guard.
+    pub fn passes(&self, f: &SpectralFeatures) -> bool {
+        let num = self.num.value(f);
+        let den = self.den.value(f).max(1e-6);
+        num / den >= self.min_ratio
+    }
+}
+
+/// One frame-based diagnostic rule.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// The condition this rule diagnoses.
+    pub condition: MachineCondition,
+    /// Severity tests (the rule's severity is their maximum).
+    pub tests: Vec<SeverityTest>,
+    /// Discriminating guards (all must pass).
+    pub guards: Vec<RatioGuard>,
+    /// Load sensitization: below this load the rule is suppressed
+    /// (§6.1's low-load false-positive protection). `None` = always
+    /// armed.
+    pub min_load: Option<f64>,
+}
+
+impl Rule {
+    /// Evaluate the rule against extracted features. Returns the graded
+    /// severity if the rule fires, and which feature drove it.
+    ///
+    /// `load_sensitized` disables the `min_load` check when false — the
+    /// ablation experiment in EXPERIMENTS.md measures exactly the
+    /// false-positive cost of turning sensitization off.
+    pub fn evaluate(
+        &self,
+        f: &SpectralFeatures,
+        load_sensitized: bool,
+    ) -> Option<(f64, FeatureId)> {
+        if load_sensitized {
+            if let Some(min) = self.min_load {
+                if f.load < min {
+                    return None;
+                }
+            }
+        }
+        if !self.guards.iter().all(|g| g.passes(f)) {
+            return None;
+        }
+        let (severity, feature) = self
+            .tests
+            .iter()
+            .map(|t| (t.severity(f), t.feature))
+            .fold((0.0, self.tests[0].feature), |acc, x| {
+                if x.0 > acc.0 {
+                    x
+                } else {
+                    acc
+                }
+            });
+        (severity > 0.0).then_some((severity, feature))
+    }
+}
+
+/// The chiller rule set: one rule per vibration-diagnosable FMEA mode.
+/// Thresholds are in g and calibrated against the `mpros-chiller`
+/// synthesizer's full-severity signature amplitudes.
+pub fn chiller_rules() -> Vec<Rule> {
+    use FeatureId::*;
+    vec![
+        Rule {
+            condition: MachineCondition::MotorImbalance,
+            tests: vec![SeverityTest {
+                feature: Motor1X,
+                slight: 0.10,
+                extreme: 0.55,
+            }],
+            // 1× must dominate 2× and the harmonic series, or this is
+            // misalignment/looseness.
+            guards: vec![
+                RatioGuard {
+                    num: Motor1X,
+                    den: Motor2X,
+                    min_ratio: 1.5,
+                },
+                RatioGuard {
+                    num: Motor1X,
+                    den: MotorHarmonics,
+                    min_ratio: 2.0,
+                },
+            ],
+            min_load: None,
+        },
+        Rule {
+            condition: MachineCondition::MotorMisalignment,
+            tests: vec![SeverityTest {
+                feature: Motor2X,
+                slight: 0.07,
+                extreme: 0.42,
+            }],
+            guards: vec![RatioGuard {
+                num: Motor2X,
+                den: Motor1X,
+                min_ratio: 1.0,
+            }],
+            min_load: None,
+        },
+        Rule {
+            condition: MachineCondition::MotorBearingDefect,
+            // Calibrated to the envelope-line transfer of the burst
+            // model: ~0.09 g at full severity.
+            tests: vec![SeverityTest {
+                feature: MotorBpfoEnvelope,
+                slight: 0.012,
+                extreme: 0.085,
+            }],
+            guards: vec![],
+            min_load: None,
+        },
+        Rule {
+            condition: MachineCondition::CompressorBearingDefect,
+            tests: vec![SeverityTest {
+                feature: CompBpfiLine,
+                slight: 0.05,
+                extreme: 0.30,
+            }],
+            guards: vec![],
+            min_load: None,
+        },
+        Rule {
+            condition: MachineCondition::MotorRotorBarCrack,
+            tests: vec![SeverityTest {
+                feature: PolePassSidebands,
+                slight: 0.04,
+                extreme: 0.24,
+            }],
+            guards: vec![],
+            // Pole-pass spacing collapses at no load; the signature is
+            // only readable under load.
+            min_load: Some(0.25),
+        },
+        Rule {
+            condition: MachineCondition::GearToothWear,
+            tests: vec![SeverityTest {
+                feature: GearMesh,
+                slight: 0.08,
+                extreme: 0.40,
+            }],
+            guards: vec![RatioGuard {
+                num: GearSidebands,
+                den: GearMesh,
+                min_ratio: 0.15,
+            }],
+            min_load: None,
+        },
+        Rule {
+            condition: MachineCondition::BearingHousingLooseness,
+            tests: vec![
+                SeverityTest {
+                    feature: MotorHalfX,
+                    slight: 0.02,
+                    extreme: 0.12,
+                },
+                SeverityTest {
+                    feature: MotorHarmonics,
+                    slight: 0.04,
+                    extreme: 0.20,
+                },
+            ],
+            guards: vec![],
+            // §6.1's example: unloaded compressors vibrate more at
+            // looseness-like frequencies; suppress below 30 % load.
+            min_load: Some(0.30),
+        },
+        Rule {
+            condition: MachineCondition::CompressorSurge,
+            tests: vec![SeverityTest {
+                feature: SurgeBand,
+                slight: 0.12,
+                extreme: 0.70,
+            }],
+            guards: vec![],
+            min_load: None,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn features() -> SpectralFeatures {
+        SpectralFeatures {
+            load: 0.9,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn rule_set_covers_all_vibration_modes() {
+        let rules = chiller_rules();
+        for c in MachineCondition::ALL {
+            if c.is_vibration_fault() || c == MachineCondition::CompressorSurge {
+                assert!(
+                    rules.iter().any(|r| r.condition == c),
+                    "no rule for {c}"
+                );
+            }
+        }
+        // And nothing for pure process faults.
+        assert!(!rules
+            .iter()
+            .any(|r| r.condition == MachineCondition::RefrigerantLeak));
+    }
+
+    #[test]
+    fn severity_test_grades_linearly() {
+        let t = SeverityTest {
+            feature: FeatureId::Motor1X,
+            slight: 0.1,
+            extreme: 0.5,
+        };
+        let mut f = features();
+        f.motor_1x = 0.05;
+        assert_eq!(t.severity(&f), 0.0);
+        f.motor_1x = 0.3;
+        assert!((t.severity(&f) - 0.5).abs() < 1e-12);
+        f.motor_1x = 0.9;
+        assert_eq!(t.severity(&f), 1.0);
+    }
+
+    #[test]
+    fn imbalance_rule_fires_on_dominant_1x() {
+        let rule = chiller_rules()
+            .into_iter()
+            .find(|r| r.condition == MachineCondition::MotorImbalance)
+            .unwrap();
+        let mut f = features();
+        f.motor_1x = 0.4;
+        f.motor_2x = 0.05;
+        let (sev, feat) = rule.evaluate(&f, true).unwrap();
+        assert!(sev > 0.5);
+        assert_eq!(feat, FeatureId::Motor1X);
+        // With a big 2x the guard blocks it (that's misalignment).
+        f.motor_2x = 0.35;
+        assert!(rule.evaluate(&f, true).is_none());
+    }
+
+    #[test]
+    fn misalignment_guard_requires_2x_dominance() {
+        let rule = chiller_rules()
+            .into_iter()
+            .find(|r| r.condition == MachineCondition::MotorMisalignment)
+            .unwrap();
+        let mut f = features();
+        f.motor_2x = 0.3;
+        f.motor_1x = 0.1;
+        assert!(rule.evaluate(&f, true).is_some());
+        f.motor_1x = 0.5;
+        assert!(rule.evaluate(&f, true).is_none());
+    }
+
+    #[test]
+    fn load_sensitization_suppresses_low_load_looseness() {
+        let rule = chiller_rules()
+            .into_iter()
+            .find(|r| r.condition == MachineCondition::BearingHousingLooseness)
+            .unwrap();
+        let mut f = features();
+        f.motor_half_x = 0.1;
+        f.motor_harmonics = 0.15;
+        f.load = 0.15; // unloaded
+        assert!(rule.evaluate(&f, true).is_none(), "sensitized rule holds fire");
+        // The unsensitized (ablation) variant fires — the false positive
+        // the paper warns about.
+        assert!(rule.evaluate(&f, false).is_some());
+        // And under load the sensitized rule fires too.
+        f.load = 0.8;
+        assert!(rule.evaluate(&f, true).is_some());
+    }
+
+    #[test]
+    fn gear_rule_needs_sideband_corroboration() {
+        let rule = chiller_rules()
+            .into_iter()
+            .find(|r| r.condition == MachineCondition::GearToothWear)
+            .unwrap();
+        let mut f = features();
+        f.gear_mesh = 0.3;
+        f.gear_sidebands = 0.0;
+        assert!(rule.evaluate(&f, true).is_none(), "clean mesh tone alone is normal");
+        f.gear_sidebands = 0.1;
+        assert!(rule.evaluate(&f, true).is_some());
+    }
+
+    #[test]
+    fn multi_test_rule_takes_worst_feature() {
+        let rule = chiller_rules()
+            .into_iter()
+            .find(|r| r.condition == MachineCondition::BearingHousingLooseness)
+            .unwrap();
+        let mut f = features();
+        f.load = 0.9;
+        f.motor_half_x = 0.03; // mild
+        f.motor_harmonics = 0.19; // nearly extreme
+        let (sev, feat) = rule.evaluate(&f, true).unwrap();
+        assert_eq!(feat, FeatureId::MotorHarmonics);
+        assert!(sev > 0.8);
+    }
+
+    #[test]
+    fn quiet_features_fire_nothing() {
+        let f = features();
+        for rule in chiller_rules() {
+            assert!(
+                rule.evaluate(&f, true).is_none(),
+                "{} fired on silence",
+                rule.condition
+            );
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! The knowledge-fusion engine the PDME invokes.
+//!
+//! §5.1 fixes the control flow: new reports posted in the OOSM generate
+//! "new data" messages; the fusion components read the report, perform
+//! diagnostic and prognostic fusion, and post conclusions back. This
+//! module is the computational core of that loop: [`FusionEngine::ingest`]
+//! consumes one §7.2 report and updates (a) the Dempster–Shafer frame of
+//! the report's `(machine, logical group)` and (b) the conservative fused
+//! prognostic curve of its `(machine, condition)`. The engine renders the
+//! "prioritized list for the use of maintenance personnel" (§3.1) on
+//! demand.
+
+use crate::diagnostic::{DiagnosticFusion, FusedDiagnosis};
+use crate::prognostic::fuse_into;
+use mpros_core::{
+    ConditionReport, MachineCondition, MachineId, PrognosticVector, Result, Severity,
+    SimDuration,
+};
+use std::collections::HashMap;
+
+/// One row of the prioritized maintenance list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaintenanceItem {
+    /// The machine needing attention.
+    pub machine: MachineId,
+    /// The suspected condition.
+    pub condition: MachineCondition,
+    /// Fused Dempster–Shafer belief in the condition.
+    pub belief: f64,
+    /// Worst severity reported so far for the condition.
+    pub severity: Severity,
+    /// Fused (conservative-envelope) prognostic curve.
+    pub prognostic: PrognosticVector,
+    /// Estimated time to even-odds failure (50 % point of the fused
+    /// curve), if the curve reaches it.
+    pub median_time_to_failure: Option<SimDuration>,
+    /// Ranking key (higher = more urgent).
+    pub priority: f64,
+}
+
+/// The combined diagnostic + prognostic fusion engine.
+#[derive(Debug, Default)]
+pub struct FusionEngine {
+    diagnostic: DiagnosticFusion,
+    prognostics: HashMap<(MachineId, MachineCondition), PrognosticVector>,
+    worst_severity: HashMap<(MachineId, MachineCondition), Severity>,
+    reports_ingested: usize,
+}
+
+impl FusionEngine {
+    /// A fresh engine with no evidence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest one condition report: diagnostic fusion always runs;
+    /// prognostic fusion runs when the report carries a prognostic
+    /// vector (§5.6: "Prognostic knowledge fusion generates a new
+    /// prognostic vector for each suspect component whenever a new
+    /// prognostic report arrives").
+    pub fn ingest(&mut self, report: &ConditionReport) -> Result<FusedDiagnosis> {
+        let diagnosis = self.diagnostic.ingest(report)?;
+        let key = (report.machine, report.condition);
+        if report.has_prognostic() {
+            let fused = match self.prognostics.get(&key) {
+                Some(current) => fuse_into(current, &report.prognostic)?,
+                None => report.prognostic.clone(),
+            };
+            self.prognostics.insert(key, fused);
+        }
+        let worst = self
+            .worst_severity
+            .entry(key)
+            .or_insert(Severity::NONE);
+        *worst = worst.max(report.severity);
+        self.reports_ingested += 1;
+        Ok(diagnosis)
+    }
+
+    /// The diagnostic-fusion state.
+    pub fn diagnostic(&self) -> &DiagnosticFusion {
+        &self.diagnostic
+    }
+
+    /// The fused prognostic curve for a `(machine, condition)`, if any
+    /// prognostic report has arrived.
+    pub fn prognostic(
+        &self,
+        machine: MachineId,
+        condition: MachineCondition,
+    ) -> Option<&PrognosticVector> {
+        self.prognostics.get(&(machine, condition))
+    }
+
+    /// Number of reports ingested.
+    pub fn reports_ingested(&self) -> usize {
+        self.reports_ingested
+    }
+
+    /// Render the prioritized maintenance list: every condition with
+    /// positive fused belief, most urgent first.
+    ///
+    /// Priority heuristic: fused belief weighted by severity
+    /// (`0.3 + 0.7·severity`, so a believed-but-mild condition still
+    /// surfaces) and boosted when the fused prognosis crosses even odds
+    /// soon.
+    pub fn maintenance_list(&self) -> Vec<MaintenanceItem> {
+        let mut items = Vec::new();
+        for d in self.diagnostic.all() {
+            for &(condition, belief) in &d.beliefs {
+                if belief <= 0.0 {
+                    continue;
+                }
+                let key = (d.machine, condition);
+                let severity = self
+                    .worst_severity
+                    .get(&key)
+                    .copied()
+                    .unwrap_or(Severity::NONE);
+                let prognostic = self
+                    .prognostics
+                    .get(&key)
+                    .cloned()
+                    .unwrap_or_else(PrognosticVector::empty);
+                let median = prognostic.horizon_for_probability(0.5);
+                let urgency = match median {
+                    Some(ttf) => 1.0 / (1.0 + ttf.as_months().max(0.0)),
+                    None => 0.0,
+                };
+                let priority = belief * (0.3 + 0.7 * severity.value()) * (1.0 + urgency);
+                items.push(MaintenanceItem {
+                    machine: d.machine,
+                    condition,
+                    belief,
+                    severity,
+                    prognostic,
+                    median_time_to_failure: median,
+                    priority,
+                });
+            }
+        }
+        items.sort_by(|a, b| {
+            b.priority
+                .partial_cmp(&a.priority)
+                .expect("priorities are finite")
+        });
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpros_core::Belief;
+
+    fn report(
+        machine: u64,
+        condition: MachineCondition,
+        belief: f64,
+        severity: f64,
+    ) -> ConditionReport {
+        ConditionReport::builder(MachineId::new(machine), condition, Belief::new(belief))
+            .severity(severity)
+            .build()
+    }
+
+    fn prognostic_report(
+        machine: u64,
+        condition: MachineCondition,
+        belief: f64,
+        pairs: &[(f64, f64)],
+    ) -> ConditionReport {
+        ConditionReport::builder(MachineId::new(machine), condition, Belief::new(belief))
+            .prognostic(PrognosticVector::from_months(pairs).unwrap())
+            .build()
+    }
+
+    #[test]
+    fn ingest_updates_both_levels() {
+        let mut e = FusionEngine::new();
+        e.ingest(&prognostic_report(
+            1,
+            MachineCondition::MotorBearingDefect,
+            0.7,
+            &[(2.0, 0.5)],
+        ))
+        .unwrap();
+        assert_eq!(e.reports_ingested(), 1);
+        assert!(
+            e.prognostic(MachineId::new(1), MachineCondition::MotorBearingDefect)
+                .is_some()
+        );
+        let b = e
+            .diagnostic()
+            .belief(MachineId::new(1), MachineCondition::MotorBearingDefect);
+        assert!((b - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prognostics_fuse_conservatively_across_reports() {
+        let mut e = FusionEngine::new();
+        e.ingest(&prognostic_report(
+            1,
+            MachineCondition::GearToothWear,
+            0.5,
+            &[(3.0, 0.01), (4.0, 0.5), (5.0, 0.99)],
+        ))
+        .unwrap();
+        e.ingest(&prognostic_report(
+            1,
+            MachineCondition::GearToothWear,
+            0.5,
+            &[(4.5, 0.95)],
+        ))
+        .unwrap();
+        let fused = e
+            .prognostic(MachineId::new(1), MachineCondition::GearToothWear)
+            .unwrap();
+        let p = fused
+            .probability_at(SimDuration::from_months(4.5))
+            .value();
+        assert!((p - 0.95).abs() < 1e-9, "strong report dominates: {p}");
+    }
+
+    #[test]
+    fn diagnostic_only_report_leaves_prognostic_empty() {
+        let mut e = FusionEngine::new();
+        e.ingest(&report(1, MachineCondition::CompressorSurge, 0.6, 0.4))
+            .unwrap();
+        assert!(e
+            .prognostic(MachineId::new(1), MachineCondition::CompressorSurge)
+            .is_none());
+        let list = e.maintenance_list();
+        assert_eq!(list.len(), 1);
+        assert!(list[0].median_time_to_failure.is_none());
+    }
+
+    #[test]
+    fn maintenance_list_is_prioritized() {
+        let mut e = FusionEngine::new();
+        // Strong, severe, urgent bearing problem.
+        e.ingest(&prognostic_report(
+            1,
+            MachineCondition::MotorBearingDefect,
+            0.9,
+            &[(0.5, 0.6)],
+        ))
+        .unwrap();
+        e.ingest(&report(1, MachineCondition::MotorBearingDefect, 0.8, 0.9))
+            .unwrap();
+        // Weak, mild hunch about another machine.
+        e.ingest(&report(2, MachineCondition::CondenserFouling, 0.2, 0.1))
+            .unwrap();
+        let list = e.maintenance_list();
+        assert!(list.len() >= 2);
+        assert_eq!(list[0].machine, MachineId::new(1));
+        assert_eq!(list[0].condition, MachineCondition::MotorBearingDefect);
+        assert!(list[0].priority > list.last().unwrap().priority);
+        // Priorities are sorted descending throughout.
+        for w in list.windows(2) {
+            assert!(w[0].priority >= w[1].priority);
+        }
+    }
+
+    #[test]
+    fn severity_tracks_the_worst_report() {
+        let mut e = FusionEngine::new();
+        e.ingest(&report(1, MachineCondition::MotorImbalance, 0.4, 0.8))
+            .unwrap();
+        e.ingest(&report(1, MachineCondition::MotorImbalance, 0.4, 0.3))
+            .unwrap();
+        let list = e.maintenance_list();
+        let item = list
+            .iter()
+            .find(|i| i.condition == MachineCondition::MotorImbalance)
+            .unwrap();
+        assert_eq!(item.severity.value(), 0.8, "keeps the worst severity");
+    }
+
+    #[test]
+    fn within_group_companions_appear_with_zero_extra_reports() {
+        // A report about imbalance also defines (zero) belief rows for
+        // its group companions; the list shows only positive beliefs.
+        let mut e = FusionEngine::new();
+        e.ingest(&report(1, MachineCondition::MotorImbalance, 0.6, 0.5))
+            .unwrap();
+        let list = e.maintenance_list();
+        assert_eq!(list.len(), 1, "only the believed condition is listed");
+    }
+
+    #[test]
+    fn urgency_boosts_priority() {
+        let mut e = FusionEngine::new();
+        // Same belief/severity; one fails much sooner.
+        e.ingest(&prognostic_report(
+            1,
+            MachineCondition::MotorBearingDefect,
+            0.6,
+            &[(0.25, 0.9)],
+        ))
+        .unwrap();
+        e.ingest(&prognostic_report(
+            2,
+            MachineCondition::CompressorBearingDefect,
+            0.6,
+            &[(12.0, 0.9)],
+        ))
+        .unwrap();
+        let list = e.maintenance_list();
+        assert_eq!(list[0].machine, MachineId::new(1), "sooner failure first");
+        let m1 = list[0].median_time_to_failure.unwrap();
+        let m2 = list[1].median_time_to_failure.unwrap();
+        assert!(m1 < m2);
+    }
+}

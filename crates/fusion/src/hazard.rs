@@ -1,0 +1,306 @@
+//! Hazard/survival refinement (§10.1 future work).
+//!
+//! "Prognostic knowledge fusion could be improved with the addition of
+//! techniques from the analysis of hazard and survival data. These
+//! approaches scrutinize history data to refine the estimates of
+//! life-cycle performance for failures."
+//!
+//! A two-parameter Weibull model is fitted to historical
+//! failure/censoring times by maximum likelihood (Newton iteration on
+//! the shape parameter's profile-likelihood equation), and the fitted
+//! survival function is rendered as a §5.4 prognostic vector —
+//! optionally *conditioned on survival to the current age*, which is
+//! what refines a generic life estimate into a unit-specific one.
+
+use mpros_core::{Error, PrognosticPoint, PrognosticVector, Result, SimDuration};
+
+/// One observed lifetime: time on test and whether it ended in failure
+/// (false = right-censored: still running when observation stopped).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lifetime {
+    /// Hours (or any consistent unit) on test.
+    pub time: f64,
+    /// True if the unit failed at `time`; false if censored.
+    pub failed: bool,
+}
+
+impl Lifetime {
+    /// A failure observation.
+    pub fn failure(time: f64) -> Self {
+        Lifetime { time, failed: true }
+    }
+
+    /// A censored (still-alive) observation.
+    pub fn censored(time: f64) -> Self {
+        Lifetime { time, failed: false }
+    }
+}
+
+/// A fitted two-parameter Weibull life model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeibullFit {
+    /// Shape β (> 1: wear-out, < 1: infant mortality, 1: memoryless).
+    pub shape: f64,
+    /// Scale η, in the data's time unit (the 63.2 % life).
+    pub scale: f64,
+}
+
+impl WeibullFit {
+    /// Maximum-likelihood fit. Needs at least 2 failures (censored
+    /// observations contribute to the likelihood but cannot identify
+    /// the model alone). Times must be positive.
+    pub fn fit(data: &[Lifetime]) -> Result<WeibullFit> {
+        let failures: Vec<f64> = data.iter().filter(|l| l.failed).map(|l| l.time).collect();
+        if failures.len() < 2 {
+            return Err(Error::invalid("need at least two failures to fit"));
+        }
+        if data
+            .iter()
+            .any(|l| l.time.is_nan() || l.time <= 0.0 || !l.time.is_finite())
+        {
+            return Err(Error::invalid("lifetimes must be positive and finite"));
+        }
+        let times: Vec<f64> = data.iter().map(|l| l.time).collect();
+        let logs_f: Vec<f64> = failures.iter().map(|t| t.ln()).collect();
+        let mean_log_f = logs_f.iter().sum::<f64>() / failures.len() as f64;
+
+        // Profile-likelihood equation for β:
+        //   g(β) = Σ t^β ln t / Σ t^β − 1/β − mean(ln t_fail) = 0
+        // Solved by Newton with a bisection-style safeguard.
+        let g = |beta: f64| -> f64 {
+            let mut s0 = 0.0;
+            let mut s1 = 0.0;
+            for &t in &times {
+                let tb = t.powf(beta);
+                s0 += tb;
+                s1 += tb * t.ln();
+            }
+            s1 / s0 - 1.0 / beta - mean_log_f
+        };
+        let mut lo = 0.05;
+        let mut hi = 50.0;
+        if g(lo) > 0.0 || g(hi) < 0.0 {
+            return Err(Error::invalid(
+                "degenerate lifetime data (no Weibull shape solves the MLE equation)",
+            ));
+        }
+        let mut beta = 1.0;
+        for _ in 0..100 {
+            let v = g(beta);
+            if v.abs() < 1e-12 {
+                break;
+            }
+            if v > 0.0 {
+                hi = beta;
+            } else {
+                lo = beta;
+            }
+            // Secant-ish step with bisection fallback.
+            let eps = 1e-6;
+            let dv = (g(beta + eps) - v) / eps;
+            let next = beta - v / dv;
+            beta = if next.is_finite() && next > lo && next < hi {
+                next
+            } else {
+                0.5 * (lo + hi)
+            };
+        }
+        let s0: f64 = times.iter().map(|t| t.powf(beta)).sum();
+        let scale = (s0 / failures.len() as f64).powf(1.0 / beta);
+        Ok(WeibullFit { shape: beta, scale })
+    }
+
+    /// Survival function S(t).
+    pub fn survival(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 1.0;
+        }
+        (-(t / self.scale).powf(self.shape)).exp()
+    }
+
+    /// Cumulative failure probability F(t) = 1 − S(t).
+    pub fn failure_probability(&self, t: f64) -> f64 {
+        1.0 - self.survival(t)
+    }
+
+    /// Hazard rate h(t) = (β/η)(t/η)^{β−1}.
+    pub fn hazard(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return if self.shape < 1.0 { f64::INFINITY } else { 0.0 };
+        }
+        (self.shape / self.scale) * (t / self.scale).powf(self.shape - 1.0)
+    }
+
+    /// Median life.
+    pub fn median(&self) -> f64 {
+        self.scale * (2.0f64.ln()).powf(1.0 / self.shape)
+    }
+
+    /// Render the fitted model as a §5.4 prognostic vector over
+    /// `horizons` (same unit as the data, converted by `unit`),
+    /// conditioned on survival to `current_age` — the refinement §10.1
+    /// asks for: a unit that has already survived long tells a different
+    /// story than a fresh one.
+    pub fn prognostic_vector(
+        &self,
+        current_age: f64,
+        horizons: &[f64],
+        unit: impl Fn(f64) -> SimDuration,
+    ) -> Result<PrognosticVector> {
+        if current_age < 0.0 {
+            return Err(Error::invalid("age must be non-negative"));
+        }
+        let s_now = self.survival(current_age).max(1e-12);
+        let points = horizons
+            .iter()
+            .filter(|&&h| h > 0.0)
+            .map(|&h| {
+                let p = 1.0 - self.survival(current_age + h) / s_now;
+                PrognosticPoint::new(unit(h), p.clamp(0.0, 1.0))
+            })
+            .collect();
+        PrognosticVector::new(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Deterministic Weibull sample via inverse CDF at fixed quantiles.
+    fn weibull_sample(shape: f64, scale: f64, n: usize) -> Vec<Lifetime> {
+        (1..=n)
+            .map(|i| {
+                let u = i as f64 / (n as f64 + 1.0);
+                let t = scale * (-(1.0 - u).ln()).powf(1.0 / shape);
+                Lifetime::failure(t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_known_parameters() {
+        for (shape, scale) in [(1.5, 1_000.0), (3.0, 500.0), (0.8, 2_000.0)] {
+            let data = weibull_sample(shape, scale, 200);
+            let fit = WeibullFit::fit(&data).unwrap();
+            assert!(
+                (fit.shape - shape).abs() / shape < 0.1,
+                "shape {} vs {shape}",
+                fit.shape
+            );
+            assert!(
+                (fit.scale - scale).abs() / scale < 0.05,
+                "scale {} vs {scale}",
+                fit.scale
+            );
+        }
+    }
+
+    #[test]
+    fn censoring_extends_life_estimates() {
+        // Same failures, plus long-running censored units: the fleet is
+        // healthier than the failures alone suggest.
+        let failures = weibull_sample(2.0, 1_000.0, 40);
+        let fit_plain = WeibullFit::fit(&failures).unwrap();
+        let mut with_censored = failures;
+        for _ in 0..40 {
+            with_censored.push(Lifetime::censored(1_500.0));
+        }
+        let fit_cens = WeibullFit::fit(&with_censored).unwrap();
+        assert!(
+            fit_cens.scale > fit_plain.scale,
+            "{} should exceed {}",
+            fit_cens.scale,
+            fit_plain.scale
+        );
+    }
+
+    #[test]
+    fn fit_validation() {
+        assert!(WeibullFit::fit(&[]).is_err());
+        assert!(WeibullFit::fit(&[Lifetime::failure(10.0)]).is_err());
+        assert!(WeibullFit::fit(&[
+            Lifetime::censored(10.0),
+            Lifetime::censored(20.0)
+        ])
+        .is_err());
+        assert!(WeibullFit::fit(&[
+            Lifetime::failure(-1.0),
+            Lifetime::failure(2.0)
+        ])
+        .is_err());
+        // Identical failure times: no finite shape solves the MLE.
+        assert!(WeibullFit::fit(&[
+            Lifetime::failure(5.0),
+            Lifetime::failure(5.0)
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn survival_identities() {
+        let fit = WeibullFit {
+            shape: 2.0,
+            scale: 100.0,
+        };
+        assert_eq!(fit.survival(0.0), 1.0);
+        assert!((fit.survival(100.0) - (-1.0f64).exp()).abs() < 1e-12);
+        assert!((fit.failure_probability(50.0) + fit.survival(50.0) - 1.0).abs() < 1e-12);
+        assert!((fit.median() - 100.0 * 2.0f64.ln().sqrt()).abs() < 1e-9);
+        // Wear-out hazard increases.
+        assert!(fit.hazard(200.0) > fit.hazard(100.0));
+    }
+
+    #[test]
+    fn prognostic_vector_conditions_on_age() {
+        let fit = WeibullFit {
+            shape: 3.0,
+            scale: 1_000.0,
+        };
+        let horizons = [100.0, 300.0, 600.0];
+        let fresh = fit
+            .prognostic_vector(0.0, &horizons, SimDuration::from_hours)
+            .unwrap();
+        let aged = fit
+            .prognostic_vector(900.0, &horizons, SimDuration::from_hours)
+            .unwrap();
+        // A wear-out unit that has survived to 90 % of its scale life is
+        // in far more danger over the next 300 h than a fresh one.
+        let p_fresh = fresh.probability_at(SimDuration::from_hours(300.0)).value();
+        let p_aged = aged.probability_at(SimDuration::from_hours(300.0)).value();
+        assert!(
+            p_aged > 3.0 * p_fresh,
+            "aged {p_aged} vs fresh {p_fresh}"
+        );
+        assert!(fit.prognostic_vector(-1.0, &horizons, SimDuration::from_hours).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn survival_is_monotone_decreasing(
+            shape in 0.5..5.0f64,
+            scale in 10.0..1_000.0f64,
+            a in 0.0..2_000.0f64,
+            b in 0.0..2_000.0f64
+        ) {
+            let fit = WeibullFit { shape, scale };
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(fit.survival(lo) >= fit.survival(hi));
+            prop_assert!((0.0..=1.0).contains(&fit.survival(a)));
+        }
+
+        #[test]
+        fn fitted_prognostics_are_valid_vectors(
+            shape in 1.0..4.0f64,
+            scale in 100.0..2_000.0f64,
+            age in 0.0..1_000.0f64
+        ) {
+            let fit = WeibullFit { shape, scale };
+            let v = fit
+                .prognostic_vector(age, &[50.0, 150.0, 400.0, 900.0], SimDuration::from_hours)
+                .unwrap();
+            prop_assert_eq!(v.len(), 4);
+        }
+    }
+}

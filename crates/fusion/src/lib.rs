@@ -1,0 +1,48 @@
+//! # mpros-fusion
+//!
+//! Knowledge Fusion (§5 of the paper): "the coordination of individual
+//! data reports from a variety of sensors ... It must be able to
+//! accommodate inputs which are incomplete, time-disordered, fragmentary,
+//! and which have gaps, inconsistencies, and contradictions."
+//!
+//! Two fusion levels are implemented, exactly as in the paper's phase-1
+//! system:
+//!
+//! * **Diagnostic fusion** ([`mass`], [`diagnostic`]) — Dempster–Shafer
+//!   belief combination. "Given a belief of 40% that A will occur and
+//!   another belief of 75% that B or C will occur, it will conclude that
+//!   A is 14% likely, 'B or C' is 64% likely and there is 22% of belief
+//!   assigned to unknown possibilities" (§5.3). The frame of discernment
+//!   is not the whole failure catalog but one *logical group* of related
+//!   failures, "because ... there can, in fact, be several failures at
+//!   one time" — groups are fused independently so concurrent failures
+//!   in different groups never steal each other's mass.
+//!
+//! * **Prognostic fusion** ([`prognostic`]) — combination of
+//!   `(time, probability)` curves "taking the most conservative estimate
+//!   at any given time period, and interpolating a smooth curve from
+//!   point to point" (§5.4).
+//!
+//! [`engine::FusionEngine`] ties both together behind the report-driven
+//! interface the PDME invokes on OOSM "new data" events.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+//! Two §10.1 "future directions" are implemented as well: Bayesian-
+//! network diagnosis for when historical priors exist ([`bayes`]) and
+//! hazard/survival refinement of prognostic estimates ([`hazard`]).
+
+pub mod bayes;
+pub mod diagnostic;
+pub mod engine;
+pub mod hazard;
+pub mod mass;
+pub mod prognostic;
+
+pub use bayes::NoisyOrNetwork;
+pub use diagnostic::{DiagnosticFusion, FusedDiagnosis};
+pub use engine::{FusionEngine, MaintenanceItem};
+pub use hazard::{Lifetime, WeibullFit};
+pub use mass::{MassFunction, Subset};
+pub use prognostic::fuse_prognostics;

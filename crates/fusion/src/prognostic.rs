@@ -1,0 +1,246 @@
+//! Prognostic knowledge fusion (§5.4).
+//!
+//! "Knowledge fusion for prognostics is the combination of these lists of
+//! time and failure likelihoods. Our approach in phase one has been to
+//! combine the lists taking the most conservative estimate at any given
+//! time period, and interpolating a smooth curve from point to point."
+//!
+//! The fused curve is the upper envelope of the input curves (a higher
+//! failure probability at a given horizon is the more conservative
+//! estimate), sampled at the union of all input horizons. Each input
+//! contributes its §5.4 interpolation/extrapolation semantics (see
+//! [`mpros_core::PrognosticVector`]), so a strong late report "would
+//! dominate, and the extrapolation of the curve beyond this point would
+//! indicate an even earlier demise".
+
+use mpros_core::{PrognosticPoint, PrognosticVector, Result, SimDuration};
+
+/// Fuse prognostic vectors into the conservative envelope. Empty inputs
+/// are ignored; fusing nothing (or only empties) yields the empty
+/// vector.
+pub fn fuse_prognostics(vectors: &[PrognosticVector]) -> Result<PrognosticVector> {
+    let live: Vec<&PrognosticVector> = vectors.iter().filter(|v| !v.is_empty()).collect();
+    if live.is_empty() {
+        return Ok(PrognosticVector::empty());
+    }
+    if live.len() == 1 {
+        return Ok(live[0].clone());
+    }
+    // Union of all sample horizons, deduplicated.
+    let mut horizons: Vec<f64> = live
+        .iter()
+        .flat_map(|v| v.points().iter().map(|p| p.horizon.as_secs()))
+        .collect();
+    horizons.sort_by(|a, b| a.partial_cmp(b).expect("horizons are finite"));
+    horizons.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+
+    // Envelope: max over curves at each horizon. A report contributes
+    // evidence only from its first sampled horizon onward — §5.4's
+    // example *ignores* a weak (4.5 mo, 0.12) report against a stronger
+    // existing curve; had the report's rise-from-origin interpolation
+    // counted as evidence, it would instead have lifted the early part
+    // of the curve. A running max guards the cumulative invariant
+    // against floating-point jitter.
+    let mut running = 0.0f64;
+    let points: Vec<PrognosticPoint> = horizons
+        .into_iter()
+        .map(|h| {
+            let d = SimDuration::from_secs(h);
+            let p = live
+                .iter()
+                .filter(|v| {
+                    v.points().first().expect("nonempty").horizon.as_secs() <= h + 1e-9
+                })
+                .map(|v| v.probability_at(d).value())
+                .fold(0.0, f64::max);
+            running = running.max(p);
+            PrognosticPoint::new(d, running)
+        })
+        .collect();
+    PrognosticVector::new(points)
+}
+
+/// Incrementally fuse one new report into an existing fused curve.
+pub fn fuse_into(current: &PrognosticVector, incoming: &PrognosticVector) -> Result<PrognosticVector> {
+    fuse_prognostics(&[current.clone(), incoming.clone()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn months(pairs: &[(f64, f64)]) -> PrognosticVector {
+        PrognosticVector::from_months(pairs).unwrap()
+    }
+
+    fn p_at(v: &PrognosticVector, m: f64) -> f64 {
+        v.probability_at(SimDuration::from_months(m)).value()
+    }
+
+    /// §5.4 worked example 1: "((3 months, .01) (4 months, .5)
+    /// (5 months, .99)) and we need to combine this with another report
+    /// showing that the same component will experience some small trouble
+    /// at 4 1/2 months ((4.5 months, .12)), then we will ignore the second
+    /// report, and stick with the first which is more conservative."
+    #[test]
+    fn paper_example_weak_report_is_ignored() {
+        let first = months(&[(3.0, 0.01), (4.0, 0.5), (5.0, 0.99)]);
+        let second = months(&[(4.5, 0.12)]);
+        let fused = fuse_prognostics(&[first.clone(), second]).unwrap();
+        // The fused curve equals the first curve everywhere that matters.
+        for m in [1.0, 2.0, 3.0, 3.5, 4.0, 4.25, 4.5, 4.75, 5.0, 6.0] {
+            assert!(
+                (p_at(&fused, m) - p_at(&first, m)).abs() < 1e-9,
+                "fused differs from first at {m} months"
+            );
+        }
+    }
+
+    /// §5.4 worked example 2: "If, however, the second report indicates a
+    /// much higher likelihood of failure ((4.5 months, .95)) then this
+    /// report would dominate, and the extrapolation of the curve beyond
+    /// this point would indicate an even earlier demise of the component
+    /// that the original which would be some time after 5 months."
+    #[test]
+    fn paper_example_strong_report_dominates() {
+        let first = months(&[(3.0, 0.01), (4.0, 0.5), (5.0, 0.99)]);
+        let second = months(&[(4.5, 0.95)]);
+        let fused = fuse_prognostics(&[first.clone(), second]).unwrap();
+        // At 4.5 months the stronger report wins (first interpolates to
+        // 0.745 there).
+        assert!((p_at(&fused, 4.5) - 0.95).abs() < 1e-9);
+        // Everywhere, fused ≥ first (conservatism).
+        for m in [1.0, 3.0, 4.0, 4.2, 4.5, 4.8, 5.0, 5.5] {
+            assert!(p_at(&fused, m) >= p_at(&first, m) - 1e-9);
+        }
+        // "Even earlier demise": the fused curve reaches high failure
+        // probability earlier than the original.
+        let h_first = first.horizon_for_probability(0.9).unwrap();
+        let h_fused = fused.horizon_for_probability(0.9).unwrap();
+        assert!(
+            h_fused < h_first,
+            "fused 90% point {} should precede original {}",
+            h_fused,
+            h_first
+        );
+    }
+
+    #[test]
+    fn empty_inputs_are_ignored() {
+        let v = months(&[(2.0, 0.4)]);
+        let fused = fuse_prognostics(&[PrognosticVector::empty(), v.clone()]).unwrap();
+        assert_eq!(fused, v);
+        assert!(fuse_prognostics(&[]).unwrap().is_empty());
+        assert!(
+            fuse_prognostics(&[PrognosticVector::empty(), PrognosticVector::empty()])
+                .unwrap()
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn single_vector_passes_through() {
+        let v = months(&[(1.0, 0.1), (2.0, 0.2)]);
+        assert_eq!(fuse_prognostics(&[v.clone()]).unwrap(), v);
+    }
+
+    #[test]
+    fn fusion_is_idempotent() {
+        let v = months(&[(1.0, 0.1), (3.0, 0.7)]);
+        let fused = fuse_prognostics(&[v.clone(), v.clone()]).unwrap();
+        for m in [0.5, 1.0, 2.0, 3.0, 4.0] {
+            assert!((p_at(&fused, m) - p_at(&v, m)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fuse_into_matches_batch() {
+        let a = months(&[(1.0, 0.2), (2.0, 0.5)]);
+        let b = months(&[(1.5, 0.6)]);
+        let inc = fuse_into(&a, &b).unwrap();
+        let batch = fuse_prognostics(&[a, b]).unwrap();
+        for m in [0.5, 1.0, 1.5, 2.0, 3.0] {
+            assert!((p_at(&inc, m) - p_at(&batch, m)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn crossing_curves_take_the_max_of_each() {
+        // a is worse early; b is worse late.
+        let a = months(&[(1.0, 0.5), (4.0, 0.6)]);
+        let b = months(&[(2.0, 0.1), (4.0, 0.9)]);
+        let fused = fuse_prognostics(&[a.clone(), b.clone()]).unwrap();
+        assert!((p_at(&fused, 1.0) - 0.5).abs() < 1e-9, "early from a");
+        assert!((p_at(&fused, 4.0) - 0.9).abs() < 1e-9, "late from b");
+    }
+
+    fn arb_vec() -> impl Strategy<Value = PrognosticVector> {
+        proptest::collection::vec((0.5..24.0f64, 0.0..=1.0f64), 1..6).prop_map(|mut raw| {
+            raw.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            raw.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-3);
+            let mut acc: f64 = 0.0;
+            let pts: Vec<(f64, f64)> = raw
+                .into_iter()
+                .map(|(m, p)| {
+                    acc = acc.max(p);
+                    (m, acc)
+                })
+                .collect();
+            PrognosticVector::from_months(&pts).unwrap()
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn envelope_dominates_every_input(
+            vs in proptest::collection::vec(arb_vec(), 1..5),
+            frac in 0.01..1.0f64
+        ) {
+            // Dominance is guaranteed over each input's own sampled
+            // range; beyond its last sample an input's value is
+            // *extrapolation*, which §5.4 does not treat as a reported
+            // estimate.
+            let fused = fuse_prognostics(&vs).unwrap();
+            for v in &vs {
+                // ... and only from its first sample onward (before that
+                // the input's rise-from-origin is not evidence).
+                let first = v.points().first().expect("nonempty").horizon;
+                let last = v.points().last().expect("nonempty").horizon;
+                let m = first + (last - first) * frac;
+                prop_assert!(
+                    fused.probability_at(m).value() >= v.probability_at(m).value() - 1e-9,
+                    "envelope below an input at {m}"
+                );
+            }
+        }
+
+        #[test]
+        fn envelope_is_tight_at_sample_points(vs in proptest::collection::vec(arb_vec(), 1..5)) {
+            // At each of its own sample horizons the envelope equals the
+            // max over contributing inputs (those whose evidence has
+            // started), modulo the running-max monotonicity guard.
+            let fused = fuse_prognostics(&vs).unwrap();
+            let mut running = 0.0f64;
+            for p in fused.points() {
+                let expect = vs
+                    .iter()
+                    .filter(|v| {
+                        v.points().first().expect("nonempty").horizon.as_secs()
+                            <= p.horizon.as_secs() + 1e-9
+                    })
+                    .map(|v| v.probability_at(p.horizon).value())
+                    .fold(0.0, f64::max);
+                running = running.max(expect);
+                prop_assert!((p.probability.value() - running).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn fusion_is_commutative(a in arb_vec(), b in arb_vec(), m in 0.1..30.0f64) {
+            let ab = fuse_prognostics(&[a.clone(), b.clone()]).unwrap();
+            let ba = fuse_prognostics(&[b, a]).unwrap();
+            prop_assert!((p_at(&ab, m) - p_at(&ba, m)).abs() < 1e-9);
+        }
+    }
+}

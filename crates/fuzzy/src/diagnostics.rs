@@ -1,0 +1,514 @@
+//! The process-fault rule base.
+//!
+//! One Mamdani engine per process-dominant FMEA mode. Inputs are
+//! *deviations from the load-compensated healthy baseline* (the fuzzy
+//! analogue of the DLI rules' load sensitization): a warm chilled-water
+//! supply means something different at 20 % and 100 % load, so the rule
+//! base normalizes against the plant's expected operating point before
+//! fuzzifying. Oscillation signatures (surge) use the swing of the
+//! variable across the observation window.
+
+use crate::inference::{FuzzyRule, MamdaniEngine};
+use crate::membership::MembershipFunction as MF;
+use crate::variable::LinguisticVariable;
+use mpros_chiller::process::ProcessSnapshot;
+use mpros_core::{
+    Belief, ConditionReport, DcId, KnowledgeSourceId, MachineCondition, MachineId,
+    PrognosticVector, ReportId, Result, Severity, SeverityGrade, SimTime,
+};
+use std::collections::HashMap;
+
+/// Minimum crisp severity to emit a diagnosis.
+const EMIT_THRESHOLD: f64 = 0.08;
+/// Base believability of the fuzzy knowledge source (its rules are
+/// indirect, process-level evidence).
+const BASE_BELIEVABILITY: f64 = 0.85;
+
+/// One fuzzy diagnosis.
+#[derive(Debug, Clone)]
+pub struct FuzzyDiagnosis {
+    /// Diagnosed condition.
+    pub condition: MachineCondition,
+    /// Defuzzified severity.
+    pub severity: Severity,
+    /// Severity grade.
+    pub grade: SeverityGrade,
+    /// Activation-weighted belief.
+    pub belief: Belief,
+    /// The strongest rule's label.
+    pub explanation: String,
+    /// Grade-template prognostic curve.
+    pub prognostic: PrognosticVector,
+}
+
+impl FuzzyDiagnosis {
+    /// Render as a §7.2 protocol report.
+    pub fn to_report(
+        &self,
+        id: ReportId,
+        dc: DcId,
+        ks: KnowledgeSourceId,
+        machine: MachineId,
+        timestamp: SimTime,
+    ) -> ConditionReport {
+        ConditionReport::builder(machine, self.condition, self.belief)
+            .id(id)
+            .dc(dc)
+            .knowledge_source(ks)
+            .severity(self.severity)
+            .timestamp(timestamp)
+            .explanation(self.explanation.clone())
+            .prognostic(self.prognostic.clone())
+            .build()
+    }
+}
+
+/// The fuzzy-logic diagnostic suite.
+#[derive(Debug, Clone)]
+pub struct FuzzyDiagnostics {
+    engines: Vec<(MachineCondition, MamdaniEngine)>,
+}
+
+impl Default for FuzzyDiagnostics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FuzzyDiagnostics {
+    /// Build the chiller rule base.
+    pub fn new() -> Self {
+        FuzzyDiagnostics {
+            engines: vec![
+                (MachineCondition::RefrigerantLeak, leak_engine()),
+                (MachineCondition::CondenserFouling, fouling_engine()),
+                (MachineCondition::LubeOilDegradation, oil_engine()),
+                (MachineCondition::MotorWindingInsulation, winding_engine()),
+                (MachineCondition::CompressorSurge, surge_engine()),
+            ],
+        }
+    }
+
+    /// The conditions this suite can diagnose.
+    pub fn covered_conditions(&self) -> Vec<MachineCondition> {
+        self.engines.iter().map(|(c, _)| *c).collect()
+    }
+
+    /// Analyze a window of process snapshots (≥ 1; more samples improve
+    /// the oscillation features). Returns diagnoses above threshold,
+    /// strongest first.
+    pub fn analyze(&self, window: &[ProcessSnapshot]) -> Result<Vec<FuzzyDiagnosis>> {
+        if window.is_empty() {
+            return Err(mpros_core::Error::invalid("empty snapshot window"));
+        }
+        let inputs = derive_inputs(window);
+        let mut out = Vec::new();
+        for (condition, engine) in &self.engines {
+            let r = engine.infer(&inputs);
+            if r.crisp < EMIT_THRESHOLD || r.max_activation <= 0.05 {
+                continue;
+            }
+            let severity = Severity::new(r.crisp);
+            let grade = severity.grade();
+            let explanation = r
+                .strongest_rule()
+                .map(|(i, a)| format!("{} (activation {:.2})", engine.rules()[i].label, a))
+                .unwrap_or_default();
+            out.push(FuzzyDiagnosis {
+                condition: *condition,
+                severity,
+                grade,
+                belief: Belief::new(BASE_BELIEVABILITY * r.max_activation),
+                explanation,
+                prognostic: mpros_core::prognostic::grade_template(grade),
+            });
+        }
+        out.sort_by(|a, b| {
+            b.severity
+                .partial_cmp(&a.severity)
+                .expect("severities are finite")
+        });
+        Ok(out)
+    }
+}
+
+/// Load-compensated deviation inputs from a snapshot window.
+fn derive_inputs(window: &[ProcessSnapshot]) -> HashMap<String, f64> {
+    let n = window.len() as f64;
+    let mean = |f: &dyn Fn(&ProcessSnapshot) -> f64| window.iter().map(f).sum::<f64>() / n;
+    let swing = |f: &dyn Fn(&ProcessSnapshot) -> f64| {
+        let hi = window.iter().map(f).fold(f64::MIN, f64::max);
+        let lo = window.iter().map(f).fold(f64::MAX, f64::min);
+        hi - lo
+    };
+    let load = mean(&|s| s.load);
+    // Healthy baselines at this load (the plant's rating sheet).
+    let evap_base = 350.0 - 30.0 * load;
+    let cond_base = 800.0 + 90.0 * load;
+    let supply_base = 6.7;
+    let oil_p_base = 180.0;
+    let oil_t_base = 45.0 + 8.0 * load;
+    let winding_base = 60.0 + 35.0 * load;
+
+    let mut m = HashMap::new();
+    m.insert("evap_deficit".into(), evap_base - mean(&|s| s.evap_pressure_kpa));
+    m.insert("cond_excess".into(), mean(&|s| s.cond_pressure_kpa) - cond_base);
+    m.insert("supply_excess".into(), mean(&|s| s.chw_supply_c) - supply_base);
+    m.insert("oil_deficit".into(), oil_p_base - mean(&|s| s.oil_pressure_kpa));
+    m.insert("oil_excess".into(), mean(&|s| s.oil_temp_c) - oil_t_base);
+    m.insert(
+        "winding_excess".into(),
+        mean(&|s| s.winding_temp_c) - winding_base,
+    );
+    m.insert("cond_swing".into(), swing(&|s| s.cond_pressure_kpa));
+    m.insert("current_swing".into(), swing(&|s| s.motor_current_a));
+    m
+}
+
+fn severity_output() -> LinguisticVariable {
+    LinguisticVariable::new(
+        "severity",
+        vec![
+            ("none", MF::ShoulderLeft { full: 0.02, zero: 0.12 }),
+            ("slight", MF::Triangular { a: 0.05, b: 0.18, c: 0.32 }),
+            ("moderate", MF::Triangular { a: 0.28, b: 0.45, c: 0.62 }),
+            ("serious", MF::Triangular { a: 0.55, b: 0.68, c: 0.82 }),
+            ("extreme", MF::ShoulderRight { zero: 0.75, full: 0.92 }),
+        ],
+    )
+    .expect("static output variable is valid")
+}
+
+fn var(name: &str, terms: Vec<(&str, MF)>) -> LinguisticVariable {
+    LinguisticVariable::new(name, terms).expect("static variables are valid")
+}
+
+fn leak_engine() -> MamdaniEngine {
+    let evap = var(
+        "evap_deficit",
+        vec![
+            ("none", MF::ShoulderLeft { full: 15.0, zero: 40.0 }),
+            ("some", MF::Triangular { a: 25.0, b: 60.0, c: 95.0 }),
+            ("severe", MF::ShoulderRight { zero: 70.0, full: 110.0 }),
+        ],
+    );
+    let supply = var(
+        "supply_excess",
+        vec![
+            ("normal", MF::ShoulderLeft { full: 0.6, zero: 1.4 }),
+            ("warm", MF::Triangular { a: 0.9, b: 1.8, c: 2.7 }),
+            ("hot", MF::ShoulderRight { zero: 2.0, full: 2.9 }),
+        ],
+    );
+    MamdaniEngine::new(
+        vec![evap, supply],
+        severity_output(),
+        vec![
+            FuzzyRule::new(
+                "evaporator starved and supply water hot: major charge loss",
+                &[("evap_deficit", "severe"), ("supply_excess", "hot")],
+                "extreme",
+            ),
+            FuzzyRule::new(
+                "evaporator starved: charge loss",
+                &[("evap_deficit", "severe")],
+                "serious",
+            ),
+            FuzzyRule::new(
+                "evaporator pressure sagging with warm supply",
+                &[("evap_deficit", "some"), ("supply_excess", "warm")],
+                "moderate",
+            ),
+            FuzzyRule::new(
+                "evaporator pressure sagging",
+                &[("evap_deficit", "some")],
+                "slight",
+            ),
+        ],
+    )
+    .expect("static rule base is valid")
+}
+
+fn fouling_engine() -> MamdaniEngine {
+    let cond = var(
+        "cond_excess",
+        vec![
+            ("normal", MF::ShoulderLeft { full: 30.0, zero: 70.0 }),
+            ("elevated", MF::Triangular { a: 50.0, b: 105.0, c: 160.0 }),
+            ("high", MF::ShoulderRight { zero: 120.0, full: 172.0 }),
+        ],
+    );
+    MamdaniEngine::new(
+        vec![cond],
+        severity_output(),
+        vec![
+            FuzzyRule::new(
+                "head pressure far above rating: fouled tubes",
+                &[("cond_excess", "high")],
+                "serious",
+            ),
+            FuzzyRule::new(
+                "head pressure climbing: fouling developing",
+                &[("cond_excess", "elevated")],
+                "moderate",
+            ),
+        ],
+    )
+    .expect("static rule base is valid")
+}
+
+fn oil_engine() -> MamdaniEngine {
+    let oil_p = var(
+        "oil_deficit",
+        vec![
+            ("normal", MF::ShoulderLeft { full: 12.0, zero: 30.0 }),
+            ("low", MF::Triangular { a: 20.0, b: 42.0, c: 62.0 }),
+            ("very_low", MF::ShoulderRight { zero: 50.0, full: 68.0 }),
+        ],
+    );
+    let oil_t = var(
+        "oil_excess",
+        vec![
+            ("normal", MF::ShoulderLeft { full: 4.0, zero: 8.0 }),
+            ("hot", MF::Triangular { a: 6.0, b: 12.0, c: 18.0 }),
+            ("very_hot", MF::ShoulderRight { zero: 14.0, full: 21.0 }),
+        ],
+    );
+    MamdaniEngine::new(
+        vec![oil_p, oil_t],
+        severity_output(),
+        vec![
+            FuzzyRule::new(
+                "oil pressure collapsed and oil overheating",
+                &[("oil_deficit", "very_low"), ("oil_excess", "very_hot")],
+                "extreme",
+            ),
+            FuzzyRule::new(
+                "oil pressure low and running hot",
+                &[("oil_deficit", "low"), ("oil_excess", "hot")],
+                "serious",
+            ),
+            FuzzyRule::new(
+                "oil pressure low",
+                &[("oil_deficit", "low")],
+                "moderate",
+            ),
+            FuzzyRule::new("oil running hot", &[("oil_excess", "hot")], "slight"),
+        ],
+    )
+    .expect("static rule base is valid")
+}
+
+fn winding_engine() -> MamdaniEngine {
+    let w = var(
+        "winding_excess",
+        vec![
+            ("normal", MF::ShoulderLeft { full: 8.0, zero: 15.0 }),
+            ("hot", MF::Triangular { a: 12.0, b: 24.0, c: 36.0 }),
+            ("very_hot", MF::ShoulderRight { zero: 30.0, full: 43.0 }),
+        ],
+    );
+    MamdaniEngine::new(
+        vec![w],
+        severity_output(),
+        vec![
+            FuzzyRule::new(
+                "winding temperature critical: insulation breakdown",
+                &[("winding_excess", "very_hot")],
+                "extreme",
+            ),
+            FuzzyRule::new(
+                "winding running hot: insulation degrading",
+                &[("winding_excess", "hot")],
+                "moderate",
+            ),
+        ],
+    )
+    .expect("static rule base is valid")
+}
+
+fn surge_engine() -> MamdaniEngine {
+    let cond_swing = var(
+        "cond_swing",
+        vec![
+            ("steady", MF::ShoulderLeft { full: 15.0, zero: 35.0 }),
+            ("oscillating", MF::ShoulderRight { zero: 30.0, full: 90.0 }),
+        ],
+    );
+    let current_swing = var(
+        "current_swing",
+        vec![
+            ("steady", MF::ShoulderLeft { full: 10.0, zero: 22.0 }),
+            ("oscillating", MF::ShoulderRight { zero: 18.0, full: 60.0 }),
+        ],
+    );
+    MamdaniEngine::new(
+        vec![cond_swing, current_swing],
+        severity_output(),
+        vec![
+            FuzzyRule::new(
+                "discharge pressure and current hunting together: surge",
+                &[
+                    ("cond_swing", "oscillating"),
+                    ("current_swing", "oscillating"),
+                ],
+                "extreme",
+            ),
+            FuzzyRule::new(
+                "discharge pressure hunting",
+                &[("cond_swing", "oscillating")],
+                "serious",
+            ),
+            FuzzyRule::new(
+                "motor current hunting",
+                &[("current_swing", "oscillating")],
+                "moderate",
+            ),
+        ],
+    )
+    .expect("static rule base is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpros_chiller::fault::{FaultProfile, FaultSeed, FaultState};
+    use mpros_chiller::process::ProcessModel;
+    use mpros_core::{SimDuration, SimTime};
+
+    fn window(condition: Option<MachineCondition>, sev: f64, load: f64) -> Vec<ProcessSnapshot> {
+        let model = ProcessModel::new(3);
+        let mut faults = FaultState::healthy();
+        if let Some(c) = condition {
+            faults.seed(FaultSeed {
+                condition: c,
+                onset: SimTime::ZERO,
+                time_to_failure: SimDuration::from_secs(1.0),
+                profile: FaultProfile::Step(sev),
+            });
+        }
+        (0..20)
+            .map(|i| model.sample(SimTime::from_secs(10.0 + i as f64 * 0.45), load, &faults))
+            .collect()
+    }
+
+    fn diagnose(condition: Option<MachineCondition>, sev: f64, load: f64) -> Vec<FuzzyDiagnosis> {
+        FuzzyDiagnostics::new()
+            .analyze(&window(condition, sev, load))
+            .unwrap()
+    }
+
+    #[test]
+    fn healthy_plant_yields_nothing() {
+        for load in [0.3, 0.8, 1.0] {
+            let out = diagnose(None, 0.0, load);
+            assert!(out.is_empty(), "false positives at load {load}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn each_process_fault_is_diagnosed() {
+        for c in [
+            MachineCondition::RefrigerantLeak,
+            MachineCondition::CondenserFouling,
+            MachineCondition::LubeOilDegradation,
+            MachineCondition::MotorWindingInsulation,
+            MachineCondition::CompressorSurge,
+        ] {
+            let out = diagnose(Some(c), 0.9, 0.8);
+            assert!(
+                out.iter().any(|d| d.condition == c),
+                "{c} missed: {:?}",
+                out.iter().map(|d| d.condition).collect::<Vec<_>>()
+            );
+            let d = out.iter().find(|d| d.condition == c).unwrap();
+            assert!(d.severity.value() > 0.4, "{c} severity {}", d.severity);
+            assert!(d.belief.value() > 0.3, "{c} belief {}", d.belief);
+            assert!(!d.explanation.is_empty());
+        }
+    }
+
+    #[test]
+    fn severity_tracks_fault_progression() {
+        let c = MachineCondition::RefrigerantLeak;
+        let mild = diagnose(Some(c), 0.45, 0.8);
+        let bad = diagnose(Some(c), 0.95, 0.8);
+        let sev = |out: &[FuzzyDiagnosis]| {
+            out.iter()
+                .find(|d| d.condition == c)
+                .map(|d| d.severity.value())
+                .unwrap_or(0.0)
+        };
+        assert!(
+            sev(&bad) > sev(&mild) + 0.2,
+            "bad {} vs mild {}",
+            sev(&bad),
+            sev(&mild)
+        );
+    }
+
+    #[test]
+    fn load_compensation_prevents_low_load_false_alarms() {
+        // At 20 % load the absolute winding temperature is far below its
+        // full-load healthy value; deviation inputs keep the rules quiet.
+        let out = diagnose(None, 0.0, 0.2);
+        assert!(out.is_empty(), "low-load false alarms: {out:?}");
+        // And a genuine winding fault at low load is still seen.
+        let fault = diagnose(Some(MachineCondition::MotorWindingInsulation), 0.9, 0.2);
+        assert!(fault
+            .iter()
+            .any(|d| d.condition == MachineCondition::MotorWindingInsulation));
+    }
+
+    #[test]
+    fn surge_needs_the_oscillation_not_the_level() {
+        // Fouling raises the level of discharge pressure without the
+        // swing; surge must not be diagnosed.
+        let out = diagnose(Some(MachineCondition::CondenserFouling), 0.9, 0.8);
+        assert!(!out
+            .iter()
+            .any(|d| d.condition == MachineCondition::CompressorSurge));
+    }
+
+    #[test]
+    fn grades_and_prognostics_are_consistent() {
+        let out = diagnose(Some(MachineCondition::RefrigerantLeak), 0.95, 0.8);
+        let d = out
+            .iter()
+            .find(|d| d.condition == MachineCondition::RefrigerantLeak)
+            .unwrap();
+        assert_eq!(d.grade, d.severity.grade());
+        if d.grade != SeverityGrade::Slight {
+            assert!(!d.prognostic.is_empty());
+        }
+    }
+
+    #[test]
+    fn report_rendering() {
+        let out = diagnose(Some(MachineCondition::CompressorSurge), 0.9, 0.8);
+        let d = &out[0];
+        let r = d.to_report(
+            ReportId::new(1),
+            DcId::new(2),
+            KnowledgeSourceId::new(4),
+            MachineId::new(7),
+            SimTime::from_secs(33.0),
+        );
+        assert_eq!(r.machine, MachineId::new(7));
+        assert_eq!(r.condition, d.condition);
+        assert!(!r.explanation.is_empty());
+    }
+
+    #[test]
+    fn empty_window_is_an_error() {
+        assert!(FuzzyDiagnostics::new().analyze(&[]).is_err());
+    }
+
+    #[test]
+    fn covered_conditions_are_the_process_faults() {
+        let covered = FuzzyDiagnostics::new().covered_conditions();
+        assert_eq!(covered.len(), 5);
+        assert!(covered.contains(&MachineCondition::RefrigerantLeak));
+        assert!(!covered.contains(&MachineCondition::MotorImbalance));
+    }
+}

@@ -1,0 +1,344 @@
+//! Mamdani inference.
+//!
+//! Rules are conjunctions of `variable IS term` antecedents (min
+//! T-norm), each concluding `output IS term`. Rule activations clip
+//! their consequent membership functions; aggregation is max; the crisp
+//! output is the centroid of the aggregated shape — the standard Mamdani
+//! pipeline.
+
+use crate::variable::LinguisticVariable;
+use mpros_core::{Error, Result};
+use std::collections::HashMap;
+
+/// One fuzzy rule: `IF v1 IS t1 AND v2 IS t2 ... THEN output IS tout`.
+#[derive(Debug, Clone)]
+pub struct FuzzyRule {
+    /// `(variable, term)` conjunction.
+    pub antecedents: Vec<(String, String)>,
+    /// Output term concluded by the rule.
+    pub consequent: String,
+    /// Debug/explanation label.
+    pub label: String,
+}
+
+impl FuzzyRule {
+    /// Convenience constructor.
+    pub fn new(
+        label: impl Into<String>,
+        antecedents: &[(&str, &str)],
+        consequent: impl Into<String>,
+    ) -> Self {
+        FuzzyRule {
+            antecedents: antecedents
+                .iter()
+                .map(|(v, t)| (v.to_string(), t.to_string()))
+                .collect(),
+            consequent: consequent.into(),
+            label: label.into(),
+        }
+    }
+}
+
+/// Result of one inference pass.
+#[derive(Debug, Clone)]
+pub struct InferenceResult {
+    /// Centroid-defuzzified crisp output.
+    pub crisp: f64,
+    /// Per-rule activation strengths (rule order).
+    pub activations: Vec<f64>,
+    /// The strongest activation (0 when no rule fired).
+    pub max_activation: f64,
+}
+
+impl InferenceResult {
+    /// Index and strength of the strongest rule, if any fired.
+    pub fn strongest_rule(&self) -> Option<(usize, f64)> {
+        self.activations
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a > 0.0)
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("activations are finite"))
+            .map(|(i, &a)| (i, a))
+    }
+}
+
+/// A Mamdani inference engine over named input variables and one output
+/// variable.
+#[derive(Debug, Clone)]
+pub struct MamdaniEngine {
+    inputs: Vec<LinguisticVariable>,
+    output: LinguisticVariable,
+    rules: Vec<FuzzyRule>,
+}
+
+/// Numeric resolution of centroid integration.
+const CENTROID_STEPS: usize = 200;
+
+impl MamdaniEngine {
+    /// Build an engine, validating that every rule references existing
+    /// variables and terms.
+    pub fn new(
+        inputs: Vec<LinguisticVariable>,
+        output: LinguisticVariable,
+        rules: Vec<FuzzyRule>,
+    ) -> Result<Self> {
+        if rules.is_empty() {
+            return Err(Error::invalid("engine needs at least one rule"));
+        }
+        for r in &rules {
+            if r.antecedents.is_empty() {
+                return Err(Error::invalid(format!("rule '{}' has no antecedents", r.label)));
+            }
+            for (v, t) in &r.antecedents {
+                let var = inputs
+                    .iter()
+                    .find(|iv| &iv.name == v)
+                    .ok_or_else(|| Error::invalid(format!("rule '{}': unknown variable {v}", r.label)))?;
+                if var.term(t).is_none() {
+                    return Err(Error::invalid(format!(
+                        "rule '{}': variable {v} has no term {t}",
+                        r.label
+                    )));
+                }
+            }
+            if output.term(&r.consequent).is_none() {
+                return Err(Error::invalid(format!(
+                    "rule '{}': output has no term {}",
+                    r.label, r.consequent
+                )));
+            }
+        }
+        Ok(MamdaniEngine {
+            inputs,
+            output,
+            rules,
+        })
+    }
+
+    /// The rules (for explanation rendering).
+    pub fn rules(&self) -> &[FuzzyRule] {
+        &self.rules
+    }
+
+    /// Run inference on crisp input values (missing variables contribute
+    /// zero membership, so rules needing them cannot fire).
+    pub fn infer(&self, values: &HashMap<String, f64>) -> InferenceResult {
+        let activations: Vec<f64> = self
+            .rules
+            .iter()
+            .map(|r| {
+                r.antecedents
+                    .iter()
+                    .map(|(v, t)| match values.get(v) {
+                        Some(&x) => self
+                            .inputs
+                            .iter()
+                            .find(|iv| &iv.name == v)
+                            .map(|iv| iv.degree(t, x))
+                            .unwrap_or(0.0),
+                        None => 0.0,
+                    })
+                    .fold(1.0, f64::min)
+            })
+            .collect();
+        let max_activation = activations.iter().cloned().fold(0.0, f64::max);
+        let crisp = if max_activation > 0.0 {
+            self.centroid(&activations)
+        } else {
+            0.0
+        };
+        InferenceResult {
+            crisp,
+            activations,
+            max_activation,
+        }
+    }
+
+    /// Centroid of the max-aggregated, activation-clipped output shape.
+    fn centroid(&self, activations: &[f64]) -> f64 {
+        // Integration bounds: union of consequent supports.
+        let (mut lo, mut hi) = (f64::MAX, f64::MIN);
+        for (r, &a) in self.rules.iter().zip(activations) {
+            if a > 0.0 {
+                let (s_lo, s_hi) = self
+                    .output
+                    .term(&r.consequent)
+                    .expect("validated at construction")
+                    .support();
+                lo = lo.min(s_lo);
+                hi = hi.max(s_hi);
+            }
+        }
+        let step = (hi - lo) / CENTROID_STEPS as f64;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..=CENTROID_STEPS {
+            let y = lo + i as f64 * step;
+            let mu = self
+                .rules
+                .iter()
+                .zip(activations)
+                .filter(|(_, &a)| a > 0.0)
+                .map(|(r, &a)| {
+                    a.min(
+                        self.output
+                            .term(&r.consequent)
+                            .expect("validated")
+                            .degree(y),
+                    )
+                })
+                .fold(0.0, f64::max);
+            num += mu * y;
+            den += mu;
+        }
+        if den > 0.0 {
+            num / den
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::membership::MembershipFunction as MF;
+
+    fn temp_var() -> LinguisticVariable {
+        LinguisticVariable::new(
+            "temp",
+            vec![
+                ("cold", MF::ShoulderLeft { full: 10.0, zero: 18.0 }),
+                ("warm", MF::Triangular { a: 15.0, b: 22.0, c: 29.0 }),
+                ("hot", MF::ShoulderRight { zero: 26.0, full: 34.0 }),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn severity_var() -> LinguisticVariable {
+        LinguisticVariable::new(
+            "severity",
+            vec![
+                ("none", MF::ShoulderLeft { full: 0.05, zero: 0.2 }),
+                ("moderate", MF::Triangular { a: 0.2, b: 0.45, c: 0.7 }),
+                ("severe", MF::ShoulderRight { zero: 0.6, full: 0.9 }),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn engine() -> MamdaniEngine {
+        MamdaniEngine::new(
+            vec![temp_var()],
+            severity_var(),
+            vec![
+                FuzzyRule::new("hot is severe", &[("temp", "hot")], "severe"),
+                FuzzyRule::new("warm is moderate", &[("temp", "warm")], "moderate"),
+                FuzzyRule::new("cold is fine", &[("temp", "cold")], "none"),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn infer_at(e: &MamdaniEngine, t: f64) -> InferenceResult {
+        let mut v = HashMap::new();
+        v.insert("temp".to_string(), t);
+        e.infer(&v)
+    }
+
+    #[test]
+    fn hot_input_yields_high_severity() {
+        let e = engine();
+        let r = infer_at(&e, 35.0);
+        assert!(r.crisp > 0.7, "crisp {}", r.crisp);
+        assert_eq!(r.strongest_rule().unwrap().0, 0);
+        assert!((r.max_activation - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cold_input_yields_low_severity() {
+        let e = engine();
+        let r = infer_at(&e, 5.0);
+        assert!(r.crisp < 0.2, "crisp {}", r.crisp);
+    }
+
+    #[test]
+    fn intermediate_input_blends_rules() {
+        let e = engine();
+        let r = infer_at(&e, 27.5); // warm and hot both partially true
+        assert!(r.activations[0] > 0.0 && r.activations[1] > 0.0);
+        let warm_only = infer_at(&e, 22.0).crisp;
+        let hot_only = infer_at(&e, 35.0).crisp;
+        assert!(r.crisp > warm_only && r.crisp < hot_only);
+    }
+
+    #[test]
+    fn severity_is_monotone_in_temperature() {
+        let e = engine();
+        let mut prev = -1.0;
+        for t in [5.0, 12.0, 18.0, 22.0, 26.0, 30.0, 35.0] {
+            let c = infer_at(&e, t).crisp;
+            assert!(c >= prev - 1e-9, "severity dipped at {t}: {c} < {prev}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn missing_inputs_fire_nothing() {
+        let e = engine();
+        let r = e.infer(&HashMap::new());
+        assert_eq!(r.max_activation, 0.0);
+        assert_eq!(r.crisp, 0.0);
+        assert!(r.strongest_rule().is_none());
+    }
+
+    #[test]
+    fn multi_antecedent_conjunction_takes_min() {
+        let e = MamdaniEngine::new(
+            vec![temp_var(), severity_var()],
+            severity_var(),
+            vec![FuzzyRule::new(
+                "both",
+                &[("temp", "hot"), ("severity", "severe")],
+                "severe",
+            )],
+        )
+        .unwrap();
+        let mut v = HashMap::new();
+        v.insert("temp".to_string(), 40.0); // hot = 1.0
+        v.insert("severity".to_string(), 0.75); // severe = 0.5
+        let r = e.infer(&v);
+        assert!((r.activations[0] - 0.5).abs() < 1e-12, "min rule");
+    }
+
+    #[test]
+    fn construction_validates_references() {
+        let bad_var = MamdaniEngine::new(
+            vec![temp_var()],
+            severity_var(),
+            vec![FuzzyRule::new("x", &[("nope", "hot")], "severe")],
+        );
+        assert!(bad_var.is_err());
+        let bad_term = MamdaniEngine::new(
+            vec![temp_var()],
+            severity_var(),
+            vec![FuzzyRule::new("x", &[("temp", "boiling")], "severe")],
+        );
+        assert!(bad_term.is_err());
+        let bad_out = MamdaniEngine::new(
+            vec![temp_var()],
+            severity_var(),
+            vec![FuzzyRule::new("x", &[("temp", "hot")], "apocalyptic")],
+        );
+        assert!(bad_out.is_err());
+        let no_rules = MamdaniEngine::new(vec![temp_var()], severity_var(), vec![]);
+        assert!(no_rules.is_err());
+        let no_ante = MamdaniEngine::new(
+            vec![temp_var()],
+            severity_var(),
+            vec![FuzzyRule::new("x", &[], "severe")],
+        );
+        assert!(no_ante.is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! # mpros-fuzzy
+//!
+//! The fuzzy-logic suite of §1.1/§6: "Fuzzy Logic diagnostics and
+//! prognostics also developed by Georgia Tech which draws diagnostic and
+//! prognostic conclusions from non-vibrational data."
+//!
+//! The Georgia Tech rule base is unpublished; this crate implements the
+//! same mechanism — linguistic variables with triangular/trapezoidal
+//! membership functions ([`membership`], [`variable`]), Mamdani min–max
+//! inference with centroid defuzzification ([`inference`]) — and a
+//! chiller rule base over the simulator's process variables (evaporator
+//! starvation, head pressure, approach temperature, oil
+//! pressure/temperature, winding temperature, discharge-pressure swing)
+//! that diagnoses the four process-dominant FMEA modes ([`diagnostics`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod diagnostics;
+pub mod inference;
+pub mod membership;
+pub mod variable;
+
+pub use diagnostics::{FuzzyDiagnosis, FuzzyDiagnostics};
+pub use inference::{FuzzyRule, MamdaniEngine};
+pub use membership::MembershipFunction;
+pub use variable::LinguisticVariable;

@@ -1,0 +1,203 @@
+//! Membership functions.
+
+use mpros_core::{Error, Result};
+
+/// A fuzzy membership function over the reals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MembershipFunction {
+    /// Triangle with feet at `a` and `c`, peak at `b`.
+    Triangular {
+        /// Left foot.
+        a: f64,
+        /// Peak.
+        b: f64,
+        /// Right foot.
+        c: f64,
+    },
+    /// Trapezoid with feet at `a`/`d` and plateau `b..=c`.
+    Trapezoidal {
+        /// Left foot.
+        a: f64,
+        /// Plateau start.
+        b: f64,
+        /// Plateau end.
+        c: f64,
+        /// Right foot.
+        d: f64,
+    },
+    /// Open-left shoulder: 1 below `full`, falling to 0 at `zero`.
+    ShoulderLeft {
+        /// Full-membership boundary.
+        full: f64,
+        /// Zero-membership boundary (> `full`).
+        zero: f64,
+    },
+    /// Open-right shoulder: 0 below `zero`, rising to 1 at `full`.
+    ShoulderRight {
+        /// Zero-membership boundary.
+        zero: f64,
+        /// Full-membership boundary (> `zero`).
+        full: f64,
+    },
+}
+
+impl MembershipFunction {
+    /// Validate parameter ordering.
+    pub fn validate(&self) -> Result<()> {
+        let ok = match *self {
+            MembershipFunction::Triangular { a, b, c } => a <= b && b <= c && a < c,
+            MembershipFunction::Trapezoidal { a, b, c, d } => {
+                a <= b && b <= c && c <= d && a < d
+            }
+            MembershipFunction::ShoulderLeft { full, zero } => full < zero,
+            MembershipFunction::ShoulderRight { zero, full } => zero < full,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(Error::invalid(format!("bad membership parameters: {self:?}")))
+        }
+    }
+
+    /// Degree of membership of `x`, in `[0, 1]`.
+    pub fn degree(&self, x: f64) -> f64 {
+        match *self {
+            MembershipFunction::Triangular { a, b, c } => {
+                if x <= a || x >= c {
+                    0.0
+                } else if x == b {
+                    1.0
+                } else if x < b {
+                    (x - a) / (b - a)
+                } else {
+                    (c - x) / (c - b)
+                }
+            }
+            MembershipFunction::Trapezoidal { a, b, c, d } => {
+                if x <= a || x >= d {
+                    0.0
+                } else if x < b {
+                    (x - a) / (b - a)
+                } else if x <= c {
+                    1.0
+                } else {
+                    (d - x) / (d - c)
+                }
+            }
+            MembershipFunction::ShoulderLeft { full, zero } => {
+                if x <= full {
+                    1.0
+                } else if x >= zero {
+                    0.0
+                } else {
+                    (zero - x) / (zero - full)
+                }
+            }
+            MembershipFunction::ShoulderRight { zero, full } => {
+                if x <= zero {
+                    0.0
+                } else if x >= full {
+                    1.0
+                } else {
+                    (x - zero) / (full - zero)
+                }
+            }
+        }
+    }
+
+    /// The support interval `[lo, hi]` outside which membership is 0
+    /// (shoulders extend their flat side by the transition width, which
+    /// is enough for centroid integration).
+    pub fn support(&self) -> (f64, f64) {
+        match *self {
+            MembershipFunction::Triangular { a, c, .. } => (a, c),
+            MembershipFunction::Trapezoidal { a, d, .. } => (a, d),
+            MembershipFunction::ShoulderLeft { full, zero } => {
+                (full - (zero - full), zero)
+            }
+            MembershipFunction::ShoulderRight { zero, full } => {
+                (zero, full + (full - zero))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn triangle_degrees() {
+        let t = MembershipFunction::Triangular { a: 0.0, b: 1.0, c: 3.0 };
+        t.validate().unwrap();
+        assert_eq!(t.degree(-1.0), 0.0);
+        assert_eq!(t.degree(0.0), 0.0);
+        assert_eq!(t.degree(0.5), 0.5);
+        assert_eq!(t.degree(1.0), 1.0);
+        assert_eq!(t.degree(2.0), 0.5);
+        assert_eq!(t.degree(3.0), 0.0);
+    }
+
+    #[test]
+    fn trapezoid_degrees() {
+        let t = MembershipFunction::Trapezoidal { a: 0.0, b: 1.0, c: 2.0, d: 4.0 };
+        t.validate().unwrap();
+        assert_eq!(t.degree(0.5), 0.5);
+        assert_eq!(t.degree(1.5), 1.0);
+        assert_eq!(t.degree(3.0), 0.5);
+        assert_eq!(t.degree(5.0), 0.0);
+    }
+
+    #[test]
+    fn shoulders() {
+        let l = MembershipFunction::ShoulderLeft { full: 1.0, zero: 2.0 };
+        assert_eq!(l.degree(0.0), 1.0);
+        assert_eq!(l.degree(1.5), 0.5);
+        assert_eq!(l.degree(3.0), 0.0);
+        let r = MembershipFunction::ShoulderRight { zero: 1.0, full: 2.0 };
+        assert_eq!(r.degree(0.0), 0.0);
+        assert_eq!(r.degree(1.5), 0.5);
+        assert_eq!(r.degree(9.0), 1.0);
+    }
+
+    #[test]
+    fn validation_rejects_disorder() {
+        assert!(MembershipFunction::Triangular { a: 2.0, b: 1.0, c: 3.0 }
+            .validate()
+            .is_err());
+        assert!(MembershipFunction::Trapezoidal { a: 0.0, b: 3.0, c: 2.0, d: 4.0 }
+            .validate()
+            .is_err());
+        assert!(MembershipFunction::ShoulderLeft { full: 2.0, zero: 1.0 }
+            .validate()
+            .is_err());
+        assert!(MembershipFunction::Triangular { a: 1.0, b: 1.0, c: 1.0 }
+            .validate()
+            .is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn degrees_always_in_unit_interval(
+            x in -100.0..100.0f64,
+            a in -10.0..0.0f64,
+            b in 0.0..5.0f64,
+            c in 5.0..10.0f64
+        ) {
+            let t = MembershipFunction::Triangular { a, b, c };
+            prop_assert!((0.0..=1.0).contains(&t.degree(x)));
+            let s = MembershipFunction::ShoulderRight { zero: a, full: c };
+            prop_assert!((0.0..=1.0).contains(&s.degree(x)));
+        }
+
+        #[test]
+        fn zero_outside_support(x in -100.0..100.0f64) {
+            let t = MembershipFunction::Triangular { a: -1.0, b: 0.0, c: 1.0 };
+            let (lo, hi) = t.support();
+            if x < lo || x > hi {
+                prop_assert_eq!(t.degree(x), 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Linguistic variables: named terms over a measured quantity.
+
+use crate::membership::MembershipFunction;
+use mpros_core::{Error, Result};
+
+/// A linguistic variable: a measured quantity partitioned into named
+/// fuzzy terms ("evaporator pressure" → {starved, low, normal, high}).
+#[derive(Debug, Clone)]
+pub struct LinguisticVariable {
+    /// Variable name (matches a process-snapshot field).
+    pub name: String,
+    terms: Vec<(String, MembershipFunction)>,
+}
+
+impl LinguisticVariable {
+    /// Create a variable with its term set. Term names must be unique
+    /// and every membership function valid.
+    pub fn new(
+        name: impl Into<String>,
+        terms: Vec<(impl Into<String>, MembershipFunction)>,
+    ) -> Result<Self> {
+        let terms: Vec<(String, MembershipFunction)> = terms
+            .into_iter()
+            .map(|(n, m)| (n.into(), m))
+            .collect();
+        if terms.is_empty() {
+            return Err(Error::invalid("variable needs at least one term"));
+        }
+        for (i, (n, m)) in terms.iter().enumerate() {
+            m.validate()?;
+            if terms[..i].iter().any(|(other, _)| other == n) {
+                return Err(Error::invalid(format!("duplicate term {n}")));
+            }
+        }
+        Ok(LinguisticVariable {
+            name: name.into(),
+            terms,
+        })
+    }
+
+    /// The term names.
+    pub fn term_names(&self) -> impl Iterator<Item = &str> {
+        self.terms.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Membership function of a term.
+    pub fn term(&self, name: &str) -> Option<&MembershipFunction> {
+        self.terms.iter().find(|(n, _)| n == name).map(|(_, m)| m)
+    }
+
+    /// Fuzzify a crisp value: degree per term.
+    pub fn fuzzify(&self, x: f64) -> Vec<(&str, f64)> {
+        self.terms
+            .iter()
+            .map(|(n, m)| (n.as_str(), m.degree(x)))
+            .collect()
+    }
+
+    /// Degree of one term for a crisp value (0 for unknown terms).
+    pub fn degree(&self, term: &str, x: f64) -> f64 {
+        self.term(term).map(|m| m.degree(x)).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pressure() -> LinguisticVariable {
+        LinguisticVariable::new(
+            "evap_pressure",
+            vec![
+                ("starved", MembershipFunction::ShoulderLeft { full: 230.0, zero: 280.0 }),
+                ("low", MembershipFunction::Triangular { a: 250.0, b: 290.0, c: 330.0 }),
+                ("normal", MembershipFunction::Trapezoidal { a: 300.0, b: 320.0, c: 360.0, d: 380.0 }),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fuzzify_produces_degree_per_term() {
+        let v = pressure();
+        let f = v.fuzzify(270.0);
+        assert_eq!(f.len(), 3);
+        let starved = f.iter().find(|(n, _)| *n == "starved").unwrap().1;
+        let low = f.iter().find(|(n, _)| *n == "low").unwrap().1;
+        assert!(starved > 0.0 && low > 0.0, "overlapping terms both fire");
+        assert_eq!(v.degree("normal", 270.0), 0.0);
+    }
+
+    #[test]
+    fn unknown_term_is_zero() {
+        assert_eq!(pressure().degree("bogus", 300.0), 0.0);
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(LinguisticVariable::new("x", Vec::<(String, MembershipFunction)>::new()).is_err());
+        assert!(LinguisticVariable::new(
+            "x",
+            vec![
+                ("a", MembershipFunction::Triangular { a: 0.0, b: 1.0, c: 2.0 }),
+                ("a", MembershipFunction::Triangular { a: 0.0, b: 1.0, c: 2.0 }),
+            ]
+        )
+        .is_err());
+        assert!(LinguisticVariable::new(
+            "x",
+            vec![("a", MembershipFunction::Triangular { a: 5.0, b: 1.0, c: 2.0 })]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn term_lookup() {
+        let v = pressure();
+        assert!(v.term("starved").is_some());
+        assert!(v.term("nope").is_none());
+        assert_eq!(v.term_names().count(), 3);
+    }
+}

@@ -1,0 +1,396 @@
+//! The simulated ship LAN.
+//!
+//! A central switch with per-endpoint inbound queues, driven entirely by
+//! simulated time: [`ShipNetwork::send`] timestamps each frame with a
+//! deterministic latency-plus-jitter delivery time (or drops it); as the
+//! scenario clock advances, [`ShipNetwork::recv`] surfaces everything
+//! due. Partitions model §4.9's unstable shipboard communications: a
+//! partitioned endpoint neither sends nor receives until healed; frames
+//! lost to drops or partitions are counted in [`NetStats`].
+
+use crate::codec::{decode_message, encode_message, NetMessage};
+use bytes::Bytes;
+use mpros_core::{DcId, Error, Result, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+/// A network endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Endpoint {
+    /// A data concentrator.
+    Dc(DcId),
+    /// The central PDME.
+    Pdme,
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Dc(id) => write!(f, "{id}"),
+            Endpoint::Pdme => write!(f, "PDME"),
+        }
+    }
+}
+
+/// Network behaviour parameters.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Base one-way latency.
+    pub base_latency: SimDuration,
+    /// Uniform jitter added on top (0..jitter).
+    pub jitter: SimDuration,
+    /// Probability a frame is silently lost.
+    pub drop_probability: f64,
+    /// RNG seed (jitter and drops are deterministic given it).
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            base_latency: SimDuration::from_millis(5.0),
+            jitter: SimDuration::from_millis(2.0),
+            drop_probability: 0.0,
+            seed: 1,
+        }
+    }
+}
+
+/// Delivery counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Frames accepted by `send`.
+    pub sent: usize,
+    /// Frames surfaced to receivers.
+    pub delivered: usize,
+    /// Frames lost (random drop or partition).
+    pub dropped: usize,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    deliver_at: SimTime,
+    seq: u64,
+    to: Endpoint,
+    frame: Bytes,
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for InFlight {}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Order by delivery time, then sequence (deterministic).
+        self.deliver_at
+            .partial_cmp(&other.deliver_at)
+            .expect("times are finite")
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// The simulated network switch.
+#[derive(Debug)]
+pub struct ShipNetwork {
+    config: NetworkConfig,
+    rng: StdRng,
+    in_flight: BinaryHeap<Reverse<InFlight>>,
+    inboxes: HashMap<Endpoint, VecDeque<NetMessage>>,
+    partitioned: HashSet<Endpoint>,
+    stats: NetStats,
+    seq: u64,
+}
+
+impl ShipNetwork {
+    /// Build a network with the given behaviour.
+    pub fn new(config: NetworkConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        ShipNetwork {
+            config,
+            rng,
+            in_flight: BinaryHeap::new(),
+            inboxes: HashMap::new(),
+            partitioned: HashSet::new(),
+            stats: NetStats::default(),
+            seq: 0,
+        }
+    }
+
+    /// Register an endpoint (creates its inbox).
+    pub fn register(&mut self, endpoint: Endpoint) {
+        self.inboxes.entry(endpoint).or_default();
+    }
+
+    /// True if the endpoint is registered.
+    pub fn is_registered(&self, endpoint: Endpoint) -> bool {
+        self.inboxes.contains_key(&endpoint)
+    }
+
+    /// Set or clear a partition on an endpoint.
+    pub fn set_partitioned(&mut self, endpoint: Endpoint, partitioned: bool) {
+        if partitioned {
+            self.partitioned.insert(endpoint);
+        } else {
+            self.partitioned.remove(&endpoint);
+        }
+    }
+
+    /// Send a message at simulated time `now`. The frame is encoded,
+    /// subjected to loss/partition, and scheduled for delivery.
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        from: Endpoint,
+        to: Endpoint,
+        msg: &NetMessage,
+    ) -> Result<()> {
+        if !self.is_registered(to) {
+            return Err(Error::Network(format!("unknown endpoint {to}")));
+        }
+        self.stats.sent += 1;
+        if self.partitioned.contains(&from) || self.partitioned.contains(&to) {
+            self.stats.dropped += 1;
+            return Ok(()); // silently lost, like a real partition
+        }
+        if self.config.drop_probability > 0.0
+            && self.rng.gen_range(0.0..1.0) < self.config.drop_probability
+        {
+            self.stats.dropped += 1;
+            return Ok(());
+        }
+        let frame = encode_message(msg)?;
+        let jitter = if self.config.jitter.as_secs() > 0.0 {
+            self.config.jitter * self.rng.gen_range(0.0..1.0)
+        } else {
+            SimDuration::ZERO
+        };
+        let deliver_at = now + self.config.base_latency + jitter;
+        self.seq += 1;
+        self.in_flight.push(Reverse(InFlight {
+            deliver_at,
+            seq: self.seq,
+            to,
+            frame,
+        }));
+        Ok(())
+    }
+
+    /// Move every frame due at or before `now` into its inbox.
+    pub fn advance(&mut self, now: SimTime) {
+        while let Some(Reverse(head)) = self.in_flight.peek() {
+            if head.deliver_at > now {
+                break;
+            }
+            let Reverse(f) = self.in_flight.pop().expect("peeked");
+            // A partition raised after send loses in-flight frames too.
+            if self.partitioned.contains(&f.to) {
+                self.stats.dropped += 1;
+                continue;
+            }
+            match decode_message(f.frame) {
+                Ok(msg) => {
+                    self.stats.delivered += 1;
+                    self.inboxes
+                        .get_mut(&f.to)
+                        .expect("registered at send time")
+                        .push_back(msg);
+                }
+                Err(_) => {
+                    self.stats.dropped += 1;
+                }
+            }
+        }
+    }
+
+    /// Drain the inbox of an endpoint (after advancing to `now`).
+    pub fn recv(&mut self, endpoint: Endpoint, now: SimTime) -> Vec<NetMessage> {
+        self.advance(now);
+        self.inboxes
+            .get_mut(&endpoint)
+            .map(|q| q.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// Delivery counters.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Frames currently in flight.
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heartbeat(dc: u64) -> NetMessage {
+        NetMessage::Heartbeat {
+            dc: DcId::new(dc),
+            at_secs: 0.0,
+        }
+    }
+
+    fn network(drop: f64) -> ShipNetwork {
+        let mut net = ShipNetwork::new(NetworkConfig {
+            base_latency: SimDuration::from_millis(10.0),
+            jitter: SimDuration::from_millis(5.0),
+            drop_probability: drop,
+            seed: 42,
+        });
+        net.register(Endpoint::Pdme);
+        net.register(Endpoint::Dc(DcId::new(1)));
+        net
+    }
+
+    #[test]
+    fn messages_arrive_after_latency() {
+        let mut net = network(0.0);
+        let t0 = SimTime::ZERO;
+        net.send(t0, Endpoint::Dc(DcId::new(1)), Endpoint::Pdme, &heartbeat(1))
+            .unwrap();
+        // Too early: nothing.
+        assert!(net.recv(Endpoint::Pdme, t0 + SimDuration::from_millis(5.0)).is_empty());
+        assert_eq!(net.in_flight_count(), 1);
+        // After max latency (10 + 5 ms) it is there.
+        let got = net.recv(Endpoint::Pdme, t0 + SimDuration::from_millis(20.0));
+        assert_eq!(got.len(), 1);
+        assert_eq!(net.stats().delivered, 1);
+    }
+
+    #[test]
+    fn delivery_order_is_by_delivery_time() {
+        let mut net = ShipNetwork::new(NetworkConfig {
+            base_latency: SimDuration::from_millis(10.0),
+            jitter: SimDuration::ZERO,
+            drop_probability: 0.0,
+            seed: 1,
+        });
+        net.register(Endpoint::Pdme);
+        net.register(Endpoint::Dc(DcId::new(1)));
+        for i in 0..5 {
+            net.send(
+                SimTime::from_secs(i as f64),
+                Endpoint::Dc(DcId::new(1)),
+                Endpoint::Pdme,
+                &heartbeat(i),
+            )
+            .unwrap();
+        }
+        let got = net.recv(Endpoint::Pdme, SimTime::from_secs(100.0));
+        let ids: Vec<u64> = got
+            .iter()
+            .map(|m| match m {
+                NetMessage::Heartbeat { dc, .. } => dc.raw(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unknown_endpoint_is_an_error() {
+        let mut net = network(0.0);
+        let err = net
+            .send(
+                SimTime::ZERO,
+                Endpoint::Pdme,
+                Endpoint::Dc(DcId::new(99)),
+                &heartbeat(1),
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Network(_)));
+    }
+
+    #[test]
+    fn drops_are_counted_not_delivered() {
+        let mut net = network(1.0); // everything drops
+        for _ in 0..10 {
+            net.send(SimTime::ZERO, Endpoint::Dc(DcId::new(1)), Endpoint::Pdme, &heartbeat(1))
+                .unwrap();
+        }
+        assert!(net.recv(Endpoint::Pdme, SimTime::from_secs(10.0)).is_empty());
+        let s = net.stats();
+        assert_eq!(s.sent, 10);
+        assert_eq!(s.dropped, 10);
+        assert_eq!(s.delivered, 0);
+    }
+
+    #[test]
+    fn partial_loss_rate_is_plausible() {
+        let mut net = network(0.3);
+        for i in 0..1000 {
+            net.send(
+                SimTime::from_secs(i as f64 * 0.001),
+                Endpoint::Dc(DcId::new(1)),
+                Endpoint::Pdme,
+                &heartbeat(1),
+            )
+            .unwrap();
+        }
+        let got = net.recv(Endpoint::Pdme, SimTime::from_secs(100.0));
+        let rate = got.len() as f64 / 1000.0;
+        assert!((0.6..0.8).contains(&rate), "delivery rate {rate}");
+    }
+
+    #[test]
+    fn partition_blocks_and_heals() {
+        let mut net = network(0.0);
+        let dc = Endpoint::Dc(DcId::new(1));
+        net.set_partitioned(dc, true);
+        net.send(SimTime::ZERO, dc, Endpoint::Pdme, &heartbeat(1)).unwrap();
+        assert_eq!(net.stats().dropped, 1, "partitioned sender loses frames");
+        net.set_partitioned(dc, false);
+        net.send(SimTime::from_secs(1.0), dc, Endpoint::Pdme, &heartbeat(1))
+            .unwrap();
+        let got = net.recv(Endpoint::Pdme, SimTime::from_secs(2.0));
+        assert_eq!(got.len(), 1, "healed partition delivers again");
+    }
+
+    #[test]
+    fn partition_raised_midflight_loses_in_flight_frames() {
+        let mut net = network(0.0);
+        net.send(SimTime::ZERO, Endpoint::Dc(DcId::new(1)), Endpoint::Pdme, &heartbeat(1))
+            .unwrap();
+        net.set_partitioned(Endpoint::Pdme, true);
+        assert!(net.recv(Endpoint::Pdme, SimTime::from_secs(1.0)).is_empty());
+        assert_eq!(net.stats().dropped, 1);
+    }
+
+    #[test]
+    fn behaviour_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut net = ShipNetwork::new(NetworkConfig {
+                base_latency: SimDuration::from_millis(10.0),
+                jitter: SimDuration::from_millis(10.0),
+                drop_probability: 0.5,
+                seed,
+            });
+            net.register(Endpoint::Pdme);
+            net.register(Endpoint::Dc(DcId::new(1)));
+            for i in 0..100 {
+                net.send(
+                    SimTime::from_secs(i as f64 * 0.01),
+                    Endpoint::Dc(DcId::new(1)),
+                    Endpoint::Pdme,
+                    &heartbeat(i),
+                )
+                .unwrap();
+            }
+            net.recv(Endpoint::Pdme, SimTime::from_secs(10.0)).len()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

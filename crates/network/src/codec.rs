@@ -1,0 +1,206 @@
+//! The wire format.
+//!
+//! Each message is one frame:
+//!
+//! ```text
+//! magic "MP" (2) | version u8 | type u8 | payload_len u32 LE | payload
+//! ```
+//!
+//! Payloads are JSON-serialized message bodies — self-describing and
+//! diff-able in logs, which is what an open protocol for "many diverse
+//! expert systems" (§7.1) needs more than raw compactness.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mpros_core::{ConditionReport, DcId, Error, MachineId, Result};
+use serde::{Deserialize, Serialize};
+
+const MAGIC: [u8; 2] = *b"MP";
+const VERSION: u8 = 1;
+/// Frames larger than this are rejected (corrupted length field guard).
+const MAX_PAYLOAD: usize = 16 * 1024 * 1024;
+
+/// Messages carried on the ship network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NetMessage {
+    /// A §7.2 failure-prediction report, DC → PDME.
+    Report(ConditionReport),
+    /// Command a DC to run a test immediately (§5.8: "the PDME or any
+    /// other client can command the scheduler to conduct another test").
+    RunTest {
+        /// Target DC.
+        dc: DcId,
+        /// Machine to survey.
+        machine: MachineId,
+    },
+    /// Download a new SBFR machine image into a DC (§6.3).
+    DownloadSbfr {
+        /// Target DC.
+        dc: DcId,
+        /// Slot to replace.
+        slot: u32,
+        /// Encoded program image.
+        image: Vec<u8>,
+    },
+    /// Liveness probe.
+    Heartbeat {
+        /// Originating DC.
+        dc: DcId,
+        /// Sender's simulated-clock seconds.
+        at_secs: f64,
+    },
+}
+
+impl NetMessage {
+    fn type_tag(&self) -> u8 {
+        match self {
+            NetMessage::Report(_) => 1,
+            NetMessage::RunTest { .. } => 2,
+            NetMessage::DownloadSbfr { .. } => 3,
+            NetMessage::Heartbeat { .. } => 4,
+        }
+    }
+}
+
+/// Encode a message into one frame.
+pub fn encode_message(msg: &NetMessage) -> Result<Bytes> {
+    let payload = serde_json::to_vec(msg)
+        .map_err(|e| Error::Encoding(format!("payload serialization: {e}")))?;
+    let mut buf = BytesMut::with_capacity(8 + payload.len());
+    buf.put_slice(&MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(msg.type_tag());
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_slice(&payload);
+    Ok(buf.freeze())
+}
+
+/// Decode one frame. The declared type tag must match the decoded body
+/// (defense against frame corruption).
+pub fn decode_message(mut frame: Bytes) -> Result<NetMessage> {
+    if frame.len() < 8 {
+        return Err(Error::Encoding("frame shorter than header".into()));
+    }
+    let mut magic = [0u8; 2];
+    frame.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(Error::Encoding("bad frame magic".into()));
+    }
+    let version = frame.get_u8();
+    if version != VERSION {
+        return Err(Error::Encoding(format!("unsupported frame version {version}")));
+    }
+    let tag = frame.get_u8();
+    let len = frame.get_u32_le() as usize;
+    if len > MAX_PAYLOAD {
+        return Err(Error::Encoding(format!("payload length {len} exceeds cap")));
+    }
+    if frame.len() != len {
+        return Err(Error::Encoding(format!(
+            "payload length mismatch: header {len}, actual {}",
+            frame.len()
+        )));
+    }
+    let msg: NetMessage = serde_json::from_slice(&frame)
+        .map_err(|e| Error::Encoding(format!("payload deserialization: {e}")))?;
+    if msg.type_tag() != tag {
+        return Err(Error::Encoding("type tag does not match body".into()));
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpros_core::{Belief, MachineCondition, PrognosticVector, ReportId, SimTime};
+
+    fn sample_report() -> ConditionReport {
+        ConditionReport::builder(
+            MachineId::new(3),
+            MachineCondition::GearToothWear,
+            Belief::new(0.8),
+        )
+        .id(ReportId::new(42))
+        .dc(DcId::new(2))
+        .severity(0.6)
+        .timestamp(SimTime::from_secs(99.0))
+        .explanation("gear mesh sidebands")
+        .prognostic(PrognosticVector::from_months(&[(1.0, 0.4)]).unwrap())
+        .build()
+    }
+
+    #[test]
+    fn all_message_kinds_roundtrip() {
+        let msgs = vec![
+            NetMessage::Report(sample_report()),
+            NetMessage::RunTest {
+                dc: DcId::new(1),
+                machine: MachineId::new(3),
+            },
+            NetMessage::DownloadSbfr {
+                dc: DcId::new(1),
+                slot: 2,
+                image: vec![1, 2, 3, 255],
+            },
+            NetMessage::Heartbeat {
+                dc: DcId::new(7),
+                at_secs: 123.5,
+            },
+        ];
+        for m in msgs {
+            let frame = encode_message(&m).unwrap();
+            let back = decode_message(frame).unwrap();
+            assert_eq!(m, back);
+        }
+    }
+
+    #[test]
+    fn report_payload_survives_fully() {
+        let r = sample_report();
+        let frame = encode_message(&NetMessage::Report(r.clone())).unwrap();
+        match decode_message(frame).unwrap() {
+            NetMessage::Report(back) => assert_eq!(back, r),
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected() {
+        let frame = encode_message(&NetMessage::Heartbeat {
+            dc: DcId::new(1),
+            at_secs: 0.0,
+        })
+        .unwrap();
+        // Too short.
+        assert!(decode_message(frame.slice(0..4)).is_err());
+        // Bad magic.
+        let mut bad = frame.to_vec();
+        bad[0] = b'X';
+        assert!(decode_message(Bytes::from(bad)).is_err());
+        // Bad version.
+        let mut bad = frame.to_vec();
+        bad[2] = 99;
+        assert!(decode_message(Bytes::from(bad)).is_err());
+        // Mismatched type tag.
+        let mut bad = frame.to_vec();
+        bad[3] = 1;
+        assert!(decode_message(Bytes::from(bad)).is_err());
+        // Truncated payload.
+        let bad = frame.slice(0..frame.len() - 1);
+        assert!(decode_message(bad).is_err());
+        // Garbage payload bytes.
+        let mut bad = frame.to_vec();
+        let n = bad.len();
+        bad[n - 3] = 0xFF;
+        assert!(decode_message(Bytes::from(bad)).is_err());
+    }
+
+    #[test]
+    fn length_cap_is_enforced() {
+        let mut frame = BytesMut::new();
+        frame.put_slice(b"MP");
+        frame.put_u8(1);
+        frame.put_u8(4);
+        frame.put_u32_le(u32::MAX);
+        assert!(decode_message(frame.freeze()).is_err());
+    }
+}

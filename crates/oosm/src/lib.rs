@@ -1,0 +1,38 @@
+//! # mpros-oosm
+//!
+//! The Object-Oriented Ship Model (§4 of the paper): "a persistent
+//! repository for machinery state information used for communication
+//! between the various prognostic and diagnostic software modules...
+//! Entities in the OOSM are modeled as objects with properties and
+//! relationships to other entities... Common relationships include
+//! 'part-of', whole and refers-to."
+//!
+//! Three layers, mirroring the paper's architecture:
+//!
+//! * [`store`] — the persistence substrate: an embedded relational-style
+//!   store with typed columns and row predicates, standing in for the
+//!   NT/ADO database of §4.7. Object types map to tables, properties and
+//!   relationships to columns and helper tables — the mapping of §4.6 is
+//!   implemented literally.
+//! * [`model`] — the object API of §4.4: create/retrieve objects, read
+//!   and update properties, add and traverse relationships. "Save for
+//!   retrieving the first object in a connected graph of objects, no
+//!   understanding of the persistence mechanism is necessary."
+//! * [`events`] + report repository ([`reports`]) — the §4.5 event
+//!   model: "client programs to be notified of changes to property or
+//!   relationship values without the need to poll. The Knowledge Fusion
+//!   component uses this to automatically process failure prediction
+//!   reports as they are delivered to the OOSM."
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod events;
+pub mod model;
+pub mod reports;
+pub mod store;
+
+pub use events::{OosmEvent, Subscription};
+pub use model::{ObjectKind, Oosm, Relation};
+
+pub use store::{Store, Value};

@@ -1,0 +1,592 @@
+//! The object model API (§4.2–§4.4).
+
+use crate::events::{EventBus, OosmEvent, Subscription};
+use crate::store::{Store, Value};
+use mpros_core::{Error, ObjectId, Result};
+use std::fmt;
+
+/// Kinds of OOSM objects. §4.2: "Some of the OOSM objects represent
+/// physical entities such as sensors, motors, compressors, decks, and
+/// ships while other OOSM objects represent more abstract items such as
+/// a failure prediction report or a knowledge source."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum ObjectKind {
+    Ship,
+    Deck,
+    System,
+    Machine,
+    Part,
+    Sensor,
+    DataConcentrator,
+    KnowledgeSource,
+    Report,
+}
+
+impl ObjectKind {
+    /// Stable string form (the `kind` column).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ObjectKind::Ship => "ship",
+            ObjectKind::Deck => "deck",
+            ObjectKind::System => "system",
+            ObjectKind::Machine => "machine",
+            ObjectKind::Part => "part",
+            ObjectKind::Sensor => "sensor",
+            ObjectKind::DataConcentrator => "data_concentrator",
+            ObjectKind::KnowledgeSource => "knowledge_source",
+            ObjectKind::Report => "report",
+        }
+    }
+
+    /// Parse the string form.
+    pub fn parse(s: &str) -> Option<ObjectKind> {
+        Some(match s {
+            "ship" => ObjectKind::Ship,
+            "deck" => ObjectKind::Deck,
+            "system" => ObjectKind::System,
+            "machine" => ObjectKind::Machine,
+            "part" => ObjectKind::Part,
+            "sensor" => ObjectKind::Sensor,
+            "data_concentrator" => ObjectKind::DataConcentrator,
+            "knowledge_source" => ObjectKind::KnowledgeSource,
+            "report" => ObjectKind::Report,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ObjectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Relationship types (§4.2: part-of, kind-of, proximity, refers-to;
+/// §10.1 adds flow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Relation {
+    PartOf,
+    KindOf,
+    ProximateTo,
+    FlowsTo,
+    RefersTo,
+}
+
+impl Relation {
+    /// Stable string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Relation::PartOf => "part_of",
+            Relation::KindOf => "kind_of",
+            Relation::ProximateTo => "proximate_to",
+            Relation::FlowsTo => "flows_to",
+            Relation::RefersTo => "refers_to",
+        }
+    }
+
+    /// Parse the string form.
+    pub fn parse(s: &str) -> Option<Relation> {
+        Some(match s {
+            "part_of" => Relation::PartOf,
+            "kind_of" => Relation::KindOf,
+            "proximate_to" => Relation::ProximateTo,
+            "flows_to" => Relation::FlowsTo,
+            "refers_to" => Relation::RefersTo,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The Object-Oriented Ship Model: object graph over the relational
+/// store, with change events.
+#[derive(Debug)]
+pub struct Oosm {
+    store: Store,
+    bus: EventBus,
+    next_object: u64,
+    next_row: i64,
+}
+
+impl Default for Oosm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Oosm {
+    /// An empty model with the relational mapping tables created.
+    pub fn new() -> Self {
+        let mut store = Store::new();
+        store
+            .create_table("objects", &["id", "kind", "name"])
+            .expect("fresh store");
+        store
+            .create_table("properties", &["row_id", "object_id", "key", "value_json"])
+            .expect("fresh store");
+        store
+            .create_table("relationships", &["row_id", "from_id", "relation", "to_id"])
+            .expect("fresh store");
+        // Query-path indexes: property lookups by object, relationship
+        // traversal in both directions, object lookups by kind/name.
+        for (table, column) in [
+            ("objects", "kind"),
+            ("objects", "name"),
+            ("properties", "object_id"),
+            ("relationships", "from_id"),
+            ("relationships", "to_id"),
+        ] {
+            store.create_index(table, column).expect("fresh schema");
+        }
+        Oosm {
+            store,
+            bus: EventBus::new(),
+            next_object: 0,
+            next_row: 0,
+        }
+    }
+
+    /// Subscribe to change events (§4.5).
+    pub fn subscribe(&mut self) -> Subscription {
+        self.bus.subscribe()
+    }
+
+    pub(crate) fn publish(&mut self, event: OosmEvent) {
+        self.bus.publish(event);
+    }
+
+    pub(crate) fn next_row_id(&mut self) -> i64 {
+        self.next_row += 1;
+        self.next_row
+    }
+
+    /// Direct read access to the persistence layer (debugging, row
+    /// counts; §4.6's mapping is observable here).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Create an object; returns its id.
+    pub fn create_object(&mut self, kind: ObjectKind, name: &str) -> ObjectId {
+        let id = ObjectId::new(self.next_object);
+        self.next_object += 1;
+        self.store
+            .insert(
+                "objects",
+                vec![
+                    Value::Int(id.raw() as i64),
+                    Value::Text(kind.as_str().into()),
+                    Value::Text(name.into()),
+                ],
+            )
+            .expect("object ids are unique by construction");
+        self.publish(OosmEvent::ObjectCreated { object: id, kind });
+        id
+    }
+
+    /// True if the object exists.
+    pub fn exists(&self, object: ObjectId) -> bool {
+        self.store
+            .get("objects", object.raw() as i64)
+            .map(|r| r.is_some())
+            .unwrap_or(false)
+    }
+
+    /// The object's kind.
+    pub fn kind(&self, object: ObjectId) -> Result<ObjectKind> {
+        let row = self
+            .store
+            .get("objects", object.raw() as i64)?
+            .ok_or_else(|| Error::not_found(object.to_string()))?;
+        ObjectKind::parse(row[1].as_text().unwrap_or(""))
+            .ok_or_else(|| Error::Encoding("bad kind cell".into()))
+    }
+
+    /// The object's name.
+    pub fn name(&self, object: ObjectId) -> Result<String> {
+        let row = self
+            .store
+            .get("objects", object.raw() as i64)?
+            .ok_or_else(|| Error::not_found(object.to_string()))?;
+        Ok(row[2].as_text().unwrap_or("").to_string())
+    }
+
+    /// All objects of a kind.
+    pub fn objects_of_kind(&self, kind: ObjectKind) -> Vec<ObjectId> {
+        self.store
+            .select_eq("objects", "kind", &Value::Text(kind.as_str().into()))
+            .expect("objects table exists")
+            .iter()
+            .filter_map(|r| r[0].as_int())
+            .map(|i| ObjectId::new(i as u64))
+            .collect()
+    }
+
+    /// Find an object by its (unique-by-convention) name.
+    pub fn find_by_name(&self, name: &str) -> Option<ObjectId> {
+        self.store
+            .select_eq("objects", "name", &Value::Text(name.into()))
+            .expect("objects table exists")
+            .first()
+            .and_then(|r| r[0].as_int())
+            .map(|i| ObjectId::new(i as u64))
+    }
+
+    /// Set (insert or overwrite) a property. Values are stored as JSON
+    /// text in the `properties` helper table — the §4.6 column mapping.
+    pub fn set_property(&mut self, object: ObjectId, key: &str, value: Value) -> Result<()> {
+        if !self.exists(object) {
+            return Err(Error::not_found(object.to_string()));
+        }
+        let oid = Value::Int(object.raw() as i64);
+        let key_v = Value::Text(key.into());
+        let json = encode_value(&value);
+        let updated = {
+            let key_v = key_v.clone();
+            let json = json.clone();
+            self.store.update_eq(
+                "properties",
+                "object_id",
+                &oid,
+                move |r| r[2] == key_v,
+                move |r| r[3] = Value::Text(json.clone()),
+            )?
+        };
+        if updated == 0 {
+            let row_id = self.next_row_id();
+            self.store.insert(
+                "properties",
+                vec![Value::Int(row_id), oid, key_v, Value::Text(json)],
+            )?;
+        }
+        self.publish(OosmEvent::PropertyChanged {
+            object,
+            property: key.to_string(),
+            value,
+        });
+        Ok(())
+    }
+
+    /// Read a property.
+    pub fn property(&self, object: ObjectId, key: &str) -> Option<Value> {
+        let oid = Value::Int(object.raw() as i64);
+        let key_v = Value::Text(key.into());
+        self.store
+            .select_eq("properties", "object_id", &oid)
+            .expect("properties table exists")
+            .iter()
+            .find(|r| r[2] == key_v)
+            .and_then(|r| r[3].as_text())
+            .map(decode_value)
+    }
+
+    /// All properties of an object.
+    pub fn properties(&self, object: ObjectId) -> Vec<(String, Value)> {
+        let oid = Value::Int(object.raw() as i64);
+        let mut props: Vec<(String, Value)> = self
+            .store
+            .select_eq("properties", "object_id", &oid)
+            .expect("properties table exists")
+            .iter()
+            .map(|r| {
+                (
+                    r[2].as_text().unwrap_or("").to_string(),
+                    r[3].as_text().map(decode_value).unwrap_or(Value::Null),
+                )
+            })
+            .collect();
+        props.sort_by(|a, b| a.0.cmp(&b.0));
+        props
+    }
+
+    /// Add a relationship (idempotent).
+    pub fn relate(&mut self, from: ObjectId, relation: Relation, to: ObjectId) -> Result<()> {
+        if !self.exists(from) {
+            return Err(Error::not_found(from.to_string()));
+        }
+        if !self.exists(to) {
+            return Err(Error::not_found(to.to_string()));
+        }
+        let f = Value::Int(from.raw() as i64);
+        let r = Value::Text(relation.as_str().into());
+        let t = Value::Int(to.raw() as i64);
+        let exists = {
+            let (f, r, t) = (f.clone(), r.clone(), t.clone());
+            !self
+                .store
+                .select("relationships", move |row| {
+                    row[1] == f && row[2] == r && row[3] == t
+                })?
+                .is_empty()
+        };
+        if !exists {
+            let row_id = self.next_row_id();
+            self.store
+                .insert("relationships", vec![Value::Int(row_id), f, r, t])?;
+            self.publish(OosmEvent::RelationAdded { from, relation, to });
+        }
+        Ok(())
+    }
+
+    /// Outgoing related objects: `from --relation--> ?`.
+    pub fn related(&self, from: ObjectId, relation: Relation) -> Vec<ObjectId> {
+        let f = Value::Int(from.raw() as i64);
+        let r = Value::Text(relation.as_str().into());
+        self.store
+            .select_eq("relationships", "from_id", &f)
+            .expect("relationships table exists")
+            .into_iter()
+            .filter(|row| row[2] == r)
+            .collect::<Vec<_>>()
+            .iter()
+            .filter_map(|row| row[3].as_int())
+            .map(|i| ObjectId::new(i as u64))
+            .collect()
+    }
+
+    /// Incoming related objects: `? --relation--> to`.
+    pub fn related_to(&self, to: ObjectId, relation: Relation) -> Vec<ObjectId> {
+        let t = Value::Int(to.raw() as i64);
+        let r = Value::Text(relation.as_str().into());
+        self.store
+            .select_eq("relationships", "to_id", &t)
+            .expect("relationships table exists")
+            .into_iter()
+            .filter(|row| row[2] == r)
+            .collect::<Vec<_>>()
+            .iter()
+            .filter_map(|row| row[1].as_int())
+            .map(|i| ObjectId::new(i as u64))
+            .collect()
+    }
+
+    /// Delete an object with its properties and relationships.
+    pub fn delete_object(&mut self, object: ObjectId) -> Result<()> {
+        if !self.exists(object) {
+            return Err(Error::not_found(object.to_string()));
+        }
+        let oid = Value::Int(object.raw() as i64);
+        self.store
+            .delete("objects", {
+                let oid = oid.clone();
+                move |r| r[0] == oid
+            })?;
+        self.store.delete("properties", {
+            let oid = oid.clone();
+            move |r| r[1] == oid
+        })?;
+        self.store
+            .delete("relationships", move |r| r[1] == oid || r[3] == oid)?;
+        self.publish(OosmEvent::ObjectDeleted { object });
+        Ok(())
+    }
+
+    /// Number of live objects.
+    pub fn object_count(&self) -> usize {
+        self.store.row_count("objects").expect("objects table exists")
+    }
+}
+
+/// Encode a store value as JSON text for the properties table.
+fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Int(i) => format!("{{\"i\":{i}}}"),
+        Value::Float(f) => format!("{{\"f\":{f}}}"),
+        Value::Text(s) => format!(
+            "{{\"t\":{}}}",
+            serde_json::to_string(s).expect("strings serialize")
+        ),
+        Value::Bool(b) => format!("{{\"b\":{b}}}"),
+        Value::Null => "null".to_string(),
+    }
+}
+
+/// Decode the JSON property representation.
+fn decode_value(json: &str) -> Value {
+    let parsed: serde_json::Value = match serde_json::from_str(json) {
+        Ok(v) => v,
+        Err(_) => return Value::Null,
+    };
+    if parsed.is_null() {
+        return Value::Null;
+    }
+    let obj = match parsed.as_object() {
+        Some(o) => o,
+        None => return Value::Null,
+    };
+    if let Some(i) = obj.get("i").and_then(|v| v.as_i64()) {
+        Value::Int(i)
+    } else if let Some(f) = obj.get("f").and_then(|v| v.as_f64()) {
+        Value::Float(f)
+    } else if let Some(t) = obj.get("t").and_then(|v| v.as_str()) {
+        Value::Text(t.to_string())
+    } else if let Some(b) = obj.get("b").and_then(|v| v.as_bool()) {
+        Value::Bool(b)
+    } else {
+        Value::Null
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build the §4.3 model fragment: ship → chiller system → machines.
+    fn ship_model() -> (Oosm, ObjectId, ObjectId, ObjectId) {
+        let mut o = Oosm::new();
+        let ship = o.create_object(ObjectKind::Ship, "USNS Mercy");
+        let chiller = o.create_object(ObjectKind::System, "AC Plant 1");
+        let motor = o.create_object(ObjectKind::Machine, "A/C Compressor Motor 1");
+        let compressor = o.create_object(ObjectKind::Machine, "A/C Compressor 1");
+        o.relate(chiller, Relation::PartOf, ship).unwrap();
+        o.relate(motor, Relation::PartOf, chiller).unwrap();
+        o.relate(compressor, Relation::PartOf, chiller).unwrap();
+        o.relate(motor, Relation::ProximateTo, compressor).unwrap();
+        o.relate(motor, Relation::FlowsTo, compressor).unwrap();
+        (o, ship, chiller, motor)
+    }
+
+    #[test]
+    fn objects_have_kind_and_name() {
+        let (o, ship, _, motor) = ship_model();
+        assert_eq!(o.kind(ship).unwrap(), ObjectKind::Ship);
+        assert_eq!(o.name(motor).unwrap(), "A/C Compressor Motor 1");
+        assert_eq!(o.object_count(), 4);
+        assert!(o.exists(ship));
+        assert!(!o.exists(ObjectId::new(999)));
+        assert!(o.kind(ObjectId::new(999)).is_err());
+    }
+
+    #[test]
+    fn part_of_traversal_both_directions() {
+        let (o, ship, chiller, motor) = ship_model();
+        assert_eq!(o.related(motor, Relation::PartOf), vec![chiller]);
+        let parts = o.related_to(chiller, Relation::PartOf);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(o.related(chiller, Relation::PartOf), vec![ship]);
+    }
+
+    #[test]
+    fn properties_roundtrip_all_value_types() {
+        let (mut o, _, _, motor) = ship_model();
+        o.set_property(motor, "manufacturer", Value::Text("GE".into()))
+            .unwrap();
+        o.set_property(motor, "rated_kw", Value::Float(450.0)).unwrap();
+        o.set_property(motor, "poles", Value::Int(2)).unwrap();
+        o.set_property(motor, "critical", Value::Bool(true)).unwrap();
+        o.set_property(motor, "notes", Value::Null).unwrap();
+        assert_eq!(o.property(motor, "manufacturer"), Some(Value::Text("GE".into())));
+        assert_eq!(o.property(motor, "rated_kw"), Some(Value::Float(450.0)));
+        assert_eq!(o.property(motor, "poles"), Some(Value::Int(2)));
+        assert_eq!(o.property(motor, "critical"), Some(Value::Bool(true)));
+        assert_eq!(o.property(motor, "notes"), Some(Value::Null));
+        assert_eq!(o.property(motor, "missing"), None);
+        assert_eq!(o.properties(motor).len(), 5);
+    }
+
+    #[test]
+    fn property_overwrite_keeps_one_row() {
+        let (mut o, _, _, motor) = ship_model();
+        o.set_property(motor, "rpm", Value::Float(3550.0)).unwrap();
+        o.set_property(motor, "rpm", Value::Float(3540.0)).unwrap();
+        assert_eq!(o.property(motor, "rpm"), Some(Value::Float(3540.0)));
+        assert_eq!(o.store().row_count("properties").unwrap(), 1);
+    }
+
+    #[test]
+    fn set_property_on_missing_object_fails() {
+        let mut o = Oosm::new();
+        assert!(o
+            .set_property(ObjectId::new(4), "x", Value::Int(1))
+            .is_err());
+    }
+
+    #[test]
+    fn relate_is_idempotent_and_validated() {
+        let (mut o, ship, chiller, _) = ship_model();
+        o.relate(chiller, Relation::PartOf, ship).unwrap(); // duplicate
+        let rels = o
+            .store()
+            .select("relationships", |r| {
+                r[2] == Value::Text("part_of".into())
+            })
+            .unwrap();
+        assert_eq!(rels.len(), 3, "no duplicate rows");
+        assert!(o.relate(ship, Relation::PartOf, ObjectId::new(88)).is_err());
+    }
+
+    #[test]
+    fn events_fire_for_changes() {
+        let mut o = Oosm::new();
+        let sub = o.subscribe();
+        let m = o.create_object(ObjectKind::Machine, "pump");
+        o.set_property(m, "rpm", Value::Float(1750.0)).unwrap();
+        let s = o.create_object(ObjectKind::Sensor, "accel-1");
+        o.relate(s, Relation::PartOf, m).unwrap();
+        o.delete_object(s).unwrap();
+        let events = sub.drain();
+        assert_eq!(events.len(), 5);
+        assert!(matches!(events[0], OosmEvent::ObjectCreated { .. }));
+        assert!(matches!(
+            &events[1],
+            OosmEvent::PropertyChanged { property, .. } if property == "rpm"
+        ));
+        assert!(matches!(events[3], OosmEvent::RelationAdded { .. }));
+        assert!(matches!(events[4], OosmEvent::ObjectDeleted { .. }));
+    }
+
+    #[test]
+    fn delete_cascades_to_properties_and_relationships() {
+        let (mut o, _, chiller, motor) = ship_model();
+        o.set_property(motor, "rpm", Value::Float(3550.0)).unwrap();
+        o.delete_object(motor).unwrap();
+        assert!(!o.exists(motor));
+        assert_eq!(o.property(motor, "rpm"), None);
+        assert!(!o.related_to(chiller, Relation::PartOf).contains(&motor));
+        assert!(o.delete_object(motor).is_err(), "double delete");
+    }
+
+    #[test]
+    fn find_by_name_and_kind_queries() {
+        let (o, _, _, motor) = ship_model();
+        assert_eq!(o.find_by_name("A/C Compressor Motor 1"), Some(motor));
+        assert_eq!(o.find_by_name("nonexistent"), None);
+        assert_eq!(o.objects_of_kind(ObjectKind::Machine).len(), 2);
+        assert_eq!(o.objects_of_kind(ObjectKind::Deck).len(), 0);
+    }
+
+    #[test]
+    fn kind_and_relation_string_roundtrip() {
+        for k in [
+            ObjectKind::Ship,
+            ObjectKind::Deck,
+            ObjectKind::System,
+            ObjectKind::Machine,
+            ObjectKind::Part,
+            ObjectKind::Sensor,
+            ObjectKind::DataConcentrator,
+            ObjectKind::KnowledgeSource,
+            ObjectKind::Report,
+        ] {
+            assert_eq!(ObjectKind::parse(k.as_str()), Some(k));
+        }
+        for r in [
+            Relation::PartOf,
+            Relation::KindOf,
+            Relation::ProximateTo,
+            Relation::FlowsTo,
+            Relation::RefersTo,
+        ] {
+            assert_eq!(Relation::parse(r.as_str()), Some(r));
+        }
+        assert_eq!(ObjectKind::parse("alien"), None);
+        assert_eq!(Relation::parse("orbits"), None);
+    }
+}

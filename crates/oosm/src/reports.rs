@@ -1,0 +1,196 @@
+//! The report repository.
+//!
+//! §4.1: the OOSM "also serves as a repository of diagnostic conclusions
+//! – both those of the individual algorithms and those reached by KF."
+//! Reports are stored as OOSM objects of kind [`ObjectKind::Report`]
+//! whose full §7.2 payload lives in one JSON property (plus indexed
+//! scalar columns for the query paths), related by `refers-to` to the
+//! machine object they concern. Posting a report publishes the
+//! [`OosmEvent::ReportPosted`] event that drives knowledge fusion.
+
+use crate::events::OosmEvent;
+use crate::model::{ObjectKind, Oosm, Relation};
+use crate::store::Value;
+use mpros_core::{ConditionReport, Error, MachineId, ObjectId, ReportId, Result};
+
+/// Report-repository operations on the OOSM.
+impl Oosm {
+    /// Register a machine object for a machine id, so reports can be
+    /// linked to it. Returns the OOSM object. Idempotent per id.
+    pub fn register_machine(&mut self, machine: MachineId, name: &str) -> ObjectId {
+        if let Some(existing) = self.machine_object(machine) {
+            return existing;
+        }
+        let obj = self.create_object(ObjectKind::Machine, name);
+        self.set_property(obj, "machine_id", Value::Int(machine.raw() as i64))
+            .expect("object was just created");
+        obj
+    }
+
+    /// The OOSM object registered for a machine id.
+    pub fn machine_object(&self, machine: MachineId) -> Option<ObjectId> {
+        let want = Value::Int(machine.raw() as i64);
+        self.objects_of_kind(ObjectKind::Machine)
+            .into_iter()
+            .find(|&o| self.property(o, "machine_id").as_ref() == Some(&want))
+    }
+
+    /// Post a failure-prediction report (§5.1 step 1: "New reports
+    /// arriving to the PDME are posted in the OOSM"). Returns the report
+    /// object. Publishes [`OosmEvent::ReportPosted`].
+    pub fn post_report(&mut self, report: &ConditionReport) -> Result<ObjectId> {
+        let json = serde_json::to_string(report)
+            .map_err(|e| Error::Encoding(format!("report serialization: {e}")))?;
+        let obj = self.create_object(
+            ObjectKind::Report,
+            &format!("report-{}", report.id.raw()),
+        );
+        self.set_property(obj, "report_id", Value::Int(report.id.raw() as i64))?;
+        self.set_property(obj, "machine_id", Value::Int(report.machine.raw() as i64))?;
+        self.set_property(obj, "condition", Value::Int(report.condition.index() as i64))?;
+        self.set_property(obj, "belief", Value::Float(report.belief.value()))?;
+        self.set_property(obj, "severity", Value::Float(report.severity.value()))?;
+        self.set_property(obj, "timestamp", Value::Float(report.timestamp.as_secs()))?;
+        self.set_property(obj, "payload", Value::Text(json))?;
+        if let Some(machine_obj) = self.machine_object(report.machine) {
+            self.relate(obj, Relation::RefersTo, machine_obj)?;
+        }
+        self.publish(OosmEvent::ReportPosted {
+            report: report.id,
+            object: obj,
+        });
+        Ok(obj)
+    }
+
+    /// Decode the report stored in a report object.
+    pub fn report_payload(&self, object: ObjectId) -> Result<ConditionReport> {
+        let json = self
+            .property(object, "payload")
+            .and_then(|v| v.as_text().map(str::to_string))
+            .ok_or_else(|| Error::not_found(format!("report payload on {object}")))?;
+        serde_json::from_str(&json)
+            .map_err(|e| Error::Encoding(format!("report deserialization: {e}")))
+    }
+
+    /// Find the report object holding a report id.
+    pub fn report_object(&self, report: ReportId) -> Option<ObjectId> {
+        let want = Value::Int(report.raw() as i64);
+        self.objects_of_kind(ObjectKind::Report)
+            .into_iter()
+            .find(|&o| self.property(o, "report_id").as_ref() == Some(&want))
+    }
+
+    /// All reports concerning a machine, in posting order.
+    pub fn reports_for_machine(&self, machine: MachineId) -> Vec<ConditionReport> {
+        let want = Value::Int(machine.raw() as i64);
+        let mut objs: Vec<ObjectId> = self
+            .objects_of_kind(ObjectKind::Report)
+            .into_iter()
+            .filter(|&o| self.property(o, "machine_id").as_ref() == Some(&want))
+            .collect();
+        objs.sort();
+        objs.into_iter()
+            .filter_map(|o| self.report_payload(o).ok())
+            .collect()
+    }
+
+    /// Total number of stored reports.
+    pub fn report_count(&self) -> usize {
+        self.objects_of_kind(ObjectKind::Report).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpros_core::{Belief, MachineCondition, PrognosticVector, SimTime};
+
+    fn report(id: u64, machine: u64, belief: f64) -> ConditionReport {
+        ConditionReport::builder(
+            MachineId::new(machine),
+            MachineCondition::MotorImbalance,
+            Belief::new(belief),
+        )
+        .id(ReportId::new(id))
+        .timestamp(SimTime::from_secs(id as f64))
+        .prognostic(PrognosticVector::from_months(&[(2.0, 0.5)]).unwrap())
+        .build()
+    }
+
+    #[test]
+    fn post_and_fetch_roundtrip() {
+        let mut o = Oosm::new();
+        o.register_machine(MachineId::new(1), "motor 1");
+        let obj = o.post_report(&report(10, 1, 0.7)).unwrap();
+        let back = o.report_payload(obj).unwrap();
+        assert_eq!(back.id, ReportId::new(10));
+        assert_eq!(back.belief.value(), 0.7);
+        assert!(back.has_prognostic());
+        assert_eq!(o.report_count(), 1);
+    }
+
+    #[test]
+    fn posted_report_links_to_machine_object() {
+        let mut o = Oosm::new();
+        let m = o.register_machine(MachineId::new(1), "motor 1");
+        let obj = o.post_report(&report(1, 1, 0.5)).unwrap();
+        assert_eq!(o.related(obj, Relation::RefersTo), vec![m]);
+        // Reverse traversal: which reports refer to this machine?
+        assert_eq!(o.related_to(m, Relation::RefersTo), vec![obj]);
+    }
+
+    #[test]
+    fn report_without_registered_machine_still_posts() {
+        let mut o = Oosm::new();
+        let obj = o.post_report(&report(1, 42, 0.5)).unwrap();
+        assert!(o.related(obj, Relation::RefersTo).is_empty());
+        assert_eq!(o.reports_for_machine(MachineId::new(42)).len(), 1);
+    }
+
+    #[test]
+    fn register_machine_is_idempotent() {
+        let mut o = Oosm::new();
+        let a = o.register_machine(MachineId::new(3), "pump");
+        let b = o.register_machine(MachineId::new(3), "pump again");
+        assert_eq!(a, b);
+        assert_eq!(o.objects_of_kind(ObjectKind::Machine).len(), 1);
+    }
+
+    #[test]
+    fn reports_filtered_per_machine_in_order() {
+        let mut o = Oosm::new();
+        o.post_report(&report(1, 1, 0.3)).unwrap();
+        o.post_report(&report(2, 2, 0.4)).unwrap();
+        o.post_report(&report(3, 1, 0.5)).unwrap();
+        let for_m1 = o.reports_for_machine(MachineId::new(1));
+        assert_eq!(for_m1.len(), 2);
+        assert_eq!(for_m1[0].id, ReportId::new(1));
+        assert_eq!(for_m1[1].id, ReportId::new(3));
+    }
+
+    #[test]
+    fn posting_publishes_the_kf_event() {
+        let mut o = Oosm::new();
+        let sub = o.subscribe();
+        o.post_report(&report(7, 1, 0.6)).unwrap();
+        let events = sub.drain();
+        let posted = events
+            .iter()
+            .filter(|e| matches!(e, OosmEvent::ReportPosted { .. }))
+            .count();
+        assert_eq!(posted, 1);
+        if let Some(OosmEvent::ReportPosted { report, .. }) = events.last() {
+            assert_eq!(*report, ReportId::new(7));
+        } else {
+            panic!("ReportPosted must be the final event");
+        }
+    }
+
+    #[test]
+    fn report_object_lookup() {
+        let mut o = Oosm::new();
+        let obj = o.post_report(&report(5, 1, 0.5)).unwrap();
+        assert_eq!(o.report_object(ReportId::new(5)), Some(obj));
+        assert_eq!(o.report_object(ReportId::new(99)), None);
+    }
+}

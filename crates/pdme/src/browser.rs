@@ -1,0 +1,178 @@
+//! The PDME browser (Fig. 2).
+//!
+//! "As shown in Fig. 2, an interface to the MPROS conclusions has been
+//! built. The sample screen shown indicates that for machine A/C
+//! Compressor Motor 1, six condition reports from four different
+//! knowledge sources (expert systems) have been received, some
+//! conflicting and some reinforcing. After these reports are processed
+//! by the Knowledge Fusion component, the predictions of failure for
+//! each machine condition group are shown at the bottom of the screen."
+//!
+//! The NT GUI becomes a deterministic text rendering — the same
+//! information layout, diff-able in tests and experiment logs. "This
+//! display is updated as new reports arrive at the PDME and are
+//! accumulated in the OOSM."
+
+use crate::executive::PdmeExecutive;
+use mpros_core::MachineId;
+use std::fmt::Write as _;
+
+/// Render the browser view for one machine: received reports on top,
+/// fused per-group failure predictions at the bottom.
+pub fn machine_view(pdme: &PdmeExecutive, machine: MachineId) -> String {
+    let mut out = String::new();
+    let name = pdme
+        .oosm()
+        .machine_object(machine)
+        .and_then(|o| pdme.oosm().name(o).ok())
+        .unwrap_or_else(|| machine.to_string());
+    let _ = writeln!(out, "=== {name} ({machine}) ===");
+
+    let reports = pdme.reports_for_machine(machine);
+    let sources: std::collections::BTreeSet<_> =
+        reports.iter().map(|r| r.knowledge_source).collect();
+    let _ = writeln!(
+        out,
+        "{} condition report(s) from {} knowledge source(s)",
+        reports.len(),
+        sources.len()
+    );
+    for r in &reports {
+        let _ = writeln!(
+            out,
+            "  [{}] {}  {}  severity {}  belief {}",
+            r.timestamp, r.knowledge_source, r.condition, r.severity, r.belief
+        );
+    }
+
+    let _ = writeln!(out, "--- fused failure predictions by condition group ---");
+    for d in pdme.fusion().diagnostic().all() {
+        if d.machine != machine {
+            continue;
+        }
+        let _ = writeln!(out, "  group: {}", d.group);
+        for (c, b) in d.ranked() {
+            if b > 0.0 {
+                let _ = writeln!(out, "    {c}: {:.0}%", b * 100.0);
+            }
+        }
+        let _ = writeln!(out, "    (unknown: {:.0}%)", d.unknown * 100.0);
+    }
+    out
+}
+
+/// Render the shipwide prioritized maintenance list (§3.1).
+pub fn maintenance_view(pdme: &PdmeExecutive) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== prioritized maintenance list ===");
+    for (rank, item) in pdme.maintenance_list().iter().enumerate() {
+        let ttf = item
+            .median_time_to_failure
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            out,
+            "{:>2}. {} {}  belief {:.0}%  severity {}  median TTF {}",
+            rank + 1,
+            item.machine,
+            item.condition,
+            item.belief * 100.0,
+            item.severity,
+            ttf
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpros_core::{
+        Belief, ConditionReport, DcId, KnowledgeSourceId, MachineCondition, ReportId, SimTime,
+    };
+    use mpros_network::NetMessage;
+
+    fn populated_pdme() -> PdmeExecutive {
+        let mut p = PdmeExecutive::new();
+        p.register_machine(MachineId::new(1), "A/C Compressor Motor 1");
+        // Six reports from four knowledge sources — the Fig. 2 scene.
+        let reports = [
+            (1, 11, MachineCondition::MotorBearingDefect, 0.7, 0.6),
+            (2, 12, MachineCondition::MotorBearingDefect, 0.6, 0.5),
+            (3, 13, MachineCondition::MotorImbalance, 0.5, 0.4),
+            (4, 14, MachineCondition::MotorImbalance, 0.4, 0.4),
+            (5, 11, MachineCondition::MotorMisalignment, 0.3, 0.3),
+            (6, 12, MachineCondition::LubeOilDegradation, 0.6, 0.5),
+        ];
+        for (id, ks, c, b, s) in reports {
+            let r = ConditionReport::builder(MachineId::new(1), c, Belief::new(b))
+                .id(ReportId::new(id))
+                .dc(DcId::new(1))
+                .knowledge_source(KnowledgeSourceId::new(ks))
+                .severity(s)
+                .timestamp(SimTime::from_secs(id as f64))
+                .build();
+            p.handle_message(&NetMessage::Report(r), SimTime::from_secs(id as f64))
+                .unwrap();
+        }
+        p.process_events().unwrap();
+        p
+    }
+
+    #[test]
+    fn machine_view_matches_fig2_structure() {
+        let p = populated_pdme();
+        let view = machine_view(&p, MachineId::new(1));
+        assert!(view.contains("A/C Compressor Motor 1"));
+        assert!(
+            view.contains("6 condition report(s) from 4 knowledge source(s)"),
+            "got:\n{view}"
+        );
+        assert!(view.contains("fused failure predictions"));
+        // All three touched groups render.
+        assert!(view.contains("group: bearings"));
+        assert!(view.contains("group: rotor dynamics"));
+        assert!(view.contains("group: lubrication"));
+        assert!(view.contains("unknown:"));
+    }
+
+    #[test]
+    fn maintenance_view_ranks_items() {
+        let p = populated_pdme();
+        let view = maintenance_view(&p);
+        assert!(view.contains(" 1. "));
+        // The doubly reinforced bearing defect tops the list.
+        let first_line = view.lines().nth(1).unwrap();
+        assert!(
+            first_line.contains("bearing defect"),
+            "top item: {first_line}"
+        );
+    }
+
+    #[test]
+    fn unknown_machine_renders_gracefully() {
+        let p = PdmeExecutive::new();
+        let view = machine_view(&p, MachineId::new(42));
+        assert!(view.contains("M-0042"));
+        assert!(view.contains("0 condition report(s)"));
+    }
+
+    #[test]
+    fn view_updates_as_reports_arrive() {
+        let mut p = PdmeExecutive::new();
+        p.register_machine(MachineId::new(1), "motor");
+        let before = machine_view(&p, MachineId::new(1));
+        let r = ConditionReport::builder(
+            MachineId::new(1),
+            MachineCondition::GearToothWear,
+            Belief::new(0.8),
+        )
+        .id(ReportId::new(1))
+        .build();
+        p.handle_message(&NetMessage::Report(r), SimTime::ZERO).unwrap();
+        p.process_events().unwrap();
+        let after = machine_view(&p, MachineId::new(1));
+        assert_ne!(before, after);
+        assert!(after.contains("gear transmission tooth wear"));
+    }
+}

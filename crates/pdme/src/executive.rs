@@ -1,0 +1,381 @@
+//! The PDME executive.
+//!
+//! §5.1's knowledge-fusion control flow:
+//!
+//! 1. "New reports arriving to the PDME are posted in the OOSM."
+//! 2. "New reports posted in the OOSM generate 'new data' messages to
+//!    the knowledge fusion components."
+//! 3. "The knowledge fusion components access the newly arrived data
+//!    from the OOSM. They perform knowledge fusion of diagnostic reports
+//!    and knowledge fusion of prognostic reports."
+//! 4. "Conclusions from the knowledge fusion components are posted to
+//!    the OOSM and presented in user displays."
+//!
+//! [`PdmeExecutive::handle_message`] is step 1;
+//! [`PdmeExecutive::process_events`] is steps 2–4, driven by the OOSM
+//! subscription rather than polling (§4.5).
+
+use mpros_core::{ConditionReport, DcId, MachineId, Result, SimDuration, SimTime};
+use mpros_fusion::{FusionEngine, MaintenanceItem};
+use mpros_network::NetMessage;
+use mpros_oosm::{ObjectKind, Oosm, OosmEvent, Subscription, Value};
+use std::collections::HashMap;
+
+/// Reserved DC id for PDME-resident knowledge sources (§5.7); their
+/// reports skip the resident-algorithm pass to bound recursion.
+pub const PDME_RESIDENT_DC: DcId = DcId(u64::MAX);
+
+/// A PDME-resident diagnostic/prognostic algorithm (§5.7): invoked on
+/// every externally posted report with read access to the ship model;
+/// may emit further reports (e.g. system-level, model-based
+/// conclusions).
+pub trait ResidentAlgorithm: Send {
+    /// Short name for diagnostics.
+    fn name(&self) -> &str;
+    /// React to a newly posted report.
+    fn on_report(&mut self, report: &ConditionReport, model: &Oosm) -> Vec<ConditionReport>;
+}
+
+/// The PDME executive.
+pub struct PdmeExecutive {
+    oosm: Oosm,
+    kf_events: Subscription,
+    fusion: FusionEngine,
+    resident: Vec<Box<dyn ResidentAlgorithm>>,
+    dc_last_seen: HashMap<DcId, SimTime>,
+    reports_received: usize,
+}
+
+impl Default for PdmeExecutive {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PdmeExecutive {
+    /// A fresh executive with an empty ship model.
+    pub fn new() -> Self {
+        let mut oosm = Oosm::new();
+        let kf_events = oosm.subscribe();
+        PdmeExecutive {
+            oosm,
+            kf_events,
+            fusion: FusionEngine::new(),
+            resident: Vec::new(),
+            dc_last_seen: HashMap::new(),
+            reports_received: 0,
+        }
+    }
+
+    /// Register a monitored machine in the ship model.
+    pub fn register_machine(&mut self, machine: MachineId, name: &str) {
+        self.oosm.register_machine(machine, name);
+    }
+
+    /// Install a PDME-resident algorithm (§5.7).
+    pub fn add_resident_algorithm(&mut self, algorithm: Box<dyn ResidentAlgorithm>) {
+        self.resident.push(algorithm);
+    }
+
+    /// The ship model.
+    pub fn oosm(&self) -> &Oosm {
+        &self.oosm
+    }
+
+    /// Mutable ship-model access (scenario construction: decks, systems,
+    /// proximity relations, ...).
+    pub fn oosm_mut(&mut self) -> &mut Oosm {
+        &mut self.oosm
+    }
+
+    /// The fusion engine state.
+    pub fn fusion(&self) -> &FusionEngine {
+        &self.fusion
+    }
+
+    /// Reports received over the network so far.
+    pub fn reports_received(&self) -> usize {
+        self.reports_received
+    }
+
+    /// Step 1: accept a network message. Reports are posted to the OOSM;
+    /// heartbeats update DC liveness. Returns the number of reports
+    /// posted (0 or 1).
+    pub fn handle_message(&mut self, msg: &NetMessage, now: SimTime) -> Result<usize> {
+        match msg {
+            NetMessage::Report(report) => {
+                self.dc_last_seen.insert(report.dc, now);
+                self.oosm.post_report(report)?;
+                self.reports_received += 1;
+                Ok(1)
+            }
+            NetMessage::Heartbeat { dc, .. } => {
+                self.dc_last_seen.insert(*dc, now);
+                Ok(0)
+            }
+            _ => Ok(0),
+        }
+    }
+
+    /// Steps 2–4: drain the OOSM event queue, run knowledge fusion on
+    /// every newly posted report, invoke resident algorithms, and post
+    /// their conclusions back. Returns the number of reports fused.
+    pub fn process_events(&mut self) -> Result<usize> {
+        let mut fused = 0;
+        // Drain-then-act loop: resident algorithms may post more reports
+        // while we process, which enqueue further events.
+        loop {
+            let events = self.kf_events.drain();
+            if events.is_empty() {
+                break;
+            }
+            for event in events {
+                let OosmEvent::ReportPosted { object, .. } = event else {
+                    continue;
+                };
+                let report = self.oosm.report_payload(object)?;
+                self.fusion.ingest(&report)?;
+                fused += 1;
+                // Resident pass only for externally produced reports.
+                if report.dc != PDME_RESIDENT_DC {
+                    let mut emitted = Vec::new();
+                    for alg in &mut self.resident {
+                        emitted.extend(alg.on_report(&report, &self.oosm));
+                    }
+                    for mut extra in emitted {
+                        extra.dc = PDME_RESIDENT_DC;
+                        self.oosm.post_report(&extra)?;
+                    }
+                }
+            }
+        }
+        // Step 4: surface the fused state on the machine objects so the
+        // browser reads everything from the OOSM.
+        for item in self.fusion.maintenance_list() {
+            if let Some(obj) = self.oosm.machine_object(item.machine) {
+                self.oosm.set_property(
+                    obj,
+                    &format!("fused_belief:{}", item.condition.index()),
+                    Value::Float(item.belief),
+                )?;
+            }
+        }
+        Ok(fused)
+    }
+
+    /// The prioritized maintenance list (§3.1).
+    pub fn maintenance_list(&self) -> Vec<MaintenanceItem> {
+        self.fusion.maintenance_list()
+    }
+
+    /// DC liveness: ids seen within `timeout` of `now`.
+    pub fn dc_health(&self, now: SimTime, timeout: SimDuration) -> Vec<(DcId, bool)> {
+        let mut out: Vec<(DcId, bool)> = self
+            .dc_last_seen
+            .iter()
+            .map(|(&dc, &seen)| (dc, now.since(seen) <= timeout))
+            .collect();
+        out.sort_by_key(|(dc, _)| *dc);
+        out
+    }
+
+    /// All reports stored for a machine (the OOSM repository view).
+    pub fn reports_for_machine(&self, machine: MachineId) -> Vec<ConditionReport> {
+        self.oosm.reports_for_machine(machine)
+    }
+
+    /// Names of installed resident algorithms.
+    pub fn resident_algorithms(&self) -> Vec<&str> {
+        self.resident.iter().map(|a| a.name()).collect()
+    }
+
+    /// Objects of a kind in the model (browser helper).
+    pub fn machines(&self) -> Vec<MachineId> {
+        self.oosm
+            .objects_of_kind(ObjectKind::Machine)
+            .into_iter()
+            .filter_map(|o| {
+                self.oosm
+                    .property(o, "machine_id")
+                    .and_then(|v| v.as_int())
+                    .map(|i| MachineId::new(i as u64))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpros_core::{Belief, KnowledgeSourceId, MachineCondition, PrognosticVector, ReportId};
+
+    fn report(id: u64, machine: u64, condition: MachineCondition, belief: f64) -> ConditionReport {
+        ConditionReport::builder(MachineId::new(machine), condition, Belief::new(belief))
+            .id(ReportId::new(id))
+            .dc(DcId::new(1))
+            .knowledge_source(KnowledgeSourceId::new(11))
+            .severity(0.5)
+            .timestamp(SimTime::from_secs(id as f64))
+            .prognostic(PrognosticVector::from_months(&[(1.0, 0.4)]).unwrap())
+            .build()
+    }
+
+    fn pdme() -> PdmeExecutive {
+        let mut p = PdmeExecutive::new();
+        p.register_machine(MachineId::new(1), "A/C Compressor Motor 1");
+        p
+    }
+
+    #[test]
+    fn report_flows_through_oosm_into_fusion() {
+        let mut p = pdme();
+        let n = p
+            .handle_message(
+                &NetMessage::Report(report(1, 1, MachineCondition::MotorImbalance, 0.7)),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        // Fusion happens on event processing, not on receipt.
+        assert_eq!(
+            p.fusion()
+                .diagnostic()
+                .belief(MachineId::new(1), MachineCondition::MotorImbalance),
+            0.0
+        );
+        let fused = p.process_events().unwrap();
+        assert_eq!(fused, 1);
+        let b = p
+            .fusion()
+            .diagnostic()
+            .belief(MachineId::new(1), MachineCondition::MotorImbalance);
+        assert!((b - 0.7).abs() < 1e-9);
+        assert_eq!(p.reports_received(), 1);
+        assert_eq!(p.reports_for_machine(MachineId::new(1)).len(), 1);
+    }
+
+    #[test]
+    fn maintenance_list_reflects_fused_state() {
+        let mut p = pdme();
+        for (id, c, b) in [
+            (1, MachineCondition::MotorImbalance, 0.6),
+            (2, MachineCondition::MotorImbalance, 0.6),
+            (3, MachineCondition::RefrigerantLeak, 0.4),
+        ] {
+            p.handle_message(&NetMessage::Report(report(id, 1, c, b)), SimTime::ZERO)
+                .unwrap();
+        }
+        p.process_events().unwrap();
+        let list = p.maintenance_list();
+        assert!(!list.is_empty());
+        assert_eq!(list[0].condition, MachineCondition::MotorImbalance);
+        assert!(list[0].belief > 0.8, "reinforced belief {}", list[0].belief);
+        // Fused beliefs are also surfaced as machine properties.
+        let obj = p.oosm().machine_object(MachineId::new(1)).unwrap();
+        let prop = p.oosm().property(
+            obj,
+            &format!("fused_belief:{}", MachineCondition::MotorImbalance.index()),
+        );
+        assert!(prop.is_some());
+    }
+
+    #[test]
+    fn heartbeats_track_dc_health() {
+        let mut p = pdme();
+        p.handle_message(
+            &NetMessage::Heartbeat {
+                dc: DcId::new(1),
+                at_secs: 0.0,
+            },
+            SimTime::ZERO,
+        )
+        .unwrap();
+        p.handle_message(
+            &NetMessage::Heartbeat {
+                dc: DcId::new(2),
+                at_secs: 0.0,
+            },
+            SimTime::from_secs(100.0),
+        )
+        .unwrap();
+        let health = p.dc_health(SimTime::from_secs(130.0), SimDuration::from_secs(60.0));
+        assert_eq!(health, vec![(DcId::new(1), false), (DcId::new(2), true)]);
+    }
+
+    struct Escalator;
+    impl ResidentAlgorithm for Escalator {
+        fn name(&self) -> &str {
+            "escalator"
+        }
+        fn on_report(&mut self, report: &ConditionReport, model: &Oosm) -> Vec<ConditionReport> {
+            // Model-based system-level conclusion: a bearing defect on a
+            // machine that exists in the ship model escalates a gear
+            // inspection hint.
+            if report.condition == MachineCondition::MotorBearingDefect
+                && model.machine_object(report.machine).is_some()
+            {
+                vec![ConditionReport::builder(
+                    report.machine,
+                    MachineCondition::GearToothWear,
+                    Belief::new(0.2),
+                )
+                .id(ReportId::new(900_000 + report.id.raw()))
+                .knowledge_source(KnowledgeSourceId::new(999))
+                .timestamp(report.timestamp)
+                .explanation("resident correlator: adjacent gear inspection advised")
+                .build()]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    #[test]
+    fn resident_algorithms_run_once_per_external_report() {
+        let mut p = pdme();
+        p.add_resident_algorithm(Box::new(Escalator));
+        assert_eq!(p.resident_algorithms(), vec!["escalator"]);
+        p.handle_message(
+            &NetMessage::Report(report(1, 1, MachineCondition::MotorBearingDefect, 0.8)),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let fused = p.process_events().unwrap();
+        // External report + one resident-emitted report.
+        assert_eq!(fused, 2);
+        let b = p
+            .fusion()
+            .diagnostic()
+            .belief(MachineId::new(1), MachineCondition::GearToothWear);
+        assert!(b > 0.0, "resident conclusion fused");
+        // The resident report is in the repository, tagged as resident.
+        let all = p.reports_for_machine(MachineId::new(1));
+        assert_eq!(all.len(), 2);
+        assert!(all.iter().any(|r| r.dc == PDME_RESIDENT_DC));
+    }
+
+    #[test]
+    fn non_report_messages_are_ignored() {
+        let mut p = pdme();
+        let n = p
+            .handle_message(
+                &NetMessage::RunTest {
+                    dc: DcId::new(1),
+                    machine: MachineId::new(1),
+                },
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(p.process_events().unwrap(), 0);
+    }
+
+    #[test]
+    fn machines_listing() {
+        let mut p = pdme();
+        p.register_machine(MachineId::new(7), "pump");
+        let mut ms = p.machines();
+        ms.sort();
+        assert_eq!(ms, vec![MachineId::new(1), MachineId::new(7)]);
+    }
+}

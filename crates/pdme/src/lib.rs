@@ -1,0 +1,37 @@
+//! # mpros-pdme
+//!
+//! The Prognostic/Diagnostic Monitoring Engine (§3.1): "the logical
+//! center of the MPROS system. Diagnostic and prognostic conclusions are
+//! collected from DC-resident algorithms as well as PDME-resident
+//! algorithms. Fusion of conflicting and reinforcing source conclusions
+//! is performed to form a prioritized list for the use of maintenance
+//! personnel."
+//!
+//! The executive ([`executive`]) implements the §5.1 control flow
+//! literally: incoming reports are posted in the OOSM; the OOSM's change
+//! events drive knowledge fusion; fused conclusions are posted back and
+//! rendered. PDME-resident algorithms (§5.7) plug in through
+//! [`executive::ResidentAlgorithm`]; the Fig. 2 user-interface view is
+//! rendered by [`browser`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+//! The §10.1 future directions are implemented as extensions: multi-
+//! level health rollup over the ship model ([`health`]) and spatial/
+//! flow correlators as resident algorithms ([`resident`]).
+
+pub mod browser;
+pub mod executive;
+pub mod health;
+pub mod historian;
+pub mod icas;
+pub mod resident;
+pub mod shared;
+
+pub use executive::{PdmeExecutive, ResidentAlgorithm};
+pub use historian::Historian;
+pub use icas::{export_snapshot, IcasSnapshot};
+pub use shared::SharedPdme;
+pub use health::{health_of, HealthReport};
+pub use resident::{FlowCorrelator, SpatialCorrelator};

@@ -1,0 +1,156 @@
+//! Thread-safe PDME handle.
+//!
+//! The paper's PDME is "a set of communicating servers" (§3.1) — report
+//! ingestion and browser queries arrive concurrently. [`SharedPdme`]
+//! wraps the executive in an `Arc<parking_lot::Mutex<…>>` so DC ingest
+//! threads, the fusion pass, and UI readers share one engine safely;
+//! the coarse lock is appropriate because every operation is
+//! microseconds-scale (see the `pdme_scale` bench).
+
+use crate::executive::PdmeExecutive;
+use mpros_core::{MachineId, Result, SimTime};
+use mpros_fusion::MaintenanceItem;
+use mpros_network::NetMessage;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A cloneable, thread-safe handle to one PDME.
+#[derive(Clone)]
+pub struct SharedPdme {
+    inner: Arc<Mutex<PdmeExecutive>>,
+}
+
+impl Default for SharedPdme {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedPdme {
+    /// Wrap a fresh executive.
+    pub fn new() -> Self {
+        SharedPdme {
+            inner: Arc::new(Mutex::new(PdmeExecutive::new())),
+        }
+    }
+
+    /// Wrap an existing (already configured) executive.
+    pub fn from_executive(pdme: PdmeExecutive) -> Self {
+        SharedPdme {
+            inner: Arc::new(Mutex::new(pdme)),
+        }
+    }
+
+    /// Register a machine in the ship model.
+    pub fn register_machine(&self, machine: MachineId, name: &str) {
+        self.inner.lock().register_machine(machine, name);
+    }
+
+    /// Ingest one network message (thread-safe).
+    pub fn handle_message(&self, msg: &NetMessage, now: SimTime) -> Result<usize> {
+        self.inner.lock().handle_message(msg, now)
+    }
+
+    /// Run the knowledge-fusion pass (thread-safe).
+    pub fn process_events(&self) -> Result<usize> {
+        self.inner.lock().process_events()
+    }
+
+    /// Snapshot the prioritized maintenance list.
+    pub fn maintenance_list(&self) -> Vec<MaintenanceItem> {
+        self.inner.lock().maintenance_list()
+    }
+
+    /// Total reports received.
+    pub fn reports_received(&self) -> usize {
+        self.inner.lock().reports_received()
+    }
+
+    /// Run a closure with exclusive access to the executive (for
+    /// configuration and complex queries).
+    pub fn with<R>(&self, f: impl FnOnce(&mut PdmeExecutive) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpros_core::{Belief, ConditionReport, DcId, MachineCondition, ReportId};
+
+    fn report(id: u64, machine: u64, belief: f64) -> NetMessage {
+        NetMessage::Report(
+            ConditionReport::builder(
+                MachineId::new(machine),
+                MachineCondition::MotorBearingDefect,
+                Belief::new(belief),
+            )
+            .id(ReportId::new(id))
+            .dc(DcId::new(machine))
+            .build(),
+        )
+    }
+
+    #[test]
+    fn concurrent_ingest_loses_nothing() {
+        let pdme = SharedPdme::new();
+        let threads = 4;
+        let per_thread = 50;
+        for m in 1..=threads as u64 {
+            pdme.register_machine(MachineId::new(m), &format!("machine {m}"));
+        }
+        crossbeam::thread::scope(|s| {
+            for t in 0..threads {
+                let handle = pdme.clone();
+                s.spawn(move |_| {
+                    for i in 0..per_thread {
+                        let id = (t * per_thread + i) as u64;
+                        handle
+                            .handle_message(&report(id, t as u64 + 1, 0.5), SimTime::ZERO)
+                            .expect("handled");
+                    }
+                });
+            }
+        })
+        .expect("threads join");
+        assert_eq!(pdme.reports_received(), threads * per_thread);
+        let fused = pdme.process_events().expect("processed");
+        assert_eq!(fused, threads * per_thread);
+        // Every machine accumulated dead-certain bearing belief.
+        let list = pdme.maintenance_list();
+        assert_eq!(list.len(), threads);
+        assert!(list.iter().all(|i| i.belief > 0.99));
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_coexist() {
+        let pdme = SharedPdme::new();
+        pdme.register_machine(MachineId::new(1), "m");
+        crossbeam::thread::scope(|s| {
+            let w = pdme.clone();
+            s.spawn(move |_| {
+                for i in 0..100 {
+                    w.handle_message(&report(i, 1, 0.4), SimTime::ZERO)
+                        .expect("handled");
+                    w.process_events().expect("processed");
+                }
+            });
+            let r = pdme.clone();
+            s.spawn(move |_| {
+                for _ in 0..100 {
+                    let _ = r.maintenance_list();
+                }
+            });
+        })
+        .expect("threads join");
+        assert_eq!(pdme.reports_received(), 100);
+    }
+
+    #[test]
+    fn with_gives_full_access() {
+        let pdme = SharedPdme::new();
+        pdme.register_machine(MachineId::new(1), "motor");
+        let count = pdme.with(|p| p.machines().len());
+        assert_eq!(count, 1);
+    }
+}

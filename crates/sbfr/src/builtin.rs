@@ -1,0 +1,446 @@
+//! The Fig. 3 worked example: EMA spike and stiction machines.
+//!
+//! "The two state machine system shown in Figure 3 was used to predict a
+//! seize-up failure mode in an electro-mechanical actuator (EMA)...
+//! Prediction of this fault was done by recognizing stiction... Machine 0
+//! recognizes spikes in the drive motor current. Machine 1 counts the
+//! spikes that are not associated with a commanded position change
+//! (CPOS). When the count is greater than 4, a stiction condition is
+//! flagged, and higher level software (e.g., the PDME) can conclude that
+//! a seize-up failure is imminent." (§6.3)
+//!
+//! Input channel convention: channel 0 is drive-motor current (A),
+//! channel 1 is the commanded position CPOS.
+//!
+//! The EMA hardware is unavailable, so [`EmaTraceGenerator`] synthesizes
+//! drive-current traces: clean motion transients that follow CPOS
+//! changes, plus — when stiction is present — current spikes *between*
+//! commands (the friction signature the machines look for).
+
+use crate::expr::{Action, Expr};
+use crate::program::{Program, ProgramBuilder};
+
+/// Input channel carrying drive-motor current.
+pub const CH_CURRENT: u8 = 0;
+/// Input channel carrying commanded position.
+pub const CH_CPOS: u8 = 1;
+
+/// Current rise per cycle treated as a spike edge, A.
+pub const SPIKE_RISE: f32 = 0.5;
+/// Current fall per cycle confirming the spike's trailing edge, A.
+pub const SPIKE_FALL: f32 = -0.5;
+/// ∆T bound (cycles) within which the spike must complete (the paper's
+/// "∆T ≤ 4").
+pub const SPIKE_WINDOW: f32 = 4.0;
+/// Spike count above which stiction is flagged (the paper's "greater
+/// than 4").
+pub const STICTION_COUNT: f32 = 4.0;
+
+/// Machine 0 of Fig. 3 — the current SPIKE machine.
+///
+/// States: Wait → PossibleSpike1 → PossibleSpike2 → Spike. Intermediate
+/// states make the recognizer "relatively noise free": the rise must be
+/// followed by a fall within ∆T ≤ 4 cycles, twice confirmed, before a
+/// spike is declared by OR-ing bit 1 into this machine's status
+/// register. The Spike state is left when some other agent resets the
+/// status to 0.
+///
+/// `self_idx` is the interpreter index this machine will occupy (its
+/// status-register address).
+pub fn spike_machine(self_idx: u8) -> Program {
+    let rise = Expr::gt(Expr::Delta(CH_CURRENT), Expr::Const(SPIKE_RISE));
+    let fall = Expr::lt(Expr::Delta(CH_CURRENT), Expr::Const(SPIKE_FALL));
+    let in_window = Expr::le(Expr::Elapsed, Expr::Const(SPIKE_WINDOW));
+    let timed_out = Expr::gt(Expr::Elapsed, Expr::Const(SPIKE_WINDOW));
+
+    let mut b = ProgramBuilder::new("current SPIKE machine", 0);
+    let wait = b.state("Wait");
+    let p1 = b.state("PossibleSPIKE 1");
+    let p2 = b.state("PossibleSPIKE 2");
+    let spike = b.state("SPIKE");
+
+    // Wait: a current increase arms the recognizer.
+    b.transition(wait, p1, rise.clone(), vec![]);
+    // PossibleSpike1: a prompt decrease advances; a further rise re-arms
+    // the window; too slow → back to Wait.
+    b.transition(p1, p2, fall.clone().and(in_window.clone()), vec![]);
+    b.transition(p1, p1, rise.clone().and(in_window.clone()), vec![]);
+    b.transition(p1, wait, timed_out.clone(), vec![]);
+    // PossibleSpike2: a second prompt decrease confirms the spike; a new
+    // rise within the window re-arms; too slow → Wait.
+    b.transition(
+        p2,
+        spike,
+        fall.and(in_window.clone()),
+        vec![Action::OrStatus(self_idx, 1)],
+    );
+    b.transition(p2, p1, rise.and(in_window), vec![]);
+    b.transition(p2, wait, timed_out, vec![]);
+    // Spike: wait for the consumer to reset our status register.
+    b.transition(
+        spike,
+        wait,
+        Expr::eq(Expr::Status(self_idx), Expr::Const(0.0)),
+        vec![],
+    );
+    b.build().expect("spike machine is structurally valid")
+}
+
+/// Cycles after a commanded position change during which spikes are
+/// attributed to the motion, not to friction.
+pub const MOTION_COOLDOWN: i16 = 8;
+
+/// Machine 1 of Fig. 3 — the EMA stiction machine.
+///
+/// Counts spikes flagged by the spike machine that are *not* associated
+/// with a commanded position change; when the count exceeds 4 it enters
+/// the Stiction state and raises its own status bit for higher-level
+/// software. That agent resets the status, which sends the machine back
+/// to Wait with the count cleared.
+///
+/// "Association" with a commanded motion needs a window, not an instant:
+/// the spike machine confirms a spike a few cycles after its rising
+/// edge, so the paper's "CPOS unchanged" condition is realized with a
+/// motion-cooldown counter (`Local:1`) armed by any CPOS change and
+/// drained one cycle at a time. Spikes consumed while the cooldown is
+/// live are charged to the motion; spikes with the cooldown at zero are
+/// friction and count toward stiction.
+pub fn stiction_machine(self_idx: u8, spike_idx: u8) -> Program {
+    let spike_seen = Expr::ne(Expr::Status(spike_idx), Expr::Const(0.0));
+    let cpos_changed = Expr::ne(Expr::Delta(CH_CPOS), Expr::Const(0.0));
+    let no_motion = Expr::eq(Expr::Local(1), Expr::Const(0.0));
+    let in_motion = Expr::gt(Expr::Local(1), Expr::Const(0.0));
+
+    let mut b = ProgramBuilder::new("EMA stiction machine", 2);
+    let wait = b.state("Wait");
+    let stiction = b.state("Stiction");
+
+    // Highest priority: count exceeded → flag stiction.
+    b.transition(
+        wait,
+        stiction,
+        Expr::gt(Expr::Local(0), Expr::Const(STICTION_COUNT)),
+        vec![Action::OrStatus(self_idx, 1)],
+    );
+    // A commanded motion arms the cooldown.
+    b.transition(
+        wait,
+        wait,
+        cpos_changed,
+        vec![Action::SetLocal(1, MOTION_COOLDOWN)],
+    );
+    // A spike with no recent motion: consume it and count it.
+    b.transition(
+        wait,
+        wait,
+        spike_seen.clone().and(no_motion),
+        vec![Action::SetStatus(spike_idx, 0), Action::AddLocal(0, 1)],
+    );
+    // A spike during the motion window: consume without counting.
+    b.transition(
+        wait,
+        wait,
+        spike_seen,
+        vec![Action::SetStatus(spike_idx, 0), Action::AddLocal(1, -1)],
+    );
+    // Idle with a live cooldown: drain it.
+    b.transition(wait, wait, in_motion, vec![Action::AddLocal(1, -1)]);
+    // Stiction: once acknowledged (status reset by the consumer), clear
+    // the count and start over.
+    b.transition(
+        stiction,
+        wait,
+        Expr::eq(Expr::Status(self_idx), Expr::Const(0.0)),
+        vec![Action::SetLocal(0, 0)],
+    );
+    b.build().expect("stiction machine is structurally valid")
+}
+
+/// Synthetic EMA drive-current / CPOS trace generator.
+///
+/// Produces per-cycle `[current, cpos]` pairs. Commanded motions occur
+/// every `command_period` cycles and produce a smooth 3-cycle current
+/// transient. When `stiction_level > 0`, friction spikes (sharp
+/// rise-fall over 2 cycles) are injected between commands at a rate
+/// proportional to the level. Deterministic: a tiny xorshift PRNG keyed
+/// by `seed` jitters spike placement.
+#[derive(Debug, Clone)]
+pub struct EmaTraceGenerator {
+    /// Baseline holding current, A.
+    pub baseline: f64,
+    /// Cycles between commanded position changes.
+    pub command_period: usize,
+    /// Stiction intensity 0..=1: expected friction spikes per command
+    /// period scales with this.
+    pub stiction_level: f64,
+    seed: u64,
+}
+
+impl EmaTraceGenerator {
+    /// A healthy actuator trace.
+    pub fn healthy(seed: u64) -> Self {
+        EmaTraceGenerator {
+            baseline: 2.0,
+            command_period: 50,
+            stiction_level: 0.0,
+            seed,
+        }
+    }
+
+    /// An actuator developing stiction at `level` (0..=1).
+    pub fn with_stiction(seed: u64, level: f64) -> Self {
+        EmaTraceGenerator {
+            stiction_level: level.clamp(0.0, 1.0),
+            ..Self::healthy(seed)
+        }
+    }
+
+    /// Generate `cycles` samples of `[current, cpos]`.
+    pub fn generate(&self, cycles: usize) -> Vec<[f64; 2]> {
+        let mut out = Vec::with_capacity(cycles);
+        let mut rng = self.seed | 1;
+        let mut next_rand = move || {
+            // xorshift64*
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            (rng.wrapping_mul(0x2545F491_4F6CDD1D) >> 40) as f64 / (1u64 << 24) as f64
+        };
+        let mut cpos = 0.0f64;
+        // Pre-plan friction spikes: for each command period, up to 3
+        // spikes at random offsets when stiction is active.
+        let mut spike_at: Vec<usize> = Vec::new();
+        if self.stiction_level > 0.0 {
+            let periods = cycles / self.command_period + 1;
+            for p in 0..periods {
+                let n_spikes = (self.stiction_level * 3.0).round() as usize;
+                for _ in 0..n_spikes {
+                    // Keep clear of the command transient (first 8 cycles).
+                    let off = 10 + (next_rand() * (self.command_period as f64 - 14.0))
+                        .max(0.0) as usize;
+                    spike_at.push(p * self.command_period + off);
+                }
+            }
+            spike_at.sort_unstable();
+            spike_at.dedup();
+            // Enforce a minimum gap so spikes stay distinct events.
+            let mut last = usize::MAX;
+            spike_at.retain(|&s| {
+                let keep = last == usize::MAX || s > last + 6;
+                if keep {
+                    last = s;
+                }
+                keep
+            });
+        }
+        let mut spike_iter = spike_at.into_iter().peekable();
+        for i in 0..cycles {
+            let phase = i % self.command_period;
+            if phase == 0 && i > 0 {
+                cpos += 1.0; // commanded step
+            }
+            // Motion transient: current surge over the 3 cycles after a
+            // command (rises then falls — shaped like a spike, which is
+            // why the stiction machine must gate on CPOS).
+            let mut current = self.baseline;
+            current += match phase {
+                0 => 0.0,
+                1 => 1.2,
+                2 => 1.8,
+                3 => 0.8,
+                _ => 0.0,
+            };
+            // Friction spike: 2-cycle rise/fall.
+            while let Some(&s) = spike_iter.peek() {
+                if s + 2 < i {
+                    spike_iter.next();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&s) = spike_iter.peek() {
+                // Sharp rise then a two-step decay, so the recognizer's
+                // double-fall confirmation sees a genuine spike.
+                if i == s {
+                    current += 1.5;
+                } else if i == s + 1 {
+                    current += 0.75;
+                }
+            }
+            // Mild deterministic measurement ripple, well under the edge
+            // thresholds.
+            current += 0.05 * ((i as f64) * 0.7).sin();
+            out.push([current, cpos]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+
+    fn rig() -> (Interpreter, usize, usize) {
+        let mut it = Interpreter::new();
+        let m0 = it.add_program(&spike_machine(0)).unwrap();
+        let m1 = it.add_program(&stiction_machine(1, 0)).unwrap();
+        assert_eq!((m0, m1), (0, 1));
+        (it, m0, m1)
+    }
+
+    fn run(it: &mut Interpreter, trace: &[[f64; 2]]) {
+        for s in trace {
+            it.cycle(&s[..]);
+        }
+    }
+
+    #[test]
+    fn machine_sizes_are_in_the_papers_ballpark() {
+        // Paper: spike machine 229 B, stiction machine 93 B. Our encoding
+        // differs in detail but must land in the same regime.
+        let spike = spike_machine(0).encoded_len().unwrap();
+        let stiction = stiction_machine(1, 0).encoded_len().unwrap();
+        assert!(
+            (100..=300).contains(&spike),
+            "spike machine {spike} bytes (paper: 229)"
+        );
+        assert!(
+            (60..=220).contains(&stiction),
+            "stiction machine {stiction} bytes (paper: 93)"
+        );
+    }
+
+    #[test]
+    fn spike_machine_flags_double_fall_spike() {
+        let mut it = Interpreter::new();
+        let m = it.add_program(&spike_machine(0)).unwrap();
+        let trace: Vec<[f64; 2]> = vec![
+            [2.0, 0.0],
+            [2.0, 0.0],
+            [4.0, 0.0],  // rise → P1
+            [3.0, 0.0],  // fall → P2
+            [2.0, 0.0],  // fall → Spike
+            [2.0, 0.0],
+        ];
+        run(&mut it, &trace);
+        assert_eq!(it.status(m).unwrap().status & 1, 1, "spike flagged");
+        assert_eq!(it.status(m).unwrap().state, 3, "in Spike state");
+        // External reset releases the machine back to Wait.
+        it.set_status(m, 0).unwrap();
+        it.cycle(&[2.0, 0.0]);
+        assert_eq!(it.status(m).unwrap().state, 0);
+    }
+
+    #[test]
+    fn slow_drift_is_not_a_spike() {
+        let mut it = Interpreter::new();
+        let m = it.add_program(&spike_machine(0)).unwrap();
+        // Slow ramp up and down: each step ±0.2, under the edge threshold.
+        let mut trace = Vec::new();
+        for i in 0..20 {
+            trace.push([2.0 + 0.2 * i as f64, 0.0]);
+        }
+        for i in (0..20).rev() {
+            trace.push([2.0 + 0.2 * i as f64, 0.0]);
+        }
+        run(&mut it, &trace);
+        assert_eq!(it.status(m).unwrap().status, 0, "drift must not flag");
+    }
+
+    #[test]
+    fn rise_without_prompt_fall_times_out() {
+        let mut it = Interpreter::new();
+        let m = it.add_program(&spike_machine(0)).unwrap();
+        let mut trace = vec![[2.0, 0.0]; 3];
+        trace.push([4.0, 0.0]); // rise → P1
+        trace.extend(vec![[4.0, 0.0]; 8]); // plateau: ∆T exceeds 4
+        run(&mut it, &trace);
+        assert_eq!(it.status(m).unwrap().state, 0, "timed out back to Wait");
+        assert_eq!(it.status(m).unwrap().status, 0);
+    }
+
+    #[test]
+    fn stiction_flagged_after_five_uncommanded_spikes() {
+        let (mut it, m0, m1) = rig();
+        let mut trace = vec![[2.0, 0.0]; 5];
+        for _ in 0..5 {
+            // Five sharp spikes with CPOS constant.
+            trace.push([4.0, 0.0]);
+            trace.push([3.0, 0.0]);
+            trace.push([2.0, 0.0]);
+            trace.extend(vec![[2.0, 0.0]; 6]);
+        }
+        run(&mut it, &trace);
+        assert_eq!(it.local(m1, 0), Some(5), "five spikes counted");
+        assert_eq!(it.status(m1).unwrap().status & 1, 1, "stiction flagged");
+        assert_eq!(it.status(m1).unwrap().state, 1, "in Stiction state");
+        // Spike machine's status was consumed each time.
+        assert_eq!(it.status(m0).unwrap().status, 0);
+        // Acknowledge: count clears, machine returns to Wait.
+        it.set_status(m1, 0).unwrap();
+        it.cycle(&[2.0, 0.0]);
+        assert_eq!(it.status(m1).unwrap().state, 0);
+        assert_eq!(it.local(m1, 0), Some(0));
+    }
+
+    #[test]
+    fn commanded_motion_spikes_do_not_count() {
+        let (mut it, _m0, m1) = rig();
+        // Spikes synchronized with CPOS changes: the spike machine flags
+        // them a few cycles later, inside the motion cooldown — consumed
+        // but not counted.
+        let mut trace = vec![[2.0, 0.0]; 5];
+        let mut cpos = 0.0;
+        for _ in 0..8 {
+            cpos += 1.0;
+            trace.push([4.0, cpos]); // rise as CPOS changes
+            trace.push([3.0, cpos]);
+            trace.push([2.0, cpos]);
+            trace.extend(vec![[2.0, cpos]; 12]);
+        }
+        run(&mut it, &trace);
+        assert_eq!(it.local(m1, 0), Some(0), "motion spikes not counted");
+        assert_eq!(it.status(m1).unwrap().status, 0, "no stiction from motion");
+        assert_eq!(it.status(m1).unwrap().state, 0);
+    }
+
+    #[test]
+    fn generator_healthy_trace_has_no_uncommanded_spikes() {
+        let (mut it, _m0, m1) = rig();
+        let trace = EmaTraceGenerator::healthy(7).generate(2000);
+        run(&mut it, &trace);
+        assert_eq!(it.status(m1).unwrap().status, 0, "healthy EMA flagged");
+    }
+
+    #[test]
+    fn generator_stiction_trace_flags_stiction() {
+        let (mut it, _m0, m1) = rig();
+        let trace = EmaTraceGenerator::with_stiction(7, 1.0).generate(2000);
+        run(&mut it, &trace);
+        assert_eq!(
+            it.status(m1).unwrap().status & 1,
+            1,
+            "stiction trace must flag (count {:?})",
+            it.local(m1, 0)
+        );
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = EmaTraceGenerator::with_stiction(9, 0.8).generate(500);
+        let b = EmaTraceGenerator::with_stiction(9, 0.8).generate(500);
+        assert_eq!(a, b);
+        let c = EmaTraceGenerator::with_stiction(10, 0.8).generate(500);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generator_cpos_steps_at_command_period() {
+        let trace = EmaTraceGenerator::healthy(1).generate(200);
+        assert_eq!(trace[0][1], 0.0);
+        assert_eq!(trace[49][1], 0.0);
+        assert_eq!(trace[50][1], 1.0);
+        assert_eq!(trace[150][1], 3.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Disassembler for machine images.
+//!
+//! §6.3 allows new machines to be "downloaded into the smart sensor" at
+//! run time; operators need to see what a binary image will do before
+//! trusting it. [`disassemble`] renders an image as a Fig. 3-style
+//! listing: one block per state, `C:` condition and `A:` action lines
+//! per transition, in the paper's own notation.
+
+use crate::expr::{Action, CmpOp, Expr};
+use crate::program::Program;
+use mpros_core::Result;
+use std::fmt::Write as _;
+
+/// Render a condition expression in Fig. 3 notation.
+pub fn render_expr(e: &Expr) -> String {
+    match e {
+        Expr::Input(ch) => format!("In:{ch}"),
+        Expr::Delta(ch) => format!("ΔIn:{ch}"),
+        Expr::Local(i) => format!("Local:{i}"),
+        Expr::Status(m) => format!("Status:{m}"),
+        Expr::Elapsed => "ΔT".to_string(),
+        Expr::Const(v) => {
+            if (v.fract()).abs() < 1e-6 {
+                format!("{}", *v as i64)
+            } else {
+                format!("{v}")
+            }
+        }
+        Expr::Cmp(op, a, b) => {
+            let sym = match op {
+                CmpOp::Lt => "<",
+                CmpOp::Le => "≤",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => "≥",
+                CmpOp::Eq => "=",
+                CmpOp::Ne => "≠",
+            };
+            format!("{} {sym} {}", render_expr(a), render_expr(b))
+        }
+        Expr::And(a, b) => format!("{} & {}", render_expr(a), render_expr(b)),
+        Expr::Or(a, b) => format!("({} | {})", render_expr(a), render_expr(b)),
+        Expr::Not(a) => format!("!({})", render_expr(a)),
+    }
+}
+
+/// Render an action in Fig. 3 notation.
+pub fn render_action(a: &Action) -> String {
+    match *a {
+        Action::SetStatus(m, v) => format!("Status:{m} ← {v}"),
+        Action::OrStatus(m, v) => format!("Status:{m} ← Status:{m} ∨ {v}"),
+        Action::SetLocal(i, v) => format!("Local:{i} ← {v}"),
+        Action::AddLocal(i, v) => {
+            if v >= 0 {
+                format!("Local:{i} ← Local:{i} + {v}")
+            } else {
+                format!("Local:{i} ← Local:{i} - {}", -v)
+            }
+        }
+    }
+}
+
+/// Disassemble a binary machine image into a human-readable listing.
+pub fn disassemble(image: &[u8]) -> Result<String> {
+    let program = Program::decode(image)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "; {} bytes, {} states, {} locals, initial S{}",
+        image.len(),
+        program.states.len(),
+        program.locals,
+        program.initial
+    );
+    for (si, state) in program.states.iter().enumerate() {
+        let _ = writeln!(out, "S{si}:");
+        if state.transitions.is_empty() {
+            let _ = writeln!(out, "  (terminal)");
+        }
+        for t in &state.transitions {
+            let _ = writeln!(out, "  → S{}", t.target);
+            let _ = writeln!(out, "    C: {}", render_expr(&t.condition));
+            for a in &t.actions {
+                let _ = writeln!(out, "    A: {}", render_action(a));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::{spike_machine, stiction_machine};
+    use crate::program::ProgramBuilder;
+
+    #[test]
+    fn fig3_machines_disassemble_in_paper_notation() {
+        let img = stiction_machine(1, 0).encode().unwrap();
+        let text = disassemble(&img).unwrap();
+        assert!(text.contains("Status:0 ≠ 0"), "{text}");
+        assert!(text.contains("Status:0 ← 0"));
+        assert!(text.contains("Local:0 ← Local:0 + 1"));
+        assert!(text.contains("Local:0 > 4"), "stiction count threshold");
+        let spike = disassemble(&spike_machine(0).encode().unwrap()).unwrap();
+        assert!(spike.contains("ΔT ≤ 4"), "{spike}");
+        assert!(spike.contains("ΔIn:0"));
+    }
+
+    #[test]
+    fn listing_reports_image_metadata() {
+        let img = spike_machine(0).encode().unwrap();
+        let text = disassemble(&img).unwrap();
+        assert!(text.starts_with(&format!("; {} bytes, 4 states", img.len())));
+        assert!(text.contains("S0:") && text.contains("S3:"));
+    }
+
+    #[test]
+    fn terminal_states_are_marked() {
+        let mut b = ProgramBuilder::new("oneway", 0);
+        let a = b.state("A");
+        let end = b.state("End");
+        b.transition(a, end, Expr::ge(Expr::Elapsed, Expr::Const(1.0)), vec![]);
+        let img = b.build().unwrap().encode().unwrap();
+        let text = disassemble(&img).unwrap();
+        assert!(text.contains("(terminal)"));
+    }
+
+    #[test]
+    fn corrupt_images_fail_cleanly() {
+        assert!(disassemble(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn negative_and_fractional_constants_render() {
+        let mut b = ProgramBuilder::new("x", 1);
+        let s = b.state("S");
+        b.transition(
+            s,
+            s,
+            Expr::lt(Expr::Input(0), Expr::Const(-0.5)),
+            vec![crate::expr::Action::AddLocal(0, -2)],
+        );
+        let text = disassemble(&b.build().unwrap().encode().unwrap()).unwrap();
+        assert!(text.contains("In:0 < -0.5"));
+        assert!(text.contains("Local:0 ← Local:0 - 2"));
+    }
+}

@@ -1,0 +1,453 @@
+//! Condition expressions and actions, with their compact byte encoding.
+//!
+//! Transitions in the paper carry a *condition* ("C: Current Decrease &
+//! ∆T ≤ 4", "C: Status:0 ≠ 0 & CPOS unchanged") and an *action*
+//! ("A: Status:0 ← 0; Local:1 ← Local:1 + 1"). [`Expr`] is the condition
+//! language: terms over sensor inputs (and their sample-to-sample
+//! deltas), local variables, status registers of any machine, and the
+//! ticks elapsed in the current state — combined with comparisons and
+//! boolean connectives. [`Action`] covers the register writes the paper
+//! uses: set/OR a status register (own or another machine's) and
+//! set/add-to a local variable.
+//!
+//! Both encode to a stack-machine bytecode measured in single bytes so
+//! machine footprints are directly comparable to the paper's byte
+//! counts.
+
+use mpros_core::{Error, Result};
+
+/// Condition expression over the interpreter's visible state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Value of input channel `ch` this cycle.
+    Input(u8),
+    /// `input[ch] - previous input[ch]` (one-cycle delta; 0 on the first
+    /// cycle). How "Current Increase/Decrease" events are phrased.
+    Delta(u8),
+    /// Local variable `idx` of this machine.
+    Local(u8),
+    /// Status register of machine `m` (any machine, including self —
+    /// the paper's "status ... readable and writeable by any of the
+    /// state machines").
+    Status(u8),
+    /// Ticks elapsed in the current state (the paper's ∆T).
+    Elapsed,
+    /// A constant.
+    Const(f32),
+    /// Comparison of two scalar sub-expressions.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Logical AND of two boolean sub-expressions.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical NOT.
+    Not(Box<Expr>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl Expr {
+    /// `lhs < rhs`
+    pub fn lt(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Lt, Box::new(lhs), Box::new(rhs))
+    }
+    /// `lhs <= rhs`
+    pub fn le(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Le, Box::new(lhs), Box::new(rhs))
+    }
+    /// `lhs > rhs`
+    pub fn gt(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Gt, Box::new(lhs), Box::new(rhs))
+    }
+    /// `lhs >= rhs`
+    pub fn ge(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ge, Box::new(lhs), Box::new(rhs))
+    }
+    /// `lhs == rhs`
+    pub fn eq(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Eq, Box::new(lhs), Box::new(rhs))
+    }
+    /// `lhs != rhs`
+    pub fn ne(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ne, Box::new(lhs), Box::new(rhs))
+    }
+    /// `self & other`
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+    /// `self | other`
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+    /// `!self`
+    pub fn negate(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Append the postfix bytecode of this expression to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Expr::Input(ch) => {
+                out.push(op::PUSH_INPUT);
+                out.push(*ch);
+            }
+            Expr::Delta(ch) => {
+                out.push(op::PUSH_DELTA);
+                out.push(*ch);
+            }
+            Expr::Local(idx) => {
+                out.push(op::PUSH_LOCAL);
+                out.push(*idx);
+            }
+            Expr::Status(m) => {
+                out.push(op::PUSH_STATUS);
+                out.push(*m);
+            }
+            Expr::Elapsed => out.push(op::PUSH_ELAPSED),
+            Expr::Const(v) => {
+                out.push(op::PUSH_CONST);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Expr::Cmp(cmp, a, b) => {
+                a.encode(out);
+                b.encode(out);
+                out.push(match cmp {
+                    CmpOp::Lt => op::LT,
+                    CmpOp::Le => op::LE,
+                    CmpOp::Gt => op::GT,
+                    CmpOp::Ge => op::GE,
+                    CmpOp::Eq => op::EQ,
+                    CmpOp::Ne => op::NE,
+                });
+            }
+            Expr::And(a, b) => {
+                a.encode(out);
+                b.encode(out);
+                out.push(op::AND);
+            }
+            Expr::Or(a, b) => {
+                a.encode(out);
+                b.encode(out);
+                out.push(op::OR);
+            }
+            Expr::Not(a) => {
+                a.encode(out);
+                out.push(op::NOT);
+            }
+        }
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf.len()
+    }
+
+    /// Decode one full postfix expression from `bytes` (consuming all of
+    /// it). Fails on truncated or stack-unbalanced code.
+    pub fn decode(bytes: &[u8]) -> Result<Expr> {
+        let mut stack: Vec<Expr> = Vec::new();
+        let mut i = 0usize;
+        let take = |i: &mut usize, n: usize| -> Result<usize> {
+            let at = *i;
+            *i += n;
+            if *i > bytes.len() {
+                Err(Error::Encoding("truncated expression".into()))
+            } else {
+                Ok(at)
+            }
+        };
+        while i < bytes.len() {
+            let opcode = bytes[i];
+            i += 1;
+            match opcode {
+                op::PUSH_INPUT => {
+                    let at = take(&mut i, 1)?;
+                    stack.push(Expr::Input(bytes[at]));
+                }
+                op::PUSH_DELTA => {
+                    let at = take(&mut i, 1)?;
+                    stack.push(Expr::Delta(bytes[at]));
+                }
+                op::PUSH_LOCAL => {
+                    let at = take(&mut i, 1)?;
+                    stack.push(Expr::Local(bytes[at]));
+                }
+                op::PUSH_STATUS => {
+                    let at = take(&mut i, 1)?;
+                    stack.push(Expr::Status(bytes[at]));
+                }
+                op::PUSH_ELAPSED => stack.push(Expr::Elapsed),
+                op::PUSH_CONST => {
+                    let at = take(&mut i, 4)?;
+                    let v = f32::from_le_bytes(
+                        bytes[at..at + 4].try_into().expect("4 bytes"),
+                    );
+                    stack.push(Expr::Const(v));
+                }
+                op::LT | op::LE | op::GT | op::GE | op::EQ | op::NE => {
+                    let b = stack.pop().ok_or_else(unbalanced)?;
+                    let a = stack.pop().ok_or_else(unbalanced)?;
+                    let cmp = match opcode {
+                        op::LT => CmpOp::Lt,
+                        op::LE => CmpOp::Le,
+                        op::GT => CmpOp::Gt,
+                        op::GE => CmpOp::Ge,
+                        op::EQ => CmpOp::Eq,
+                        _ => CmpOp::Ne,
+                    };
+                    stack.push(Expr::Cmp(cmp, Box::new(a), Box::new(b)));
+                }
+                op::AND => {
+                    let b = stack.pop().ok_or_else(unbalanced)?;
+                    let a = stack.pop().ok_or_else(unbalanced)?;
+                    stack.push(a.and(b));
+                }
+                op::OR => {
+                    let b = stack.pop().ok_or_else(unbalanced)?;
+                    let a = stack.pop().ok_or_else(unbalanced)?;
+                    stack.push(a.or(b));
+                }
+                op::NOT => {
+                    let a = stack.pop().ok_or_else(unbalanced)?;
+                    stack.push(a.negate());
+                }
+                other => {
+                    return Err(Error::Encoding(format!(
+                        "unknown expression opcode 0x{other:02x}"
+                    )))
+                }
+            }
+        }
+        if stack.len() == 1 {
+            Ok(stack.pop().expect("len checked"))
+        } else {
+            Err(unbalanced())
+        }
+    }
+}
+
+fn unbalanced() -> Error {
+    Error::Encoding("unbalanced expression bytecode".into())
+}
+
+/// Transition actions: the register writes of the paper's "A:" labels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    /// `Status:m ← v`
+    SetStatus(u8, i16),
+    /// `Status:m ← Status:m ∨ bits` (the paper's "Status:1 ← Status:1 v 1")
+    OrStatus(u8, i16),
+    /// `Local:idx ← v`
+    SetLocal(u8, i16),
+    /// `Local:idx ← Local:idx + delta` (the paper's "Local:1 + 1")
+    AddLocal(u8, i16),
+}
+
+impl Action {
+    /// Append the byte encoding (opcode + operand bytes) to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            Action::SetStatus(m, v) => {
+                out.push(op::ACT_SET_STATUS);
+                out.push(m);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Action::OrStatus(m, v) => {
+                out.push(op::ACT_OR_STATUS);
+                out.push(m);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Action::SetLocal(i, v) => {
+                out.push(op::ACT_SET_LOCAL);
+                out.push(i);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Action::AddLocal(i, v) => {
+                out.push(op::ACT_ADD_LOCAL);
+                out.push(i);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+
+    /// Decode one action starting at `bytes[at]`; returns the action and
+    /// the next offset.
+    pub fn decode(bytes: &[u8], at: usize) -> Result<(Action, usize)> {
+        let need = |n: usize| {
+            if at + 1 + n > bytes.len() {
+                Err(Error::Encoding("truncated action".into()))
+            } else {
+                Ok(())
+            }
+        };
+        let opcode = *bytes
+            .get(at)
+            .ok_or_else(|| Error::Encoding("truncated action".into()))?;
+        need(3)?;
+        let reg = bytes[at + 1];
+        let v = i16::from_le_bytes([bytes[at + 2], bytes[at + 3]]);
+        let action = match opcode {
+            op::ACT_SET_STATUS => Action::SetStatus(reg, v),
+            op::ACT_OR_STATUS => Action::OrStatus(reg, v),
+            op::ACT_SET_LOCAL => Action::SetLocal(reg, v),
+            op::ACT_ADD_LOCAL => Action::AddLocal(reg, v),
+            other => {
+                return Err(Error::Encoding(format!(
+                    "unknown action opcode 0x{other:02x}"
+                )))
+            }
+        };
+        Ok((action, at + 4))
+    }
+
+    /// Encoded size in bytes (fixed).
+    pub const ENCODED_LEN: usize = 4;
+}
+
+/// Bytecode opcodes.
+pub mod op {
+    #![allow(missing_docs)]
+    pub const PUSH_INPUT: u8 = 0x01;
+    pub const PUSH_DELTA: u8 = 0x02;
+    pub const PUSH_LOCAL: u8 = 0x03;
+    pub const PUSH_STATUS: u8 = 0x04;
+    pub const PUSH_ELAPSED: u8 = 0x06;
+    pub const PUSH_CONST: u8 = 0x07;
+    pub const LT: u8 = 0x10;
+    pub const LE: u8 = 0x11;
+    pub const GT: u8 = 0x12;
+    pub const GE: u8 = 0x13;
+    pub const EQ: u8 = 0x14;
+    pub const NE: u8 = 0x15;
+    pub const AND: u8 = 0x20;
+    pub const OR: u8 = 0x21;
+    pub const NOT: u8 = 0x22;
+    pub const ACT_SET_STATUS: u8 = 0x30;
+    pub const ACT_OR_STATUS: u8 = 0x31;
+    pub const ACT_SET_LOCAL: u8 = 0x32;
+    pub const ACT_ADD_LOCAL: u8 = 0x33;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn simple_exprs_roundtrip() {
+        let exprs = vec![
+            Expr::Input(3),
+            Expr::Delta(1),
+            Expr::Local(0),
+            Expr::Status(7),
+            Expr::Elapsed,
+            Expr::Const(4.5),
+            Expr::gt(Expr::Delta(0), Expr::Const(0.3)),
+            Expr::le(Expr::Elapsed, Expr::Const(4.0))
+                .and(Expr::ne(Expr::Status(0), Expr::Const(0.0))),
+            Expr::eq(Expr::Local(1), Expr::Const(5.0))
+                .or(Expr::lt(Expr::Input(2), Expr::Const(-1.0)))
+                .negate(),
+        ];
+        for e in exprs {
+            let mut buf = Vec::new();
+            e.encode(&mut buf);
+            let back = Expr::decode(&buf).unwrap();
+            assert_eq!(e, back);
+            assert_eq!(buf.len(), e.encoded_len());
+        }
+    }
+
+    #[test]
+    fn paper_style_condition_is_compact() {
+        // "Status:0 ≠ 0 & CPOS unchanged" — two comparisons and an AND.
+        let cpos_unchanged = Expr::eq(Expr::Delta(1), Expr::Const(0.0));
+        let cond = Expr::ne(Expr::Status(0), Expr::Const(0.0)).and(cpos_unchanged);
+        // status(2) + const(5) + cmp(1) + delta(2) + const(5) + cmp(1) + and(1) = 17 B
+        assert_eq!(cond.encoded_len(), 17);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Expr::decode(&[0xFF]).is_err());
+        assert!(Expr::decode(&[op::PUSH_CONST, 1, 2]).is_err()); // truncated f32
+        assert!(Expr::decode(&[op::AND]).is_err()); // stack underflow
+        // Two operands, no operator → unbalanced.
+        let mut buf = Vec::new();
+        Expr::Input(0).encode(&mut buf);
+        Expr::Input(1).encode(&mut buf);
+        assert!(Expr::decode(&buf).is_err());
+        assert!(Expr::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn actions_roundtrip() {
+        let actions = [
+            Action::SetStatus(0, 0),
+            Action::OrStatus(1, 1),
+            Action::SetLocal(2, -5),
+            Action::AddLocal(1, 1),
+        ];
+        for a in actions {
+            let mut buf = Vec::new();
+            a.encode(&mut buf);
+            assert_eq!(buf.len(), Action::ENCODED_LEN);
+            let (back, next) = Action::decode(&buf, 0).unwrap();
+            assert_eq!(a, back);
+            assert_eq!(next, 4);
+        }
+    }
+
+    #[test]
+    fn action_decode_rejects_truncation_and_garbage() {
+        assert!(Action::decode(&[op::ACT_SET_LOCAL, 0], 0).is_err());
+        assert!(Action::decode(&[0x99, 0, 0, 0], 0).is_err());
+        assert!(Action::decode(&[], 0).is_err());
+    }
+
+    fn arb_expr() -> impl Strategy<Value = Expr> {
+        let leaf = prop_oneof![
+            (0u8..8).prop_map(Expr::Input),
+            (0u8..8).prop_map(Expr::Delta),
+            (0u8..4).prop_map(Expr::Local),
+            (0u8..16).prop_map(Expr::Status),
+            Just(Expr::Elapsed),
+            (-100.0f32..100.0).prop_map(Expr::Const),
+        ];
+        leaf.prop_recursive(4, 32, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::lt(a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::ge(a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+                inner.prop_map(|a| a.negate()),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn any_expression_roundtrips(e in arb_expr()) {
+            let mut buf = Vec::new();
+            e.encode(&mut buf);
+            prop_assert_eq!(Expr::decode(&buf).unwrap(), e);
+        }
+    }
+}

@@ -1,0 +1,586 @@
+//! The SBFR interpreter.
+//!
+//! Executes a set of state-machine *images* (see [`crate::program`]) in
+//! lockstep: one call to [`Interpreter::step`] is one SBFR cycle — the
+//! paper's interpreter "can cycle with a period of less than 4
+//! milliseconds" over "100 state machines operating in parallel". The
+//! interpreter works directly on the binary images, so the resident
+//! footprint is the sum of image bytes plus per-machine registers,
+//! mirroring the paper's 32 KB budget.
+//!
+//! Semantics:
+//! * machines execute in index order within a cycle; status writes are
+//!   visible to later machines in the same cycle (the paper's stiction
+//!   machine reads and resets the spike machine's status);
+//! * in each machine, the current state's transitions are evaluated in
+//!   declaration order and the first satisfied one is taken;
+//! * `Delta(ch)` is the change of input `ch` since the previous cycle
+//!   (zero on the first cycle);
+//! * `Elapsed` counts completed cycles since the machine entered its
+//!   current state (the paper's ∆T);
+//! * reads of missing input channels or out-of-range status registers
+//!   yield 0; writes to out-of-range registers are ignored — a running
+//!   DC must tolerate a partially downloaded machine set (§6.3 allows
+//!   downloading new machines at run time).
+
+use crate::expr::op;
+use crate::program::Program;
+use mpros_core::{Error, Result};
+
+/// Maximum expression-stack depth (images are validated to fit).
+const STACK_MAX: usize = 32;
+
+/// A transition taken during a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Machine index.
+    pub machine: usize,
+    /// State left.
+    pub from: u8,
+    /// State entered.
+    pub to: u8,
+}
+
+/// Status snapshot of one machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineStatus {
+    /// Current state index.
+    pub state: u8,
+    /// Cycles since entering the state.
+    pub elapsed: u32,
+    /// Status register value.
+    pub status: i32,
+}
+
+struct MachineImage {
+    image: Vec<u8>,
+    /// Byte offset of each state's transition table.
+    state_offsets: Vec<usize>,
+    initial: u8,
+    locals_count: u8,
+}
+
+/// The multi-machine SBFR interpreter.
+pub struct Interpreter {
+    machines: Vec<MachineImage>,
+    state: Vec<u8>,
+    elapsed: Vec<u32>,
+    locals: Vec<Vec<i32>>,
+    statuses: Vec<i32>,
+    prev_inputs: Vec<f64>,
+    has_prev: bool,
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interpreter {
+    /// An interpreter with no machines.
+    pub fn new() -> Self {
+        Interpreter {
+            machines: Vec::new(),
+            state: Vec::new(),
+            elapsed: Vec::new(),
+            locals: Vec::new(),
+            statuses: Vec::new(),
+            prev_inputs: Vec::new(),
+            has_prev: false,
+        }
+    }
+
+    /// Load a machine from its binary image; returns its index. The
+    /// image is fully validated (decoded) before acceptance.
+    pub fn add_machine(&mut self, image: &[u8]) -> Result<usize> {
+        let parsed = Self::index_image(image)?;
+        let idx = self.machines.len();
+        self.state.push(parsed.initial);
+        self.elapsed.push(0);
+        self.locals.push(vec![0; parsed.locals_count as usize]);
+        self.statuses.push(0);
+        self.machines.push(parsed);
+        Ok(idx)
+    }
+
+    /// Load a [`Program`] directly (encodes then adds).
+    pub fn add_program(&mut self, program: &Program) -> Result<usize> {
+        self.add_machine(&program.encode()?)
+    }
+
+    /// Replace machine `idx` with a freshly downloaded image, resetting
+    /// its runtime registers (§6.3: "new finite-state machines may be
+    /// downloaded into the smart sensor").
+    pub fn replace_machine(&mut self, idx: usize, image: &[u8]) -> Result<()> {
+        if idx >= self.machines.len() {
+            return Err(Error::not_found(format!("machine {idx}")));
+        }
+        let parsed = Self::index_image(image)?;
+        self.state[idx] = parsed.initial;
+        self.elapsed[idx] = 0;
+        self.locals[idx] = vec![0; parsed.locals_count as usize];
+        self.statuses[idx] = 0;
+        self.machines[idx] = parsed;
+        Ok(())
+    }
+
+    fn index_image(image: &[u8]) -> Result<MachineImage> {
+        // Full structural validation via decode.
+        let program = Program::decode(image)?;
+        // Index state offsets by re-walking the image.
+        let n_states = image[3] as usize;
+        let mut offsets = Vec::with_capacity(n_states);
+        let mut i = 6usize;
+        for _ in 0..n_states {
+            offsets.push(i);
+            let n_trans = image[i] as usize;
+            i += 1;
+            for _ in 0..n_trans {
+                let cond_len = u16::from_le_bytes([image[i + 1], image[i + 2]]) as usize;
+                i += 3 + cond_len;
+                let n_actions = image[i] as usize;
+                i += 1 + n_actions * crate::expr::Action::ENCODED_LEN;
+            }
+        }
+        Ok(MachineImage {
+            image: image.to_vec(),
+            state_offsets: offsets,
+            initial: program.initial,
+            locals_count: program.locals,
+        })
+    }
+
+    /// Number of loaded machines.
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Total resident image bytes — the footprint figure of §6.3.
+    pub fn total_image_bytes(&self) -> usize {
+        self.machines.iter().map(|m| m.image.len()).sum()
+    }
+
+    /// Snapshot of machine `idx`.
+    pub fn status(&self, idx: usize) -> Option<MachineStatus> {
+        (idx < self.machines.len()).then(|| MachineStatus {
+            state: self.state[idx],
+            elapsed: self.elapsed[idx],
+            status: self.statuses[idx],
+        })
+    }
+
+    /// Read a local variable (for tests and higher-level software).
+    pub fn local(&self, machine: usize, idx: usize) -> Option<i32> {
+        self.locals.get(machine)?.get(idx).copied()
+    }
+
+    /// Externally write a status register — the paper's "some other
+    /// agent ... has the responsibility to then reset Machine 1's status
+    /// register to 0".
+    pub fn set_status(&mut self, machine: usize, value: i32) -> Result<()> {
+        if machine >= self.statuses.len() {
+            return Err(Error::not_found(format!("machine {machine}")));
+        }
+        self.statuses[machine] = value;
+        Ok(())
+    }
+
+    /// One full SBFR cycle with the given input-channel values: evaluate
+    /// every machine in index order, then age ∆T on machines that held
+    /// their state. Returns the transitions taken this cycle.
+    pub fn cycle(&mut self, inputs: &[f64]) -> Vec<Transition> {
+        let mut taken = Vec::new();
+        for m in 0..self.machines.len() {
+            if let Some(t) = self.step_machine(m, inputs) {
+                taken.push(t);
+            }
+        }
+        // Age ∆T for machines that did not transition this cycle.
+        for m in 0..self.elapsed.len() {
+            if !taken.iter().any(|t| t.machine == m) {
+                self.elapsed[m] = self.elapsed[m].saturating_add(1);
+            }
+        }
+        // Book-keeping for Delta(): remember this cycle's inputs.
+        self.prev_inputs.clear();
+        self.prev_inputs.extend_from_slice(inputs);
+        self.has_prev = true;
+        taken
+    }
+
+    fn step_machine(&mut self, m: usize, inputs: &[f64]) -> Option<Transition> {
+        let cur = self.state[m];
+        let (n_trans, mut at) = {
+            let img = &self.machines[m];
+            let off = img.state_offsets[cur as usize];
+            (img.image[off] as usize, off + 1)
+        };
+        let mut chosen: Option<(u8, usize, usize)> = None; // target, act_at, n_actions
+        for _ in 0..n_trans {
+            let img = &self.machines[m];
+            let target = img.image[at];
+            let cond_len =
+                u16::from_le_bytes([img.image[at + 1], img.image[at + 2]]) as usize;
+            let cond_start = at + 3;
+            let cond_end = cond_start + cond_len;
+            let n_actions = img.image[cond_end] as usize;
+            let fire = self.eval(m, &self.machines[m].image[cond_start..cond_end], inputs);
+            if fire {
+                chosen = Some((target, cond_end + 1, n_actions));
+                break;
+            }
+            at = cond_end + 1 + n_actions * crate::expr::Action::ENCODED_LEN;
+        }
+        let (target, mut act_at, n_actions) = chosen?;
+        // Execute actions.
+        for _ in 0..n_actions {
+            let img = &self.machines[m].image;
+            let opcode = img[act_at];
+            let reg = img[act_at + 1] as usize;
+            let v = i16::from_le_bytes([img[act_at + 2], img[act_at + 3]]) as i32;
+            act_at += 4;
+            match opcode {
+                op::ACT_SET_STATUS => {
+                    if reg < self.statuses.len() {
+                        self.statuses[reg] = v;
+                    }
+                }
+                op::ACT_OR_STATUS => {
+                    if reg < self.statuses.len() {
+                        self.statuses[reg] |= v;
+                    }
+                }
+                op::ACT_SET_LOCAL => {
+                    if let Some(l) = self.locals[m].get_mut(reg) {
+                        *l = v;
+                    }
+                }
+                op::ACT_ADD_LOCAL => {
+                    if let Some(l) = self.locals[m].get_mut(reg) {
+                        *l = l.saturating_add(v);
+                    }
+                }
+                _ => unreachable!("images are validated at load"),
+            }
+        }
+        let from = cur;
+        // Taking a transition (including a self-loop) re-enters the
+        // target state, so ∆T restarts.
+        self.state[m] = target;
+        self.elapsed[m] = 0;
+        Some(Transition {
+            machine: m,
+            from,
+            to: target,
+        })
+    }
+
+    /// Evaluate a condition bytecode slice for machine `m`.
+    fn eval(&self, m: usize, code: &[u8], inputs: &[f64]) -> bool {
+        let mut stack = [0.0f64; STACK_MAX];
+        let mut sp = 0usize;
+        let mut i = 0usize;
+        macro_rules! push {
+            ($v:expr) => {{
+                if sp < STACK_MAX {
+                    stack[sp] = $v;
+                    sp += 1;
+                }
+            }};
+        }
+        macro_rules! pop2 {
+            () => {{
+                let b = stack[sp - 1];
+                let a = stack[sp - 2];
+                sp -= 2;
+                (a, b)
+            }};
+        }
+        while i < code.len() {
+            let opcode = code[i];
+            i += 1;
+            match opcode {
+                op::PUSH_INPUT => {
+                    let ch = code[i] as usize;
+                    i += 1;
+                    push!(inputs.get(ch).copied().unwrap_or(0.0));
+                }
+                op::PUSH_DELTA => {
+                    let ch = code[i] as usize;
+                    i += 1;
+                    let now = inputs.get(ch).copied().unwrap_or(0.0);
+                    let before = if self.has_prev {
+                        self.prev_inputs.get(ch).copied().unwrap_or(0.0)
+                    } else {
+                        now
+                    };
+                    push!(now - before);
+                }
+                op::PUSH_LOCAL => {
+                    let idx = code[i] as usize;
+                    i += 1;
+                    push!(self.locals[m].get(idx).copied().unwrap_or(0) as f64);
+                }
+                op::PUSH_STATUS => {
+                    let idx = code[i] as usize;
+                    i += 1;
+                    push!(self.statuses.get(idx).copied().unwrap_or(0) as f64);
+                }
+                op::PUSH_ELAPSED => push!(self.elapsed[m] as f64),
+                op::PUSH_CONST => {
+                    let v = f32::from_le_bytes(
+                        code[i..i + 4].try_into().expect("validated image"),
+                    );
+                    i += 4;
+                    push!(v as f64);
+                }
+                op::LT => {
+                    let (a, b) = pop2!();
+                    push!(f64::from(a < b));
+                }
+                op::LE => {
+                    let (a, b) = pop2!();
+                    push!(f64::from(a <= b));
+                }
+                op::GT => {
+                    let (a, b) = pop2!();
+                    push!(f64::from(a > b));
+                }
+                op::GE => {
+                    let (a, b) = pop2!();
+                    push!(f64::from(a >= b));
+                }
+                op::EQ => {
+                    let (a, b) = pop2!();
+                    push!(f64::from(a == b));
+                }
+                op::NE => {
+                    let (a, b) = pop2!();
+                    push!(f64::from(a != b));
+                }
+                op::AND => {
+                    let (a, b) = pop2!();
+                    push!(f64::from(a != 0.0 && b != 0.0));
+                }
+                op::OR => {
+                    let (a, b) = pop2!();
+                    push!(f64::from(a != 0.0 || b != 0.0));
+                }
+                op::NOT => {
+                    let a = stack[sp - 1];
+                    stack[sp - 1] = f64::from(a == 0.0);
+                }
+                _ => unreachable!("images are validated at load"),
+            }
+        }
+        sp == 1 && stack[0] != 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Action, Expr};
+    use crate::program::ProgramBuilder;
+
+    /// Single machine that moves Off→On when input0 > 0.5 and back,
+    /// OR-ing its own status bit on rise and clearing on fall.
+    fn toggler() -> Program {
+        let mut b = ProgramBuilder::new("toggler", 1);
+        let off = b.state("Off");
+        let on = b.state("On");
+        b.transition(
+            off,
+            on,
+            Expr::gt(Expr::Input(0), Expr::Const(0.5)),
+            vec![Action::OrStatus(0, 1), Action::AddLocal(0, 1)],
+        );
+        b.transition(
+            on,
+            off,
+            Expr::le(Expr::Input(0), Expr::Const(0.5)),
+            vec![Action::SetStatus(0, 0)],
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn basic_transitions_and_status() {
+        let mut it = Interpreter::new();
+        let m = it.add_program(&toggler()).unwrap();
+        assert_eq!(it.machine_count(), 1);
+        assert!(it.cycle(&[0.0]).is_empty());
+        let taken = it.cycle(&[1.0]);
+        assert_eq!(taken, vec![Transition { machine: m, from: 0, to: 1 }]);
+        assert_eq!(it.status(m).unwrap().state, 1);
+        assert_eq!(it.status(m).unwrap().status, 1);
+        assert_eq!(it.local(m, 0), Some(1));
+        it.cycle(&[0.0]);
+        assert_eq!(it.status(m).unwrap().state, 0);
+        assert_eq!(it.status(m).unwrap().status, 0);
+    }
+
+    #[test]
+    fn elapsed_counts_cycles_in_state() {
+        let mut b = ProgramBuilder::new("timer", 0);
+        let wait = b.state("Wait");
+        let done = b.state("Done");
+        b.transition(
+            wait,
+            done,
+            Expr::ge(Expr::Elapsed, Expr::Const(3.0)),
+            vec![Action::SetStatus(0, 1)],
+        );
+        let mut it = Interpreter::new();
+        let m = it.add_program(&b.build().unwrap()).unwrap();
+        // ∆T starts at 0; reaches 3 after three idle cycles.
+        assert!(it.cycle(&[]).is_empty()); // ∆T 0 → ages to 1
+        assert!(it.cycle(&[]).is_empty()); // 1 → 2
+        assert!(it.cycle(&[]).is_empty()); // 2 → 3
+        let taken = it.cycle(&[]); // ∆T == 3 fires
+        assert_eq!(taken.len(), 1);
+        assert_eq!(it.status(m).unwrap().state, 1);
+        assert_eq!(it.status(m).unwrap().status, 1);
+    }
+
+    #[test]
+    fn delta_sees_input_changes() {
+        let mut b = ProgramBuilder::new("riser", 0);
+        let s = b.state("S");
+        let hit = b.state("Hit");
+        b.transition(
+            s,
+            hit,
+            Expr::gt(Expr::Delta(0), Expr::Const(0.4)),
+            vec![],
+        );
+        let mut it = Interpreter::new();
+        let m = it.add_program(&b.build().unwrap()).unwrap();
+        // First cycle: delta defined as 0 → no fire even with big value.
+        assert!(it.cycle(&[10.0]).is_empty());
+        assert!(it.cycle(&[10.2]).is_empty()); // +0.2
+        assert_eq!(it.cycle(&[10.8]).len(), 1); // +0.6 fires
+        assert_eq!(it.status(m).unwrap().state, 1);
+    }
+
+    #[test]
+    fn machines_communicate_through_status() {
+        // Machine 0 raises its status when input0 > 0; machine 1 watches
+        // machine 0's status, counts, and resets it — the Fig. 3 pattern.
+        let mut b0 = ProgramBuilder::new("raiser", 0);
+        let idle0 = b0.state("Idle");
+        b0.transition(
+            idle0,
+            idle0,
+            Expr::gt(Expr::Input(0), Expr::Const(0.0)),
+            vec![Action::OrStatus(0, 1)],
+        );
+        let mut b1 = ProgramBuilder::new("counter", 1);
+        let idle1 = b1.state("Idle");
+        b1.transition(
+            idle1,
+            idle1,
+            Expr::ne(Expr::Status(0), Expr::Const(0.0)),
+            vec![Action::SetStatus(0, 0), Action::AddLocal(0, 1)],
+        );
+        let mut it = Interpreter::new();
+        let m0 = it.add_program(&b0.build().unwrap()).unwrap();
+        let m1 = it.add_program(&b1.build().unwrap()).unwrap();
+        for _ in 0..3 {
+            it.cycle(&[1.0]);
+        }
+        // Same-cycle visibility: machine 1 sees and clears machine 0's
+        // status each cycle.
+        assert_eq!(it.local(m1, 0), Some(3));
+        assert_eq!(it.status(m0).unwrap().status, 0);
+    }
+
+    #[test]
+    fn external_agent_can_reset_status() {
+        let mut it = Interpreter::new();
+        let m = it.add_program(&toggler()).unwrap();
+        it.cycle(&[1.0]);
+        assert_eq!(it.status(m).unwrap().status, 1);
+        it.set_status(m, 0).unwrap();
+        assert_eq!(it.status(m).unwrap().status, 0);
+        assert!(it.set_status(9, 0).is_err());
+    }
+
+    #[test]
+    fn out_of_range_reads_are_zero_writes_ignored() {
+        let mut b = ProgramBuilder::new("oob", 0);
+        let s = b.state("S");
+        let t = b.state("T");
+        // Condition on missing machine 7's status == 0 → true.
+        b.transition(
+            s,
+            t,
+            Expr::eq(Expr::Status(7), Expr::Const(0.0)),
+            vec![Action::SetStatus(7, 5), Action::SetLocal(3, 1)],
+        );
+        let mut it = Interpreter::new();
+        let m = it.add_program(&b.build().unwrap()).unwrap();
+        let taken = it.cycle(&[]);
+        assert_eq!(taken.len(), 1);
+        assert_eq!(it.status(m).unwrap().state, 1);
+        // Missing input channel reads as zero too.
+        assert_eq!(it.local(m, 3), None);
+    }
+
+    #[test]
+    fn replace_machine_resets_runtime() {
+        let mut it = Interpreter::new();
+        let m = it.add_program(&toggler()).unwrap();
+        it.cycle(&[1.0]);
+        assert_eq!(it.status(m).unwrap().state, 1);
+        let image = toggler().encode().unwrap();
+        it.replace_machine(m, &image).unwrap();
+        let st = it.status(m).unwrap();
+        assert_eq!(st.state, 0);
+        assert_eq!(st.status, 0);
+        assert!(it.replace_machine(5, &image).is_err());
+    }
+
+    #[test]
+    fn footprint_accounting() {
+        let mut it = Interpreter::new();
+        let img = toggler().encode().unwrap();
+        it.add_machine(&img).unwrap();
+        it.add_machine(&img).unwrap();
+        assert_eq!(it.total_image_bytes(), 2 * img.len());
+    }
+
+    #[test]
+    fn hundred_machines_fit_32k() {
+        // The §6.3 budget: 100 machines + interpreter < 32 KB. Our
+        // interpreter code size is not measurable from safe Rust, so the
+        // image budget is the testable part; we leave the paper's 2000 B
+        // for the interpreter and require images to fit in 30 KB.
+        let mut it = Interpreter::new();
+        let img = crate::builtin::spike_machine(0).encode().unwrap();
+        for _ in 0..100 {
+            it.add_machine(&img).unwrap();
+        }
+        assert!(
+            it.total_image_bytes() < 30 * 1024,
+            "100 machines take {} bytes",
+            it.total_image_bytes()
+        );
+    }
+
+    #[test]
+    fn first_matching_transition_wins() {
+        let mut b = ProgramBuilder::new("prio", 0);
+        let s = b.state("S");
+        let a = b.state("A");
+        let bb = b.state("B");
+        let always = Expr::ge(Expr::Const(1.0), Expr::Const(0.0));
+        b.transition(s, a, always.clone(), vec![]);
+        b.transition(s, bb, always, vec![]);
+        let mut it = Interpreter::new();
+        let m = it.add_program(&b.build().unwrap()).unwrap();
+        it.cycle(&[]);
+        assert_eq!(it.status(m).unwrap().state, 1, "first transition must win");
+    }
+}

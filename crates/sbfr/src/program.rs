@@ -1,0 +1,369 @@
+//! State-machine programs and their compact binary image.
+//!
+//! A [`Program`] is one enhanced finite-state machine: a set of states,
+//! each with an ordered list of guarded transitions (first satisfied
+//! condition wins, as in the paper's figures). Programs encode to a
+//! self-contained binary image — the form "downloaded into the smart
+//! sensor" (§6.3) — whose byte count is the footprint the paper reports
+//! (229 B spike machine, 93 B stiction machine).
+//!
+//! Image layout (little-endian):
+//!
+//! ```text
+//! magic 'S''B' | version u8 | n_states u8 | n_locals u8 | initial u8
+//! per state:   n_transitions u8
+//! per transition: target u8 | cond_len u16 | cond bytes | n_actions u8 | 4B each
+//! ```
+//!
+//! State and machine *names* are debugging metadata and are deliberately
+//! not part of the image.
+
+use crate::expr::{Action, Expr};
+use mpros_core::{Error, Result};
+
+const MAGIC: [u8; 2] = *b"SB";
+const VERSION: u8 = 1;
+
+/// One guarded transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Target state index.
+    pub target: u8,
+    /// Guard condition (the "C:" label).
+    pub condition: Expr,
+    /// Actions executed when taken (the "A:" label).
+    pub actions: Vec<Action>,
+}
+
+/// One state: an ordered transition list.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct State {
+    /// Debug name (not encoded).
+    pub name: String,
+    /// Transitions, evaluated in order.
+    pub transitions: Vec<Transition>,
+}
+
+/// A complete state-machine program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Debug name (not encoded).
+    pub name: String,
+    /// States; index 0.. in declaration order.
+    pub states: Vec<State>,
+    /// Number of local variables.
+    pub locals: u8,
+    /// Initial state index.
+    pub initial: u8,
+}
+
+impl Program {
+    /// Validate structural invariants: nonempty, all targets in range,
+    /// initial state in range, ≤ 255 transitions per state.
+    pub fn validate(&self) -> Result<()> {
+        if self.states.is_empty() {
+            return Err(Error::invalid("program has no states"));
+        }
+        if self.states.len() > u8::MAX as usize {
+            return Err(Error::CapacityExceeded("more than 255 states".into()));
+        }
+        if self.initial as usize >= self.states.len() {
+            return Err(Error::invalid("initial state out of range"));
+        }
+        for (si, s) in self.states.iter().enumerate() {
+            if s.transitions.len() > u8::MAX as usize {
+                return Err(Error::CapacityExceeded(format!(
+                    "state {si} has more than 255 transitions"
+                )));
+            }
+            for t in &s.transitions {
+                if t.target as usize >= self.states.len() {
+                    return Err(Error::invalid(format!(
+                        "state {si} transition targets missing state {}",
+                        t.target
+                    )));
+                }
+                if t.actions.len() > u8::MAX as usize {
+                    return Err(Error::CapacityExceeded("too many actions".into()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Encode to the binary image.
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        self.validate()?;
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.states.len() as u8);
+        out.push(self.locals);
+        out.push(self.initial);
+        for s in &self.states {
+            out.push(s.transitions.len() as u8);
+            for t in &s.transitions {
+                out.push(t.target);
+                let mut cond = Vec::new();
+                t.condition.encode(&mut cond);
+                if cond.len() > u16::MAX as usize {
+                    return Err(Error::CapacityExceeded("condition too large".into()));
+                }
+                out.extend_from_slice(&(cond.len() as u16).to_le_bytes());
+                out.extend_from_slice(&cond);
+                out.push(t.actions.len() as u8);
+                for a in &t.actions {
+                    a.encode(&mut out);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Footprint of the binary image in bytes.
+    pub fn encoded_len(&self) -> Result<usize> {
+        Ok(self.encode()?.len())
+    }
+
+    /// Decode a binary image.
+    pub fn decode(bytes: &[u8]) -> Result<Program> {
+        let mut i = 0usize;
+        let need = |i: usize, n: usize| -> Result<()> {
+            if i + n > bytes.len() {
+                Err(Error::Encoding("truncated program image".into()))
+            } else {
+                Ok(())
+            }
+        };
+        need(i, 6)?;
+        if bytes[0..2] != MAGIC {
+            return Err(Error::Encoding("bad magic".into()));
+        }
+        if bytes[2] != VERSION {
+            return Err(Error::Encoding(format!("unsupported version {}", bytes[2])));
+        }
+        let n_states = bytes[3] as usize;
+        let locals = bytes[4];
+        let initial = bytes[5];
+        i = 6;
+        let mut states = Vec::with_capacity(n_states);
+        for si in 0..n_states {
+            need(i, 1)?;
+            let n_trans = bytes[i] as usize;
+            i += 1;
+            let mut transitions = Vec::with_capacity(n_trans);
+            for _ in 0..n_trans {
+                need(i, 3)?;
+                let target = bytes[i];
+                let cond_len =
+                    u16::from_le_bytes([bytes[i + 1], bytes[i + 2]]) as usize;
+                i += 3;
+                need(i, cond_len)?;
+                let condition = Expr::decode(&bytes[i..i + cond_len])?;
+                i += cond_len;
+                need(i, 1)?;
+                let n_actions = bytes[i] as usize;
+                i += 1;
+                let mut actions = Vec::with_capacity(n_actions);
+                for _ in 0..n_actions {
+                    let (a, next) = Action::decode(bytes, i)?;
+                    actions.push(a);
+                    i = next;
+                }
+                transitions.push(Transition {
+                    target,
+                    condition,
+                    actions,
+                });
+            }
+            states.push(State {
+                name: format!("S{si}"),
+                transitions,
+            });
+        }
+        if i != bytes.len() {
+            return Err(Error::Encoding("trailing bytes after program".into()));
+        }
+        let p = Program {
+            name: String::new(),
+            states,
+            locals,
+            initial,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+}
+
+/// Fluent builder for [`Program`].
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    states: Vec<State>,
+    locals: u8,
+    initial: u8,
+}
+
+impl ProgramBuilder {
+    /// Start a program with a debug name and a local-variable count.
+    pub fn new(name: impl Into<String>, locals: u8) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            locals,
+            ..Default::default()
+        }
+    }
+
+    /// Declare a state; returns its index. The first declared state is
+    /// the initial state unless [`Self::initial`] overrides it.
+    pub fn state(&mut self, name: impl Into<String>) -> u8 {
+        let idx = self.states.len() as u8;
+        self.states.push(State {
+            name: name.into(),
+            transitions: Vec::new(),
+        });
+        idx
+    }
+
+    /// Override the initial state.
+    pub fn initial(&mut self, state: u8) -> &mut Self {
+        self.initial = state;
+        self
+    }
+
+    /// Add a transition `from → to` guarded by `condition` running
+    /// `actions`.
+    pub fn transition(
+        &mut self,
+        from: u8,
+        to: u8,
+        condition: Expr,
+        actions: Vec<Action>,
+    ) -> &mut Self {
+        self.states[from as usize].transitions.push(Transition {
+            target: to,
+            condition,
+            actions,
+        });
+        self
+    }
+
+    /// Finish, validating the program.
+    pub fn build(self) -> Result<Program> {
+        let p = Program {
+            name: self.name,
+            states: self.states,
+            locals: self.locals,
+            initial: self.initial,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state_program() -> Program {
+        let mut b = ProgramBuilder::new("toggler", 1);
+        let off = b.state("Off");
+        let on = b.state("On");
+        b.transition(
+            off,
+            on,
+            Expr::gt(Expr::Input(0), Expr::Const(0.5)),
+            vec![Action::OrStatus(0, 1), Action::AddLocal(0, 1)],
+        );
+        b.transition(
+            on,
+            off,
+            Expr::le(Expr::Input(0), Expr::Const(0.5)),
+            vec![Action::SetStatus(0, 0)],
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_through_image() {
+        let p = two_state_program();
+        let img = p.encode().unwrap();
+        let back = Program::decode(&img).unwrap();
+        assert_eq!(back.states.len(), 2);
+        assert_eq!(back.locals, 1);
+        assert_eq!(back.initial, 0);
+        assert_eq!(back.states[0].transitions, p.states[0].transitions);
+        assert_eq!(back.states[1].transitions, p.states[1].transitions);
+    }
+
+    #[test]
+    fn image_is_compact() {
+        let p = two_state_program();
+        let len = p.encoded_len().unwrap();
+        // header 6 + state headers 2 + 2 transitions:
+        //  each: 1 target + 2 cond_len + 12 cond + 1 n_act + 4·n_act
+        assert!(len < 60, "image {len} bytes");
+    }
+
+    #[test]
+    fn validation_catches_bad_targets() {
+        let p = Program {
+            name: "bad".into(),
+            states: vec![State {
+                name: "only".into(),
+                transitions: vec![Transition {
+                    target: 5,
+                    condition: Expr::Elapsed,
+                    actions: vec![],
+                }],
+            }],
+            locals: 0,
+            initial: 0,
+        };
+        assert!(p.validate().is_err());
+        assert!(p.encode().is_err());
+    }
+
+    #[test]
+    fn validation_catches_empty_and_bad_initial() {
+        let empty = Program {
+            name: String::new(),
+            states: vec![],
+            locals: 0,
+            initial: 0,
+        };
+        assert!(empty.validate().is_err());
+        let bad_init = Program {
+            name: String::new(),
+            states: vec![State::default()],
+            locals: 0,
+            initial: 3,
+        };
+        assert!(bad_init.validate().is_err());
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_images() {
+        let img = two_state_program().encode().unwrap();
+        assert!(Program::decode(&img[..4]).is_err()); // truncated
+        let mut bad_magic = img.clone();
+        bad_magic[0] = b'X';
+        assert!(Program::decode(&bad_magic).is_err());
+        let mut bad_ver = img.clone();
+        bad_ver[2] = 9;
+        assert!(Program::decode(&bad_ver).is_err());
+        let mut trailing = img.clone();
+        trailing.push(0);
+        assert!(Program::decode(&trailing).is_err());
+    }
+
+    #[test]
+    fn builder_first_state_is_initial_by_default() {
+        let mut b = ProgramBuilder::new("x", 0);
+        let s0 = b.state("A");
+        let s1 = b.state("B");
+        b.transition(s0, s1, Expr::Elapsed, vec![]);
+        let p = b.build().unwrap();
+        assert_eq!(p.initial, 0);
+    }
+}

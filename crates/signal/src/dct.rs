@@ -1,0 +1,158 @@
+//! Discrete Cosine Transform (DCT-II).
+//!
+//! §6.2 lists "DCT coefficients" among the WNN input features. The DCT-II
+//! concentrates smooth signal energy into few coefficients, making it a
+//! compact descriptor of spectral envelopes. Implemented directly
+//! (O(n²)) — feature extraction uses short blocks (≤ a few hundred
+//! coefficients), where the direct form is simpler and fast enough; the
+//! property tests verify it against the orthonormal inverse.
+
+use std::f64::consts::PI;
+
+/// DCT-II of `signal`, with orthonormal scaling, returning `signal.len()`
+/// coefficients.
+pub fn dct2(signal: &[f64]) -> Vec<f64> {
+    let n = signal.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let nf = n as f64;
+    (0..n)
+        .map(|k| {
+            let mut acc = 0.0;
+            for (i, &x) in signal.iter().enumerate() {
+                acc += x * (PI / nf * (i as f64 + 0.5) * k as f64).cos();
+            }
+            let scale = if k == 0 {
+                (1.0 / nf).sqrt()
+            } else {
+                (2.0 / nf).sqrt()
+            };
+            acc * scale
+        })
+        .collect()
+}
+
+/// Inverse of [`dct2`] (orthonormal DCT-III).
+pub fn idct2(coeffs: &[f64]) -> Vec<f64> {
+    let n = coeffs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let nf = n as f64;
+    (0..n)
+        .map(|i| {
+            let mut acc = coeffs[0] * (1.0 / nf).sqrt();
+            for (k, &c) in coeffs.iter().enumerate().skip(1) {
+                acc += c * (2.0 / nf).sqrt() * (PI / nf * (i as f64 + 0.5) * k as f64).cos();
+            }
+            acc
+        })
+        .collect()
+}
+
+/// The first `count` DCT coefficients — the compact feature form used by
+/// the WNN feature vector. Computes only the requested coefficients
+/// (O(n·count)), so large acquisition blocks stay cheap.
+pub fn dct_features(signal: &[f64], count: usize) -> Vec<f64> {
+    let n = signal.len();
+    if n == 0 || count == 0 {
+        return Vec::new();
+    }
+    let nf = n as f64;
+    (0..count.min(n))
+        .map(|k| {
+            let mut acc = 0.0;
+            for (i, &x) in signal.iter().enumerate() {
+                acc += x * (PI / nf * (i as f64 + 0.5) * k as f64).cos();
+            }
+            let scale = if k == 0 {
+                (1.0 / nf).sqrt()
+            } else {
+                (2.0 / nf).sqrt()
+            };
+            acc * scale
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constant_signal_concentrates_in_dc() {
+        let c = dct2(&[2.0; 16]);
+        assert!((c[0] - 2.0 * 4.0).abs() < 1e-12); // 2·√16
+        for &x in &c[1..] {
+            assert!(x.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert!(dct2(&[]).is_empty());
+        assert!(idct2(&[]).is_empty());
+    }
+
+    #[test]
+    fn features_truncate() {
+        let f = dct_features(&[1.0; 32], 5);
+        assert_eq!(f.len(), 5);
+    }
+
+    #[test]
+    fn energy_preserved_orthonormal() {
+        let sig: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).sin()).collect();
+        let c = dct2(&sig);
+        let e_t: f64 = sig.iter().map(|x| x * x).sum();
+        let e_c: f64 = c.iter().map(|x| x * x).sum();
+        assert!((e_t - e_c).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(sig in proptest::collection::vec(-50.0..50.0f64, 1..64)) {
+            let back = idct2(&dct2(&sig));
+            for (a, b) in sig.iter().zip(&back) {
+                prop_assert!((a - b).abs() < 1e-8);
+            }
+        }
+
+        #[test]
+        fn linearity(
+            a in proptest::collection::vec(-10.0..10.0f64, 16..=16),
+            b in proptest::collection::vec(-10.0..10.0f64, 16..=16)
+        ) {
+            let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+            let (ca, cb, cs) = (dct2(&a), dct2(&b), dct2(&sum));
+            for i in 0..16 {
+                prop_assert!((ca[i] + cb[i] - cs[i]).abs() < 1e-9);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod feature_tests {
+    use super::*;
+
+    #[test]
+    fn dct_features_match_full_transform_prefix() {
+        let sig: Vec<f64> = (0..128).map(|i| (i as f64 * 0.21).sin()).collect();
+        let full = dct2(&sig);
+        let fast = dct_features(&sig, 10);
+        assert_eq!(fast.len(), 10);
+        for (a, b) in fast.iter().zip(&full) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dct_features_edge_cases() {
+        assert!(dct_features(&[], 5).is_empty());
+        assert!(dct_features(&[1.0, 2.0], 0).is_empty());
+        assert_eq!(dct_features(&[1.0, 2.0], 10).len(), 2, "capped at n");
+    }
+}

@@ -1,0 +1,300 @@
+//! Discrete wavelet transform and wavelet energy maps.
+//!
+//! §6.2: the Wavelet Neural Network has "such unique capabilities as
+//! multi-resolution and localization", consuming "wavelet maps" among its
+//! features, and "will excel in drawing conclusions from transitory
+//! phenomena rather than steady state data". The DWT provides exactly
+//! that multi-resolution decomposition. We implement the Haar and
+//! Daubechies-4 filter banks with periodic boundary handling and a
+//! multi-level pyramid decomposition, plus the per-level energy "map" the
+//! WNN feature vector uses.
+
+use mpros_core::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Wavelet families supported by the transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Wavelet {
+    /// Haar (db1): shortest support, best time localization.
+    Haar,
+    /// Daubechies-4 (two vanishing moments): smoother, better frequency
+    /// separation for machinery transients.
+    Daubechies4,
+}
+
+impl Wavelet {
+    /// Low-pass (scaling) decomposition filter coefficients.
+    pub fn lowpass(self) -> &'static [f64] {
+        const SQRT2_INV: f64 = std::f64::consts::FRAC_1_SQRT_2;
+        match self {
+            Wavelet::Haar => {
+                const H: [f64; 2] = [SQRT2_INV, SQRT2_INV];
+                &H
+            }
+            Wavelet::Daubechies4 => {
+                // (1±√3)/(4√2) family, standard D4 coefficients.
+                const D4: [f64; 4] = [
+                    0.482_962_913_144_690_2,
+                    0.836_516_303_737_469,
+                    0.224_143_868_041_857_35,
+                    -0.129_409_522_550_921_45,
+                ];
+                &D4
+            }
+        }
+    }
+
+    /// High-pass (wavelet) decomposition filter, derived from the
+    /// low-pass by the quadrature-mirror relation `g[k] = (-1)^k h[L-1-k]`.
+    pub fn highpass(self) -> Vec<f64> {
+        let h = self.lowpass();
+        let l = h.len();
+        (0..l)
+            .map(|k| {
+                let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+                sign * h[l - 1 - k]
+            })
+            .collect()
+    }
+}
+
+/// One level of DWT decomposition: approximation (low-pass, downsampled)
+/// and detail (high-pass, downsampled) coefficients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DwtLevel {
+    /// Approximation coefficients (half the input length).
+    pub approx: Vec<f64>,
+    /// Detail coefficients (half the input length).
+    pub detail: Vec<f64>,
+}
+
+/// Single-level DWT with periodic boundary extension. Input length must
+/// be even and at least the filter length.
+pub fn dwt_step(signal: &[f64], wavelet: Wavelet) -> Result<DwtLevel> {
+    let n = signal.len();
+    let h = wavelet.lowpass();
+    let g = wavelet.highpass();
+    if n < h.len() || !n.is_multiple_of(2) {
+        return Err(Error::invalid(format!(
+            "DWT input length {n} must be even and >= filter length {}",
+            h.len()
+        )));
+    }
+    let half = n / 2;
+    let mut approx = Vec::with_capacity(half);
+    let mut detail = Vec::with_capacity(half);
+    for i in 0..half {
+        let mut a = 0.0;
+        let mut d = 0.0;
+        for (k, (&hk, &gk)) in h.iter().zip(&g).enumerate() {
+            let idx = (2 * i + k) % n;
+            a += hk * signal[idx];
+            d += gk * signal[idx];
+        }
+        approx.push(a);
+        detail.push(d);
+    }
+    Ok(DwtLevel { approx, detail })
+}
+
+/// Inverse of a single [`dwt_step`] (periodic).
+pub fn idwt_step(level: &DwtLevel, wavelet: Wavelet) -> Result<Vec<f64>> {
+    let half = level.approx.len();
+    if level.detail.len() != half {
+        return Err(Error::invalid("approx/detail length mismatch"));
+    }
+    let n = half * 2;
+    let h = wavelet.lowpass();
+    let g = wavelet.highpass();
+    let mut out = vec![0.0; n];
+    for i in 0..half {
+        for (k, (&hk, &gk)) in h.iter().zip(&g).enumerate() {
+            let idx = (2 * i + k) % n;
+            out[idx] += hk * level.approx[i] + gk * level.detail[i];
+        }
+    }
+    Ok(out)
+}
+
+/// A multi-level wavelet decomposition (pyramid).
+#[derive(Debug, Clone)]
+pub struct WaveletDecomposition {
+    /// Detail coefficients per level; `details[0]` is the finest scale.
+    pub details: Vec<Vec<f64>>,
+    /// Final coarse approximation.
+    pub approx: Vec<f64>,
+    /// The wavelet used.
+    pub wavelet: Wavelet,
+}
+
+impl WaveletDecomposition {
+    /// Decompose `signal` over `levels` scales.
+    pub fn analyze(signal: &[f64], wavelet: Wavelet, levels: usize) -> Result<Self> {
+        if levels == 0 {
+            return Err(Error::invalid("levels must be >= 1"));
+        }
+        let mut details = Vec::with_capacity(levels);
+        let mut current = signal.to_vec();
+        for _ in 0..levels {
+            let step = dwt_step(&current, wavelet)?;
+            details.push(step.detail);
+            current = step.approx;
+        }
+        Ok(WaveletDecomposition {
+            details,
+            approx: current,
+            wavelet,
+        })
+    }
+
+    /// Reconstruct the original signal.
+    pub fn synthesize(&self) -> Result<Vec<f64>> {
+        let mut current = self.approx.clone();
+        for detail in self.details.iter().rev() {
+            current = idwt_step(
+                &DwtLevel {
+                    approx: current,
+                    detail: detail.clone(),
+                },
+                self.wavelet,
+            )?;
+        }
+        Ok(current)
+    }
+
+    /// The *wavelet map* feature (§6.2): relative energy per scale,
+    /// `[detail_1 .. detail_L, approx]`, normalized to sum to 1 (all-zero
+    /// signals map to all-zero features).
+    pub fn energy_map(&self) -> Vec<f64> {
+        let mut energies: Vec<f64> = self
+            .details
+            .iter()
+            .map(|d| d.iter().map(|x| x * x).sum::<f64>())
+            .collect();
+        energies.push(self.approx.iter().map(|x| x * x).sum::<f64>());
+        let total: f64 = energies.iter().sum();
+        if total > 0.0 {
+            for e in energies.iter_mut() {
+                *e /= total;
+            }
+        }
+        energies
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn filters_are_orthonormal() {
+        for w in [Wavelet::Haar, Wavelet::Daubechies4] {
+            let h = w.lowpass();
+            let g = w.highpass();
+            let hh: f64 = h.iter().map(|x| x * x).sum();
+            let gg: f64 = g.iter().map(|x| x * x).sum();
+            let hg: f64 = h.iter().zip(&g).map(|(a, b)| a * b).sum();
+            assert!((hh - 1.0).abs() < 1e-12, "{w:?} lowpass norm {hh}");
+            assert!((gg - 1.0).abs() < 1e-12);
+            assert!(hg.abs() < 1e-12, "{w:?} filters not orthogonal");
+            // Low-pass sums to √2; high-pass sums to 0.
+            assert!((h.iter().sum::<f64>() - 2.0f64.sqrt()).abs() < 1e-12);
+            assert!(g.iter().sum::<f64>().abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn haar_step_on_known_values() {
+        let lvl = dwt_step(&[1.0, 3.0, 5.0, 7.0], Wavelet::Haar).unwrap();
+        let s = 2.0f64.sqrt();
+        assert!((lvl.approx[0] - 4.0 / s * 1.0).abs() < 1e-12); // (1+3)/√2
+        assert!((lvl.approx[1] - 12.0 / s).abs() < 1e-12); // (5+7)/√2
+        assert!((lvl.detail[0] - (1.0 - 3.0) / s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_signal_has_zero_detail() {
+        for w in [Wavelet::Haar, Wavelet::Daubechies4] {
+            let lvl = dwt_step(&[3.0; 16], w).unwrap();
+            assert!(lvl.detail.iter().all(|d| d.abs() < 1e-12), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_odd_or_short_input() {
+        assert!(dwt_step(&[1.0, 2.0, 3.0], Wavelet::Haar).is_err());
+        assert!(dwt_step(&[1.0, 2.0], Wavelet::Daubechies4).is_err());
+        assert!(WaveletDecomposition::analyze(&[1.0; 8], Wavelet::Haar, 0).is_err());
+    }
+
+    #[test]
+    fn transient_energy_concentrates_in_fine_scales() {
+        // A click (impulse) is a transitory phenomenon: its energy lands in
+        // the fine-scale details, unlike a slow sinusoid.
+        let n = 256;
+        let mut click = vec![0.0; n];
+        click[100] = 1.0;
+        let slow: Vec<f64> = (0..n).map(|i| (2.0 * PI * i as f64 / n as f64).sin()).collect();
+        let dc = WaveletDecomposition::analyze(&click, Wavelet::Daubechies4, 4).unwrap();
+        let ds = WaveletDecomposition::analyze(&slow, Wavelet::Daubechies4, 4).unwrap();
+        let mc = dc.energy_map();
+        let ms = ds.energy_map();
+        assert!(mc[0] > 0.3, "click fine-scale energy {}", mc[0]);
+        assert!(ms[0] < 0.05, "sine fine-scale energy {}", ms[0]);
+        assert!(ms[4] > 0.5, "sine coarse energy {}", ms[4]);
+    }
+
+    #[test]
+    fn energy_map_is_normalized() {
+        let sig: Vec<f64> = (0..128).map(|i| (i as f64 * 0.17).sin()).collect();
+        let d = WaveletDecomposition::analyze(&sig, Wavelet::Haar, 3).unwrap();
+        let m = d.energy_map();
+        assert_eq!(m.len(), 4);
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_signal_energy_map_is_zero() {
+        let d = WaveletDecomposition::analyze(&[0.0; 64], Wavelet::Haar, 3).unwrap();
+        assert!(d.energy_map().iter().all(|&e| e == 0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn single_step_roundtrip(
+            sig in proptest::collection::vec(-10.0..10.0f64, 16..=16)
+        ) {
+            for w in [Wavelet::Haar, Wavelet::Daubechies4] {
+                let lvl = dwt_step(&sig, w).unwrap();
+                let back = idwt_step(&lvl, w).unwrap();
+                for (a, b) in sig.iter().zip(&back) {
+                    prop_assert!((a - b).abs() < 1e-9, "{w:?}");
+                }
+            }
+        }
+
+        #[test]
+        fn pyramid_roundtrip(
+            sig in proptest::collection::vec(-10.0..10.0f64, 64..=64),
+            levels in 1usize..4
+        ) {
+            let d = WaveletDecomposition::analyze(&sig, Wavelet::Daubechies4, levels).unwrap();
+            let back = d.synthesize().unwrap();
+            for (a, b) in sig.iter().zip(&back) {
+                prop_assert!((a - b).abs() < 1e-8);
+            }
+        }
+
+        #[test]
+        fn energy_preserved_by_one_step(
+            sig in proptest::collection::vec(-10.0..10.0f64, 32..=32)
+        ) {
+            let lvl = dwt_step(&sig, Wavelet::Haar).unwrap();
+            let e_in: f64 = sig.iter().map(|x| x * x).sum();
+            let e_out: f64 = lvl.approx.iter().chain(&lvl.detail).map(|x| x * x).sum();
+            prop_assert!((e_in - e_out).abs() < 1e-8 * e_in.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Complex numbers and the radix-2 Cooley–Tukey FFT.
+//!
+//! Implemented from scratch (no external numerics crates): an iterative
+//! in-place decimation-in-time FFT with bit-reversal permutation and
+//! precomputable twiddle tables. Sizes must be powers of two, which is
+//! what the DC's spectrum analyzer card produces anyway.
+
+use mpros_core::{Error, Result};
+use std::f64::consts::PI;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number over `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Construct from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// A purely real value.
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²` (no square root; preferred in hot loops).
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Argument (phase) in radians.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(self, k: f64) -> Self {
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// A reusable FFT plan for a fixed power-of-two size.
+///
+/// Precomputes the bit-reversal permutation and twiddle factors once; the
+/// DC pipeline runs thousands of transforms per second at a fixed block
+/// size, so plan reuse keeps the hot path allocation-free.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    log2n: u32,
+    /// Twiddles for each butterfly stage, forward direction.
+    twiddles: Vec<Complex>,
+    bitrev: Vec<u32>,
+}
+
+impl FftPlan {
+    /// Create a plan for transforms of length `n` (power of two, ≥ 2).
+    pub fn new(n: usize) -> Result<Self> {
+        if n < 2 || !n.is_power_of_two() {
+            return Err(Error::invalid(format!(
+                "FFT size must be a power of two >= 2, got {n}"
+            )));
+        }
+        let log2n = n.trailing_zeros();
+        // Stage s (len = 2^s) uses twiddles w^j for j in 0..len/2 with
+        // w = e^{-2πi/len}; store them contiguously per stage.
+        let mut twiddles = Vec::with_capacity(n - 1);
+        let mut len = 2usize;
+        while len <= n {
+            let half = len / 2;
+            for j in 0..half {
+                twiddles.push(Complex::cis(-2.0 * PI * j as f64 / len as f64));
+            }
+            len <<= 1;
+        }
+        let mut bitrev = vec![0u32; n];
+        for (i, r) in bitrev.iter_mut().enumerate() {
+            *r = (i as u32).reverse_bits() >> (32 - log2n);
+        }
+        Ok(FftPlan {
+            n,
+            log2n,
+            twiddles,
+            bitrev,
+        })
+    }
+
+    /// The transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the plan length is zero (never: plans are ≥ 2; provided for
+    /// API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward FFT.
+    pub fn forward(&self, data: &mut [Complex]) -> Result<()> {
+        self.transform(data, false)
+    }
+
+    /// In-place inverse FFT (including the 1/n normalization).
+    pub fn inverse(&self, data: &mut [Complex]) -> Result<()> {
+        self.transform(data, true)?;
+        let inv = 1.0 / self.n as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(inv);
+        }
+        Ok(())
+    }
+
+    fn transform(&self, data: &mut [Complex], inverse: bool) -> Result<()> {
+        if data.len() != self.n {
+            return Err(Error::invalid(format!(
+                "buffer length {} does not match plan size {}",
+                data.len(),
+                self.n
+            )));
+        }
+        // Bit-reversal permutation.
+        for i in 0..self.n {
+            let j = self.bitrev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Iterative butterflies.
+        let mut stage_base = 0usize;
+        for s in 1..=self.log2n {
+            let len = 1usize << s;
+            let half = len / 2;
+            let stage = &self.twiddles[stage_base..stage_base + half];
+            let mut start = 0;
+            while start < self.n {
+                for j in 0..half {
+                    let w = if inverse { stage[j].conj() } else { stage[j] };
+                    let a = data[start + j];
+                    let b = data[start + j + half] * w;
+                    data[start + j] = a + b;
+                    data[start + j + half] = a - b;
+                }
+                start += len;
+            }
+            stage_base += half;
+        }
+        Ok(())
+    }
+}
+
+/// Forward FFT of a real signal; returns the full complex spectrum.
+/// Convenience wrapper that builds a one-shot plan.
+pub fn fft_real(signal: &[f64]) -> Result<Vec<Complex>> {
+    let plan = FftPlan::new(signal.len())?;
+    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::real(x)).collect();
+    plan.forward(&mut buf)?;
+    Ok(buf)
+}
+
+/// Inverse FFT returning only real parts (caller asserts the spectrum is
+/// conjugate-symmetric, as spectra of real signals are).
+pub fn ifft_real(spectrum: &[Complex]) -> Result<Vec<f64>> {
+    let plan = FftPlan::new(spectrum.len())?;
+    let mut buf = spectrum.to_vec();
+    plan.inverse(&mut buf)?;
+    Ok(buf.into_iter().map(|z| z.re).collect())
+}
+
+/// Naive O(n²) DFT used as a test oracle for the FFT.
+#[doc(hidden)]
+pub fn dft_reference(data: &[Complex]) -> Vec<Complex> {
+    let n = data.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (j, &x) in data.iter().enumerate() {
+                acc += x * Complex::cis(-2.0 * PI * (k * j) as f64 / n as f64);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_close(a: Complex, b: Complex, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol,
+            "expected {b:?}, got {a:?} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(FftPlan::new(0).is_err());
+        assert!(FftPlan::new(1).is_err());
+        assert!(FftPlan::new(3).is_err());
+        assert!(FftPlan::new(100).is_err());
+        assert!(FftPlan::new(128).is_ok());
+    }
+
+    #[test]
+    fn rejects_mismatched_buffer() {
+        let plan = FftPlan::new(8).unwrap();
+        let mut buf = vec![Complex::ZERO; 4];
+        assert!(plan.forward(&mut buf).is_err());
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut data = vec![Complex::ZERO; 8];
+        data[0] = Complex::ONE;
+        FftPlan::new(8).unwrap().forward(&mut data).unwrap();
+        for z in data {
+            assert_close(z, Complex::ONE, 1e-12);
+        }
+    }
+
+    #[test]
+    fn dc_signal_concentrates_in_bin_zero() {
+        let mut data = vec![Complex::real(2.5); 16];
+        FftPlan::new(16).unwrap().forward(&mut data).unwrap();
+        assert_close(data[0], Complex::real(40.0), 1e-9);
+        for z in &data[1..] {
+            assert!(z.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_tone_lands_in_its_bin() {
+        let n = 64;
+        let k = 5;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * k as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let spec = fft_real(&signal).unwrap();
+        // cos splits into bins k and n-k with magnitude n/2 each.
+        assert!((spec[k].abs() - n as f64 / 2.0).abs() < 1e-9);
+        assert!((spec[n - k].abs() - n as f64 / 2.0).abs() < 1e-9);
+        for (i, z) in spec.iter().enumerate() {
+            if i != k && i != n - k {
+                assert!(z.abs() < 1e-8, "leakage at bin {i}: {}", z.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let n = 32;
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let mut fast = data.clone();
+        FftPlan::new(n).unwrap().forward(&mut fast).unwrap();
+        let slow = dft_reference(&data);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert_close(*a, *b, 1e-9);
+        }
+    }
+
+    #[test]
+    fn plan_is_reusable() {
+        let plan = FftPlan::new(16) .unwrap();
+        for trial in 0..3 {
+            let mut data: Vec<Complex> = (0..16)
+                .map(|i| Complex::real((i + trial) as f64))
+                .collect();
+            let expect = dft_reference(&data);
+            plan.forward(&mut data).unwrap();
+            for (a, b) in data.iter().zip(&expect) {
+                assert_close(*a, *b, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn complex_arithmetic_identities() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sq(), 25.0);
+        assert_eq!(z.conj().im, 4.0);
+        assert_close(z * Complex::ONE, z, 0.0);
+        assert_close(z + (-z), Complex::ZERO, 0.0);
+        assert!((Complex::cis(PI / 2.0) - Complex::new(0.0, 1.0)).abs() < 1e-15);
+    }
+
+    proptest! {
+        #[test]
+        fn forward_inverse_roundtrip(
+            raw in proptest::collection::vec(-100.0..100.0f64, 8..=8)
+        ) {
+            let spec = fft_real(&raw).unwrap();
+            let back = ifft_real(&spec).unwrap();
+            for (a, b) in raw.iter().zip(&back) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn parseval_energy_is_preserved(
+            raw in proptest::collection::vec(-10.0..10.0f64, 64..=64)
+        ) {
+            let time_energy: f64 = raw.iter().map(|x| x * x).sum();
+            let spec = fft_real(&raw).unwrap();
+            let freq_energy: f64 =
+                spec.iter().map(|z| z.norm_sq()).sum::<f64>() / raw.len() as f64;
+            prop_assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy.max(1.0));
+        }
+
+        #[test]
+        fn linearity(
+            a in proptest::collection::vec(-10.0..10.0f64, 16..=16),
+            b in proptest::collection::vec(-10.0..10.0f64, 16..=16)
+        ) {
+            let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+            let fa = fft_real(&a).unwrap();
+            let fb = fft_real(&b).unwrap();
+            let fsum = fft_real(&sum).unwrap();
+            for i in 0..16 {
+                prop_assert!(((fa[i] + fb[i]) - fsum[i]).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # mpros-signal
+//!
+//! The digital-signal-processing substrate of MPROS.
+//!
+//! The paper's data concentrator performs "standard machinery vibration
+//! FFT analysis" (§6.1) at sampling rates above 40 kHz (§8.1), and the
+//! wavelet neural network consumes features "such as the peak of the
+//! signal amplitude, standard deviation, cepstrum, DCT coefficients,
+//! wavelet maps" (§6.2). None of that machinery can be assumed to exist,
+//! so this crate implements it from scratch:
+//!
+//! * complex radix-2 FFT / inverse FFT ([`fft`]),
+//! * window functions with coherent-gain correction ([`window`]),
+//! * amplitude/power spectra, peak and shaft-order extraction
+//!   ([`spectrum`]),
+//! * real cepstrum ([`cepstrum`]), DCT-II ([`dct`]),
+//! * Haar / Daubechies-4 discrete wavelet transform and energy maps
+//!   ([`dwt`]),
+//! * Hilbert-transform envelope for bearing analysis ([`envelope`]),
+//! * streaming RMS detectors with programmable alarms modeling the MUX
+//!   card hardware ([`rms`]),
+//! * sliding-window trend fitting with threshold-crossing projection
+//!   ([`trend`]),
+//! * time-domain statistical features and the §6.2 feature vector
+//!   ([`features`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cepstrum;
+pub mod dct;
+pub mod dwt;
+pub mod envelope;
+pub mod features;
+pub mod fft;
+pub mod rms;
+pub mod spectrum;
+pub mod trend;
+pub mod window;
+
+pub use fft::Complex;
+pub use spectrum::Spectrum;
+pub use window::Window;

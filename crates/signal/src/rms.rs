@@ -1,0 +1,197 @@
+//! Streaming RMS detectors with programmable alarms.
+//!
+//! §8.1: "all channels are equipped with an RMS detector which can be
+//! configured to provide a digital signal when the RMS of the incoming
+//! signal exceeds a programmed value. This allows for real-time and
+//! constant alarming for all sensors." The hardware detector is an analog
+//! integrator; we model it as an exponentially weighted mean-square
+//! tracker whose time constant plays the integrator's role, plus a
+//! latching threshold comparator.
+
+use mpros_core::{Error, Result};
+
+/// Exponentially weighted streaming RMS estimator.
+#[derive(Debug, Clone)]
+pub struct RmsTracker {
+    alpha: f64,
+    mean_square: f64,
+    primed: bool,
+}
+
+impl RmsTracker {
+    /// Create a tracker whose time constant is `time_constant_samples`
+    /// samples (must be ≥ 1).
+    pub fn new(time_constant_samples: f64) -> Result<Self> {
+        if time_constant_samples.is_nan() || time_constant_samples < 1.0 {
+            return Err(Error::invalid("time constant must be >= 1 sample"));
+        }
+        Ok(RmsTracker {
+            alpha: 1.0 / time_constant_samples,
+            mean_square: 0.0,
+            primed: false,
+        })
+    }
+
+    /// Feed one sample; returns the updated RMS estimate.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let sq = x * x;
+        if self.primed {
+            self.mean_square += self.alpha * (sq - self.mean_square);
+        } else {
+            self.mean_square = sq;
+            self.primed = true;
+        }
+        self.rms()
+    }
+
+    /// Feed a block of samples; returns the RMS after the block.
+    pub fn update_block(&mut self, block: &[f64]) -> f64 {
+        for &x in block {
+            self.update(x);
+        }
+        self.rms()
+    }
+
+    /// Current RMS estimate.
+    pub fn rms(&self) -> f64 {
+        self.mean_square.sqrt()
+    }
+
+    /// Reset to the unprimed state.
+    pub fn reset(&mut self) {
+        self.mean_square = 0.0;
+        self.primed = false;
+    }
+}
+
+/// A latching RMS alarm: asserts when the tracked RMS exceeds the
+/// programmed threshold and stays asserted until explicitly cleared —
+/// matching alarm-annunciator hardware semantics.
+#[derive(Debug, Clone)]
+pub struct RmsAlarm {
+    tracker: RmsTracker,
+    threshold: f64,
+    latched: bool,
+}
+
+impl RmsAlarm {
+    /// Create an alarm with the given threshold (must be positive) and
+    /// tracker time constant.
+    pub fn new(threshold: f64, time_constant_samples: f64) -> Result<Self> {
+        if threshold.is_nan() || threshold <= 0.0 {
+            return Err(Error::invalid("alarm threshold must be positive"));
+        }
+        Ok(RmsAlarm {
+            tracker: RmsTracker::new(time_constant_samples)?,
+            threshold,
+            latched: false,
+        })
+    }
+
+    /// Feed one sample; returns true if the alarm is (now) asserted.
+    pub fn update(&mut self, x: f64) -> bool {
+        if self.tracker.update(x) > self.threshold {
+            self.latched = true;
+        }
+        self.latched
+    }
+
+    /// Feed a block; returns the asserted state after the block.
+    pub fn update_block(&mut self, block: &[f64]) -> bool {
+        for &x in block {
+            self.update(x);
+        }
+        self.latched
+    }
+
+    /// Whether the alarm is currently asserted.
+    pub fn is_asserted(&self) -> bool {
+        self.latched
+    }
+
+    /// The programmed threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Reprogram the threshold (takes effect for subsequent samples).
+    pub fn set_threshold(&mut self, threshold: f64) -> Result<()> {
+        if threshold.is_nan() || threshold <= 0.0 {
+            return Err(Error::invalid("alarm threshold must be positive"));
+        }
+        self.threshold = threshold;
+        Ok(())
+    }
+
+    /// Clear the latch (operator acknowledge).
+    pub fn acknowledge(&mut self) {
+        self.latched = false;
+    }
+
+    /// Current RMS estimate.
+    pub fn rms(&self) -> f64 {
+        self.tracker.rms()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn tracker_converges_to_sine_rms() {
+        let mut t = RmsTracker::new(200.0).unwrap();
+        let fs = 1000.0;
+        let mut rms = 0.0;
+        for i in 0..5000 {
+            rms = t.update(3.0 * (2.0 * PI * 50.0 * i as f64 / fs).sin());
+        }
+        let expected = 3.0 / 2.0f64.sqrt();
+        assert!((rms - expected).abs() < 0.1, "rms {rms} vs {expected}");
+    }
+
+    #[test]
+    fn tracker_first_sample_primes() {
+        let mut t = RmsTracker::new(100.0).unwrap();
+        assert_eq!(t.update(5.0), 5.0);
+    }
+
+    #[test]
+    fn tracker_reset() {
+        let mut t = RmsTracker::new(10.0).unwrap();
+        t.update_block(&[4.0; 50]);
+        assert!(t.rms() > 3.9);
+        t.reset();
+        assert_eq!(t.rms(), 0.0);
+    }
+
+    #[test]
+    fn alarm_latches_and_acknowledges() {
+        let mut a = RmsAlarm::new(1.0, 4.0).unwrap();
+        assert!(!a.update_block(&[0.1; 20]));
+        assert!(a.update_block(&[5.0; 20]), "should trip on large RMS");
+        // Signal returns to quiet but the alarm stays latched.
+        assert!(a.update_block(&[0.0; 200]));
+        a.acknowledge();
+        assert!(!a.is_asserted());
+        // Quiet signal does not retrip.
+        assert!(!a.update_block(&[0.0; 20]));
+    }
+
+    #[test]
+    fn alarm_threshold_is_programmable() {
+        let mut a = RmsAlarm::new(10.0, 2.0).unwrap();
+        assert!(!a.update_block(&[3.0; 50]));
+        a.set_threshold(1.0).unwrap();
+        assert!(a.update_block(&[3.0; 50]));
+        assert!(a.set_threshold(-1.0).is_err());
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(RmsTracker::new(0.5).is_err());
+        assert!(RmsTracker::new(f64::NAN).is_err());
+        assert!(RmsAlarm::new(0.0, 8.0).is_err());
+    }
+}

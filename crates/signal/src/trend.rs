@@ -1,0 +1,243 @@
+//! Trending analysis.
+//!
+//! §6.3: SBFR in the DC performs "trending analysis, feature extraction,
+//! and some diagnostics and prognostics"; §5.1 lists "trend data,
+//! histories" among the inputs true prognostics needs; §1 promises
+//! next-generation prognostics "using historical data". A
+//! [`TrendTracker`] holds a sliding window of `(time, value)` samples of
+//! any scalar condition indicator (band RMS, envelope line amplitude,
+//! bearing temperature), fits a least-squares line, and projects when
+//! the indicator will cross an alarm threshold — turning a feature
+//! history into a data-driven prognostic horizon.
+
+use mpros_core::{Error, Result, SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// A least-squares linear trend over a time window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrendFit {
+    /// Fitted slope, units per second.
+    pub slope: f64,
+    /// Fitted value at the window's last sample time.
+    pub current: f64,
+    /// Coefficient of determination R² (how line-like the history is).
+    pub r_squared: f64,
+}
+
+/// Sliding-window trend tracker for one scalar indicator.
+#[derive(Debug, Clone)]
+pub struct TrendTracker {
+    window: VecDeque<(SimTime, f64)>,
+    capacity: usize,
+}
+
+impl TrendTracker {
+    /// Track the last `capacity` samples (≥ 3 so a fit is meaningful).
+    pub fn new(capacity: usize) -> Result<Self> {
+        if capacity < 3 {
+            return Err(Error::invalid("trend window must hold at least 3 samples"));
+        }
+        Ok(TrendTracker {
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+        })
+    }
+
+    /// Record a sample. Samples must arrive in non-decreasing time
+    /// order; out-of-order samples are rejected (§5.1's time-disordered
+    /// inputs are sorted upstream by the OOSM timestamps).
+    pub fn record(&mut self, at: SimTime, value: f64) -> Result<()> {
+        if let Some(&(last, _)) = self.window.back() {
+            if at < last {
+                return Err(Error::invalid("trend samples must be time-ordered"));
+            }
+        }
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back((at, value));
+        Ok(())
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True if no samples are held.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Least-squares fit over the window (`None` with < 3 samples or a
+    /// degenerate time span).
+    pub fn fit(&self) -> Option<TrendFit> {
+        let n = self.window.len();
+        if n < 3 {
+            return None;
+        }
+        let t0 = self.window.front().expect("nonempty").0;
+        let xs: Vec<f64> = self.window.iter().map(|(t, _)| t.since(t0).as_secs()).collect();
+        let ys: Vec<f64> = self.window.iter().map(|(_, v)| *v).collect();
+        let nf = n as f64;
+        let mean_x = xs.iter().sum::<f64>() / nf;
+        let mean_y = ys.iter().sum::<f64>() / nf;
+        let sxx: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
+        if sxx <= 0.0 {
+            return None;
+        }
+        let sxy: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (x - mean_x) * (y - mean_y))
+            .sum();
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        let syy: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+        let r_squared = if syy > 0.0 {
+            (sxy * sxy) / (sxx * syy)
+        } else {
+            1.0 // perfectly flat history is perfectly explained
+        };
+        let last_x = *xs.last().expect("nonempty");
+        Some(TrendFit {
+            slope,
+            current: intercept + slope * last_x,
+            r_squared,
+        })
+    }
+
+    /// Projected time from the last sample until the fitted line crosses
+    /// `threshold` (rising crossings only). `None` when the indicator is
+    /// already above, not rising, too noisy (R² below `min_r_squared`),
+    /// or unfittable.
+    pub fn time_to_threshold(
+        &self,
+        threshold: f64,
+        min_r_squared: f64,
+    ) -> Option<SimDuration> {
+        let fit = self.fit()?;
+        if fit.r_squared < min_r_squared || fit.slope <= 0.0 || fit.current >= threshold {
+            return None;
+        }
+        Some(SimDuration::from_secs((threshold - fit.current) / fit.slope))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn at(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn fits_a_clean_ramp() {
+        let mut t = TrendTracker::new(16).unwrap();
+        for i in 0..10 {
+            t.record(at(i as f64 * 10.0), 1.0 + 0.05 * i as f64).unwrap();
+        }
+        let fit = t.fit().unwrap();
+        assert!((fit.slope - 0.005).abs() < 1e-12, "slope {}", fit.slope);
+        assert!((fit.current - 1.45).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn projects_threshold_crossing() {
+        let mut t = TrendTracker::new(16).unwrap();
+        for i in 0..10 {
+            t.record(at(i as f64 * 10.0), 1.0 + 0.05 * i as f64).unwrap();
+        }
+        // current 1.45, slope 0.005/s → 2.0 in 110 s.
+        let eta = t.time_to_threshold(2.0, 0.9).unwrap();
+        assert!((eta.as_secs() - 110.0).abs() < 1e-6, "eta {eta}");
+        // Already above: no projection.
+        assert!(t.time_to_threshold(1.2, 0.9).is_none());
+    }
+
+    #[test]
+    fn flat_or_falling_trends_do_not_project() {
+        let mut flat = TrendTracker::new(8).unwrap();
+        let mut falling = TrendTracker::new(8).unwrap();
+        for i in 0..8 {
+            flat.record(at(i as f64), 1.0).unwrap();
+            falling.record(at(i as f64), 1.0 - 0.1 * i as f64).unwrap();
+        }
+        assert!(flat.time_to_threshold(2.0, 0.5).is_none());
+        assert!(falling.time_to_threshold(2.0, 0.5).is_none());
+    }
+
+    #[test]
+    fn noisy_history_is_rejected_by_r_squared() {
+        let mut t = TrendTracker::new(16).unwrap();
+        // Alternating noise with no real trend.
+        for i in 0..12 {
+            let v = if i % 2 == 0 { 1.0 } else { 1.3 };
+            t.record(at(i as f64), v + 0.001 * i as f64).unwrap();
+        }
+        let fit = t.fit().unwrap();
+        assert!(fit.r_squared < 0.5, "r² {}", fit.r_squared);
+        assert!(t.time_to_threshold(2.0, 0.8).is_none());
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut t = TrendTracker::new(4).unwrap();
+        // Old falling samples age out; recent rise dominates.
+        for i in 0..4 {
+            t.record(at(i as f64), 5.0 - i as f64).unwrap();
+        }
+        for i in 4..8 {
+            t.record(at(i as f64), i as f64).unwrap();
+        }
+        assert_eq!(t.len(), 4);
+        let fit = t.fit().unwrap();
+        assert!(fit.slope > 0.9, "slope {}", fit.slope);
+    }
+
+    #[test]
+    fn ordering_and_arity_validation() {
+        assert!(TrendTracker::new(2).is_err());
+        let mut t = TrendTracker::new(4).unwrap();
+        t.record(at(10.0), 1.0).unwrap();
+        assert!(t.record(at(5.0), 1.0).is_err(), "time went backwards");
+        assert!(t.fit().is_none(), "needs 3 samples");
+        t.record(at(10.0), 2.0).unwrap(); // equal time allowed
+        t.record(at(10.0), 3.0).unwrap();
+        assert!(t.fit().is_none(), "zero time span is degenerate");
+    }
+
+    proptest! {
+        #[test]
+        fn fit_recovers_arbitrary_lines(
+            slope in -10.0..10.0f64,
+            intercept in -100.0..100.0f64
+        ) {
+            let mut t = TrendTracker::new(32).unwrap();
+            for i in 0..20 {
+                let x = i as f64 * 3.0;
+                t.record(at(x), intercept + slope * x).unwrap();
+            }
+            let fit = t.fit().unwrap();
+            prop_assert!((fit.slope - slope).abs() < 1e-9 * slope.abs().max(1.0));
+            prop_assert!(fit.r_squared > 0.999 || slope.abs() < 1e-12);
+        }
+
+        #[test]
+        fn projection_is_consistent_with_fit(
+            slope in 0.01..5.0f64,
+            thresh_gap in 0.1..100.0f64
+        ) {
+            let mut t = TrendTracker::new(16).unwrap();
+            for i in 0..10 {
+                t.record(at(i as f64), slope * i as f64).unwrap();
+            }
+            let current = slope * 9.0;
+            let eta = t.time_to_threshold(current + thresh_gap, 0.9).unwrap();
+            prop_assert!((eta.as_secs() - thresh_gap / slope).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Window functions for spectral analysis.
+//!
+//! Machinery vibration analysis multiplies each acquisition block by a
+//! window to control spectral leakage before the FFT (§6.1's "complex
+//! spectrum and waveform analysis"). Each window has a *coherent gain*
+//! (mean of its coefficients) that amplitude spectra must divide out so
+//! that a sinusoid of amplitude A reads A regardless of the window.
+
+use std::f64::consts::PI;
+
+/// Supported window functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Window {
+    /// No weighting (rectangular). Best amplitude accuracy for exactly
+    /// bin-centered tones, worst leakage.
+    Rectangular,
+    /// Hann (raised cosine) — the default for machinery spectra.
+    Hann,
+    /// Hamming.
+    Hamming,
+    /// Blackman — lower sidelobes, wider main lobe.
+    Blackman,
+    /// Flat-top — best amplitude accuracy for off-bin tones.
+    FlatTop,
+}
+
+impl Window {
+    /// All supported windows.
+    pub const ALL: [Window; 5] = [
+        Window::Rectangular,
+        Window::Hann,
+        Window::Hamming,
+        Window::Blackman,
+        Window::FlatTop,
+    ];
+
+    /// Coefficient `w[i]` for a window of length `n`.
+    pub fn coefficient(self, i: usize, n: usize) -> f64 {
+        debug_assert!(i < n);
+        if n == 1 {
+            return 1.0;
+        }
+        let x = 2.0 * PI * i as f64 / (n - 1) as f64;
+        match self {
+            Window::Rectangular => 1.0,
+            Window::Hann => 0.5 * (1.0 - x.cos()),
+            Window::Hamming => 0.54 - 0.46 * x.cos(),
+            Window::Blackman => 0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos(),
+            Window::FlatTop => {
+                0.21557895 - 0.41663158 * x.cos() + 0.277263158 * (2.0 * x).cos()
+                    - 0.083578947 * (3.0 * x).cos()
+                    + 0.006947368 * (4.0 * x).cos()
+            }
+        }
+    }
+
+    /// Materialize the coefficient vector.
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        (0..n).map(|i| self.coefficient(i, n)).collect()
+    }
+
+    /// Coherent gain: the mean coefficient, used to correct amplitude
+    /// spectra.
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        self.coefficients(n).iter().sum::<f64>() / n as f64
+    }
+
+    /// Multiply the window into a signal block in place; returns the
+    /// coherent gain used.
+    pub fn apply(self, signal: &mut [f64]) -> f64 {
+        let n = signal.len();
+        for (i, s) in signal.iter_mut().enumerate() {
+            *s *= self.coefficient(i, n);
+        }
+        self.coherent_gain(n)
+    }
+
+    /// Short name for reports and bench labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Window::Rectangular => "rectangular",
+            Window::Hann => "hann",
+            Window::Hamming => "hamming",
+            Window::Blackman => "blackman",
+            Window::FlatTop => "flattop",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert!(Window::Rectangular
+            .coefficients(16)
+            .iter()
+            .all(|&c| c == 1.0));
+        assert_eq!(Window::Rectangular.coherent_gain(16), 1.0);
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero_and_center_is_one() {
+        let c = Window::Hann.coefficients(9);
+        assert!(c[0].abs() < 1e-15);
+        assert!(c[8].abs() < 1e-15);
+        assert!((c[4] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hann_coherent_gain_is_half_asymptotically() {
+        let g = Window::Hann.coherent_gain(4096);
+        assert!((g - 0.5).abs() < 1e-3, "gain {g}");
+    }
+
+    #[test]
+    fn windows_are_symmetric() {
+        for w in Window::ALL {
+            let n = 33;
+            let c = w.coefficients(n);
+            for i in 0..n {
+                assert!(
+                    (c[i] - c[n - 1 - i]).abs() < 1e-12,
+                    "{} asymmetric at {i}",
+                    w.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coefficients_bounded_by_unity_magnitude() {
+        for w in Window::ALL {
+            for &c in &w.coefficients(64) {
+                assert!(c.abs() <= 1.0 + 1e-9, "{}: {c}", w.name());
+            }
+        }
+    }
+
+    #[test]
+    fn apply_scales_signal_and_returns_gain() {
+        let mut sig = vec![1.0; 8];
+        let gain = Window::Hann.apply(&mut sig);
+        assert!((sig.iter().sum::<f64>() / 8.0 - gain).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_one_window_is_identity() {
+        for w in Window::ALL {
+            assert_eq!(w.coefficient(0, 1), 1.0);
+        }
+    }
+}

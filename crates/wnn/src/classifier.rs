@@ -1,0 +1,448 @@
+//! The WNN fault classifier.
+//!
+//! Wraps the raw network with everything §6.2 implies around it: feature
+//! extraction from multi-channel blocks, per-dimension z-score
+//! normalization, the class catalog (healthy + the vibration-visible
+//! fault modes), and output *decoding* — "the direct output of the WNN
+//! must be decoded in order to produce a feasible format for display or
+//! action" — into a machine condition plus confidence.
+
+use crate::dataset::Dataset;
+use crate::network::{Activation, Network, TrainParams};
+use mpros_chiller::vibration::AccelLocation;
+use mpros_core::{Error, MachineCondition, Result};
+use mpros_signal::features::{FeatureConfig, FeatureVector};
+use serde::{Deserialize, Serialize};
+
+/// One class the WNN can emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WnnClass {
+    /// No fault.
+    Healthy,
+    /// A specific fault condition.
+    Fault(MachineCondition),
+}
+
+impl WnnClass {
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            WnnClass::Healthy => "healthy".into(),
+            WnnClass::Fault(c) => c.to_string(),
+        }
+    }
+}
+
+/// Classifier configuration: channels, acquisition geometry, feature
+/// layout and class catalog.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WnnConfig {
+    /// Accelerometer channels fed to the classifier.
+    pub channels: Vec<AccelLocation>,
+    /// Samples per block (power of two).
+    pub block_len: usize,
+    /// Sample rate, Hz.
+    pub sample_rate: f64,
+    /// Per-channel feature layout.
+    pub features: FeatureConfig,
+    /// Output classes.
+    pub classes: Vec<WnnClass>,
+    /// Hidden-layer sizes.
+    pub hidden: Vec<usize>,
+}
+
+impl WnnConfig {
+    /// The full production configuration: three channels, all
+    /// vibration-visible fault classes.
+    pub fn standard() -> Self {
+        use MachineCondition::*;
+        WnnConfig {
+            channels: vec![
+                AccelLocation::MotorDriveEnd,
+                AccelLocation::GearCase,
+                AccelLocation::CompressorBearing,
+            ],
+            block_len: 4096,
+            sample_rate: 16_384.0,
+            features: FeatureConfig::default(),
+            classes: vec![
+                WnnClass::Healthy,
+                WnnClass::Fault(MotorImbalance),
+                WnnClass::Fault(MotorMisalignment),
+                WnnClass::Fault(MotorBearingDefect),
+                WnnClass::Fault(MotorRotorBarCrack),
+                WnnClass::Fault(GearToothWear),
+                WnnClass::Fault(CompressorBearingDefect),
+                WnnClass::Fault(BearingHousingLooseness),
+                WnnClass::Fault(CompressorSurge),
+            ],
+            hidden: vec![24],
+        }
+    }
+
+    /// A reduced configuration for fast unit tests: one channel, four
+    /// well-separated classes, short blocks.
+    pub fn small_test() -> Self {
+        use MachineCondition::*;
+        WnnConfig {
+            channels: vec![AccelLocation::MotorDriveEnd],
+            block_len: 2048,
+            sample_rate: 16_384.0,
+            features: FeatureConfig::default(),
+            classes: vec![
+                WnnClass::Healthy,
+                WnnClass::Fault(MotorImbalance),
+                WnnClass::Fault(MotorMisalignment),
+                WnnClass::Fault(MotorBearingDefect),
+            ],
+            hidden: vec![12],
+        }
+    }
+
+    /// Total feature dimension: per-channel §6.2 features plus the load
+    /// scalar.
+    pub fn feature_dim(&self) -> usize {
+        self.channels.len() * FeatureVector::dimension(&self.features, 0) + 1
+    }
+
+    /// Extract the concatenated feature vector from per-channel blocks
+    /// (order must match `channels`) plus the load scalar.
+    pub fn extract_features(
+        &self,
+        blocks: &[(AccelLocation, Vec<f64>)],
+        load: f64,
+    ) -> Result<Vec<f64>> {
+        let mut out = Vec::with_capacity(self.feature_dim());
+        for &ch in &self.channels {
+            let block = blocks
+                .iter()
+                .find(|(l, _)| *l == ch)
+                .map(|(_, b)| b)
+                .ok_or_else(|| Error::invalid(format!("missing channel {ch:?}")))?;
+            let fv = FeatureVector::extract(block, &self.features, &[])?;
+            out.extend_from_slice(fv.values());
+        }
+        out.push(load);
+        Ok(out)
+    }
+}
+
+/// A decoded WNN verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WnnVerdict {
+    /// The decoded class.
+    pub class: WnnClass,
+    /// Softmax confidence of the winning class.
+    pub confidence: f64,
+    /// Full class-probability vector (classifier-order).
+    pub probabilities: Vec<f64>,
+}
+
+impl WnnVerdict {
+    /// The diagnosed condition, if the verdict is a fault.
+    pub fn condition(&self) -> Option<MachineCondition> {
+        match self.class {
+            WnnClass::Healthy => None,
+            WnnClass::Fault(c) => Some(c),
+        }
+    }
+}
+
+/// The trained classifier: network + normalization statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WnnClassifier {
+    config: WnnConfig,
+    network: Network,
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl WnnClassifier {
+    /// Train a classifier on a dataset. Normalization statistics are
+    /// computed from the training set.
+    pub fn train(config: WnnConfig, dataset: &Dataset, params: &TrainParams) -> Result<Self> {
+        if dataset.is_empty() {
+            return Err(Error::invalid("empty dataset"));
+        }
+        let dim = dataset.samples[0].0.len();
+        if dim != config.feature_dim() {
+            return Err(Error::invalid(format!(
+                "dataset dimension {dim} does not match config {}",
+                config.feature_dim()
+            )));
+        }
+        // Z-score statistics.
+        let n = dataset.samples.len() as f64;
+        let mut mean = vec![0.0; dim];
+        for (x, _) in &dataset.samples {
+            for (m, v) in mean.iter_mut().zip(x) {
+                *m += v / n;
+            }
+        }
+        let mut std = vec![0.0; dim];
+        for (x, _) in &dataset.samples {
+            for ((s, v), m) in std.iter_mut().zip(x).zip(&mean) {
+                *s += (v - m) * (v - m) / n;
+            }
+        }
+        for s in std.iter_mut() {
+            *s = s.sqrt().max(1e-9);
+        }
+        let normalized: Vec<(Vec<f64>, usize)> = dataset
+            .samples
+            .iter()
+            .map(|(x, y)| (normalize(x, &mean, &std), *y))
+            .collect();
+        let mut network = Network::new(
+            dim,
+            &config.hidden,
+            config.classes.len(),
+            Activation::MexicanHat,
+            params.seed,
+        )?;
+        network.train(&normalized, params)?;
+        Ok(WnnClassifier {
+            config,
+            network,
+            mean,
+            std,
+        })
+    }
+
+    /// The classifier configuration.
+    pub fn config(&self) -> &WnnConfig {
+        &self.config
+    }
+
+    /// Classify a raw feature vector (as produced by
+    /// [`WnnConfig::extract_features`]).
+    pub fn classify_features(&self, features: &[f64]) -> Result<WnnVerdict> {
+        if features.len() != self.network.input_dim() {
+            return Err(Error::invalid("feature dimension mismatch"));
+        }
+        let x = normalize(features, &self.mean, &self.std);
+        let probabilities = self.network.forward(&x);
+        let (idx, confidence) = self.network.classify(&x);
+        Ok(WnnVerdict {
+            class: self.config.classes[idx],
+            confidence,
+            probabilities,
+        })
+    }
+
+    /// Classify multi-channel blocks directly.
+    pub fn classify_blocks(
+        &self,
+        blocks: &[(AccelLocation, Vec<f64>)],
+        load: f64,
+    ) -> Result<WnnVerdict> {
+        let f = self.config.extract_features(blocks, load)?;
+        self.classify_features(&f)
+    }
+
+    /// Accuracy over a labeled dataset.
+    pub fn accuracy(&self, dataset: &Dataset) -> Result<f64> {
+        if dataset.is_empty() {
+            return Err(Error::invalid("empty dataset"));
+        }
+        let mut correct = 0usize;
+        for (x, y) in &dataset.samples {
+            if self
+                .classify_features(x)?
+                .probabilities
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(i, _)| i)
+                == Some(*y)
+            {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / dataset.samples.len() as f64)
+    }
+}
+
+fn normalize(x: &[f64], mean: &[f64], std: &[f64]) -> Vec<f64> {
+    x.iter()
+        .zip(mean)
+        .zip(std)
+        .map(|((v, m), s)| (v - m) / s)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    fn trained() -> (WnnClassifier, Dataset) {
+        let config = WnnConfig::small_test();
+        let ds = DatasetBuilder::new(config.clone(), 2).build().unwrap();
+        let (train, test) = ds.split(4);
+        let clf = WnnClassifier::train(
+            config,
+            &train,
+            &TrainParams {
+                epochs: 250,
+                learning_rate: 0.02,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (clf, test)
+    }
+
+    #[test]
+    fn classifier_learns_fault_classes() {
+        let (clf, test) = trained();
+        let acc = clf.accuracy(&test).unwrap();
+        assert!(acc >= 0.8, "held-out accuracy {acc}");
+    }
+
+    #[test]
+    fn verdict_decodes_to_condition() {
+        let (clf, test) = trained();
+        let mut seen_fault = false;
+        for (x, y) in &test.samples {
+            let v = clf.classify_features(x).unwrap();
+            assert!((v.probabilities.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(v.confidence > 0.0 && v.confidence <= 1.0);
+            if *y > 0 && v.condition().is_some() {
+                seen_fault = true;
+            }
+        }
+        assert!(seen_fault, "no fault verdicts decoded");
+    }
+
+    #[test]
+    fn feature_dim_is_consistent() {
+        let config = WnnConfig::small_test();
+        let dim = config.feature_dim();
+        let ds = DatasetBuilder::new(config, 1).build().unwrap();
+        assert_eq!(ds.samples[0].0.len(), dim);
+    }
+
+    #[test]
+    fn train_rejects_dimension_mismatch() {
+        let config = WnnConfig::small_test();
+        let mut ds = Dataset::default();
+        ds.samples.push((vec![0.0; 3], 0));
+        assert!(WnnClassifier::train(config, &ds, &TrainParams::default()).is_err());
+        assert!(WnnClassifier::train(
+            WnnConfig::small_test(),
+            &Dataset::default(),
+            &TrainParams::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn classify_rejects_wrong_dimension() {
+        let (clf, _) = trained();
+        assert!(clf.classify_features(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn missing_channel_is_reported() {
+        let config = WnnConfig::small_test();
+        assert!(config.extract_features(&[], 0.8).is_err());
+    }
+
+    #[test]
+    fn class_labels_are_readable() {
+        assert_eq!(WnnClass::Healthy.label(), "healthy");
+        assert!(WnnClass::Fault(MachineCondition::MotorImbalance)
+            .label()
+            .contains("imbalance"));
+    }
+}
+
+#[cfg(test)]
+mod probe {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::network::*;
+
+    #[test]
+    #[ignore]
+    fn probe_training() {
+        let config = WnnConfig::small_test();
+        let ds = DatasetBuilder::new(config.clone(), 2).build().unwrap();
+        let (train, test) = ds.split(4);
+        println!("train {} test {}", train.len(), test.len());
+        for act in [Activation::MexicanHat, Activation::Tanh] {
+            for lr in [0.005, 0.02, 0.05] {
+                for mom in [0.0, 0.9] {
+                    let dim = train.samples[0].0.len();
+                    let n = train.samples.len() as f64;
+                    let mut mean = vec![0.0; dim];
+                    for (x, _) in &train.samples { for (m, v) in mean.iter_mut().zip(x) { *m += v / n; } }
+                    let mut std = vec![0.0; dim];
+                    for (x, _) in &train.samples { for ((s, v), m) in std.iter_mut().zip(x).zip(&mean) { *s += (v-m)*(v-m)/n; } }
+                    for s in std.iter_mut() { *s = s.sqrt().max(1e-9); }
+                    let norm: Vec<(Vec<f64>, usize)> = train.samples.iter().map(|(x,y)| (x.iter().zip(&mean).zip(&std).map(|((v,m),s)|(v-m)/s).collect(), *y)).collect();
+                    let mut net = Network::new(dim, &[12], 4, act, 7).unwrap();
+                    let loss = net.train(&norm, &TrainParams{learning_rate: lr, momentum: mom, epochs: 250, seed: 7}).unwrap();
+                    let tnorm: Vec<(Vec<f64>, usize)> = test.samples.iter().map(|(x,y)| (x.iter().zip(&mean).zip(&std).map(|((v,m),s)|(v-m)/s).collect(), *y)).collect();
+                    let acc = tnorm.iter().filter(|(x,y)| net.classify(x).0 == *y).count() as f64 / tnorm.len() as f64;
+                    println!("{act:?} lr={lr} mom={mom}: loss={loss:.4} acc={acc:.2}");
+                }
+            }
+        }
+    }
+}
+
+impl WnnClassifier {
+    /// Serialize the trained classifier (configuration, weights and
+    /// normalization statistics) to JSON — §3.4/§4.9: shipboard
+    /// installations run "disconnected from our labs for months at a
+    /// time", so trained models must travel as artifacts.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self)
+            .map_err(|e| Error::Encoding(format!("classifier serialization: {e}")))
+    }
+
+    /// Restore a classifier from [`Self::to_json`] output.
+    pub fn from_json(json: &str) -> Result<WnnClassifier> {
+        serde_json::from_str(json)
+            .map_err(|e| Error::Encoding(format!("classifier deserialization: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::network::TrainParams;
+
+    #[test]
+    fn trained_classifier_roundtrips_through_json() {
+        let config = WnnConfig::small_test();
+        let ds = DatasetBuilder::new(config.clone(), 1).build().unwrap();
+        let clf = WnnClassifier::train(
+            config,
+            &ds,
+            &TrainParams {
+                epochs: 60,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let json = clf.to_json().unwrap();
+        let restored = WnnClassifier::from_json(&json).unwrap();
+        // Identical outputs on every sample, bit for bit.
+        for (x, _) in &ds.samples {
+            let a = clf.classify_features(x).unwrap();
+            let b = restored.classify_features(x).unwrap();
+            assert_eq!(a.probabilities, b.probabilities);
+            assert_eq!(a.class, b.class);
+        }
+    }
+
+    #[test]
+    fn corrupt_json_is_rejected() {
+        assert!(WnnClassifier::from_json("{not json").is_err());
+        assert!(WnnClassifier::from_json("{}").is_err());
+    }
+}

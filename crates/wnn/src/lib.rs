@@ -1,0 +1,31 @@
+//! # mpros-wnn
+//!
+//! The Wavelet Neural Network of §6.2: "a new class of neural networks
+//! with such unique capabilities as multi-resolution and localization in
+//! addressing classification problems. For fault diagnosis, the WNN
+//! serves as a classifier so as to classify the occurring faults...
+//! Features extracted from input data are organized into a feature
+//! vector, which is fed into the WNN... In most cases, the direct output
+//! of the WNN must be decoded in order to produce a feasible format for
+//! display or action."
+//!
+//! Implemented from scratch: a feed-forward network whose hidden units
+//! use the Mexican-hat wavelet `ψ(z) = (1 − z²)·e^{−z²/2}` as activation
+//! ([`network`]), trained by stochastic gradient descent with momentum
+//! over the §6.2 feature vectors (waveform statistics, cepstrum, DCT
+//! coefficients, wavelet maps, process scalars). [`classifier`] wraps
+//! feature extraction, z-score normalization, the one-hot label decoding
+//! the paper mentions, and belief-style confidences; [`dataset`] builds
+//! labeled training corpora from the chiller simulator, standing in for
+//! the seeded-fault rigs of §9.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod classifier;
+pub mod dataset;
+pub mod network;
+
+pub use classifier::{WnnClass, WnnClassifier, WnnConfig, WnnVerdict};
+pub use dataset::{Dataset, DatasetBuilder};
+pub use network::{Activation, Network, TrainParams};

@@ -1,0 +1,86 @@
+//! Quickstart: diagnose a single seeded fault with the DLI expert
+//! system, then fuse two knowledge sources' conclusions.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mpros::chiller::fault::{FaultProfile, FaultSeed};
+use mpros::chiller::plant::{ChillerPlant, PlantConfig};
+use mpros::chiller::vibration::AccelLocation;
+use mpros::core::{MachineCondition, MachineId, SimDuration, SimTime};
+use mpros::dli::{DliExpertSystem, VibrationSurvey};
+use mpros::fusion::FusionEngine;
+
+fn main() -> mpros::core::Result<()> {
+    // 1. A simulated Navy chiller with a developing bearing defect.
+    let mut plant = ChillerPlant::new(PlantConfig::new(MachineId::new(1), 42));
+    plant.seed_fault(FaultSeed {
+        condition: MachineCondition::MotorBearingDefect,
+        onset: SimTime::ZERO,
+        time_to_failure: SimDuration::from_days(30.0),
+        profile: FaultProfile::Accelerating,
+    });
+
+    // 2. Acquire a five-channel vibration survey three weeks in.
+    let t = SimTime::ZERO + SimDuration::from_days(21.0);
+    let fs = 16_384.0;
+    let survey = VibrationSurvey {
+        train: plant.train().clone(),
+        load: plant.load_at(t),
+        sample_rate: fs,
+        blocks: AccelLocation::ALL
+            .iter()
+            .map(|&loc| (loc, plant.sample_vibration(loc, t, 32_768, fs)))
+            .collect(),
+    };
+
+    // 3. Run the expert system.
+    let dli = DliExpertSystem::new();
+    let diagnoses = dli.analyze(&survey)?;
+    println!("DLI diagnoses at t+21d:");
+    for d in &diagnoses {
+        println!(
+            "  {} — severity {}, belief {}, prognosis {}",
+            d.condition, d.severity, d.belief, d.prognostic
+        );
+        println!("    explanation: {}", d.explanation);
+    }
+
+    // 4. Fuse the conclusions with a second (hypothetical) source.
+    let mut fusion = FusionEngine::new();
+    for (i, d) in diagnoses.iter().enumerate() {
+        let report = d.to_report(
+            mpros::core::ReportId::new(i as u64),
+            mpros::core::DcId::new(1),
+            mpros::core::KnowledgeSourceId::new(11),
+            plant.machine_id(),
+            t,
+        );
+        fusion.ingest(&report)?;
+        // A reinforcing report from another knowledge source.
+        let mut second = report.clone();
+        second.id = mpros::core::ReportId::new(1000 + i as u64);
+        second.knowledge_source = mpros::core::KnowledgeSourceId::new(13);
+        fusion.ingest(&second)?;
+    }
+
+    println!("\nPrioritized maintenance list after fusion:");
+    for (rank, item) in fusion.maintenance_list().iter().enumerate() {
+        println!(
+            "  {}. {} on {} — fused belief {:.0}%, severity {}",
+            rank + 1,
+            item.condition,
+            item.machine,
+            item.belief * 100.0,
+            item.severity
+        );
+    }
+
+    // 5. Ground truth for comparison.
+    println!("\nGround truth:");
+    for (c, sev) in plant.ground_truth(t, 0.01) {
+        println!("  {c} at severity {sev:.2}");
+    }
+    Ok(())
+}

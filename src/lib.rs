@@ -1,0 +1,48 @@
+//! # MPROS — Machinery Prognostics and Diagnostics System
+//!
+//! Facade crate for the MPROS workspace, a Rust reproduction of
+//! *"Condition-Based Maintenance: Algorithms and Applications for Embedded
+//! High Performance Computing"* (Bennett & Hadden, IPPS 1999).
+//!
+//! Each subsystem lives in its own crate; this crate re-exports them under
+//! stable module names and hosts the runnable examples and cross-crate
+//! integration tests.
+//!
+//! ```
+//! use mpros::core::{MachineCondition, SimDuration, SimTime};
+//! use mpros::chiller::fault::{FaultProfile, FaultSeed};
+//! use mpros::sim::{ShipboardSim, ShipboardSimConfig};
+//!
+//! // One chiller + DC + PDME; seed a bearing defect and watch the
+//! // prioritized maintenance list.
+//! let mut sim = ShipboardSim::new(ShipboardSimConfig {
+//!     survey_period: SimDuration::from_secs(30.0),
+//!     ..Default::default()
+//! }).unwrap();
+//! sim.seed_fault(0, FaultSeed {
+//!     condition: MachineCondition::MotorBearingDefect,
+//!     onset: SimTime::ZERO,
+//!     time_to_failure: SimDuration::from_minutes(10.0),
+//!     profile: FaultProfile::EarlyOnset,
+//! });
+//! sim.run_for(SimDuration::from_minutes(4.0), SimDuration::from_secs(0.25)).unwrap();
+//! let list = sim.pdme().maintenance_list();
+//! assert_eq!(list[0].condition, MachineCondition::MotorBearingDefect);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod sim;
+
+pub use mpros_chiller as chiller;
+pub use mpros_core as core;
+pub use mpros_dc as dc;
+pub use mpros_dli as dli;
+pub use mpros_fusion as fusion;
+pub use mpros_fuzzy as fuzzy;
+pub use mpros_network as network;
+pub use mpros_oosm as oosm;
+pub use mpros_pdme as pdme;
+pub use mpros_sbfr as sbfr;
+pub use mpros_signal as signal;
+pub use mpros_wnn as wnn;

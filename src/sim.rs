@@ -1,0 +1,180 @@
+//! The assembled shipboard simulation (Fig. 1).
+//!
+//! Wires the full MPROS stack together the way the paper's diagram does:
+//! one [`ChillerPlant`] per Data Concentrator, each DC hosting the four
+//! algorithm suites; condition reports travel over the simulated ship
+//! network to the PDME, which posts them to the OOSM and runs knowledge
+//! fusion off the change events. Examples, integration tests and the
+//! benchmark harness all drive this one harness.
+
+use mpros_chiller::fault::FaultSeed;
+use mpros_chiller::plant::PlantConfig;
+use mpros_chiller::ChillerPlant;
+use mpros_core::{DcId, MachineId, Result, SimClock, SimDuration, SimTime};
+use mpros_dc::{DataConcentrator, DcConfig};
+use mpros_network::{Endpoint, NetMessage, NetworkConfig, ShipNetwork};
+use mpros_pdme::PdmeExecutive;
+
+/// Configuration of a shipboard simulation.
+#[derive(Debug, Clone)]
+pub struct ShipboardSimConfig {
+    /// Number of chiller plants / Data Concentrators.
+    pub dc_count: usize,
+    /// Master seed (plants and network derive theirs from it).
+    pub seed: u64,
+    /// Network behaviour.
+    pub network: NetworkConfig,
+    /// Vibration-survey period per DC.
+    pub survey_period: SimDuration,
+    /// DC heartbeat period.
+    pub heartbeat_period: SimDuration,
+}
+
+impl Default for ShipboardSimConfig {
+    fn default() -> Self {
+        ShipboardSimConfig {
+            dc_count: 1,
+            seed: 7,
+            network: NetworkConfig::default(),
+            survey_period: SimDuration::from_secs(30.0),
+            heartbeat_period: SimDuration::from_secs(10.0),
+        }
+    }
+}
+
+/// The running simulation.
+pub struct ShipboardSim {
+    plants: Vec<ChillerPlant>,
+    dcs: Vec<DataConcentrator>,
+    network: ShipNetwork,
+    pdme: PdmeExecutive,
+    clock: SimClock,
+    heartbeat_period: SimDuration,
+    last_heartbeat: Vec<SimTime>,
+}
+
+impl ShipboardSim {
+    /// Build the ship: `dc_count` chillers with their DCs, the network,
+    /// and the PDME with every machine registered in its ship model.
+    pub fn new(config: ShipboardSimConfig) -> Result<Self> {
+        let mut network = ShipNetwork::new(config.network.clone());
+        network.register(Endpoint::Pdme);
+        let mut pdme = PdmeExecutive::new();
+        let mut plants = Vec::with_capacity(config.dc_count);
+        let mut dcs = Vec::with_capacity(config.dc_count);
+        for i in 0..config.dc_count {
+            let machine = MachineId::new(i as u64 + 1);
+            let dc_id = DcId::new(i as u64 + 1);
+            plants.push(ChillerPlant::new(PlantConfig::new(
+                machine,
+                config.seed.wrapping_add(i as u64 * 7919),
+            )));
+            let mut dc_cfg = DcConfig::new(dc_id, machine);
+            dc_cfg.survey_period = config.survey_period;
+            dcs.push(DataConcentrator::new(dc_cfg)?);
+            network.register(Endpoint::Dc(dc_id));
+            pdme.register_machine(machine, &format!("A/C Plant {} Chiller", i + 1));
+        }
+        Ok(ShipboardSim {
+            last_heartbeat: vec![SimTime::ZERO - config.heartbeat_period; config.dc_count],
+            plants,
+            dcs,
+            network,
+            pdme,
+            clock: SimClock::new(),
+            heartbeat_period: config.heartbeat_period,
+        })
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// The plants (fault seeding, ground truth).
+    pub fn plant_mut(&mut self, idx: usize) -> &mut ChillerPlant {
+        &mut self.plants[idx]
+    }
+
+    /// The plants, immutably.
+    pub fn plant(&self, idx: usize) -> &ChillerPlant {
+        &self.plants[idx]
+    }
+
+    /// The PDME.
+    pub fn pdme(&self) -> &PdmeExecutive {
+        &self.pdme
+    }
+
+    /// Mutable PDME access (resident algorithms, ship-model edits).
+    pub fn pdme_mut(&mut self) -> &mut PdmeExecutive {
+        &mut self.pdme
+    }
+
+    /// The network (stats, partitions).
+    pub fn network_mut(&mut self) -> &mut ShipNetwork {
+        &mut self.network
+    }
+
+    /// One DC, for configuration (ablation switches, WNN attachment).
+    pub fn dc_mut(&mut self, idx: usize) -> &mut DataConcentrator {
+        &mut self.dcs[idx]
+    }
+
+    /// Seed a fault on plant `idx`.
+    pub fn seed_fault(&mut self, idx: usize, seed: FaultSeed) {
+        self.plants[idx].seed_fault(seed);
+    }
+
+    /// Send a PDME-side command to a DC over the network.
+    pub fn send_command(&mut self, dc_idx: usize, msg: &NetMessage) -> Result<()> {
+        let to = Endpoint::Dc(self.dcs[dc_idx].id());
+        self.network.send(self.clock.now(), Endpoint::Pdme, to, msg)
+    }
+
+    /// Advance the whole ship by `dt`: tick every DC against its plant,
+    /// carry reports and heartbeats over the network, deliver commands,
+    /// and run the PDME's event-driven fusion. Returns the number of
+    /// reports the PDME fused this step.
+    pub fn step(&mut self, dt: SimDuration) -> Result<usize> {
+        self.clock.advance(dt);
+        let now = self.clock.now();
+        for (i, dc) in self.dcs.iter_mut().enumerate() {
+            let ep = Endpoint::Dc(dc.id());
+            // Deliver pending commands first.
+            for cmd in self.network.recv(ep, now) {
+                dc.handle_command(&cmd)?;
+            }
+            for report in dc.tick(&self.plants[i], now)? {
+                self.network
+                    .send(now, ep, Endpoint::Pdme, &NetMessage::Report(report))?;
+            }
+            if now.since(self.last_heartbeat[i]) >= self.heartbeat_period {
+                self.last_heartbeat[i] = now;
+                self.network.send(
+                    now,
+                    ep,
+                    Endpoint::Pdme,
+                    &NetMessage::Heartbeat {
+                        dc: dc.id(),
+                        at_secs: now.as_secs(),
+                    },
+                )?;
+            }
+        }
+        for msg in self.network.recv(Endpoint::Pdme, now) {
+            self.pdme.handle_message(&msg, now)?;
+        }
+        self.pdme.process_events()
+    }
+
+    /// Run for `duration` in steps of `dt`; returns total reports fused.
+    pub fn run_for(&mut self, duration: SimDuration, dt: SimDuration) -> Result<usize> {
+        let steps = (duration.as_secs() / dt.as_secs()).ceil() as usize;
+        let mut fused = 0;
+        for _ in 0..steps {
+            fused += self.step(dt)?;
+        }
+        Ok(fused)
+    }
+}

@@ -1,0 +1,146 @@
+//! E1 (Fig. 1): full-system dataflow — sensors → DC algorithms →
+//! ship network → PDME → OOSM → knowledge fusion → prioritized list.
+
+use mpros::chiller::fault::{FaultProfile, FaultSeed};
+use mpros::core::{MachineCondition, MachineId, SimDuration, SimTime};
+use mpros::sim::{ShipboardSim, ShipboardSimConfig};
+
+fn sim_with(dc_count: usize) -> ShipboardSim {
+    ShipboardSim::new(ShipboardSimConfig {
+        dc_count,
+        seed: 3,
+        survey_period: SimDuration::from_secs(30.0),
+        ..Default::default()
+    })
+    .expect("sim builds")
+}
+
+#[test]
+fn seeded_fault_reaches_the_maintenance_list() {
+    let mut sim = sim_with(1);
+    sim.seed_fault(
+        0,
+        FaultSeed {
+            condition: MachineCondition::MotorBearingDefect,
+            onset: SimTime::ZERO,
+            time_to_failure: SimDuration::from_minutes(10.0),
+            profile: FaultProfile::EarlyOnset,
+        },
+    );
+    sim.run_for(SimDuration::from_minutes(8.0), SimDuration::from_secs(0.25))
+        .unwrap();
+    let list = sim.pdme().maintenance_list();
+    assert!(!list.is_empty(), "no conclusions reached the PDME");
+    assert_eq!(
+        list[0].condition,
+        MachineCondition::MotorBearingDefect,
+        "top item should be the seeded fault: {list:?}"
+    );
+    assert!(list[0].belief > 0.5, "fused belief {}", list[0].belief);
+    assert!(
+        !list[0].prognostic.is_empty(),
+        "prognostic fusion should have a curve"
+    );
+}
+
+#[test]
+fn healthy_ship_generates_no_conclusions() {
+    let mut sim = sim_with(2);
+    sim.run_for(SimDuration::from_minutes(5.0), SimDuration::from_secs(0.25))
+        .unwrap();
+    assert!(
+        sim.pdme().maintenance_list().is_empty(),
+        "false positives on a healthy ship: {:?}",
+        sim.pdme().maintenance_list()
+    );
+    // But the plumbing is alive: heartbeats were received.
+    let health = sim
+        .pdme()
+        .dc_health(sim.now(), SimDuration::from_secs(30.0));
+    assert_eq!(health.len(), 2);
+    assert!(health.iter().all(|(_, alive)| *alive));
+}
+
+#[test]
+fn faults_are_attributed_to_the_right_machine() {
+    let mut sim = sim_with(3);
+    sim.seed_fault(
+        1, // machine M-0002
+        FaultSeed {
+            condition: MachineCondition::GearToothWear,
+            onset: SimTime::ZERO,
+            time_to_failure: SimDuration::from_minutes(8.0),
+            profile: FaultProfile::Linear,
+        },
+    );
+    sim.run_for(SimDuration::from_minutes(7.0), SimDuration::from_secs(0.25))
+        .unwrap();
+    let list = sim.pdme().maintenance_list();
+    assert!(!list.is_empty());
+    assert!(
+        list.iter()
+            .all(|item| item.machine == MachineId::new(2)),
+        "conclusions leaked to other machines: {list:?}"
+    );
+    // Machines 1 and 3 stay clean in the report repository too.
+    assert!(sim.pdme().reports_for_machine(MachineId::new(1)).is_empty());
+    assert!(sim.pdme().reports_for_machine(MachineId::new(3)).is_empty());
+}
+
+#[test]
+fn reports_survive_in_the_oosm_repository() {
+    let mut sim = sim_with(1);
+    sim.seed_fault(
+        0,
+        FaultSeed {
+            condition: MachineCondition::MotorImbalance,
+            onset: SimTime::ZERO,
+            time_to_failure: SimDuration::from_minutes(6.0),
+            profile: FaultProfile::Linear,
+        },
+    );
+    sim.run_for(SimDuration::from_minutes(6.0), SimDuration::from_secs(0.25))
+        .unwrap();
+    let reports = sim.pdme().reports_for_machine(MachineId::new(1));
+    assert!(!reports.is_empty());
+    // Protocol fields survive the network + OOSM round trip.
+    for r in &reports {
+        assert_eq!(r.machine, MachineId::new(1));
+        assert!(r.belief.value() > 0.0);
+        assert!(!r.explanation.is_empty() || r.condition == MachineCondition::CompressorSurge);
+    }
+    assert_eq!(sim.pdme().reports_received(), reports.len());
+}
+
+#[test]
+fn run_test_command_round_trips_through_the_network() {
+    let mut sim = sim_with(1);
+    sim.seed_fault(
+        0,
+        FaultSeed {
+            condition: MachineCondition::MotorImbalance,
+            onset: SimTime::ZERO,
+            time_to_failure: SimDuration::from_secs(1.0),
+            profile: FaultProfile::Step(0.9),
+        },
+    );
+    // Advance past the t=0 survey, then command an immediate re-test
+    // long before the next periodic one.
+    sim.step(SimDuration::from_secs(1.0)).unwrap();
+    sim.send_command(
+        0,
+        &mpros::network::NetMessage::RunTest {
+            dc: mpros::core::DcId::new(1),
+            machine: MachineId::new(1),
+        },
+    )
+    .unwrap();
+    let before = sim.dc_mut(0).db().measurement_count();
+    sim.run_for(SimDuration::from_secs(3.0), SimDuration::from_secs(0.25))
+        .unwrap();
+    // The commanded survey ran long before the 30 s periodic one: five
+    // more measurement rows landed in the DC's embedded database.
+    let after = sim.dc_mut(0).db().measurement_count();
+    assert_eq!(after, before + 5, "on-demand survey did not run");
+    assert!(sim.pdme().reports_received() >= 1);
+}

@@ -1,0 +1,91 @@
+//! E8 (§5.3): logical failure groups through the full stack — belief
+//! sharing within a group, independence across groups, multiple
+//! concurrent failures.
+
+use mpros::chiller::fault::{FaultProfile, FaultSeed};
+use mpros::core::{FailureGroup, MachineCondition, MachineId, SimDuration, SimTime};
+use mpros::sim::{ShipboardSim, ShipboardSimConfig};
+
+fn run_with_faults(faults: &[(MachineCondition, f64)]) -> ShipboardSim {
+    let mut sim = ShipboardSim::new(ShipboardSimConfig {
+        dc_count: 1,
+        seed: 5,
+        survey_period: SimDuration::from_secs(30.0),
+        ..Default::default()
+    })
+    .unwrap();
+    for &(condition, minutes) in faults {
+        sim.seed_fault(
+            0,
+            FaultSeed {
+                condition,
+                onset: SimTime::ZERO,
+                time_to_failure: SimDuration::from_minutes(minutes),
+                profile: FaultProfile::EarlyOnset,
+            },
+        );
+    }
+    sim.run_for(SimDuration::from_minutes(10.0), SimDuration::from_secs(0.25))
+        .unwrap();
+    sim
+}
+
+#[test]
+fn concurrent_faults_in_different_groups_both_surface() {
+    // A bearing defect (Bearings group) and condenser fouling (Process
+    // group) at once: §5.3's whole point is that neither steals the
+    // other's probability mass.
+    let sim = run_with_faults(&[
+        (MachineCondition::MotorBearingDefect, 9.0),
+        (MachineCondition::CondenserFouling, 9.0),
+    ]);
+    let diag = sim.pdme().fusion().diagnostic();
+    let m = MachineId::new(1);
+    let bearing = diag.belief(m, MachineCondition::MotorBearingDefect);
+    let fouling = diag.belief(m, MachineCondition::CondenserFouling);
+    assert!(bearing > 0.6, "bearing belief {bearing}");
+    assert!(fouling > 0.6, "fouling belief {fouling}");
+    // Both frames exist and are independent.
+    let bearing_frame = diag.diagnosis(m, FailureGroup::Bearings).unwrap();
+    let process_frame = diag.diagnosis(m, FailureGroup::Process).unwrap();
+    assert_eq!(bearing_frame.accumulated_conflict, 0.0);
+    // Conflict inside the process frame is possible (fuzzy may hedge),
+    // but the two frames never exchanged mass: their beliefs both stay
+    // high simultaneously — checked above.
+    assert!(process_frame.unknown < 0.4, "process unknown {}", process_frame.unknown);
+}
+
+#[test]
+fn within_group_unknown_shrinks_as_evidence_accumulates() {
+    let sim = run_with_faults(&[(MachineCondition::MotorBearingDefect, 9.0)]);
+    let diag = sim
+        .pdme()
+        .fusion()
+        .diagnostic()
+        .diagnosis(MachineId::new(1), FailureGroup::Bearings)
+        .expect("bearing frame exists");
+    assert!(
+        diag.unknown < 0.3,
+        "repeated evidence should shrink unknown: {}",
+        diag.unknown
+    );
+    // The companion condition in the group has (almost) no belief.
+    let companion = diag
+        .beliefs
+        .iter()
+        .find(|(c, _)| *c == MachineCondition::CompressorBearingDefect)
+        .unwrap();
+    assert!(companion.1 < 0.1, "companion belief {}", companion.1);
+}
+
+#[test]
+fn untouched_groups_stay_empty() {
+    let sim = run_with_faults(&[(MachineCondition::MotorBearingDefect, 9.0)]);
+    let diag = sim.pdme().fusion().diagnostic();
+    assert!(diag
+        .diagnosis(MachineId::new(1), FailureGroup::Electrical)
+        .is_none());
+    assert!(diag
+        .diagnosis(MachineId::new(1), FailureGroup::Structural)
+        .is_none());
+}

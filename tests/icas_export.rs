@@ -1,0 +1,88 @@
+//! §1/§3.3: the ICAS open interface exercised against a live shipboard
+//! run — "open interfaces to provide machinery condition and raw sensor
+//! data to other shipboard systems such as ICAS."
+
+use mpros::chiller::fault::{FaultProfile, FaultSeed};
+use mpros::core::{MachineCondition, SimDuration, SimTime};
+use mpros::pdme::icas::{export_snapshot, IcasSnapshot, ICAS_SCHEMA_VERSION};
+use mpros::sim::{ShipboardSim, ShipboardSimConfig};
+
+#[test]
+fn live_run_exports_a_consumable_snapshot() {
+    let mut sim = ShipboardSim::new(ShipboardSimConfig {
+        dc_count: 2,
+        seed: 13,
+        survey_period: SimDuration::from_secs(30.0),
+        ..Default::default()
+    })
+    .unwrap();
+    sim.seed_fault(
+        0,
+        FaultSeed {
+            condition: MachineCondition::MotorBearingDefect,
+            onset: SimTime::ZERO,
+            time_to_failure: SimDuration::from_minutes(8.0),
+            profile: FaultProfile::EarlyOnset,
+        },
+    );
+    sim.run_for(SimDuration::from_minutes(6.0), SimDuration::from_secs(0.25))
+        .unwrap();
+
+    let snap = export_snapshot(sim.pdme(), sim.now(), SimDuration::from_secs(30.0));
+    assert_eq!(snap.schema_version, ICAS_SCHEMA_VERSION);
+    assert_eq!(snap.machines.len(), 2);
+    assert_eq!(snap.data_concentrators.len(), 2);
+    assert!(snap.data_concentrators.iter().all(|d| d.alive));
+
+    // Machine 1 carries the fused fault; machine 2 is clean.
+    let m1 = snap.machines.iter().find(|m| m.machine_id == 1).unwrap();
+    let m2 = snap.machines.iter().find(|m| m.machine_id == 2).unwrap();
+    assert!(m1.health < 0.5, "faulted machine health {}", m1.health);
+    assert!(m1
+        .conditions
+        .iter()
+        .any(|c| c.description.contains("bearing defect") && c.belief > 0.5));
+    assert_eq!(m2.health, 1.0);
+    assert!(m2.conditions.is_empty());
+
+    // Round trip through the wire representation a consumer would parse.
+    let json = snap.to_json().unwrap();
+    let parsed = IcasSnapshot::from_json(&json).unwrap();
+    assert_eq!(parsed, snap);
+    // A consumer that only knows JSON finds the essentials.
+    let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(value["schema_version"], 1);
+    assert!(value["machines"].as_array().unwrap().len() == 2);
+}
+
+#[test]
+fn snapshot_tracks_state_changes_over_time() {
+    let mut sim = ShipboardSim::new(ShipboardSimConfig {
+        dc_count: 1,
+        seed: 17,
+        survey_period: SimDuration::from_secs(30.0),
+        ..Default::default()
+    })
+    .unwrap();
+    sim.seed_fault(
+        0,
+        FaultSeed {
+            condition: MachineCondition::CondenserFouling,
+            onset: SimTime::ZERO + SimDuration::from_minutes(2.0),
+            time_to_failure: SimDuration::from_minutes(10.0),
+            profile: FaultProfile::Linear,
+        },
+    );
+    sim.run_for(SimDuration::from_minutes(1.0), SimDuration::from_secs(0.25))
+        .unwrap();
+    let early = export_snapshot(sim.pdme(), sim.now(), SimDuration::from_secs(30.0));
+    sim.run_for(SimDuration::from_minutes(9.0), SimDuration::from_secs(0.25))
+        .unwrap();
+    let late = export_snapshot(sim.pdme(), sim.now(), SimDuration::from_secs(30.0));
+    assert_eq!(early.machines[0].health, 1.0, "pre-onset snapshot is clean");
+    assert!(
+        late.machines[0].health < early.machines[0].health,
+        "developing fault must degrade the exported health"
+    );
+    assert!(late.at_secs > early.at_secs);
+}

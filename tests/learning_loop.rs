@@ -1,0 +1,104 @@
+//! The §9/§10.1 learning loop across crates: maintenance outcomes feed
+//! the historian; the historian's review statistics recalibrate DLI
+//! believability; its fitted life models produce age-conditioned
+//! prognostic curves that the §5.4 fusion combines with live evidence.
+
+use mpros::core::{MachineCondition, MachineId, SimDuration, SimTime};
+use mpros::dli::DliExpertSystem;
+use mpros::fusion::fuse_prognostics;
+use mpros::pdme::historian::{Historian, MaintenanceRecord, Outcome};
+
+fn close_action(
+    h: &mut Historian,
+    at_h: f64,
+    machine: u64,
+    condition: MachineCondition,
+    outcome: Outcome,
+    life_h: Option<f64>,
+) {
+    h.record(MaintenanceRecord {
+        at: SimTime::from_secs(at_h * 3_600.0),
+        machine: MachineId::new(machine),
+        condition,
+        outcome,
+        service_life: life_h.map(SimDuration::from_hours),
+    });
+}
+
+#[test]
+fn reversals_in_the_archive_discount_the_rule() {
+    let condition = MachineCondition::BearingHousingLooseness;
+    let mut historian = Historian::new();
+    // The fleet's analysts keep reversing looseness calls.
+    for i in 0..30 {
+        let outcome = if i % 3 == 0 {
+            Outcome::Confirmed
+        } else {
+            Outcome::Reversed
+        };
+        close_action(&mut historian, i as f64, i, condition, outcome, None);
+    }
+    let stats = historian.stats(condition);
+    assert_eq!(stats.confirmed + stats.reversed, 30);
+
+    // Feed the archive into the expert system's believability database.
+    let mut dli = DliExpertSystem::new();
+    let before = {
+        // Fresh defaults are confident.
+        let db = dli.believability_mut();
+        db.believability(condition)
+    };
+    {
+        let db = dli.believability_mut();
+        for _ in 0..stats.confirmed {
+            db.record_review(condition, true);
+        }
+        for _ in 0..stats.reversed {
+            db.record_review(condition, false);
+        }
+    }
+    let after = dli.believability_mut().believability(condition);
+    assert!(
+        after < before,
+        "archive reversals must discount the rule: {before} → {after}"
+    );
+}
+
+#[test]
+fn archived_lives_condition_live_prognoses() {
+    let condition = MachineCondition::MotorBearingDefect;
+    let mut historian = Historian::new();
+    // A wear-out fleet history (Weibull-ish lives around 5000 h).
+    for i in 1..=25 {
+        let u = i as f64 / 26.0;
+        let life = 5_000.0 * (-(1.0 - u).ln()).powf(1.0 / 2.5);
+        close_action(
+            &mut historian,
+            200.0 * i as f64,
+            i,
+            condition,
+            Outcome::Confirmed,
+            Some(life),
+        );
+    }
+    let now = SimTime::from_secs(5_000.0 * 3_600.0);
+    let fit = historian.life_model(condition, now).unwrap();
+    assert!(fit.shape > 1.5, "wear-out shape {}", fit.shape);
+
+    // A unit deep into its life: history-conditioned curve.
+    let aged = fit
+        .prognostic_vector(6_000.0, &[200.0, 500.0, 1_000.0], SimDuration::from_hours)
+        .unwrap();
+    // Generic grade template for a Moderate live diagnosis.
+    let template = mpros::core::prognostic::grade_template(mpros::core::SeverityGrade::Moderate);
+    let fused = fuse_prognostics(&[template.clone(), aged]).unwrap();
+    let med = |v: &mpros::core::PrognosticVector| {
+        v.horizon_for_probability(0.5).map(|d| d.as_days())
+    };
+    let fused_med = med(&fused).unwrap();
+    let template_med = med(&template).unwrap();
+    assert!(
+        fused_med < template_med,
+        "history must pull the estimate earlier: {fused_med} vs {template_med} days"
+    );
+}

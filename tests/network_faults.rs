@@ -1,0 +1,97 @@
+//! §4.9 robustness: "power supply and communications are stable in our
+//! labs but may not be the same on board the ships." Lossy links and
+//! partitions must degrade the system gracefully, never wedge it.
+
+use mpros::chiller::fault::{FaultProfile, FaultSeed};
+use mpros::core::{DcId, MachineCondition, SimDuration, SimTime};
+use mpros::network::{Endpoint, NetworkConfig};
+use mpros::sim::{ShipboardSim, ShipboardSimConfig};
+
+fn lossy_sim(drop_probability: f64) -> ShipboardSim {
+    let mut sim = ShipboardSim::new(ShipboardSimConfig {
+        dc_count: 1,
+        seed: 9,
+        survey_period: SimDuration::from_secs(20.0),
+        network: NetworkConfig {
+            drop_probability,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+    .unwrap();
+    sim.seed_fault(
+        0,
+        FaultSeed {
+            condition: MachineCondition::MotorImbalance,
+            onset: SimTime::ZERO,
+            time_to_failure: SimDuration::from_minutes(6.0),
+            profile: FaultProfile::EarlyOnset,
+        },
+    );
+    sim
+}
+
+#[test]
+fn lossy_network_still_delivers_the_diagnosis() {
+    let mut sim = lossy_sim(0.4);
+    sim.run_for(SimDuration::from_minutes(8.0), SimDuration::from_secs(0.25))
+        .unwrap();
+    let stats = sim.network_mut().stats();
+    assert!(stats.dropped > 0, "the lossy link should actually drop");
+    // Severity keeps climbing, so re-reports keep flowing; eventually
+    // one gets through and the conclusion lands.
+    let list = sim.pdme().maintenance_list();
+    assert!(
+        list.iter()
+            .any(|i| i.condition == MachineCondition::MotorImbalance),
+        "diagnosis lost to the network: {list:?}"
+    );
+}
+
+#[test]
+fn partition_blanks_a_dc_then_heals() {
+    let mut sim = lossy_sim(0.0);
+    // Let the first reports through.
+    sim.run_for(SimDuration::from_secs(30.0), SimDuration::from_secs(0.25))
+        .unwrap();
+    let received_before = sim.pdme().reports_received();
+    assert!(received_before > 0);
+
+    // Partition the DC: nothing arrives, and health decays.
+    sim.network_mut()
+        .set_partitioned(Endpoint::Dc(DcId::new(1)), true);
+    sim.run_for(SimDuration::from_minutes(2.0), SimDuration::from_secs(0.25))
+        .unwrap();
+    assert_eq!(
+        sim.pdme().reports_received(),
+        received_before,
+        "reports crossed a partition"
+    );
+    let health = sim
+        .pdme()
+        .dc_health(sim.now(), SimDuration::from_secs(30.0));
+    assert_eq!(health[0], (DcId::new(1), false), "partitioned DC looks dead");
+
+    // Heal: heartbeats resume; the DC is alive again.
+    sim.network_mut()
+        .set_partitioned(Endpoint::Dc(DcId::new(1)), false);
+    sim.run_for(SimDuration::from_secs(30.0), SimDuration::from_secs(0.25))
+        .unwrap();
+    let health = sim
+        .pdme()
+        .dc_health(sim.now(), SimDuration::from_secs(30.0));
+    assert_eq!(health[0], (DcId::new(1), true), "DC did not recover");
+    assert!(sim.pdme().reports_received() >= received_before);
+}
+
+#[test]
+fn total_loss_never_wedges_the_simulation() {
+    let mut sim = lossy_sim(1.0);
+    sim.run_for(SimDuration::from_minutes(3.0), SimDuration::from_secs(0.25))
+        .unwrap();
+    assert_eq!(sim.pdme().reports_received(), 0);
+    assert!(sim.pdme().maintenance_list().is_empty());
+    let stats = sim.network_mut().stats();
+    assert_eq!(stats.delivered, 0);
+    assert!(stats.dropped > 0);
+}

@@ -1,0 +1,88 @@
+//! §7: the failure-prediction reporting protocol end to end — every
+//! field of a report must survive DC → frame codec → network → PDME →
+//! OOSM persistence → fusion, bit for bit.
+
+use mpros::core::{
+    Belief, ConditionReport, DcId, KnowledgeSourceId, MachineCondition, MachineId,
+    PrognosticVector, ReportId, SimTime,
+};
+use mpros::network::{decode_message, encode_message, NetMessage};
+use mpros::oosm::Oosm;
+use mpros::pdme::PdmeExecutive;
+use proptest::prelude::*;
+
+fn arb_report() -> impl Strategy<Value = ConditionReport> {
+    (
+        0u64..1000,
+        0u64..50,
+        0usize..12,
+        0.0..=1.0f64,
+        0.0..=1.0f64,
+        proptest::collection::vec((0.5..24.0f64, 0.01..=1.0f64), 0..5),
+        ".{0,40}",
+        ".{0,40}",
+    )
+        .prop_map(
+            |(id, machine, cond_idx, belief, severity, prog_raw, expl, rec)| {
+                let mut sorted = prog_raw;
+                sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                sorted.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-3);
+                let mut acc: f64 = 0.0;
+                let pairs: Vec<(f64, f64)> = sorted
+                    .into_iter()
+                    .map(|(m, p)| {
+                        acc = acc.max(p);
+                        (m, acc)
+                    })
+                    .collect();
+                ConditionReport::builder(
+                    MachineId::new(machine),
+                    MachineCondition::from_index(cond_idx).unwrap(),
+                    Belief::new(belief),
+                )
+                .id(ReportId::new(id))
+                .dc(DcId::new(1))
+                .knowledge_source(KnowledgeSourceId::new(11))
+                .severity(severity)
+                .timestamp(SimTime::from_secs(id as f64))
+                .explanation(expl)
+                .recommendation(rec)
+                .prognostic(PrognosticVector::from_months(&pairs).unwrap())
+                .build()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_report_survives_the_wire(report in arb_report()) {
+        let frame = encode_message(&NetMessage::Report(report.clone())).unwrap();
+        let back = decode_message(frame).unwrap();
+        prop_assert_eq!(back, NetMessage::Report(report));
+    }
+
+    #[test]
+    fn any_report_survives_oosm_persistence(report in arb_report()) {
+        let mut oosm = Oosm::new();
+        let obj = oosm.post_report(&report).unwrap();
+        let back = oosm.report_payload(obj).unwrap();
+        prop_assert_eq!(back, report);
+    }
+
+    #[test]
+    fn any_report_flows_into_fusion(report in arb_report()) {
+        let mut pdme = PdmeExecutive::new();
+        pdme.register_machine(report.machine, "machine under test");
+        pdme.handle_message(&NetMessage::Report(report.clone()), SimTime::ZERO).unwrap();
+        prop_assert_eq!(pdme.process_events().unwrap(), 1);
+        let fused = pdme
+            .fusion()
+            .diagnostic()
+            .belief(report.machine, report.condition);
+        // Fused singleton belief equals the (capped) report belief for a
+        // first report.
+        prop_assert!((fused - report.belief.value().min(0.999)).abs() < 1e-9);
+    }
+}
