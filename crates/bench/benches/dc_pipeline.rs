@@ -33,7 +33,13 @@ fn bench_acquisition(c: &mut Criterion) {
 }
 
 fn bench_feature_extraction_and_rules(c: &mut Criterion) {
-    let survey = labeled_survey(Some(MachineCondition::MotorBearingDefect), 0.7, 0.9, 5, 32_768);
+    let survey = labeled_survey(
+        Some(MachineCondition::MotorBearingDefect),
+        0.7,
+        0.9,
+        5,
+        32_768,
+    );
     let dli = DliExpertSystem::new();
     c.bench_function("dli_feature_extraction_5ch_32k", |b| {
         b.iter(|| black_box(SpectralFeatures::extract(black_box(&survey)).expect("valid")))

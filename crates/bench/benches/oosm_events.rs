@@ -1,6 +1,6 @@
 //! E12 — §4.5: the OOSM event model lets clients react "without the
-//! need to poll". Measures report-posting latency (object + properties
-//! + relation + event fan-out) and event dispatch with growing
+//! need to poll". Measures report-posting latency (object, properties,
+//! relation and event fan-out) and event dispatch with growing
 //! subscriber counts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -38,7 +38,8 @@ fn bench_event_fanout(c: &mut Criterion) {
             let mut i = 0i64;
             b.iter(|| {
                 i += 1;
-                oosm.set_property(obj, "rpm", Value::Int(i)).expect("settable");
+                oosm.set_property(obj, "rpm", Value::Int(i))
+                    .expect("settable");
                 for s in &subscriptions {
                     black_box(s.drain());
                 }
@@ -54,8 +55,10 @@ fn bench_property_and_traversal(c: &mut Criterion) {
     let machines: Vec<_> = (0..100)
         .map(|i| {
             let m = oosm.create_object(ObjectKind::Machine, &format!("m{i}"));
-            oosm.relate(m, mpros_oosm::Relation::PartOf, ship).expect("relatable");
-            oosm.set_property(m, "rpm", Value::Float(3_550.0)).expect("settable");
+            oosm.relate(m, mpros_oosm::Relation::PartOf, ship)
+                .expect("relatable");
+            oosm.set_property(m, "rpm", Value::Float(3_550.0))
+                .expect("settable");
             m
         })
         .collect();

@@ -40,26 +40,19 @@ fn bench_pdme_burst(c: &mut Criterion) {
     for &dc_count in &[10usize, 50, 100, 200] {
         let msgs = burst(dc_count);
         group.throughput(Throughput::Elements(dc_count as u64));
-        group.bench_with_input(
-            BenchmarkId::new("dcs", dc_count),
-            &msgs,
-            |b, msgs| {
-                b.iter(|| {
-                    let mut pdme = PdmeExecutive::new();
-                    for i in 0..dc_count {
-                        pdme.register_machine(
-                            MachineId::new(i as u64 + 1),
-                            &format!("chiller {i}"),
-                        );
-                    }
-                    for m in msgs {
-                        pdme.handle_message(black_box(m), SimTime::ZERO)
-                            .expect("handled");
-                    }
-                    black_box(pdme.process_events().expect("processed"))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("dcs", dc_count), &msgs, |b, msgs| {
+            b.iter(|| {
+                let mut pdme = PdmeExecutive::new();
+                for i in 0..dc_count {
+                    pdme.register_machine(MachineId::new(i as u64 + 1), &format!("chiller {i}"));
+                }
+                for m in msgs {
+                    pdme.handle_message(black_box(m), SimTime::ZERO)
+                        .expect("handled");
+                }
+                black_box(pdme.process_events().expect("processed"))
+            })
+        });
     }
     group.finish();
 }

@@ -10,7 +10,8 @@ use std::hint::black_box;
 fn fleet(pairs: usize) -> Interpreter {
     let mut it = Interpreter::new();
     for i in 0..pairs {
-        it.add_program(&spike_machine((i * 2) as u8)).expect("valid");
+        it.add_program(&spike_machine((i * 2) as u8))
+            .expect("valid");
         it.add_program(&stiction_machine((i * 2 + 1) as u8, (i * 2) as u8))
             .expect("valid");
     }

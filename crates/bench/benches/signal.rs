@@ -42,16 +42,13 @@ fn bench_spectrum_and_envelope(c: &mut Criterion) {
     let block = tone_block(32_768);
     c.bench_function("spectrum_32k_hann", |b| {
         b.iter(|| {
-            black_box(
-                Spectrum::compute(black_box(&block), 16_384.0, Window::Hann).expect("valid"),
-            )
+            black_box(Spectrum::compute(black_box(&block), 16_384.0, Window::Hann).expect("valid"))
         })
     });
     c.bench_function("bandpass_envelope_32k", |b| {
         b.iter(|| {
             black_box(
-                bandpass_envelope(black_box(&block), 16_384.0, 1_800.0, 3_000.0)
-                    .expect("valid"),
+                bandpass_envelope(black_box(&block), 16_384.0, 1_800.0, 3_000.0).expect("valid"),
             )
         })
     });
@@ -62,9 +59,7 @@ fn bench_feature_vector(c: &mut Criterion) {
     let block = tone_block(4096);
     c.bench_function("wnn_feature_vector_4k", |b| {
         b.iter(|| {
-            black_box(
-                FeatureVector::extract(black_box(&block), &config, &[0.8]).expect("valid"),
-            )
+            black_box(FeatureVector::extract(black_box(&block), &config, &[0.8]).expect("valid"))
         })
     });
 }

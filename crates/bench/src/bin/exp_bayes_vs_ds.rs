@@ -60,7 +60,9 @@ fn main() {
     .expect("learnable");
 
     // Scenario: the BPFO symptom fires, the 1x symptom does not.
-    let bn_post = learned.posterior(&[Some(true), Some(false)]).expect("inferable");
+    let bn_post = learned
+        .posterior(&[Some(true), Some(false)])
+        .expect("inferable");
 
     // DS sees the same situation as one moderate report (belief 0.6 —
     // a sensor symptom is not a certain diagnosis) in a 3-frame
@@ -115,6 +117,9 @@ fn main() {
     verdict(
         "E-BN.2 DS keeps explicit ignorance",
         ds.unknown() > 0.1,
-        &format!("{:.2} residual on Θ vs the BN's committed posterior", ds.unknown()),
+        &format!(
+            "{:.2} residual on Θ vs the BN's committed posterior",
+            ds.unknown()
+        ),
     );
 }

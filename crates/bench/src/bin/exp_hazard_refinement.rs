@@ -90,8 +90,12 @@ fn main() {
             fit.shape
         ),
     );
-    let p_fresh = fresh.probability_at(SimDuration::from_hours(1_500.0)).value();
-    let p_aged = aged.probability_at(SimDuration::from_hours(1_500.0)).value();
+    let p_fresh = fresh
+        .probability_at(SimDuration::from_hours(1_500.0))
+        .value();
+    let p_aged = aged
+        .probability_at(SimDuration::from_hours(1_500.0))
+        .value();
     verdict(
         "E-hazard.2 age-conditioning matters",
         p_aged > 5.0 * p_fresh,

@@ -63,12 +63,7 @@ fn main() {
     raw.load_sensitized = false;
 
     let seeds: Vec<u64> = (0..6).map(|i| 301 + i * 13).collect();
-    let mut t = Table::new(&[
-        "scenario",
-        "load",
-        "sensitized FP/TP",
-        "unsensitized FP/TP",
-    ]);
+    let mut t = Table::new(&["scenario", "load", "sensitized FP/TP", "unsensitized FP/TP"]);
 
     // Low-load healthy machines with idle rattle: any call is a false
     // positive.

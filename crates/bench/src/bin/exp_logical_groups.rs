@@ -9,8 +9,8 @@
 
 use mpros_bench::{verdict, Table};
 use mpros_core::MachineCondition;
-use mpros_fusion::{DiagnosticFusion, MassFunction, Subset};
 use mpros_core::MachineId;
+use mpros_fusion::{DiagnosticFusion, MassFunction, Subset};
 
 /// Flat ablation: one frame over the full 12-condition catalog (+Θ
 /// handled by simple support), evidence as singleton supports.
@@ -67,7 +67,10 @@ fn main() {
         for &(c, b) in &[(bearing, 0.6), (leak, 0.6)] {
             step += 1;
             grouped
-                .ingest(&mpros_core::ConditionReport::builder(machine, c, mpros_core::Belief::new(b)).build())
+                .ingest(
+                    &mpros_core::ConditionReport::builder(machine, c, mpros_core::Belief::new(b))
+                        .build(),
+                )
                 .expect("ingestible");
             flat.ingest(c, b);
             t.row(&[
@@ -86,9 +89,7 @@ fn main() {
     let gl = grouped.belief(machine, leak);
     let fb = flat.belief(bearing);
     let fl = flat.belief(leak);
-    println!(
-        "\ngrouped final: bearing {gb:.3}, leak {gl:.3} — both high, independent frames"
-    );
+    println!("\ngrouped final: bearing {gb:.3}, leak {gl:.3} — both high, independent frames");
     println!(
         "flat final   : bearing {fb:.3}, leak {fl:.3} — mutual exclusivity forces the two \
          real faults to fight over one unit of mass (conflict normalized out: {:.2})",

@@ -17,14 +17,19 @@ fn average_fusion(a: &PrognosticVector, b: &PrognosticVector, months: f64) -> f6
 
 fn main() {
     println!("E3: prognostic knowledge fusion (§5.4)\n");
-    let first = PrognosticVector::from_months(&[(3.0, 0.01), (4.0, 0.5), (5.0, 0.99)])
-        .expect("valid");
+    let first =
+        PrognosticVector::from_months(&[(3.0, 0.01), (4.0, 0.5), (5.0, 0.99)]).expect("valid");
     let weak = PrognosticVector::from_months(&[(4.5, 0.12)]).expect("valid");
     let strong = PrognosticVector::from_months(&[(4.5, 0.95)]).expect("valid");
 
     // Case 1: the weak report is ignored.
     let fused_weak = fuse_prognostics(&[first.clone(), weak]).expect("fusable");
-    let mut t = Table::new(&["months", "first report", "fused (weak 2nd)", "fused (strong 2nd)"]);
+    let mut t = Table::new(&[
+        "months",
+        "first report",
+        "fused (weak 2nd)",
+        "fused (strong 2nd)",
+    ]);
     let fused_strong = fuse_prognostics(&[first.clone(), strong]).expect("fusable");
     for m in [3.0, 3.5, 4.0, 4.25, 4.5, 4.75, 5.0] {
         t.row(&[

@@ -73,8 +73,7 @@ fn run_mode(condition: MachineCondition) -> Outcome {
                 .find(|i| i.condition == condition && i.belief > 0.3)
             {
                 detected_at = Some(sim.now());
-                severity_at_detection =
-                    sim.plant(0).faults().severity(condition, sim.now());
+                severity_at_detection = sim.plant(0).faults().severity(condition, sim.now());
                 let _ = item;
             }
         }
@@ -150,8 +149,11 @@ fn main() {
         ..Default::default()
     })
     .expect("sim builds");
-    sim.run_for(SimDuration::from_minutes(10.0), SimDuration::from_secs(0.25))
-        .expect("runs");
+    sim.run_for(
+        SimDuration::from_minutes(10.0),
+        SimDuration::from_secs(0.25),
+    )
+    .expect("runs");
     let false_alarms = sim.pdme().maintenance_list().len();
 
     println!();

@@ -34,15 +34,12 @@ fn main() {
 
     // Structural checks: exactly the paper's four categories, in order,
     // with the stated TTF correspondence.
-    let mapping_ok = SeverityGrade::ALL
-        .iter()
-        .map(|g| g.time_to_failure())
-        .eq([
-            TimeToFailure::NoForeseeableFailure,
-            TimeToFailure::Months,
-            TimeToFailure::Weeks,
-            TimeToFailure::Days,
-        ]);
+    let mapping_ok = SeverityGrade::ALL.iter().map(|g| g.time_to_failure()).eq([
+        TimeToFailure::NoForeseeableFailure,
+        TimeToFailure::Months,
+        TimeToFailure::Weeks,
+        TimeToFailure::Days,
+    ]);
     verdict(
         "E6.1 four ordered grades",
         mapping_ok,
@@ -62,15 +59,19 @@ fn main() {
         ok
     };
     verdict("E6.2 grade is monotone in score", monotone, "0..=1 sweep");
-    let horizons: Vec<f64> = [SeverityGrade::Moderate, SeverityGrade::Serious, SeverityGrade::Extreme]
-        .iter()
-        .map(|&g| {
-            grade_template(g)
-                .horizon_for_probability(0.5)
-                .expect("template reaches 50%")
-                .as_secs()
-        })
-        .collect();
+    let horizons: Vec<f64> = [
+        SeverityGrade::Moderate,
+        SeverityGrade::Serious,
+        SeverityGrade::Extreme,
+    ]
+    .iter()
+    .map(|&g| {
+        grade_template(g)
+            .horizon_for_probability(0.5)
+            .expect("template reaches 50%")
+            .as_secs()
+    })
+    .collect();
     verdict(
         "E6.3 template horizons ordered months > weeks > days",
         horizons[0] > horizons[1] && horizons[1] > horizons[2],

@@ -8,42 +8,89 @@
 //!     acquisition→FFT→features→rules chain);
 //!  2. the same fanned across worker threads with crossbeam (one DC per
 //!     worker), showing the aggregate "millions of points per second";
-//!  3. PDME report-handling rate vs DC count.
+//!  3. PDME report-handling rate vs DC count, with reports carried over
+//!     the simulated ship network so bus-transit and end-to-end report
+//!     latency histograms fill.
+//!
+//! Besides the console tables, writes `BENCH_throughput.json` with the
+//! headline rates and the per-stage span quantiles from the shared
+//! telemetry domain.
 
 use crossbeam::thread;
 use mpros_bench::{labeled_survey, verdict, Table};
 use mpros_core::{
     Belief, ConditionReport, DcId, KnowledgeSourceId, MachineCondition, MachineId,
-    PrognosticVector, ReportId, SimTime,
+    PrognosticVector, ReportId, SimDuration, SimTime,
 };
 use mpros_dli::{DliExpertSystem, SpectralFeatures};
-use mpros_network::NetMessage;
+use mpros_network::{Endpoint, NetMessage, NetworkConfig, ShipNetwork};
 use mpros_pdme::PdmeExecutive;
+use mpros_telemetry::{Stage, Telemetry, WallTimer};
+use serde::Serialize;
 use std::time::Instant;
 
 const BLOCK: usize = 32_768;
 const CHANNELS: usize = 5;
 
-/// Samples/second through one DC's full survey analysis.
-fn dc_analysis_rate(surveys: usize, seed: u64) -> f64 {
+/// Samples/second through one DC's full survey analysis; FFT and rule
+/// evaluation land in the shared span histograms.
+fn dc_analysis_rate(telemetry: &Telemetry, surveys: usize, seed: u64) -> f64 {
     let dli = DliExpertSystem::new();
-    let survey = labeled_survey(Some(MachineCondition::MotorBearingDefect), 0.7, 0.9, seed, BLOCK);
+    let survey = labeled_survey(
+        Some(MachineCondition::MotorBearingDefect),
+        0.7,
+        0.9,
+        seed,
+        BLOCK,
+    );
     let start = Instant::now();
     let mut sink = 0usize;
     for _ in 0..surveys {
+        let timer = WallTimer::start();
         let features = SpectralFeatures::extract(&survey).expect("extractable");
+        telemetry.record_span_wall(Stage::Fft, timer.elapsed());
+        let timer = WallTimer::start();
         sink += dli.diagnose(&features).len();
+        telemetry.record_span_wall(Stage::Dli, timer.elapsed());
     }
     let secs = start.elapsed().as_secs_f64();
     std::hint::black_box(sink);
     (surveys * CHANNELS * BLOCK) as f64 / secs
 }
 
+#[derive(Serialize)]
+struct StageQuantiles {
+    stage: String,
+    count: u64,
+    p50_s: f64,
+    p95_s: f64,
+}
+
+#[derive(Serialize)]
+struct LatencyQuantiles {
+    name: String,
+    count: u64,
+    p50_s: f64,
+    p95_s: f64,
+    p99_s: f64,
+}
+
+#[derive(Serialize)]
+struct BenchDoc {
+    schema_version: u32,
+    single_core_samples_per_s: f64,
+    aggregate_samples_per_s_8_workers: f64,
+    pdme_reports_per_s_100_dcs: f64,
+    wall_stages: Vec<StageQuantiles>,
+    sim_latencies: Vec<LatencyQuantiles>,
+}
+
 fn main() {
     println!("E7: data rates and scaling (§1, §8.1)\n");
+    let telemetry = Telemetry::new();
 
     // 1. Single-core DC chain.
-    let single = dc_analysis_rate(6, 3);
+    let single = dc_analysis_rate(&telemetry, 6, 3);
     println!(
         "single-core DC analysis: {:.2} M samples/s (5 ch × 32k blocks, FFT + \
          envelope + features + rules)",
@@ -71,8 +118,9 @@ fn main() {
         let surveys_per_worker = 4;
         thread::scope(|s| {
             for w in 0..workers {
+                let tel = telemetry.clone();
                 s.spawn(move |_| {
-                    std::hint::black_box(dc_analysis_rate(surveys_per_worker, w as u64 + 10));
+                    std::hint::black_box(dc_analysis_rate(&tel, surveys_per_worker, w as u64 + 10));
                 });
             }
         })
@@ -90,18 +138,25 @@ fn main() {
     }
     print!("{}", t.render());
 
-    // 3. PDME report-handling rate vs DC count.
+    // 3. PDME report-handling rate vs DC count, over the ship network.
     println!();
     let mut t = Table::new(&["DCs", "reports fused/s"]);
     let mut rate_100 = 0.0;
     for &dcs in &[10usize, 50, 100, 200] {
+        let mut net = ShipNetwork::new(NetworkConfig::default());
+        net.set_telemetry(&telemetry);
+        net.register(Endpoint::Pdme);
         let mut pdme = PdmeExecutive::new();
+        pdme.set_telemetry(&telemetry);
         for i in 0..dcs {
+            net.register(Endpoint::Dc(DcId::new(i as u64 + 1)));
             pdme.register_machine(MachineId::new(i as u64 + 1), &format!("chiller {i}"));
         }
         let rounds = 20;
         let start = Instant::now();
         let mut id = 0u64;
+        let mut now = SimTime::ZERO;
+        let mut handled = 0usize;
         for _ in 0..rounds {
             for d in 0..dcs {
                 id += 1;
@@ -113,16 +168,29 @@ fn main() {
                 .id(ReportId::new(id))
                 .dc(DcId::new(d as u64 + 1))
                 .knowledge_source(KnowledgeSourceId::new(11))
-                .timestamp(SimTime::from_secs(id as f64))
+                .timestamp(now)
                 .prognostic(PrognosticVector::from_months(&[(1.0, 0.5)]).expect("valid"))
                 .build();
-                pdme.handle_message(&NetMessage::Report(r), SimTime::ZERO)
-                    .expect("handled");
+                net.send(
+                    now,
+                    Endpoint::Dc(DcId::new(d as u64 + 1)),
+                    Endpoint::Pdme,
+                    &NetMessage::Report(r),
+                )
+                .expect("sent");
+            }
+            // One simulated second per round: far past worst-case bus
+            // latency, so every frame of the round is delivered.
+            now += SimDuration::from_secs(1.0);
+            telemetry.set_sim_now(now);
+            for msg in net.recv(Endpoint::Pdme, now) {
+                handled += pdme.handle_message(&msg, now).expect("handled");
             }
             pdme.process_events().expect("processed");
         }
         let secs = start.elapsed().as_secs_f64();
-        let rate = (rounds * dcs) as f64 / secs;
+        assert_eq!(handled, rounds * dcs, "lossless config delivers all");
+        let rate = handled as f64 / secs;
         if dcs == 100 {
             rate_100 = rate;
         }
@@ -130,11 +198,63 @@ fn main() {
     }
     print!("{}", t.render());
 
+    // Latency quantiles from the shared telemetry domain.
+    println!("\nlatency histograms (simulated time):");
+    let snap = telemetry.snapshot();
+    let mut sim_latencies = Vec::new();
+    for (component, name) in [("net", "bus_transit_s"), ("pdme", "report_latency_s")] {
+        let h = snap
+            .histogram(component, name)
+            .expect("histogram populated");
+        println!(
+            "  {component}.{name}: n={} p50={:.4}s p95={:.4}s p99={:.4}s",
+            h.count,
+            h.p50.unwrap_or(f64::NAN),
+            h.p95.unwrap_or(f64::NAN),
+            h.p99.unwrap_or(f64::NAN),
+        );
+        sim_latencies.push(LatencyQuantiles {
+            name: format!("{component}.{name}"),
+            count: h.count,
+            p50_s: h.p50.unwrap_or(0.0),
+            p95_s: h.p95.unwrap_or(0.0),
+            p99_s: h.p99.unwrap_or(0.0),
+        });
+    }
+
+    let wall_stages = Stage::ALL
+        .iter()
+        .map(|&stage| {
+            let h = telemetry.span_wall(stage);
+            StageQuantiles {
+                stage: stage.as_str().to_string(),
+                count: h.count(),
+                p50_s: h.p50().unwrap_or(0.0),
+                p95_s: h.p95().unwrap_or(0.0),
+            }
+        })
+        .filter(|q| q.count > 0)
+        .collect();
+    let doc = BenchDoc {
+        schema_version: 1,
+        single_core_samples_per_s: single,
+        aggregate_samples_per_s_8_workers: parallel_rate,
+        pdme_reports_per_s_100_dcs: rate_100,
+        wall_stages,
+        sim_latencies,
+    };
+    let json = serde_json::to_string_pretty(&doc).expect("serializable");
+    std::fs::write("BENCH_throughput.json", &json).expect("writable working directory");
+    println!("\nwrote BENCH_throughput.json");
+
     println!();
     verdict(
         "E7.1 'millions of data points per second'",
         parallel_rate > 2e6,
-        &format!("{:.2} M samples/s aggregate on 8 workers", parallel_rate / 1e6),
+        &format!(
+            "{:.2} M samples/s aggregate on 8 workers",
+            parallel_rate / 1e6
+        ),
     );
     verdict(
         "E7.2 real-time DC margin",
@@ -144,8 +264,6 @@ fn main() {
     verdict(
         "E7.3 hundreds of DCs per PDME",
         rate_100 > 1_000.0,
-        &format!(
-            "{rate_100:.0} fused reports/s at 100 DCs — far above shipboard report rates"
-        ),
+        &format!("{rate_100:.0} fused reports/s at 100 DCs — far above shipboard report rates"),
     );
 }

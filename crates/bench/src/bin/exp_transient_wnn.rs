@@ -89,10 +89,9 @@ fn main() {
             .map(|((v, m), s)| (v - m) / s)
             .collect()
     };
-    let mut net = Network::new(dim, &[16], CLASSES.len(), Activation::MexicanHat, 7)
-        .expect("valid shape");
-    let normalized: Vec<(Vec<f64>, usize)> =
-        train_set.iter().map(|(x, y)| (norm(x), *y)).collect();
+    let mut net =
+        Network::new(dim, &[16], CLASSES.len(), Activation::MexicanHat, 7).expect("valid shape");
+    let normalized: Vec<(Vec<f64>, usize)> = train_set.iter().map(|(x, y)| (norm(x), *y)).collect();
     net.train(
         &normalized,
         &TrainParams {
@@ -137,11 +136,18 @@ fn main() {
     let mut t = Table::new(&["system", "transient performance"]);
     t.row(&[
         "WNN (trained on transients)".into(),
-        format!("{:.0}% classification accuracy ({wnn_correct}/{})", wnn_acc * 100.0, test_set.len()),
+        format!(
+            "{:.0}% classification accuracy ({wnn_correct}/{})",
+            wnn_acc * 100.0,
+            test_set.len()
+        ),
     ]);
     t.row(&[
         "DLI steady-state rules".into(),
-        format!("{:.0}% detection rate ({dli_hits}/{dli_cases})", dli_rate * 100.0),
+        format!(
+            "{:.0}% detection rate ({dli_hits}/{dli_cases})",
+            dli_rate * 100.0
+        ),
     ]);
     print!("{}", t.render());
 
@@ -149,7 +155,10 @@ fn main() {
     verdict(
         "E-transient.1 WNN handles transitory phenomena",
         wnn_acc >= 0.85,
-        &format!("{:.0}% held-out accuracy on coast-up blocks", wnn_acc * 100.0),
+        &format!(
+            "{:.0}% held-out accuracy on coast-up blocks",
+            wnn_acc * 100.0
+        ),
     );
     verdict(
         "E-transient.2 steady-state rules degrade on chirps",

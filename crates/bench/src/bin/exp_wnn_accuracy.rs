@@ -63,7 +63,10 @@ fn accuracy_with_activation(
     )
     .expect("trains");
     let test_n = norm(test);
-    let correct = test_n.iter().filter(|(x, y)| net.classify(x).0 == *y).count();
+    let correct = test_n
+        .iter()
+        .filter(|(x, y)| net.classify(x).0 == *y)
+        .count();
     correct as f64 / test_n.len() as f64
 }
 
@@ -77,7 +80,9 @@ fn main() {
         config.classes.len(),
         config.feature_dim()
     );
-    let ds = DatasetBuilder::new(config.clone(), 3).build().expect("buildable");
+    let ds = DatasetBuilder::new(config.clone(), 3)
+        .build()
+        .expect("buildable");
     let (train, test) = ds.split(4);
     println!("dataset: {} train / {} test\n", train.len(), test.len());
 
@@ -126,8 +131,7 @@ fn main() {
     // Activation ablation on the identical split.
     let acc_wavelet =
         accuracy_with_activation(&train, &test, config.classes.len(), Activation::MexicanHat);
-    let acc_tanh =
-        accuracy_with_activation(&train, &test, config.classes.len(), Activation::Tanh);
+    let acc_tanh = accuracy_with_activation(&train, &test, config.classes.len(), Activation::Tanh);
     println!(
         "\nactivation ablation (same shape, data, schedule): \
          mexican-hat {:.1}% vs tanh {:.1}%",

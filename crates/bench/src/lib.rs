@@ -72,10 +72,7 @@ impl Table {
 
 /// Print a pass/fail verdict line in the uniform experiment format.
 pub fn verdict(label: &str, ok: bool, detail: &str) {
-    println!(
-        "[{}] {label}: {detail}",
-        if ok { "PASS" } else { "FAIL" }
-    );
+    println!("[{}] {label}: {detail}", if ok { "PASS" } else { "FAIL" });
 }
 
 /// Generate one labeled five-channel survey with a single seeded fault
@@ -103,7 +100,12 @@ pub fn labeled_survey(
     let t0 = SimTime::from_secs(100.0 + seed as f64);
     let blocks = AccelLocation::ALL
         .iter()
-        .map(|&loc| (loc, synth.sample_block(loc, t0, block_len, fs, load, &faults)))
+        .map(|&loc| {
+            (
+                loc,
+                synth.sample_block(loc, t0, block_len, fs, load, &faults),
+            )
+        })
         .collect();
     VibrationSurvey {
         train,

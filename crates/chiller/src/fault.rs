@@ -168,10 +168,7 @@ mod tests {
         assert!((seed.severity_at(SimTime::from_secs(100.0 + 1800.0)) - 0.5).abs() < 1e-9);
         assert_eq!(seed.severity_at(seed.failure_time()), 1.0);
         // Past failure it saturates.
-        assert_eq!(
-            seed.severity_at(seed.failure_time() + hours(5.0)),
-            1.0
-        );
+        assert_eq!(seed.severity_at(seed.failure_time() + hours(5.0)), 1.0);
     }
 
     #[test]
@@ -236,7 +233,10 @@ mod tests {
             time_to_failure: hours(10.0),
             profile: FaultProfile::Step(0.9),
         });
-        assert_eq!(st.severity(MachineCondition::GearToothWear, SimTime::from_secs(1.0)), 0.9);
+        assert_eq!(
+            st.severity(MachineCondition::GearToothWear, SimTime::from_secs(1.0)),
+            0.9
+        );
     }
 
     #[test]

@@ -268,7 +268,10 @@ mod tests {
             t.shaft_hz(RotatingElement::Compressor, 1.0),
             t.compressor_hz(1.0)
         );
-        assert_eq!(t.shaft_hz(RotatingElement::ChilledWaterPump, 1.0), t.pump_hz);
+        assert_eq!(
+            t.shaft_hz(RotatingElement::ChilledWaterPump, 1.0),
+            t.pump_hz
+        );
     }
 
     #[test]

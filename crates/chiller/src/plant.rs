@@ -103,14 +103,8 @@ impl ChillerPlant {
         n: usize,
         sample_rate: f64,
     ) -> Vec<f64> {
-        self.vibration.sample_block(
-            location,
-            t0,
-            n,
-            sample_rate,
-            self.load_at(t0),
-            &self.faults,
-        )
+        self.vibration
+            .sample_block(location, t0, n, sample_rate, self.load_at(t0), &self.faults)
     }
 
     /// Read the process variables at `t`.

@@ -232,7 +232,11 @@ mod tests {
     fn oil_degradation_drops_pressure_raises_temp() {
         let m = model();
         let h = m.sample(T, 0.8, &FaultState::healthy());
-        let f = m.sample(T, 0.8, &step_fault(MachineCondition::LubeOilDegradation, 1.0));
+        let f = m.sample(
+            T,
+            0.8,
+            &step_fault(MachineCondition::LubeOilDegradation, 1.0),
+        );
         assert!(f.oil_pressure_kpa < h.oil_pressure_kpa - 40.0);
         assert!(f.oil_temp_c > h.oil_temp_c + 10.0);
     }
@@ -265,8 +269,12 @@ mod tests {
         // Healthy plant at the same instants is steady.
         let healthy: Vec<f64> = (0..40)
             .map(|i| {
-                m.sample(SimTime::from_secs(i as f64 * 0.1), 0.9, &FaultState::healthy())
-                    .cond_pressure_kpa
+                m.sample(
+                    SimTime::from_secs(i as f64 * 0.1),
+                    0.9,
+                    &FaultState::healthy(),
+                )
+                .cond_pressure_kpa
             })
             .collect();
         let hswing = healthy.iter().cloned().fold(f64::MIN, f64::max)

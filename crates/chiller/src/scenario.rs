@@ -173,9 +173,7 @@ mod tests {
     #[test]
     fn healthy_scenario_builds_healthy_plant() {
         let p = Scenario::healthy(days(10.0)).build_plant(MachineId::new(1), 1);
-        assert!(p
-            .ground_truth(SimTime::ZERO + days(9.0), 0.0)
-            .is_empty());
+        assert!(p.ground_truth(SimTime::ZERO + days(9.0), 0.0).is_empty());
     }
 
     #[test]
@@ -196,8 +194,7 @@ mod tests {
         let p = sc.build_plant(MachineId::new(1), 1);
         let t = SimTime::ZERO + days(25.0);
         let truth = p.ground_truth(t, 0.1);
-        let groups: std::collections::HashSet<_> =
-            truth.iter().map(|(c, _)| c.group()).collect();
+        let groups: std::collections::HashSet<_> = truth.iter().map(|(c, _)| c.group()).collect();
         assert!(truth.len() >= 3, "want 3 concurrent faults, got {truth:?}");
         assert!(groups.len() >= 2, "faults must span logical groups");
     }
@@ -217,7 +214,11 @@ mod tests {
         // At the very end, every mode has been driven to failure.
         let t = SimTime::ZERO + days(119.9);
         let truth = p.ground_truth(t, 0.8);
-        assert!(truth.len() >= 10, "most modes at high severity: {}", truth.len());
+        assert!(
+            truth.len() >= 10,
+            "most modes at high severity: {}",
+            truth.len()
+        );
     }
 
     #[test]

@@ -105,8 +105,8 @@ impl StartupSynthesizer {
                 }
                 Some(MachineCondition::BearingHousingLooseness) => {
                     for h in 1..=4 {
-                        x += 0.35 * severity * s / h as f64
-                            * (h as f64 * phase_1x + h as f64).sin();
+                        x +=
+                            0.35 * severity * s / h as f64 * (h as f64 * phase_1x + h as f64).sin();
                     }
                 }
                 _ => {}

@@ -28,9 +28,7 @@ use serde::{Deserialize, Serialize};
 use std::f64::consts::PI;
 
 /// Accelerometer mounting locations on the chiller train.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum AccelLocation {
     /// Motor drive-end bearing housing.
     MotorDriveEnd,
@@ -81,8 +79,9 @@ impl AccelLocation {
             CompressorBearingDefect | CompressorSurge => CompressorBearing,
             BearingHousingLooseness => MotorDriveEnd,
             // Process faults have no direct vibration source.
-            MotorWindingInsulation | RefrigerantLeak | CondenserFouling
-            | LubeOilDegradation => return 0.0,
+            MotorWindingInsulation | RefrigerantLeak | CondenserFouling | LubeOilDegradation => {
+                return 0.0
+            }
         };
         // Hop distance along the train: motor DE/NDE adjacent, then gear,
         // then compressor; the pump is on a separate skid.
@@ -274,8 +273,8 @@ impl VibrationSynthesizer {
                     add_tone(out, t0, dt, 8.0, 0.4 * SURGE_AMP * strength, 0.8);
                 }
             }
-            MotorWindingInsulation | RefrigerantLeak | CondenserFouling
-            | LubeOilDegradation => { /* process-only faults */ }
+            MotorWindingInsulation | RefrigerantLeak | CondenserFouling | LubeOilDegradation => { /* process-only faults */
+            }
         }
     }
 }
@@ -294,14 +293,7 @@ fn add_tone(out: &mut [f64], t0: SimTime, dt: f64, freq: f64, amp: f64, phase: f
 
 /// Add periodic exponentially decaying resonance bursts (bearing-impact
 /// model): an impulse train at `rate` Hz ringing a resonance at `res_hz`.
-fn add_bearing_bursts(
-    out: &mut [f64],
-    t0: SimTime,
-    dt: f64,
-    rate: f64,
-    res_hz: f64,
-    amp: f64,
-) {
+fn add_bearing_bursts(out: &mut [f64], t0: SimTime, dt: f64, rate: f64, res_hz: f64, amp: f64) {
     if amp == 0.0 || rate <= 0.0 {
         return;
     }
@@ -376,8 +368,7 @@ mod tests {
     fn spectrum_of(loc: AccelLocation, faults: &FaultState) -> (Spectrum, f64) {
         let s = synth();
         let load = 1.0;
-        let block =
-            s.sample_block(loc, SimTime::from_secs(10.0), N, FS, load, faults);
+        let block = s.sample_block(loc, SimTime::from_secs(10.0), N, FS, load, faults);
         let shaft = s.train().shaft_hz(loc.element(), load);
         (Spectrum::compute(&block, FS, Window::Hann).unwrap(), shaft)
     }
@@ -386,12 +377,33 @@ mod tests {
     fn determinism_same_seed_same_block() {
         let s = synth();
         let f = FaultState::healthy();
-        let a = s.sample_block(AccelLocation::MotorDriveEnd, SimTime::ZERO, 1024, FS, 1.0, &f);
-        let b = s.sample_block(AccelLocation::MotorDriveEnd, SimTime::ZERO, 1024, FS, 1.0, &f);
+        let a = s.sample_block(
+            AccelLocation::MotorDriveEnd,
+            SimTime::ZERO,
+            1024,
+            FS,
+            1.0,
+            &f,
+        );
+        let b = s.sample_block(
+            AccelLocation::MotorDriveEnd,
+            SimTime::ZERO,
+            1024,
+            FS,
+            1.0,
+            &f,
+        );
         assert_eq!(a, b);
         // Different seed → different noise.
         let s2 = VibrationSynthesizer::new(MachineTrain::navy_chiller(MachineId::new(1)), 43);
-        let c = s2.sample_block(AccelLocation::MotorDriveEnd, SimTime::ZERO, 1024, FS, 1.0, &f);
+        let c = s2.sample_block(
+            AccelLocation::MotorDriveEnd,
+            SimTime::ZERO,
+            1024,
+            FS,
+            1.0,
+            &f,
+        );
         assert_ne!(a, c);
     }
 
@@ -405,8 +417,10 @@ mod tests {
 
     #[test]
     fn imbalance_raises_1x() {
-        let (spec, shaft) =
-            spectrum_of(AccelLocation::MotorDriveEnd, &active(MachineCondition::MotorImbalance));
+        let (spec, shaft) = spectrum_of(
+            AccelLocation::MotorDriveEnd,
+            &active(MachineCondition::MotorImbalance),
+        );
         let a1x = spec.amplitude_at_order(shaft, 1.0);
         assert!(a1x > 0.4, "imbalance 1x {a1x}");
         assert!(spec.amplitude_at_order(shaft, 2.0) < 0.1);
@@ -432,8 +446,7 @@ mod tests {
         let stats = WaveformStats::of(&block);
         assert!(stats.kurtosis > 3.0, "bearing kurtosis {}", stats.kurtosis);
         // Envelope spectrum shows the BPFO line.
-        let env =
-            mpros_signal::envelope::bandpass_envelope(&block, FS, 1_800.0, 3_000.0).unwrap();
+        let env = mpros_signal::envelope::bandpass_envelope(&block, FS, 1_800.0, 3_000.0).unwrap();
         let mean = env.iter().sum::<f64>() / env.len() as f64;
         let ac: Vec<f64> = env.iter().map(|e| e - mean).collect();
         let espec = Spectrum::compute(&ac, FS, Window::Hann).unwrap();
@@ -447,7 +460,14 @@ mod tests {
     fn rotor_bar_sidebands_straddle_1x() {
         let s = synth();
         let f = active(MachineCondition::MotorRotorBarCrack);
-        let block = s.sample_block(AccelLocation::MotorDriveEnd, SimTime::ZERO, 65536, FS, 1.0, &f);
+        let block = s.sample_block(
+            AccelLocation::MotorDriveEnd,
+            SimTime::ZERO,
+            65536,
+            FS,
+            1.0,
+            &f,
+        );
         let spec = Spectrum::compute(&block, FS, Window::Hann).unwrap();
         let motor = s.train().motor_hz(1.0);
         let pp = s.train().pole_pass_hz(1.0);
@@ -458,7 +478,10 @@ mod tests {
 
     #[test]
     fn gear_wear_shows_mesh_harmonics_at_gear_case() {
-        let (spec, _) = spectrum_of(AccelLocation::GearCase, &active(MachineCondition::GearToothWear));
+        let (spec, _) = spectrum_of(
+            AccelLocation::GearCase,
+            &active(MachineCondition::GearToothWear),
+        );
         let s = synth();
         let gmf = s.train().gear_mesh_hz(1.0);
         assert!(spec.amplitude_near(gmf, 20.0) > 0.25);
@@ -477,7 +500,10 @@ mod tests {
                 "harmonic {h} missing"
             );
         }
-        assert!(spec.amplitude_at_order(shaft, 0.5) > 0.02, "subharmonic missing");
+        assert!(
+            spec.amplitude_at_order(shaft, 0.5) > 0.02,
+            "subharmonic missing"
+        );
     }
 
     #[test]
@@ -486,12 +512,18 @@ mod tests {
             AccelLocation::CompressorBearing,
             &active(MachineCondition::CompressorSurge),
         );
-        assert!(spec.amplitude_near(4.0, 1.5) > 0.4, "surge pulsation missing");
+        assert!(
+            spec.amplitude_near(4.0, 1.5) > 0.4,
+            "surge pulsation missing"
+        );
         let (spec_m, _) = spectrum_of(
             AccelLocation::MotorNonDriveEnd,
             &active(MachineCondition::CompressorSurge),
         );
-        assert!(spec_m.amplitude_near(4.0, 1.5) < 0.1, "surge leaked to motor");
+        assert!(
+            spec_m.amplitude_near(4.0, 1.5) < 0.1,
+            "surge leaked to motor"
+        );
     }
 
     #[test]
@@ -533,13 +565,27 @@ mod tests {
         let full = active(MachineCondition::MotorImbalance);
         let shaft = s.train().motor_hz(1.0);
         let spec_h = Spectrum::compute(
-            &s.sample_block(AccelLocation::MotorDriveEnd, SimTime::ZERO, N, FS, 1.0, &half),
+            &s.sample_block(
+                AccelLocation::MotorDriveEnd,
+                SimTime::ZERO,
+                N,
+                FS,
+                1.0,
+                &half,
+            ),
             FS,
             Window::Hann,
         )
         .unwrap();
         let spec_f = Spectrum::compute(
-            &s.sample_block(AccelLocation::MotorDriveEnd, SimTime::ZERO, N, FS, 1.0, &full),
+            &s.sample_block(
+                AccelLocation::MotorDriveEnd,
+                SimTime::ZERO,
+                N,
+                FS,
+                1.0,
+                &full,
+            ),
             FS,
             Window::Hann,
         )
@@ -559,8 +605,22 @@ mod tests {
         let mut s = synth();
         s.noise_rms = 0.0;
         let f = active(MachineCondition::MotorImbalance);
-        let long = s.sample_block(AccelLocation::MotorDriveEnd, SimTime::ZERO, 2048, FS, 1.0, &f);
-        let a = s.sample_block(AccelLocation::MotorDriveEnd, SimTime::ZERO, 1024, FS, 1.0, &f);
+        let long = s.sample_block(
+            AccelLocation::MotorDriveEnd,
+            SimTime::ZERO,
+            2048,
+            FS,
+            1.0,
+            &f,
+        );
+        let a = s.sample_block(
+            AccelLocation::MotorDriveEnd,
+            SimTime::ZERO,
+            1024,
+            FS,
+            1.0,
+            &f,
+        );
         let b = s.sample_block(
             AccelLocation::MotorDriveEnd,
             SimTime::from_secs(1024.0 / FS),

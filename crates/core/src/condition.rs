@@ -111,7 +111,9 @@ impl MachineCondition {
         use MachineCondition::*;
         !matches!(
             self,
-            CompressorSurge | RefrigerantLeak | CondenserFouling
+            CompressorSurge
+                | RefrigerantLeak
+                | CondenserFouling
                 | LubeOilDegradation
                 | MotorWindingInsulation
         )
@@ -241,7 +243,9 @@ mod tests {
         // At least one fault on each evidence channel so every algorithm
         // suite has something to diagnose.
         assert!(MachineCondition::ALL.iter().any(|c| c.is_vibration_fault()));
-        assert!(MachineCondition::ALL.iter().any(|c| !c.is_vibration_fault()));
+        assert!(MachineCondition::ALL
+            .iter()
+            .any(|c| !c.is_vibration_fault()));
     }
 
     #[test]

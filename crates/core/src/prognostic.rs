@@ -161,8 +161,7 @@ impl PrognosticVector {
                 let span = b.horizon.as_secs() - a.horizon.as_secs();
                 let frac = (h - a.horizon.as_secs()) / span;
                 return Belief::new(
-                    a.probability.value()
-                        + frac * (b.probability.value() - a.probability.value()),
+                    a.probability.value() + frac * (b.probability.value() - a.probability.value()),
                 );
             }
         }
@@ -259,10 +258,7 @@ mod tests {
             PrognosticPoint::new(SimDuration::from_months(2.0), 0.9),
         ])
         .unwrap();
-        assert_eq!(
-            v.probability_at(SimDuration::from_weeks(2.0)).value(),
-            0.1
-        );
+        assert_eq!(v.probability_at(SimDuration::from_weeks(2.0)).value(), 0.1);
         assert_eq!(v.probability_at(SimDuration::from_months(1.0)).value(), 0.5);
         assert_eq!(v.probability_at(SimDuration::from_months(2.0)).value(), 0.9);
     }
@@ -327,7 +323,10 @@ mod tests {
     #[test]
     fn single_point_extrapolates_flat() {
         let v = PrognosticVector::from_months(&[(4.5, 0.12)]).unwrap();
-        assert_eq!(v.probability_at(SimDuration::from_months(9.0)).value(), 0.12);
+        assert_eq!(
+            v.probability_at(SimDuration::from_months(9.0)).value(),
+            0.12
+        );
     }
 
     #[test]

@@ -100,8 +100,13 @@ impl fmt::Display for ConditionReport {
         write!(
             f,
             "[{} {} {}] {} on {}: belief {}, severity {}",
-            self.timestamp, self.dc, self.knowledge_source, self.condition, self.machine,
-            self.belief, self.severity
+            self.timestamp,
+            self.dc,
+            self.knowledge_source,
+            self.condition,
+            self.machine,
+            self.belief,
+            self.severity
         )?;
         if self.has_prognostic() {
             write!(f, ", prognostic {}", self.prognostic)?;
@@ -212,12 +217,8 @@ mod tests {
     #[test]
     fn optional_fields_default_blank() {
         // §7.2: explanation/recommendation "allowed to be blank".
-        let r = ConditionReport::builder(
-            MachineId::new(1),
-            MachineCondition::CompressorSurge,
-            0.5,
-        )
-        .build();
+        let r = ConditionReport::builder(MachineId::new(1), MachineCondition::CompressorSurge, 0.5)
+            .build();
         assert!(r.explanation.is_empty());
         assert!(r.recommendation.is_empty());
         assert!(r.additional_info.is_empty());

@@ -76,9 +76,7 @@ impl fmt::Display for Severity {
 }
 
 /// The four DLI gradient categories (§6.1).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum SeverityGrade {
     /// No foreseeable failure.
     Slight,
@@ -178,7 +176,10 @@ mod tests {
     fn paper_grade_to_ttf_mapping() {
         // §6.1: Slight/Moderate/Serious/Extreme ↔ none/months/weeks/days.
         use SeverityGrade::*;
-        assert_eq!(Slight.time_to_failure(), TimeToFailure::NoForeseeableFailure);
+        assert_eq!(
+            Slight.time_to_failure(),
+            TimeToFailure::NoForeseeableFailure
+        );
         assert_eq!(Moderate.time_to_failure(), TimeToFailure::Months);
         assert_eq!(Serious.time_to_failure(), TimeToFailure::Weeks);
         assert_eq!(Extreme.time_to_failure(), TimeToFailure::Days);
@@ -190,7 +191,9 @@ mod tests {
         let weeks = TimeToFailure::Weeks.nominal_horizon().unwrap();
         let days = TimeToFailure::Days.nominal_horizon().unwrap();
         assert!(months > weeks && weeks > days);
-        assert!(TimeToFailure::NoForeseeableFailure.nominal_horizon().is_none());
+        assert!(TimeToFailure::NoForeseeableFailure
+            .nominal_horizon()
+            .is_none());
     }
 
     #[test]

@@ -188,7 +188,8 @@ mod tests {
             belief: 0.8,
         })
         .unwrap();
-        db.log_task(SimTime::from_secs(3.0), "VibrationSurvey").unwrap();
+        db.log_task(SimTime::from_secs(3.0), "VibrationSurvey")
+            .unwrap();
         assert_eq!(db.measurement_count(), 1);
         assert_eq!(db.diagnosis_count(), 1);
         assert_eq!(db.task_log_count(), 1);

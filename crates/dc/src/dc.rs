@@ -15,19 +15,21 @@ use crate::scheduler::{Scheduler, Task};
 use mpros_chiller::process::ProcessSnapshot;
 use mpros_chiller::ChillerPlant;
 use mpros_core::{
-    Belief, ConditionReport, DcId, IdAllocator, KnowledgeSourceId, MachineCondition,
-    MachineId, ReportId, Result, Severity, SimDuration, SimTime,
+    Belief, ConditionReport, DcId, IdAllocator, KnowledgeSourceId, MachineCondition, MachineId,
+    ReportId, Result, Severity, SimDuration, SimTime,
 };
+use mpros_core::{PrognosticPoint, PrognosticVector};
 use mpros_dli::{DliExpertSystem, SpectralFeatures, VibrationSurvey};
 use mpros_fuzzy::FuzzyDiagnostics;
 use mpros_network::NetMessage;
 use mpros_sbfr::builtin::{spike_machine, stiction_machine};
 use mpros_sbfr::Interpreter;
-use mpros_core::{PrognosticPoint, PrognosticVector};
 use mpros_signal::features::WaveformStats;
 use mpros_signal::trend::TrendTracker;
+use mpros_telemetry::{Counter, Stage, Telemetry, WallTimer};
 use mpros_wnn::WnnClassifier;
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Configuration of one Data Concentrator.
 #[derive(Debug, Clone)]
@@ -119,6 +121,13 @@ pub struct DataConcentrator {
     /// histories" input to next-generation prognostics (§1, §5.1).
     severity_trends: HashMap<(&'static str, MachineCondition), TrendTracker>,
     suspect_channels: Vec<mpros_chiller::vibration::AccelLocation>,
+    telemetry: Telemetry,
+    /// Journal component label, e.g. `dc1`.
+    component: String,
+    m_surveys: Arc<Counter>,
+    m_process_samples: Arc<Counter>,
+    m_sbfr_cycles: Arc<Counter>,
+    m_reports_emitted: Arc<Counter>,
 }
 
 impl DataConcentrator {
@@ -133,7 +142,19 @@ impl DataConcentrator {
         let mut sbfr = Interpreter::new();
         sbfr.add_program(&spike_machine(0))?;
         sbfr.add_program(&stiction_machine(1, 0))?;
+        let telemetry = Telemetry::new();
+        let component = format!("dc{}", config.id.raw());
+        let m_surveys = telemetry.counter("dc", "surveys");
+        let m_process_samples = telemetry.counter("dc", "process_samples");
+        let m_sbfr_cycles = telemetry.counter("dc", "sbfr_cycles");
+        let m_reports_emitted = telemetry.counter("dc", "reports_emitted");
         Ok(DataConcentrator {
+            telemetry,
+            component,
+            m_surveys,
+            m_process_samples,
+            m_sbfr_cycles,
+            m_reports_emitted,
             ids: IdAllocator::starting_at(config.id.raw() * 1_000_000),
             config,
             chain,
@@ -154,6 +175,30 @@ impl DataConcentrator {
     /// This DC's id.
     pub fn id(&self) -> DcId {
         self.config.id
+    }
+
+    /// Join a shared telemetry domain, carrying counter totals over.
+    /// Call at wiring time, before traffic.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        if self.telemetry.same_domain(telemetry) {
+            return;
+        }
+        for (name, slot) in [
+            ("surveys", &mut self.m_surveys),
+            ("process_samples", &mut self.m_process_samples),
+            ("sbfr_cycles", &mut self.m_sbfr_cycles),
+            ("reports_emitted", &mut self.m_reports_emitted),
+        ] {
+            let counter = telemetry.counter("dc", name);
+            counter.add(slot.get());
+            *slot = counter;
+        }
+        self.telemetry = telemetry.clone();
+    }
+
+    /// The telemetry domain this DC records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Attach a trained WNN classifier (optional knowledge source).
@@ -218,6 +263,7 @@ impl DataConcentrator {
             }
         }
         for r in &reports {
+            let timer = WallTimer::start();
             self.db.record_diagnosis(&DiagnosisRecord {
                 at: now,
                 source: source_of(r, self.config.id),
@@ -225,6 +271,9 @@ impl DataConcentrator {
                 severity: r.severity.value(),
                 belief: r.belief.value(),
             })?;
+            self.m_reports_emitted.inc();
+            self.telemetry
+                .record_span_wall(Stage::Emit, timer.elapsed());
         }
         Ok(reports)
     }
@@ -235,7 +284,11 @@ impl DataConcentrator {
         now: SimTime,
         reports: &mut Vec<ConditionReport>,
     ) -> Result<()> {
+        let timer = WallTimer::start();
         let blocks = self.chain.survey(plant, now);
+        self.m_surveys.inc();
+        self.telemetry
+            .record_span_wall(Stage::Acquire, timer.elapsed());
         // Channel self-check: an electrically dead block means a failed
         // transducer, not a silent machine — exclude it from analysis so
         // the rules reason only over live channels.
@@ -252,6 +305,12 @@ impl DataConcentrator {
             if stats.rms < 1e-6 {
                 self.suspect_channels.push(loc);
                 self.db.log_task(now, "suspect_channel")?;
+                self.telemetry.event_at(
+                    now,
+                    &self.component,
+                    "quarantine",
+                    format!("channel {loc:?} flatlined (rms {:.1e})", stats.rms),
+                );
             } else {
                 live_blocks.push((loc, block));
             }
@@ -265,10 +324,21 @@ impl DataConcentrator {
             blocks: blocks.clone(),
         };
         // DLI: shared feature extraction, rule evaluation.
+        let timer = WallTimer::start();
         let features = SpectralFeatures::extract(&survey)?;
-        for d in self.dli.diagnose(&features) {
+        self.telemetry.record_span_wall(Stage::Fft, timer.elapsed());
+        let timer = WallTimer::start();
+        let diagnoses = self.dli.diagnose(&features);
+        self.telemetry.record_span_wall(Stage::Dli, timer.elapsed());
+        for d in diagnoses {
             self.record_severity(Source::Dli, d.condition, d.severity.value(), now);
-            if self.should_emit(Source::Dli, d.condition, d.severity.value(), d.belief.value(), now) {
+            if self.should_emit(
+                Source::Dli,
+                d.condition,
+                d.severity.value(),
+                d.belief.value(),
+                now,
+            ) {
                 let mut report = d.to_report(
                     self.ids.next_id::<ReportId>(),
                     self.config.id,
@@ -288,10 +358,19 @@ impl DataConcentrator {
                 .filter(|(_, b)| b.len() >= want)
                 .map(|(l, b)| (*l, b[..want].to_vec()))
                 .collect();
-            if let Ok(verdict) = wnn.classify_blocks(&truncated, load) {
+            let timer = WallTimer::start();
+            let classified = wnn.classify_blocks(&truncated, load);
+            self.telemetry.record_span_wall(Stage::Wnn, timer.elapsed());
+            if let Ok(verdict) = classified {
                 if let Some(condition) = verdict.condition() {
                     if verdict.confidence > 0.5
-                        && self.should_emit(Source::Wnn, condition, verdict.confidence * 0.7, verdict.confidence, now)
+                        && self.should_emit(
+                            Source::Wnn,
+                            condition,
+                            verdict.confidence * 0.7,
+                            verdict.confidence,
+                            now,
+                        )
                     {
                         reports.push(
                             ConditionReport::builder(
@@ -330,15 +409,26 @@ impl DataConcentrator {
             self.process_window.pop_front();
         }
         self.process_samples += 1;
+        self.m_process_samples.inc();
         if !self.process_samples.is_multiple_of(self.config.fuzzy_every)
             || self.process_window.len() < self.config.fuzzy_every
         {
             return Ok(());
         }
         let window: Vec<ProcessSnapshot> = self.process_window.iter().copied().collect();
-        for d in self.fuzzy.analyze(&window)? {
+        let timer = WallTimer::start();
+        let diagnoses = self.fuzzy.analyze(&window)?;
+        self.telemetry
+            .record_span_wall(Stage::Fuzzy, timer.elapsed());
+        for d in diagnoses {
             self.record_severity(Source::Fuzzy, d.condition, d.severity.value(), now);
-            if self.should_emit(Source::Fuzzy, d.condition, d.severity.value(), d.belief.value(), now) {
+            if self.should_emit(
+                Source::Fuzzy,
+                d.condition,
+                d.severity.value(),
+                d.belief.value(),
+                now,
+            ) {
                 let mut report = d.to_report(
                     self.ids.next_id::<ReportId>(),
                     self.config.id,
@@ -362,7 +452,11 @@ impl DataConcentrator {
         let snap = plant.sample_process(now);
         // Channel 0: drive current; channel 1: commanded load (the CPOS
         // analogue for the chiller).
+        let timer = WallTimer::start();
         self.sbfr.cycle(&[snap.motor_current_a, snap.load]);
+        self.m_sbfr_cycles.inc();
+        self.telemetry
+            .record_span_wall(Stage::Sbfr, timer.elapsed());
         let flagged = self
             .sbfr
             .status(1)
@@ -372,7 +466,13 @@ impl DataConcentrator {
             // Repeated uncommanded current spikes: the compressor is
             // hunting (surge precursor). Consume the flag.
             self.sbfr.set_status(1, 0).expect("machine 1 exists");
-            if self.should_emit(Source::Sbfr, MachineCondition::CompressorSurge, 0.55, 0.6, now) {
+            if self.should_emit(
+                Source::Sbfr,
+                MachineCondition::CompressorSurge,
+                0.55,
+                0.6,
+                now,
+            ) {
                 reports.push(
                     ConditionReport::builder(
                         self.config.machine,
@@ -385,8 +485,7 @@ impl DataConcentrator {
                     .severity(Severity::new(0.55))
                     .timestamp(now)
                     .explanation(
-                        "SBFR: >4 drive-current spikes without a commanded load change"
-                            .to_string(),
+                        "SBFR: >4 drive-current spikes without a commanded load change".to_string(),
                     )
                     .build(),
                 );
@@ -441,9 +540,8 @@ impl DataConcentrator {
                 .unwrap_or(f64::INFINITY)
         };
         if earlier(&trend_curve) < earlier(&report.prognostic) {
-            report.additional_info = format!(
-                "trend-refined: severity history projects functional failure in {eta}"
-            );
+            report.additional_info =
+                format!("trend-refined: severity history projects functional failure in {eta}");
             report.prognostic = trend_curve;
         }
     }
@@ -667,6 +765,50 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_counts_pipeline_activity() {
+        let mut d = dc();
+        run(
+            &mut d,
+            &plant_with(Some(MachineCondition::MotorImbalance), 0.9),
+            60.0,
+        );
+        let t = d.telemetry().clone();
+        assert!(t.counter("dc", "surveys").get() >= 2);
+        assert!(t.counter("dc", "process_samples").get() > 100);
+        assert!(t.counter("dc", "sbfr_cycles").get() > 100);
+        assert!(t.counter("dc", "reports_emitted").get() >= 1);
+        for stage in [
+            Stage::Acquire,
+            Stage::Fft,
+            Stage::Dli,
+            Stage::Sbfr,
+            Stage::Fuzzy,
+            Stage::Emit,
+        ] {
+            assert!(t.span_wall(stage).count() > 0, "no {stage} spans");
+        }
+    }
+
+    #[test]
+    fn set_telemetry_migrates_counts_into_the_shared_domain() {
+        let mut d = dc();
+        run(
+            &mut d,
+            &plant_with(Some(MachineCondition::MotorImbalance), 0.9),
+            30.0,
+        );
+        let emitted_before = d.telemetry().counter("dc", "reports_emitted").get();
+        assert!(emitted_before >= 1);
+        let shared = Telemetry::new();
+        d.set_telemetry(&shared);
+        assert!(d.telemetry().same_domain(&shared));
+        assert_eq!(
+            shared.counter("dc", "reports_emitted").get(),
+            emitted_before
+        );
+    }
+
+    #[test]
     fn report_ids_are_unique_and_dc_scoped() {
         let mut d = dc();
         let reports = run(
@@ -774,7 +916,9 @@ mod sensor_robustness_tests {
         cfg.survey_period = SimDuration::from_secs(30.0);
         let mut dc = DataConcentrator::new(cfg).unwrap();
         // Kill the gear-case accelerometer (channel 2).
-        dc.chain_mut().fail_sensor(2, SensorFault::Flatline).unwrap();
+        dc.chain_mut()
+            .fail_sensor(2, SensorFault::Flatline)
+            .unwrap();
         let mut plant = ChillerPlant::new(PlantConfig::new(MachineId::new(1), 91));
         plant.seed_fault(FaultSeed {
             condition: MachineCondition::MotorImbalance,
@@ -792,6 +936,15 @@ mod sensor_robustness_tests {
             &[AccelLocation::GearCase],
             "dead channel flagged"
         );
+        let quarantines: Vec<_> = dc
+            .telemetry()
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == "quarantine")
+            .collect();
+        assert!(!quarantines.is_empty(), "quarantine journaled");
+        assert_eq!(quarantines[0].component, "dc1");
+        assert!(quarantines[0].detail.contains("GearCase"));
         assert!(
             reports
                 .iter()

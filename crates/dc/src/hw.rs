@@ -144,11 +144,7 @@ impl AcquisitionChain {
     /// every block also updates its channel's RMS alarm detector.
     /// Injected sensor faults corrupt the digitized block exactly as the
     /// hardware would see it.
-    pub fn survey(
-        &mut self,
-        plant: &ChillerPlant,
-        t0: SimTime,
-    ) -> Vec<(AccelLocation, Vec<f64>)> {
+    pub fn survey(&mut self, plant: &ChillerPlant, t0: SimTime) -> Vec<(AccelLocation, Vec<f64>)> {
         let mut out = Vec::with_capacity(self.config.channels.len());
         for (bank_idx, bank) in self.config.channels.chunks(BANK_WIDTH).enumerate() {
             let bank_t0 = t0 + self.block_duration() * bank_idx as f64;

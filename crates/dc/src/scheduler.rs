@@ -135,8 +135,16 @@ mod tests {
     #[test]
     fn rescheduling_replaces_the_old_entry() {
         let mut s = Scheduler::new();
-        s.schedule_periodic(Task::VibrationSurvey, SimDuration::from_secs(100.0), secs(0.0));
-        s.schedule_periodic(Task::VibrationSurvey, SimDuration::from_secs(5.0), secs(2.0));
+        s.schedule_periodic(
+            Task::VibrationSurvey,
+            SimDuration::from_secs(100.0),
+            secs(0.0),
+        );
+        s.schedule_periodic(
+            Task::VibrationSurvey,
+            SimDuration::from_secs(5.0),
+            secs(2.0),
+        );
         s.due(secs(2.0));
         assert_eq!(s.due(secs(7.0)), vec![Task::VibrationSurvey]);
         assert_eq!(s.periodic.len(), 1);
@@ -146,7 +154,11 @@ mod tests {
     fn next_due_reports_earliest() {
         let mut s = Scheduler::new();
         assert_eq!(s.next_due(), None);
-        s.schedule_periodic(Task::VibrationSurvey, SimDuration::from_secs(100.0), secs(50.0));
+        s.schedule_periodic(
+            Task::VibrationSurvey,
+            SimDuration::from_secs(100.0),
+            secs(50.0),
+        );
         s.schedule_periodic(Task::ProcessSample, SimDuration::from_secs(10.0), secs(5.0));
         assert_eq!(s.next_due(), Some(secs(5.0)));
     }

@@ -62,7 +62,13 @@ impl BelievabilityDb {
             (CompressorSurge, 196, 4),
         ];
         for (c, confirmed, reversed) in seed {
-            db.stats.insert(c, ReviewStats { confirmed, reversed });
+            db.stats.insert(
+                c,
+                ReviewStats {
+                    confirmed,
+                    reversed,
+                },
+            );
         }
         db
     }

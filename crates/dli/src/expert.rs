@@ -160,9 +160,7 @@ fn recommendation_for(condition: MachineCondition, grade: SeverityGrade) -> Stri
         MachineCondition::MotorImbalance => "field balance the motor rotor",
         MachineCondition::MotorMisalignment => "check coupling alignment",
         MachineCondition::MotorBearingDefect => "schedule motor bearing replacement",
-        MachineCondition::CompressorBearingDefect => {
-            "schedule compressor bearing replacement"
-        }
+        MachineCondition::CompressorBearingDefect => "schedule compressor bearing replacement",
         MachineCondition::MotorRotorBarCrack => "perform motor current signature analysis",
         MachineCondition::GearToothWear => "inspect gear set; check oil debris",
         MachineCondition::BearingHousingLooseness => "check hold-down bolts and fits",
@@ -262,7 +260,11 @@ mod tests {
     fn bearing_defect_diagnosed_from_envelope() {
         let sys = DliExpertSystem::new();
         let out = sys
-            .analyze(&survey(Some(MachineCondition::MotorBearingDefect), 0.85, 0.9))
+            .analyze(&survey(
+                Some(MachineCondition::MotorBearingDefect),
+                0.85,
+                0.9,
+            ))
             .unwrap();
         assert!(
             out.iter()

@@ -85,8 +85,7 @@ impl SpectralFeatures {
             match loc {
                 AccelLocation::MotorDriveEnd | AccelLocation::MotorNonDriveEnd => {
                     // Keep the strongest motor-location reading.
-                    f.motor_half_x =
-                        f.motor_half_x.max(spec.amplitude_at_order(motor_hz, 0.5));
+                    f.motor_half_x = f.motor_half_x.max(spec.amplitude_at_order(motor_hz, 0.5));
                     f.motor_1x = f.motor_1x.max(spec.amplitude_at_order(motor_hz, 1.0));
                     f.motor_2x = f.motor_2x.max(spec.amplitude_at_order(motor_hz, 2.0));
                     for h in 3..=6 {
@@ -119,8 +118,7 @@ impl SpectralFeatures {
                 }
                 AccelLocation::CompressorBearing => {
                     let bpfi = survey.train.compressor_bearing.bpfi(comp_hz);
-                    f.comp_bpfi_line =
-                        spec.amplitude_near(bpfi, 0.02 * bpfi + spec.resolution());
+                    f.comp_bpfi_line = spec.amplitude_near(bpfi, 0.02 * bpfi + spec.resolution());
                     // Surge pulsation: strongest line in the 2–10 Hz band.
                     f.surge_band = spec
                         .amplitudes()
@@ -142,12 +140,7 @@ impl SpectralFeatures {
 
 /// The amplitude of the `line_hz` component of the band-passed envelope
 /// spectrum — the standard bearing-defect indicator.
-fn envelope_line(
-    block: &[f64],
-    sample_rate: f64,
-    band: (f64, f64),
-    line_hz: f64,
-) -> Result<f64> {
+fn envelope_line(block: &[f64], sample_rate: f64, band: (f64, f64), line_hz: f64) -> Result<f64> {
     let env = bandpass_envelope(block, sample_rate, band.0, band.1)?;
     let mean = env.iter().sum::<f64>() / env.len() as f64;
     let ac: Vec<f64> = env.iter().map(|e| e - mean).collect();
@@ -165,7 +158,11 @@ mod tests {
     const FS: f64 = 16_384.0;
     const N: usize = 8192;
 
-    pub(crate) fn survey_with(condition: Option<MachineCondition>, sev: f64, load: f64) -> VibrationSurvey {
+    pub(crate) fn survey_with(
+        condition: Option<MachineCondition>,
+        sev: f64,
+        load: f64,
+    ) -> VibrationSurvey {
         let train = MachineTrain::navy_chiller(MachineId::new(1));
         let synth = VibrationSynthesizer::new(train.clone(), 11);
         let mut faults = FaultState::healthy();
@@ -196,7 +193,11 @@ mod tests {
         assert!(f.motor_1x < 0.1, "1x {}", f.motor_1x);
         assert!(f.motor_2x < 0.05);
         assert!(f.gear_mesh < 0.08);
-        assert!(f.motor_bpfo_envelope < 0.05, "bpfo {}", f.motor_bpfo_envelope);
+        assert!(
+            f.motor_bpfo_envelope < 0.05,
+            "bpfo {}",
+            f.motor_bpfo_envelope
+        );
         assert!(f.surge_band < 0.05);
         assert_eq!(f.load, 0.9);
     }
@@ -239,7 +240,11 @@ mod tests {
             "BPFI line {} too weak",
             f.comp_bpfi_line
         );
-        assert!(healthy.comp_bpfi_line < 0.05, "healthy BPFI {}", healthy.comp_bpfi_line);
+        assert!(
+            healthy.comp_bpfi_line < 0.05,
+            "healthy BPFI {}",
+            healthy.comp_bpfi_line
+        );
     }
 
     #[test]
@@ -315,10 +320,8 @@ mod tests {
             )];
             s
         };
-        let f = SpectralFeatures::extract(&long_survey(Some(
-            MachineCondition::MotorRotorBarCrack,
-        )))
-        .unwrap();
+        let f = SpectralFeatures::extract(&long_survey(Some(MachineCondition::MotorRotorBarCrack)))
+            .unwrap();
         let healthy = SpectralFeatures::extract(&long_survey(None)).unwrap();
         assert!(
             f.pole_pass_sidebands > healthy.pole_pass_sidebands + 0.05,

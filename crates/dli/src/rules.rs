@@ -156,17 +156,16 @@ impl Rule {
         if !self.guards.iter().all(|g| g.passes(f)) {
             return None;
         }
-        let (severity, feature) = self
-            .tests
-            .iter()
-            .map(|t| (t.severity(f), t.feature))
-            .fold((0.0, self.tests[0].feature), |acc, x| {
+        let (severity, feature) = self.tests.iter().map(|t| (t.severity(f), t.feature)).fold(
+            (0.0, self.tests[0].feature),
+            |acc, x| {
                 if x.0 > acc.0 {
                     x
                 } else {
                     acc
                 }
-            });
+            },
+        );
         (severity > 0.0).then_some((severity, feature))
     }
 }
@@ -310,10 +309,7 @@ mod tests {
         let rules = chiller_rules();
         for c in MachineCondition::ALL {
             if c.is_vibration_fault() || c == MachineCondition::CompressorSurge {
-                assert!(
-                    rules.iter().any(|r| r.condition == c),
-                    "no rule for {c}"
-                );
+                assert!(rules.iter().any(|r| r.condition == c), "no rule for {c}");
             }
         }
         // And nothing for pure process faults.
@@ -379,7 +375,10 @@ mod tests {
         f.motor_half_x = 0.1;
         f.motor_harmonics = 0.15;
         f.load = 0.15; // unloaded
-        assert!(rule.evaluate(&f, true).is_none(), "sensitized rule holds fire");
+        assert!(
+            rule.evaluate(&f, true).is_none(),
+            "sensitized rule holds fire"
+        );
         // The unsensitized (ablation) variant fires — the false positive
         // the paper warns about.
         assert!(rule.evaluate(&f, false).is_some());
@@ -397,7 +396,10 @@ mod tests {
         let mut f = features();
         f.gear_mesh = 0.3;
         f.gear_sidebands = 0.0;
-        assert!(rule.evaluate(&f, true).is_none(), "clean mesh tone alone is normal");
+        assert!(
+            rule.evaluate(&f, true).is_none(),
+            "clean mesh tone alone is normal"
+        );
         f.gear_sidebands = 0.1;
         assert!(rule.evaluate(&f, true).is_some());
     }

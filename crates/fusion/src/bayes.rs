@@ -126,7 +126,9 @@ impl NoisyOrNetwork {
             total += p;
         }
         if total <= 0.0 {
-            return Err(Error::invalid("evidence has zero probability under the model"));
+            return Err(Error::invalid(
+                "evidence has zero probability under the model",
+            ));
         }
         let mut marginals = vec![0.0; nf];
         for (mask, &p) in joint.iter().enumerate() {
@@ -172,10 +174,8 @@ impl NoisyOrNetwork {
             for (f, link) in link_row.iter_mut().enumerate() {
                 // Link: symptom rate when exactly fault f is present,
                 // corrected for leak (noisy-OR: p = leak + link − leak·link).
-                let solo: Vec<&(u32, Vec<bool>)> = records
-                    .iter()
-                    .filter(|(m, _)| *m == (1 << f))
-                    .collect();
+                let solo: Vec<&(u32, Vec<bool>)> =
+                    records.iter().filter(|(m, _)| *m == (1 << f)).collect();
                 if solo.is_empty() {
                     continue; // keep the 0.5 ignorance default
                 }
@@ -207,20 +207,13 @@ mod tests {
     #[test]
     fn construction_validation() {
         assert!(NoisyOrNetwork::new(vec![], vec![], vec![], vec![]).is_err());
-        assert!(NoisyOrNetwork::new(
-            vec!["a".into()],
-            vec![1.5],
-            vec![vec![0.5]],
-            vec![0.1]
-        )
-        .is_err());
-        assert!(NoisyOrNetwork::new(
-            vec!["a".into()],
-            vec![0.5],
-            vec![vec![0.5, 0.5]],
-            vec![0.1]
-        )
-        .is_err());
+        assert!(
+            NoisyOrNetwork::new(vec!["a".into()], vec![1.5], vec![vec![0.5]], vec![0.1]).is_err()
+        );
+        assert!(
+            NoisyOrNetwork::new(vec!["a".into()], vec![0.5], vec![vec![0.5, 0.5]], vec![0.1])
+                .is_err()
+        );
         assert!(NoisyOrNetwork::new(
             vec!["a".into()],
             vec![0.5],
@@ -283,12 +276,8 @@ mod tests {
                 records.push((mask, symptoms));
             }
         }
-        let learned = NoisyOrNetwork::learn(
-            vec!["bearing".into(), "imbalance".into()],
-            2,
-            &records,
-        )
-        .unwrap();
+        let learned =
+            NoisyOrNetwork::learn(vec!["bearing".into(), "imbalance".into()], 2, &records).unwrap();
         // Strong diagonal, weak off-diagonal links recovered.
         assert!(learned.links[0][0] > 0.8, "{:?}", learned.links);
         assert!(learned.links[1][1] > 0.7, "{:?}", learned.links);

@@ -14,9 +14,7 @@
 //! another").
 
 use crate::mass::{MassFunction, Subset};
-use mpros_core::{
-    ConditionReport, Error, FailureGroup, MachineCondition, MachineId, Result,
-};
+use mpros_core::{ConditionReport, Error, FailureGroup, MachineCondition, MachineId, Result};
 use std::collections::HashMap;
 
 /// Incoming certainties are capped just below 1 so that two dead-certain
@@ -120,8 +118,7 @@ impl DiagnosticFusion {
                 members.len()
             )));
         }
-        let evidence =
-            MassFunction::simple_support(n, focus, belief.clamp(0.0, BELIEF_CAP))?;
+        let evidence = MassFunction::simple_support(n, focus, belief.clamp(0.0, BELIEF_CAP))?;
         let entry = self
             .frames
             .entry((machine, group))
@@ -267,7 +264,10 @@ mod tests {
         let mut f = DiagnosticFusion::new();
         f.ingest(&report(1, MachineCondition::MotorImbalance, 0.7))
             .unwrap();
-        assert_eq!(f.belief(MachineId::new(2), MachineCondition::MotorImbalance), 0.0);
+        assert_eq!(
+            f.belief(MachineId::new(2), MachineCondition::MotorImbalance),
+            0.0
+        );
     }
 
     #[test]
@@ -278,9 +278,7 @@ mod tests {
         let m = MachineId::new(9);
         let g = FailureGroup::Process;
         f.ingest_support(m, g, Subset::singleton(0), 0.40).unwrap();
-        let d = f
-            .ingest_support(m, g, Subset::of(&[1, 2]), 0.75)
-            .unwrap();
+        let d = f.ingest_support(m, g, Subset::of(&[1, 2]), 0.75).unwrap();
         assert!((d.beliefs[0].1 - 1.0 / 7.0).abs() < 1e-9);
         assert!((d.unknown - 1.5 / 7.0).abs() < 1e-9);
     }
@@ -340,8 +338,13 @@ mod tests {
         f.ingest(&report(1, MachineCondition::MotorImbalance, 0.7))
             .unwrap();
         f.reset(MachineId::new(1), FailureGroup::RotorDynamics);
-        assert_eq!(f.belief(MachineId::new(1), MachineCondition::MotorImbalance), 0.0);
-        assert!(f.diagnosis(MachineId::new(1), FailureGroup::RotorDynamics).is_none());
+        assert_eq!(
+            f.belief(MachineId::new(1), MachineCondition::MotorImbalance),
+            0.0
+        );
+        assert!(f
+            .diagnosis(MachineId::new(1), FailureGroup::RotorDynamics)
+            .is_none());
     }
 
     #[test]

@@ -13,10 +13,12 @@
 use crate::diagnostic::{DiagnosticFusion, FusedDiagnosis};
 use crate::prognostic::fuse_into;
 use mpros_core::{
-    ConditionReport, MachineCondition, MachineId, PrognosticVector, Result, Severity,
+    ConditionReport, FailureGroup, MachineCondition, MachineId, PrognosticVector, Result, Severity,
     SimDuration,
 };
+use mpros_telemetry::{Counter, Stage, Telemetry, WallTimer};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One row of the prioritized maintenance list.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,18 +41,54 @@ pub struct MaintenanceItem {
 }
 
 /// The combined diagnostic + prognostic fusion engine.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FusionEngine {
     diagnostic: DiagnosticFusion,
     prognostics: HashMap<(MachineId, MachineCondition), PrognosticVector>,
     worst_severity: HashMap<(MachineId, MachineCondition), Severity>,
-    reports_ingested: usize,
+    /// Conflict already journaled per frame, to detect renormalizations.
+    seen_conflict: HashMap<(MachineId, FailureGroup), f64>,
+    telemetry: Telemetry,
+    m_ingested: Arc<Counter>,
+}
+
+impl Default for FusionEngine {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl FusionEngine {
-    /// A fresh engine with no evidence.
+    /// A fresh engine with no evidence, observing a private telemetry
+    /// domain until [`FusionEngine::set_telemetry`] joins the scenario's.
     pub fn new() -> Self {
-        Self::default()
+        let telemetry = Telemetry::new();
+        let m_ingested = telemetry.counter("fusion", "reports_ingested");
+        FusionEngine {
+            diagnostic: DiagnosticFusion::new(),
+            prognostics: HashMap::new(),
+            worst_severity: HashMap::new(),
+            seen_conflict: HashMap::new(),
+            telemetry,
+            m_ingested,
+        }
+    }
+
+    /// Join the scenario's shared telemetry domain, carrying the ingest
+    /// total over.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        if self.telemetry.same_domain(telemetry) {
+            return;
+        }
+        let m = telemetry.counter("fusion", "reports_ingested");
+        m.add(self.m_ingested.get());
+        self.m_ingested = m;
+        self.telemetry = telemetry.clone();
+    }
+
+    /// The telemetry domain the engine records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Ingest one condition report: diagnostic fusion always runs;
@@ -59,7 +97,26 @@ impl FusionEngine {
     /// prognostic vector for each suspect component whenever a new
     /// prognostic report arrives").
     pub fn ingest(&mut self, report: &ConditionReport) -> Result<FusedDiagnosis> {
+        let timer = WallTimer::start();
         let diagnosis = self.diagnostic.ingest(report)?;
+        // Dempster's rule renormalized conflict away iff the frame's
+        // accumulated conflict grew — a data-quality event worth
+        // journaling (§5.3's contradictory-knowledge-sources case).
+        let frame = (report.machine, report.condition.group());
+        let seen = self.seen_conflict.entry(frame).or_insert(0.0);
+        let k = diagnosis.accumulated_conflict - *seen;
+        if k > 1e-12 {
+            *seen = diagnosis.accumulated_conflict;
+            self.telemetry.event(
+                "fusion",
+                "conflict_renorm",
+                format!(
+                    "machine {} group {}: conflict k={k:.4} normalized out",
+                    report.machine.raw(),
+                    diagnosis.group
+                ),
+            );
+        }
         let key = (report.machine, report.condition);
         if report.has_prognostic() {
             let fused = match self.prognostics.get(&key) {
@@ -68,12 +125,11 @@ impl FusionEngine {
             };
             self.prognostics.insert(key, fused);
         }
-        let worst = self
-            .worst_severity
-            .entry(key)
-            .or_insert(Severity::NONE);
+        let worst = self.worst_severity.entry(key).or_insert(Severity::NONE);
         *worst = worst.max(report.severity);
-        self.reports_ingested += 1;
+        self.m_ingested.inc();
+        self.telemetry
+            .record_span_wall(Stage::Fusion, timer.elapsed());
         Ok(diagnosis)
     }
 
@@ -92,9 +148,9 @@ impl FusionEngine {
         self.prognostics.get(&(machine, condition))
     }
 
-    /// Number of reports ingested.
+    /// Number of reports ingested (read from the telemetry registry).
     pub fn reports_ingested(&self) -> usize {
-        self.reports_ingested
+        self.m_ingested.get() as usize
     }
 
     /// Render the prioritized maintenance list: every condition with
@@ -186,10 +242,9 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(e.reports_ingested(), 1);
-        assert!(
-            e.prognostic(MachineId::new(1), MachineCondition::MotorBearingDefect)
-                .is_some()
-        );
+        assert!(e
+            .prognostic(MachineId::new(1), MachineCondition::MotorBearingDefect)
+            .is_some());
         let b = e
             .diagnostic()
             .belief(MachineId::new(1), MachineCondition::MotorBearingDefect);
@@ -216,9 +271,7 @@ mod tests {
         let fused = e
             .prognostic(MachineId::new(1), MachineCondition::GearToothWear)
             .unwrap();
-        let p = fused
-            .probability_at(SimDuration::from_months(4.5))
-            .value();
+        let p = fused.probability_at(SimDuration::from_months(4.5)).value();
         assert!((p - 0.95).abs() < 1e-9, "strong report dominates: {p}");
     }
 
@@ -260,6 +313,25 @@ mod tests {
         for w in list.windows(2) {
             assert!(w[0].priority >= w[1].priority);
         }
+    }
+
+    #[test]
+    fn conflict_renormalization_is_journaled() {
+        let mut e = FusionEngine::new();
+        // Reinforcing evidence: no conflict, no event.
+        e.ingest(&report(1, MachineCondition::MotorImbalance, 0.5, 0.2))
+            .unwrap();
+        assert!(e.telemetry().events().is_empty());
+        // Contradictory evidence within the group: conflict renormalized,
+        // event journaled, counter advanced.
+        e.ingest(&report(1, MachineCondition::MotorMisalignment, 0.6, 0.2))
+            .unwrap();
+        let events = e.telemetry().events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "conflict_renorm");
+        assert!(events[0].detail.contains("machine 1"));
+        assert_eq!(e.reports_ingested(), 2);
+        assert_eq!(e.telemetry().counter("fusion", "reports_ingested").get(), 2);
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl Lifetime {
 
     /// A censored (still-alive) observation.
     pub fn censored(time: f64) -> Self {
-        Lifetime { time, failed: false }
+        Lifetime {
+            time,
+            failed: false,
+        }
     }
 }
 
@@ -220,22 +223,10 @@ mod tests {
     fn fit_validation() {
         assert!(WeibullFit::fit(&[]).is_err());
         assert!(WeibullFit::fit(&[Lifetime::failure(10.0)]).is_err());
-        assert!(WeibullFit::fit(&[
-            Lifetime::censored(10.0),
-            Lifetime::censored(20.0)
-        ])
-        .is_err());
-        assert!(WeibullFit::fit(&[
-            Lifetime::failure(-1.0),
-            Lifetime::failure(2.0)
-        ])
-        .is_err());
+        assert!(WeibullFit::fit(&[Lifetime::censored(10.0), Lifetime::censored(20.0)]).is_err());
+        assert!(WeibullFit::fit(&[Lifetime::failure(-1.0), Lifetime::failure(2.0)]).is_err());
         // Identical failure times: no finite shape solves the MLE.
-        assert!(WeibullFit::fit(&[
-            Lifetime::failure(5.0),
-            Lifetime::failure(5.0)
-        ])
-        .is_err());
+        assert!(WeibullFit::fit(&[Lifetime::failure(5.0), Lifetime::failure(5.0)]).is_err());
     }
 
     #[test]
@@ -269,11 +260,10 @@ mod tests {
         // in far more danger over the next 300 h than a fresh one.
         let p_fresh = fresh.probability_at(SimDuration::from_hours(300.0)).value();
         let p_aged = aged.probability_at(SimDuration::from_hours(300.0)).value();
-        assert!(
-            p_aged > 3.0 * p_fresh,
-            "aged {p_aged} vs fresh {p_fresh}"
-        );
-        assert!(fit.prognostic_vector(-1.0, &horizons, SimDuration::from_hours).is_err());
+        assert!(p_aged > 3.0 * p_fresh, "aged {p_aged} vs fresh {p_fresh}");
+        assert!(fit
+            .prognostic_vector(-1.0, &horizons, SimDuration::from_hours)
+            .is_err());
     }
 
     proptest! {

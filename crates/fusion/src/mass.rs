@@ -146,7 +146,9 @@ impl MassFunction {
     pub fn simple_support(n: usize, focus: Subset, belief: f64) -> Result<Self> {
         let mut m = Self::vacuous(n)?;
         if focus.is_empty() || !focus.is_subset_of(Subset::full(n)) {
-            return Err(Error::invalid("support focus must be a nonempty subset of the frame"));
+            return Err(Error::invalid(
+                "support focus must be a nonempty subset of the frame",
+            ));
         }
         if !(0.0..=1.0).contains(&belief) || belief.is_nan() {
             return Err(Error::invalid("belief must be in [0,1]"));
@@ -397,10 +399,8 @@ mod tests {
         proptest::collection::vec((1u16..Subset::full(n).0 + 1, 0.01..1.0f64), 1..5).prop_map(
             move |raw| {
                 let total: f64 = raw.iter().map(|(_, w)| w).sum();
-                let focals: Vec<(Subset, f64)> = raw
-                    .iter()
-                    .map(|&(b, w)| (Subset(b), w / total))
-                    .collect();
+                let focals: Vec<(Subset, f64)> =
+                    raw.iter().map(|&(b, w)| (Subset(b), w / total)).collect();
                 MassFunction::from_masses(n, &focals).unwrap()
             },
         )

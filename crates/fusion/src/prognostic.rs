@@ -48,9 +48,7 @@ pub fn fuse_prognostics(vectors: &[PrognosticVector]) -> Result<PrognosticVector
             let d = SimDuration::from_secs(h);
             let p = live
                 .iter()
-                .filter(|v| {
-                    v.points().first().expect("nonempty").horizon.as_secs() <= h + 1e-9
-                })
+                .filter(|v| v.points().first().expect("nonempty").horizon.as_secs() <= h + 1e-9)
                 .map(|v| v.probability_at(d).value())
                 .fold(0.0, f64::max);
             running = running.max(p);
@@ -61,7 +59,10 @@ pub fn fuse_prognostics(vectors: &[PrognosticVector]) -> Result<PrognosticVector
 }
 
 /// Incrementally fuse one new report into an existing fused curve.
-pub fn fuse_into(current: &PrognosticVector, incoming: &PrognosticVector) -> Result<PrognosticVector> {
+pub fn fuse_into(
+    current: &PrognosticVector,
+    incoming: &PrognosticVector,
+) -> Result<PrognosticVector> {
     fuse_prognostics(&[current.clone(), incoming.clone()])
 }
 
@@ -142,7 +143,7 @@ mod tests {
     #[test]
     fn single_vector_passes_through() {
         let v = months(&[(1.0, 0.1), (2.0, 0.2)]);
-        assert_eq!(fuse_prognostics(&[v.clone()]).unwrap(), v);
+        assert_eq!(fuse_prognostics(std::slice::from_ref(&v)).unwrap(), v);
     }
 
     #[test]

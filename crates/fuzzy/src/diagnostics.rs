@@ -151,10 +151,22 @@ fn derive_inputs(window: &[ProcessSnapshot]) -> HashMap<String, f64> {
     let winding_base = 60.0 + 35.0 * load;
 
     let mut m = HashMap::new();
-    m.insert("evap_deficit".into(), evap_base - mean(&|s| s.evap_pressure_kpa));
-    m.insert("cond_excess".into(), mean(&|s| s.cond_pressure_kpa) - cond_base);
-    m.insert("supply_excess".into(), mean(&|s| s.chw_supply_c) - supply_base);
-    m.insert("oil_deficit".into(), oil_p_base - mean(&|s| s.oil_pressure_kpa));
+    m.insert(
+        "evap_deficit".into(),
+        evap_base - mean(&|s| s.evap_pressure_kpa),
+    );
+    m.insert(
+        "cond_excess".into(),
+        mean(&|s| s.cond_pressure_kpa) - cond_base,
+    );
+    m.insert(
+        "supply_excess".into(),
+        mean(&|s| s.chw_supply_c) - supply_base,
+    );
+    m.insert(
+        "oil_deficit".into(),
+        oil_p_base - mean(&|s| s.oil_pressure_kpa),
+    );
     m.insert("oil_excess".into(), mean(&|s| s.oil_temp_c) - oil_t_base);
     m.insert(
         "winding_excess".into(),
@@ -169,11 +181,44 @@ fn severity_output() -> LinguisticVariable {
     LinguisticVariable::new(
         "severity",
         vec![
-            ("none", MF::ShoulderLeft { full: 0.02, zero: 0.12 }),
-            ("slight", MF::Triangular { a: 0.05, b: 0.18, c: 0.32 }),
-            ("moderate", MF::Triangular { a: 0.28, b: 0.45, c: 0.62 }),
-            ("serious", MF::Triangular { a: 0.55, b: 0.68, c: 0.82 }),
-            ("extreme", MF::ShoulderRight { zero: 0.75, full: 0.92 }),
+            (
+                "none",
+                MF::ShoulderLeft {
+                    full: 0.02,
+                    zero: 0.12,
+                },
+            ),
+            (
+                "slight",
+                MF::Triangular {
+                    a: 0.05,
+                    b: 0.18,
+                    c: 0.32,
+                },
+            ),
+            (
+                "moderate",
+                MF::Triangular {
+                    a: 0.28,
+                    b: 0.45,
+                    c: 0.62,
+                },
+            ),
+            (
+                "serious",
+                MF::Triangular {
+                    a: 0.55,
+                    b: 0.68,
+                    c: 0.82,
+                },
+            ),
+            (
+                "extreme",
+                MF::ShoulderRight {
+                    zero: 0.75,
+                    full: 0.92,
+                },
+            ),
         ],
     )
     .expect("static output variable is valid")
@@ -187,17 +232,55 @@ fn leak_engine() -> MamdaniEngine {
     let evap = var(
         "evap_deficit",
         vec![
-            ("none", MF::ShoulderLeft { full: 15.0, zero: 40.0 }),
-            ("some", MF::Triangular { a: 25.0, b: 60.0, c: 95.0 }),
-            ("severe", MF::ShoulderRight { zero: 70.0, full: 110.0 }),
+            (
+                "none",
+                MF::ShoulderLeft {
+                    full: 15.0,
+                    zero: 40.0,
+                },
+            ),
+            (
+                "some",
+                MF::Triangular {
+                    a: 25.0,
+                    b: 60.0,
+                    c: 95.0,
+                },
+            ),
+            (
+                "severe",
+                MF::ShoulderRight {
+                    zero: 70.0,
+                    full: 110.0,
+                },
+            ),
         ],
     );
     let supply = var(
         "supply_excess",
         vec![
-            ("normal", MF::ShoulderLeft { full: 0.6, zero: 1.4 }),
-            ("warm", MF::Triangular { a: 0.9, b: 1.8, c: 2.7 }),
-            ("hot", MF::ShoulderRight { zero: 2.0, full: 2.9 }),
+            (
+                "normal",
+                MF::ShoulderLeft {
+                    full: 0.6,
+                    zero: 1.4,
+                },
+            ),
+            (
+                "warm",
+                MF::Triangular {
+                    a: 0.9,
+                    b: 1.8,
+                    c: 2.7,
+                },
+            ),
+            (
+                "hot",
+                MF::ShoulderRight {
+                    zero: 2.0,
+                    full: 2.9,
+                },
+            ),
         ],
     );
     MamdaniEngine::new(
@@ -233,9 +316,28 @@ fn fouling_engine() -> MamdaniEngine {
     let cond = var(
         "cond_excess",
         vec![
-            ("normal", MF::ShoulderLeft { full: 30.0, zero: 70.0 }),
-            ("elevated", MF::Triangular { a: 50.0, b: 105.0, c: 160.0 }),
-            ("high", MF::ShoulderRight { zero: 120.0, full: 172.0 }),
+            (
+                "normal",
+                MF::ShoulderLeft {
+                    full: 30.0,
+                    zero: 70.0,
+                },
+            ),
+            (
+                "elevated",
+                MF::Triangular {
+                    a: 50.0,
+                    b: 105.0,
+                    c: 160.0,
+                },
+            ),
+            (
+                "high",
+                MF::ShoulderRight {
+                    zero: 120.0,
+                    full: 172.0,
+                },
+            ),
         ],
     );
     MamdaniEngine::new(
@@ -261,17 +363,55 @@ fn oil_engine() -> MamdaniEngine {
     let oil_p = var(
         "oil_deficit",
         vec![
-            ("normal", MF::ShoulderLeft { full: 12.0, zero: 30.0 }),
-            ("low", MF::Triangular { a: 20.0, b: 42.0, c: 62.0 }),
-            ("very_low", MF::ShoulderRight { zero: 50.0, full: 68.0 }),
+            (
+                "normal",
+                MF::ShoulderLeft {
+                    full: 12.0,
+                    zero: 30.0,
+                },
+            ),
+            (
+                "low",
+                MF::Triangular {
+                    a: 20.0,
+                    b: 42.0,
+                    c: 62.0,
+                },
+            ),
+            (
+                "very_low",
+                MF::ShoulderRight {
+                    zero: 50.0,
+                    full: 68.0,
+                },
+            ),
         ],
     );
     let oil_t = var(
         "oil_excess",
         vec![
-            ("normal", MF::ShoulderLeft { full: 4.0, zero: 8.0 }),
-            ("hot", MF::Triangular { a: 6.0, b: 12.0, c: 18.0 }),
-            ("very_hot", MF::ShoulderRight { zero: 14.0, full: 21.0 }),
+            (
+                "normal",
+                MF::ShoulderLeft {
+                    full: 4.0,
+                    zero: 8.0,
+                },
+            ),
+            (
+                "hot",
+                MF::Triangular {
+                    a: 6.0,
+                    b: 12.0,
+                    c: 18.0,
+                },
+            ),
+            (
+                "very_hot",
+                MF::ShoulderRight {
+                    zero: 14.0,
+                    full: 21.0,
+                },
+            ),
         ],
     );
     MamdaniEngine::new(
@@ -288,11 +428,7 @@ fn oil_engine() -> MamdaniEngine {
                 &[("oil_deficit", "low"), ("oil_excess", "hot")],
                 "serious",
             ),
-            FuzzyRule::new(
-                "oil pressure low",
-                &[("oil_deficit", "low")],
-                "moderate",
-            ),
+            FuzzyRule::new("oil pressure low", &[("oil_deficit", "low")], "moderate"),
             FuzzyRule::new("oil running hot", &[("oil_excess", "hot")], "slight"),
         ],
     )
@@ -303,9 +439,28 @@ fn winding_engine() -> MamdaniEngine {
     let w = var(
         "winding_excess",
         vec![
-            ("normal", MF::ShoulderLeft { full: 8.0, zero: 15.0 }),
-            ("hot", MF::Triangular { a: 12.0, b: 24.0, c: 36.0 }),
-            ("very_hot", MF::ShoulderRight { zero: 30.0, full: 43.0 }),
+            (
+                "normal",
+                MF::ShoulderLeft {
+                    full: 8.0,
+                    zero: 15.0,
+                },
+            ),
+            (
+                "hot",
+                MF::Triangular {
+                    a: 12.0,
+                    b: 24.0,
+                    c: 36.0,
+                },
+            ),
+            (
+                "very_hot",
+                MF::ShoulderRight {
+                    zero: 30.0,
+                    full: 43.0,
+                },
+            ),
         ],
     );
     MamdaniEngine::new(
@@ -331,15 +486,39 @@ fn surge_engine() -> MamdaniEngine {
     let cond_swing = var(
         "cond_swing",
         vec![
-            ("steady", MF::ShoulderLeft { full: 15.0, zero: 35.0 }),
-            ("oscillating", MF::ShoulderRight { zero: 30.0, full: 90.0 }),
+            (
+                "steady",
+                MF::ShoulderLeft {
+                    full: 15.0,
+                    zero: 35.0,
+                },
+            ),
+            (
+                "oscillating",
+                MF::ShoulderRight {
+                    zero: 30.0,
+                    full: 90.0,
+                },
+            ),
         ],
     );
     let current_swing = var(
         "current_swing",
         vec![
-            ("steady", MF::ShoulderLeft { full: 10.0, zero: 22.0 }),
-            ("oscillating", MF::ShoulderRight { zero: 18.0, full: 60.0 }),
+            (
+                "steady",
+                MF::ShoulderLeft {
+                    full: 10.0,
+                    zero: 22.0,
+                },
+            ),
+            (
+                "oscillating",
+                MF::ShoulderRight {
+                    zero: 18.0,
+                    full: 60.0,
+                },
+            ),
         ],
     );
     MamdaniEngine::new(

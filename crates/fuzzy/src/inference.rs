@@ -87,13 +87,15 @@ impl MamdaniEngine {
         }
         for r in &rules {
             if r.antecedents.is_empty() {
-                return Err(Error::invalid(format!("rule '{}' has no antecedents", r.label)));
+                return Err(Error::invalid(format!(
+                    "rule '{}' has no antecedents",
+                    r.label
+                )));
             }
             for (v, t) in &r.antecedents {
-                let var = inputs
-                    .iter()
-                    .find(|iv| &iv.name == v)
-                    .ok_or_else(|| Error::invalid(format!("rule '{}': unknown variable {v}", r.label)))?;
+                let var = inputs.iter().find(|iv| &iv.name == v).ok_or_else(|| {
+                    Error::invalid(format!("rule '{}': unknown variable {v}", r.label))
+                })?;
                 if var.term(t).is_none() {
                     return Err(Error::invalid(format!(
                         "rule '{}': variable {v} has no term {t}",
@@ -208,9 +210,28 @@ mod tests {
         LinguisticVariable::new(
             "temp",
             vec![
-                ("cold", MF::ShoulderLeft { full: 10.0, zero: 18.0 }),
-                ("warm", MF::Triangular { a: 15.0, b: 22.0, c: 29.0 }),
-                ("hot", MF::ShoulderRight { zero: 26.0, full: 34.0 }),
+                (
+                    "cold",
+                    MF::ShoulderLeft {
+                        full: 10.0,
+                        zero: 18.0,
+                    },
+                ),
+                (
+                    "warm",
+                    MF::Triangular {
+                        a: 15.0,
+                        b: 22.0,
+                        c: 29.0,
+                    },
+                ),
+                (
+                    "hot",
+                    MF::ShoulderRight {
+                        zero: 26.0,
+                        full: 34.0,
+                    },
+                ),
             ],
         )
         .unwrap()
@@ -220,9 +241,28 @@ mod tests {
         LinguisticVariable::new(
             "severity",
             vec![
-                ("none", MF::ShoulderLeft { full: 0.05, zero: 0.2 }),
-                ("moderate", MF::Triangular { a: 0.2, b: 0.45, c: 0.7 }),
-                ("severe", MF::ShoulderRight { zero: 0.6, full: 0.9 }),
+                (
+                    "none",
+                    MF::ShoulderLeft {
+                        full: 0.05,
+                        zero: 0.2,
+                    },
+                ),
+                (
+                    "moderate",
+                    MF::Triangular {
+                        a: 0.2,
+                        b: 0.45,
+                        c: 0.7,
+                    },
+                ),
+                (
+                    "severe",
+                    MF::ShoulderRight {
+                        zero: 0.6,
+                        full: 0.9,
+                    },
+                ),
             ],
         )
         .unwrap()

@@ -46,16 +46,16 @@ impl MembershipFunction {
     pub fn validate(&self) -> Result<()> {
         let ok = match *self {
             MembershipFunction::Triangular { a, b, c } => a <= b && b <= c && a < c,
-            MembershipFunction::Trapezoidal { a, b, c, d } => {
-                a <= b && b <= c && c <= d && a < d
-            }
+            MembershipFunction::Trapezoidal { a, b, c, d } => a <= b && b <= c && c <= d && a < d,
             MembershipFunction::ShoulderLeft { full, zero } => full < zero,
             MembershipFunction::ShoulderRight { zero, full } => zero < full,
         };
         if ok {
             Ok(())
         } else {
-            Err(Error::invalid(format!("bad membership parameters: {self:?}")))
+            Err(Error::invalid(format!(
+                "bad membership parameters: {self:?}"
+            )))
         }
     }
 
@@ -112,12 +112,8 @@ impl MembershipFunction {
         match *self {
             MembershipFunction::Triangular { a, c, .. } => (a, c),
             MembershipFunction::Trapezoidal { a, d, .. } => (a, d),
-            MembershipFunction::ShoulderLeft { full, zero } => {
-                (full - (zero - full), zero)
-            }
-            MembershipFunction::ShoulderRight { zero, full } => {
-                (zero, full + (full - zero))
-            }
+            MembershipFunction::ShoulderLeft { full, zero } => (full - (zero - full), zero),
+            MembershipFunction::ShoulderRight { zero, full } => (zero, full + (full - zero)),
         }
     }
 }
@@ -129,7 +125,11 @@ mod tests {
 
     #[test]
     fn triangle_degrees() {
-        let t = MembershipFunction::Triangular { a: 0.0, b: 1.0, c: 3.0 };
+        let t = MembershipFunction::Triangular {
+            a: 0.0,
+            b: 1.0,
+            c: 3.0,
+        };
         t.validate().unwrap();
         assert_eq!(t.degree(-1.0), 0.0);
         assert_eq!(t.degree(0.0), 0.0);
@@ -141,7 +141,12 @@ mod tests {
 
     #[test]
     fn trapezoid_degrees() {
-        let t = MembershipFunction::Trapezoidal { a: 0.0, b: 1.0, c: 2.0, d: 4.0 };
+        let t = MembershipFunction::Trapezoidal {
+            a: 0.0,
+            b: 1.0,
+            c: 2.0,
+            d: 4.0,
+        };
         t.validate().unwrap();
         assert_eq!(t.degree(0.5), 0.5);
         assert_eq!(t.degree(1.5), 1.0);
@@ -151,11 +156,17 @@ mod tests {
 
     #[test]
     fn shoulders() {
-        let l = MembershipFunction::ShoulderLeft { full: 1.0, zero: 2.0 };
+        let l = MembershipFunction::ShoulderLeft {
+            full: 1.0,
+            zero: 2.0,
+        };
         assert_eq!(l.degree(0.0), 1.0);
         assert_eq!(l.degree(1.5), 0.5);
         assert_eq!(l.degree(3.0), 0.0);
-        let r = MembershipFunction::ShoulderRight { zero: 1.0, full: 2.0 };
+        let r = MembershipFunction::ShoulderRight {
+            zero: 1.0,
+            full: 2.0,
+        };
         assert_eq!(r.degree(0.0), 0.0);
         assert_eq!(r.degree(1.5), 0.5);
         assert_eq!(r.degree(9.0), 1.0);
@@ -163,18 +174,34 @@ mod tests {
 
     #[test]
     fn validation_rejects_disorder() {
-        assert!(MembershipFunction::Triangular { a: 2.0, b: 1.0, c: 3.0 }
-            .validate()
-            .is_err());
-        assert!(MembershipFunction::Trapezoidal { a: 0.0, b: 3.0, c: 2.0, d: 4.0 }
-            .validate()
-            .is_err());
-        assert!(MembershipFunction::ShoulderLeft { full: 2.0, zero: 1.0 }
-            .validate()
-            .is_err());
-        assert!(MembershipFunction::Triangular { a: 1.0, b: 1.0, c: 1.0 }
-            .validate()
-            .is_err());
+        assert!(MembershipFunction::Triangular {
+            a: 2.0,
+            b: 1.0,
+            c: 3.0
+        }
+        .validate()
+        .is_err());
+        assert!(MembershipFunction::Trapezoidal {
+            a: 0.0,
+            b: 3.0,
+            c: 2.0,
+            d: 4.0
+        }
+        .validate()
+        .is_err());
+        assert!(MembershipFunction::ShoulderLeft {
+            full: 2.0,
+            zero: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(MembershipFunction::Triangular {
+            a: 1.0,
+            b: 1.0,
+            c: 1.0
+        }
+        .validate()
+        .is_err());
     }
 
     proptest! {

@@ -19,10 +19,8 @@ impl LinguisticVariable {
         name: impl Into<String>,
         terms: Vec<(impl Into<String>, MembershipFunction)>,
     ) -> Result<Self> {
-        let terms: Vec<(String, MembershipFunction)> = terms
-            .into_iter()
-            .map(|(n, m)| (n.into(), m))
-            .collect();
+        let terms: Vec<(String, MembershipFunction)> =
+            terms.into_iter().map(|(n, m)| (n.into(), m)).collect();
         if terms.is_empty() {
             return Err(Error::invalid("variable needs at least one term"));
         }
@@ -70,9 +68,30 @@ mod tests {
         LinguisticVariable::new(
             "evap_pressure",
             vec![
-                ("starved", MembershipFunction::ShoulderLeft { full: 230.0, zero: 280.0 }),
-                ("low", MembershipFunction::Triangular { a: 250.0, b: 290.0, c: 330.0 }),
-                ("normal", MembershipFunction::Trapezoidal { a: 300.0, b: 320.0, c: 360.0, d: 380.0 }),
+                (
+                    "starved",
+                    MembershipFunction::ShoulderLeft {
+                        full: 230.0,
+                        zero: 280.0,
+                    },
+                ),
+                (
+                    "low",
+                    MembershipFunction::Triangular {
+                        a: 250.0,
+                        b: 290.0,
+                        c: 330.0,
+                    },
+                ),
+                (
+                    "normal",
+                    MembershipFunction::Trapezoidal {
+                        a: 300.0,
+                        b: 320.0,
+                        c: 360.0,
+                        d: 380.0,
+                    },
+                ),
             ],
         )
         .unwrap()
@@ -100,14 +119,35 @@ mod tests {
         assert!(LinguisticVariable::new(
             "x",
             vec![
-                ("a", MembershipFunction::Triangular { a: 0.0, b: 1.0, c: 2.0 }),
-                ("a", MembershipFunction::Triangular { a: 0.0, b: 1.0, c: 2.0 }),
+                (
+                    "a",
+                    MembershipFunction::Triangular {
+                        a: 0.0,
+                        b: 1.0,
+                        c: 2.0
+                    }
+                ),
+                (
+                    "a",
+                    MembershipFunction::Triangular {
+                        a: 0.0,
+                        b: 1.0,
+                        c: 2.0
+                    }
+                ),
             ]
         )
         .is_err());
         assert!(LinguisticVariable::new(
             "x",
-            vec![("a", MembershipFunction::Triangular { a: 5.0, b: 1.0, c: 2.0 })]
+            vec![(
+                "a",
+                MembershipFunction::Triangular {
+                    a: 5.0,
+                    b: 1.0,
+                    c: 2.0
+                }
+            )]
         )
         .is_err());
     }

@@ -11,10 +11,12 @@
 use crate::codec::{decode_message, encode_message, NetMessage};
 use bytes::Bytes;
 use mpros_core::{DcId, Error, Result, SimDuration, SimTime};
+use mpros_telemetry::{Counter, Histogram, Stage, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// A network endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -74,6 +76,7 @@ struct InFlight {
     deliver_at: SimTime,
     seq: u64,
     to: Endpoint,
+    sent_at: SimTime,
     frame: Bytes,
 }
 
@@ -98,6 +101,13 @@ impl Ord for InFlight {
     }
 }
 
+/// Registry-backed delivery counters for one endpoint.
+#[derive(Debug)]
+struct EndpointCounters {
+    delivered: Arc<Counter>,
+    dropped: Arc<Counter>,
+}
+
 /// The simulated network switch.
 #[derive(Debug)]
 pub struct ShipNetwork {
@@ -106,28 +116,90 @@ pub struct ShipNetwork {
     in_flight: BinaryHeap<Reverse<InFlight>>,
     inboxes: HashMap<Endpoint, VecDeque<NetMessage>>,
     partitioned: HashSet<Endpoint>,
-    stats: NetStats,
     seq: u64,
+    telemetry: Telemetry,
+    m_sent: Arc<Counter>,
+    m_delivered: Arc<Counter>,
+    m_dropped: Arc<Counter>,
+    bus_transit: Arc<Histogram>,
+    per_endpoint: HashMap<Endpoint, EndpointCounters>,
 }
 
 impl ShipNetwork {
-    /// Build a network with the given behaviour.
+    /// Build a network with the given behaviour, observing a private
+    /// telemetry domain until [`ShipNetwork::set_telemetry`] joins it to
+    /// the scenario's.
     pub fn new(config: NetworkConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
+        let telemetry = Telemetry::new();
+        let (m_sent, m_delivered, m_dropped, bus_transit) = Self::wire(&telemetry);
         ShipNetwork {
             config,
             rng,
             in_flight: BinaryHeap::new(),
             inboxes: HashMap::new(),
             partitioned: HashSet::new(),
-            stats: NetStats::default(),
             seq: 0,
+            telemetry,
+            m_sent,
+            m_delivered,
+            m_dropped,
+            bus_transit,
+            per_endpoint: HashMap::new(),
         }
     }
 
-    /// Register an endpoint (creates its inbox).
+    fn wire(telemetry: &Telemetry) -> (Arc<Counter>, Arc<Counter>, Arc<Counter>, Arc<Histogram>) {
+        (
+            telemetry.counter("net", "sent"),
+            telemetry.counter("net", "delivered"),
+            telemetry.counter("net", "dropped"),
+            telemetry.histogram("net", "bus_transit_s"),
+        )
+    }
+
+    fn endpoint_counters(telemetry: &Telemetry, endpoint: Endpoint) -> EndpointCounters {
+        EndpointCounters {
+            delivered: telemetry.counter("net", &format!("delivered.{endpoint}")),
+            dropped: telemetry.counter("net", &format!("dropped.{endpoint}")),
+        }
+    }
+
+    /// Join the scenario's shared telemetry domain. Counter totals
+    /// accumulated so far are carried over; call this at wiring time,
+    /// before traffic, to keep the bus-transit histogram complete.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        if self.telemetry.same_domain(telemetry) {
+            return;
+        }
+        let (sent, delivered, dropped, bus_transit) = Self::wire(telemetry);
+        sent.add(self.m_sent.get());
+        delivered.add(self.m_delivered.get());
+        dropped.add(self.m_dropped.get());
+        self.m_sent = sent;
+        self.m_delivered = delivered;
+        self.m_dropped = dropped;
+        self.bus_transit = bus_transit;
+        for (endpoint, old) in &mut self.per_endpoint {
+            let new = Self::endpoint_counters(telemetry, *endpoint);
+            new.delivered.add(old.delivered.get());
+            new.dropped.add(old.dropped.get());
+            *old = new;
+        }
+        self.telemetry = telemetry.clone();
+    }
+
+    /// The telemetry domain the network records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Register an endpoint (creates its inbox and delivery counters).
     pub fn register(&mut self, endpoint: Endpoint) {
         self.inboxes.entry(endpoint).or_default();
+        self.per_endpoint
+            .entry(endpoint)
+            .or_insert_with(|| Self::endpoint_counters(&self.telemetry, endpoint));
     }
 
     /// True if the endpoint is registered.
@@ -137,11 +209,24 @@ impl ShipNetwork {
 
     /// Set or clear a partition on an endpoint.
     pub fn set_partitioned(&mut self, endpoint: Endpoint, partitioned: bool) {
-        if partitioned {
-            self.partitioned.insert(endpoint);
+        let changed = if partitioned {
+            self.partitioned.insert(endpoint)
         } else {
-            self.partitioned.remove(&endpoint);
+            self.partitioned.remove(&endpoint)
+        };
+        if changed {
+            let kind = if partitioned { "partition" } else { "heal" };
+            self.telemetry
+                .event("net", kind, format!("endpoint {endpoint}"));
         }
+    }
+
+    fn count_drop(&self, to: Endpoint, reason: &str, detail: String) {
+        self.m_dropped.inc();
+        if let Some(ep) = self.per_endpoint.get(&to) {
+            ep.dropped.inc();
+        }
+        self.telemetry.event("net", reason, detail);
     }
 
     /// Send a message at simulated time `now`. The frame is encoded,
@@ -156,15 +241,16 @@ impl ShipNetwork {
         if !self.is_registered(to) {
             return Err(Error::Network(format!("unknown endpoint {to}")));
         }
-        self.stats.sent += 1;
+        self.m_sent.inc();
         if self.partitioned.contains(&from) || self.partitioned.contains(&to) {
-            self.stats.dropped += 1;
-            return Ok(()); // silently lost, like a real partition
+            // Silently lost, like a real partition.
+            self.count_drop(to, "drop", format!("{from}->{to} lost to partition"));
+            return Ok(());
         }
         if self.config.drop_probability > 0.0
             && self.rng.gen_range(0.0..1.0) < self.config.drop_probability
         {
-            self.stats.dropped += 1;
+            self.count_drop(to, "drop", format!("{from}->{to} random loss"));
             return Ok(());
         }
         let frame = encode_message(msg)?;
@@ -179,6 +265,7 @@ impl ShipNetwork {
             deliver_at,
             seq: self.seq,
             to,
+            sent_at: now,
             frame,
         }));
         Ok(())
@@ -193,19 +280,30 @@ impl ShipNetwork {
             let Reverse(f) = self.in_flight.pop().expect("peeked");
             // A partition raised after send loses in-flight frames too.
             if self.partitioned.contains(&f.to) {
-                self.stats.dropped += 1;
+                self.count_drop(
+                    f.to,
+                    "drop",
+                    format!("in-flight to {} lost to partition", f.to),
+                );
                 continue;
             }
+            let to = f.to;
+            let transit = f.deliver_at.since(f.sent_at);
             match decode_message(f.frame) {
                 Ok(msg) => {
-                    self.stats.delivered += 1;
+                    self.m_delivered.inc();
+                    if let Some(ep) = self.per_endpoint.get(&to) {
+                        ep.delivered.inc();
+                    }
+                    self.bus_transit.record(transit.as_secs());
+                    self.telemetry.record_span_sim(Stage::BusTransit, transit);
                     self.inboxes
-                        .get_mut(&f.to)
+                        .get_mut(&to)
                         .expect("registered at send time")
                         .push_back(msg);
                 }
-                Err(_) => {
-                    self.stats.dropped += 1;
+                Err(e) => {
+                    self.count_drop(to, "drop", format!("undecodable frame to {to}: {e}"));
                 }
             }
         }
@@ -220,9 +318,35 @@ impl ShipNetwork {
             .unwrap_or_default()
     }
 
-    /// Delivery counters.
+    /// Delivery counters (read from the telemetry registry; the struct
+    /// shape predates it and is kept for compatibility).
     pub fn stats(&self) -> NetStats {
-        self.stats
+        NetStats {
+            sent: self.m_sent.get() as usize,
+            delivered: self.m_delivered.get() as usize,
+            dropped: self.m_dropped.get() as usize,
+        }
+    }
+
+    /// Frames delivered to one endpoint so far.
+    pub fn delivered_to(&self, endpoint: Endpoint) -> u64 {
+        self.per_endpoint
+            .get(&endpoint)
+            .map(|ep| ep.delivered.get())
+            .unwrap_or(0)
+    }
+
+    /// Frames addressed to one endpoint and lost so far.
+    pub fn dropped_to(&self, endpoint: Endpoint) -> u64 {
+        self.per_endpoint
+            .get(&endpoint)
+            .map(|ep| ep.dropped.get())
+            .unwrap_or(0)
+    }
+
+    /// The bus-transit latency histogram (simulated seconds).
+    pub fn bus_transit(&self) -> Arc<Histogram> {
+        Arc::clone(&self.bus_transit)
     }
 
     /// Frames currently in flight.
@@ -258,10 +382,17 @@ mod tests {
     fn messages_arrive_after_latency() {
         let mut net = network(0.0);
         let t0 = SimTime::ZERO;
-        net.send(t0, Endpoint::Dc(DcId::new(1)), Endpoint::Pdme, &heartbeat(1))
-            .unwrap();
+        net.send(
+            t0,
+            Endpoint::Dc(DcId::new(1)),
+            Endpoint::Pdme,
+            &heartbeat(1),
+        )
+        .unwrap();
         // Too early: nothing.
-        assert!(net.recv(Endpoint::Pdme, t0 + SimDuration::from_millis(5.0)).is_empty());
+        assert!(net
+            .recv(Endpoint::Pdme, t0 + SimDuration::from_millis(5.0))
+            .is_empty());
         assert_eq!(net.in_flight_count(), 1);
         // After max latency (10 + 5 ms) it is there.
         let got = net.recv(Endpoint::Pdme, t0 + SimDuration::from_millis(20.0));
@@ -317,10 +448,17 @@ mod tests {
     fn drops_are_counted_not_delivered() {
         let mut net = network(1.0); // everything drops
         for _ in 0..10 {
-            net.send(SimTime::ZERO, Endpoint::Dc(DcId::new(1)), Endpoint::Pdme, &heartbeat(1))
-                .unwrap();
+            net.send(
+                SimTime::ZERO,
+                Endpoint::Dc(DcId::new(1)),
+                Endpoint::Pdme,
+                &heartbeat(1),
+            )
+            .unwrap();
         }
-        assert!(net.recv(Endpoint::Pdme, SimTime::from_secs(10.0)).is_empty());
+        assert!(net
+            .recv(Endpoint::Pdme, SimTime::from_secs(10.0))
+            .is_empty());
         let s = net.stats();
         assert_eq!(s.sent, 10);
         assert_eq!(s.dropped, 10);
@@ -349,7 +487,8 @@ mod tests {
         let mut net = network(0.0);
         let dc = Endpoint::Dc(DcId::new(1));
         net.set_partitioned(dc, true);
-        net.send(SimTime::ZERO, dc, Endpoint::Pdme, &heartbeat(1)).unwrap();
+        net.send(SimTime::ZERO, dc, Endpoint::Pdme, &heartbeat(1))
+            .unwrap();
         assert_eq!(net.stats().dropped, 1, "partitioned sender loses frames");
         net.set_partitioned(dc, false);
         net.send(SimTime::from_secs(1.0), dc, Endpoint::Pdme, &heartbeat(1))
@@ -361,11 +500,95 @@ mod tests {
     #[test]
     fn partition_raised_midflight_loses_in_flight_frames() {
         let mut net = network(0.0);
-        net.send(SimTime::ZERO, Endpoint::Dc(DcId::new(1)), Endpoint::Pdme, &heartbeat(1))
-            .unwrap();
+        net.send(
+            SimTime::ZERO,
+            Endpoint::Dc(DcId::new(1)),
+            Endpoint::Pdme,
+            &heartbeat(1),
+        )
+        .unwrap();
         net.set_partitioned(Endpoint::Pdme, true);
         assert!(net.recv(Endpoint::Pdme, SimTime::from_secs(1.0)).is_empty());
         assert_eq!(net.stats().dropped, 1);
+    }
+
+    #[test]
+    fn partition_heal_redelivery_accounting_is_exact() {
+        // Lossless network; every frame must be accounted for as either
+        // delivered or dropped, globally and per endpoint, across a
+        // partition → heal → redelivery cycle.
+        let mut net = network(0.0);
+        let dc = Endpoint::Dc(DcId::new(1));
+        let pdme = Endpoint::Pdme;
+
+        // Phase 1: healthy traffic, delivered.
+        for i in 0..5 {
+            net.send(SimTime::from_secs(i as f64), dc, pdme, &heartbeat(1))
+                .unwrap();
+        }
+        assert_eq!(net.recv(pdme, SimTime::from_secs(10.0)).len(), 5);
+
+        // Phase 2: one frame in flight, then the PDME partitions — the
+        // in-flight frame and everything sent during the outage is lost.
+        net.send(SimTime::from_secs(10.0), dc, pdme, &heartbeat(1))
+            .unwrap();
+        net.set_partitioned(pdme, true);
+        for i in 0..3 {
+            net.send(SimTime::from_secs(11.0 + i as f64), dc, pdme, &heartbeat(1))
+                .unwrap();
+        }
+        assert!(net.recv(pdme, SimTime::from_secs(20.0)).is_empty());
+
+        // Phase 3: heal; traffic flows again.
+        net.set_partitioned(pdme, false);
+        for i in 0..4 {
+            net.send(SimTime::from_secs(21.0 + i as f64), dc, pdme, &heartbeat(1))
+                .unwrap();
+        }
+        assert_eq!(net.recv(pdme, SimTime::from_secs(30.0)).len(), 4);
+
+        let s = net.stats();
+        assert_eq!(s.sent, 13);
+        assert_eq!(s.delivered, 9);
+        assert_eq!(s.dropped, 4, "1 in-flight + 3 during the outage");
+        assert_eq!(s.sent, s.delivered + s.dropped, "nothing unaccounted");
+        // Per-endpoint counters agree with the global ones (all traffic
+        // was addressed to the PDME).
+        assert_eq!(net.delivered_to(pdme), 9);
+        assert_eq!(net.dropped_to(pdme), 4);
+        assert_eq!(net.delivered_to(dc), 0);
+        // The journal saw the partition raise and heal.
+        let kinds: Vec<String> = net
+            .telemetry()
+            .events()
+            .iter()
+            .map(|e| e.kind.clone())
+            .collect();
+        assert!(kinds.contains(&"partition".to_owned()));
+        assert!(kinds.contains(&"heal".to_owned()));
+        // Bus-transit latency was histogrammed for each delivery, and
+        // sits inside the configured latency + jitter window.
+        let transit = net.bus_transit();
+        assert_eq!(transit.count(), 9);
+        assert!(transit.min().unwrap() >= 0.010);
+        assert!(transit.max().unwrap() <= 0.015 + 1e-12);
+    }
+
+    #[test]
+    fn set_telemetry_carries_existing_counts_over() {
+        let mut net = network(0.0);
+        let dc = Endpoint::Dc(DcId::new(1));
+        net.send(SimTime::ZERO, dc, Endpoint::Pdme, &heartbeat(1))
+            .unwrap();
+        assert_eq!(net.recv(Endpoint::Pdme, SimTime::from_secs(1.0)).len(), 1);
+        let shared = Telemetry::new();
+        net.set_telemetry(&shared);
+        assert_eq!(net.stats().sent, 1);
+        assert_eq!(net.delivered_to(Endpoint::Pdme), 1);
+        assert_eq!(shared.counter("net", "sent").get(), 1, "totals migrated");
+        net.send(SimTime::from_secs(2.0), dc, Endpoint::Pdme, &heartbeat(1))
+            .unwrap();
+        assert_eq!(shared.counter("net", "sent").get(), 2);
     }
 
     #[test]

@@ -87,7 +87,9 @@ pub fn decode_message(mut frame: Bytes) -> Result<NetMessage> {
     }
     let version = frame.get_u8();
     if version != VERSION {
-        return Err(Error::Encoding(format!("unsupported frame version {version}")));
+        return Err(Error::Encoding(format!(
+            "unsupported frame version {version}"
+        )));
     }
     let tag = frame.get_u8();
     let len = frame.get_u32_le() as usize;

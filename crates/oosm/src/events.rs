@@ -104,8 +104,7 @@ impl EventBus {
     /// Publish an event to every live subscriber; dropped subscribers
     /// are pruned.
     pub fn publish(&mut self, event: OosmEvent) {
-        self.subscribers
-            .retain(|tx| tx.send(event.clone()).is_ok());
+        self.subscribers.retain(|tx| tx.send(event.clone()).is_ok());
     }
 
     /// Number of live subscribers.

@@ -3,7 +3,9 @@
 use crate::events::{EventBus, OosmEvent, Subscription};
 use crate::store::{Store, Value};
 use mpros_core::{Error, ObjectId, Result};
+use mpros_telemetry::{Counter, Telemetry};
 use std::fmt;
+use std::sync::Arc;
 
 /// Kinds of OOSM objects. §4.2: "Some of the OOSM objects represent
 /// physical entities such as sensors, motors, compressors, decks, and
@@ -113,6 +115,8 @@ pub struct Oosm {
     bus: EventBus,
     next_object: u64,
     next_row: i64,
+    telemetry: Telemetry,
+    pub(crate) m_reports_posted: Arc<Counter>,
 }
 
 impl Default for Oosm {
@@ -145,12 +149,33 @@ impl Oosm {
         ] {
             store.create_index(table, column).expect("fresh schema");
         }
+        let telemetry = Telemetry::new();
+        let m_reports_posted = telemetry.counter("oosm", "reports_posted");
         Oosm {
             store,
             bus: EventBus::new(),
             next_object: 0,
             next_row: 0,
+            telemetry,
+            m_reports_posted,
         }
+    }
+
+    /// Join a shared telemetry domain, carrying counter totals over.
+    /// Call at wiring time, before traffic.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        if self.telemetry.same_domain(telemetry) {
+            return;
+        }
+        let posted = telemetry.counter("oosm", "reports_posted");
+        posted.add(self.m_reports_posted.get());
+        self.m_reports_posted = posted;
+        self.telemetry = telemetry.clone();
+    }
+
+    /// The telemetry domain this model records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Subscribe to change events (§4.5).
@@ -373,11 +398,10 @@ impl Oosm {
             return Err(Error::not_found(object.to_string()));
         }
         let oid = Value::Int(object.raw() as i64);
-        self.store
-            .delete("objects", {
-                let oid = oid.clone();
-                move |r| r[0] == oid
-            })?;
+        self.store.delete("objects", {
+            let oid = oid.clone();
+            move |r| r[0] == oid
+        })?;
         self.store.delete("properties", {
             let oid = oid.clone();
             move |r| r[1] == oid
@@ -390,7 +414,9 @@ impl Oosm {
 
     /// Number of live objects.
     pub fn object_count(&self) -> usize {
-        self.store.row_count("objects").expect("objects table exists")
+        self.store
+            .row_count("objects")
+            .expect("objects table exists")
     }
 }
 
@@ -478,11 +504,16 @@ mod tests {
         let (mut o, _, _, motor) = ship_model();
         o.set_property(motor, "manufacturer", Value::Text("GE".into()))
             .unwrap();
-        o.set_property(motor, "rated_kw", Value::Float(450.0)).unwrap();
+        o.set_property(motor, "rated_kw", Value::Float(450.0))
+            .unwrap();
         o.set_property(motor, "poles", Value::Int(2)).unwrap();
-        o.set_property(motor, "critical", Value::Bool(true)).unwrap();
+        o.set_property(motor, "critical", Value::Bool(true))
+            .unwrap();
         o.set_property(motor, "notes", Value::Null).unwrap();
-        assert_eq!(o.property(motor, "manufacturer"), Some(Value::Text("GE".into())));
+        assert_eq!(
+            o.property(motor, "manufacturer"),
+            Some(Value::Text("GE".into()))
+        );
         assert_eq!(o.property(motor, "rated_kw"), Some(Value::Float(450.0)));
         assert_eq!(o.property(motor, "poles"), Some(Value::Int(2)));
         assert_eq!(o.property(motor, "critical"), Some(Value::Bool(true)));
@@ -514,9 +545,7 @@ mod tests {
         o.relate(chiller, Relation::PartOf, ship).unwrap(); // duplicate
         let rels = o
             .store()
-            .select("relationships", |r| {
-                r[2] == Value::Text("part_of".into())
-            })
+            .select("relationships", |r| r[2] == Value::Text("part_of".into()))
             .unwrap();
         assert_eq!(rels.len(), 3, "no duplicate rows");
         assert!(o.relate(ship, Relation::PartOf, ObjectId::new(88)).is_err());

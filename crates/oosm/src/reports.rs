@@ -12,6 +12,7 @@ use crate::events::OosmEvent;
 use crate::model::{ObjectKind, Oosm, Relation};
 use crate::store::Value;
 use mpros_core::{ConditionReport, Error, MachineId, ObjectId, ReportId, Result};
+use mpros_telemetry::{Stage, WallTimer};
 
 /// Report-repository operations on the OOSM.
 impl Oosm {
@@ -39,15 +40,17 @@ impl Oosm {
     /// arriving to the PDME are posted in the OOSM"). Returns the report
     /// object. Publishes [`OosmEvent::ReportPosted`].
     pub fn post_report(&mut self, report: &ConditionReport) -> Result<ObjectId> {
+        let timer = WallTimer::start();
         let json = serde_json::to_string(report)
             .map_err(|e| Error::Encoding(format!("report serialization: {e}")))?;
-        let obj = self.create_object(
-            ObjectKind::Report,
-            &format!("report-{}", report.id.raw()),
-        );
+        let obj = self.create_object(ObjectKind::Report, &format!("report-{}", report.id.raw()));
         self.set_property(obj, "report_id", Value::Int(report.id.raw() as i64))?;
         self.set_property(obj, "machine_id", Value::Int(report.machine.raw() as i64))?;
-        self.set_property(obj, "condition", Value::Int(report.condition.index() as i64))?;
+        self.set_property(
+            obj,
+            "condition",
+            Value::Int(report.condition.index() as i64),
+        )?;
         self.set_property(obj, "belief", Value::Float(report.belief.value()))?;
         self.set_property(obj, "severity", Value::Float(report.severity.value()))?;
         self.set_property(obj, "timestamp", Value::Float(report.timestamp.as_secs()))?;
@@ -59,6 +62,9 @@ impl Oosm {
             report: report.id,
             object: obj,
         });
+        self.m_reports_posted.inc();
+        self.telemetry()
+            .record_span_wall(Stage::OosmPost, timer.elapsed());
         Ok(obj)
     }
 

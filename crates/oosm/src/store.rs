@@ -242,9 +242,7 @@ impl Store {
     /// Fetch by primary key (first column `Int`).
     pub fn get(&self, table: &str, pk: i64) -> Result<Option<&Row>> {
         let t = self.table(table)?;
-        Ok(t.pk_index
-            .get(&pk)
-            .and_then(|&i| t.rows[i].as_ref()))
+        Ok(t.pk_index.get(&pk).and_then(|&i| t.rows[i].as_ref()))
     }
 
     /// Rows matching `predicate` (full scan).
@@ -276,11 +274,7 @@ impl Store {
                 return Ok(sec
                     .map
                     .get(&key)
-                    .map(|rows| {
-                        rows.iter()
-                            .filter_map(|&r| t.rows[r].as_ref())
-                            .collect()
-                    })
+                    .map(|rows| rows.iter().filter_map(|&r| t.rows[r].as_ref()).collect())
                     .unwrap_or_default());
             }
         }
@@ -408,12 +402,20 @@ mod tests {
         s.create_table("machines", &["id", "name", "rpm"]).unwrap();
         s.insert(
             "machines",
-            vec![Value::Int(1), Value::Text("motor".into()), Value::Float(3550.0)],
+            vec![
+                Value::Int(1),
+                Value::Text("motor".into()),
+                Value::Float(3550.0),
+            ],
         )
         .unwrap();
         s.insert(
             "machines",
-            vec![Value::Int(2), Value::Text("pump".into()), Value::Float(1750.0)],
+            vec![
+                Value::Int(2),
+                Value::Text("pump".into()),
+                Value::Float(1750.0),
+            ],
         )
         .unwrap();
         s
@@ -545,12 +547,8 @@ mod index_tests {
     #[test]
     fn indexed_select_matches_scan() {
         let s = indexed_store();
-        let via_index = s
-            .select_eq("props", "object_id", &Value::Int(3))
-            .unwrap();
-        let via_scan = s
-            .select("props", |r| r[1] == Value::Int(3))
-            .unwrap();
+        let via_index = s.select_eq("props", "object_id", &Value::Int(3)).unwrap();
+        let via_scan = s.select("props", |r| r[1] == Value::Int(3)).unwrap();
         assert_eq!(via_index.len(), 10);
         assert_eq!(via_index.len(), via_scan.len());
     }
@@ -565,7 +563,9 @@ mod index_tests {
             .is_empty());
         // Other keys untouched.
         assert_eq!(
-            s.select_eq("props", "object_id", &Value::Int(4)).unwrap().len(),
+            s.select_eq("props", "object_id", &Value::Int(4))
+                .unwrap()
+                .len(),
             10
         );
     }
@@ -580,9 +580,14 @@ mod index_tests {
             |r| r[1] = Value::Int(77),
         )
         .unwrap();
-        assert!(s.select_eq("props", "object_id", &Value::Int(3)).unwrap().is_empty());
+        assert!(s
+            .select_eq("props", "object_id", &Value::Int(3))
+            .unwrap()
+            .is_empty());
         assert_eq!(
-            s.select_eq("props", "object_id", &Value::Int(77)).unwrap().len(),
+            s.select_eq("props", "object_id", &Value::Int(77))
+                .unwrap()
+                .len(),
             10
         );
     }

@@ -169,7 +169,8 @@ mod tests {
         )
         .id(ReportId::new(1))
         .build();
-        p.handle_message(&NetMessage::Report(r), SimTime::ZERO).unwrap();
+        p.handle_message(&NetMessage::Report(r), SimTime::ZERO)
+            .unwrap();
         p.process_events().unwrap();
         let after = machine_view(&p, MachineId::new(1));
         assert_ne!(before, after);

@@ -19,7 +19,9 @@ use mpros_core::{ConditionReport, DcId, MachineId, Result, SimDuration, SimTime}
 use mpros_fusion::{FusionEngine, MaintenanceItem};
 use mpros_network::NetMessage;
 use mpros_oosm::{ObjectKind, Oosm, OosmEvent, Subscription, Value};
+use mpros_telemetry::{Counter, Histogram, Stage, Telemetry, WallTimer};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Reserved DC id for PDME-resident knowledge sources (§5.7); their
 /// reports skip the resident-algorithm pass to bound recursion.
@@ -43,7 +45,9 @@ pub struct PdmeExecutive {
     fusion: FusionEngine,
     resident: Vec<Box<dyn ResidentAlgorithm>>,
     dc_last_seen: HashMap<DcId, SimTime>,
-    reports_received: usize,
+    telemetry: Telemetry,
+    m_reports_received: Arc<Counter>,
+    h_report_latency: Arc<Histogram>,
 }
 
 impl Default for PdmeExecutive {
@@ -57,14 +61,43 @@ impl PdmeExecutive {
     pub fn new() -> Self {
         let mut oosm = Oosm::new();
         let kf_events = oosm.subscribe();
+        let telemetry = Telemetry::new();
+        let m_reports_received = telemetry.counter("pdme", "reports_received");
+        let h_report_latency = telemetry.histogram("pdme", "report_latency_s");
+        let mut fusion = FusionEngine::new();
+        fusion.set_telemetry(&telemetry);
+        oosm.set_telemetry(&telemetry);
         PdmeExecutive {
             oosm,
             kf_events,
-            fusion: FusionEngine::new(),
+            fusion,
             resident: Vec::new(),
             dc_last_seen: HashMap::new(),
-            reports_received: 0,
+            telemetry,
+            m_reports_received,
+            h_report_latency,
         }
+    }
+
+    /// Join a shared telemetry domain, cascading to the fusion engine
+    /// and the ship model and carrying counter totals over. Call at
+    /// wiring time, before traffic.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        if self.telemetry.same_domain(telemetry) {
+            return;
+        }
+        let received = telemetry.counter("pdme", "reports_received");
+        received.add(self.m_reports_received.get());
+        self.m_reports_received = received;
+        self.h_report_latency = telemetry.histogram("pdme", "report_latency_s");
+        self.fusion.set_telemetry(telemetry);
+        self.oosm.set_telemetry(telemetry);
+        self.telemetry = telemetry.clone();
+    }
+
+    /// The telemetry domain this executive records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Register a monitored machine in the ship model.
@@ -95,7 +128,7 @@ impl PdmeExecutive {
 
     /// Reports received over the network so far.
     pub fn reports_received(&self) -> usize {
-        self.reports_received
+        self.m_reports_received.get() as usize
     }
 
     /// Step 1: accept a network message. Reports are posted to the OOSM;
@@ -104,9 +137,19 @@ impl PdmeExecutive {
     pub fn handle_message(&mut self, msg: &NetMessage, now: SimTime) -> Result<usize> {
         match msg {
             NetMessage::Report(report) => {
+                let timer = WallTimer::start();
                 self.dc_last_seen.insert(report.dc, now);
                 self.oosm.post_report(report)?;
-                self.reports_received += 1;
+                self.m_reports_received.inc();
+                // End-to-end scenario latency: report creation at the DC
+                // to ingestion here, in simulated time.
+                let e2e = now.since(report.timestamp);
+                if !e2e.is_negative() {
+                    self.h_report_latency.record(e2e.as_secs());
+                    self.telemetry.record_span_sim(Stage::PdmeIngest, e2e);
+                }
+                self.telemetry
+                    .record_span_wall(Stage::PdmeIngest, timer.elapsed());
                 Ok(1)
             }
             NetMessage::Heartbeat { dc, .. } => {
@@ -168,13 +211,34 @@ impl PdmeExecutive {
         self.fusion.maintenance_list()
     }
 
-    /// DC liveness: ids seen within `timeout` of `now`.
+    /// DC liveness: ids seen within `timeout` of `now`. Publishes the
+    /// worst (largest) staleness across DCs as the
+    /// `pdme.dc_staleness_max` gauge and journals newly stale DCs.
     pub fn dc_health(&self, now: SimTime, timeout: SimDuration) -> Vec<(DcId, bool)> {
+        let mut worst = SimDuration::ZERO;
         let mut out: Vec<(DcId, bool)> = self
             .dc_last_seen
             .iter()
-            .map(|(&dc, &seen)| (dc, now.since(seen) <= timeout))
+            .map(|(&dc, &seen)| {
+                let staleness = now.since(seen);
+                if staleness > worst {
+                    worst = staleness;
+                }
+                let alive = staleness <= timeout;
+                if !alive {
+                    self.telemetry.event_at(
+                        now,
+                        "pdme",
+                        "dc_stale",
+                        format!("{dc} silent for {staleness} (timeout {timeout})"),
+                    );
+                }
+                (dc, alive)
+            })
             .collect();
+        self.telemetry
+            .gauge("pdme", "dc_staleness_max")
+            .set(worst.as_secs());
         out.sort_by_key(|(dc, _)| *dc);
         out
     }
@@ -300,6 +364,45 @@ mod tests {
         .unwrap();
         let health = p.dc_health(SimTime::from_secs(130.0), SimDuration::from_secs(60.0));
         assert_eq!(health, vec![(DcId::new(1), false), (DcId::new(2), true)]);
+    }
+
+    #[test]
+    fn silent_dc_is_flagged_stale_after_configurable_timeout() {
+        let mut p = pdme();
+        let timeout = SimDuration::from_secs(45.0);
+        // Both DCs check in at t=0; only DC 2 keeps reporting.
+        for dc in [1, 2] {
+            p.handle_message(
+                &NetMessage::Heartbeat {
+                    dc: DcId::new(dc),
+                    at_secs: 0.0,
+                },
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        p.handle_message(
+            &NetMessage::Heartbeat {
+                dc: DcId::new(2),
+                at_secs: 60.0,
+            },
+            SimTime::from_secs(60.0),
+        )
+        .unwrap();
+        // Within the timeout of everyone's last contact: all healthy,
+        // gauge holds the worst staleness (DC 1, 40 s).
+        let health = p.dc_health(SimTime::from_secs(40.0), timeout);
+        assert_eq!(health, vec![(DcId::new(1), true), (DcId::new(2), true)]);
+        assert_eq!(p.telemetry().gauge("pdme", "dc_staleness_max").get(), 40.0);
+        assert!(p.telemetry().events().is_empty());
+        // Past DC 1's timeout: flagged stale, journaled, gauge tracks it.
+        let health = p.dc_health(SimTime::from_secs(100.0), timeout);
+        assert_eq!(health, vec![(DcId::new(1), false), (DcId::new(2), true)]);
+        assert_eq!(p.telemetry().gauge("pdme", "dc_staleness_max").get(), 100.0);
+        let events = p.telemetry().events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "dc_stale");
+        assert!(events[0].detail.contains("DC-0001"), "{}", events[0].detail);
     }
 
     struct Escalator;

@@ -72,10 +72,7 @@ pub fn health_of(pdme: &PdmeExecutive, object: ObjectId) -> HealthReport {
     } else {
         (1.0, None)
     };
-    let parts_min = parts
-        .iter()
-        .map(|p| p.health)
-        .fold(1.0f64, f64::min);
+    let parts_min = parts.iter().map(|p| p.health).fold(1.0f64, f64::min);
     HealthReport {
         object,
         name,
@@ -90,10 +87,7 @@ pub fn health_of(pdme: &PdmeExecutive, object: ObjectId) -> HealthReport {
 pub fn render(report: &HealthReport) -> String {
     let mut out = String::new();
     fn walk(r: &HealthReport, depth: usize, out: &mut String) {
-        let driver = r
-            .driver
-            .map(|c| format!(" ← {c}"))
-            .unwrap_or_default();
+        let driver = r.driver.map(|c| format!(" ← {c}")).unwrap_or_default();
         let _ = writeln!(
             out,
             "{}{} [{}] health {:.0}%{}",
@@ -145,7 +139,8 @@ mod tests {
         .id(ReportId::new(1))
         .severity(0.7)
         .build();
-        p.handle_message(&NetMessage::Report(r), SimTime::ZERO).unwrap();
+        p.handle_message(&NetMessage::Report(r), SimTime::ZERO)
+            .unwrap();
         p.process_events().unwrap();
         (p, ship, plant)
     }
@@ -164,7 +159,11 @@ mod tests {
         let (p, ship, plant) = rigged();
         let plant_h = health_of(&p, plant);
         let ship_h = health_of(&p, ship);
-        assert!((plant_h.health - 0.2).abs() < 1e-6, "plant {}", plant_h.health);
+        assert!(
+            (plant_h.health - 0.2).abs() < 1e-6,
+            "plant {}",
+            plant_h.health
+        );
         assert!((ship_h.health - 0.2).abs() < 1e-6, "ship {}", ship_h.health);
         // The healthy pump reports perfect health inside the tree.
         let pump = plant_h

@@ -87,7 +87,8 @@ impl Historian {
     /// the service clock for that (machine, condition) restarts at `at`.
     pub fn record(&mut self, record: MaintenanceRecord) {
         if record.service_life.is_some() {
-            self.in_service.insert((record.machine, record.condition), record.at);
+            self.in_service
+                .insert((record.machine, record.condition), record.at);
         }
         self.records.push(record);
     }
@@ -172,11 +173,20 @@ mod tests {
         h.record(record(1.0, 1, c, Outcome::Confirmed, Some(5_000.0)));
         h.record(record(2.0, 2, c, Outcome::Confirmed, Some(6_000.0)));
         h.record(record(3.0, 3, c, Outcome::Reversed, None));
-        h.record(record(4.0, 1, MachineCondition::GearToothWear, Outcome::Confirmed, None));
+        h.record(record(
+            4.0,
+            1,
+            MachineCondition::GearToothWear,
+            Outcome::Confirmed,
+            None,
+        ));
         let s = h.stats(c);
         assert_eq!((s.confirmed, s.reversed), (2, 1));
         assert!(s.believability() > 0.5);
-        assert_eq!(h.stats(MachineCondition::CompressorSurge), ConditionStats::default());
+        assert_eq!(
+            h.stats(MachineCondition::CompressorSurge),
+            ConditionStats::default()
+        );
         assert_eq!(h.len(), 4);
     }
 
@@ -188,7 +198,11 @@ mod tests {
         h.component_installed(MachineId::new(2), c, SimTime::ZERO);
         let now = SimTime::from_secs(2_500.0 * 3_600.0);
         let lives = h.lifetimes(c, now);
-        assert_eq!(lives.len(), 3, "failure + 2 in-service (m1 replaced, m2 fresh)");
+        assert_eq!(
+            lives.len(),
+            3,
+            "failure + 2 in-service (m1 replaced, m2 fresh)"
+        );
         assert_eq!(lives.iter().filter(|l| l.failed).count(), 1);
         let censored: Vec<f64> = lives.iter().filter(|l| !l.failed).map(|l| l.time).collect();
         assert!(censored.contains(&2_500.0));
@@ -216,7 +230,11 @@ mod tests {
         let now = SimTime::from_secs(3_000.0 * 3_600.0);
         let fit = h.life_model(c, now).unwrap();
         assert!((fit.shape - 2.0).abs() < 0.5, "shape {}", fit.shape);
-        assert!((fit.scale - 8_000.0).abs() / 8_000.0 < 0.25, "scale {}", fit.scale);
+        assert!(
+            (fit.scale - 8_000.0).abs() / 8_000.0 < 0.25,
+            "scale {}",
+            fit.scale
+        );
         // Too little data for another class.
         assert!(h
             .life_model(MachineCondition::GearToothWear, SimTime::ZERO)

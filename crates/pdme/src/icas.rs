@@ -147,8 +147,7 @@ impl IcasSnapshot {
 mod tests {
     use super::*;
     use mpros_core::{
-        Belief, ConditionReport, DcId, MachineCondition, MachineId, PrognosticVector,
-        ReportId,
+        Belief, ConditionReport, DcId, MachineCondition, MachineId, PrognosticVector, ReportId,
     };
     use mpros_network::NetMessage;
 
@@ -192,7 +191,13 @@ mod tests {
         assert_eq!(m2.health, 1.0);
         assert!(m2.conditions.is_empty());
         // DC liveness from the report's heartbeat side effect.
-        assert_eq!(snap.data_concentrators, vec![IcasDc { dc_id: 1, alive: true }]);
+        assert_eq!(
+            snap.data_concentrators,
+            vec![IcasDc {
+                dc_id: 1,
+                alive: true
+            }]
+        );
     }
 
     #[test]

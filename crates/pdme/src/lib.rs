@@ -30,8 +30,8 @@ pub mod resident;
 pub mod shared;
 
 pub use executive::{PdmeExecutive, ResidentAlgorithm};
+pub use health::{health_of, HealthReport};
 pub use historian::Historian;
 pub use icas::{export_snapshot, IcasSnapshot};
-pub use shared::SharedPdme;
-pub use health::{health_of, HealthReport};
 pub use resident::{FlowCorrelator, SpatialCorrelator};
+pub use shared::SharedPdme;

@@ -18,8 +18,7 @@
 
 use crate::executive::ResidentAlgorithm;
 use mpros_core::{
-    Belief, ConditionReport, KnowledgeSourceId, MachineCondition, MachineId, ObjectId,
-    ReportId,
+    Belief, ConditionReport, KnowledgeSourceId, MachineCondition, MachineId, ObjectId, ReportId,
 };
 use mpros_oosm::{Oosm, Relation};
 
@@ -81,9 +80,7 @@ impl ResidentAlgorithm for SpatialCorrelator {
     }
 
     fn on_report(&mut self, report: &ConditionReport, model: &Oosm) -> Vec<ConditionReport> {
-        if !report.condition.is_vibration_fault()
-            || report.belief.value() >= self.weak_threshold
-        {
+        if !report.condition.is_vibration_fault() || report.belief.value() >= self.weak_threshold {
             return Vec::new();
         }
         let Some(subject) = model.machine_object(report.machine) else {
@@ -95,8 +92,7 @@ impl ResidentAlgorithm for SpatialCorrelator {
         neighbours.extend(model.related_to(subject, Relation::ProximateTo));
         let mut out = Vec::new();
         for n in neighbours {
-            let Some((source_cond, source_belief)) =
-                strongest_in_group(model, n, report.condition)
+            let Some((source_cond, source_belief)) = strongest_in_group(model, n, report.condition)
             else {
                 continue;
             };
@@ -108,20 +104,16 @@ impl ResidentAlgorithm for SpatialCorrelator {
             };
             self.next_id += 1;
             out.push(
-                ConditionReport::builder(
-                    source_machine,
-                    source_cond,
-                    Belief::new(0.15),
-                )
-                .id(ReportId::new(980_000_000 + self.next_id))
-                .knowledge_source(KS_SPATIAL)
-                .timestamp(report.timestamp)
-                .explanation(format!(
-                    "spatial correlation: weak {} signature on {} is consistent with \
+                ConditionReport::builder(source_machine, source_cond, Belief::new(0.15))
+                    .id(ReportId::new(980_000_000 + self.next_id))
+                    .knowledge_source(KS_SPATIAL)
+                    .timestamp(report.timestamp)
+                    .explanation(format!(
+                        "spatial correlation: weak {} signature on {} is consistent with \
                      transmitted vibration from {} on the proximate {}",
-                    report.condition, report.machine, source_cond, source_machine
-                ))
-                .build(),
+                        report.condition, report.machine, source_cond, source_machine
+                    ))
+                    .build(),
             );
         }
         out
@@ -155,9 +147,7 @@ impl ResidentAlgorithm for FlowCorrelator {
 
     fn on_report(&mut self, report: &ConditionReport, model: &Oosm) -> Vec<ConditionReport> {
         // Only strongly believed process faults propagate along flow.
-        if report.condition.is_vibration_fault()
-            || report.belief.value() < self.trigger_threshold
-        {
+        if report.condition.is_vibration_fault() || report.belief.value() < self.trigger_threshold {
             return Vec::new();
         }
         let Some(subject) = model.machine_object(report.machine) else {

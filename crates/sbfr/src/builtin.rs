@@ -216,8 +216,8 @@ impl EmaTraceGenerator {
                 let n_spikes = (self.stiction_level * 3.0).round() as usize;
                 for _ in 0..n_spikes {
                     // Keep clear of the command transient (first 8 cycles).
-                    let off = 10 + (next_rand() * (self.command_period as f64 - 14.0))
-                        .max(0.0) as usize;
+                    let off =
+                        10 + (next_rand() * (self.command_period as f64 - 14.0)).max(0.0) as usize;
                     spike_at.push(p * self.command_period + off);
                 }
             }
@@ -318,9 +318,9 @@ mod tests {
         let trace: Vec<[f64; 2]> = vec![
             [2.0, 0.0],
             [2.0, 0.0],
-            [4.0, 0.0],  // rise → P1
-            [3.0, 0.0],  // fall → P2
-            [2.0, 0.0],  // fall → Spike
+            [4.0, 0.0], // rise → P1
+            [3.0, 0.0], // fall → P2
+            [2.0, 0.0], // fall → Spike
             [2.0, 0.0],
         ];
         run(&mut it, &trace);

@@ -196,9 +196,7 @@ impl Expr {
                 op::PUSH_ELAPSED => stack.push(Expr::Elapsed),
                 op::PUSH_CONST => {
                     let at = take(&mut i, 4)?;
-                    let v = f32::from_le_bytes(
-                        bytes[at..at + 4].try_into().expect("4 bytes"),
-                    );
+                    let v = f32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
                     stack.push(Expr::Const(v));
                 }
                 op::LT | op::LE | op::GT | op::GE | op::EQ | op::NE => {
@@ -389,7 +387,7 @@ mod tests {
         assert!(Expr::decode(&[0xFF]).is_err());
         assert!(Expr::decode(&[op::PUSH_CONST, 1, 2]).is_err()); // truncated f32
         assert!(Expr::decode(&[op::AND]).is_err()); // stack underflow
-        // Two operands, no operator → unbalanced.
+                                                    // Two operands, no operator → unbalanced.
         let mut buf = Vec::new();
         Expr::Input(0).encode(&mut buf);
         Expr::Input(1).encode(&mut buf);

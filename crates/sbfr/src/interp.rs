@@ -220,8 +220,7 @@ impl Interpreter {
         for _ in 0..n_trans {
             let img = &self.machines[m];
             let target = img.image[at];
-            let cond_len =
-                u16::from_le_bytes([img.image[at + 1], img.image[at + 2]]) as usize;
+            let cond_len = u16::from_le_bytes([img.image[at + 1], img.image[at + 2]]) as usize;
             let cond_start = at + 3;
             let cond_end = cond_start + cond_len;
             let n_actions = img.image[cond_end] as usize;
@@ -329,9 +328,7 @@ impl Interpreter {
                 }
                 op::PUSH_ELAPSED => push!(self.elapsed[m] as f64),
                 op::PUSH_CONST => {
-                    let v = f32::from_le_bytes(
-                        code[i..i + 4].try_into().expect("validated image"),
-                    );
+                    let v = f32::from_le_bytes(code[i..i + 4].try_into().expect("validated image"));
                     i += 4;
                     push!(v as f64);
                 }
@@ -412,7 +409,14 @@ mod tests {
         assert_eq!(it.machine_count(), 1);
         assert!(it.cycle(&[0.0]).is_empty());
         let taken = it.cycle(&[1.0]);
-        assert_eq!(taken, vec![Transition { machine: m, from: 0, to: 1 }]);
+        assert_eq!(
+            taken,
+            vec![Transition {
+                machine: m,
+                from: 0,
+                to: 1
+            }]
+        );
         assert_eq!(it.status(m).unwrap().state, 1);
         assert_eq!(it.status(m).unwrap().status, 1);
         assert_eq!(it.local(m, 0), Some(1));
@@ -449,12 +453,7 @@ mod tests {
         let mut b = ProgramBuilder::new("riser", 0);
         let s = b.state("S");
         let hit = b.state("Hit");
-        b.transition(
-            s,
-            hit,
-            Expr::gt(Expr::Delta(0), Expr::Const(0.4)),
-            vec![],
-        );
+        b.transition(s, hit, Expr::gt(Expr::Delta(0), Expr::Const(0.4)), vec![]);
         let mut it = Interpreter::new();
         let m = it.add_program(&b.build().unwrap()).unwrap();
         // First cycle: delta defined as 0 → no fire even with big value.

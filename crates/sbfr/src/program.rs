@@ -155,8 +155,7 @@ impl Program {
             for _ in 0..n_trans {
                 need(i, 3)?;
                 let target = bytes[i];
-                let cond_len =
-                    u16::from_le_bytes([bytes[i + 1], bytes[i + 2]]) as usize;
+                let cond_len = u16::from_le_bytes([bytes[i + 1], bytes[i + 2]]) as usize;
                 i += 3;
                 need(i, cond_len)?;
                 let condition = Expr::decode(&bytes[i..i + cond_len])?;

@@ -54,8 +54,7 @@ mod tests {
         let mut sig = vec![0.0; n];
         for h in 1..=8 {
             for (i, s) in sig.iter_mut().enumerate() {
-                *s += (1.0 / h as f64)
-                    * (2.0 * PI * f0 * h as f64 * i as f64 / fs).sin();
+                *s += (1.0 / h as f64) * (2.0 * PI * f0 * h as f64 * i as f64 / fs).sin();
             }
         }
         let cep = real_cepstrum(&sig).unwrap();
@@ -63,8 +62,7 @@ mod tests {
         // Rahmonics appear at integer multiples of the fundamental
         // period; the dominant one must be such a multiple.
         let q = dominant_quefrency(&cep, 16, 512).unwrap();
-        let nearest_multiple =
-            ((q as f64 / period as f64).round() as i64).max(1) * period as i64;
+        let nearest_multiple = ((q as f64 / period as f64).round() as i64).max(1) * period as i64;
         assert!(
             (q as i64 - nearest_multiple).unsigned_abs() <= 3,
             "quefrency {q} is not a rahmonic of period {period}"

@@ -236,7 +236,9 @@ mod tests {
         let n = 256;
         let mut click = vec![0.0; n];
         click[100] = 1.0;
-        let slow: Vec<f64> = (0..n).map(|i| (2.0 * PI * i as f64 / n as f64).sin()).collect();
+        let slow: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * i as f64 / n as f64).sin())
+            .collect();
         let dc = WaveletDecomposition::analyze(&click, Wavelet::Daubechies4, 4).unwrap();
         let ds = WaveletDecomposition::analyze(&slow, Wavelet::Daubechies4, 4).unwrap();
         let mc = dc.energy_map();

@@ -52,7 +52,11 @@ pub fn bandpass_envelope(
     let half = n / 2;
     for (k, z) in buf.iter_mut().enumerate() {
         // Frequency of bin k (mirrored for the upper half).
-        let f = if k <= half { k as f64 * df } else { (n - k) as f64 * df };
+        let f = if k <= half {
+            k as f64 * df
+        } else {
+            (n - k) as f64 * df
+        };
         if f < lo_hz || f > hi_hz {
             *z = Complex::ZERO;
         }

@@ -106,11 +106,7 @@ pub struct FeatureVector {
 impl FeatureVector {
     /// Extract features from a waveform block (power-of-two length) plus
     /// optional scalar process values (temperature, speed, load, ...).
-    pub fn extract(
-        block: &[f64],
-        config: &FeatureConfig,
-        process_scalars: &[f64],
-    ) -> Result<Self> {
+    pub fn extract(block: &[f64], config: &FeatureConfig, process_scalars: &[f64]) -> Result<Self> {
         let stats = WaveformStats::of(block);
         let cep = real_cepstrum(block)?;
         let max_q = block.len() / 2;
@@ -120,9 +116,7 @@ impl FeatureVector {
         let wmap = WaveletDecomposition::analyze(block, config.wavelet, config.wavelet_levels)?
             .energy_map();
 
-        let mut values = Vec::with_capacity(
-            7 + 2 + dct.len() + wmap.len() + process_scalars.len(),
-        );
+        let mut values = Vec::with_capacity(7 + 2 + dct.len() + wmap.len() + process_scalars.len());
         values.extend_from_slice(&[
             stats.mean,
             stats.rms,
@@ -223,8 +217,8 @@ mod tests {
             .map(|i| (2.0 * PI * 8.0 * i as f64 / n as f64).sin())
             .collect();
         let mut transient = steady.clone();
-        for i in 200..208 {
-            transient[i] += 4.0;
+        for sample in &mut transient[200..208] {
+            *sample += 4.0;
         }
         let fs = FeatureVector::extract(&steady, &cfg, &[]).unwrap();
         let ft = FeatureVector::extract(&transient, &cfg, &[]).unwrap();

@@ -337,11 +337,10 @@ mod tests {
 
     #[test]
     fn plan_is_reusable() {
-        let plan = FftPlan::new(16) .unwrap();
+        let plan = FftPlan::new(16).unwrap();
         for trial in 0..3 {
-            let mut data: Vec<Complex> = (0..16)
-                .map(|i| Complex::real((i + trial) as f64))
-                .collect();
+            let mut data: Vec<Complex> =
+                (0..16).map(|i| Complex::real((i + trial) as f64)).collect();
             let expect = dft_reference(&data);
             plan.forward(&mut data).unwrap();
             for (a, b) in data.iter().zip(&expect) {

@@ -275,8 +275,7 @@ mod tests {
 
     #[test]
     fn resolution_and_nyquist() {
-        let spec =
-            Spectrum::compute(&vec![0.0; 2048], 40_000.0, Window::Hann).unwrap();
+        let spec = Spectrum::compute(&vec![0.0; 2048], 40_000.0, Window::Hann).unwrap();
         assert!((spec.resolution() - 40_000.0 / 2048.0).abs() < 1e-12);
         assert_eq!(spec.nyquist(), 20_000.0);
         assert_eq!(spec.amplitudes().len(), 1025);

@@ -77,7 +77,11 @@ impl TrendTracker {
             return None;
         }
         let t0 = self.window.front().expect("nonempty").0;
-        let xs: Vec<f64> = self.window.iter().map(|(t, _)| t.since(t0).as_secs()).collect();
+        let xs: Vec<f64> = self
+            .window
+            .iter()
+            .map(|(t, _)| t.since(t0).as_secs())
+            .collect();
         let ys: Vec<f64> = self.window.iter().map(|(_, v)| *v).collect();
         let nf = n as f64;
         let mean_x = xs.iter().sum::<f64>() / nf;
@@ -111,16 +115,14 @@ impl TrendTracker {
     /// `threshold` (rising crossings only). `None` when the indicator is
     /// already above, not rising, too noisy (R² below `min_r_squared`),
     /// or unfittable.
-    pub fn time_to_threshold(
-        &self,
-        threshold: f64,
-        min_r_squared: f64,
-    ) -> Option<SimDuration> {
+    pub fn time_to_threshold(&self, threshold: f64, min_r_squared: f64) -> Option<SimDuration> {
         let fit = self.fit()?;
         if fit.r_squared < min_r_squared || fit.slope <= 0.0 || fit.current >= threshold {
             return None;
         }
-        Some(SimDuration::from_secs((threshold - fit.current) / fit.slope))
+        Some(SimDuration::from_secs(
+            (threshold - fit.current) / fit.slope,
+        ))
     }
 }
 
@@ -137,7 +139,8 @@ mod tests {
     fn fits_a_clean_ramp() {
         let mut t = TrendTracker::new(16).unwrap();
         for i in 0..10 {
-            t.record(at(i as f64 * 10.0), 1.0 + 0.05 * i as f64).unwrap();
+            t.record(at(i as f64 * 10.0), 1.0 + 0.05 * i as f64)
+                .unwrap();
         }
         let fit = t.fit().unwrap();
         assert!((fit.slope - 0.005).abs() < 1e-12, "slope {}", fit.slope);
@@ -149,7 +152,8 @@ mod tests {
     fn projects_threshold_crossing() {
         let mut t = TrendTracker::new(16).unwrap();
         for i in 0..10 {
-            t.record(at(i as f64 * 10.0), 1.0 + 0.05 * i as f64).unwrap();
+            t.record(at(i as f64 * 10.0), 1.0 + 0.05 * i as f64)
+                .unwrap();
         }
         // current 1.45, slope 0.005/s → 2.0 in 110 s.
         let eta = t.time_to_threshold(2.0, 0.9).unwrap();

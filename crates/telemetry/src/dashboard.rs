@@ -1,0 +1,134 @@
+//! Text dashboard renderer.
+//!
+//! Renders a [`TelemetrySnapshot`] as the fixed-width console view the
+//! `shipboard_monitoring` example prints: pipeline stage timings first
+//! (the paper's acquisition → fusion chain), then counters, gauges,
+//! non-span histograms, and the tail of the event journal.
+
+use crate::snapshot::TelemetrySnapshot;
+use crate::span::Stage;
+use mpros_core::SimDuration;
+use std::fmt::Write;
+
+/// Human-format a span of seconds (wall or simulated).
+fn fmt_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map(fmt_secs).unwrap_or_else(|| "—".to_owned())
+}
+
+/// Render the snapshot as a fixed-width text dashboard.
+pub fn render(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "MPROS telemetry dashboard (schema v{}, t = {})",
+        snap.schema_version,
+        SimDuration::from_secs(snap.at_secs)
+    );
+    let _ = writeln!(out, "{}", "=".repeat(72));
+
+    // Pipeline stages: wall-clock quantiles plus the simulated-time
+    // median where the stage has one (bus transit, end-to-end ingest).
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "stage", "count", "wall p50", "wall p95", "wall p99", "sim p50"
+    );
+    for stage in Stage::ALL {
+        let wall = snap.histogram("span", &format!("{stage}.wall_s"));
+        let sim = snap.histogram("span", &format!("{stage}.sim_s"));
+        let count = wall
+            .map(|h| h.count)
+            .unwrap_or(0)
+            .max(sim.map(|h| h.count).unwrap_or(0));
+        let sim_p50 = sim
+            .and_then(|h| h.p50)
+            .map(|s| SimDuration::from_secs(s).to_string())
+            .unwrap_or_else(|| "—".to_owned());
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            stage.as_str(),
+            count,
+            fmt_opt(wall.and_then(|h| h.p50)),
+            fmt_opt(wall.and_then(|h| h.p95)),
+            fmt_opt(wall.and_then(|h| h.p99)),
+            sim_p50,
+        );
+    }
+
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "\ncounters");
+        for c in &snap.counters {
+            let _ = writeln!(
+                out,
+                "  {:<40} {:>10}",
+                format!("{}.{}", c.component, c.name),
+                c.value
+            );
+        }
+    }
+
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(out, "\ngauges");
+        for g in &snap.gauges {
+            let _ = writeln!(
+                out,
+                "  {:<40} {:>10.3}",
+                format!("{}.{}", g.component, g.name),
+                g.value
+            );
+        }
+    }
+
+    let other: Vec<_> = snap
+        .histograms
+        .iter()
+        .filter(|h| h.component != "span")
+        .collect();
+    if !other.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<30} {:>8} {:>12} {:>12} {:>12}",
+            "histogram", "count", "p50", "p95", "p99"
+        );
+        for h in other {
+            let _ = writeln!(
+                out,
+                "{:<30} {:>8} {:>12} {:>12} {:>12}",
+                format!("{}.{}", h.component, h.name),
+                h.count,
+                fmt_opt(h.p50),
+                fmt_opt(h.p95),
+                fmt_opt(h.p99),
+            );
+        }
+    }
+
+    let shown = snap.events.len().min(8);
+    let _ = writeln!(
+        out,
+        "\nevents (last {shown} of {}, {} evicted)",
+        snap.events.len(),
+        snap.events_dropped
+    );
+    for e in snap.events.iter().rev().take(shown).rev() {
+        let _ = writeln!(
+            out,
+            "  [{:>5}] t+{:.1}s {} {}: {}",
+            e.seq, e.at_secs, e.component, e.kind, e.detail
+        );
+    }
+    out
+}

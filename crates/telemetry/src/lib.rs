@@ -1,0 +1,334 @@
+//! mpros-telemetry — fleet-scale observability for MPROS.
+//!
+//! The paper scales to "hundreds of DCs per ship" feeding one PDME
+//! (§8.1); operating that fleet needs visibility into every hop of the
+//! acquisition → fusion pipeline without perturbing it. This crate
+//! provides the shared observability substrate the rest of the workspace
+//! threads through its hot paths:
+//!
+//! * a lock-free [`metrics`] registry — atomic counters, gauges, and
+//!   log-bucketed histograms keyed by `(component, metric)`;
+//! * [`span`] timing for the pipeline stages, recording both wall-clock
+//!   seconds (host cost) and simulated seconds (scenario latency);
+//! * a bounded ring-buffer event [`journal`] for rare happenings (drops,
+//!   partitions, quarantined channels, fusion conflict renormalizations);
+//! * a versioned JSON [`snapshot`] exporter and a text [`dashboard`]
+//!   renderer for the shipboard examples and CI artifacts.
+//!
+//! Everything is interior-mutable: one [`Telemetry`] handle is created
+//! per scenario, cloned into every component, and recorded into from
+//! `&self`. Under simulated time the recorded *simulated* durations are
+//! fully deterministic; wall-clock durations describe the host.
+
+#![forbid(unsafe_code)]
+
+pub mod dashboard;
+pub mod journal;
+pub mod metrics;
+pub mod snapshot;
+pub mod span;
+
+pub use journal::{Event, Journal};
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use snapshot::{
+    CounterSnapshot, EventSnapshot, GaugeSnapshot, HistogramSnapshot, TelemetrySnapshot,
+    TELEMETRY_SCHEMA_VERSION,
+};
+pub use span::{Stage, WallTimer};
+
+use mpros_core::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default journal capacity.
+const DEFAULT_JOURNAL_CAPACITY: usize = 256;
+
+#[derive(Debug)]
+struct Inner {
+    registry: Registry,
+    journal: Journal,
+    /// Current simulated time (f64 bits), stamped onto journal events.
+    sim_now_bits: AtomicU64,
+    /// Wall-clock span histograms, one per [`Stage`], pre-registered so
+    /// recording a span never touches the registry lock.
+    span_wall: Vec<Arc<Histogram>>,
+    /// Simulated-time span histograms, one per [`Stage`].
+    span_sim: Vec<Arc<Histogram>>,
+}
+
+/// The shared observability handle: cheap to clone, records from
+/// `&self`, safe to share across threads.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// A fresh telemetry domain with the default journal capacity.
+    pub fn new() -> Self {
+        Telemetry::with_journal_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    /// A fresh telemetry domain retaining at most `capacity` journal
+    /// events.
+    pub fn with_journal_capacity(capacity: usize) -> Self {
+        let registry = Registry::new();
+        let span_wall = Stage::ALL
+            .iter()
+            .map(|s| registry.histogram("span", &format!("{s}.wall_s")))
+            .collect();
+        let span_sim = Stage::ALL
+            .iter()
+            .map(|s| registry.histogram("span", &format!("{s}.sim_s")))
+            .collect();
+        Telemetry {
+            inner: Arc::new(Inner {
+                registry,
+                journal: Journal::new(capacity),
+                sim_now_bits: AtomicU64::new(0f64.to_bits()),
+                span_wall,
+                span_sim,
+            }),
+        }
+    }
+
+    /// Whether two handles observe the same domain.
+    pub fn same_domain(&self, other: &Telemetry) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// The underlying registry (for snapshotting and handle lookup).
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    /// The counter `(component, name)` — look up once, record forever.
+    pub fn counter(&self, component: &str, name: &str) -> Arc<Counter> {
+        self.inner.registry.counter(component, name)
+    }
+
+    /// The gauge `(component, name)`.
+    pub fn gauge(&self, component: &str, name: &str) -> Arc<Gauge> {
+        self.inner.registry.gauge(component, name)
+    }
+
+    /// The histogram `(component, name)`.
+    pub fn histogram(&self, component: &str, name: &str) -> Arc<Histogram> {
+        self.inner.registry.histogram(component, name)
+    }
+
+    /// Advance the journal timestamp source; the scenario driver calls
+    /// this once per step so events carry simulated time.
+    pub fn set_sim_now(&self, now: SimTime) {
+        self.inner
+            .sim_now_bits
+            .store(now.as_secs().to_bits(), Ordering::Relaxed);
+    }
+
+    /// The last simulated instant the driver announced.
+    pub fn sim_now(&self) -> SimTime {
+        SimTime::from_secs(f64::from_bits(
+            self.inner.sim_now_bits.load(Ordering::Relaxed),
+        ))
+    }
+
+    /// Journal an event at the current simulated time.
+    pub fn event(&self, component: &str, kind: &str, detail: impl Into<String>) {
+        self.inner
+            .journal
+            .record(self.sim_now(), component, kind, detail.into());
+    }
+
+    /// Journal an event at an explicit simulated time.
+    pub fn event_at(&self, at: SimTime, component: &str, kind: &str, detail: impl Into<String>) {
+        self.inner
+            .journal
+            .record(at, component, kind, detail.into());
+    }
+
+    /// The retained journal events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.journal.events()
+    }
+
+    /// Record a stage's wall-clock cost.
+    #[inline]
+    pub fn record_span_wall(&self, stage: Stage, wall: Duration) {
+        self.inner.span_wall[stage.index()].record(wall.as_secs_f64());
+    }
+
+    /// Record a stage's simulated-time latency.
+    #[inline]
+    pub fn record_span_sim(&self, stage: Stage, sim: SimDuration) {
+        self.inner.span_sim[stage.index()].record(sim.as_secs());
+    }
+
+    /// Record both clocks for one stage occurrence.
+    pub fn record_span(&self, stage: Stage, wall: Duration, sim: SimDuration) {
+        self.record_span_wall(stage, wall);
+        self.record_span_sim(stage, sim);
+    }
+
+    /// The wall-clock histogram of one stage.
+    pub fn span_wall(&self, stage: Stage) -> Arc<Histogram> {
+        Arc::clone(&self.inner.span_wall[stage.index()])
+    }
+
+    /// The simulated-time histogram of one stage.
+    pub fn span_sim(&self, stage: Stage) -> Arc<Histogram> {
+        Arc::clone(&self.inner.span_sim[stage.index()])
+    }
+
+    /// Capture the full state as a versioned snapshot document.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let registry = &self.inner.registry;
+        TelemetrySnapshot {
+            schema_version: TELEMETRY_SCHEMA_VERSION,
+            at_secs: self.sim_now().as_secs(),
+            counters: registry
+                .counters()
+                .into_iter()
+                .map(|(component, name, c)| CounterSnapshot {
+                    component,
+                    name,
+                    value: c.get(),
+                })
+                .collect(),
+            gauges: registry
+                .gauges()
+                .into_iter()
+                .map(|(component, name, g)| GaugeSnapshot {
+                    component,
+                    name,
+                    value: g.get(),
+                })
+                .collect(),
+            histograms: registry
+                .histograms()
+                .into_iter()
+                .map(|(component, name, h)| HistogramSnapshot {
+                    component,
+                    name,
+                    count: h.count(),
+                    min: h.min(),
+                    max: h.max(),
+                    mean: h.mean(),
+                    p50: h.p50(),
+                    p95: h.p95(),
+                    p99: h.p99(),
+                })
+                .collect(),
+            events: self
+                .inner
+                .journal
+                .events()
+                .into_iter()
+                .map(|e| EventSnapshot {
+                    seq: e.seq,
+                    at_secs: e.at.as_secs(),
+                    component: e.component,
+                    kind: e.kind,
+                    detail: e.detail,
+                })
+                .collect(),
+            events_dropped: self.inner.journal.dropped(),
+        }
+    }
+
+    /// Render the current state as the text dashboard.
+    pub fn render_dashboard(&self) -> String {
+        dashboard::render(&self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_one_domain() {
+        let t = Telemetry::new();
+        let u = t.clone();
+        assert!(t.same_domain(&u));
+        t.counter("net", "sent").add(3);
+        assert_eq!(u.counter("net", "sent").get(), 3);
+        assert!(!t.same_domain(&Telemetry::new()));
+    }
+
+    #[test]
+    fn spans_land_in_preregistered_histograms() {
+        let t = Telemetry::new();
+        t.record_span(Stage::Fft, Duration::from_micros(150), SimDuration::ZERO);
+        t.record_span_sim(Stage::BusTransit, SimDuration::from_millis(30.0));
+        assert_eq!(t.span_wall(Stage::Fft).count(), 1);
+        assert_eq!(t.span_sim(Stage::Fft).count(), 1);
+        assert_eq!(t.span_sim(Stage::BusTransit).count(), 1);
+        let p50 = t.span_sim(Stage::BusTransit).p50().unwrap();
+        assert!((p50 - 0.030).abs() < 1e-12, "exact for one sample: {p50}");
+    }
+
+    #[test]
+    fn events_carry_sim_time() {
+        let t = Telemetry::new();
+        t.set_sim_now(SimTime::from_secs(42.0));
+        t.event("net", "partition", "Dc(1) unreachable");
+        let events = t.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].at.as_secs(), 42.0);
+        assert_eq!(events[0].kind, "partition");
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_serde_json() {
+        let t = Telemetry::new();
+        t.set_sim_now(SimTime::from_secs(900.25));
+        t.counter("dc1", "reports_emitted").add(12);
+        t.gauge("pdme", "dc_staleness_max").set(4.5);
+        for i in 0..50 {
+            t.record_span(
+                Stage::PdmeIngest,
+                Duration::from_nanos(500 + 40 * i),
+                SimDuration::from_millis(20.0 + i as f64),
+            );
+        }
+        t.event("fusion", "conflict_renorm", "machine 1 k=0.42");
+        let snap = t.snapshot();
+        let json = snap.to_json().unwrap();
+        let back = TelemetrySnapshot::from_json(&json).unwrap();
+        assert_eq!(snap, back);
+        assert_eq!(back.counter("dc1", "reports_emitted"), 12);
+        assert_eq!(back.gauge("pdme", "dc_staleness_max"), Some(4.5));
+        let h = back.histogram("span", "pdme_ingest.sim_s").unwrap();
+        assert_eq!(h.count, 50);
+        assert!(h.p50.unwrap() <= h.p95.unwrap());
+        assert!(h.p95.unwrap() <= h.p99.unwrap());
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let t = Telemetry::new();
+        let mut snap = t.snapshot();
+        snap.schema_version = 99;
+        let json = snap.to_json().unwrap();
+        assert!(TelemetrySnapshot::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn dashboard_names_every_stage() {
+        let t = Telemetry::new();
+        t.record_span_wall(Stage::Acquire, Duration::from_micros(3));
+        t.event("dc1", "quarantine", "channel 4 silent");
+        let text = t.render_dashboard();
+        for stage in Stage::ALL {
+            assert!(text.contains(stage.as_str()), "missing {stage}");
+        }
+        assert!(text.contains("quarantine"));
+    }
+}

@@ -1,0 +1,384 @@
+//! The lock-free metrics registry.
+//!
+//! Three instrument kinds, all interior-mutable through plain atomics so
+//! the hot paths (DC survey loop, network delivery, PDME ingest) never
+//! take a lock once they hold a handle:
+//!
+//! * [`Counter`] — monotone `u64`;
+//! * [`Gauge`] — latest-wins `f64` (with a monotone-max variant for
+//!   watermarks like `pdme.dc_staleness_max`);
+//! * [`Histogram`] — log-bucketed `f64` distribution with `p50`/`p95`/
+//!   `p99` estimation, used for latencies in seconds.
+//!
+//! The [`Registry`] maps `(component, metric)` keys to shared handles.
+//! Registration takes a lock (it happens once, at wiring time);
+//! recording afterwards is lock-free on the `Arc` handles.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A latest-value instrument (stored as `f64` bits in an atomic).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Raise the value to `v` if `v` is larger (watermark semantics).
+    pub fn set_max(&self, v: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of histogram buckets.
+pub const HISTOGRAM_BUCKETS: usize = 96;
+/// Upper bound of bucket 0, in the histogram's unit (seconds for all the
+/// latency histograms MPROS registers).
+const LOWEST: f64 = 1e-9;
+/// Geometric growth per bucket: five buckets per decade, so 95 buckets
+/// span 19 decades — nanoseconds to decades of simulated time.
+const GROWTH: f64 = 1.584_893_192_461_113_5; // 10^(1/5)
+
+/// Upper bound of bucket `i`.
+fn bucket_upper(i: usize) -> f64 {
+    LOWEST * GROWTH.powi(i as i32)
+}
+
+/// Bucket index for a (non-negative, finite) value.
+fn bucket_index(v: f64) -> usize {
+    if v <= LOWEST {
+        return 0;
+    }
+    let idx = ((v / LOWEST).log10() * 5.0).ceil() as isize;
+    idx.clamp(0, HISTOGRAM_BUCKETS as isize - 1) as usize
+}
+
+/// A log-bucketed distribution of non-negative `f64` samples.
+///
+/// Quantiles are estimated as the upper bound of the bucket where the
+/// cumulative count crosses the target rank, clamped to the exactly
+/// tracked `[min, max]`, which keeps every reported quantile inside the
+/// observed range and monotone in the requested probability.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one sample. Negative samples are clamped to zero; NaN is
+    /// ignored.
+    pub fn record(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let v = v.max(0.0);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // f64 accumulate / min / max via CAS on the bit patterns.
+        Self::update(&self.sum_bits, |cur| cur + v);
+        Self::update(&self.min_bits, |cur| cur.min(v));
+        Self::update(&self.max_bits, |cur| cur.max(v));
+    }
+
+    fn update(bits: &AtomicU64, f: impl Fn(f64) -> f64) {
+        let mut cur = bits.load(Ordering::Relaxed);
+        loop {
+            let next = f(f64::from_bits(cur)).to_bits();
+            if next == cur {
+                return;
+            }
+            match bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded sample, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.count() > 0).then(|| f64::from_bits(self.min_bits.load(Ordering::Relaxed)))
+    }
+
+    /// Largest recorded sample, if any.
+    pub fn max(&self) -> Option<f64> {
+        (self.count() > 0).then(|| f64::from_bits(self.max_bits.load(Ordering::Relaxed)))
+    }
+
+    /// Mean of recorded samples, if any.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| f64::from_bits(self.sum_bits.load(Ordering::Relaxed)) / n as f64)
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`), `None` while empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let n = self.count();
+        if n == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut cumulative = 0u64;
+        let mut estimate = bucket_upper(HISTOGRAM_BUCKETS - 1);
+        for (i, b) in self.buckets.iter().enumerate() {
+            cumulative += b.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                estimate = bucket_upper(i);
+                break;
+            }
+        }
+        let (lo, hi) = (self.min()?, self.max()?);
+        Some(estimate.clamp(lo, hi))
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+}
+
+type Key = (String, String);
+
+/// Shared map from `(component, metric)` to instrument handles.
+///
+/// Components look their handles up once at wiring time and then record
+/// through the `Arc` without touching the registry again.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<Key, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<Key, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<Key, Arc<Histogram>>>,
+}
+
+fn get_or_insert<T: Default>(
+    map: &RwLock<BTreeMap<Key, Arc<T>>>,
+    component: &str,
+    name: &str,
+) -> Arc<T> {
+    let key = (component.to_owned(), name.to_owned());
+    if let Some(existing) = map.read().unwrap_or_else(PoisonError::into_inner).get(&key) {
+        return Arc::clone(existing);
+    }
+    let mut w = map.write().unwrap_or_else(PoisonError::into_inner);
+    Arc::clone(w.entry(key).or_default())
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter `(component, name)`, created on first use.
+    pub fn counter(&self, component: &str, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, component, name)
+    }
+
+    /// The gauge `(component, name)`, created on first use.
+    pub fn gauge(&self, component: &str, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, component, name)
+    }
+
+    /// The histogram `(component, name)`, created on first use.
+    pub fn histogram(&self, component: &str, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, component, name)
+    }
+
+    /// Every counter, sorted by key.
+    pub fn counters(&self) -> Vec<(String, String, Arc<Counter>)> {
+        self.counters
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|((c, n), v)| (c.clone(), n.clone(), Arc::clone(v)))
+            .collect()
+    }
+
+    /// Every gauge, sorted by key.
+    pub fn gauges(&self) -> Vec<(String, String, Arc<Gauge>)> {
+        self.gauges
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|((c, n), v)| (c.clone(), n.clone(), Arc::clone(v)))
+            .collect()
+    }
+
+    /// Every histogram, sorted by key.
+    pub fn histograms(&self) -> Vec<(String, String, Arc<Histogram>)> {
+        self.histograms
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|((c, n), v)| (c.clone(), n.clone(), Arc::clone(v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        g.set_max(1.0); // lower: ignored
+        assert_eq!(g.get(), 2.5);
+        g.set_max(7.0);
+        assert_eq!(g.get(), 7.0);
+    }
+
+    #[test]
+    fn histogram_tracks_exact_extremes_and_mean() {
+        let h = Histogram::new();
+        assert!(h.quantile(0.5).is_none());
+        for v in [0.001, 0.002, 0.004, 0.100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), Some(0.001));
+        assert_eq!(h.max(), Some(0.100));
+        let mean = h.mean().unwrap();
+        assert!((mean - 0.026_75).abs() < 1e-12);
+        let p50 = h.p50().unwrap();
+        assert!((0.001..=0.100).contains(&p50));
+        // p99 is pulled down to the exact max.
+        assert_eq!(h.p99(), Some(0.100));
+    }
+
+    #[test]
+    fn histogram_ignores_nan_and_clamps_negatives() {
+        let h = Histogram::new();
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 0);
+        h.record(-3.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), Some(0.0));
+    }
+
+    #[test]
+    fn bucket_index_is_monotone() {
+        let mut last = 0;
+        let mut v = 1e-10;
+        while v < 1e9 {
+            let i = bucket_index(v);
+            assert!(i >= last, "index regressed at {v}");
+            last = i;
+            v *= 1.31;
+        }
+    }
+
+    #[test]
+    fn registry_reuses_handles() {
+        let r = Registry::new();
+        let a = r.counter("net", "sent");
+        let b = r.counter("net", "sent");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(r.counters().len(), 1);
+        let (c, n, _) = &r.counters()[0];
+        assert_eq!((c.as_str(), n.as_str()), ("net", "sent"));
+    }
+}

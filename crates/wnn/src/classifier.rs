@@ -377,15 +377,65 @@ mod probe {
                     let dim = train.samples[0].0.len();
                     let n = train.samples.len() as f64;
                     let mut mean = vec![0.0; dim];
-                    for (x, _) in &train.samples { for (m, v) in mean.iter_mut().zip(x) { *m += v / n; } }
+                    for (x, _) in &train.samples {
+                        for (m, v) in mean.iter_mut().zip(x) {
+                            *m += v / n;
+                        }
+                    }
                     let mut std = vec![0.0; dim];
-                    for (x, _) in &train.samples { for ((s, v), m) in std.iter_mut().zip(x).zip(&mean) { *s += (v-m)*(v-m)/n; } }
-                    for s in std.iter_mut() { *s = s.sqrt().max(1e-9); }
-                    let norm: Vec<(Vec<f64>, usize)> = train.samples.iter().map(|(x,y)| (x.iter().zip(&mean).zip(&std).map(|((v,m),s)|(v-m)/s).collect(), *y)).collect();
+                    for (x, _) in &train.samples {
+                        for ((s, v), m) in std.iter_mut().zip(x).zip(&mean) {
+                            *s += (v - m) * (v - m) / n;
+                        }
+                    }
+                    for s in std.iter_mut() {
+                        *s = s.sqrt().max(1e-9);
+                    }
+                    let norm: Vec<(Vec<f64>, usize)> = train
+                        .samples
+                        .iter()
+                        .map(|(x, y)| {
+                            (
+                                x.iter()
+                                    .zip(&mean)
+                                    .zip(&std)
+                                    .map(|((v, m), s)| (v - m) / s)
+                                    .collect(),
+                                *y,
+                            )
+                        })
+                        .collect();
                     let mut net = Network::new(dim, &[12], 4, act, 7).unwrap();
-                    let loss = net.train(&norm, &TrainParams{learning_rate: lr, momentum: mom, epochs: 250, seed: 7}).unwrap();
-                    let tnorm: Vec<(Vec<f64>, usize)> = test.samples.iter().map(|(x,y)| (x.iter().zip(&mean).zip(&std).map(|((v,m),s)|(v-m)/s).collect(), *y)).collect();
-                    let acc = tnorm.iter().filter(|(x,y)| net.classify(x).0 == *y).count() as f64 / tnorm.len() as f64;
+                    let loss = net
+                        .train(
+                            &norm,
+                            &TrainParams {
+                                learning_rate: lr,
+                                momentum: mom,
+                                epochs: 250,
+                                seed: 7,
+                            },
+                        )
+                        .unwrap();
+                    let tnorm: Vec<(Vec<f64>, usize)> = test
+                        .samples
+                        .iter()
+                        .map(|(x, y)| {
+                            (
+                                x.iter()
+                                    .zip(&mean)
+                                    .zip(&std)
+                                    .map(|((v, m), s)| (v - m) / s)
+                                    .collect(),
+                                *y,
+                            )
+                        })
+                        .collect();
+                    let acc = tnorm
+                        .iter()
+                        .filter(|(x, y)| net.classify(x).0 == *y)
+                        .count() as f64
+                        / tnorm.len() as f64;
                     println!("{act:?} lr={lr} mom={mom}: loss={loss:.4} acc={acc:.2}");
                 }
             }

@@ -93,9 +93,8 @@ impl DatasetBuilder {
                         }
                         // Vary acquisition start per grid point so blocks
                         // differ even for the healthy class.
-                        let t0 = SimTime::from_secs(
-                            10.0 + sev * 100.0 + load * 1000.0 + seed as f64,
-                        );
+                        let t0 =
+                            SimTime::from_secs(10.0 + sev * 100.0 + load * 1000.0 + seed as f64);
                         let blocks: Vec<(AccelLocation, Vec<f64>)> = self
                             .config
                             .channels

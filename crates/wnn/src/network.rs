@@ -384,10 +384,7 @@ mod tests {
             },
         )
         .unwrap();
-        let correct = data
-            .iter()
-            .filter(|(x, y)| n.classify(x).0 == *y)
-            .count();
+        let correct = data.iter().filter(|(x, y)| n.classify(x).0 == *y).count();
         assert!(
             correct as f64 / data.len() as f64 > 0.95,
             "{correct}/{} correct",
@@ -415,9 +412,7 @@ mod tests {
     fn train_validates_inputs() {
         let mut n = Network::new(2, &[4], 2, Activation::Tanh, 1).unwrap();
         assert!(n.train(&[], &TrainParams::default()).is_err());
-        assert!(n
-            .train(&[(vec![1.0], 0)], &TrainParams::default())
-            .is_err());
+        assert!(n.train(&[(vec![1.0], 0)], &TrainParams::default()).is_err());
         assert!(n
             .train(&[(vec![1.0, 2.0], 5)], &TrainParams::default())
             .is_err());

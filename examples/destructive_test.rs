@@ -13,9 +13,9 @@
 //! ```
 
 use mpros::chiller::scenario::Scenario;
+use mpros::core::DcId;
 use mpros::core::{MachineCondition, MachineId, SimDuration, SimTime};
 use mpros::dc::{DataConcentrator, DcConfig};
-use mpros::core::DcId;
 
 fn main() -> mpros::core::Result<()> {
     // 12 failure modes over a 2-hour compressed campaign.
@@ -33,7 +33,10 @@ fn main() -> mpros::core::Result<()> {
         scenario.events.len(),
         horizon
     );
-    println!("{:<12} {:<38} {:<10} {}", "time", "first detection", "severity", "source KS");
+    println!(
+        "{:<12} {:<38} {:<10} source KS",
+        "time", "first detection", "severity"
+    );
     let mut detected: Vec<MachineCondition> = Vec::new();
     let dt = SimDuration::from_secs(0.5);
     let steps = (horizon.as_secs() / dt.as_secs()) as usize;

@@ -11,8 +11,8 @@
 //! ```
 
 use mpros::core::{
-    Belief, ConditionReport, DcId, KnowledgeSourceId, MachineCondition, MachineId,
-    ReportId, SimTime,
+    Belief, ConditionReport, DcId, KnowledgeSourceId, MachineCondition, MachineId, ReportId,
+    SimTime,
 };
 use mpros::network::NetMessage;
 use mpros::oosm::{ObjectKind, Relation};

@@ -22,26 +22,51 @@ fn main() -> mpros::core::Result<()> {
     // Six reports from four knowledge sources: DLI (11), SBFR (12),
     // WNN (13), fuzzy (14). Bearing-defect calls reinforce; imbalance
     // vs misalignment conflict within the rotor-dynamics group.
-    let scene: [(u64, u64, MachineCondition, f64, f64, &[(f64, f64)]); 6] = [
-        (1, 11, MachineCondition::MotorBearingDefect, 0.70, 0.55, &[(1.0, 0.5), (2.0, 0.9)]),
-        (2, 13, MachineCondition::MotorBearingDefect, 0.60, 0.50, &[(1.5, 0.6)]),
+    // (id, knowledge source, condition, belief, severity, prognostic)
+    type SceneRow = (u64, u64, MachineCondition, f64, f64, &'static [(f64, f64)]);
+    let scene: [SceneRow; 6] = [
+        (
+            1,
+            11,
+            MachineCondition::MotorBearingDefect,
+            0.70,
+            0.55,
+            &[(1.0, 0.5), (2.0, 0.9)],
+        ),
+        (
+            2,
+            13,
+            MachineCondition::MotorBearingDefect,
+            0.60,
+            0.50,
+            &[(1.5, 0.6)],
+        ),
         (3, 11, MachineCondition::MotorImbalance, 0.50, 0.40, &[]),
         (4, 14, MachineCondition::MotorMisalignment, 0.45, 0.35, &[]),
         (5, 12, MachineCondition::MotorBearingDefect, 0.40, 0.45, &[]),
-        (6, 14, MachineCondition::LubeOilDegradation, 0.55, 0.50, &[(0.5, 0.4)]),
+        (
+            6,
+            14,
+            MachineCondition::LubeOilDegradation,
+            0.55,
+            0.50,
+            &[(0.5, 0.4)],
+        ),
     ];
     for (id, ks, condition, belief, severity, prog) in scene {
-        let mut b =
-            ConditionReport::builder(MachineId::new(1), condition, Belief::new(belief))
-                .id(ReportId::new(id))
-                .dc(DcId::new(1))
-                .knowledge_source(KnowledgeSourceId::new(ks))
-                .severity(severity)
-                .timestamp(SimTime::from_secs(id as f64 * 60.0));
+        let mut b = ConditionReport::builder(MachineId::new(1), condition, Belief::new(belief))
+            .id(ReportId::new(id))
+            .dc(DcId::new(1))
+            .knowledge_source(KnowledgeSourceId::new(ks))
+            .severity(severity)
+            .timestamp(SimTime::from_secs(id as f64 * 60.0));
         if !prog.is_empty() {
             b = b.prognostic(PrognosticVector::from_months(prog)?);
         }
-        pdme.handle_message(&NetMessage::Report(b.build()), SimTime::from_secs(id as f64 * 60.0))?;
+        pdme.handle_message(
+            &NetMessage::Report(b.build()),
+            SimTime::from_secs(id as f64 * 60.0),
+        )?;
     }
     pdme.process_events()?;
 

@@ -11,6 +11,7 @@ use mpros::chiller::fault::{FaultProfile, FaultSeed};
 use mpros::core::{MachineCondition, MachineId, SimDuration, SimTime};
 use mpros::pdme::browser;
 use mpros::sim::{ShipboardSim, ShipboardSimConfig};
+use mpros::wnn::{DatasetBuilder, TrainParams, WnnClassifier, WnnConfig};
 
 fn main() -> mpros::core::Result<()> {
     let mut sim = ShipboardSim::new(ShipboardSimConfig {
@@ -19,6 +20,22 @@ fn main() -> mpros::core::Result<()> {
         survey_period: SimDuration::from_secs(60.0),
         ..Default::default()
     })?;
+
+    // Train the compact WNN classifier and attach it to both DCs so all
+    // four knowledge sources (DLI, SBFR, WNN, fuzzy) are live.
+    let wnn_config = WnnConfig::small_test();
+    let dataset = DatasetBuilder::new(wnn_config.clone(), 2).build()?;
+    let clf = WnnClassifier::train(
+        wnn_config,
+        &dataset,
+        &TrainParams {
+            epochs: 250,
+            learning_rate: 0.02,
+            ..Default::default()
+        },
+    )?;
+    sim.dc_mut(0).attach_wnn(clf.clone());
+    sim.dc_mut(1).attach_wnn(clf);
 
     // Chiller 1: a fast-developing bearing defect plus condenser fouling
     // (different logical groups — both must surface independently).
@@ -42,7 +59,10 @@ fn main() -> mpros::core::Result<()> {
     );
 
     // Fifteen minutes of shipboard operation at 4 Hz DC cadence.
-    let fused = sim.run_for(SimDuration::from_minutes(15.0), SimDuration::from_secs(0.25))?;
+    let fused = sim.run_for(
+        SimDuration::from_minutes(15.0),
+        SimDuration::from_secs(0.25),
+    )?;
     println!(
         "after 15 min: {} reports fused, network stats {:?}\n",
         fused,
@@ -70,5 +90,9 @@ fn main() -> mpros::core::Result<()> {
     for (c, sev) in sim.plant(0).ground_truth(sim.now(), 0.05) {
         println!("  {c} at severity {sev:.2}");
     }
+
+    // Ship-wide observability: per-stage spans, counters and the event
+    // journal from the shared telemetry domain.
+    println!("\n{}", sim.telemetry().render_dashboard());
     Ok(())
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: format, lint, build, test — the same order a hosted
+# pipeline would run. Fails fast on the cheapest check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "CI OK"

@@ -1,0 +1,310 @@
+//! Offline shim for `criterion`.
+//!
+//! Provides the macro/struct surface the MPROS benches use and a small
+//! timing loop that prints mean iteration time (and throughput when
+//! declared). `cargo test`/`cargo bench` run each benchmark briefly so
+//! the targets stay cheap in CI; set `CRITERION_FULL=1` for longer,
+//! more stable measurement runs.
+#![forbid(unsafe_code)]
+
+use std::fmt::{self, Display};
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Declared work per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark (`group/function/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter display value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    quick: bool,
+    /// Mean nanoseconds per iteration, filled by `iter`.
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`, storing the mean iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration.
+        let start = Instant::now();
+        black_box(f());
+        let first = start.elapsed();
+        if self.quick {
+            self.mean_ns = first.as_nanos() as f64;
+            self.iters = 1;
+            return;
+        }
+        // Aim for ~200ms of measurement, 10..=10_000 iterations.
+        let per_iter = first.as_nanos().max(1) as u64;
+        let target = Duration::from_millis(200).as_nanos() as u64;
+        let iters = (target / per_iter).clamp(10, 10_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_FULL").is_err()
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, mean_ns: f64, iters: u64, throughput: Option<Throughput>) {
+    let mut line = format!(
+        "bench {name:<50} {:>12}/iter ({iters} iters)",
+        human_time(mean_ns)
+    );
+    if let Some(tp) = throughput {
+        let per_sec = |n: u64| n as f64 / (mean_ns / 1e9);
+        match tp {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  {:.3e} elem/s", per_sec(n)));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  {:.3e} B/s", per_sec(n)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            quick: quick_mode(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            quick: self.quick,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&id.to_string(), b.mean_ns, b.iters, None);
+        self
+    }
+
+    /// Configure sample count (accepted and ignored; the shim sizes
+    /// runs by wall-clock).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            quick: self.quick,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput declarations.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    quick: bool,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Declare per-iteration work for subsequent benchmarks.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Configure sample count (accepted and ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            quick: self.quick,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.mean_ns,
+            b.iters,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            quick: self.quick,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.mean_ns,
+            b.iters,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Finish the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Define a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` for a benchmark target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Ignore harness flags passed by `cargo test`/`cargo bench`
+            // (e.g. `--bench`, `--test`); run everything.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grouped");
+        group.throughput(Throughput::Elements(128));
+        group.bench_function("vec_push", |b| b.iter(|| (0..128).collect::<Vec<i32>>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4usize, |b, &n| {
+            b.iter(|| vec![0u8; n * 100])
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+    criterion_group!(
+        name = named;
+        config = Criterion::default();
+        targets = sample_bench
+    );
+
+    #[test]
+    fn groups_run_to_completion() {
+        benches();
+        named();
+    }
+}

@@ -1,0 +1,257 @@
+//! Offline shim for the `rand` crate.
+//!
+//! Implements only what MPROS uses: a deterministic seedable `StdRng`
+//! (xoshiro256++ seeded through SplitMix64) and `Rng::gen_range` over
+//! half-open and inclusive integer/float ranges. Deterministic per seed
+//! across platforms, which is what the simulation tests rely on.
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core entropy source: a stream of uniform `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a `u64` seed (always available, unlike the
+    /// full `rand` trait which goes through associated seed arrays).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range sampling, mirroring `rand::distributions::uniform` far enough
+/// for `gen_range` call sites.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draw one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// User-facing convenience methods; blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform draw from `range` (half-open `a..b` or inclusive
+    /// `a..=b`).
+    fn gen_range<T: SampleRange>(&mut self, range: T) -> T::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// A uniform `bool` with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Map 64 random bits to a uniform f64 in `[0, 1)`.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits -> [0, 1) with full double precision.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Map 64 random bits to a uniform f32 in `[0, 1)`.
+#[inline]
+fn unit_f32(bits: u64) -> f32 {
+    ((bits >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty f64 range");
+        let v = self.start + unit_f64(rng.next_u64()) * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange for Range<f32> {
+    type Output = f32;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty f32 range");
+        let v = self.start + unit_f32(rng.next_u64()) * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange for RangeInclusive<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty inclusive f64 range");
+        // Scale a [0,1] draw (2^53 inclusive steps) across the span.
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+        (lo + unit * (hi - lo)).clamp(lo, hi)
+    }
+}
+
+impl SampleRange for RangeInclusive<f32> {
+    type Output = f32;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty inclusive f32 range");
+        let unit = ((rng.next_u64() >> 40) as f32) * (1.0 / ((1u64 << 24) - 1) as f32);
+        (lo + unit * (hi - lo)).clamp(lo, hi)
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty integer range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (the shim's stand-in for
+    /// `rand::rngs::StdRng`). Not cryptographically secure; plenty for
+    /// simulation noise and shuffles.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub use rngs::StdRng;
+
+/// Minimal `thread_rng` stand-in: deterministic, freshly seeded per call
+/// from a process-wide counter (kept only for API compatibility).
+pub fn thread_rng() -> rngs::StdRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0x5EED);
+    rngs::StdRng::seed_from_u64(COUNTER.fetch_add(1, Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_range_is_in_bounds_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0.0..1.0f64);
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn inclusive_usize_range_hits_endpoints() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..=3usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn epsilon_range_stays_positive() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(f64::EPSILON..1.0);
+            assert!(v > 0.0 && v < 1.0);
+        }
+    }
+}

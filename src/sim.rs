@@ -14,6 +14,7 @@ use mpros_core::{DcId, MachineId, Result, SimClock, SimDuration, SimTime};
 use mpros_dc::{DataConcentrator, DcConfig};
 use mpros_network::{Endpoint, NetMessage, NetworkConfig, ShipNetwork};
 use mpros_pdme::PdmeExecutive;
+use mpros_telemetry::Telemetry;
 
 /// Configuration of a shipboard simulation.
 #[derive(Debug, Clone)]
@@ -51,15 +52,21 @@ pub struct ShipboardSim {
     clock: SimClock,
     heartbeat_period: SimDuration,
     last_heartbeat: Vec<SimTime>,
+    telemetry: Telemetry,
 }
 
 impl ShipboardSim {
     /// Build the ship: `dc_count` chillers with their DCs, the network,
     /// and the PDME with every machine registered in its ship model.
     pub fn new(config: ShipboardSimConfig) -> Result<Self> {
+        // One shared observability domain for the whole ship: every
+        // component joins it at wiring time, before any traffic flows.
+        let telemetry = Telemetry::new();
         let mut network = ShipNetwork::new(config.network.clone());
+        network.set_telemetry(&telemetry);
         network.register(Endpoint::Pdme);
         let mut pdme = PdmeExecutive::new();
+        pdme.set_telemetry(&telemetry);
         let mut plants = Vec::with_capacity(config.dc_count);
         let mut dcs = Vec::with_capacity(config.dc_count);
         for i in 0..config.dc_count {
@@ -71,7 +78,9 @@ impl ShipboardSim {
             )));
             let mut dc_cfg = DcConfig::new(dc_id, machine);
             dc_cfg.survey_period = config.survey_period;
-            dcs.push(DataConcentrator::new(dc_cfg)?);
+            let mut dc = DataConcentrator::new(dc_cfg)?;
+            dc.set_telemetry(&telemetry);
+            dcs.push(dc);
             network.register(Endpoint::Dc(dc_id));
             pdme.register_machine(machine, &format!("A/C Plant {} Chiller", i + 1));
         }
@@ -83,7 +92,14 @@ impl ShipboardSim {
             pdme,
             clock: SimClock::new(),
             heartbeat_period: config.heartbeat_period,
+            telemetry,
         })
+    }
+
+    /// The ship-wide telemetry domain (metrics, spans, journal,
+    /// dashboard).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Current simulated time.
@@ -139,6 +155,7 @@ impl ShipboardSim {
     pub fn step(&mut self, dt: SimDuration) -> Result<usize> {
         self.clock.advance(dt);
         let now = self.clock.now();
+        self.telemetry.set_sim_now(now);
         for (i, dc) in self.dcs.iter_mut().enumerate() {
             let ep = Endpoint::Dc(dc.id());
             // Deliver pending commands first.

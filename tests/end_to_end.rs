@@ -78,8 +78,7 @@ fn faults_are_attributed_to_the_right_machine() {
     let list = sim.pdme().maintenance_list();
     assert!(!list.is_empty());
     assert!(
-        list.iter()
-            .all(|item| item.machine == MachineId::new(2)),
+        list.iter().all(|item| item.machine == MachineId::new(2)),
         "conclusions leaked to other machines: {list:?}"
     );
     // Machines 1 and 3 stay clean in the report repository too.

@@ -25,8 +25,11 @@ fn run_with_faults(faults: &[(MachineCondition, f64)]) -> ShipboardSim {
             },
         );
     }
-    sim.run_for(SimDuration::from_minutes(10.0), SimDuration::from_secs(0.25))
-        .unwrap();
+    sim.run_for(
+        SimDuration::from_minutes(10.0),
+        SimDuration::from_secs(0.25),
+    )
+    .unwrap();
     sim
 }
 
@@ -52,7 +55,11 @@ fn concurrent_faults_in_different_groups_both_surface() {
     // Conflict inside the process frame is possible (fuzzy may hedge),
     // but the two frames never exchanged mass: their beliefs both stay
     // high simultaneously — checked above.
-    assert!(process_frame.unknown < 0.4, "process unknown {}", process_frame.unknown);
+    assert!(
+        process_frame.unknown < 0.4,
+        "process unknown {}",
+        process_frame.unknown
+    );
 }
 
 #[test]

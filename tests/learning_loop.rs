@@ -92,9 +92,8 @@ fn archived_lives_condition_live_prognoses() {
     // Generic grade template for a Moderate live diagnosis.
     let template = mpros::core::prognostic::grade_template(mpros::core::SeverityGrade::Moderate);
     let fused = fuse_prognostics(&[template.clone(), aged]).unwrap();
-    let med = |v: &mpros::core::PrognosticVector| {
-        v.horizon_for_probability(0.5).map(|d| d.as_days())
-    };
+    let med =
+        |v: &mpros::core::PrognosticVector| v.horizon_for_probability(0.5).map(|d| d.as_days());
     let fused_med = med(&fused).unwrap();
     let template_med = med(&template).unwrap();
     assert!(

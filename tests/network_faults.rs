@@ -70,7 +70,11 @@ fn partition_blanks_a_dc_then_heals() {
     let health = sim
         .pdme()
         .dc_health(sim.now(), SimDuration::from_secs(30.0));
-    assert_eq!(health[0], (DcId::new(1), false), "partitioned DC looks dead");
+    assert_eq!(
+        health[0],
+        (DcId::new(1), false),
+        "partitioned DC looks dead"
+    );
 
     // Heal: heartbeats resume; the DC is alive again.
     sim.network_mut()

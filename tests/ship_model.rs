@@ -24,9 +24,12 @@ fn build_ship(oosm: &mut Oosm) -> (mpros::core::ObjectId, Vec<mpros::core::Objec
             m
         })
         .collect();
-    oosm.relate(machines[0], Relation::ProximateTo, machines[1]).unwrap();
-    oosm.relate(machines[1], Relation::FlowsTo, machines[2]).unwrap();
-    oosm.relate(machines[2], Relation::FlowsTo, machines[3]).unwrap();
+    oosm.relate(machines[0], Relation::ProximateTo, machines[1])
+        .unwrap();
+    oosm.relate(machines[1], Relation::FlowsTo, machines[2])
+        .unwrap();
+    oosm.relate(machines[2], Relation::FlowsTo, machines[3])
+        .unwrap();
     (ship, machines)
 }
 
@@ -41,10 +44,19 @@ fn hierarchy_traverses_in_both_directions() {
     assert_eq!(systems.len(), 1);
     assert_eq!(oosm.related_to(systems[0], Relation::PartOf).len(), 5);
     // Upward from any machine.
-    assert_eq!(oosm.related(machines[0], Relation::PartOf), vec![systems[0]]);
+    assert_eq!(
+        oosm.related(machines[0], Relation::PartOf),
+        vec![systems[0]]
+    );
     // Flow chain.
-    assert_eq!(oosm.related(machines[1], Relation::FlowsTo), vec![machines[2]]);
-    assert_eq!(oosm.related(machines[2], Relation::FlowsTo), vec![machines[3]]);
+    assert_eq!(
+        oosm.related(machines[1], Relation::FlowsTo),
+        vec![machines[2]]
+    );
+    assert_eq!(
+        oosm.related(machines[2], Relation::FlowsTo),
+        vec![machines[3]]
+    );
 }
 
 #[test]
@@ -54,8 +66,10 @@ fn persistence_mapping_is_observable() {
     let mut oosm = Oosm::new();
     let (_, machines) = build_ship(&mut oosm);
     for (i, &m) in machines.iter().enumerate() {
-        oosm.set_property(m, "manufacturer", Value::Text("York".into())).unwrap();
-        oosm.set_property(m, "capacity_tons", Value::Float(150.0 + i as f64)).unwrap();
+        oosm.set_property(m, "manufacturer", Value::Text("York".into()))
+            .unwrap();
+        oosm.set_property(m, "capacity_tons", Value::Float(150.0 + i as f64))
+            .unwrap();
     }
     let store = oosm.store();
     assert_eq!(
@@ -73,10 +87,14 @@ fn common_properties_of_the_paper_roundtrip() {
     // usage, capacity, and location."
     let mut oosm = Oosm::new();
     let m = oosm.create_object(ObjectKind::Machine, "A/C Compressor 1");
-    oosm.set_property(m, "manufacturer", Value::Text("Carrier".into())).unwrap();
-    oosm.set_property(m, "energy_usage_kw", Value::Float(420.0)).unwrap();
-    oosm.set_property(m, "capacity_tons", Value::Int(200)).unwrap();
-    oosm.set_property(m, "location", Value::Text("3rd deck, frame 110".into())).unwrap();
+    oosm.set_property(m, "manufacturer", Value::Text("Carrier".into()))
+        .unwrap();
+    oosm.set_property(m, "energy_usage_kw", Value::Float(420.0))
+        .unwrap();
+    oosm.set_property(m, "capacity_tons", Value::Int(200))
+        .unwrap();
+    oosm.set_property(m, "location", Value::Text("3rd deck, frame 110".into()))
+        .unwrap();
     let props = oosm.properties(m);
     assert_eq!(props.len(), 4);
     assert_eq!(
@@ -90,7 +108,8 @@ fn events_fire_for_every_mutation_kind() {
     let mut oosm = Oosm::new();
     let sub = oosm.subscribe();
     let (_, machines) = build_ship(&mut oosm);
-    oosm.set_property(machines[0], "rpm", Value::Float(3550.0)).unwrap();
+    oosm.set_property(machines[0], "rpm", Value::Float(3550.0))
+        .unwrap();
     oosm.delete_object(machines[4]).unwrap();
     let events = sub.drain();
     let created = events
@@ -103,8 +122,12 @@ fn events_fire_for_every_mutation_kind() {
         .count();
     assert_eq!(created, 8);
     assert_eq!(related, 10);
-    assert!(events.iter().any(|e| matches!(e, OosmEvent::PropertyChanged { .. })));
-    assert!(events.iter().any(|e| matches!(e, OosmEvent::ObjectDeleted { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, OosmEvent::PropertyChanged { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, OosmEvent::ObjectDeleted { .. })));
 }
 
 #[test]
@@ -128,11 +151,19 @@ fn health_rollup_spans_the_full_hierarchy() {
     )
     .id(ReportId::new(1))
     .build();
-    pdme.handle_message(&NetMessage::Report(r), SimTime::ZERO).unwrap();
+    pdme.handle_message(&NetMessage::Report(r), SimTime::ZERO)
+        .unwrap();
     pdme.process_events().unwrap();
     let tree = health::health_of(&pdme, ship);
-    assert!((tree.health - 0.1).abs() < 1e-6, "ship health {}", tree.health);
+    assert!(
+        (tree.health - 0.1).abs() < 1e-6,
+        "ship health {}",
+        tree.health
+    );
     // Four levels deep: ship → deck → system → machine.
     let rendered = health::render(&tree);
-    assert!(rendered.contains("      chiller motor"), "render:\n{rendered}");
+    assert!(
+        rendered.contains("      chiller motor"),
+        "render:\n{rendered}"
+    );
 }

@@ -48,7 +48,9 @@ fn wnn_reports_flow_to_the_pdme() {
     sim.run_for(SimDuration::from_minutes(3.0), SimDuration::from_secs(0.25))
         .unwrap();
 
-    let reports = sim.pdme().reports_for_machine(mpros::core::MachineId::new(1));
+    let reports = sim
+        .pdme()
+        .reports_for_machine(mpros::core::MachineId::new(1));
     let wnn_ks = KnowledgeSourceId::new(13); // DC 1, WNN slot
     let wnn_reports: Vec<_> = reports
         .iter()
@@ -75,10 +77,9 @@ fn wnn_reports_flow_to_the_pdme() {
         wnn_reports.iter().map(|r| r.condition).collect::<Vec<_>>()
     );
     // And DLI agreed, so fusion reinforced the belief.
-    let fused = sim
-        .pdme()
-        .fusion()
-        .diagnostic()
-        .belief(mpros::core::MachineId::new(1), MachineCondition::MotorImbalance);
+    let fused = sim.pdme().fusion().diagnostic().belief(
+        mpros::core::MachineId::new(1),
+        MachineCondition::MotorImbalance,
+    );
     assert!(fused > 0.8, "fused belief {fused}");
 }
