@@ -19,6 +19,7 @@ pub mod error;
 pub mod id;
 pub mod prognostic;
 pub mod report;
+pub mod seed;
 pub mod severity;
 pub mod time;
 
@@ -28,5 +29,6 @@ pub use error::{Error, Result};
 pub use id::{DcId, IdAllocator, KnowledgeSourceId, MachineId, ObjectId, ReportId, SensorId};
 pub use prognostic::{PrognosticPoint, PrognosticVector};
 pub use report::{ConditionReport, ReportBuilder};
+pub use seed::derive_stream_seed;
 pub use severity::{Severity, SeverityGrade, TimeToFailure};
 pub use time::{SimClock, SimDuration, SimTime};

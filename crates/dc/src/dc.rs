@@ -250,6 +250,24 @@ impl DataConcentrator {
         }
     }
 
+    /// One whole scheduling step as a self-contained unit of work:
+    /// apply the step's delivered commands in arrival order, then run
+    /// everything due at `now`. This is the closure the scatter-gather
+    /// engine fans out per DC — it touches nothing but `self` and the
+    /// read-only plant, so concurrent `step`s on *different* DCs cannot
+    /// observe each other.
+    pub fn step(
+        &mut self,
+        plant: &ChillerPlant,
+        now: SimTime,
+        commands: &[NetMessage],
+    ) -> Result<Vec<ConditionReport>> {
+        for cmd in commands {
+            self.handle_command(cmd)?;
+        }
+        self.tick(plant, now)
+    }
+
     /// Run everything due at `now` against the instrumented plant;
     /// returns the condition reports to forward to the PDME.
     pub fn tick(&mut self, plant: &ChillerPlant, now: SimTime) -> Result<Vec<ConditionReport>> {

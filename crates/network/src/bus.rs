@@ -8,9 +8,9 @@
 //! partitioned endpoint neither sends nor receives until healed; frames
 //! lost to drops or partitions are counted in [`NetStats`].
 
-use crate::codec::{decode_message, encode_message, NetMessage};
+use crate::codec::{decode_message, encode_message, BatchEntry, NetMessage, MAX_BATCH};
 use bytes::Bytes;
-use mpros_core::{DcId, Error, Result, SimDuration, SimTime};
+use mpros_core::{ConditionReport, DcId, Error, Result, SimDuration, SimTime};
 use mpros_telemetry::{Counter, Histogram, Stage, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -121,6 +121,7 @@ pub struct ShipNetwork {
     m_sent: Arc<Counter>,
     m_delivered: Arc<Counter>,
     m_dropped: Arc<Counter>,
+    m_batched_reports: Arc<Counter>,
     bus_transit: Arc<Histogram>,
     per_endpoint: HashMap<Endpoint, EndpointCounters>,
 }
@@ -132,7 +133,8 @@ impl ShipNetwork {
     pub fn new(config: NetworkConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
         let telemetry = Telemetry::new();
-        let (m_sent, m_delivered, m_dropped, bus_transit) = Self::wire(&telemetry);
+        let (m_sent, m_delivered, m_dropped, m_batched_reports, bus_transit) =
+            Self::wire(&telemetry);
         ShipNetwork {
             config,
             rng,
@@ -144,16 +146,27 @@ impl ShipNetwork {
             m_sent,
             m_delivered,
             m_dropped,
+            m_batched_reports,
             bus_transit,
             per_endpoint: HashMap::new(),
         }
     }
 
-    fn wire(telemetry: &Telemetry) -> (Arc<Counter>, Arc<Counter>, Arc<Counter>, Arc<Histogram>) {
+    #[allow(clippy::type_complexity)]
+    fn wire(
+        telemetry: &Telemetry,
+    ) -> (
+        Arc<Counter>,
+        Arc<Counter>,
+        Arc<Counter>,
+        Arc<Counter>,
+        Arc<Histogram>,
+    ) {
         (
             telemetry.counter("net", "sent"),
             telemetry.counter("net", "delivered"),
             telemetry.counter("net", "dropped"),
+            telemetry.counter("net", "batched_reports"),
             telemetry.histogram("net", "bus_transit_s"),
         )
     }
@@ -172,13 +185,15 @@ impl ShipNetwork {
         if self.telemetry.same_domain(telemetry) {
             return;
         }
-        let (sent, delivered, dropped, bus_transit) = Self::wire(telemetry);
+        let (sent, delivered, dropped, batched, bus_transit) = Self::wire(telemetry);
         sent.add(self.m_sent.get());
         delivered.add(self.m_delivered.get());
         dropped.add(self.m_dropped.get());
+        batched.add(self.m_batched_reports.get());
         self.m_sent = sent;
         self.m_delivered = delivered;
         self.m_dropped = dropped;
+        self.m_batched_reports = batched;
         self.bus_transit = bus_transit;
         for (endpoint, old) in &mut self.per_endpoint {
             let new = Self::endpoint_counters(telemetry, *endpoint);
@@ -268,6 +283,43 @@ impl ShipNetwork {
             sent_at: now,
             frame,
         }));
+        Ok(())
+    }
+
+    /// Send one DC's reports for a step as a single
+    /// [`NetMessage::ReportBatch`] frame to the PDME. Entries are
+    /// sequenced by report id (strictly increasing per DC by
+    /// construction); batches above [`MAX_BATCH`] are split into
+    /// multiple frames. Nothing is sent for an empty `reports` — an
+    /// empty batch frame is legal on the wire but pointless here.
+    pub fn send_report_batch(
+        &mut self,
+        now: SimTime,
+        dc: DcId,
+        reports: Vec<ConditionReport>,
+    ) -> Result<()> {
+        if reports.is_empty() {
+            return Ok(());
+        }
+        let entries: Vec<BatchEntry> = reports
+            .into_iter()
+            .map(|report| BatchEntry {
+                seq: report.id.raw(),
+                report,
+            })
+            .collect();
+        for chunk in entries.chunks(MAX_BATCH) {
+            self.m_batched_reports.add(chunk.len() as u64);
+            self.send(
+                now,
+                Endpoint::Dc(dc),
+                Endpoint::Pdme,
+                &NetMessage::ReportBatch {
+                    dc,
+                    entries: chunk.to_vec(),
+                },
+            )?;
+        }
         Ok(())
     }
 
@@ -589,6 +641,43 @@ mod tests {
         net.send(SimTime::from_secs(2.0), dc, Endpoint::Pdme, &heartbeat(1))
             .unwrap();
         assert_eq!(shared.counter("net", "sent").get(), 2);
+    }
+
+    #[test]
+    fn report_batch_travels_as_one_frame() {
+        use mpros_core::{Belief, MachineCondition, MachineId, ReportId};
+        let mut net = network(0.0);
+        let dc = DcId::new(1);
+        let reports: Vec<ConditionReport> = (0..3)
+            .map(|i| {
+                ConditionReport::builder(
+                    MachineId::new(7),
+                    MachineCondition::GearToothWear,
+                    Belief::new(0.7),
+                )
+                .id(ReportId::new(100 + i))
+                .dc(dc)
+                .timestamp(SimTime::ZERO)
+                .build()
+            })
+            .collect();
+        net.send_report_batch(SimTime::ZERO, dc, reports).unwrap();
+        // Three reports, one frame on the wire.
+        assert_eq!(net.stats().sent, 1);
+        let got = net.recv(Endpoint::Pdme, SimTime::from_secs(1.0));
+        assert_eq!(got.len(), 1);
+        match &got[0] {
+            NetMessage::ReportBatch { dc: from, entries } => {
+                assert_eq!(*from, dc);
+                let seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
+                assert_eq!(seqs, vec![100, 101, 102]);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        // Empty batches send nothing at all.
+        net.send_report_batch(SimTime::from_secs(2.0), dc, Vec::new())
+            .unwrap();
+        assert_eq!(net.stats().sent, 1);
     }
 
     #[test]

@@ -18,12 +18,36 @@ const MAGIC: [u8; 2] = *b"MP";
 const VERSION: u8 = 1;
 /// Frames larger than this are rejected (corrupted length field guard).
 const MAX_PAYLOAD: usize = 16 * 1024 * 1024;
+/// Reports per batch frame; larger batches must be split by the sender.
+pub const MAX_BATCH: usize = 1024;
+
+/// One entry of a [`NetMessage::ReportBatch`]: a report tagged with the
+/// originating DC's emission sequence number. Sequence numbers are
+/// strictly increasing per DC, which lets the receiver reject duplicate
+/// or replayed entries without inspecting report contents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchEntry {
+    /// The DC's emission sequence number for this report.
+    pub seq: u64,
+    /// The report itself.
+    pub report: ConditionReport,
+}
 
 /// Messages carried on the ship network.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum NetMessage {
     /// A §7.2 failure-prediction report, DC → PDME.
     Report(ConditionReport),
+    /// A batch of reports emitted by one DC in a single step, carried
+    /// as one frame. Entries are ordered by strictly increasing
+    /// sequence number; frames violating that (duplicates, reordering)
+    /// are rejected by the codec on both encode and decode.
+    ReportBatch {
+        /// Originating DC.
+        dc: DcId,
+        /// The batched reports, in emission order.
+        entries: Vec<BatchEntry>,
+    },
     /// Command a DC to run a test immediately (§5.8: "the PDME or any
     /// other client can command the scheduler to conduct another test").
     RunTest {
@@ -57,12 +81,37 @@ impl NetMessage {
             NetMessage::RunTest { .. } => 2,
             NetMessage::DownloadSbfr { .. } => 3,
             NetMessage::Heartbeat { .. } => 4,
+            NetMessage::ReportBatch { .. } => 5,
         }
     }
 }
 
+/// Batch well-formedness: bounded size and strictly increasing sequence
+/// numbers (which also rules out duplicates). Empty batches are legal —
+/// they encode "nothing this step" for protocols that frame every step.
+fn validate_batch(entries: &[BatchEntry]) -> Result<()> {
+    if entries.len() > MAX_BATCH {
+        return Err(Error::Encoding(format!(
+            "batch of {} entries exceeds cap {MAX_BATCH}",
+            entries.len()
+        )));
+    }
+    for pair in entries.windows(2) {
+        if pair[1].seq <= pair[0].seq {
+            return Err(Error::Encoding(format!(
+                "batch sequence numbers not strictly increasing: {} then {}",
+                pair[0].seq, pair[1].seq
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// Encode a message into one frame.
 pub fn encode_message(msg: &NetMessage) -> Result<Bytes> {
+    if let NetMessage::ReportBatch { entries, .. } = msg {
+        validate_batch(entries)?;
+    }
     let payload = serde_json::to_vec(msg)
         .map_err(|e| Error::Encoding(format!("payload serialization: {e}")))?;
     let mut buf = BytesMut::with_capacity(8 + payload.len());
@@ -106,6 +155,9 @@ pub fn decode_message(mut frame: Bytes) -> Result<NetMessage> {
         .map_err(|e| Error::Encoding(format!("payload deserialization: {e}")))?;
     if msg.type_tag() != tag {
         return Err(Error::Encoding("type tag does not match body".into()));
+    }
+    if let NetMessage::ReportBatch { entries, .. } = &msg {
+        validate_batch(entries)?;
     }
     Ok(msg)
 }
@@ -194,6 +246,61 @@ mod tests {
         let n = bad.len();
         bad[n - 3] = 0xFF;
         assert!(decode_message(Bytes::from(bad)).is_err());
+    }
+
+    fn batch(seqs: &[u64]) -> NetMessage {
+        NetMessage::ReportBatch {
+            dc: DcId::new(2),
+            entries: seqs
+                .iter()
+                .map(|&seq| BatchEntry {
+                    seq,
+                    report: sample_report(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn report_batches_roundtrip() {
+        for seqs in [&[][..], &[1], &[1, 2, 9], &[100, 200, 201]] {
+            let m = batch(seqs);
+            let back = decode_message(encode_message(&m).unwrap()).unwrap();
+            assert_eq!(m, back);
+        }
+    }
+
+    #[test]
+    fn batch_with_duplicate_or_reordered_seqs_is_rejected() {
+        for seqs in [&[1u64, 1][..], &[5, 3], &[1, 2, 2], &[9, 9, 9]] {
+            assert!(encode_message(&batch(seqs)).is_err(), "encoded {seqs:?}");
+        }
+        // A frame forged past the encoder is still caught on decode:
+        // serialize a valid batch, then corrupt is hard via JSON, so
+        // build the payload straight from serde like an attacker would.
+        let forged = serde_json::to_vec(&batch(&[4, 4])).unwrap();
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"MP");
+        buf.put_u8(1);
+        buf.put_u8(5);
+        buf.put_u32_le(forged.len() as u32);
+        buf.put_slice(&forged);
+        assert!(decode_message(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn batch_size_cap_is_enforced() {
+        let entries: Vec<BatchEntry> = (0..=MAX_BATCH as u64)
+            .map(|seq| BatchEntry {
+                seq,
+                report: sample_report(),
+            })
+            .collect();
+        let over = NetMessage::ReportBatch {
+            dc: DcId::new(1),
+            entries,
+        };
+        assert!(encode_message(&over).is_err());
     }
 
     #[test]

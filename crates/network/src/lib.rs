@@ -17,4 +17,4 @@ pub mod bus;
 pub mod codec;
 
 pub use bus::{Endpoint, NetStats, NetworkConfig, ShipNetwork};
-pub use codec::{decode_message, encode_message, NetMessage};
+pub use codec::{decode_message, encode_message, BatchEntry, NetMessage, MAX_BATCH};

@@ -45,8 +45,13 @@ pub struct PdmeExecutive {
     fusion: FusionEngine,
     resident: Vec<Box<dyn ResidentAlgorithm>>,
     dc_last_seen: HashMap<DcId, SimTime>,
+    /// Highest batch sequence number accepted per DC; entries at or
+    /// below it are replays (duplicated frames, re-sent batches) and are
+    /// skipped rather than double-fused.
+    batch_last_seq: HashMap<DcId, u64>,
     telemetry: Telemetry,
     m_reports_received: Arc<Counter>,
+    m_batch_replays: Arc<Counter>,
     h_report_latency: Arc<Histogram>,
 }
 
@@ -63,6 +68,7 @@ impl PdmeExecutive {
         let kf_events = oosm.subscribe();
         let telemetry = Telemetry::new();
         let m_reports_received = telemetry.counter("pdme", "reports_received");
+        let m_batch_replays = telemetry.counter("pdme", "batch_replays_dropped");
         let h_report_latency = telemetry.histogram("pdme", "report_latency_s");
         let mut fusion = FusionEngine::new();
         fusion.set_telemetry(&telemetry);
@@ -73,8 +79,10 @@ impl PdmeExecutive {
             fusion,
             resident: Vec::new(),
             dc_last_seen: HashMap::new(),
+            batch_last_seq: HashMap::new(),
             telemetry,
             m_reports_received,
+            m_batch_replays,
             h_report_latency,
         }
     }
@@ -89,6 +97,9 @@ impl PdmeExecutive {
         let received = telemetry.counter("pdme", "reports_received");
         received.add(self.m_reports_received.get());
         self.m_reports_received = received;
+        let replays = telemetry.counter("pdme", "batch_replays_dropped");
+        replays.add(self.m_batch_replays.get());
+        self.m_batch_replays = replays;
         self.h_report_latency = telemetry.histogram("pdme", "report_latency_s");
         self.fusion.set_telemetry(telemetry);
         self.oosm.set_telemetry(telemetry);
@@ -131,26 +142,57 @@ impl PdmeExecutive {
         self.m_reports_received.get() as usize
     }
 
-    /// Step 1: accept a network message. Reports are posted to the OOSM;
-    /// heartbeats update DC liveness. Returns the number of reports
-    /// posted (0 or 1).
+    /// Post one report to the OOSM, recording liveness and the
+    /// end-to-end ingest latency. Shared by the single-report and
+    /// batched frame paths.
+    fn ingest_report(&mut self, report: &ConditionReport, now: SimTime) -> Result<()> {
+        let timer = WallTimer::start();
+        self.dc_last_seen.insert(report.dc, now);
+        self.oosm.post_report(report)?;
+        self.m_reports_received.inc();
+        // End-to-end scenario latency: report creation at the DC
+        // to ingestion here, in simulated time.
+        let e2e = now.since(report.timestamp);
+        if !e2e.is_negative() {
+            self.h_report_latency.record(e2e.as_secs());
+            self.telemetry.record_span_sim(Stage::PdmeIngest, e2e);
+        }
+        self.telemetry
+            .record_span_wall(Stage::PdmeIngest, timer.elapsed());
+        Ok(())
+    }
+
+    /// Step 1: accept a network message. Reports (single or batched) are
+    /// posted to the OOSM; heartbeats update DC liveness. Returns the
+    /// number of reports posted. Batch entries whose sequence number is
+    /// at or below the highest already accepted from that DC are
+    /// replays and are counted but not re-posted.
     pub fn handle_message(&mut self, msg: &NetMessage, now: SimTime) -> Result<usize> {
         match msg {
             NetMessage::Report(report) => {
-                let timer = WallTimer::start();
-                self.dc_last_seen.insert(report.dc, now);
-                self.oosm.post_report(report)?;
-                self.m_reports_received.inc();
-                // End-to-end scenario latency: report creation at the DC
-                // to ingestion here, in simulated time.
-                let e2e = now.since(report.timestamp);
-                if !e2e.is_negative() {
-                    self.h_report_latency.record(e2e.as_secs());
-                    self.telemetry.record_span_sim(Stage::PdmeIngest, e2e);
-                }
-                self.telemetry
-                    .record_span_wall(Stage::PdmeIngest, timer.elapsed());
+                self.ingest_report(report, now)?;
                 Ok(1)
+            }
+            NetMessage::ReportBatch { dc, entries } => {
+                self.dc_last_seen.insert(*dc, now);
+                let mut posted = 0;
+                for entry in entries {
+                    let last = self.batch_last_seq.get(dc).copied();
+                    if last.is_some_and(|l| entry.seq <= l) {
+                        self.m_batch_replays.inc();
+                        self.telemetry.event_at(
+                            now,
+                            "pdme",
+                            "batch_replay",
+                            format!("{dc} seq {} already accepted", entry.seq),
+                        );
+                        continue;
+                    }
+                    self.ingest_report(&entry.report, now)?;
+                    self.batch_last_seq.insert(*dc, entry.seq);
+                    posted += 1;
+                }
+                Ok(posted)
             }
             NetMessage::Heartbeat { dc, .. } => {
                 self.dc_last_seen.insert(*dc, now);
@@ -158,6 +200,16 @@ impl PdmeExecutive {
             }
             _ => Ok(0),
         }
+    }
+
+    /// Accept a whole step's worth of delivered messages, then run one
+    /// fusion pass over everything posted. Returns the number of reports
+    /// fused (the same figure [`PdmeExecutive::process_events`] reports).
+    pub fn handle_batch(&mut self, msgs: &[NetMessage], now: SimTime) -> Result<usize> {
+        for msg in msgs {
+            self.handle_message(msg, now)?;
+        }
+        self.process_events()
     }
 
     /// Steps 2–4: drain the OOSM event queue, run knowledge fusion on
@@ -455,6 +507,93 @@ mod tests {
         let all = p.reports_for_machine(MachineId::new(1));
         assert_eq!(all.len(), 2);
         assert!(all.iter().any(|r| r.dc == PDME_RESIDENT_DC));
+    }
+
+    #[test]
+    fn batched_reports_post_and_fuse_like_singles() {
+        use mpros_network::BatchEntry;
+        let mut p = pdme();
+        let entries: Vec<BatchEntry> = [
+            (10, MachineCondition::MotorImbalance, 0.6),
+            (11, MachineCondition::MotorImbalance, 0.6),
+            (12, MachineCondition::RefrigerantLeak, 0.4),
+        ]
+        .into_iter()
+        .map(|(id, c, b)| BatchEntry {
+            seq: id,
+            report: report(id, 1, c, b),
+        })
+        .collect();
+        let batch = NetMessage::ReportBatch {
+            dc: DcId::new(1),
+            entries,
+        };
+        let fused = p
+            .handle_batch(std::slice::from_ref(&batch), SimTime::from_secs(20.0))
+            .unwrap();
+        assert_eq!(fused, 3);
+        assert_eq!(p.reports_received(), 3);
+        let b = p
+            .fusion()
+            .diagnostic()
+            .belief(MachineId::new(1), MachineCondition::MotorImbalance);
+        assert!(b > 0.8, "reinforced belief {b}");
+        // The DC is marked live by the batch.
+        let health = p.dc_health(SimTime::from_secs(25.0), SimDuration::from_secs(60.0));
+        assert_eq!(health, vec![(DcId::new(1), true)]);
+
+        // Replaying the same frame posts nothing new.
+        let fused = p
+            .handle_batch(std::slice::from_ref(&batch), SimTime::from_secs(30.0))
+            .unwrap();
+        assert_eq!(fused, 0);
+        assert_eq!(p.reports_received(), 3);
+        assert_eq!(
+            p.telemetry().counter("pdme", "batch_replays_dropped").get(),
+            3
+        );
+    }
+
+    #[test]
+    fn batch_replay_guard_is_per_dc() {
+        use mpros_network::BatchEntry;
+        let mut p = pdme();
+        let entry = |seq: u64, dc: u64| {
+            let mut r = report(seq, 1, MachineCondition::MotorImbalance, 0.5);
+            r.dc = DcId::new(dc);
+            BatchEntry { seq, report: r }
+        };
+        p.handle_message(
+            &NetMessage::ReportBatch {
+                dc: DcId::new(1),
+                entries: vec![entry(5, 1)],
+            },
+            SimTime::ZERO,
+        )
+        .unwrap();
+        // A lower sequence from a *different* DC is fresh, not a replay.
+        let posted = p
+            .handle_message(
+                &NetMessage::ReportBatch {
+                    dc: DcId::new(2),
+                    entries: vec![entry(3, 2)],
+                },
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(posted, 1);
+        // A partially replayed frame keeps only the new tail.
+        let posted = p
+            .handle_message(
+                &NetMessage::ReportBatch {
+                    dc: DcId::new(1),
+                    entries: vec![entry(5, 1), entry(6, 1)],
+                },
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(posted, 1);
+        assert_eq!(p.reports_received(), 3);
     }
 
     #[test]

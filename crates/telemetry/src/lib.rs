@@ -27,6 +27,7 @@ pub mod journal;
 pub mod metrics;
 pub mod snapshot;
 pub mod span;
+pub mod worker;
 
 pub use journal::{Event, Journal};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
@@ -35,6 +36,7 @@ pub use snapshot::{
     TELEMETRY_SCHEMA_VERSION,
 };
 pub use span::{Stage, WallTimer};
+pub use worker::SpanBatch;
 
 use mpros_core::{SimDuration, SimTime};
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -37,11 +37,15 @@ pub enum Stage {
     OosmPost,
     /// Knowledge-fusion update.
     Fusion,
+    /// One DC's whole per-tick step (command handling + scheduled
+    /// analyses), as executed by the scatter-gather engine — the unit
+    /// of work the worker pool parallelizes.
+    DcStep,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 11] = [
+    pub const ALL: [Stage; 12] = [
         Stage::Acquire,
         Stage::Fft,
         Stage::Dli,
@@ -53,6 +57,7 @@ impl Stage {
         Stage::PdmeIngest,
         Stage::OosmPost,
         Stage::Fusion,
+        Stage::DcStep,
     ];
 
     /// Stable snake_case name (used in metric keys and JSON snapshots).
@@ -69,6 +74,7 @@ impl Stage {
             Stage::PdmeIngest => "pdme_ingest",
             Stage::OosmPost => "oosm_post",
             Stage::Fusion => "fusion",
+            Stage::DcStep => "dc_step",
         }
     }
 

@@ -5,19 +5,37 @@
 //!
 //! ```text
 //! cargo run --release --example shipboard_monitoring
+//! cargo run --release --example shipboard_monitoring -- --workers 4
 //! ```
+//!
+//! `--workers N` steps the DCs through the scatter-gather worker pool;
+//! without it they step inline. Either way the output is identical —
+//! that equivalence is the contract `tests/parallel_determinism.rs`
+//! enforces.
 
 use mpros::chiller::fault::{FaultProfile, FaultSeed};
 use mpros::core::{MachineCondition, MachineId, SimDuration, SimTime};
 use mpros::pdme::browser;
-use mpros::sim::{ShipboardSim, ShipboardSimConfig};
+use mpros::sim::{ExecMode, ShipboardSim, ShipboardSimConfig};
 use mpros::wnn::{DatasetBuilder, TrainParams, WnnClassifier, WnnConfig};
 
 fn main() -> mpros::core::Result<()> {
+    let workers = std::env::args()
+        .skip_while(|a| a != "--workers")
+        .nth(1)
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    let exec = if workers > 0 {
+        println!("stepping DCs through {workers} pool workers\n");
+        ExecMode::Parallel { workers }
+    } else {
+        ExecMode::Sequential
+    };
     let mut sim = ShipboardSim::new(ShipboardSimConfig {
         dc_count: 2,
         seed: 11,
         survey_period: SimDuration::from_secs(60.0),
+        exec,
         ..Default::default()
     })?;
 

@@ -16,4 +16,19 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# The scatter-gather contract, re-run in release: sequential and
+# parallel {2,4,8} stepping must be byte-for-byte identical, and each
+# mode self-deterministic. (Debug already ran it above; release catches
+# optimization-sensitive float/ordering regressions.)
+echo "==> determinism equivalence, release (sequential vs parallel)"
+cargo test --release -q --test parallel_determinism
+
+# Fleet-stepping throughput at 1 and 4 workers. On hosts with < 4 cores
+# the speedup is recorded but not judged (E7.4 is conditional), so this
+# stays green on single-core CI runners.
+echo "==> exp_throughput --workers 1"
+cargo run --release -p mpros-bench --bin exp_throughput -- --workers 1 > /dev/null
+echo "==> exp_throughput --workers 4"
+cargo run --release -p mpros-bench --bin exp_throughput -- --workers 4
+
 echo "CI OK"

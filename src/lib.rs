@@ -32,6 +32,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod exec;
 pub mod sim;
 
 pub use mpros_chiller as chiller;

@@ -6,22 +6,55 @@
 //! network to the PDME, which posts them to the OOSM and runs knowledge
 //! fusion off the change events. Examples, integration tests and the
 //! benchmark harness all drive this one harness.
+//!
+//! # Execution model
+//!
+//! Every tick runs the same four phases regardless of [`ExecMode`]:
+//!
+//! 1. **Deliver** — each DC's command inbox is drained, in ascending
+//!    DC-index order.
+//! 2. **Execute** — each DC applies its commands and runs everything
+//!    due at `now` against its plant ([`DataConcentrator::step`]).
+//!    Sequentially this happens inline; in parallel mode it is
+//!    scattered across the [`WorkerPool`].
+//! 3. **Merge** — each DC's report buffer is sent to the PDME as one
+//!    batched frame, followed by its heartbeat if due, again in
+//!    ascending DC-index order. Frames sent at `now` deliver strictly
+//!    after `now` (the network's base latency is positive), so nothing
+//!    a DC sends this tick can be received this tick — phase 2's
+//!    outputs cannot feed back into phase 2.
+//! 4. **Fuse** — the PDME drains its inbox and runs one fusion pass.
+//!
+//! The only cross-DC coupling is the ship network's RNG (jitter and
+//! drop draws, consumed in `send` order); phase 3 pins that order to
+//! the DC index, so the simulation state — PDME, fusion, OOSM, ICAS
+//! exports — is byte-for-byte identical under any worker count.
 
+use crate::exec::{StepJob, WorkerPool};
 use mpros_chiller::fault::FaultSeed;
 use mpros_chiller::plant::PlantConfig;
 use mpros_chiller::ChillerPlant;
-use mpros_core::{DcId, MachineId, Result, SimClock, SimDuration, SimTime};
+use mpros_core::{
+    derive_stream_seed, ConditionReport, DcId, MachineId, Result, SimClock, SimDuration, SimTime,
+};
 use mpros_dc::{DataConcentrator, DcConfig};
 use mpros_network::{Endpoint, NetMessage, NetworkConfig, ShipNetwork};
 use mpros_pdme::PdmeExecutive;
-use mpros_telemetry::Telemetry;
+use mpros_telemetry::{Stage, Telemetry, WallTimer};
+use parking_lot::{Mutex, MutexGuard};
+use std::sync::Arc;
+
+pub use crate::exec::ExecMode;
 
 /// Configuration of a shipboard simulation.
 #[derive(Debug, Clone)]
 pub struct ShipboardSimConfig {
     /// Number of chiller plants / Data Concentrators.
     pub dc_count: usize,
-    /// Master seed (plants and network derive theirs from it).
+    /// Master seed. Every per-DC stream (plant noise, fault evolution)
+    /// derives its own seed from `(seed, dc_id)` via
+    /// [`derive_stream_seed`], so streams are statistically independent
+    /// and adding a DC never perturbs the others.
     pub seed: u64,
     /// Network behaviour.
     pub network: NetworkConfig,
@@ -29,6 +62,8 @@ pub struct ShipboardSimConfig {
     pub survey_period: SimDuration,
     /// DC heartbeat period.
     pub heartbeat_period: SimDuration,
+    /// How per-DC work is executed each tick.
+    pub exec: ExecMode,
 }
 
 impl Default for ShipboardSimConfig {
@@ -39,25 +74,30 @@ impl Default for ShipboardSimConfig {
             network: NetworkConfig::default(),
             survey_period: SimDuration::from_secs(30.0),
             heartbeat_period: SimDuration::from_secs(10.0),
+            exec: ExecMode::Sequential,
         }
     }
 }
 
 /// The running simulation.
 pub struct ShipboardSim {
-    plants: Vec<ChillerPlant>,
-    dcs: Vec<DataConcentrator>,
+    plants: Vec<Arc<Mutex<ChillerPlant>>>,
+    dcs: Vec<Arc<Mutex<DataConcentrator>>>,
+    dc_ids: Vec<DcId>,
     network: ShipNetwork,
     pdme: PdmeExecutive,
     clock: SimClock,
     heartbeat_period: SimDuration,
     last_heartbeat: Vec<SimTime>,
     telemetry: Telemetry,
+    pool: Option<WorkerPool>,
 }
 
 impl ShipboardSim {
     /// Build the ship: `dc_count` chillers with their DCs, the network,
     /// and the PDME with every machine registered in its ship model.
+    /// In [`ExecMode::Parallel`] the worker pool is spawned here and
+    /// lives as long as the simulation.
     pub fn new(config: ShipboardSimConfig) -> Result<Self> {
         // One shared observability domain for the whole ship: every
         // component joins it at wiring time, before any traffic flows.
@@ -69,30 +109,43 @@ impl ShipboardSim {
         pdme.set_telemetry(&telemetry);
         let mut plants = Vec::with_capacity(config.dc_count);
         let mut dcs = Vec::with_capacity(config.dc_count);
+        let mut dc_ids = Vec::with_capacity(config.dc_count);
         for i in 0..config.dc_count {
             let machine = MachineId::new(i as u64 + 1);
             let dc_id = DcId::new(i as u64 + 1);
-            plants.push(ChillerPlant::new(PlantConfig::new(
+            plants.push(Arc::new(Mutex::new(ChillerPlant::new(PlantConfig::new(
                 machine,
-                config.seed.wrapping_add(i as u64 * 7919),
-            )));
+                derive_stream_seed(config.seed, dc_id.raw()),
+            )))));
             let mut dc_cfg = DcConfig::new(dc_id, machine);
             dc_cfg.survey_period = config.survey_period;
             let mut dc = DataConcentrator::new(dc_cfg)?;
             dc.set_telemetry(&telemetry);
-            dcs.push(dc);
+            dcs.push(Arc::new(Mutex::new(dc)));
+            dc_ids.push(dc_id);
             network.register(Endpoint::Dc(dc_id));
             pdme.register_machine(machine, &format!("A/C Plant {} Chiller", i + 1));
         }
+        let pool = match config.exec {
+            ExecMode::Sequential => None,
+            ExecMode::Parallel { .. } => Some(WorkerPool::new(
+                config.exec.worker_count(),
+                dcs.clone(),
+                plants.clone(),
+                telemetry.clone(),
+            )),
+        };
         Ok(ShipboardSim {
             last_heartbeat: vec![SimTime::ZERO - config.heartbeat_period; config.dc_count],
             plants,
             dcs,
+            dc_ids,
             network,
             pdme,
             clock: SimClock::new(),
             heartbeat_period: config.heartbeat_period,
             telemetry,
+            pool,
         })
     }
 
@@ -107,14 +160,20 @@ impl ShipboardSim {
         self.clock.now()
     }
 
-    /// The plants (fault seeding, ground truth).
-    pub fn plant_mut(&mut self, idx: usize) -> &mut ChillerPlant {
-        &mut self.plants[idx]
+    /// Worker threads stepping DCs (0 in sequential mode).
+    pub fn workers(&self) -> usize {
+        self.pool.as_ref().map(|p| p.workers()).unwrap_or(0)
     }
 
-    /// The plants, immutably.
-    pub fn plant(&self, idx: usize) -> &ChillerPlant {
-        &self.plants[idx]
+    /// The plants (fault seeding, ground truth).
+    pub fn plant_mut(&mut self, idx: usize) -> MutexGuard<'_, ChillerPlant> {
+        self.plants[idx].lock()
+    }
+
+    /// The plants, immutably. (Still a lock guard: the worker pool
+    /// shares the cells, though it only touches them inside `step`.)
+    pub fn plant(&self, idx: usize) -> MutexGuard<'_, ChillerPlant> {
+        self.plants[idx].lock()
     }
 
     /// The PDME.
@@ -133,56 +192,95 @@ impl ShipboardSim {
     }
 
     /// One DC, for configuration (ablation switches, WNN attachment).
-    pub fn dc_mut(&mut self, idx: usize) -> &mut DataConcentrator {
-        &mut self.dcs[idx]
+    pub fn dc_mut(&mut self, idx: usize) -> MutexGuard<'_, DataConcentrator> {
+        self.dcs[idx].lock()
     }
 
     /// Seed a fault on plant `idx`.
     pub fn seed_fault(&mut self, idx: usize, seed: FaultSeed) {
-        self.plants[idx].seed_fault(seed);
+        self.plants[idx].lock().seed_fault(seed);
     }
 
     /// Send a PDME-side command to a DC over the network.
     pub fn send_command(&mut self, dc_idx: usize, msg: &NetMessage) -> Result<()> {
-        let to = Endpoint::Dc(self.dcs[dc_idx].id());
+        let to = Endpoint::Dc(self.dc_ids[dc_idx]);
         self.network.send(self.clock.now(), Endpoint::Pdme, to, msg)
     }
 
-    /// Advance the whole ship by `dt`: tick every DC against its plant,
-    /// carry reports and heartbeats over the network, deliver commands,
-    /// and run the PDME's event-driven fusion. Returns the number of
-    /// reports the PDME fused this step.
+    /// Advance the whole ship by `dt` through the four execution-model
+    /// phases (see the module docs): deliver commands, execute every
+    /// DC's step (inline or scattered across the pool), merge reports
+    /// and heartbeats onto the network in DC-index order, and run the
+    /// PDME's event-driven fusion. Returns the number of reports the
+    /// PDME fused this step.
     pub fn step(&mut self, dt: SimDuration) -> Result<usize> {
         self.clock.advance(dt);
         let now = self.clock.now();
         self.telemetry.set_sim_now(now);
-        for (i, dc) in self.dcs.iter_mut().enumerate() {
-            let ep = Endpoint::Dc(dc.id());
-            // Deliver pending commands first.
-            for cmd in self.network.recv(ep, now) {
-                dc.handle_command(&cmd)?;
+
+        // Phase 1: deliver pending commands, in DC-index order.
+        let commands: Vec<Vec<NetMessage>> = self
+            .dc_ids
+            .iter()
+            .map(|&id| self.network.recv(Endpoint::Dc(id), now))
+            .collect();
+
+        // Phase 2: execute per-DC steps.
+        let outputs: Vec<(usize, Result<Vec<ConditionReport>>)> = match &self.pool {
+            Some(pool) => {
+                let jobs = commands
+                    .into_iter()
+                    .enumerate()
+                    .map(|(dc_index, commands)| StepJob {
+                        dc_index,
+                        now,
+                        commands,
+                    })
+                    .collect();
+                pool.step_all(jobs)
             }
-            for report in dc.tick(&self.plants[i], now)? {
-                self.network
-                    .send(now, ep, Endpoint::Pdme, &NetMessage::Report(report))?;
-            }
+            None => commands
+                .into_iter()
+                .enumerate()
+                .map(|(i, commands)| {
+                    let timer = WallTimer::start();
+                    let result = {
+                        let mut dc = self.dcs[i].lock();
+                        let plant = self.plants[i].lock();
+                        dc.step(&plant, now, &commands)
+                    };
+                    self.telemetry
+                        .record_span_wall(Stage::DcStep, timer.elapsed());
+                    (i, result)
+                })
+                .collect(),
+        };
+
+        // Phase 3: merge into the network in DC-index order — reports
+        // first (one batched frame per DC), then the heartbeat if due.
+        // This fixes the network RNG's draw order independently of
+        // which worker finished first.
+        for (i, reports) in outputs {
+            let reports = reports?;
+            self.network
+                .send_report_batch(now, self.dc_ids[i], reports)?;
             if now.since(self.last_heartbeat[i]) >= self.heartbeat_period {
                 self.last_heartbeat[i] = now;
                 self.network.send(
                     now,
-                    ep,
+                    Endpoint::Dc(self.dc_ids[i]),
                     Endpoint::Pdme,
                     &NetMessage::Heartbeat {
-                        dc: dc.id(),
+                        dc: self.dc_ids[i],
                         at_secs: now.as_secs(),
                     },
                 )?;
             }
         }
-        for msg in self.network.recv(Endpoint::Pdme, now) {
-            self.pdme.handle_message(&msg, now)?;
-        }
-        self.pdme.process_events()
+
+        // Phase 4: one PDME ingest + fusion pass over everything due.
+        let msgs = self.network.recv(Endpoint::Pdme, now);
+        self.pdme.handle_batch(&msgs, now)
     }
 
     /// Run for `duration` in steps of `dt`; returns total reports fused.

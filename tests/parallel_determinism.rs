@@ -1,0 +1,242 @@
+//! The determinism-equivalence harness: the same seeded scenario must
+//! produce **byte-for-byte identical** observable state whether DCs are
+//! stepped sequentially or scattered across 2, 4 or 8 workers. This is
+//! the contract the scatter-gather engine (`mpros::exec`) makes — see
+//! the "Execution model" section of `src/sim.rs` and DESIGN.md.
+//!
+//! What is compared per scenario:
+//! * the ICAS snapshot, as its exact JSON serialization;
+//! * the total reports fused and received;
+//! * every telemetry counter except the `exec` component (job counts
+//!   exist only in parallel mode) — network deliveries, drops, batched
+//!   reports, DC pipeline activity, fusion conflicts, all of it;
+//! * the deterministic (simulated-time) histograms — bus transit and
+//!   end-to-end report latency;
+//! * the journal, normalized per component: within one component the
+//!   event sequence is deterministic, while cross-component
+//!   interleaving legitimately varies with worker scheduling.
+
+use mpros::chiller::fault::{FaultProfile, FaultSeed};
+use mpros::core::{MachineCondition, SimDuration, SimTime};
+use mpros::network::NetworkConfig;
+use mpros::pdme::export_snapshot;
+use mpros::sim::{ExecMode, ShipboardSim, ShipboardSimConfig};
+use std::collections::BTreeMap;
+
+/// A seeded scenario: configuration plus the faults it injects.
+struct Scenario {
+    name: &'static str,
+    dc_count: usize,
+    seed: u64,
+    network: NetworkConfig,
+    faults: Vec<(usize, FaultSeed)>,
+    minutes: f64,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        // A clean network with two progressing faults on a 4-DC fleet.
+        Scenario {
+            name: "clean-net-two-faults",
+            dc_count: 4,
+            seed: 11,
+            network: NetworkConfig::default(),
+            faults: vec![
+                (
+                    0,
+                    FaultSeed {
+                        condition: MachineCondition::MotorBearingDefect,
+                        onset: SimTime::ZERO,
+                        time_to_failure: SimDuration::from_minutes(10.0),
+                        profile: FaultProfile::EarlyOnset,
+                    },
+                ),
+                (
+                    2,
+                    FaultSeed {
+                        condition: MachineCondition::GearToothWear,
+                        onset: SimTime::from_secs(20.0),
+                        time_to_failure: SimDuration::from_minutes(8.0),
+                        profile: FaultProfile::Linear,
+                    },
+                ),
+            ],
+            minutes: 3.0,
+        },
+        // A lossy, jittery network: exercises the RNG draw-order pinning
+        // (drops and jitter must fall on the same frames in every mode).
+        Scenario {
+            name: "lossy-net-one-fault",
+            dc_count: 3,
+            seed: 99,
+            network: NetworkConfig {
+                drop_probability: 0.15,
+                jitter: SimDuration::from_millis(4.0),
+                ..NetworkConfig::default()
+            },
+            faults: vec![(
+                1,
+                FaultSeed {
+                    condition: MachineCondition::RefrigerantLeak,
+                    onset: SimTime::ZERO,
+                    time_to_failure: SimDuration::from_minutes(6.0),
+                    profile: FaultProfile::Step(0.9),
+                },
+            )],
+            minutes: 3.0,
+        },
+    ]
+}
+
+/// Everything observable that must not depend on scheduling.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    icas_json: String,
+    fused: usize,
+    reports_received: usize,
+    counters: Vec<(String, String, u64)>,
+    sim_histograms: Vec<(String, String, u64, String)>,
+    journal_by_component: BTreeMap<String, Vec<(f64, String, String)>>,
+}
+
+fn run(scenario: &Scenario, exec: ExecMode) -> Fingerprint {
+    let mut sim = ShipboardSim::new(ShipboardSimConfig {
+        dc_count: scenario.dc_count,
+        seed: scenario.seed,
+        network: scenario.network.clone(),
+        survey_period: SimDuration::from_secs(30.0),
+        exec,
+        ..Default::default()
+    })
+    .expect("sim builds");
+    for (idx, fault) in &scenario.faults {
+        sim.seed_fault(*idx, *fault);
+    }
+    let fused = sim
+        .run_for(
+            SimDuration::from_minutes(scenario.minutes),
+            SimDuration::from_secs(0.5),
+        )
+        .expect("scenario runs");
+
+    let icas = export_snapshot(sim.pdme(), sim.now(), SimDuration::from_secs(30.0));
+    let snap = sim.telemetry().snapshot();
+    // Counters: drop the `exec` component — pool bookkeeping exists
+    // only in parallel mode and is scheduling metadata, not state.
+    let counters = snap
+        .counters
+        .iter()
+        .filter(|c| c.component != "exec")
+        .map(|c| (c.component.clone(), c.name.clone(), c.value))
+        .collect();
+    // Histograms in simulated time are fully deterministic; wall-clock
+    // ones describe the host and are excluded. Fingerprint count and
+    // the exact float stats.
+    let sim_histograms = snap
+        .histograms
+        .iter()
+        .filter(|h| {
+            h.name.ends_with("sim_s")
+                || h.name.ends_with("latency_s")
+                || h.name.ends_with("transit_s")
+        })
+        .map(|h| {
+            (
+                h.component.clone(),
+                h.name.clone(),
+                h.count,
+                format!(
+                    "{:?}/{:?}/{:?}/{:?}/{:?}",
+                    h.min, h.max, h.p50, h.p95, h.p99
+                ),
+            )
+        })
+        .collect();
+    let mut journal_by_component: BTreeMap<String, Vec<(f64, String, String)>> = BTreeMap::new();
+    for e in sim.telemetry().events() {
+        journal_by_component
+            .entry(e.component.clone())
+            .or_default()
+            .push((e.at.as_secs(), e.kind.clone(), e.detail.clone()));
+    }
+    Fingerprint {
+        icas_json: icas.to_json().expect("ICAS serializes"),
+        fused,
+        reports_received: sim.pdme().reports_received(),
+        counters,
+        sim_histograms,
+        journal_by_component,
+    }
+}
+
+#[test]
+fn parallel_stepping_is_byte_identical_to_sequential() {
+    for scenario in scenarios() {
+        let reference = run(&scenario, ExecMode::Sequential);
+        assert!(
+            reference.reports_received > 0,
+            "{}: scenario produced no traffic — vacuous comparison",
+            scenario.name
+        );
+        for workers in [2, 4, 8] {
+            let parallel = run(&scenario, ExecMode::Parallel { workers });
+            assert_eq!(
+                reference.icas_json, parallel.icas_json,
+                "{}: ICAS snapshot diverged at {workers} workers",
+                scenario.name
+            );
+            assert_eq!(
+                reference.fused, parallel.fused,
+                "{}: fused total diverged at {workers} workers",
+                scenario.name
+            );
+            assert_eq!(
+                reference.counters, parallel.counters,
+                "{}: counters diverged at {workers} workers",
+                scenario.name
+            );
+            assert_eq!(
+                reference.sim_histograms, parallel.sim_histograms,
+                "{}: simulated-time histograms diverged at {workers} workers",
+                scenario.name
+            );
+            assert_eq!(
+                reference.journal_by_component, parallel.journal_by_component,
+                "{}: journal diverged at {workers} workers",
+                scenario.name
+            );
+            assert_eq!(reference, parallel, "{}: full fingerprint", scenario.name);
+        }
+    }
+}
+
+/// The same mode twice must also be self-identical (guards against the
+/// comparison accidentally passing because *everything* varies).
+#[test]
+fn each_mode_is_self_deterministic() {
+    let all = scenarios();
+    let scenario = &all[1];
+    assert_eq!(
+        run(scenario, ExecMode::Sequential),
+        run(scenario, ExecMode::Sequential)
+    );
+    assert_eq!(
+        run(scenario, ExecMode::Parallel { workers: 4 }),
+        run(scenario, ExecMode::Parallel { workers: 4 })
+    );
+}
+
+/// Distinct master seeds must produce distinct runs — the per-DC seed
+/// derivation must not collapse streams.
+#[test]
+fn distinct_seeds_diverge() {
+    let mut a = scenarios().remove(0);
+    a.minutes = 1.0;
+    let base = run(&a, ExecMode::Sequential);
+    a.seed = a.seed.wrapping_add(1);
+    let shifted = run(&a, ExecMode::Sequential);
+    assert_ne!(
+        base.icas_json, shifted.icas_json,
+        "seed change did not alter the run"
+    );
+}

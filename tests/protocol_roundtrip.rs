@@ -6,7 +6,7 @@ use mpros::core::{
     Belief, ConditionReport, DcId, KnowledgeSourceId, MachineCondition, MachineId,
     PrognosticVector, ReportId, SimTime,
 };
-use mpros::network::{decode_message, encode_message, NetMessage};
+use mpros::network::{decode_message, encode_message, BatchEntry, NetMessage, MAX_BATCH};
 use mpros::oosm::Oosm;
 use mpros::pdme::PdmeExecutive;
 use proptest::prelude::*;
@@ -53,6 +53,29 @@ fn arb_report() -> impl Strategy<Value = ConditionReport> {
         )
 }
 
+/// A well-formed batch frame: 0..6 entries with strictly increasing
+/// sequence numbers (gaps allowed, as after dropped frames).
+fn arb_batch() -> impl Strategy<Value = NetMessage> {
+    (
+        0u64..100,
+        proptest::collection::vec((1u64..50, arb_report()), 0..6),
+    )
+        .prop_map(|(start, items)| {
+            let mut seq = start;
+            let entries = items
+                .into_iter()
+                .map(|(gap, report)| {
+                    seq += gap;
+                    BatchEntry { seq, report }
+                })
+                .collect();
+            NetMessage::ReportBatch {
+                dc: DcId::new(2),
+                entries,
+            }
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -85,4 +108,70 @@ proptest! {
         // first report.
         prop_assert!((fused - report.belief.value().min(0.999)).abs() < 1e-9);
     }
+
+    #[test]
+    fn any_batch_survives_the_wire(batch in arb_batch()) {
+        // Includes the empty batch ("nothing this step").
+        let frame = encode_message(&batch).unwrap();
+        let back = decode_message(frame).unwrap();
+        prop_assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn duplicate_or_reordered_batch_seqs_are_rejected(batch in arb_batch()) {
+        let NetMessage::ReportBatch { dc, entries } = batch else { unreachable!() };
+        if !entries.is_empty() {
+            // Duplicate the last entry's sequence number.
+            let mut dup = entries.clone();
+            dup.push(dup.last().unwrap().clone());
+            prop_assert!(encode_message(&NetMessage::ReportBatch { dc, entries: dup }).is_err());
+        }
+        // Reverse a multi-entry batch: strictly decreasing, rejected.
+        if entries.len() >= 2 {
+            let mut rev = entries;
+            rev.reverse();
+            prop_assert!(encode_message(&NetMessage::ReportBatch { dc, entries: rev }).is_err());
+        }
+    }
+
+    #[test]
+    fn any_batch_flows_into_fusion(batch in arb_batch()) {
+        let NetMessage::ReportBatch { ref entries, .. } = batch else { unreachable!() };
+        let mut pdme = PdmeExecutive::new();
+        for e in entries {
+            pdme.register_machine(e.report.machine, "machine under test");
+        }
+        let fused = pdme
+            .handle_batch(std::slice::from_ref(&batch), SimTime::from_secs(5000.0))
+            .unwrap();
+        prop_assert_eq!(fused, entries.len());
+        prop_assert_eq!(pdme.reports_received(), entries.len());
+    }
+}
+
+#[test]
+fn max_size_batch_roundtrips_and_oversize_is_rejected() {
+    let entry = |seq: u64| BatchEntry {
+        seq,
+        report: ConditionReport::builder(
+            MachineId::new(1),
+            MachineCondition::from_index(0).unwrap(),
+            Belief::new(0.5),
+        )
+        .id(ReportId::new(seq))
+        .dc(DcId::new(1))
+        .timestamp(SimTime::ZERO)
+        .build(),
+    };
+    let full = NetMessage::ReportBatch {
+        dc: DcId::new(1),
+        entries: (1..=MAX_BATCH as u64).map(entry).collect(),
+    };
+    let back = decode_message(encode_message(&full).unwrap()).unwrap();
+    assert_eq!(back, full);
+    let over = NetMessage::ReportBatch {
+        dc: DcId::new(1),
+        entries: (1..=MAX_BATCH as u64 + 1).map(entry).collect(),
+    };
+    assert!(encode_message(&over).is_err());
 }
