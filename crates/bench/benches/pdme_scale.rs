@@ -46,11 +46,10 @@ fn bench_pdme_burst(c: &mut Criterion) {
                 for i in 0..dc_count {
                     pdme.register_machine(MachineId::new(i as u64 + 1), &format!("chiller {i}"));
                 }
-                for m in msgs {
-                    pdme.handle_message(black_box(m), SimTime::ZERO)
-                        .expect("handled");
-                }
-                black_box(pdme.process_events().expect("processed"))
+                let summary = pdme
+                    .ingest(black_box(msgs), SimTime::ZERO)
+                    .expect("ingested");
+                black_box(summary.fused)
             })
         });
     }

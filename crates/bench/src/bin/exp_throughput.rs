@@ -26,13 +26,13 @@ use crossbeam::thread;
 use mpros::sim::{ExecMode, ShipboardSim, ShipboardSimConfig};
 use mpros_bench::{labeled_survey, verdict, Table};
 use mpros_core::{
-    Belief, ConditionReport, DcId, KnowledgeSourceId, MachineCondition, MachineId,
-    PrognosticVector, ReportId, SimDuration, SimTime,
+    Belief, ConditionReport, DcId, FaultPlan, FaultPlanConfig, KnowledgeSourceId, MachineCondition,
+    MachineId, PrognosticVector, ReportId, SimDuration, SimTime,
 };
 use mpros_dli::{DliExpertSystem, SpectralFeatures};
-use mpros_network::{Endpoint, NetMessage, NetworkConfig, ShipNetwork};
+use mpros_network::{Endpoint, Envelope, NetMessage, NetStats, NetworkConfig, ShipNetwork};
 use mpros_pdme::PdmeExecutive;
-use mpros_telemetry::{Stage, Telemetry, WallTimer};
+use mpros_telemetry::{Instrumented, Stage, Telemetry, WallTimer};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -88,9 +88,15 @@ struct FleetBench {
     workers: usize,
     host_cores: usize,
     steps_timed: usize,
+    fault_profile: String,
     sequential_steps_per_s: f64,
     parallel_steps_per_s: f64,
     speedup: f64,
+    net_sent: usize,
+    net_delivered: usize,
+    net_dropped: usize,
+    net_retries: usize,
+    net_expired: usize,
 }
 
 #[derive(Serialize)]
@@ -104,14 +110,38 @@ struct BenchDoc {
     sim_latencies: Vec<LatencyQuantiles>,
 }
 
+/// The `--fault-profile lossy` scenario: a dropping, jittery link plus
+/// a seeded fault campaign (crashes, partitions, dropouts) across the
+/// 8-DC fleet — the survivability machinery's overhead under load.
+fn lossy_profile() -> (NetworkConfig, FaultPlan) {
+    let network = NetworkConfig::default()
+        .with_drop_probability(0.1)
+        .with_jitter(SimDuration::from_millis(5.0));
+    let mut fault_cfg = FaultPlanConfig::default();
+    fault_cfg.dcs = (1..=8).map(DcId::new).collect();
+    fault_cfg.crashes = 2;
+    fault_cfg.partitions = 2;
+    fault_cfg.sensor_dropouts = 2;
+    (network, FaultPlan::seeded(5, &fault_cfg))
+}
+
 /// Steps/second of a whole 8-DC ship under one execution mode. The
 /// step size equals the survey period, so every step pushes a full
 /// vibration survey (FFT + four algorithm suites) through every DC —
-/// the chunky-job regime the pool is built for.
-fn fleet_steps_per_s(exec: ExecMode, steps: usize) -> f64 {
+/// the chunky-job regime the pool is built for. Also returns the
+/// network's delivery counters so fault profiles surface their retry
+/// and expiry behaviour in the benchmark document.
+fn fleet_steps_per_s(
+    exec: ExecMode,
+    steps: usize,
+    network: &NetworkConfig,
+    fault_plan: &FaultPlan,
+) -> (f64, NetStats) {
     let mut sim = ShipboardSim::new(ShipboardSimConfig {
         dc_count: 8,
         seed: 5,
+        network: network.clone(),
+        fault_plan: fault_plan.clone(),
         survey_period: SimDuration::from_secs(30.0),
         exec,
         ..Default::default()
@@ -123,11 +153,14 @@ fn fleet_steps_per_s(exec: ExecMode, steps: usize) -> f64 {
     for _ in 0..steps {
         sim.step(dt).expect("timed step");
     }
-    steps as f64 / start.elapsed().as_secs_f64()
+    let rate = steps as f64 / start.elapsed().as_secs_f64();
+    (rate, sim.network().stats())
 }
 
 fn main() {
-    // `--workers N` sizes the pool for the fleet-stepping measurement.
+    // `--workers N` sizes the pool for the fleet-stepping measurement;
+    // `--fault-profile {none|lossy}` picks the adversity the fleet
+    // measurement runs under.
     let args: Vec<String> = std::env::args().collect();
     let workers = args
         .iter()
@@ -136,6 +169,20 @@ fn main() {
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(4)
         .max(1);
+    let fault_profile = args
+        .iter()
+        .position(|a| a == "--fault-profile")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "none".to_string());
+    let (fleet_network, fleet_fault_plan) = match fault_profile.as_str() {
+        "none" => (NetworkConfig::default(), FaultPlan::none()),
+        "lossy" => lossy_profile(),
+        other => {
+            eprintln!("unknown --fault-profile {other:?} (expected none|lossy)");
+            std::process::exit(2);
+        }
+    };
 
     println!("E7: data rates and scaling (§1, §8.1)\n");
     let telemetry = Telemetry::new();
@@ -222,22 +269,18 @@ fn main() {
                 .timestamp(now)
                 .prognostic(PrognosticVector::from_months(&[(1.0, 0.5)]).expect("valid"))
                 .build();
-                net.send(
+                net.post(
                     now,
-                    Endpoint::Dc(DcId::new(d as u64 + 1)),
-                    Endpoint::Pdme,
-                    &NetMessage::Report(r),
+                    Envelope::to_pdme(DcId::new(d as u64 + 1), NetMessage::Report(r)),
                 )
-                .expect("sent");
+                .expect("posted");
             }
             // One simulated second per round: far past worst-case bus
             // latency, so every frame of the round is delivered.
             now += SimDuration::from_secs(1.0);
             telemetry.set_sim_now(now);
-            for msg in net.recv(Endpoint::Pdme, now) {
-                handled += pdme.handle_message(&msg, now).expect("handled");
-            }
-            pdme.process_events().expect("processed");
+            let msgs = net.recv(Endpoint::Pdme, now);
+            handled += pdme.ingest(&msgs, now).expect("ingested").fused;
         }
         let secs = start.elapsed().as_secs_f64();
         assert_eq!(handled, rounds * dcs, "lossless config delivers all");
@@ -255,9 +298,30 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let fleet_steps = 10;
-    let seq_rate = fleet_steps_per_s(ExecMode::Sequential, fleet_steps);
-    let par_rate = fleet_steps_per_s(ExecMode::Parallel { workers }, fleet_steps);
+    let (seq_rate, _) = fleet_steps_per_s(
+        ExecMode::Sequential,
+        fleet_steps,
+        &fleet_network,
+        &fleet_fault_plan,
+    );
+    let (par_rate, net_stats) = fleet_steps_per_s(
+        ExecMode::Parallel { workers },
+        fleet_steps,
+        &fleet_network,
+        &fleet_fault_plan,
+    );
     let speedup = par_rate / seq_rate;
+    println!("fleet fault profile: {fault_profile}");
+    if fault_profile != "none" {
+        println!(
+            "  net: sent={} delivered={} dropped={} retries={} expired={}",
+            net_stats.sent,
+            net_stats.delivered,
+            net_stats.dropped,
+            net_stats.retries,
+            net_stats.expired
+        );
+    }
     let mut t = Table::new(&["mode", "steps/s (8-DC fleet)", "speedup"]);
     t.row(&[
         "sequential".into(),
@@ -310,7 +374,7 @@ fn main() {
         .filter(|q| q.count > 0)
         .collect();
     let doc = BenchDoc {
-        schema_version: 2,
+        schema_version: 3,
         single_core_samples_per_s: single,
         aggregate_samples_per_s_8_workers: parallel_rate,
         pdme_reports_per_s_100_dcs: rate_100,
@@ -319,9 +383,15 @@ fn main() {
             workers,
             host_cores,
             steps_timed: fleet_steps,
+            fault_profile: fault_profile.clone(),
             sequential_steps_per_s: seq_rate,
             parallel_steps_per_s: par_rate,
             speedup,
+            net_sent: net_stats.sent,
+            net_delivered: net_stats.delivered,
+            net_dropped: net_stats.dropped,
+            net_retries: net_stats.retries,
+            net_expired: net_stats.expired,
         },
         wall_stages,
         sim_latencies,

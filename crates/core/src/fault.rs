@@ -1,0 +1,414 @@
+//! Scenario fault plans: scheduled survivability faults.
+//!
+//! §4.9 is blunt about the deployment environment: "power supply and
+//! communications are stable in our labs but may not be the same on
+//! board the ships." A [`FaultPlan`] is the scenario-level schedule of
+//! that hostility — DC crash/restart outages, sensor-channel dropouts,
+//! PDME stalls, and network partition/heal windows — expressed purely
+//! against simulated time so the same plan replays identically on every
+//! run and under every execution mode.
+//!
+//! The plan itself is inert data: the simulation driver queries
+//! [`FaultPlan::transitions`] once per tick and applies whatever starts
+//! or ends in that tick, in a deterministic order. Plans are built
+//! explicitly (window by window) or drawn from a seeded RNG stream via
+//! [`FaultPlan::seeded`], so "a hostile cruise" is reproducible from a
+//! `(seed, config)` pair alone.
+
+use crate::id::DcId;
+use crate::seed::derive_stream_seed;
+use crate::time::{SimDuration, SimTime};
+
+/// What a fault window targets. The core vocabulary mirrors the two
+/// endpoint classes of the ship network without depending on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultTarget {
+    /// A data concentrator.
+    Dc(DcId),
+    /// The central PDME.
+    Pdme,
+}
+
+impl std::fmt::Display for FaultTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultTarget::Dc(id) => write!(f, "{id}"),
+            FaultTarget::Pdme => write!(f, "PDME"),
+        }
+    }
+}
+
+/// The survivability fault taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// A DC process crash: the DC loses volatile state for the whole
+    /// window and restarts (fresh state, new batch epoch) at its end.
+    DcCrash {
+        /// The crashed DC.
+        dc: DcId,
+    },
+    /// One acquisition channel reads dead for the window (§4.9
+    /// transducer/cabling failure).
+    SensorDropout {
+        /// The DC whose channel fails.
+        dc: DcId,
+        /// Channel index within the DC's acquisition chain.
+        channel: usize,
+    },
+    /// The PDME stops ingesting and supervising for the window;
+    /// delivered frames queue at its network inbox.
+    PdmeStall,
+    /// A network partition isolates one endpoint for the window.
+    Partition {
+        /// The isolated endpoint.
+        target: FaultTarget,
+    },
+}
+
+impl FaultKind {
+    /// Stable label for journals and displays.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::DcCrash { .. } => "dc_crash",
+            FaultKind::SensorDropout { .. } => "sensor_dropout",
+            FaultKind::PdmeStall => "pdme_stall",
+            FaultKind::Partition { .. } => "partition",
+        }
+    }
+
+    /// Deterministic ordering key used to pin same-instant transitions.
+    fn order_key(&self) -> (u8, u64, u64) {
+        match self {
+            FaultKind::DcCrash { dc } => (0, dc.raw(), 0),
+            FaultKind::SensorDropout { dc, channel } => (1, dc.raw(), *channel as u64),
+            FaultKind::PdmeStall => (2, 0, 0),
+            FaultKind::Partition { target } => match target {
+                FaultTarget::Dc(dc) => (3, 0, dc.raw()),
+                FaultTarget::Pdme => (3, 1, 0),
+            },
+        }
+    }
+}
+
+/// One scheduled fault: a kind active over `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultWindow {
+    /// The fault.
+    pub kind: FaultKind,
+    /// Start of the outage (inclusive).
+    pub from: SimTime,
+    /// End of the outage (exclusive); recovery happens here.
+    pub until: SimTime,
+}
+
+impl FaultWindow {
+    /// Whether the window is active at `now`.
+    pub fn active_at(&self, now: SimTime) -> bool {
+        self.from <= now && now < self.until
+    }
+}
+
+/// The edge of a fault window a driver must act on this tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultTransition {
+    /// A window started: inject the fault.
+    Start(FaultKind),
+    /// A window ended: recover from the fault.
+    End(FaultKind),
+}
+
+impl FaultTransition {
+    /// The fault the transition concerns.
+    pub fn kind(&self) -> &FaultKind {
+        match self {
+            FaultTransition::Start(k) | FaultTransition::End(k) => k,
+        }
+    }
+}
+
+/// Knobs for [`FaultPlan::seeded`] random-campaign generation.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct FaultPlanConfig {
+    /// DC ids eligible for crashes, dropouts, and partitions.
+    pub dcs: Vec<DcId>,
+    /// Scenario length the windows are drawn inside.
+    pub horizon: SimDuration,
+    /// Number of DC crash windows to draw.
+    pub crashes: usize,
+    /// Number of DC partition windows to draw.
+    pub partitions: usize,
+    /// Number of sensor-dropout windows to draw.
+    pub sensor_dropouts: usize,
+    /// Number of PDME stall windows to draw.
+    pub pdme_stalls: usize,
+    /// Shortest outage drawn.
+    pub min_outage: SimDuration,
+    /// Longest outage drawn.
+    pub max_outage: SimDuration,
+    /// Channels per DC a dropout may hit.
+    pub channels_per_dc: usize,
+}
+
+impl Default for FaultPlanConfig {
+    fn default() -> Self {
+        FaultPlanConfig {
+            dcs: Vec::new(),
+            horizon: SimDuration::from_minutes(10.0),
+            crashes: 1,
+            partitions: 1,
+            sensor_dropouts: 1,
+            pdme_stalls: 0,
+            min_outage: SimDuration::from_secs(10.0),
+            max_outage: SimDuration::from_secs(45.0),
+            channels_per_dc: 4,
+        }
+    }
+}
+
+/// Stream salt separating the fault-plan RNG from plant and network
+/// streams derived off the same master seed.
+const FAULT_STREAM_SALT: u64 = 0xFA17_91A5_0C4D_2B7E;
+
+/// Minimal xorshift64 generator — `FaultPlan` lives in core, which
+/// deliberately carries no RNG dependency.
+struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift {
+            // xorshift has a single absorbing state at zero.
+            state: if seed == 0 { FAULT_STREAM_SALT } else { seed },
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        self.state
+    }
+
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + (hi - lo) * u
+    }
+}
+
+/// A deterministic schedule of survivability faults.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan (the no-fault scenario).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add one window. Windows may overlap freely; drivers apply
+    /// transitions in the deterministic order [`FaultPlan::transitions`]
+    /// yields.
+    pub fn with_window(mut self, kind: FaultKind, from: SimTime, until: SimTime) -> Self {
+        assert!(from < until, "fault window must have positive length");
+        self.windows.push(FaultWindow { kind, from, until });
+        self
+    }
+
+    /// Crash a DC over `[from, until)` (restart at `until`).
+    pub fn with_dc_crash(self, dc: DcId, from: SimTime, until: SimTime) -> Self {
+        self.with_window(FaultKind::DcCrash { dc }, from, until)
+    }
+
+    /// Partition an endpoint over `[from, until)` (heal at `until`).
+    pub fn with_partition(self, target: FaultTarget, from: SimTime, until: SimTime) -> Self {
+        self.with_window(FaultKind::Partition { target }, from, until)
+    }
+
+    /// Kill one acquisition channel over `[from, until)`.
+    pub fn with_sensor_dropout(
+        self,
+        dc: DcId,
+        channel: usize,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.with_window(FaultKind::SensorDropout { dc, channel }, from, until)
+    }
+
+    /// Stall the PDME over `[from, until)`.
+    pub fn with_pdme_stall(self, from: SimTime, until: SimTime) -> Self {
+        self.with_window(FaultKind::PdmeStall, from, until)
+    }
+
+    /// Draw a random campaign from a dedicated RNG stream of `seed`.
+    /// The same `(seed, config)` pair always yields the same plan; the
+    /// stream is derived with [`derive_stream_seed`] so it never
+    /// collides with plant or network streams of the same master seed.
+    pub fn seeded(seed: u64, config: &FaultPlanConfig) -> Self {
+        let mut rng = XorShift::new(derive_stream_seed(seed, FAULT_STREAM_SALT));
+        let horizon = config.horizon.as_secs();
+        let mut plan = FaultPlan::none();
+        let draw_window = |rng: &mut XorShift, kind: FaultKind| {
+            let len = rng.uniform(config.min_outage.as_secs(), config.max_outage.as_secs());
+            let start = rng.uniform(0.0, (horizon - len).max(0.0));
+            FaultWindow {
+                kind,
+                from: SimTime::from_secs(start),
+                until: SimTime::from_secs(start + len),
+            }
+        };
+        if !config.dcs.is_empty() {
+            for i in 0..config.crashes {
+                let dc = config.dcs[i % config.dcs.len()];
+                let w = draw_window(&mut rng, FaultKind::DcCrash { dc });
+                plan.windows.push(w);
+            }
+            for i in 0..config.partitions {
+                let dc = config.dcs[(i + 1) % config.dcs.len()];
+                let kind = FaultKind::Partition {
+                    target: FaultTarget::Dc(dc),
+                };
+                let w = draw_window(&mut rng, kind);
+                plan.windows.push(w);
+            }
+            for i in 0..config.sensor_dropouts {
+                let dc = config.dcs[i % config.dcs.len()];
+                let channel = (rng.uniform(0.0, config.channels_per_dc.max(1) as f64) as usize)
+                    .min(config.channels_per_dc.saturating_sub(1));
+                let w = draw_window(&mut rng, FaultKind::SensorDropout { dc, channel });
+                plan.windows.push(w);
+            }
+        }
+        for _ in 0..config.pdme_stalls {
+            let w = draw_window(&mut rng, FaultKind::PdmeStall);
+            plan.windows.push(w);
+        }
+        plan
+    }
+
+    /// The scheduled windows.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Every transition falling in `(prev, now]`, sorted by (time, edge,
+    /// kind) so same-instant transitions apply in one fixed order (ends
+    /// before starts, so a window ending exactly when another starts
+    /// yields recover-then-inject).
+    pub fn transitions(&self, prev: SimTime, now: SimTime) -> Vec<FaultTransition> {
+        let in_range = |t: SimTime| prev < t && t <= now;
+        let mut edges: Vec<(SimTime, u8, FaultTransition)> = Vec::new();
+        for w in &self.windows {
+            if in_range(w.from) {
+                edges.push((w.from, 1, FaultTransition::Start(w.kind)));
+            }
+            if in_range(w.until) {
+                edges.push((w.until, 0, FaultTransition::End(w.kind)));
+            }
+        }
+        edges.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("times are finite")
+                .then(a.1.cmp(&b.1))
+                .then(a.2.kind().order_key().cmp(&b.2.kind().order_key()))
+        });
+        edges.into_iter().map(|(_, _, t)| t).collect()
+    }
+
+    /// Whether any window of a kind matching `pred` is active at `now`.
+    pub fn any_active(&self, now: SimTime, pred: impl Fn(&FaultKind) -> bool) -> bool {
+        self.windows
+            .iter()
+            .any(|w| w.active_at(now) && pred(&w.kind))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn transitions_fire_once_in_order() {
+        let plan = FaultPlan::none()
+            .with_dc_crash(DcId::new(2), secs(10.0), secs(20.0))
+            .with_partition(FaultTarget::Dc(DcId::new(1)), secs(10.0), secs(30.0))
+            .with_pdme_stall(secs(5.0), secs(10.0));
+        // Tick (0, 10]: the stall starts at 5, ends at 10; crash and
+        // partition start at 10. Ends sort before starts at t=10.
+        let ts = plan.transitions(SimTime::ZERO, secs(10.0));
+        assert_eq!(
+            ts,
+            vec![
+                FaultTransition::Start(FaultKind::PdmeStall),
+                FaultTransition::End(FaultKind::PdmeStall),
+                FaultTransition::Start(FaultKind::DcCrash { dc: DcId::new(2) }),
+                FaultTransition::Start(FaultKind::Partition {
+                    target: FaultTarget::Dc(DcId::new(1))
+                }),
+            ]
+        );
+        // Nothing fires twice.
+        assert!(plan.transitions(secs(10.0), secs(15.0)).is_empty());
+        let ts = plan.transitions(secs(15.0), secs(30.0));
+        assert_eq!(
+            ts,
+            vec![
+                FaultTransition::End(FaultKind::DcCrash { dc: DcId::new(2) }),
+                FaultTransition::End(FaultKind::Partition {
+                    target: FaultTarget::Dc(DcId::new(1))
+                }),
+            ]
+        );
+    }
+
+    #[test]
+    fn activity_queries_respect_half_open_windows() {
+        let plan = FaultPlan::none().with_pdme_stall(secs(5.0), secs(10.0));
+        let stalled = |t: f64| plan.any_active(secs(t), |k| matches!(k, FaultKind::PdmeStall));
+        assert!(!stalled(4.9));
+        assert!(stalled(5.0));
+        assert!(stalled(9.9));
+        assert!(!stalled(10.0));
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_seed_sensitive() {
+        let cfg = FaultPlanConfig {
+            dcs: vec![DcId::new(1), DcId::new(2), DcId::new(3)],
+            crashes: 2,
+            partitions: 2,
+            sensor_dropouts: 2,
+            pdme_stalls: 1,
+            ..Default::default()
+        };
+        let a = FaultPlan::seeded(42, &cfg);
+        let b = FaultPlan::seeded(42, &cfg);
+        let c = FaultPlan::seeded(43, &cfg);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.windows().len(), 7);
+        for w in a.windows() {
+            assert!(w.from < w.until);
+            assert!(w.until.as_secs() <= cfg.horizon.as_secs() + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn empty_windows_are_rejected() {
+        let _ = FaultPlan::none().with_pdme_stall(secs(5.0), secs(5.0));
+    }
+}

@@ -16,6 +16,7 @@
 pub mod belief;
 pub mod condition;
 pub mod error;
+pub mod fault;
 pub mod id;
 pub mod prognostic;
 pub mod report;
@@ -26,6 +27,7 @@ pub mod time;
 pub use belief::Belief;
 pub use condition::{FailureGroup, MachineCondition};
 pub use error::{Error, Result};
+pub use fault::{FaultKind, FaultPlan, FaultPlanConfig, FaultTarget, FaultTransition, FaultWindow};
 pub use id::{DcId, IdAllocator, KnowledgeSourceId, MachineId, ObjectId, ReportId, SensorId};
 pub use prognostic::{PrognosticPoint, PrognosticVector};
 pub use report::{ConditionReport, ReportBuilder};

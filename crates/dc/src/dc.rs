@@ -26,13 +26,17 @@ use mpros_sbfr::builtin::{spike_machine, stiction_machine};
 use mpros_sbfr::Interpreter;
 use mpros_signal::features::WaveformStats;
 use mpros_signal::trend::TrendTracker;
-use mpros_telemetry::{Counter, Stage, Telemetry, WallTimer};
+use mpros_telemetry::{Counter, Instrumented, Stage, Telemetry, WallTimer};
 use mpros_wnn::WnnClassifier;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-/// Configuration of one Data Concentrator.
+/// Configuration of one Data Concentrator. Construct via
+/// [`DcConfig::new`] and the `with_*` builders; the struct is
+/// `#[non_exhaustive]` so future fault/robustness knobs are not
+/// breaking changes.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct DcConfig {
     /// This DC's id.
     pub id: DcId,
@@ -70,6 +74,48 @@ impl DcConfig {
             min_report_gap: SimDuration::from_minutes(30.0),
             rereport_delta: 0.15,
         }
+    }
+
+    /// Set the acquisition hardware.
+    pub fn with_hw(mut self, hw: HwConfig) -> Self {
+        self.hw = hw;
+        self
+    }
+
+    /// Set the vibration-survey period.
+    pub fn with_survey_period(mut self, d: SimDuration) -> Self {
+        self.survey_period = d;
+        self
+    }
+
+    /// Set the process-sample (and SBFR cycle) period.
+    pub fn with_process_period(mut self, d: SimDuration) -> Self {
+        self.process_period = d;
+        self
+    }
+
+    /// Set how many process samples elapse between fuzzy runs.
+    pub fn with_fuzzy_every(mut self, n: usize) -> Self {
+        self.fuzzy_every = n;
+        self
+    }
+
+    /// Set the process-snapshot window for the fuzzy suite.
+    pub fn with_fuzzy_window(mut self, n: usize) -> Self {
+        self.fuzzy_window = n;
+        self
+    }
+
+    /// Set the re-report throttle gap.
+    pub fn with_min_report_gap(mut self, d: SimDuration) -> Self {
+        self.min_report_gap = d;
+        self
+    }
+
+    /// Set the severity delta that forces immediate re-reporting.
+    pub fn with_rereport_delta(mut self, delta: f64) -> Self {
+        self.rereport_delta = delta;
+        self
     }
 }
 
@@ -177,28 +223,15 @@ impl DataConcentrator {
         self.config.id
     }
 
-    /// Join a shared telemetry domain, carrying counter totals over.
-    /// Call at wiring time, before traffic.
-    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
-        if self.telemetry.same_domain(telemetry) {
-            return;
-        }
-        for (name, slot) in [
-            ("surveys", &mut self.m_surveys),
-            ("process_samples", &mut self.m_process_samples),
-            ("sbfr_cycles", &mut self.m_sbfr_cycles),
-            ("reports_emitted", &mut self.m_reports_emitted),
-        ] {
-            let counter = telemetry.counter("dc", name);
-            counter.add(slot.get());
-            *slot = counter;
-        }
-        self.telemetry = telemetry.clone();
-    }
-
-    /// The telemetry domain this DC records into.
-    pub fn telemetry(&self) -> &Telemetry {
-        &self.telemetry
+    /// The Fig. 3 SBFR machine set every fresh DC loads, as
+    /// `(slot, encoded image)` pairs — what a supervisor re-downloads
+    /// into a DC after a restart wiped its volatile program store
+    /// (§6.3).
+    pub fn default_sbfr_images() -> Result<Vec<(u32, Vec<u8>)>> {
+        Ok(vec![
+            (0, spike_machine(0).encode()?),
+            (1, stiction_machine(1, 0).encode()?),
+        ])
     }
 
     /// Attach a trained WNN classifier (optional knowledge source).
@@ -587,6 +620,31 @@ impl DataConcentrator {
             self.last_emitted.insert(key, (now, severity, belief));
         }
         emit
+    }
+}
+
+impl Instrumented for DataConcentrator {
+    /// Join a shared telemetry domain, carrying counter totals over.
+    /// Call at wiring time, before traffic.
+    fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        if self.telemetry.same_domain(telemetry) {
+            return;
+        }
+        for (name, slot) in [
+            ("surveys", &mut self.m_surveys),
+            ("process_samples", &mut self.m_process_samples),
+            ("sbfr_cycles", &mut self.m_sbfr_cycles),
+            ("reports_emitted", &mut self.m_reports_emitted),
+        ] {
+            let counter = telemetry.counter("dc", name);
+            counter.add(slot.get());
+            *slot = counter;
+        }
+        self.telemetry = telemetry.clone();
+    }
+
+    fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 }
 

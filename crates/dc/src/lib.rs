@@ -29,5 +29,5 @@ pub mod scheduler;
 
 pub use db::DcDatabase;
 pub use dc::{DataConcentrator, DcConfig};
-pub use hw::{AcquisitionChain, ChannelConfig, HwConfig};
+pub use hw::{AcquisitionChain, ChannelConfig, HwConfig, SensorFault};
 pub use scheduler::{Scheduler, Task};

@@ -16,7 +16,7 @@ use mpros_core::{
     ConditionReport, FailureGroup, MachineCondition, MachineId, PrognosticVector, Result, Severity,
     SimDuration,
 };
-use mpros_telemetry::{Counter, Stage, Telemetry, WallTimer};
+use mpros_telemetry::{Counter, Instrumented, Stage, Telemetry, WallTimer};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -72,23 +72,6 @@ impl FusionEngine {
             telemetry,
             m_ingested,
         }
-    }
-
-    /// Join the scenario's shared telemetry domain, carrying the ingest
-    /// total over.
-    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
-        if self.telemetry.same_domain(telemetry) {
-            return;
-        }
-        let m = telemetry.counter("fusion", "reports_ingested");
-        m.add(self.m_ingested.get());
-        self.m_ingested = m;
-        self.telemetry = telemetry.clone();
-    }
-
-    /// The telemetry domain the engine records into.
-    pub fn telemetry(&self) -> &Telemetry {
-        &self.telemetry
     }
 
     /// Ingest one condition report: diagnostic fusion always runs;
@@ -201,6 +184,24 @@ impl FusionEngine {
                 .expect("priorities are finite")
         });
         items
+    }
+}
+
+impl Instrumented for FusionEngine {
+    /// Join the scenario's shared telemetry domain, carrying the ingest
+    /// total over.
+    fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        if self.telemetry.same_domain(telemetry) {
+            return;
+        }
+        let m = telemetry.counter("fusion", "reports_ingested");
+        m.add(self.m_ingested.get());
+        self.m_ingested = m;
+        self.telemetry = telemetry.clone();
+    }
+
+    fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 }
 

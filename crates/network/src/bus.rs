@@ -1,22 +1,37 @@
 //! The simulated ship LAN.
 //!
 //! A central switch with per-endpoint inbound queues, driven entirely by
-//! simulated time: [`ShipNetwork::send`] timestamps each frame with a
+//! simulated time: [`ShipNetwork::post`] timestamps each frame with a
 //! deterministic latency-plus-jitter delivery time (or drops it); as the
 //! scenario clock advances, [`ShipNetwork::recv`] surfaces everything
 //! due. Partitions model §4.9's unstable shipboard communications: a
 //! partitioned endpoint neither sends nor receives until healed; frames
 //! lost to drops or partitions are counted in [`NetStats`].
+//!
+//! Report traffic is *reliable*: each DC's `ReportBatch` frames park in
+//! a per-DC [`outbox`](crate::outbox) until the PDME's cumulative `Ack`
+//! releases them, with exponential-backoff retransmission pumped by
+//! [`ShipNetwork::pump_outboxes`]. A transient partition therefore
+//! delays reports instead of losing them; only a frame that exhausts
+//! its retry budget (or is evicted from a full queue) is given up,
+//! counted on `net.expired`. Everything else — commands, heartbeats,
+//! acks themselves — stays fire-and-forget: losing one costs a retry
+//! round or a staleness blip, never data.
 
 use crate::codec::{decode_message, encode_message, BatchEntry, NetMessage, MAX_BATCH};
+use crate::outbox::{Outbox, OutboxConfig, PendingBatch};
 use bytes::Bytes;
-use mpros_core::{ConditionReport, DcId, Error, Result, SimDuration, SimTime};
-use mpros_telemetry::{Counter, Histogram, Stage, Telemetry};
+use mpros_core::{derive_stream_seed, ConditionReport, DcId, Error, Result, SimDuration, SimTime};
+use mpros_telemetry::{Counter, Histogram, Instrumented, Stage, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
+
+/// Salt separating each DC's backoff-jitter stream from its plant and
+/// id streams derived off the same master seed.
+const OUTBOX_STREAM_SALT: u64 = 0x0B0C_5EED_D15C_0DE5;
 
 /// A network endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -36,8 +51,40 @@ impl std::fmt::Display for Endpoint {
     }
 }
 
-/// Network behaviour parameters.
+/// A typed frame hand-off: who sends what to whom. The single argument
+/// of [`ShipNetwork::post`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Sending endpoint.
+    pub from: Endpoint,
+    /// Receiving endpoint.
+    pub to: Endpoint,
+    /// The message.
+    pub msg: NetMessage,
+}
+
+impl Envelope {
+    /// An envelope between two arbitrary endpoints.
+    pub fn new(from: Endpoint, to: Endpoint, msg: NetMessage) -> Self {
+        Envelope { from, to, msg }
+    }
+
+    /// DC → PDME (report and heartbeat direction).
+    pub fn to_pdme(dc: DcId, msg: NetMessage) -> Self {
+        Envelope::new(Endpoint::Dc(dc), Endpoint::Pdme, msg)
+    }
+
+    /// PDME → DC (command and ack direction).
+    pub fn to_dc(dc: DcId, msg: NetMessage) -> Self {
+        Envelope::new(Endpoint::Pdme, Endpoint::Dc(dc), msg)
+    }
+}
+
+/// Network behaviour parameters. Construct via [`NetworkConfig::new`]
+/// and the `with_*` builders; the struct is `#[non_exhaustive]` so
+/// future fault knobs are not breaking changes.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct NetworkConfig {
     /// Base one-way latency.
     pub base_latency: SimDuration,
@@ -45,8 +92,11 @@ pub struct NetworkConfig {
     pub jitter: SimDuration,
     /// Probability a frame is silently lost.
     pub drop_probability: f64,
-    /// RNG seed (jitter and drops are deterministic given it).
+    /// RNG seed (jitter, drops, and retry backoff are deterministic
+    /// given it).
     pub seed: u64,
+    /// Reliable-delivery policy for report batches.
+    pub outbox: OutboxConfig,
 }
 
 impl Default for NetworkConfig {
@@ -56,19 +106,62 @@ impl Default for NetworkConfig {
             jitter: SimDuration::from_millis(2.0),
             drop_probability: 0.0,
             seed: 1,
+            outbox: OutboxConfig::default(),
         }
+    }
+}
+
+impl NetworkConfig {
+    /// The default behaviour: 5 ms base latency, 2 ms jitter, lossless.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the base one-way latency.
+    pub fn with_base_latency(mut self, d: SimDuration) -> Self {
+        self.base_latency = d;
+        self
+    }
+
+    /// Set the jitter ceiling.
+    pub fn with_jitter(mut self, d: SimDuration) -> Self {
+        self.jitter = d;
+        self
+    }
+
+    /// Set the random-loss probability.
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        self.drop_probability = p;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the reliable-delivery policy.
+    pub fn with_outbox(mut self, outbox: OutboxConfig) -> Self {
+        self.outbox = outbox;
+        self
     }
 }
 
 /// Delivery counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetStats {
-    /// Frames accepted by `send`.
+    /// Frames accepted for transmission.
     pub sent: usize,
     /// Frames surfaced to receivers.
     pub delivered: usize,
     /// Frames lost (random drop or partition).
     pub dropped: usize,
+    /// Report-batch retransmissions pumped from outboxes.
+    pub retries: usize,
+    /// Report-batch frames permanently given up: retry budget exhausted
+    /// or evicted from a full outbox.
+    pub expired: usize,
 }
 
 #[derive(Debug)]
@@ -108,6 +201,34 @@ struct EndpointCounters {
     dropped: Arc<Counter>,
 }
 
+/// The bus-wide registry handles, rebound as one unit on domain joins.
+#[derive(Debug)]
+struct BusCounters {
+    sent: Arc<Counter>,
+    delivered: Arc<Counter>,
+    dropped: Arc<Counter>,
+    batched_reports: Arc<Counter>,
+    retries: Arc<Counter>,
+    expired: Arc<Counter>,
+    crash_lost: Arc<Counter>,
+    bus_transit: Arc<Histogram>,
+}
+
+impl BusCounters {
+    fn wire(telemetry: &Telemetry) -> Self {
+        BusCounters {
+            sent: telemetry.counter("net", "sent"),
+            delivered: telemetry.counter("net", "delivered"),
+            dropped: telemetry.counter("net", "dropped"),
+            batched_reports: telemetry.counter("net", "batched_reports"),
+            retries: telemetry.counter("net", "retries"),
+            expired: telemetry.counter("net", "expired"),
+            crash_lost: telemetry.counter("net", "crash_lost"),
+            bus_transit: telemetry.histogram("net", "bus_transit_s"),
+        }
+    }
+}
+
 /// The simulated network switch.
 #[derive(Debug)]
 pub struct ShipNetwork {
@@ -116,59 +237,36 @@ pub struct ShipNetwork {
     in_flight: BinaryHeap<Reverse<InFlight>>,
     inboxes: HashMap<Endpoint, VecDeque<NetMessage>>,
     partitioned: HashSet<Endpoint>,
+    /// Per-DC reliable-delivery queues. `BTreeMap` so pumping iterates
+    /// in DC order — the retry RNG draw order must not depend on hash
+    /// iteration.
+    outboxes: BTreeMap<DcId, Outbox>,
     seq: u64,
     telemetry: Telemetry,
-    m_sent: Arc<Counter>,
-    m_delivered: Arc<Counter>,
-    m_dropped: Arc<Counter>,
-    m_batched_reports: Arc<Counter>,
-    bus_transit: Arc<Histogram>,
+    metrics: BusCounters,
     per_endpoint: HashMap<Endpoint, EndpointCounters>,
 }
 
 impl ShipNetwork {
     /// Build a network with the given behaviour, observing a private
-    /// telemetry domain until [`ShipNetwork::set_telemetry`] joins it to
-    /// the scenario's.
+    /// telemetry domain until [`Instrumented::set_telemetry`] joins it
+    /// to the scenario's.
     pub fn new(config: NetworkConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
         let telemetry = Telemetry::new();
-        let (m_sent, m_delivered, m_dropped, m_batched_reports, bus_transit) =
-            Self::wire(&telemetry);
+        let metrics = BusCounters::wire(&telemetry);
         ShipNetwork {
             config,
             rng,
             in_flight: BinaryHeap::new(),
             inboxes: HashMap::new(),
             partitioned: HashSet::new(),
+            outboxes: BTreeMap::new(),
             seq: 0,
             telemetry,
-            m_sent,
-            m_delivered,
-            m_dropped,
-            m_batched_reports,
-            bus_transit,
+            metrics,
             per_endpoint: HashMap::new(),
         }
-    }
-
-    #[allow(clippy::type_complexity)]
-    fn wire(
-        telemetry: &Telemetry,
-    ) -> (
-        Arc<Counter>,
-        Arc<Counter>,
-        Arc<Counter>,
-        Arc<Counter>,
-        Arc<Histogram>,
-    ) {
-        (
-            telemetry.counter("net", "sent"),
-            telemetry.counter("net", "delivered"),
-            telemetry.counter("net", "dropped"),
-            telemetry.counter("net", "batched_reports"),
-            telemetry.histogram("net", "bus_transit_s"),
-        )
     }
 
     fn endpoint_counters(telemetry: &Telemetry, endpoint: Endpoint) -> EndpointCounters {
@@ -178,43 +276,16 @@ impl ShipNetwork {
         }
     }
 
-    /// Join the scenario's shared telemetry domain. Counter totals
-    /// accumulated so far are carried over; call this at wiring time,
-    /// before traffic, to keep the bus-transit histogram complete.
-    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
-        if self.telemetry.same_domain(telemetry) {
-            return;
-        }
-        let (sent, delivered, dropped, batched, bus_transit) = Self::wire(telemetry);
-        sent.add(self.m_sent.get());
-        delivered.add(self.m_delivered.get());
-        dropped.add(self.m_dropped.get());
-        batched.add(self.m_batched_reports.get());
-        self.m_sent = sent;
-        self.m_delivered = delivered;
-        self.m_dropped = dropped;
-        self.m_batched_reports = batched;
-        self.bus_transit = bus_transit;
-        for (endpoint, old) in &mut self.per_endpoint {
-            let new = Self::endpoint_counters(telemetry, *endpoint);
-            new.delivered.add(old.delivered.get());
-            new.dropped.add(old.dropped.get());
-            *old = new;
-        }
-        self.telemetry = telemetry.clone();
-    }
-
-    /// The telemetry domain the network records into.
-    pub fn telemetry(&self) -> &Telemetry {
-        &self.telemetry
-    }
-
     /// Register an endpoint (creates its inbox and delivery counters).
     pub fn register(&mut self, endpoint: Endpoint) {
         self.inboxes.entry(endpoint).or_default();
         self.per_endpoint
             .entry(endpoint)
             .or_insert_with(|| Self::endpoint_counters(&self.telemetry, endpoint));
+        if let Endpoint::Dc(dc) = endpoint {
+            let seed = derive_stream_seed(self.config.seed, dc.raw() ^ OUTBOX_STREAM_SALT);
+            self.outboxes.entry(dc).or_insert_with(|| Outbox::new(seed));
+        }
     }
 
     /// True if the endpoint is registered.
@@ -237,16 +308,34 @@ impl ShipNetwork {
     }
 
     fn count_drop(&self, to: Endpoint, reason: &str, detail: String) {
-        self.m_dropped.inc();
+        self.metrics.dropped.inc();
         if let Some(ep) = self.per_endpoint.get(&to) {
             ep.dropped.inc();
         }
         self.telemetry.event("net", reason, detail);
     }
 
-    /// Send a message at simulated time `now`. The frame is encoded,
-    /// subjected to loss/partition, and scheduled for delivery.
+    /// Post an envelope at simulated time `now`. The frame is encoded,
+    /// subjected to loss/partition, and scheduled for delivery. This is
+    /// fire-and-forget; report batches wanting retransmission go through
+    /// [`ShipNetwork::enqueue_report_batch`] instead.
+    pub fn post(&mut self, now: SimTime, envelope: Envelope) -> Result<()> {
+        self.transmit(now, envelope.from, envelope.to, &envelope.msg)
+    }
+
+    /// Send a message at simulated time `now`.
+    #[deprecated(since = "0.4.0", note = "use `post(now, Envelope { from, to, msg })`")]
     pub fn send(
+        &mut self,
+        now: SimTime,
+        from: Endpoint,
+        to: Endpoint,
+        msg: &NetMessage,
+    ) -> Result<()> {
+        self.transmit(now, from, to, msg)
+    }
+
+    fn transmit(
         &mut self,
         now: SimTime,
         from: Endpoint,
@@ -256,7 +345,7 @@ impl ShipNetwork {
         if !self.is_registered(to) {
             return Err(Error::Network(format!("unknown endpoint {to}")));
         }
-        self.m_sent.inc();
+        self.metrics.sent.inc();
         if self.partitioned.contains(&from) || self.partitioned.contains(&to) {
             // Silently lost, like a real partition.
             self.count_drop(to, "drop", format!("{from}->{to} lost to partition"));
@@ -286,12 +375,12 @@ impl ShipNetwork {
         Ok(())
     }
 
-    /// Send one DC's reports for a step as a single
-    /// [`NetMessage::ReportBatch`] frame to the PDME. Entries are
-    /// sequenced by report id (strictly increasing per DC by
-    /// construction); batches above [`MAX_BATCH`] are split into
-    /// multiple frames. Nothing is sent for an empty `reports` — an
-    /// empty batch frame is legal on the wire but pointless here.
+    /// Send one DC's reports for a step as unreliable
+    /// [`NetMessage::ReportBatch`] frames, without retry.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `enqueue_report_batch` + `pump_outboxes` for acked, retried delivery"
+    )]
     pub fn send_report_batch(
         &mut self,
         now: SimTime,
@@ -309,18 +398,185 @@ impl ShipNetwork {
             })
             .collect();
         for chunk in entries.chunks(MAX_BATCH) {
-            self.m_batched_reports.add(chunk.len() as u64);
-            self.send(
+            self.metrics.batched_reports.add(chunk.len() as u64);
+            self.transmit(
                 now,
                 Endpoint::Dc(dc),
                 Endpoint::Pdme,
                 &NetMessage::ReportBatch {
                     dc,
+                    epoch: 0,
                     entries: chunk.to_vec(),
                 },
             )?;
         }
         Ok(())
+    }
+
+    /// Park one DC's reports for a step in its outbox as
+    /// [`NetMessage::ReportBatch`] frames (split above [`MAX_BATCH`]),
+    /// stamped with the DC's current restart epoch. Frames go on the
+    /// wire — and keep going, on exponential backoff — at each
+    /// [`ShipNetwork::pump_outboxes`] until the PDME's cumulative
+    /// [`NetMessage::Ack`] releases them. Entries are sequenced by
+    /// report id (strictly increasing per DC and epoch by
+    /// construction). Nothing is queued for an empty `reports`.
+    pub fn enqueue_report_batch(
+        &mut self,
+        now: SimTime,
+        dc: DcId,
+        reports: Vec<ConditionReport>,
+    ) -> Result<()> {
+        if reports.is_empty() {
+            return Ok(());
+        }
+        if !self.outboxes.contains_key(&dc) {
+            return Err(Error::Network(format!("unregistered DC {dc}")));
+        }
+        let entries: Vec<BatchEntry> = reports
+            .into_iter()
+            .map(|report| BatchEntry {
+                seq: report.id.raw(),
+                report,
+            })
+            .collect();
+        let mut evicted = 0;
+        {
+            let outbox = self.outboxes.get_mut(&dc).expect("checked above");
+            for chunk in entries.chunks(MAX_BATCH) {
+                self.metrics.batched_reports.add(chunk.len() as u64);
+                evicted += outbox.push(
+                    &self.config.outbox,
+                    PendingBatch {
+                        epoch: outbox.epoch,
+                        last_seq: chunk.last().expect("non-empty chunk").seq,
+                        entries: chunk.to_vec(),
+                        attempts: 0,
+                        next_send: now,
+                    },
+                );
+            }
+        }
+        if evicted > 0 {
+            self.metrics.expired.add(evicted as u64);
+            self.telemetry.event(
+                "net",
+                "expired",
+                format!("{dc}: {evicted} frame(s) evicted from a full outbox"),
+            );
+        }
+        Ok(())
+    }
+
+    /// Put every due outbox frame on the wire, in DC order then
+    /// emission order. First transmissions and retries alike flow
+    /// through the bus's normal latency/loss model; retries are counted
+    /// on `net.retries`, and a frame whose transmission budget is spent
+    /// is given up and counted on `net.expired`. Deterministic: backoff
+    /// jitter comes from each DC's own stream, and the shared
+    /// loss/jitter RNG is consumed in the fixed iteration order.
+    pub fn pump_outboxes(&mut self, now: SimTime) -> Result<()> {
+        let dcs: Vec<DcId> = self.outboxes.keys().copied().collect();
+        for dc in dcs {
+            let cfg = self.config.outbox.clone();
+            let mut frames: Vec<NetMessage> = Vec::new();
+            let mut retries = 0u64;
+            let mut expired = 0u64;
+            {
+                let outbox = self.outboxes.get_mut(&dc).expect("key just listed");
+                let mut kept = VecDeque::with_capacity(outbox.pending.len());
+                while let Some(mut p) = outbox.pending.pop_front() {
+                    if p.next_send > now {
+                        kept.push_back(p);
+                        continue;
+                    }
+                    if p.attempts >= cfg.max_attempts {
+                        expired += 1;
+                        continue;
+                    }
+                    p.attempts += 1;
+                    if p.attempts > 1 {
+                        retries += 1;
+                    }
+                    frames.push(NetMessage::ReportBatch {
+                        dc,
+                        epoch: p.epoch,
+                        entries: p.entries.clone(),
+                    });
+                    p.next_send = now + outbox.backoff(&cfg, p.attempts);
+                    kept.push_back(p);
+                }
+                outbox.pending = kept;
+            }
+            self.metrics.retries.add(retries);
+            if expired > 0 {
+                self.metrics.expired.add(expired);
+                self.telemetry.event(
+                    "net",
+                    "expired",
+                    format!("{dc}: {expired} frame(s) exhausted the retry budget"),
+                );
+            }
+            for msg in frames {
+                self.transmit(now, Endpoint::Dc(dc), Endpoint::Pdme, &msg)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply a cumulative acknowledgement to a DC's outbox: every
+    /// pending frame of `(dc, epoch)` with `last_seq` covered is
+    /// released and will not be retransmitted.
+    pub fn acknowledge(&mut self, dc: DcId, epoch: u64, last_seq: u64) {
+        if let Some(outbox) = self.outboxes.get_mut(&dc) {
+            outbox.acknowledge(epoch, last_seq);
+        }
+    }
+
+    /// A DC process crashed: its volatile outbox state is lost (counted
+    /// on `net.crash_lost`, not `net.expired` — the transport did not
+    /// give these frames up, the node did) and the endpoint goes dark
+    /// until [`ShipNetwork::restart_dc`].
+    pub fn crash_dc(&mut self, dc: DcId) {
+        let lost = self
+            .outboxes
+            .get_mut(&dc)
+            .map(|o| o.clear())
+            .unwrap_or_default();
+        if lost > 0 {
+            self.metrics.crash_lost.add(lost as u64);
+        }
+        self.telemetry.event(
+            "net",
+            "dc_crash",
+            format!("{dc} crashed; {lost} outbox frame(s) lost"),
+        );
+        self.set_partitioned(Endpoint::Dc(dc), true);
+    }
+
+    /// A crashed DC came back: the endpoint rejoins the network and its
+    /// outbox adopts the new restart `epoch`, so post-restart frames are
+    /// distinguishable from pre-crash ones at the receiver.
+    pub fn restart_dc(&mut self, dc: DcId, epoch: u64) {
+        if let Some(outbox) = self.outboxes.get_mut(&dc) {
+            outbox.epoch = epoch;
+        }
+        self.telemetry.event(
+            "net",
+            "dc_restart",
+            format!("{dc} restarted, epoch {epoch}"),
+        );
+        self.set_partitioned(Endpoint::Dc(dc), false);
+    }
+
+    /// Unacknowledged report frames parked in one DC's outbox.
+    pub fn outbox_depth(&self, dc: DcId) -> usize {
+        self.outboxes.get(&dc).map(|o| o.pending.len()).unwrap_or(0)
+    }
+
+    /// The restart epoch a DC's outbox currently stamps onto frames.
+    pub fn outbox_epoch(&self, dc: DcId) -> u64 {
+        self.outboxes.get(&dc).map(|o| o.epoch).unwrap_or(0)
     }
 
     /// Move every frame due at or before `now` into its inbox.
@@ -343,11 +599,11 @@ impl ShipNetwork {
             let transit = f.deliver_at.since(f.sent_at);
             match decode_message(f.frame) {
                 Ok(msg) => {
-                    self.m_delivered.inc();
+                    self.metrics.delivered.inc();
                     if let Some(ep) = self.per_endpoint.get(&to) {
                         ep.delivered.inc();
                     }
-                    self.bus_transit.record(transit.as_secs());
+                    self.metrics.bus_transit.record(transit.as_secs());
                     self.telemetry.record_span_sim(Stage::BusTransit, transit);
                     self.inboxes
                         .get_mut(&to)
@@ -374,9 +630,11 @@ impl ShipNetwork {
     /// shape predates it and is kept for compatibility).
     pub fn stats(&self) -> NetStats {
         NetStats {
-            sent: self.m_sent.get() as usize,
-            delivered: self.m_delivered.get() as usize,
-            dropped: self.m_dropped.get() as usize,
+            sent: self.metrics.sent.get() as usize,
+            delivered: self.metrics.delivered.get() as usize,
+            dropped: self.metrics.dropped.get() as usize,
+            retries: self.metrics.retries.get() as usize,
+            expired: self.metrics.expired.get() as usize,
         }
     }
 
@@ -398,12 +656,45 @@ impl ShipNetwork {
 
     /// The bus-transit latency histogram (simulated seconds).
     pub fn bus_transit(&self) -> Arc<Histogram> {
-        Arc::clone(&self.bus_transit)
+        Arc::clone(&self.metrics.bus_transit)
     }
 
     /// Frames currently in flight.
     pub fn in_flight_count(&self) -> usize {
         self.in_flight.len()
+    }
+}
+
+impl Instrumented for ShipNetwork {
+    /// Join the scenario's shared telemetry domain. Counter totals
+    /// accumulated so far are carried over; call this at wiring time,
+    /// before traffic, to keep the bus-transit histogram complete.
+    fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        if self.telemetry.same_domain(telemetry) {
+            return;
+        }
+        let metrics = BusCounters::wire(telemetry);
+        metrics.sent.add(self.metrics.sent.get());
+        metrics.delivered.add(self.metrics.delivered.get());
+        metrics.dropped.add(self.metrics.dropped.get());
+        metrics
+            .batched_reports
+            .add(self.metrics.batched_reports.get());
+        metrics.retries.add(self.metrics.retries.get());
+        metrics.expired.add(self.metrics.expired.get());
+        metrics.crash_lost.add(self.metrics.crash_lost.get());
+        self.metrics = metrics;
+        for (endpoint, old) in &mut self.per_endpoint {
+            let new = Self::endpoint_counters(telemetry, *endpoint);
+            new.delivered.add(old.delivered.get());
+            new.dropped.add(old.dropped.get());
+            *old = new;
+        }
+        self.telemetry = telemetry.clone();
+    }
+
+    fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 }
 
@@ -419,28 +710,41 @@ mod tests {
     }
 
     fn network(drop: f64) -> ShipNetwork {
-        let mut net = ShipNetwork::new(NetworkConfig {
-            base_latency: SimDuration::from_millis(10.0),
-            jitter: SimDuration::from_millis(5.0),
-            drop_probability: drop,
-            seed: 42,
-        });
+        let mut net = ShipNetwork::new(
+            NetworkConfig::new()
+                .with_base_latency(SimDuration::from_millis(10.0))
+                .with_jitter(SimDuration::from_millis(5.0))
+                .with_drop_probability(drop)
+                .with_seed(42),
+        );
         net.register(Endpoint::Pdme);
         net.register(Endpoint::Dc(DcId::new(1)));
         net
+    }
+
+    fn sample_reports(dc: DcId, seqs: &[u64]) -> Vec<ConditionReport> {
+        use mpros_core::{Belief, MachineCondition, MachineId, ReportId};
+        seqs.iter()
+            .map(|&i| {
+                ConditionReport::builder(
+                    MachineId::new(7),
+                    MachineCondition::GearToothWear,
+                    Belief::new(0.7),
+                )
+                .id(ReportId::new(i))
+                .dc(dc)
+                .timestamp(SimTime::ZERO)
+                .build()
+            })
+            .collect()
     }
 
     #[test]
     fn messages_arrive_after_latency() {
         let mut net = network(0.0);
         let t0 = SimTime::ZERO;
-        net.send(
-            t0,
-            Endpoint::Dc(DcId::new(1)),
-            Endpoint::Pdme,
-            &heartbeat(1),
-        )
-        .unwrap();
+        net.post(t0, Envelope::to_pdme(DcId::new(1), heartbeat(1)))
+            .unwrap();
         // Too early: nothing.
         assert!(net
             .recv(Endpoint::Pdme, t0 + SimDuration::from_millis(5.0))
@@ -453,21 +757,33 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_send_still_posts() {
+        let mut net = network(0.0);
+        #[allow(deprecated)]
+        net.send(
+            SimTime::ZERO,
+            Endpoint::Dc(DcId::new(1)),
+            Endpoint::Pdme,
+            &heartbeat(1),
+        )
+        .unwrap();
+        assert_eq!(net.recv(Endpoint::Pdme, SimTime::from_secs(1.0)).len(), 1);
+    }
+
+    #[test]
     fn delivery_order_is_by_delivery_time() {
-        let mut net = ShipNetwork::new(NetworkConfig {
-            base_latency: SimDuration::from_millis(10.0),
-            jitter: SimDuration::ZERO,
-            drop_probability: 0.0,
-            seed: 1,
-        });
+        let mut net = ShipNetwork::new(
+            NetworkConfig::new()
+                .with_base_latency(SimDuration::from_millis(10.0))
+                .with_jitter(SimDuration::ZERO)
+                .with_seed(1),
+        );
         net.register(Endpoint::Pdme);
         net.register(Endpoint::Dc(DcId::new(1)));
         for i in 0..5 {
-            net.send(
+            net.post(
                 SimTime::from_secs(i as f64),
-                Endpoint::Dc(DcId::new(1)),
-                Endpoint::Pdme,
-                &heartbeat(i),
+                Envelope::to_pdme(DcId::new(1), heartbeat(i)),
             )
             .unwrap();
         }
@@ -486,12 +802,7 @@ mod tests {
     fn unknown_endpoint_is_an_error() {
         let mut net = network(0.0);
         let err = net
-            .send(
-                SimTime::ZERO,
-                Endpoint::Pdme,
-                Endpoint::Dc(DcId::new(99)),
-                &heartbeat(1),
-            )
+            .post(SimTime::ZERO, Envelope::to_dc(DcId::new(99), heartbeat(1)))
             .unwrap_err();
         assert!(matches!(err, Error::Network(_)));
     }
@@ -500,13 +811,8 @@ mod tests {
     fn drops_are_counted_not_delivered() {
         let mut net = network(1.0); // everything drops
         for _ in 0..10 {
-            net.send(
-                SimTime::ZERO,
-                Endpoint::Dc(DcId::new(1)),
-                Endpoint::Pdme,
-                &heartbeat(1),
-            )
-            .unwrap();
+            net.post(SimTime::ZERO, Envelope::to_pdme(DcId::new(1), heartbeat(1)))
+                .unwrap();
         }
         assert!(net
             .recv(Endpoint::Pdme, SimTime::from_secs(10.0))
@@ -521,11 +827,9 @@ mod tests {
     fn partial_loss_rate_is_plausible() {
         let mut net = network(0.3);
         for i in 0..1000 {
-            net.send(
+            net.post(
                 SimTime::from_secs(i as f64 * 0.001),
-                Endpoint::Dc(DcId::new(1)),
-                Endpoint::Pdme,
-                &heartbeat(1),
+                Envelope::to_pdme(DcId::new(1), heartbeat(1)),
             )
             .unwrap();
         }
@@ -539,12 +843,15 @@ mod tests {
         let mut net = network(0.0);
         let dc = Endpoint::Dc(DcId::new(1));
         net.set_partitioned(dc, true);
-        net.send(SimTime::ZERO, dc, Endpoint::Pdme, &heartbeat(1))
+        net.post(SimTime::ZERO, Envelope::to_pdme(DcId::new(1), heartbeat(1)))
             .unwrap();
         assert_eq!(net.stats().dropped, 1, "partitioned sender loses frames");
         net.set_partitioned(dc, false);
-        net.send(SimTime::from_secs(1.0), dc, Endpoint::Pdme, &heartbeat(1))
-            .unwrap();
+        net.post(
+            SimTime::from_secs(1.0),
+            Envelope::to_pdme(DcId::new(1), heartbeat(1)),
+        )
+        .unwrap();
         let got = net.recv(Endpoint::Pdme, SimTime::from_secs(2.0));
         assert_eq!(got.len(), 1, "healed partition delivers again");
     }
@@ -552,13 +859,8 @@ mod tests {
     #[test]
     fn partition_raised_midflight_loses_in_flight_frames() {
         let mut net = network(0.0);
-        net.send(
-            SimTime::ZERO,
-            Endpoint::Dc(DcId::new(1)),
-            Endpoint::Pdme,
-            &heartbeat(1),
-        )
-        .unwrap();
+        net.post(SimTime::ZERO, Envelope::to_pdme(DcId::new(1), heartbeat(1)))
+            .unwrap();
         net.set_partitioned(Endpoint::Pdme, true);
         assert!(net.recv(Endpoint::Pdme, SimTime::from_secs(1.0)).is_empty());
         assert_eq!(net.stats().dropped, 1);
@@ -570,32 +872,44 @@ mod tests {
         // delivered or dropped, globally and per endpoint, across a
         // partition → heal → redelivery cycle.
         let mut net = network(0.0);
-        let dc = Endpoint::Dc(DcId::new(1));
+        let dc = DcId::new(1);
         let pdme = Endpoint::Pdme;
 
         // Phase 1: healthy traffic, delivered.
         for i in 0..5 {
-            net.send(SimTime::from_secs(i as f64), dc, pdme, &heartbeat(1))
-                .unwrap();
+            net.post(
+                SimTime::from_secs(i as f64),
+                Envelope::to_pdme(dc, heartbeat(1)),
+            )
+            .unwrap();
         }
         assert_eq!(net.recv(pdme, SimTime::from_secs(10.0)).len(), 5);
 
         // Phase 2: one frame in flight, then the PDME partitions — the
         // in-flight frame and everything sent during the outage is lost.
-        net.send(SimTime::from_secs(10.0), dc, pdme, &heartbeat(1))
-            .unwrap();
+        net.post(
+            SimTime::from_secs(10.0),
+            Envelope::to_pdme(dc, heartbeat(1)),
+        )
+        .unwrap();
         net.set_partitioned(pdme, true);
         for i in 0..3 {
-            net.send(SimTime::from_secs(11.0 + i as f64), dc, pdme, &heartbeat(1))
-                .unwrap();
+            net.post(
+                SimTime::from_secs(11.0 + i as f64),
+                Envelope::to_pdme(dc, heartbeat(1)),
+            )
+            .unwrap();
         }
         assert!(net.recv(pdme, SimTime::from_secs(20.0)).is_empty());
 
         // Phase 3: heal; traffic flows again.
         net.set_partitioned(pdme, false);
         for i in 0..4 {
-            net.send(SimTime::from_secs(21.0 + i as f64), dc, pdme, &heartbeat(1))
-                .unwrap();
+            net.post(
+                SimTime::from_secs(21.0 + i as f64),
+                Envelope::to_pdme(dc, heartbeat(1)),
+            )
+            .unwrap();
         }
         assert_eq!(net.recv(pdme, SimTime::from_secs(30.0)).len(), 4);
 
@@ -608,7 +922,7 @@ mod tests {
         // was addressed to the PDME).
         assert_eq!(net.delivered_to(pdme), 9);
         assert_eq!(net.dropped_to(pdme), 4);
-        assert_eq!(net.delivered_to(dc), 0);
+        assert_eq!(net.delivered_to(Endpoint::Dc(dc)), 0);
         // The journal saw the partition raise and heal.
         let kinds: Vec<String> = net
             .telemetry()
@@ -629,8 +943,8 @@ mod tests {
     #[test]
     fn set_telemetry_carries_existing_counts_over() {
         let mut net = network(0.0);
-        let dc = Endpoint::Dc(DcId::new(1));
-        net.send(SimTime::ZERO, dc, Endpoint::Pdme, &heartbeat(1))
+        let dc = DcId::new(1);
+        net.post(SimTime::ZERO, Envelope::to_pdme(dc, heartbeat(1)))
             .unwrap();
         assert_eq!(net.recv(Endpoint::Pdme, SimTime::from_secs(1.0)).len(), 1);
         let shared = Telemetry::new();
@@ -638,65 +952,183 @@ mod tests {
         assert_eq!(net.stats().sent, 1);
         assert_eq!(net.delivered_to(Endpoint::Pdme), 1);
         assert_eq!(shared.counter("net", "sent").get(), 1, "totals migrated");
-        net.send(SimTime::from_secs(2.0), dc, Endpoint::Pdme, &heartbeat(1))
+        net.post(SimTime::from_secs(2.0), Envelope::to_pdme(dc, heartbeat(1)))
             .unwrap();
         assert_eq!(shared.counter("net", "sent").get(), 2);
     }
 
     #[test]
     fn report_batch_travels_as_one_frame() {
-        use mpros_core::{Belief, MachineCondition, MachineId, ReportId};
         let mut net = network(0.0);
         let dc = DcId::new(1);
-        let reports: Vec<ConditionReport> = (0..3)
-            .map(|i| {
-                ConditionReport::builder(
-                    MachineId::new(7),
-                    MachineCondition::GearToothWear,
-                    Belief::new(0.7),
-                )
-                .id(ReportId::new(100 + i))
-                .dc(dc)
-                .timestamp(SimTime::ZERO)
-                .build()
-            })
-            .collect();
-        net.send_report_batch(SimTime::ZERO, dc, reports).unwrap();
+        let reports = sample_reports(dc, &[100, 101, 102]);
+        net.enqueue_report_batch(SimTime::ZERO, dc, reports)
+            .unwrap();
+        net.pump_outboxes(SimTime::ZERO).unwrap();
         // Three reports, one frame on the wire.
         assert_eq!(net.stats().sent, 1);
         let got = net.recv(Endpoint::Pdme, SimTime::from_secs(1.0));
         assert_eq!(got.len(), 1);
         match &got[0] {
-            NetMessage::ReportBatch { dc: from, entries } => {
+            NetMessage::ReportBatch {
+                dc: from,
+                epoch,
+                entries,
+            } => {
                 assert_eq!(*from, dc);
+                assert_eq!(*epoch, 0);
                 let seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
                 assert_eq!(seqs, vec![100, 101, 102]);
             }
             other => panic!("wrong kind: {other:?}"),
         }
-        // Empty batches send nothing at all.
-        net.send_report_batch(SimTime::from_secs(2.0), dc, Vec::new())
+        // Empty batches queue nothing at all.
+        net.enqueue_report_batch(SimTime::from_secs(2.0), dc, Vec::new())
             .unwrap();
+        assert_eq!(net.outbox_depth(dc), 1, "only the unacked frame");
+    }
+
+    #[test]
+    fn unacked_batches_retry_until_acknowledged() {
+        let mut net = network(0.0);
+        let dc = DcId::new(1);
+        net.enqueue_report_batch(SimTime::ZERO, dc, sample_reports(dc, &[10, 11]))
+            .unwrap();
+        net.pump_outboxes(SimTime::ZERO).unwrap();
         assert_eq!(net.stats().sent, 1);
+        assert_eq!(net.stats().retries, 0);
+        // No ack: pumping after the backoff retransmits the same frame.
+        net.pump_outboxes(SimTime::from_secs(2.0)).unwrap();
+        assert_eq!(net.stats().sent, 2);
+        assert_eq!(net.stats().retries, 1);
+        // Acked: nothing further goes out.
+        net.acknowledge(dc, 0, 11);
+        assert_eq!(net.outbox_depth(dc), 0);
+        net.pump_outboxes(SimTime::from_secs(60.0)).unwrap();
+        assert_eq!(net.stats().sent, 2);
+        // Both transmissions delivered (lossless bus): the receiver sees
+        // the duplicate — dedup is the replay guard's job, not the bus's.
+        assert_eq!(net.recv(Endpoint::Pdme, SimTime::from_secs(61.0)).len(), 2);
+    }
+
+    #[test]
+    fn retries_survive_a_healing_partition_without_expiry() {
+        let mut net = network(0.0);
+        let dc = DcId::new(1);
+        net.enqueue_report_batch(SimTime::ZERO, dc, sample_reports(dc, &[10]))
+            .unwrap();
+        net.set_partitioned(Endpoint::Dc(dc), true);
+        // Every pump during the outage is swallowed by the partition.
+        for s in 0..40 {
+            net.pump_outboxes(SimTime::from_secs(s as f64)).unwrap();
+        }
+        assert!(net
+            .recv(Endpoint::Pdme, SimTime::from_secs(40.0))
+            .is_empty());
+        assert_eq!(net.stats().expired, 0, "still inside the retry budget");
+        assert_eq!(net.outbox_depth(dc), 1);
+        // Heal: the next due retry delivers.
+        net.set_partitioned(Endpoint::Dc(dc), false);
+        for s in 40..80 {
+            net.pump_outboxes(SimTime::from_secs(s as f64)).unwrap();
+        }
+        assert!(
+            !net.recv(Endpoint::Pdme, SimTime::from_secs(80.0))
+                .is_empty(),
+            "report crossed after heal"
+        );
+        assert!(net.stats().retries > 0);
+        assert_eq!(net.stats().expired, 0);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_expires_the_frame() {
+        let mut net = ShipNetwork::new(
+            NetworkConfig::new().with_outbox(
+                OutboxConfig::new()
+                    .with_base_backoff(SimDuration::from_secs(1.0))
+                    .with_max_backoff(SimDuration::from_secs(1.0))
+                    .with_max_attempts(3),
+            ),
+        );
+        net.register(Endpoint::Pdme);
+        let dc = DcId::new(1);
+        net.register(Endpoint::Dc(dc));
+        net.set_partitioned(Endpoint::Pdme, true); // permanent outage
+        net.enqueue_report_batch(SimTime::ZERO, dc, sample_reports(dc, &[10]))
+            .unwrap();
+        for s in 0..30 {
+            net.pump_outboxes(SimTime::from_secs(s as f64)).unwrap();
+        }
+        assert_eq!(net.stats().expired, 1);
+        assert_eq!(net.outbox_depth(dc), 0);
+        assert_eq!(net.stats().retries, 2, "3 attempts = 1 send + 2 retries");
+    }
+
+    #[test]
+    fn full_outbox_evicts_oldest_and_counts_expired() {
+        let mut net = ShipNetwork::new(
+            NetworkConfig::new().with_outbox(OutboxConfig::new().with_capacity(2)),
+        );
+        net.register(Endpoint::Pdme);
+        let dc = DcId::new(1);
+        net.register(Endpoint::Dc(dc));
+        net.set_partitioned(Endpoint::Pdme, true); // nothing ever acks
+        for i in 0..3 {
+            net.enqueue_report_batch(
+                SimTime::from_secs(i as f64),
+                dc,
+                sample_reports(dc, &[10 + i]),
+            )
+            .unwrap();
+        }
+        assert_eq!(net.outbox_depth(dc), 2);
+        assert_eq!(net.stats().expired, 1, "oldest frame evicted");
+    }
+
+    #[test]
+    fn crash_clears_the_outbox_and_restart_bumps_the_epoch() {
+        let mut net = network(0.0);
+        let dc = DcId::new(1);
+        net.enqueue_report_batch(SimTime::ZERO, dc, sample_reports(dc, &[10]))
+            .unwrap();
+        net.crash_dc(dc);
+        assert_eq!(net.outbox_depth(dc), 0, "volatile state lost");
+        assert_eq!(net.stats().expired, 0, "crash loss is not transport expiry");
+        assert_eq!(net.telemetry().counter("net", "crash_lost").get(), 1);
+        // While crashed the endpoint is dark.
+        net.pump_outboxes(SimTime::from_secs(1.0)).unwrap();
+        assert!(net.recv(Endpoint::Pdme, SimTime::from_secs(2.0)).is_empty());
+        // Restart: new epoch is stamped on subsequent frames.
+        net.restart_dc(dc, 1);
+        assert_eq!(net.outbox_epoch(dc), 1);
+        net.enqueue_report_batch(SimTime::from_secs(3.0), dc, sample_reports(dc, &[1]))
+            .unwrap();
+        net.pump_outboxes(SimTime::from_secs(3.0)).unwrap();
+        let got = net.recv(Endpoint::Pdme, SimTime::from_secs(4.0));
+        assert_eq!(got.len(), 1);
+        match &got[0] {
+            NetMessage::ReportBatch { epoch, .. } => assert_eq!(*epoch, 1),
+            other => panic!("wrong kind: {other:?}"),
+        }
     }
 
     #[test]
     fn behaviour_is_deterministic_per_seed() {
         let run = |seed: u64| {
-            let mut net = ShipNetwork::new(NetworkConfig {
-                base_latency: SimDuration::from_millis(10.0),
-                jitter: SimDuration::from_millis(10.0),
-                drop_probability: 0.5,
-                seed,
-            });
+            let mut net = ShipNetwork::new(
+                NetworkConfig::new()
+                    .with_base_latency(SimDuration::from_millis(10.0))
+                    .with_jitter(SimDuration::from_millis(10.0))
+                    .with_drop_probability(0.5)
+                    .with_seed(seed),
+            );
             net.register(Endpoint::Pdme);
             net.register(Endpoint::Dc(DcId::new(1)));
             for i in 0..100 {
-                net.send(
+                net.post(
                     SimTime::from_secs(i as f64 * 0.01),
-                    Endpoint::Dc(DcId::new(1)),
-                    Endpoint::Pdme,
-                    &heartbeat(i),
+                    Envelope::to_pdme(DcId::new(1), heartbeat(i)),
                 )
                 .unwrap();
             }

@@ -15,7 +15,9 @@ use mpros_core::{ConditionReport, DcId, Error, MachineId, Result};
 use serde::{Deserialize, Serialize};
 
 const MAGIC: [u8; 2] = *b"MP";
-const VERSION: u8 = 1;
+/// Wire version. v2 added the batch restart `epoch` and the `Ack`
+/// message; v1 peers are rejected rather than mis-parsed.
+const VERSION: u8 = 2;
 /// Frames larger than this are rejected (corrupted length field guard).
 const MAX_PAYLOAD: usize = 16 * 1024 * 1024;
 /// Reports per batch frame; larger batches must be split by the sender.
@@ -45,6 +47,12 @@ pub enum NetMessage {
     ReportBatch {
         /// Originating DC.
         dc: DcId,
+        /// The DC's restart epoch. A DC that crashes and restarts
+        /// allocates report ids (and therefore batch sequence numbers)
+        /// from scratch; the bumped epoch lets the receiver's replay
+        /// guard distinguish a legitimate post-restart frame from a
+        /// replay of a pre-crash one.
+        epoch: u64,
         /// The batched reports, in emission order.
         entries: Vec<BatchEntry>,
     },
@@ -72,6 +80,18 @@ pub enum NetMessage {
         /// Sender's simulated-clock seconds.
         at_secs: f64,
     },
+    /// Cumulative acknowledgement, PDME → DC: every
+    /// [`NetMessage::ReportBatch`] of `(dc, epoch)` whose highest entry
+    /// sequence is ≤ `last_seq` has been ingested and may be released
+    /// from the sender's retry outbox.
+    Ack {
+        /// The DC whose batches are acknowledged.
+        dc: DcId,
+        /// The restart epoch the acknowledgement applies to.
+        epoch: u64,
+        /// Highest acknowledged entry sequence number, cumulative.
+        last_seq: u64,
+    },
 }
 
 impl NetMessage {
@@ -82,6 +102,7 @@ impl NetMessage {
             NetMessage::DownloadSbfr { .. } => 3,
             NetMessage::Heartbeat { .. } => 4,
             NetMessage::ReportBatch { .. } => 5,
+            NetMessage::Ack { .. } => 6,
         }
     }
 }
@@ -199,6 +220,11 @@ mod tests {
                 dc: DcId::new(7),
                 at_secs: 123.5,
             },
+            NetMessage::Ack {
+                dc: DcId::new(7),
+                epoch: 3,
+                last_seq: 12_345,
+            },
         ];
         for m in msgs {
             let frame = encode_message(&m).unwrap();
@@ -251,6 +277,7 @@ mod tests {
     fn batch(seqs: &[u64]) -> NetMessage {
         NetMessage::ReportBatch {
             dc: DcId::new(2),
+            epoch: 0,
             entries: seqs
                 .iter()
                 .map(|&seq| BatchEntry {
@@ -281,7 +308,7 @@ mod tests {
         let forged = serde_json::to_vec(&batch(&[4, 4])).unwrap();
         let mut buf = BytesMut::new();
         buf.put_slice(b"MP");
-        buf.put_u8(1);
+        buf.put_u8(2);
         buf.put_u8(5);
         buf.put_u32_le(forged.len() as u32);
         buf.put_slice(&forged);
@@ -298,16 +325,32 @@ mod tests {
             .collect();
         let over = NetMessage::ReportBatch {
             dc: DcId::new(1),
+            epoch: 0,
             entries,
         };
         assert!(encode_message(&over).is_err());
+    }
+
+    /// v1 peers frame batches without an epoch; they must be rejected
+    /// at the version byte, not mis-parsed.
+    #[test]
+    fn v1_frames_are_rejected_by_version() {
+        let payload = br#"{"ReportBatch":{"dc":2,"entries":[]}}"#.to_vec();
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"MP");
+        buf.put_u8(1);
+        buf.put_u8(5);
+        buf.put_u32_le(payload.len() as u32);
+        buf.put_slice(&payload);
+        let err = decode_message(buf.freeze()).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
     }
 
     #[test]
     fn length_cap_is_enforced() {
         let mut frame = BytesMut::new();
         frame.put_slice(b"MP");
-        frame.put_u8(1);
+        frame.put_u8(2);
         frame.put_u8(4);
         frame.put_u32_le(u32::MAX);
         assert!(decode_message(frame.freeze()).is_err());

@@ -15,6 +15,8 @@
 
 pub mod bus;
 pub mod codec;
+pub mod outbox;
 
-pub use bus::{Endpoint, NetStats, NetworkConfig, ShipNetwork};
+pub use bus::{Endpoint, Envelope, NetStats, NetworkConfig, ShipNetwork};
 pub use codec::{decode_message, encode_message, BatchEntry, NetMessage, MAX_BATCH};
+pub use outbox::OutboxConfig;

@@ -1,0 +1,258 @@
+//! Per-DC reliable-delivery outboxes.
+//!
+//! §4.9's shipboard reality — partitions, brownouts, flaky cabling —
+//! means a fire-and-forget report frame may simply vanish. Each DC
+//! therefore parks every [`crate::NetMessage::ReportBatch`] it emits in
+//! an outbox until the PDME's cumulative [`crate::NetMessage::Ack`]
+//! releases it, retransmitting on an exponential-backoff schedule whose
+//! jitter is drawn from the DC's own RNG stream (so retry timing is
+//! deterministic per seed and independent across DCs). The queue is
+//! bounded: when a long outage backs it up past capacity, the *oldest*
+//! frame is evicted first — the freshest diagnostics are the ones worth
+//! a berth.
+//!
+//! The outbox holds pure queue state; the scheduling loop that actually
+//! puts frames on the wire lives in [`crate::ShipNetwork::pump_outboxes`],
+//! where it can compose with the bus's latency/loss model and telemetry.
+
+use crate::codec::BatchEntry;
+use mpros_core::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Retry/backoff policy for the per-DC report outboxes.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct OutboxConfig {
+    /// Unacknowledged frames held per DC; pushing past this evicts the
+    /// oldest pending frame.
+    pub capacity: usize,
+    /// Delay before the first retransmission.
+    pub base_backoff: SimDuration,
+    /// Ceiling on the exponential backoff.
+    pub max_backoff: SimDuration,
+    /// Transmissions (first send + retries) before a frame expires.
+    pub max_attempts: u32,
+    /// Backoff jitter as a fraction: each delay is scaled by a factor
+    /// drawn uniformly from `[1, 1 + jitter]`.
+    pub jitter: f64,
+}
+
+impl Default for OutboxConfig {
+    fn default() -> Self {
+        // 1 + 2 + 4 + 8 + 16 + 16·5 ≈ 110 s of cumulative patience:
+        // comfortably outlasts the sub-minute partitions §4.9-style
+        // scenarios throw, without holding a dead link's frames forever.
+        OutboxConfig {
+            capacity: 64,
+            base_backoff: SimDuration::from_secs(1.0),
+            max_backoff: SimDuration::from_secs(16.0),
+            max_attempts: 10,
+            jitter: 0.1,
+        }
+    }
+}
+
+impl OutboxConfig {
+    /// The default policy (see [`OutboxConfig::default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the per-DC queue capacity.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// Set the delay before the first retransmission.
+    pub fn with_base_backoff(mut self, d: SimDuration) -> Self {
+        self.base_backoff = d;
+        self
+    }
+
+    /// Set the backoff ceiling.
+    pub fn with_max_backoff(mut self, d: SimDuration) -> Self {
+        self.max_backoff = d;
+        self
+    }
+
+    /// Set the transmission budget per frame.
+    pub fn with_max_attempts(mut self, n: u32) -> Self {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    /// Set the backoff jitter fraction.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter.max(0.0);
+        self
+    }
+}
+
+/// One unacknowledged `ReportBatch` frame awaiting (re)transmission.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingBatch {
+    /// The DC restart epoch the frame was emitted in.
+    pub epoch: u64,
+    /// Highest entry sequence in the frame (the cumulative-ack key).
+    pub last_seq: u64,
+    /// The batched reports.
+    pub entries: Vec<BatchEntry>,
+    /// Transmissions so far.
+    pub attempts: u32,
+    /// Earliest instant the next transmission may happen.
+    pub next_send: SimTime,
+}
+
+/// Per-DC outbox: pending frames in emission order, the DC's current
+/// restart epoch, and its private backoff-jitter stream.
+#[derive(Debug)]
+pub(crate) struct Outbox {
+    /// The DC's current restart epoch; newly enqueued frames carry it.
+    pub epoch: u64,
+    /// Unacknowledged frames, oldest first.
+    pub pending: VecDeque<PendingBatch>,
+    rng: StdRng,
+}
+
+impl Outbox {
+    pub fn new(seed: u64) -> Self {
+        Outbox {
+            epoch: 0,
+            pending: VecDeque::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Park a frame; evicts the oldest pending frame when full.
+    /// Returns the number of frames evicted (0 or 1).
+    pub fn push(&mut self, config: &OutboxConfig, batch: PendingBatch) -> usize {
+        let mut evicted = 0;
+        while self.pending.len() >= config.capacity.max(1) {
+            self.pending.pop_front();
+            evicted += 1;
+        }
+        self.pending.push_back(batch);
+        evicted
+    }
+
+    /// Apply a cumulative acknowledgement: release every pending frame
+    /// of `epoch` whose `last_seq` is covered. Returns frames released.
+    pub fn acknowledge(&mut self, epoch: u64, last_seq: u64) -> usize {
+        let before = self.pending.len();
+        self.pending
+            .retain(|p| !(p.epoch == epoch && p.last_seq <= last_seq));
+        before - self.pending.len()
+    }
+
+    /// Drop everything (volatile state lost in a crash). Returns the
+    /// number of frames lost.
+    pub fn clear(&mut self) -> usize {
+        let lost = self.pending.len();
+        self.pending.clear();
+        lost
+    }
+
+    /// The jittered backoff after the `attempts`-th transmission:
+    /// `base · 2^(attempts-1)` capped at `max_backoff`, scaled by a
+    /// factor drawn from `[1, 1 + jitter]` off this DC's stream.
+    pub fn backoff(&mut self, config: &OutboxConfig, attempts: u32) -> SimDuration {
+        let exp = attempts.saturating_sub(1).min(32);
+        let raw = config.base_backoff.as_secs() * f64::from(1u32 << exp.min(31));
+        let capped = raw.min(config.max_backoff.as_secs());
+        let scale = if config.jitter > 0.0 {
+            1.0 + self.rng.gen_range(0.0..config.jitter)
+        } else {
+            1.0
+        };
+        SimDuration::from_secs(capped * scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending(epoch: u64, last_seq: u64) -> PendingBatch {
+        PendingBatch {
+            epoch,
+            last_seq,
+            entries: Vec::new(),
+            attempts: 0,
+            next_send: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn push_evicts_oldest_when_full() {
+        let cfg = OutboxConfig::new().with_capacity(2);
+        let mut ob = Outbox::new(1);
+        assert_eq!(ob.push(&cfg, pending(0, 1)), 0);
+        assert_eq!(ob.push(&cfg, pending(0, 2)), 0);
+        assert_eq!(ob.push(&cfg, pending(0, 3)), 1, "oldest dropped");
+        let seqs: Vec<u64> = ob.pending.iter().map(|p| p.last_seq).collect();
+        assert_eq!(seqs, vec![2, 3]);
+    }
+
+    #[test]
+    fn ack_is_cumulative_and_epoch_scoped() {
+        let cfg = OutboxConfig::new();
+        let mut ob = Outbox::new(1);
+        ob.push(&cfg, pending(0, 5));
+        ob.push(&cfg, pending(0, 9));
+        ob.push(&cfg, pending(1, 3)); // post-restart frame
+        assert_eq!(ob.acknowledge(0, 9), 2, "covers both epoch-0 frames");
+        assert_eq!(ob.pending.len(), 1, "epoch-1 frame untouched");
+        assert_eq!(ob.acknowledge(1, 2), 0, "seq 3 not yet covered");
+        assert_eq!(ob.acknowledge(1, 3), 1);
+    }
+
+    #[test]
+    fn backoff_doubles_to_the_cap_with_bounded_jitter() {
+        let cfg = OutboxConfig::new()
+            .with_base_backoff(SimDuration::from_secs(1.0))
+            .with_max_backoff(SimDuration::from_secs(8.0))
+            .with_jitter(0.1);
+        let mut ob = Outbox::new(7);
+        for (attempts, nominal) in [
+            (1u32, 1.0),
+            (2, 2.0),
+            (3, 4.0),
+            (4, 8.0),
+            (5, 8.0),
+            (60, 8.0),
+        ] {
+            let d = ob.backoff(&cfg, attempts).as_secs();
+            assert!(
+                d >= nominal && d <= nominal * 1.1 + 1e-12,
+                "attempt {attempts}: {d} outside [{nominal}, {}]",
+                nominal * 1.1
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_stream_is_deterministic_per_seed() {
+        let cfg = OutboxConfig::new();
+        let draw = |seed: u64| {
+            let mut ob = Outbox::new(seed);
+            (1..6)
+                .map(|a| ob.backoff(&cfg, a).as_secs())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+
+    #[test]
+    fn clear_reports_lost_frames() {
+        let cfg = OutboxConfig::new();
+        let mut ob = Outbox::new(1);
+        ob.push(&cfg, pending(0, 1));
+        ob.push(&cfg, pending(0, 2));
+        assert_eq!(ob.clear(), 2);
+        assert!(ob.pending.is_empty());
+    }
+}

@@ -112,10 +112,9 @@ mod tests {
                 .severity(s)
                 .timestamp(SimTime::from_secs(id as f64))
                 .build();
-            p.handle_message(&NetMessage::Report(r), SimTime::from_secs(id as f64))
+            p.ingest(&[NetMessage::Report(r)], SimTime::from_secs(id as f64))
                 .unwrap();
         }
-        p.process_events().unwrap();
         p
     }
 
@@ -169,9 +168,7 @@ mod tests {
         )
         .id(ReportId::new(1))
         .build();
-        p.handle_message(&NetMessage::Report(r), SimTime::ZERO)
-            .unwrap();
-        p.process_events().unwrap();
+        p.ingest(&[NetMessage::Report(r)], SimTime::ZERO).unwrap();
         let after = machine_view(&p, MachineId::new(1));
         assert_ne!(before, after);
         assert!(after.contains("gear transmission tooth wear"));

@@ -11,16 +11,20 @@
 //! 4. "Conclusions from the knowledge fusion components are posted to
 //!    the OOSM and presented in user displays."
 //!
-//! [`PdmeExecutive::handle_message`] is step 1;
-//! [`PdmeExecutive::process_events`] is steps 2–4, driven by the OOSM
-//! subscription rather than polling (§4.5).
+//! [`PdmeExecutive::ingest`] is the single entry point: step 1 for a
+//! whole step's worth of delivered frames, then steps 2–4
+//! ([`PdmeExecutive::process_events`]) behind it, driven by the OOSM
+//! subscription rather than polling (§4.5). It returns an
+//! [`IngestSummary`] whose [`BatchAck`]s feed the reliable-transport
+//! loop in `mpros-network`.
 
+use crate::supervisor::Supervisor;
 use mpros_core::{ConditionReport, DcId, MachineId, Result, SimDuration, SimTime};
 use mpros_fusion::{FusionEngine, MaintenanceItem};
 use mpros_network::NetMessage;
 use mpros_oosm::{ObjectKind, Oosm, OosmEvent, Subscription, Value};
-use mpros_telemetry::{Counter, Histogram, Stage, Telemetry, WallTimer};
-use std::collections::HashMap;
+use mpros_telemetry::{Counter, Histogram, Instrumented, Stage, Telemetry, WallTimer};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Reserved DC id for PDME-resident knowledge sources (§5.7); their
@@ -38,17 +42,55 @@ pub trait ResidentAlgorithm: Send {
     fn on_report(&mut self, report: &ConditionReport, model: &Oosm) -> Vec<ConditionReport>;
 }
 
+/// A cumulative acknowledgement owed to one DC for the batched report
+/// frames accepted (or recognized as replays) during an ingest pass.
+/// Relayed to the DC, it releases every outbox frame of `epoch` whose
+/// highest sequence is at or below `last_seq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchAck {
+    /// The DC the acknowledgement is addressed to.
+    pub dc: DcId,
+    /// The DC restart epoch the acknowledged frames were emitted in.
+    pub epoch: u64,
+    /// Highest batch entry sequence covered, cumulatively.
+    pub last_seq: u64,
+}
+
+/// What one [`PdmeExecutive::ingest`] pass did, and the
+/// acknowledgements it owes the fleet.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestSummary {
+    /// Reports posted to the OOSM (fresh, non-replayed).
+    pub posted: usize,
+    /// Reports fused by the knowledge-fusion pass (posted reports plus
+    /// anything resident algorithms emitted in response).
+    pub fused: usize,
+    /// Batch entries dropped as replays of already-accepted sequences.
+    pub replays: usize,
+    /// Heartbeat frames observed.
+    pub heartbeats: usize,
+    /// Cumulative per-DC acknowledgements, sorted by DC then epoch.
+    /// Replayed frames are re-acknowledged too: a replay means the
+    /// first ack was lost, and only another ack releases the sender's
+    /// outbox.
+    pub acks: Vec<BatchAck>,
+}
+
 /// The PDME executive.
 pub struct PdmeExecutive {
     oosm: Oosm,
     kf_events: Subscription,
     fusion: FusionEngine,
     resident: Vec<Box<dyn ResidentAlgorithm>>,
+    supervisor: Supervisor,
     dc_last_seen: HashMap<DcId, SimTime>,
-    /// Highest batch sequence number accepted per DC; entries at or
-    /// below it are replays (duplicated frames, re-sent batches) and are
-    /// skipped rather than double-fused.
-    batch_last_seq: HashMap<DcId, u64>,
+    /// Replay guard: per DC, the restart epoch and highest batch
+    /// sequence accepted within it. Entries at or below the watermark
+    /// in the same epoch are replays (duplicated frames, re-sent
+    /// batches) and are skipped rather than double-fused; a frame from
+    /// a newer epoch resets the watermark, because a restarted DC's
+    /// sequence counter starts over.
+    batch_last_seq: HashMap<DcId, (u64, u64)>,
     telemetry: Telemetry,
     m_reports_received: Arc<Counter>,
     m_batch_replays: Arc<Counter>,
@@ -78,6 +120,7 @@ impl PdmeExecutive {
             kf_events,
             fusion,
             resident: Vec::new(),
+            supervisor: Supervisor::new(),
             dc_last_seen: HashMap::new(),
             batch_last_seq: HashMap::new(),
             telemetry,
@@ -85,30 +128,6 @@ impl PdmeExecutive {
             m_batch_replays,
             h_report_latency,
         }
-    }
-
-    /// Join a shared telemetry domain, cascading to the fusion engine
-    /// and the ship model and carrying counter totals over. Call at
-    /// wiring time, before traffic.
-    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
-        if self.telemetry.same_domain(telemetry) {
-            return;
-        }
-        let received = telemetry.counter("pdme", "reports_received");
-        received.add(self.m_reports_received.get());
-        self.m_reports_received = received;
-        let replays = telemetry.counter("pdme", "batch_replays_dropped");
-        replays.add(self.m_batch_replays.get());
-        self.m_batch_replays = replays;
-        self.h_report_latency = telemetry.histogram("pdme", "report_latency_s");
-        self.fusion.set_telemetry(telemetry);
-        self.oosm.set_telemetry(telemetry);
-        self.telemetry = telemetry.clone();
-    }
-
-    /// The telemetry domain this executive records into.
-    pub fn telemetry(&self) -> &Telemetry {
-        &self.telemetry
     }
 
     /// Register a monitored machine in the ship model.
@@ -144,12 +163,26 @@ impl PdmeExecutive {
 
     /// Post one report to the OOSM, recording liveness and the
     /// end-to-end ingest latency. Shared by the single-report and
-    /// batched frame paths.
+    /// batched frame paths. A fresh report from a machine the
+    /// supervisor marked `degraded` (its DC went silent) restores the
+    /// machine's `status` to `ok`.
     fn ingest_report(&mut self, report: &ConditionReport, now: SimTime) -> Result<()> {
         let timer = WallTimer::start();
         self.dc_last_seen.insert(report.dc, now);
         self.oosm.post_report(report)?;
         self.m_reports_received.inc();
+        if self.supervisor.clear_degraded(report.machine) {
+            if let Some(obj) = self.oosm.machine_object(report.machine) {
+                self.oosm
+                    .set_property(obj, "status", Value::Text("ok".into()))?;
+            }
+            self.telemetry.event_at(
+                now,
+                "pdme",
+                "machine_recovered",
+                format!("{} reporting again after DC outage", report.machine),
+            );
+        }
         // End-to-end scenario latency: report creation at the DC
         // to ingestion here, in simulated time.
         let e2e = now.since(report.timestamp);
@@ -162,54 +195,103 @@ impl PdmeExecutive {
         Ok(())
     }
 
-    /// Step 1: accept a network message. Reports (single or batched) are
-    /// posted to the OOSM; heartbeats update DC liveness. Returns the
-    /// number of reports posted. Batch entries whose sequence number is
-    /// at or below the highest already accepted from that DC are
-    /// replays and are counted but not re-posted.
-    pub fn handle_message(&mut self, msg: &NetMessage, now: SimTime) -> Result<usize> {
+    /// Step 1 for one frame: route it, update the running summary, and
+    /// record any acknowledgement owed (keyed by DC and epoch; the
+    /// cumulative watermark is the max sequence seen).
+    fn ingest_frame(
+        &mut self,
+        msg: &NetMessage,
+        now: SimTime,
+        summary: &mut IngestSummary,
+        acks: &mut BTreeMap<(DcId, u64), u64>,
+    ) -> Result<()> {
         match msg {
             NetMessage::Report(report) => {
                 self.ingest_report(report, now)?;
-                Ok(1)
+                summary.posted += 1;
             }
-            NetMessage::ReportBatch { dc, entries } => {
+            NetMessage::ReportBatch { dc, epoch, entries } => {
                 self.dc_last_seen.insert(*dc, now);
-                let mut posted = 0;
                 for entry in entries {
-                    let last = self.batch_last_seq.get(dc).copied();
-                    if last.is_some_and(|l| entry.seq <= l) {
+                    let fresh = match self.batch_last_seq.get(dc) {
+                        Some(&(guard_epoch, guard_seq)) => {
+                            *epoch > guard_epoch || (*epoch == guard_epoch && entry.seq > guard_seq)
+                        }
+                        None => true,
+                    };
+                    if !fresh {
+                        summary.replays += 1;
                         self.m_batch_replays.inc();
                         self.telemetry.event_at(
                             now,
                             "pdme",
                             "batch_replay",
-                            format!("{dc} seq {} already accepted", entry.seq),
+                            format!("{dc} epoch {epoch} seq {} already accepted", entry.seq),
                         );
                         continue;
                     }
                     self.ingest_report(&entry.report, now)?;
-                    self.batch_last_seq.insert(*dc, entry.seq);
-                    posted += 1;
+                    self.batch_last_seq.insert(*dc, (*epoch, entry.seq));
+                    summary.posted += 1;
                 }
-                Ok(posted)
+                // Ack replayed frames too: the sender only retries when
+                // an earlier ack was lost, and another ack is the only
+                // thing that stops the retransmissions.
+                if let Some(last_seq) = entries.iter().map(|e| e.seq).max() {
+                    let watermark = acks.entry((*dc, *epoch)).or_insert(last_seq);
+                    *watermark = (*watermark).max(last_seq);
+                }
             }
             NetMessage::Heartbeat { dc, .. } => {
                 self.dc_last_seen.insert(*dc, now);
-                Ok(0)
+                summary.heartbeats += 1;
             }
-            _ => Ok(0),
+            _ => {}
         }
+        Ok(())
+    }
+
+    /// The unified ingest entry point (§5.1 steps 1–4): accept a whole
+    /// step's worth of delivered frames — single reports, batched
+    /// report frames (with replay/epoch guarding), heartbeats — then
+    /// run one knowledge-fusion pass over everything posted. The
+    /// returned [`IngestSummary`] says what happened and carries the
+    /// [`BatchAck`]s the transport loop owes the DCs.
+    pub fn ingest(&mut self, msgs: &[NetMessage], now: SimTime) -> Result<IngestSummary> {
+        let mut summary = IngestSummary::default();
+        let mut acks: BTreeMap<(DcId, u64), u64> = BTreeMap::new();
+        for msg in msgs {
+            self.ingest_frame(msg, now, &mut summary, &mut acks)?;
+        }
+        summary.fused = self.process_events()?;
+        summary.acks = acks
+            .into_iter()
+            .map(|((dc, epoch), last_seq)| BatchAck {
+                dc,
+                epoch,
+                last_seq,
+            })
+            .collect();
+        Ok(summary)
+    }
+
+    /// Step 1: accept a network message without fusing. Superseded by
+    /// [`PdmeExecutive::ingest`], which also generates the transport
+    /// acknowledgements. Returns the number of reports posted.
+    #[deprecated(since = "0.4.0", note = "use `ingest`, which also returns batch acks")]
+    pub fn handle_message(&mut self, msg: &NetMessage, now: SimTime) -> Result<usize> {
+        let mut summary = IngestSummary::default();
+        let mut acks = BTreeMap::new();
+        self.ingest_frame(msg, now, &mut summary, &mut acks)?;
+        Ok(summary.posted)
     }
 
     /// Accept a whole step's worth of delivered messages, then run one
-    /// fusion pass over everything posted. Returns the number of reports
-    /// fused (the same figure [`PdmeExecutive::process_events`] reports).
+    /// fusion pass. Superseded by [`PdmeExecutive::ingest`]. Returns
+    /// the number of reports fused.
+    #[deprecated(since = "0.4.0", note = "use `ingest`, which also returns batch acks")]
     pub fn handle_batch(&mut self, msgs: &[NetMessage], now: SimTime) -> Result<usize> {
-        for msg in msgs {
-            self.handle_message(msg, now)?;
-        }
-        self.process_events()
+        Ok(self.ingest(msgs, now)?.fused)
     }
 
     /// Steps 2–4: drain the OOSM event queue, run knowledge fusion on
@@ -318,6 +400,63 @@ impl PdmeExecutive {
             })
             .collect()
     }
+
+    /// Record which machines a DC monitors and the SBFR images the PDME
+    /// should re-download into it after a restart (§6.3). Supersedes
+    /// any earlier assignment for the DC.
+    pub fn assign_dc(
+        &mut self,
+        dc: DcId,
+        machines: Vec<MachineId>,
+        sbfr_images: Vec<(u32, Vec<u8>)>,
+    ) {
+        self.supervisor.assign(dc, machines, sbfr_images);
+    }
+
+    /// One supervision pass over the assigned fleet: DCs silent past
+    /// `timeout` get their machines' `status` marked `degraded` in the
+    /// ship model; DCs heard from again after an outage get their SBFR
+    /// machine set re-downloaded via the returned command frames.
+    pub fn supervise(&mut self, now: SimTime, timeout: SimDuration) -> Result<Vec<NetMessage>> {
+        self.supervisor.supervise(
+            now,
+            timeout,
+            &self.dc_last_seen,
+            &mut self.oosm,
+            &self.telemetry,
+        )
+    }
+
+    /// Machines currently marked `degraded` (their DC went silent and
+    /// no fresh report has arrived since), sorted.
+    pub fn degraded_machines(&self) -> Vec<MachineId> {
+        self.supervisor.degraded_machines()
+    }
+}
+
+impl Instrumented for PdmeExecutive {
+    /// Join a shared telemetry domain, cascading to the fusion engine
+    /// and the ship model and carrying counter totals over. Call at
+    /// wiring time, before traffic.
+    fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        if self.telemetry.same_domain(telemetry) {
+            return;
+        }
+        let received = telemetry.counter("pdme", "reports_received");
+        received.add(self.m_reports_received.get());
+        self.m_reports_received = received;
+        let replays = telemetry.counter("pdme", "batch_replays_dropped");
+        replays.add(self.m_batch_replays.get());
+        self.m_batch_replays = replays;
+        self.h_report_latency = telemetry.histogram("pdme", "report_latency_s");
+        self.fusion.set_telemetry(telemetry);
+        self.oosm.set_telemetry(telemetry);
+        self.telemetry = telemetry.clone();
+    }
+
+    fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
 }
 
 #[cfg(test)]
@@ -345,6 +484,33 @@ mod tests {
     #[test]
     fn report_flows_through_oosm_into_fusion() {
         let mut p = pdme();
+        let summary = p
+            .ingest(
+                &[NetMessage::Report(report(
+                    1,
+                    1,
+                    MachineCondition::MotorImbalance,
+                    0.7,
+                ))],
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(summary.posted, 1);
+        assert_eq!(summary.fused, 1);
+        assert!(summary.acks.is_empty(), "single reports are not acked");
+        let b = p
+            .fusion()
+            .diagnostic()
+            .belief(MachineId::new(1), MachineCondition::MotorImbalance);
+        assert!((b - 0.7).abs() < 1e-9);
+        assert_eq!(p.reports_received(), 1);
+        assert_eq!(p.reports_for_machine(MachineId::new(1)).len(), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_two_phase_entry_points_still_work() {
+        let mut p = pdme();
         let n = p
             .handle_message(
                 &NetMessage::Report(report(1, 1, MachineCondition::MotorImbalance, 0.7)),
@@ -359,29 +525,34 @@ mod tests {
                 .belief(MachineId::new(1), MachineCondition::MotorImbalance),
             0.0
         );
-        let fused = p.process_events().unwrap();
+        assert_eq!(p.process_events().unwrap(), 1);
+        let fused = p
+            .handle_batch(
+                &[NetMessage::Report(report(
+                    2,
+                    1,
+                    MachineCondition::MotorImbalance,
+                    0.6,
+                ))],
+                SimTime::ZERO,
+            )
+            .unwrap();
         assert_eq!(fused, 1);
-        let b = p
-            .fusion()
-            .diagnostic()
-            .belief(MachineId::new(1), MachineCondition::MotorImbalance);
-        assert!((b - 0.7).abs() < 1e-9);
-        assert_eq!(p.reports_received(), 1);
-        assert_eq!(p.reports_for_machine(MachineId::new(1)).len(), 1);
+        assert_eq!(p.reports_received(), 2);
     }
 
     #[test]
     fn maintenance_list_reflects_fused_state() {
         let mut p = pdme();
-        for (id, c, b) in [
+        let msgs: Vec<NetMessage> = [
             (1, MachineCondition::MotorImbalance, 0.6),
             (2, MachineCondition::MotorImbalance, 0.6),
             (3, MachineCondition::RefrigerantLeak, 0.4),
-        ] {
-            p.handle_message(&NetMessage::Report(report(id, 1, c, b)), SimTime::ZERO)
-                .unwrap();
-        }
-        p.process_events().unwrap();
+        ]
+        .into_iter()
+        .map(|(id, c, b)| NetMessage::Report(report(id, 1, c, b)))
+        .collect();
+        p.ingest(&msgs, SimTime::ZERO).unwrap();
         let list = p.maintenance_list();
         assert!(!list.is_empty());
         assert_eq!(list[0].condition, MachineCondition::MotorImbalance);
@@ -398,19 +569,21 @@ mod tests {
     #[test]
     fn heartbeats_track_dc_health() {
         let mut p = pdme();
-        p.handle_message(
-            &NetMessage::Heartbeat {
-                dc: DcId::new(1),
-                at_secs: 0.0,
-            },
-            SimTime::ZERO,
-        )
-        .unwrap();
-        p.handle_message(
-            &NetMessage::Heartbeat {
+        let summary = p
+            .ingest(
+                &[NetMessage::Heartbeat {
+                    dc: DcId::new(1),
+                    at_secs: 0.0,
+                }],
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(summary.heartbeats, 1);
+        p.ingest(
+            &[NetMessage::Heartbeat {
                 dc: DcId::new(2),
                 at_secs: 0.0,
-            },
+            }],
             SimTime::from_secs(100.0),
         )
         .unwrap();
@@ -423,21 +596,19 @@ mod tests {
         let mut p = pdme();
         let timeout = SimDuration::from_secs(45.0);
         // Both DCs check in at t=0; only DC 2 keeps reporting.
-        for dc in [1, 2] {
-            p.handle_message(
-                &NetMessage::Heartbeat {
-                    dc: DcId::new(dc),
-                    at_secs: 0.0,
-                },
-                SimTime::ZERO,
-            )
-            .unwrap();
-        }
-        p.handle_message(
-            &NetMessage::Heartbeat {
+        let checkins: Vec<NetMessage> = [1, 2]
+            .into_iter()
+            .map(|dc| NetMessage::Heartbeat {
+                dc: DcId::new(dc),
+                at_secs: 0.0,
+            })
+            .collect();
+        p.ingest(&checkins, SimTime::ZERO).unwrap();
+        p.ingest(
+            &[NetMessage::Heartbeat {
                 dc: DcId::new(2),
                 at_secs: 60.0,
-            },
+            }],
             SimTime::from_secs(60.0),
         )
         .unwrap();
@@ -490,14 +661,20 @@ mod tests {
         let mut p = pdme();
         p.add_resident_algorithm(Box::new(Escalator));
         assert_eq!(p.resident_algorithms(), vec!["escalator"]);
-        p.handle_message(
-            &NetMessage::Report(report(1, 1, MachineCondition::MotorBearingDefect, 0.8)),
-            SimTime::ZERO,
-        )
-        .unwrap();
-        let fused = p.process_events().unwrap();
+        let summary = p
+            .ingest(
+                &[NetMessage::Report(report(
+                    1,
+                    1,
+                    MachineCondition::MotorBearingDefect,
+                    0.8,
+                ))],
+                SimTime::ZERO,
+            )
+            .unwrap();
         // External report + one resident-emitted report.
-        assert_eq!(fused, 2);
+        assert_eq!(summary.posted, 1);
+        assert_eq!(summary.fused, 2);
         let b = p
             .fusion()
             .diagnostic()
@@ -526,12 +703,22 @@ mod tests {
         .collect();
         let batch = NetMessage::ReportBatch {
             dc: DcId::new(1),
+            epoch: 0,
             entries,
         };
-        let fused = p
-            .handle_batch(std::slice::from_ref(&batch), SimTime::from_secs(20.0))
+        let summary = p
+            .ingest(std::slice::from_ref(&batch), SimTime::from_secs(20.0))
             .unwrap();
-        assert_eq!(fused, 3);
+        assert_eq!(summary.posted, 3);
+        assert_eq!(summary.fused, 3);
+        assert_eq!(
+            summary.acks,
+            vec![BatchAck {
+                dc: DcId::new(1),
+                epoch: 0,
+                last_seq: 12
+            }]
+        );
         assert_eq!(p.reports_received(), 3);
         let b = p
             .fusion()
@@ -542,11 +729,22 @@ mod tests {
         let health = p.dc_health(SimTime::from_secs(25.0), SimDuration::from_secs(60.0));
         assert_eq!(health, vec![(DcId::new(1), true)]);
 
-        // Replaying the same frame posts nothing new.
-        let fused = p
-            .handle_batch(std::slice::from_ref(&batch), SimTime::from_secs(30.0))
+        // Replaying the same frame posts nothing new — but is acked
+        // again, because a retransmission means the first ack was lost.
+        let summary = p
+            .ingest(std::slice::from_ref(&batch), SimTime::from_secs(30.0))
             .unwrap();
-        assert_eq!(fused, 0);
+        assert_eq!(summary.posted, 0);
+        assert_eq!(summary.fused, 0);
+        assert_eq!(summary.replays, 3);
+        assert_eq!(
+            summary.acks,
+            vec![BatchAck {
+                dc: DcId::new(1),
+                epoch: 0,
+                last_seq: 12
+            }]
+        );
         assert_eq!(p.reports_received(), 3);
         assert_eq!(
             p.telemetry().counter("pdme", "batch_replays_dropped").get(),
@@ -554,62 +752,188 @@ mod tests {
         );
     }
 
+    fn entry_for(seq: u64, dc: u64) -> mpros_network::BatchEntry {
+        let mut r = report(seq, 1, MachineCondition::MotorImbalance, 0.5);
+        r.dc = DcId::new(dc);
+        mpros_network::BatchEntry { seq, report: r }
+    }
+
     #[test]
     fn batch_replay_guard_is_per_dc() {
-        use mpros_network::BatchEntry;
         let mut p = pdme();
-        let entry = |seq: u64, dc: u64| {
-            let mut r = report(seq, 1, MachineCondition::MotorImbalance, 0.5);
-            r.dc = DcId::new(dc);
-            BatchEntry { seq, report: r }
-        };
-        p.handle_message(
-            &NetMessage::ReportBatch {
+        p.ingest(
+            &[NetMessage::ReportBatch {
                 dc: DcId::new(1),
-                entries: vec![entry(5, 1)],
-            },
+                epoch: 0,
+                entries: vec![entry_for(5, 1)],
+            }],
             SimTime::ZERO,
         )
         .unwrap();
         // A lower sequence from a *different* DC is fresh, not a replay.
-        let posted = p
-            .handle_message(
-                &NetMessage::ReportBatch {
+        let summary = p
+            .ingest(
+                &[NetMessage::ReportBatch {
                     dc: DcId::new(2),
-                    entries: vec![entry(3, 2)],
-                },
+                    epoch: 0,
+                    entries: vec![entry_for(3, 2)],
+                }],
                 SimTime::ZERO,
             )
             .unwrap();
-        assert_eq!(posted, 1);
+        assert_eq!(summary.posted, 1);
         // A partially replayed frame keeps only the new tail.
-        let posted = p
-            .handle_message(
-                &NetMessage::ReportBatch {
+        let summary = p
+            .ingest(
+                &[NetMessage::ReportBatch {
                     dc: DcId::new(1),
-                    entries: vec![entry(5, 1), entry(6, 1)],
-                },
+                    epoch: 0,
+                    entries: vec![entry_for(5, 1), entry_for(6, 1)],
+                }],
                 SimTime::ZERO,
             )
             .unwrap();
-        assert_eq!(posted, 1);
+        assert_eq!(summary.posted, 1);
+        assert_eq!(summary.replays, 1);
         assert_eq!(p.reports_received(), 3);
+    }
+
+    #[test]
+    fn replay_guard_resets_on_a_new_epoch() {
+        let mut p = pdme();
+        // Epoch 0 runs the watermark up to seq 50.
+        p.ingest(
+            &[NetMessage::ReportBatch {
+                dc: DcId::new(1),
+                epoch: 0,
+                entries: vec![entry_for(50, 1)],
+            }],
+            SimTime::ZERO,
+        )
+        .unwrap();
+        // A restarted DC's sequence counter starts over: a *lower*
+        // sequence in a *newer* epoch is fresh, not a replay.
+        let summary = p
+            .ingest(
+                &[NetMessage::ReportBatch {
+                    dc: DcId::new(1),
+                    epoch: 1,
+                    entries: vec![entry_for(3, 1)],
+                }],
+                SimTime::from_secs(10.0),
+            )
+            .unwrap();
+        assert_eq!(summary.posted, 1);
+        assert_eq!(summary.replays, 0);
+        assert_eq!(
+            summary.acks,
+            vec![BatchAck {
+                dc: DcId::new(1),
+                epoch: 1,
+                last_seq: 3
+            }]
+        );
+        // A straggler frame from the dead epoch is pure replay — but
+        // still acked under its own epoch so the sender stops retrying.
+        let summary = p
+            .ingest(
+                &[NetMessage::ReportBatch {
+                    dc: DcId::new(1),
+                    epoch: 0,
+                    entries: vec![entry_for(49, 1)],
+                }],
+                SimTime::from_secs(20.0),
+            )
+            .unwrap();
+        assert_eq!(summary.posted, 0);
+        assert_eq!(summary.replays, 1);
+        assert_eq!(
+            summary.acks,
+            vec![BatchAck {
+                dc: DcId::new(1),
+                epoch: 0,
+                last_seq: 49
+            }]
+        );
+    }
+
+    #[test]
+    fn supervisor_degrades_and_recovers_machines() {
+        let mut p = pdme();
+        let timeout = SimDuration::from_secs(30.0);
+        p.assign_dc(DcId::new(1), vec![MachineId::new(1)], vec![(0, vec![9, 9])]);
+        p.ingest(
+            &[NetMessage::Heartbeat {
+                dc: DcId::new(1),
+                at_secs: 0.0,
+            }],
+            SimTime::ZERO,
+        )
+        .unwrap();
+        assert!(p
+            .supervise(SimTime::from_secs(10.0), timeout)
+            .unwrap()
+            .is_empty());
+        // Silence past the timeout: the machine degrades in the model.
+        assert!(p
+            .supervise(SimTime::from_secs(60.0), timeout)
+            .unwrap()
+            .is_empty());
+        assert_eq!(p.degraded_machines(), vec![MachineId::new(1)]);
+        let obj = p.oosm().machine_object(MachineId::new(1)).unwrap();
+        assert_eq!(
+            p.oosm().property(obj, "status"),
+            Some(Value::Text("degraded".into()))
+        );
+        // Contact again: the SBFR set is re-downloaded...
+        p.ingest(
+            &[NetMessage::Heartbeat {
+                dc: DcId::new(1),
+                at_secs: 70.0,
+            }],
+            SimTime::from_secs(70.0),
+        )
+        .unwrap();
+        let cmds = p.supervise(SimTime::from_secs(70.0), timeout).unwrap();
+        assert_eq!(cmds.len(), 1);
+        assert!(matches!(cmds[0], NetMessage::DownloadSbfr { .. }));
+        // ...but the machine stays degraded until a fresh report lands.
+        assert_eq!(p.degraded_machines(), vec![MachineId::new(1)]);
+        p.ingest(
+            &[NetMessage::Report(report(
+                99,
+                1,
+                MachineCondition::MotorImbalance,
+                0.4,
+            ))],
+            SimTime::from_secs(80.0),
+        )
+        .unwrap();
+        assert!(p.degraded_machines().is_empty());
+        assert_eq!(
+            p.oosm().property(obj, "status"),
+            Some(Value::Text("ok".into()))
+        );
+        assert!(p
+            .telemetry()
+            .events()
+            .iter()
+            .any(|e| e.kind == "machine_recovered"));
     }
 
     #[test]
     fn non_report_messages_are_ignored() {
         let mut p = pdme();
-        let n = p
-            .handle_message(
-                &NetMessage::RunTest {
+        let summary = p
+            .ingest(
+                &[NetMessage::RunTest {
                     dc: DcId::new(1),
                     machine: MachineId::new(1),
-                },
+                }],
                 SimTime::ZERO,
             )
             .unwrap();
-        assert_eq!(n, 0);
-        assert_eq!(p.process_events().unwrap(), 0);
+        assert_eq!(summary, IngestSummary::default());
     }
 
     #[test]

@@ -139,9 +139,7 @@ mod tests {
         .id(ReportId::new(1))
         .severity(0.7)
         .build();
-        p.handle_message(&NetMessage::Report(r), SimTime::ZERO)
-            .unwrap();
-        p.process_events().unwrap();
+        p.ingest(&[NetMessage::Report(r)], SimTime::ZERO).unwrap();
         (p, ship, plant)
     }
 

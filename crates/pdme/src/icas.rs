@@ -16,8 +16,9 @@ use crate::health;
 use mpros_core::{Result, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
-/// Interchange schema version.
-pub const ICAS_SCHEMA_VERSION: u32 = 1;
+/// Interchange schema version. v2 added the per-machine `status` field
+/// (`ok` / `degraded`) surfaced by the fleet supervisor.
+pub const ICAS_SCHEMA_VERSION: u32 = 2;
 
 /// One fused condition entry.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
@@ -46,6 +47,9 @@ pub struct IcasMachine {
     pub name: String,
     /// Rolled-up health (1 = perfect).
     pub health: f64,
+    /// Supervision status: `ok`, or `degraded` while the machine's DC
+    /// is silent (or restarted and not yet re-reporting).
+    pub status: String,
     /// Stored report count.
     pub report_count: usize,
     /// Fused conditions, most urgent first.
@@ -90,6 +94,11 @@ pub fn export_snapshot(
                 .machine_object(machine)
                 .expect("listed machines are registered");
             let name = pdme.oosm().name(obj).unwrap_or_default();
+            let status = pdme
+                .oosm()
+                .property(obj, "status")
+                .and_then(|v| v.as_text().map(str::to_string))
+                .unwrap_or_else(|| "ok".to_string());
             let tree = health::health_of(pdme, obj);
             let conditions = list
                 .iter()
@@ -107,6 +116,7 @@ pub fn export_snapshot(
                 machine_id: machine.raw(),
                 name,
                 health: tree.health,
+                status,
                 report_count: pdme.reports_for_machine(machine).len(),
                 conditions,
             }
@@ -165,9 +175,8 @@ mod tests {
         .severity(0.6)
         .prognostic(PrognosticVector::from_months(&[(1.0, 0.6)]).unwrap())
         .build();
-        p.handle_message(&NetMessage::Report(r), SimTime::from_secs(10.0))
+        p.ingest(&[NetMessage::Report(r)], SimTime::from_secs(10.0))
             .unwrap();
-        p.process_events().unwrap();
         p
     }
 
@@ -190,6 +199,8 @@ mod tests {
         let m2 = &snap.machines[1];
         assert_eq!(m2.health, 1.0);
         assert!(m2.conditions.is_empty());
+        // No supervision marks: every machine reads `ok`.
+        assert!(snap.machines.iter().all(|m| m.status == "ok"));
         // DC liveness from the report's heartbeat side effect.
         assert_eq!(
             snap.data_concentrators,
@@ -198,6 +209,21 @@ mod tests {
                 alive: true
             }]
         );
+    }
+
+    #[test]
+    fn degraded_machines_surface_in_the_export() {
+        let mut p = populated();
+        p.assign_dc(DcId::new(1), vec![MachineId::new(1)], Vec::new());
+        p.supervise(SimTime::from_secs(200.0), SimDuration::from_secs(60.0))
+            .unwrap();
+        let snap = export_snapshot(&p, SimTime::from_secs(200.0), SimDuration::from_secs(60.0));
+        assert_eq!(snap.machines[0].status, "degraded");
+        assert_eq!(
+            snap.machines[1].status, "ok",
+            "unassigned machine untouched"
+        );
+        assert!(!snap.data_concentrators[0].alive);
     }
 
     #[test]

@@ -28,10 +28,12 @@ pub mod historian;
 pub mod icas;
 pub mod resident;
 pub mod shared;
+pub mod supervisor;
 
-pub use executive::{PdmeExecutive, ResidentAlgorithm};
+pub use executive::{BatchAck, IngestSummary, PdmeExecutive, ResidentAlgorithm};
 pub use health::{health_of, HealthReport};
 pub use historian::Historian;
 pub use icas::{export_snapshot, IcasSnapshot};
 pub use resident::{FlowCorrelator, SpatialCorrelator};
 pub use shared::SharedPdme;
+pub use supervisor::{Assignment, Supervisor};

@@ -204,13 +204,12 @@ mod tests {
         p.add_resident_algorithm(Box::new(SpatialCorrelator::new()));
         // Build the strong belief on the motor first.
         for id in 1..=3 {
-            p.handle_message(
-                &report(id, 1, MachineCondition::MotorBearingDefect, 0.7),
+            p.ingest(
+                &[report(id, 1, MachineCondition::MotorBearingDefect, 0.7)],
                 SimTime::ZERO,
             )
             .unwrap();
         }
-        p.process_events().unwrap();
         p
     }
 
@@ -218,12 +217,16 @@ mod tests {
     fn weak_neighbour_report_triggers_advisory() {
         let mut p = rigged();
         // A weak bearing hint on the pump (same Bearings group).
-        p.handle_message(
-            &report(10, 2, MachineCondition::CompressorBearingDefect, 0.3),
+        p.ingest(
+            &[report(
+                10,
+                2,
+                MachineCondition::CompressorBearingDefect,
+                0.3,
+            )],
             SimTime::ZERO,
         )
         .unwrap();
-        p.process_events().unwrap();
         let motor_reports = p.reports_for_machine(MachineId::new(1));
         let advisory = motor_reports
             .iter()
@@ -236,12 +239,16 @@ mod tests {
     #[test]
     fn strong_reports_are_not_second_guessed() {
         let mut p = rigged();
-        p.handle_message(
-            &report(10, 2, MachineCondition::CompressorBearingDefect, 0.8),
+        p.ingest(
+            &[report(
+                10,
+                2,
+                MachineCondition::CompressorBearingDefect,
+                0.8,
+            )],
             SimTime::ZERO,
         )
         .unwrap();
-        p.process_events().unwrap();
         assert!(!p
             .reports_for_machine(MachineId::new(1))
             .iter()
@@ -251,12 +258,11 @@ mod tests {
     #[test]
     fn process_faults_do_not_trigger_the_spatial_correlator() {
         let mut p = rigged();
-        p.handle_message(
-            &report(10, 2, MachineCondition::RefrigerantLeak, 0.2),
+        p.ingest(
+            &[report(10, 2, MachineCondition::RefrigerantLeak, 0.2)],
             SimTime::ZERO,
         )
         .unwrap();
-        p.process_events().unwrap();
         assert!(!p
             .reports_for_machine(MachineId::new(1))
             .iter()
@@ -272,12 +278,11 @@ mod tests {
         let m2 = p.oosm().machine_object(MachineId::new(2)).unwrap();
         p.oosm_mut().relate(m1, Relation::FlowsTo, m2).unwrap();
         p.add_resident_algorithm(Box::new(FlowCorrelator::new()));
-        p.handle_message(
-            &report(1, 1, MachineCondition::CondenserFouling, 0.85),
+        p.ingest(
+            &[report(1, 1, MachineCondition::CondenserFouling, 0.85)],
             SimTime::ZERO,
         )
         .unwrap();
-        p.process_events().unwrap();
         let downstream = p.reports_for_machine(MachineId::new(2));
         let advisory = downstream
             .iter()
@@ -292,12 +297,11 @@ mod tests {
         let b = p2.oosm().machine_object(MachineId::new(2)).unwrap();
         p2.oosm_mut().relate(a, Relation::FlowsTo, b).unwrap();
         p2.add_resident_algorithm(Box::new(FlowCorrelator::new()));
-        p2.handle_message(
-            &report(1, 1, MachineCondition::CondenserFouling, 0.3),
+        p2.ingest(
+            &[report(1, 1, MachineCondition::CondenserFouling, 0.3)],
             SimTime::ZERO,
         )
         .unwrap();
-        p2.process_events().unwrap();
         assert!(p2.reports_for_machine(MachineId::new(2)).is_empty());
     }
 
@@ -306,12 +310,16 @@ mod tests {
         // The advisory itself (dc = PDME_RESIDENT_DC) must not re-enter
         // the resident pass and multiply.
         let mut p = rigged();
-        p.handle_message(
-            &report(10, 2, MachineCondition::CompressorBearingDefect, 0.3),
+        p.ingest(
+            &[report(
+                10,
+                2,
+                MachineCondition::CompressorBearingDefect,
+                0.3,
+            )],
             SimTime::ZERO,
         )
         .unwrap();
-        p.process_events().unwrap();
         let n = p
             .reports_for_machine(MachineId::new(1))
             .iter()

@@ -7,7 +7,7 @@
 //! the coarse lock is appropriate because every operation is
 //! microseconds-scale (see the `pdme_scale` bench).
 
-use crate::executive::PdmeExecutive;
+use crate::executive::{IngestSummary, PdmeExecutive};
 use mpros_core::{MachineId, Result, SimTime};
 use mpros_fusion::MaintenanceItem;
 use mpros_network::NetMessage;
@@ -46,8 +46,16 @@ impl SharedPdme {
         self.inner.lock().register_machine(machine, name);
     }
 
-    /// Ingest one network message (thread-safe).
+    /// Ingest a slice of network messages and run the fusion pass, all
+    /// under the lock (thread-safe).
+    pub fn ingest(&self, msgs: &[NetMessage], now: SimTime) -> Result<IngestSummary> {
+        self.inner.lock().ingest(msgs, now)
+    }
+
+    /// Ingest one network message without fusing (thread-safe).
+    #[deprecated(since = "0.4.0", note = "use `ingest`, which also returns batch acks")]
     pub fn handle_message(&self, msg: &NetMessage, now: SimTime) -> Result<usize> {
+        #[allow(deprecated)]
         self.inner.lock().handle_message(msg, now)
     }
 
@@ -106,7 +114,7 @@ mod tests {
                     for i in 0..per_thread {
                         let id = (t * per_thread + i) as u64;
                         handle
-                            .handle_message(&report(id, t as u64 + 1, 0.5), SimTime::ZERO)
+                            .ingest(&[report(id, t as u64 + 1, 0.5)], SimTime::ZERO)
                             .expect("handled");
                     }
                 });
@@ -114,8 +122,8 @@ mod tests {
         })
         .expect("threads join");
         assert_eq!(pdme.reports_received(), threads * per_thread);
-        let fused = pdme.process_events().expect("processed");
-        assert_eq!(fused, threads * per_thread);
+        // `ingest` fuses under the lock, so nothing is left pending.
+        assert_eq!(pdme.process_events().expect("processed"), 0);
         // Every machine accumulated dead-certain bearing belief.
         let list = pdme.maintenance_list();
         assert_eq!(list.len(), threads);
@@ -130,9 +138,8 @@ mod tests {
             let w = pdme.clone();
             s.spawn(move |_| {
                 for i in 0..100 {
-                    w.handle_message(&report(i, 1, 0.4), SimTime::ZERO)
+                    w.ingest(&[report(i, 1, 0.4)], SimTime::ZERO)
                         .expect("handled");
-                    w.process_events().expect("processed");
                 }
             });
             let r = pdme.clone();

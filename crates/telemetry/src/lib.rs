@@ -46,6 +46,23 @@ use std::time::Duration;
 /// Default journal capacity.
 const DEFAULT_JOURNAL_CAPACITY: usize = 256;
 
+/// A component that records into a [`Telemetry`] domain.
+///
+/// Every MPROS component is born observing a private domain and joins
+/// the scenario's shared one at wiring time. Implementations of
+/// [`Instrumented::set_telemetry`] must be **carry-over** joins: counter
+/// totals accumulated in the old domain are added into the new domain's
+/// counters so no activity is lost, and joining the domain the
+/// component already observes is a no-op. Call at wiring time, before
+/// traffic flows, so histograms stay complete.
+pub trait Instrumented {
+    /// Join a shared telemetry domain, carrying totals over.
+    fn set_telemetry(&mut self, telemetry: &Telemetry);
+
+    /// The telemetry domain the component currently records into.
+    fn telemetry(&self) -> &Telemetry;
+}
+
 #[derive(Debug)]
 struct Inner {
     registry: Registry,

@@ -81,10 +81,9 @@ fn main() -> mpros::core::Result<()> {
         (3, 2, MachineCondition::CompressorBearingDefect, 0.3),
         (4, 3, MachineCondition::CondenserFouling, 0.85),
     ] {
-        pdme.handle_message(&report(id, machine, condition, belief), SimTime::ZERO)?;
-        // Process per arrival: the correlators read the *surfaced* fused
-        // beliefs, which update at the end of each processing pass.
-        pdme.process_events()?;
+        // Ingest per arrival: the correlators read the *surfaced* fused
+        // beliefs, which update at the end of each ingest pass.
+        pdme.ingest(&[report(id, machine, condition, belief)], SimTime::ZERO)?;
     }
 
     // Readiness tree.

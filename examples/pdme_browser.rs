@@ -63,12 +63,11 @@ fn main() -> mpros::core::Result<()> {
         if !prog.is_empty() {
             b = b.prognostic(PrognosticVector::from_months(prog)?);
         }
-        pdme.handle_message(
-            &NetMessage::Report(b.build()),
+        pdme.ingest(
+            &[NetMessage::Report(b.build())],
             SimTime::from_secs(id as f64 * 60.0),
         )?;
     }
-    pdme.process_events()?;
 
     print!("{}", browser::machine_view(&pdme, MachineId::new(1)));
     println!();

@@ -23,6 +23,12 @@ cargo test -q
 echo "==> determinism equivalence, release (sequential vs parallel)"
 cargo test --release -q --test parallel_determinism
 
+# The survivability contract, in release: a seeded crash/partition/stall
+# campaign must degrade visibly, retry across the outages with zero
+# expired batches, and converge back to the no-fault baseline.
+echo "==> fault recovery suite, release"
+cargo test --release -q --test fault_recovery
+
 # Fleet-stepping throughput at 1 and 4 workers. On hosts with < 4 cores
 # the speedup is recorded but not judged (E7.4 is conditional), so this
 # stays green on single-core CI runners.
@@ -30,5 +36,11 @@ echo "==> exp_throughput --workers 1"
 cargo run --release -p mpros-bench --bin exp_throughput -- --workers 1 > /dev/null
 echo "==> exp_throughput --workers 4"
 cargo run --release -p mpros-bench --bin exp_throughput -- --workers 4
+
+# The same fleet measurement under the lossy fault profile: drops plus
+# a seeded campaign of crashes/partitions/dropouts. Leaves the retry /
+# expiry counters in BENCH_throughput.json.
+echo "==> exp_throughput --fault-profile lossy"
+cargo run --release -p mpros-bench --bin exp_throughput -- --workers 4 --fault-profile lossy
 
 echo "CI OK"

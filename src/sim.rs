@@ -12,35 +12,65 @@
 //! Every tick runs the same four phases regardless of [`ExecMode`]:
 //!
 //! 1. **Deliver** — each DC's command inbox is drained, in ascending
-//!    DC-index order.
-//! 2. **Execute** — each DC applies its commands and runs everything
-//!    due at `now` against its plant ([`DataConcentrator::step`]).
-//!    Sequentially this happens inline; in parallel mode it is
-//!    scattered across the [`WorkerPool`].
-//! 3. **Merge** — each DC's report buffer is sent to the PDME as one
-//!    batched frame, followed by its heartbeat if due, again in
-//!    ascending DC-index order. Frames sent at `now` deliver strictly
-//!    after `now` (the network's base latency is positive), so nothing
-//!    a DC sends this tick can be received this tick — phase 2's
-//!    outputs cannot feed back into phase 2.
-//! 4. **Fuse** — the PDME drains its inbox and runs one fusion pass.
+//!    DC-index order. Transport [`NetMessage::Ack`] frames are consumed
+//!    here (they release the DC's outbox); everything else is queued as
+//!    a command for phase 2. A crashed DC's deliveries are discarded
+//!    with the node.
+//! 2. **Execute** — each live DC applies its commands and runs
+//!    everything due at `now` against its plant
+//!    ([`DataConcentrator::step`]). Sequentially this happens inline;
+//!    in parallel mode it is scattered across the [`WorkerPool`].
+//! 3. **Merge** — each live DC's report buffer is parked in its
+//!    network outbox as one batched frame, its heartbeat posted if due,
+//!    again in ascending DC-index order; then every due outbox frame
+//!    (first sends and backoff retries alike) goes on the wire in DC
+//!    order. Frames sent at `now` deliver strictly after `now` (the
+//!    network's base latency is positive), so nothing a DC sends this
+//!    tick can be received this tick — phase 2's outputs cannot feed
+//!    back into phase 2.
+//! 4. **Fuse** — unless a fault window has the PDME stalled, the PDME
+//!    drains its inbox through [`PdmeExecutive::ingest`], posts the
+//!    resulting acks back to the DCs, and runs a supervision pass that
+//!    degrades silent DCs' machines and re-downloads SBFR sets into
+//!    recovered ones.
 //!
 //! The only cross-DC coupling is the ship network's RNG (jitter and
-//! drop draws, consumed in `send` order); phase 3 pins that order to
-//! the DC index, so the simulation state — PDME, fusion, OOSM, ICAS
-//! exports — is byte-for-byte identical under any worker count.
+//! drop draws, consumed in `post` order); phase 3 pins that order to
+//! the DC index, and per-DC retry jitter comes from each DC's own
+//! stream, so the simulation state — PDME, fusion, OOSM, ICAS exports —
+//! is byte-for-byte identical under any worker count, with or without a
+//! [`FaultPlan`].
+//!
+//! # Fault injection
+//!
+//! A [`FaultPlan`] schedules §4.9-style adversity against simulated
+//! time; [`ShipboardSim::step`] applies its transitions at the top of
+//! every tick, in the plan's deterministic order:
+//!
+//! * **DC crash** — the DC's endpoint goes dark and its volatile state
+//!   (detectors, id allocator, outbox) is lost. At the window's end the
+//!   DC is rebuilt from its original config and rejoins under a new
+//!   batch epoch; the PDME re-downloads its SBFR machine set once the
+//!   supervisor sees it alive again.
+//! * **Sensor dropout** — one acquisition channel flatlines for the
+//!   window (the §4.9 broken-transducer case).
+//! * **PDME stall** — phase 4 is skipped; frames queue in the network
+//!   until the stall lifts.
+//! * **Partition** — an endpoint is unreachable; report frames ride out
+//!   the window in their outbox on exponential backoff.
 
 use crate::exec::{StepJob, WorkerPool};
 use mpros_chiller::fault::FaultSeed;
 use mpros_chiller::plant::PlantConfig;
 use mpros_chiller::ChillerPlant;
 use mpros_core::{
-    derive_stream_seed, ConditionReport, DcId, MachineId, Result, SimClock, SimDuration, SimTime,
+    derive_stream_seed, ConditionReport, DcId, FaultKind, FaultPlan, FaultTarget, FaultTransition,
+    MachineId, Result, SimClock, SimDuration, SimTime,
 };
-use mpros_dc::{DataConcentrator, DcConfig};
-use mpros_network::{Endpoint, NetMessage, NetworkConfig, ShipNetwork};
+use mpros_dc::{DataConcentrator, DcConfig, SensorFault};
+use mpros_network::{Endpoint, Envelope, NetMessage, NetworkConfig, ShipNetwork};
 use mpros_pdme::PdmeExecutive;
-use mpros_telemetry::{Stage, Telemetry, WallTimer};
+use mpros_telemetry::{Instrumented, Stage, Telemetry, WallTimer};
 use parking_lot::{Mutex, MutexGuard};
 use std::sync::Arc;
 
@@ -51,13 +81,19 @@ pub use crate::exec::ExecMode;
 pub struct ShipboardSimConfig {
     /// Number of chiller plants / Data Concentrators.
     pub dc_count: usize,
-    /// Master seed. Every per-DC stream (plant noise, fault evolution)
-    /// derives its own seed from `(seed, dc_id)` via
+    /// Master seed. Every per-DC stream (plant noise, fault evolution,
+    /// retry jitter) derives its own seed from `(seed, dc_id)` via
     /// [`derive_stream_seed`], so streams are statistically independent
     /// and adding a DC never perturbs the others.
     pub seed: u64,
     /// Network behaviour.
     pub network: NetworkConfig,
+    /// Scheduled adversity (crashes, dropouts, stalls, partitions);
+    /// [`FaultPlan::none`] for a calm sea.
+    pub fault_plan: FaultPlan,
+    /// How long the PDME supervisor lets a DC stay silent before its
+    /// machines are marked degraded.
+    pub dc_timeout: SimDuration,
     /// Vibration-survey period per DC.
     pub survey_period: SimDuration,
     /// DC heartbeat period.
@@ -72,6 +108,8 @@ impl Default for ShipboardSimConfig {
             dc_count: 1,
             seed: 7,
             network: NetworkConfig::default(),
+            fault_plan: FaultPlan::none(),
+            dc_timeout: SimDuration::from_secs(30.0),
             survey_period: SimDuration::from_secs(30.0),
             heartbeat_period: SimDuration::from_secs(10.0),
             exec: ExecMode::Sequential,
@@ -84,6 +122,13 @@ pub struct ShipboardSim {
     plants: Vec<Arc<Mutex<ChillerPlant>>>,
     dcs: Vec<Arc<Mutex<DataConcentrator>>>,
     dc_ids: Vec<DcId>,
+    dc_configs: Vec<DcConfig>,
+    /// Per-DC restart epoch; bumped every time a crash window ends.
+    epochs: Vec<u64>,
+    crashed: Vec<bool>,
+    stalled: bool,
+    fault_plan: FaultPlan,
+    dc_timeout: SimDuration,
     network: ShipNetwork,
     pdme: PdmeExecutive,
     clock: SimClock,
@@ -95,9 +140,10 @@ pub struct ShipboardSim {
 
 impl ShipboardSim {
     /// Build the ship: `dc_count` chillers with their DCs, the network,
-    /// and the PDME with every machine registered in its ship model.
-    /// In [`ExecMode::Parallel`] the worker pool is spawned here and
-    /// lives as long as the simulation.
+    /// and the PDME with every machine registered in its ship model and
+    /// every DC's station (machines + SBFR set) on file with the
+    /// supervisor. In [`ExecMode::Parallel`] the worker pool is spawned
+    /// here and lives as long as the simulation.
     pub fn new(config: ShipboardSimConfig) -> Result<Self> {
         // One shared observability domain for the whole ship: every
         // component joins it at wiring time, before any traffic flows.
@@ -107,9 +153,11 @@ impl ShipboardSim {
         network.register(Endpoint::Pdme);
         let mut pdme = PdmeExecutive::new();
         pdme.set_telemetry(&telemetry);
+        let sbfr_images = DataConcentrator::default_sbfr_images()?;
         let mut plants = Vec::with_capacity(config.dc_count);
         let mut dcs = Vec::with_capacity(config.dc_count);
         let mut dc_ids = Vec::with_capacity(config.dc_count);
+        let mut dc_configs = Vec::with_capacity(config.dc_count);
         for i in 0..config.dc_count {
             let machine = MachineId::new(i as u64 + 1);
             let dc_id = DcId::new(i as u64 + 1);
@@ -117,14 +165,15 @@ impl ShipboardSim {
                 machine,
                 derive_stream_seed(config.seed, dc_id.raw()),
             )))));
-            let mut dc_cfg = DcConfig::new(dc_id, machine);
-            dc_cfg.survey_period = config.survey_period;
-            let mut dc = DataConcentrator::new(dc_cfg)?;
+            let dc_cfg = DcConfig::new(dc_id, machine).with_survey_period(config.survey_period);
+            let mut dc = DataConcentrator::new(dc_cfg.clone())?;
             dc.set_telemetry(&telemetry);
             dcs.push(Arc::new(Mutex::new(dc)));
             dc_ids.push(dc_id);
+            dc_configs.push(dc_cfg);
             network.register(Endpoint::Dc(dc_id));
             pdme.register_machine(machine, &format!("A/C Plant {} Chiller", i + 1));
+            pdme.assign_dc(dc_id, vec![machine], sbfr_images.clone());
         }
         let pool = match config.exec {
             ExecMode::Sequential => None,
@@ -137,9 +186,15 @@ impl ShipboardSim {
         };
         Ok(ShipboardSim {
             last_heartbeat: vec![SimTime::ZERO - config.heartbeat_period; config.dc_count],
+            epochs: vec![0; config.dc_count],
+            crashed: vec![false; config.dc_count],
+            stalled: false,
+            fault_plan: config.fault_plan,
+            dc_timeout: config.dc_timeout,
             plants,
             dcs,
             dc_ids,
+            dc_configs,
             network,
             pdme,
             clock: SimClock::new(),
@@ -191,9 +246,34 @@ impl ShipboardSim {
         &mut self.network
     }
 
+    /// The network, immutably (stats, outbox depths).
+    pub fn network(&self) -> &ShipNetwork {
+        &self.network
+    }
+
     /// One DC, for configuration (ablation switches, WNN attachment).
     pub fn dc_mut(&mut self, idx: usize) -> MutexGuard<'_, DataConcentrator> {
         self.dcs[idx].lock()
+    }
+
+    /// The scheduled fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// True while DC `idx` is inside a crash window.
+    pub fn is_crashed(&self, idx: usize) -> bool {
+        self.crashed[idx]
+    }
+
+    /// DC `idx`'s restart epoch (0 until its first crash recovery).
+    pub fn dc_epoch(&self, idx: usize) -> u64 {
+        self.epochs[idx]
+    }
+
+    /// True while a fault window has the PDME stalled.
+    pub fn is_pdme_stalled(&self) -> bool {
+        self.stalled
     }
 
     /// Seed a fault on plant `idx`.
@@ -203,34 +283,149 @@ impl ShipboardSim {
 
     /// Send a PDME-side command to a DC over the network.
     pub fn send_command(&mut self, dc_idx: usize, msg: &NetMessage) -> Result<()> {
-        let to = Endpoint::Dc(self.dc_ids[dc_idx]);
-        self.network.send(self.clock.now(), Endpoint::Pdme, to, msg)
+        let envelope = Envelope::to_dc(self.dc_ids[dc_idx], msg.clone());
+        self.network.post(self.clock.now(), envelope)
+    }
+
+    fn dc_index(&self, dc: DcId) -> usize {
+        self.dc_ids
+            .iter()
+            .position(|&id| id == dc)
+            .expect("fault plans target configured DCs")
+    }
+
+    /// Apply every fault-plan transition in `(prev, now]`, in the
+    /// plan's deterministic order (control thread only, so the state
+    /// and RNG effects are identical across execution modes).
+    fn apply_fault_transitions(&mut self, prev: SimTime, now: SimTime) -> Result<()> {
+        let transitions = self.fault_plan.transitions(prev, now);
+        for transition in transitions {
+            match transition {
+                FaultTransition::Start(FaultKind::DcCrash { dc }) => {
+                    let idx = self.dc_index(dc);
+                    if !self.crashed[idx] {
+                        self.crashed[idx] = true;
+                        self.network.crash_dc(dc);
+                    }
+                }
+                FaultTransition::End(FaultKind::DcCrash { dc }) => {
+                    let idx = self.dc_index(dc);
+                    if !self.crashed[idx] {
+                        continue;
+                    }
+                    // The restarted process is a *fresh* DC: volatile
+                    // detectors, schedules and id allocator reset; the
+                    // SBFR set comes back via the PDME supervisor.
+                    let mut fresh = DataConcentrator::new(self.dc_configs[idx].clone())?;
+                    fresh.set_telemetry(&self.telemetry);
+                    // Harness-held fault state outlives the process:
+                    // re-break any channel still inside a dropout window.
+                    for window in self.fault_plan.windows() {
+                        if let FaultKind::SensorDropout { dc: d, channel } = window.kind {
+                            if d == dc && window.active_at(now) {
+                                fresh
+                                    .chain_mut()
+                                    .fail_sensor(channel, SensorFault::Flatline)?;
+                            }
+                        }
+                    }
+                    *self.dcs[idx].lock() = fresh;
+                    self.crashed[idx] = false;
+                    self.epochs[idx] += 1;
+                    self.network.restart_dc(dc, self.epochs[idx]);
+                    // A partition window may still cover the endpoint.
+                    if self.fault_plan.any_active(now, |k| {
+                        matches!(k, FaultKind::Partition { target: FaultTarget::Dc(d) } if *d == dc)
+                    }) {
+                        self.network.set_partitioned(Endpoint::Dc(dc), true);
+                    }
+                }
+                FaultTransition::Start(FaultKind::SensorDropout { dc, channel }) => {
+                    let idx = self.dc_index(dc);
+                    if !self.crashed[idx] {
+                        self.dcs[idx]
+                            .lock()
+                            .chain_mut()
+                            .fail_sensor(channel, SensorFault::Flatline)?;
+                    }
+                }
+                FaultTransition::End(FaultKind::SensorDropout { dc, channel }) => {
+                    let idx = self.dc_index(dc);
+                    if !self.crashed[idx] {
+                        self.dcs[idx].lock().chain_mut().repair_sensor(channel)?;
+                    }
+                }
+                FaultTransition::Start(FaultKind::PdmeStall) => {
+                    self.stalled = true;
+                    self.telemetry
+                        .event_at(now, "sim", "pdme_stall", "fusion pass suspended");
+                }
+                FaultTransition::End(FaultKind::PdmeStall) => {
+                    self.stalled = false;
+                    self.telemetry
+                        .event_at(now, "sim", "pdme_resume", "fusion pass resumed");
+                }
+                FaultTransition::Start(FaultKind::Partition { target }) => {
+                    self.network.set_partitioned(endpoint_of(target), true);
+                }
+                FaultTransition::End(FaultKind::Partition { target }) => {
+                    // A crashed DC stays dark until its own restart.
+                    if let FaultTarget::Dc(dc) = target {
+                        if self.crashed[self.dc_index(dc)] {
+                            continue;
+                        }
+                    }
+                    self.network.set_partitioned(endpoint_of(target), false);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Advance the whole ship by `dt` through the four execution-model
-    /// phases (see the module docs): deliver commands, execute every
-    /// DC's step (inline or scattered across the pool), merge reports
-    /// and heartbeats onto the network in DC-index order, and run the
-    /// PDME's event-driven fusion. Returns the number of reports the
-    /// PDME fused this step.
+    /// phases (see the module docs), applying any fault-plan
+    /// transitions first. Returns the number of reports the PDME fused
+    /// this step (0 while the PDME is stalled).
     pub fn step(&mut self, dt: SimDuration) -> Result<usize> {
+        let prev = self.clock.now();
         self.clock.advance(dt);
         let now = self.clock.now();
         self.telemetry.set_sim_now(now);
+        self.apply_fault_transitions(prev, now)?;
 
-        // Phase 1: deliver pending commands, in DC-index order.
-        let commands: Vec<Vec<NetMessage>> = self
-            .dc_ids
-            .iter()
-            .map(|&id| self.network.recv(Endpoint::Dc(id), now))
-            .collect();
+        // Phase 1: deliver pending traffic, in DC-index order. Acks are
+        // transport-level and consumed here; a crashed DC's deliveries
+        // die with the node.
+        let mut commands: Vec<Vec<NetMessage>> = Vec::with_capacity(self.dc_ids.len());
+        for (i, &id) in self.dc_ids.iter().enumerate() {
+            let delivered = self.network.recv(Endpoint::Dc(id), now);
+            let mut rest = Vec::new();
+            for msg in delivered {
+                if self.crashed[i] {
+                    continue;
+                }
+                match msg {
+                    NetMessage::Ack {
+                        dc,
+                        epoch,
+                        last_seq,
+                    } => {
+                        self.network.acknowledge(dc, epoch, last_seq);
+                    }
+                    other => rest.push(other),
+                }
+            }
+            commands.push(rest);
+        }
 
-        // Phase 2: execute per-DC steps.
+        // Phase 2: execute per-DC steps for every live DC.
+        let live = |i: &usize| !self.crashed[*i];
         let outputs: Vec<(usize, Result<Vec<ConditionReport>>)> = match &self.pool {
             Some(pool) => {
                 let jobs = commands
                     .into_iter()
                     .enumerate()
+                    .filter(|(i, _)| live(i))
                     .map(|(dc_index, commands)| StepJob {
                         dc_index,
                         now,
@@ -242,6 +437,7 @@ impl ShipboardSim {
             None => commands
                 .into_iter()
                 .enumerate()
+                .filter(|(i, _)| live(i))
                 .map(|(i, commands)| {
                     let timer = WallTimer::start();
                     let result = {
@@ -256,31 +452,59 @@ impl ShipboardSim {
                 .collect(),
         };
 
-        // Phase 3: merge into the network in DC-index order — reports
-        // first (one batched frame per DC), then the heartbeat if due.
-        // This fixes the network RNG's draw order independently of
-        // which worker finished first.
+        // Phase 3: merge into the network in DC-index order — each DC's
+        // reports parked in its outbox as one batched frame, then the
+        // heartbeat if due — and pump every due outbox frame onto the
+        // wire. This fixes the network RNG's draw order independently
+        // of which worker finished first.
         for (i, reports) in outputs {
             let reports = reports?;
             self.network
-                .send_report_batch(now, self.dc_ids[i], reports)?;
+                .enqueue_report_batch(now, self.dc_ids[i], reports)?;
             if now.since(self.last_heartbeat[i]) >= self.heartbeat_period {
                 self.last_heartbeat[i] = now;
-                self.network.send(
+                self.network.post(
                     now,
-                    Endpoint::Dc(self.dc_ids[i]),
-                    Endpoint::Pdme,
-                    &NetMessage::Heartbeat {
-                        dc: self.dc_ids[i],
-                        at_secs: now.as_secs(),
-                    },
+                    Envelope::to_pdme(
+                        self.dc_ids[i],
+                        NetMessage::Heartbeat {
+                            dc: self.dc_ids[i],
+                            at_secs: now.as_secs(),
+                        },
+                    ),
                 )?;
             }
         }
+        self.network.pump_outboxes(now)?;
 
-        // Phase 4: one PDME ingest + fusion pass over everything due.
+        // Phase 4: one PDME ingest + fusion pass over everything due,
+        // acks back onto the wire, then a supervision pass. A stalled
+        // PDME leaves its inbox queueing.
+        if self.stalled {
+            return Ok(0);
+        }
         let msgs = self.network.recv(Endpoint::Pdme, now);
-        self.pdme.handle_batch(&msgs, now)
+        let summary = self.pdme.ingest(&msgs, now)?;
+        for ack in &summary.acks {
+            self.network.post(
+                now,
+                Envelope::to_dc(
+                    ack.dc,
+                    NetMessage::Ack {
+                        dc: ack.dc,
+                        epoch: ack.epoch,
+                        last_seq: ack.last_seq,
+                    },
+                ),
+            )?;
+        }
+        for cmd in self.pdme.supervise(now, self.dc_timeout)? {
+            let NetMessage::DownloadSbfr { dc, .. } = &cmd else {
+                continue;
+            };
+            self.network.post(now, Envelope::to_dc(*dc, cmd))?;
+        }
+        Ok(summary.fused)
     }
 
     /// Run for `duration` in steps of `dt`; returns total reports fused.
@@ -291,5 +515,12 @@ impl ShipboardSim {
             fused += self.step(dt)?;
         }
         Ok(fused)
+    }
+}
+
+fn endpoint_of(target: FaultTarget) -> Endpoint {
+    match target {
+        FaultTarget::Dc(dc) => Endpoint::Dc(dc),
+        FaultTarget::Pdme => Endpoint::Pdme,
     }
 }

@@ -51,7 +51,7 @@ fn live_run_exports_a_consumable_snapshot() {
     assert_eq!(parsed, snap);
     // A consumer that only knows JSON finds the essentials.
     let value: serde_json::Value = serde_json::from_str(&json).unwrap();
-    assert_eq!(value["schema_version"], 1);
+    assert_eq!(value["schema_version"], ICAS_SCHEMA_VERSION);
     assert!(value["machines"].as_array().unwrap().len() == 2);
 }
 

@@ -12,10 +12,7 @@ fn lossy_sim(drop_probability: f64) -> ShipboardSim {
         dc_count: 1,
         seed: 9,
         survey_period: SimDuration::from_secs(20.0),
-        network: NetworkConfig {
-            drop_probability,
-            ..Default::default()
-        },
+        network: NetworkConfig::default().with_drop_probability(drop_probability),
         ..Default::default()
     })
     .unwrap();

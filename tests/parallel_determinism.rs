@@ -17,7 +17,7 @@
 //!   interleaving legitimately varies with worker scheduling.
 
 use mpros::chiller::fault::{FaultProfile, FaultSeed};
-use mpros::core::{MachineCondition, SimDuration, SimTime};
+use mpros::core::{DcId, FaultPlan, FaultTarget, MachineCondition, SimDuration, SimTime};
 use mpros::network::NetworkConfig;
 use mpros::pdme::export_snapshot;
 use mpros::sim::{ExecMode, ShipboardSim, ShipboardSimConfig};
@@ -29,6 +29,7 @@ struct Scenario {
     dc_count: usize,
     seed: u64,
     network: NetworkConfig,
+    fault_plan: FaultPlan,
     faults: Vec<(usize, FaultSeed)>,
     minutes: f64,
 }
@@ -41,6 +42,7 @@ fn scenarios() -> Vec<Scenario> {
             dc_count: 4,
             seed: 11,
             network: NetworkConfig::default(),
+            fault_plan: FaultPlan::none(),
             faults: vec![
                 (
                     0,
@@ -69,11 +71,10 @@ fn scenarios() -> Vec<Scenario> {
             name: "lossy-net-one-fault",
             dc_count: 3,
             seed: 99,
-            network: NetworkConfig {
-                drop_probability: 0.15,
-                jitter: SimDuration::from_millis(4.0),
-                ..NetworkConfig::default()
-            },
+            network: NetworkConfig::default()
+                .with_drop_probability(0.15)
+                .with_jitter(SimDuration::from_millis(4.0)),
+            fault_plan: FaultPlan::none(),
             faults: vec![(
                 1,
                 FaultSeed {
@@ -84,6 +85,43 @@ fn scenarios() -> Vec<Scenario> {
                 },
             )],
             minutes: 3.0,
+        },
+        // Full adversity: a crash/restart cycle, a partition riding the
+        // outbox retry path, a flatlined sensor and a PDME stall — the
+        // survivability machinery itself must stay mode-invariant.
+        Scenario {
+            name: "fault-plan-crash-partition",
+            dc_count: 3,
+            seed: 23,
+            network: NetworkConfig::default(),
+            fault_plan: FaultPlan::none()
+                .with_dc_crash(
+                    DcId::new(2),
+                    SimTime::from_secs(40.0),
+                    SimTime::from_secs(75.0),
+                )
+                .with_partition(
+                    FaultTarget::Dc(DcId::new(3)),
+                    SimTime::from_secs(60.0),
+                    SimTime::from_secs(95.0),
+                )
+                .with_sensor_dropout(
+                    DcId::new(1),
+                    1,
+                    SimTime::from_secs(30.0),
+                    SimTime::from_secs(90.0),
+                )
+                .with_pdme_stall(SimTime::from_secs(100.0), SimTime::from_secs(115.0)),
+            faults: vec![(
+                0,
+                FaultSeed {
+                    condition: MachineCondition::MotorBearingDefect,
+                    onset: SimTime::ZERO,
+                    time_to_failure: SimDuration::from_minutes(8.0),
+                    profile: FaultProfile::EarlyOnset,
+                },
+            )],
+            minutes: 4.0,
         },
     ]
 }
@@ -104,6 +142,7 @@ fn run(scenario: &Scenario, exec: ExecMode) -> Fingerprint {
         dc_count: scenario.dc_count,
         seed: scenario.seed,
         network: scenario.network.clone(),
+        fault_plan: scenario.fault_plan.clone(),
         survey_period: SimDuration::from_secs(30.0),
         exec,
         ..Default::default()

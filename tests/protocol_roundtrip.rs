@@ -54,13 +54,15 @@ fn arb_report() -> impl Strategy<Value = ConditionReport> {
 }
 
 /// A well-formed batch frame: 0..6 entries with strictly increasing
-/// sequence numbers (gaps allowed, as after dropped frames).
+/// sequence numbers (gaps allowed, as after dropped frames), under an
+/// arbitrary restart epoch.
 fn arb_batch() -> impl Strategy<Value = NetMessage> {
     (
         0u64..100,
+        0u64..4,
         proptest::collection::vec((1u64..50, arb_report()), 0..6),
     )
-        .prop_map(|(start, items)| {
+        .prop_map(|(start, epoch, items)| {
             let mut seq = start;
             let entries = items
                 .into_iter()
@@ -71,6 +73,7 @@ fn arb_batch() -> impl Strategy<Value = NetMessage> {
                 .collect();
             NetMessage::ReportBatch {
                 dc: DcId::new(2),
+                epoch,
                 entries,
             }
         })
@@ -98,8 +101,8 @@ proptest! {
     fn any_report_flows_into_fusion(report in arb_report()) {
         let mut pdme = PdmeExecutive::new();
         pdme.register_machine(report.machine, "machine under test");
-        pdme.handle_message(&NetMessage::Report(report.clone()), SimTime::ZERO).unwrap();
-        prop_assert_eq!(pdme.process_events().unwrap(), 1);
+        let summary = pdme.ingest(&[NetMessage::Report(report.clone())], SimTime::ZERO).unwrap();
+        prop_assert_eq!(summary.fused, 1);
         let fused = pdme
             .fusion()
             .diagnostic()
@@ -119,18 +122,22 @@ proptest! {
 
     #[test]
     fn duplicate_or_reordered_batch_seqs_are_rejected(batch in arb_batch()) {
-        let NetMessage::ReportBatch { dc, entries } = batch else { unreachable!() };
+        let NetMessage::ReportBatch { dc, epoch, entries } = batch else { unreachable!() };
         if !entries.is_empty() {
             // Duplicate the last entry's sequence number.
             let mut dup = entries.clone();
             dup.push(dup.last().unwrap().clone());
-            prop_assert!(encode_message(&NetMessage::ReportBatch { dc, entries: dup }).is_err());
+            prop_assert!(
+                encode_message(&NetMessage::ReportBatch { dc, epoch, entries: dup }).is_err()
+            );
         }
         // Reverse a multi-entry batch: strictly decreasing, rejected.
         if entries.len() >= 2 {
             let mut rev = entries;
             rev.reverse();
-            prop_assert!(encode_message(&NetMessage::ReportBatch { dc, entries: rev }).is_err());
+            prop_assert!(
+                encode_message(&NetMessage::ReportBatch { dc, epoch, entries: rev }).is_err()
+            );
         }
     }
 
@@ -141,11 +148,21 @@ proptest! {
         for e in entries {
             pdme.register_machine(e.report.machine, "machine under test");
         }
-        let fused = pdme
-            .handle_batch(std::slice::from_ref(&batch), SimTime::from_secs(5000.0))
+        let summary = pdme
+            .ingest(std::slice::from_ref(&batch), SimTime::from_secs(5000.0))
             .unwrap();
-        prop_assert_eq!(fused, entries.len());
+        prop_assert_eq!(summary.fused, entries.len());
         prop_assert_eq!(pdme.reports_received(), entries.len());
+        // The ack watermark covers the whole batch, even an empty one.
+        if let NetMessage::ReportBatch { dc, epoch, ref entries } = batch {
+            if let Some(last) = entries.last() {
+                prop_assert_eq!(summary.acks.len(), 1);
+                let ack = summary.acks[0];
+                prop_assert_eq!((ack.dc, ack.epoch, ack.last_seq), (dc, epoch, last.seq));
+            } else {
+                prop_assert!(summary.acks.is_empty());
+            }
+        }
     }
 }
 
@@ -165,12 +182,14 @@ fn max_size_batch_roundtrips_and_oversize_is_rejected() {
     };
     let full = NetMessage::ReportBatch {
         dc: DcId::new(1),
+        epoch: 0,
         entries: (1..=MAX_BATCH as u64).map(entry).collect(),
     };
     let back = decode_message(encode_message(&full).unwrap()).unwrap();
     assert_eq!(back, full);
     let over = NetMessage::ReportBatch {
         dc: DcId::new(1),
+        epoch: 0,
         entries: (1..=MAX_BATCH as u64 + 1).map(entry).collect(),
     };
     assert!(encode_message(&over).is_err());

@@ -151,9 +151,8 @@ fn health_rollup_spans_the_full_hierarchy() {
     )
     .id(ReportId::new(1))
     .build();
-    pdme.handle_message(&NetMessage::Report(r), SimTime::ZERO)
+    pdme.ingest(&[NetMessage::Report(r)], SimTime::ZERO)
         .unwrap();
-    pdme.process_events().unwrap();
     let tree = health::health_of(&pdme, ship);
     assert!(
         (tree.health - 0.1).abs() < 1e-6,
