@@ -1,7 +1,7 @@
 //! E7 — the paper's data-rate claims (§1, §8.1): "thousands of embedded
 //! processors will collect millions of data points per second"; the DC
 //! samples 4 channels above 40 kHz through 32 MUX channels; "results
-//! from hundreds of DCs per ship will be correlated ... [at] the PDME."
+//! from hundreds of DCs per ship will be correlated ... \[at\] the PDME."
 //!
 //! Three measurements:
 //!  1. single-core DC analysis throughput (samples/s through the full
@@ -23,6 +23,7 @@
 //! telemetry domain.
 
 use crossbeam::thread;
+use mpros::chiller::fault::{FaultProfile, FaultSeed};
 use mpros::sim::{ExecMode, ShipboardSim, ShipboardSimConfig};
 use mpros_bench::{labeled_survey, verdict, Table};
 use mpros_core::{
@@ -100,14 +101,57 @@ struct FleetBench {
 }
 
 #[derive(Serialize)]
+struct HostInfo {
+    os: String,
+    arch: String,
+    cores: usize,
+}
+
+#[derive(Serialize)]
 struct BenchDoc {
     schema_version: u32,
+    git_revision: String,
+    git_dirty: bool,
+    host: HostInfo,
     single_core_samples_per_s: f64,
     aggregate_samples_per_s_8_workers: f64,
     pdme_reports_per_s_100_dcs: f64,
     fleet: FleetBench,
     wall_stages: Vec<StageQuantiles>,
     sim_latencies: Vec<LatencyQuantiles>,
+}
+
+/// `git rev-parse HEAD`, or `"unknown"` outside a repository.
+fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// True when the working tree has uncommitted changes (conservatively
+/// false when git is unavailable).
+fn git_dirty() -> bool {
+    std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| !o.stdout.is_empty())
+        .unwrap_or(false)
+}
+
+/// Quantile of an ascending-sorted sample by nearest-rank.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
 }
 
 /// The `--fault-profile lossy` scenario: a dropping, jittery link plus
@@ -136,7 +180,7 @@ fn fleet_steps_per_s(
     steps: usize,
     network: &NetworkConfig,
     fault_plan: &FaultPlan,
-) -> (f64, NetStats) {
+) -> (f64, NetStats, Vec<f64>) {
     let mut sim = ShipboardSim::new(ShipboardSimConfig {
         dc_count: 8,
         seed: 5,
@@ -147,6 +191,20 @@ fn fleet_steps_per_s(
         ..Default::default()
     })
     .expect("sim builds");
+    // Seed progressing faults on two plants so condition reports (and
+    // their causal traces) actually flow — an all-healthy fleet would
+    // leave the trace-derived latency quantiles vacuously empty.
+    for idx in [0usize, 4] {
+        sim.seed_fault(
+            idx,
+            FaultSeed {
+                condition: MachineCondition::MotorBearingDefect,
+                onset: SimTime::ZERO,
+                time_to_failure: SimDuration::from_minutes(8.0),
+                profile: FaultProfile::EarlyOnset,
+            },
+        );
+    }
     let dt = SimDuration::from_secs(30.0);
     sim.step(dt).expect("warmup step");
     let start = Instant::now();
@@ -154,7 +212,10 @@ fn fleet_steps_per_s(
         sim.step(dt).expect("timed step");
     }
     let rate = steps as f64 / start.elapsed().as_secs_f64();
-    (rate, sim.network().stats())
+    // Trace-derived end-to-end report latencies (DC emission to the
+    // last fusion hop, simulated seconds, sorted ascending).
+    let e2e = mpros_telemetry::trace::e2e_latencies(&sim.trace_hops());
+    (rate, sim.network().stats(), e2e)
 }
 
 fn main() {
@@ -298,13 +359,13 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let fleet_steps = 10;
-    let (seq_rate, _) = fleet_steps_per_s(
+    let (seq_rate, _, _) = fleet_steps_per_s(
         ExecMode::Sequential,
         fleet_steps,
         &fleet_network,
         &fleet_fault_plan,
     );
-    let (par_rate, net_stats) = fleet_steps_per_s(
+    let (par_rate, net_stats, fleet_e2e) = fleet_steps_per_s(
         ExecMode::Parallel { workers },
         fleet_steps,
         &fleet_network,
@@ -359,6 +420,23 @@ fn main() {
             p99_s: h.p99.unwrap_or(0.0),
         });
     }
+    // Trace-derived latencies: reconstructed from the causal hop chain
+    // (DcEmit → last Fuse) rather than the histogram instrumentation —
+    // the two must agree, and the perf gate diffs both.
+    println!(
+        "  trace.e2e_report_latency_s: n={} p50={:.4}s p95={:.4}s p99={:.4}s",
+        fleet_e2e.len(),
+        percentile(&fleet_e2e, 0.50),
+        percentile(&fleet_e2e, 0.95),
+        percentile(&fleet_e2e, 0.99),
+    );
+    sim_latencies.push(LatencyQuantiles {
+        name: "trace.e2e_report_latency_s".to_string(),
+        count: fleet_e2e.len() as u64,
+        p50_s: percentile(&fleet_e2e, 0.50),
+        p95_s: percentile(&fleet_e2e, 0.95),
+        p99_s: percentile(&fleet_e2e, 0.99),
+    });
 
     let wall_stages = Stage::ALL
         .iter()
@@ -374,7 +452,14 @@ fn main() {
         .filter(|q| q.count > 0)
         .collect();
     let doc = BenchDoc {
-        schema_version: 3,
+        schema_version: 4,
+        git_revision: git_revision(),
+        git_dirty: git_dirty(),
+        host: HostInfo {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cores: host_cores,
+        },
         single_core_samples_per_s: single,
         aggregate_samples_per_s_8_workers: parallel_rate,
         pdme_reports_per_s_100_dcs: rate_100,

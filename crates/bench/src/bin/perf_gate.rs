@@ -1,0 +1,253 @@
+//! The perf-regression gate: diff a freshly produced
+//! `BENCH_throughput.json` against the committed `BENCH_baseline.json`
+//! and fail CI when the ship got slower or — worse — when the
+//! *deterministic* simulation outputs drifted.
+//!
+//! Two classes of metric, two very different tolerances:
+//!
+//! * **Wall-clock rates** (samples/s, steps/s, reports/s) describe the
+//!   host as much as the code. CI boxes are noisy and heterogeneous, so
+//!   these only fail when a rate falls below `(1 - tol)` of baseline,
+//!   with `tol` from `PERF_GATE_WALL_TOL` (default 0.5 — a 2× slowdown
+//!   is a regression anywhere).
+//! * **Simulated-time metrics** (latency quantiles, network delivery
+//!   counters) are products of the deterministic engine: identical
+//!   seeds must reproduce them to the bit. Any drift means the
+//!   simulation's observable behaviour changed without the baseline
+//!   being re-blessed, and the gate fails loudly.
+//!
+//! Usage: `perf_gate [--baseline PATH] [--current PATH]`.
+
+use serde_json::Value;
+
+struct Gate {
+    violations: Vec<String>,
+    checked: usize,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Gate {
+            violations: Vec::new(),
+            checked: 0,
+        }
+    }
+
+    /// Wall-clock rate: current must be at least `(1 - tol) × baseline`.
+    fn wall_rate(&mut self, name: &str, base: f64, cur: f64, tol: f64) {
+        self.checked += 1;
+        let floor = base * (1.0 - tol);
+        if cur < floor {
+            self.violations.push(format!(
+                "{name}: {cur:.2} fell below {floor:.2} \
+                 (baseline {base:.2}, tolerance {:.0}%)",
+                tol * 100.0
+            ));
+        }
+    }
+
+    /// Deterministic float: must match to within rounding noise.
+    fn exact_f64(&mut self, name: &str, base: f64, cur: f64) {
+        self.checked += 1;
+        let scale = base.abs().max(cur.abs()).max(1e-12);
+        if (base - cur).abs() / scale > 1e-9 {
+            self.violations.push(format!(
+                "{name}: deterministic value drifted — baseline {base} vs current {cur}"
+            ));
+        }
+    }
+
+    /// Deterministic integer: must match exactly.
+    fn exact_u64(&mut self, name: &str, base: u64, cur: u64) {
+        self.checked += 1;
+        if base != cur {
+            self.violations.push(format!(
+                "{name}: deterministic count drifted — baseline {base} vs current {cur}"
+            ));
+        }
+    }
+}
+
+fn f64_at(doc: &Value, path: &[&str]) -> Option<f64> {
+    let mut v = doc;
+    for key in path {
+        v = v.get(key)?;
+    }
+    v.as_f64()
+}
+
+fn u64_at(doc: &Value, path: &[&str]) -> Option<u64> {
+    let mut v = doc;
+    for key in path {
+        v = v.get(key)?;
+    }
+    v.as_u64()
+}
+
+/// The `sim_latencies` array keyed by the `name` field.
+fn latency_entry<'a>(doc: &'a Value, name: &str) -> Option<&'a Value> {
+    doc.get("sim_latencies")?
+        .as_array()?
+        .iter()
+        .find(|e| e.get("name").and_then(Value::as_str) == Some(name))
+}
+
+fn load(path: &str) -> Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("perf_gate: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("perf_gate: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn arg_value(args: &[String], flag: &str, default: &str) -> String {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline_path = arg_value(&args, "--baseline", "BENCH_baseline.json");
+    let current_path = arg_value(&args, "--current", "BENCH_throughput.json");
+    let wall_tol = std::env::var("PERF_GATE_WALL_TOL")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.5)
+        .clamp(0.0, 0.99);
+
+    let base = load(&baseline_path);
+    let cur = load(&current_path);
+
+    // Schema must line up: a version bump means the baseline needs
+    // re-blessing, not silent field-by-field skipping.
+    let (bv, cv) = (
+        u64_at(&base, &["schema_version"]).unwrap_or(0),
+        u64_at(&cur, &["schema_version"]).unwrap_or(0),
+    );
+    if bv != cv {
+        eprintln!(
+            "perf_gate: schema mismatch — baseline v{bv}, current v{cv}; \
+             regenerate {baseline_path} from the current binary"
+        );
+        std::process::exit(1);
+    }
+    // The fleet comparison is only apples-to-apples under one profile.
+    let profile_of = |doc: &Value| -> Option<String> {
+        doc.get("fleet")?
+            .get("fault_profile")?
+            .as_str()
+            .map(str::to_owned)
+    };
+    let (bp, cp) = (profile_of(&base), profile_of(&cur));
+    if bp != cp {
+        eprintln!("perf_gate: fault-profile mismatch — baseline {bp:?}, current {cp:?}");
+        std::process::exit(1);
+    }
+
+    let mut gate = Gate::new();
+
+    // Wall-clock rates: host-dependent, loose floor.
+    for path in [
+        ["single_core_samples_per_s"].as_slice(),
+        &["aggregate_samples_per_s_8_workers"],
+        &["pdme_reports_per_s_100_dcs"],
+        &["fleet", "sequential_steps_per_s"],
+        &["fleet", "parallel_steps_per_s"],
+    ] {
+        let name = path.join(".");
+        match (f64_at(&base, path), f64_at(&cur, path)) {
+            (Some(b), Some(c)) => gate.wall_rate(&name, b, c, wall_tol),
+            _ => gate
+                .violations
+                .push(format!("{name}: missing from document")),
+        }
+    }
+
+    // Network counters: products of the seeded simulation, exact.
+    for field in [
+        "net_sent",
+        "net_delivered",
+        "net_dropped",
+        "net_retries",
+        "net_expired",
+    ] {
+        let name = format!("fleet.{field}");
+        match (
+            u64_at(&base, &["fleet", field]),
+            u64_at(&cur, &["fleet", field]),
+        ) {
+            (Some(b), Some(c)) => gate.exact_u64(&name, b, c),
+            _ => gate
+                .violations
+                .push(format!("{name}: missing from document")),
+        }
+    }
+
+    // Simulated-time latency quantiles: exact, entry by entry. Every
+    // baseline entry must exist in the current doc and vice versa.
+    let base_names: Vec<String> = base
+        .get("sim_latencies")
+        .and_then(Value::as_array)
+        .map(|a| {
+            a.iter()
+                .filter_map(|e| e.get("name").and_then(Value::as_str))
+                .map(str::to_owned)
+                .collect()
+        })
+        .unwrap_or_default();
+    let cur_names: Vec<String> = cur
+        .get("sim_latencies")
+        .and_then(Value::as_array)
+        .map(|a| {
+            a.iter()
+                .filter_map(|e| e.get("name").and_then(Value::as_str))
+                .map(str::to_owned)
+                .collect()
+        })
+        .unwrap_or_default();
+    if base_names != cur_names {
+        gate.violations.push(format!(
+            "sim_latencies: entry set changed — baseline {base_names:?} vs current {cur_names:?}"
+        ));
+    }
+    for name in &base_names {
+        let (Some(b), Some(c)) = (latency_entry(&base, name), latency_entry(&cur, name)) else {
+            continue; // already reported by the name-set check
+        };
+        if let (Some(bc), Some(cc)) = (
+            b.get("count").and_then(Value::as_u64),
+            c.get("count").and_then(Value::as_u64),
+        ) {
+            gate.exact_u64(&format!("{name}.count"), bc, cc);
+        }
+        for q in ["p50_s", "p95_s", "p99_s"] {
+            if let (Some(bq), Some(cq)) = (
+                b.get(q).and_then(Value::as_f64),
+                c.get(q).and_then(Value::as_f64),
+            ) {
+                gate.exact_f64(&format!("{name}.{q}"), bq, cq);
+            }
+        }
+    }
+
+    if gate.violations.is_empty() {
+        println!(
+            "perf gate PASS: {} metrics within budget (wall tolerance {:.0}%) \
+             against {baseline_path}",
+            gate.checked,
+            wall_tol * 100.0
+        );
+    } else {
+        eprintln!("perf gate FAIL against {baseline_path}:");
+        for v in &gate.violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+}

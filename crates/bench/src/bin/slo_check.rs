@@ -1,0 +1,128 @@
+//! CI's SLO watchdog runner: drive a seeded 8-DC ship through a named
+//! operating profile, let the in-sim watchdog evaluate the declarative
+//! SLO policy every step, and exit nonzero if the final verdict fails.
+//!
+//! Two profiles, two budgets:
+//!
+//! * `calm` — the default lossless network. Tight budgets: reports must
+//!   fuse within seconds and nothing may expire.
+//! * `lossy` — a dropping, jittery link plus a seeded fault campaign
+//!   (crashes, partitions, sensor dropouts). Latency and staleness
+//!   budgets widen to absorb retry backoff and partition windows, but
+//!   the hard contract stays: the acked outbox must deliver eventually,
+//!   so `net.expired == 0` is enforced in *both* profiles.
+//!
+//! The final verdict is printed as machine-readable JSON so CI logs
+//! capture exactly which rule broke and by how much.
+//!
+//! Usage: `slo_check --profile calm|lossy [--minutes N]`.
+
+use mpros::chiller::fault::{FaultProfile, FaultSeed};
+use mpros::core::{DcId, FaultPlan, FaultPlanConfig, MachineCondition, SimDuration, SimTime};
+use mpros::sim::{ShipboardSim, ShipboardSimConfig};
+use mpros::telemetry::SloPolicy;
+use mpros_network::NetworkConfig;
+
+fn profile(name: &str) -> (NetworkConfig, FaultPlan, SloPolicy) {
+    match name {
+        // Calm sea: sub-second fusion is the norm; give p95 a 5 s
+        // budget (a survey period's worth of batching slack) and keep
+        // staleness under two survey periods.
+        "calm" => (
+            NetworkConfig::default(),
+            FaultPlan::none(),
+            SloPolicy::standard(5.0, 65.0, 0.9),
+        ),
+        // Lossy sea: drops force retries and the fault campaign parks
+        // whole DCs behind partitions and crash windows, so late
+        // deliveries are expected — but never expiries.
+        "lossy" => {
+            let network = NetworkConfig::default()
+                .with_drop_probability(0.1)
+                .with_jitter(SimDuration::from_millis(5.0));
+            let mut fault_cfg = FaultPlanConfig::default();
+            fault_cfg.dcs = (1..=8).map(DcId::new).collect();
+            fault_cfg.crashes = 2;
+            fault_cfg.partitions = 2;
+            fault_cfg.sensor_dropouts = 2;
+            (
+                network,
+                FaultPlan::seeded(5, &fault_cfg),
+                SloPolicy::standard(30.0, 120.0, 0.9),
+            )
+        }
+        other => {
+            eprintln!("slo_check: unknown --profile {other:?} (expected calm|lossy)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let profile_name = args
+        .iter()
+        .position(|a| a == "--profile")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "calm".to_string());
+    let minutes = args
+        .iter()
+        .position(|a| a == "--minutes")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(5.0);
+
+    let (network, fault_plan, slo) = profile(&profile_name);
+    let mut sim = ShipboardSim::new(ShipboardSimConfig {
+        dc_count: 8,
+        seed: 5,
+        network,
+        fault_plan,
+        survey_period: SimDuration::from_secs(30.0),
+        slo,
+        ..Default::default()
+    })
+    .expect("sim builds");
+    // Progressing faults on two plants keep condition reports flowing;
+    // without traffic every latency SLO would pass vacuously.
+    for idx in [0usize, 4] {
+        sim.seed_fault(
+            idx,
+            FaultSeed {
+                condition: MachineCondition::MotorBearingDefect,
+                onset: SimTime::ZERO,
+                time_to_failure: SimDuration::from_minutes(8.0),
+                profile: FaultProfile::EarlyOnset,
+            },
+        );
+    }
+    let fused = sim
+        .run_for(
+            SimDuration::from_minutes(minutes),
+            SimDuration::from_secs(0.5),
+        )
+        .expect("scenario runs");
+
+    let verdict = sim.slo_verdict().expect("watchdog evaluated every step");
+    println!("{}", verdict.to_json().expect("verdict serializes"));
+    let stats = sim.network().stats();
+    eprintln!(
+        "slo_check[{profile_name}]: {fused} reports fused over {minutes} min; \
+         net sent={} delivered={} dropped={} retries={} expired={}",
+        stats.sent, stats.delivered, stats.dropped, stats.retries, stats.expired
+    );
+    if fused == 0 {
+        eprintln!("slo_check[{profile_name}]: FAIL — no reports fused, checks are vacuous");
+        std::process::exit(1);
+    }
+    if verdict.pass {
+        eprintln!("slo_check[{profile_name}]: PASS");
+    } else {
+        eprintln!(
+            "slo_check[{profile_name}]: FAIL — {}",
+            verdict.failing().join("; ")
+        );
+        std::process::exit(1);
+    }
+}

@@ -26,7 +26,10 @@ use mpros_sbfr::builtin::{spike_machine, stiction_machine};
 use mpros_sbfr::Interpreter;
 use mpros_signal::features::WaveformStats;
 use mpros_signal::trend::TrendTracker;
-use mpros_telemetry::{Counter, Instrumented, Stage, Telemetry, WallTimer};
+use mpros_telemetry::trace::dc_trace_seed;
+use mpros_telemetry::{
+    Counter, HopKind, Instrumented, Stage, Telemetry, TraceHop, TraceId, WallTimer,
+};
 use mpros_wnn::WnnClassifier;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -57,6 +60,11 @@ pub struct DcConfig {
     pub min_report_gap: SimDuration,
     /// Severity change that forces immediate re-reporting.
     pub rereport_delta: f64,
+    /// Seed the DC derives per-report [`TraceId`]s from. The scenario
+    /// driver sets it to `dc_trace_seed(master, dc, epoch)` — the same
+    /// value it hands the network — so the DC's `DcEmit` root hops land
+    /// on the same traces as the transport's hops.
+    pub trace_seed: u64,
 }
 
 impl DcConfig {
@@ -73,6 +81,7 @@ impl DcConfig {
             fuzzy_window: 40,
             min_report_gap: SimDuration::from_minutes(30.0),
             rereport_delta: 0.15,
+            trace_seed: dc_trace_seed(0, id.raw(), 0),
         }
     }
 
@@ -115,6 +124,12 @@ impl DcConfig {
     /// Set the severity delta that forces immediate re-reporting.
     pub fn with_rereport_delta(mut self, delta: f64) -> Self {
         self.rereport_delta = delta;
+        self
+    }
+
+    /// Set the per-report trace-id seed (see [`DcConfig::trace_seed`]).
+    pub fn with_trace_seed(mut self, seed: u64) -> Self {
+        self.trace_seed = seed;
         self
     }
 }
@@ -323,6 +338,21 @@ impl DataConcentrator {
                 belief: r.belief.value(),
             })?;
             self.m_reports_emitted.inc();
+            // The trace root: this report's journey starts here. The
+            // wall cost of emission is in the hop; the network and PDME
+            // add their hops under the same (purely derived) trace id.
+            let mut hop = TraceHop::new(
+                TraceId::for_report(self.config.trace_seed, r.id.raw()),
+                HopKind::DcEmit,
+                0,
+                None,
+                self.component.clone(),
+                r.timestamp.as_secs(),
+                now.as_secs(),
+                format!("{} {:?}", source_of(r, self.config.id), r.condition),
+            );
+            hop.wall_ns = timer.elapsed().as_nanos() as u64;
+            self.telemetry.record_hop(hop);
             self.telemetry
                 .record_span_wall(Stage::Emit, timer.elapsed());
         }

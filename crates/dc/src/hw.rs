@@ -5,7 +5,7 @@
 //! between 4 sets of 4 channels each yielding up to 32 channels of data.
 //! Of those 32 channels, 24 can power standard accelerometers...
 //! Additionally, all channels are equipped with an RMS detector which
-//! can be configure[d] to provide a digital signal when the RMS of the
+//! can be configure\[d\] to provide a digital signal when the RMS of the
 //! incoming signal exceeds a programmed value."
 //!
 //! The model enforces those capacities and reproduces the operational

@@ -1,14 +1,14 @@
 //! # mpros-dc
 //!
 //! The Data Concentrator (§5.8, §8.1): "a computer in its own right
-//! [with] the major responsibility for diagnostics and prognostics."
+//! \[with\] the major responsibility for diagnostics and prognostics."
 //!
 //! * [`hw`] — the acquisition hardware model: two 16×4 MUX cards (32
 //!   channels, 24 accelerometer-capable), a 4-channel spectrum-analyzer
 //!   card sampling above 40 kHz, and per-channel latching RMS alarm
 //!   detectors, per the Fig. 5 block diagram.
 //! * [`scheduler`] — "The DC software is coordinated by an event
-//!   scheduler. It coordinates standard vibration test[s] ... wavelet and
+//!   scheduler. It coordinates standard vibration test\[s\] ... wavelet and
 //!   neural network testing and analysis, and state based feature
 //!   recognition routines"; on-demand tests can be commanded remotely.
 //! * [`db`] — the embedded relational database "designed to store all of

@@ -1,7 +1,7 @@
 //! The DC event scheduler (§5.8).
 //!
 //! "The DC software is coordinated by an event scheduler. It coordinates
-//! standard vibration test[s] and including data acquisition and
+//! standard vibration test\[s\] and including data acquisition and
 //! communication of the results. In similar fashion, the scheduler
 //! conducts wavelet and neural network testing and analysis, and state
 //! based feature recognition routines to collect and analyze process

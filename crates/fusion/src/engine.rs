@@ -50,6 +50,7 @@ pub struct FusionEngine {
     seen_conflict: HashMap<(MachineId, FailureGroup), f64>,
     telemetry: Telemetry,
     m_ingested: Arc<Counter>,
+    m_conflicts: Arc<Counter>,
 }
 
 impl Default for FusionEngine {
@@ -64,6 +65,7 @@ impl FusionEngine {
     pub fn new() -> Self {
         let telemetry = Telemetry::new();
         let m_ingested = telemetry.counter("fusion", "reports_ingested");
+        let m_conflicts = telemetry.counter("fusion", "conflicts");
         FusionEngine {
             diagnostic: DiagnosticFusion::new(),
             prognostics: HashMap::new(),
@@ -71,6 +73,7 @@ impl FusionEngine {
             seen_conflict: HashMap::new(),
             telemetry,
             m_ingested,
+            m_conflicts,
         }
     }
 
@@ -90,6 +93,7 @@ impl FusionEngine {
         let k = diagnosis.accumulated_conflict - *seen;
         if k > 1e-12 {
             *seen = diagnosis.accumulated_conflict;
+            self.m_conflicts.inc();
             self.telemetry.event(
                 "fusion",
                 "conflict_renorm",
@@ -197,6 +201,9 @@ impl Instrumented for FusionEngine {
         let m = telemetry.counter("fusion", "reports_ingested");
         m.add(self.m_ingested.get());
         self.m_ingested = m;
+        let c = telemetry.counter("fusion", "conflicts");
+        c.add(self.m_conflicts.get());
+        self.m_conflicts = c;
         self.telemetry = telemetry.clone();
     }
 
@@ -333,6 +340,12 @@ mod tests {
         assert!(events[0].detail.contains("machine 1"));
         assert_eq!(e.reports_ingested(), 2);
         assert_eq!(e.telemetry().counter("fusion", "reports_ingested").get(), 2);
+        assert_eq!(e.telemetry().counter("fusion", "conflicts").get(), 1);
+        // The conflict count migrates with the domain (SLO rules read
+        // the fused conflict rate off the scenario's shared registry).
+        let shared = mpros_telemetry::Telemetry::new();
+        e.set_telemetry(&shared);
+        assert_eq!(shared.counter("fusion", "conflicts").get(), 1);
     }
 
     #[test]

@@ -22,7 +22,10 @@ use crate::codec::{decode_message, encode_message, BatchEntry, NetMessage, MAX_B
 use crate::outbox::{Outbox, OutboxConfig, PendingBatch};
 use bytes::Bytes;
 use mpros_core::{derive_stream_seed, ConditionReport, DcId, Error, Result, SimDuration, SimTime};
-use mpros_telemetry::{Counter, Histogram, Instrumented, Stage, Telemetry};
+use mpros_telemetry::{
+    Counter, Histogram, HopKind, Instrumented, SpanId, Stage, Telemetry, TraceContext, TraceHop,
+    TraceId,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -170,6 +173,10 @@ struct InFlight {
     seq: u64,
     to: Endpoint,
     sent_at: SimTime,
+    /// For `ReportBatch` frames, the outbox transmission attempt that
+    /// put this copy on the wire (0 for untracked traffic) — lets the
+    /// delivery hop parent under the matching `Send` span.
+    attempt: u32,
     frame: Bytes,
 }
 
@@ -342,6 +349,17 @@ impl ShipNetwork {
         to: Endpoint,
         msg: &NetMessage,
     ) -> Result<()> {
+        self.transmit_attempt(now, from, to, msg, 0)
+    }
+
+    fn transmit_attempt(
+        &mut self,
+        now: SimTime,
+        from: Endpoint,
+        to: Endpoint,
+        msg: &NetMessage,
+        attempt: u32,
+    ) -> Result<()> {
         if !self.is_registered(to) {
             return Err(Error::Network(format!("unknown endpoint {to}")));
         }
@@ -370,9 +388,33 @@ impl ShipNetwork {
             seq: self.seq,
             to,
             sent_at: now,
+            attempt,
             frame,
         }));
         Ok(())
+    }
+
+    /// Record one causal hop for every entry of a pending batch frame.
+    fn record_batch_hops(
+        &self,
+        entries: &[BatchEntry],
+        kind: HopKind,
+        attempt: u32,
+        at: SimTime,
+        detail: &str,
+    ) {
+        for e in entries {
+            self.telemetry.record_hop(TraceHop::new(
+                e.trace.trace,
+                kind,
+                attempt,
+                Some(e.trace.parent),
+                "net",
+                at.as_secs(),
+                at.as_secs(),
+                detail,
+            ));
+        }
     }
 
     /// Send one DC's reports for a step as unreliable
@@ -394,6 +436,7 @@ impl ShipNetwork {
             .into_iter()
             .map(|report| BatchEntry {
                 seq: report.id.raw(),
+                trace: TraceContext::default(),
                 report,
             })
             .collect();
@@ -420,12 +463,16 @@ impl ShipNetwork {
     /// [`ShipNetwork::pump_outboxes`] until the PDME's cumulative
     /// [`NetMessage::Ack`] releases them. Entries are sequenced by
     /// report id (strictly increasing per DC and epoch by
-    /// construction). Nothing is queued for an empty `reports`.
+    /// construction) and stamped with their trace context, derived from
+    /// `trace_seed` — the same seed the emitting DC derives its
+    /// `DcEmit` hops from, so the enqueue hop lands on the same trace.
+    /// Nothing is queued for an empty `reports`.
     pub fn enqueue_report_batch(
         &mut self,
         now: SimTime,
         dc: DcId,
         reports: Vec<ConditionReport>,
+        trace_seed: u64,
     ) -> Result<()> {
         if reports.is_empty() {
             return Ok(());
@@ -435,17 +482,33 @@ impl ShipNetwork {
         }
         let entries: Vec<BatchEntry> = reports
             .into_iter()
-            .map(|report| BatchEntry {
-                seq: report.id.raw(),
-                report,
+            .map(|report| {
+                let trace = TraceId::for_report(trace_seed, report.id.raw());
+                BatchEntry {
+                    seq: report.id.raw(),
+                    trace: TraceContext::for_enqueued(trace),
+                    report,
+                }
             })
             .collect();
-        let mut evicted = 0;
+        for e in &entries {
+            self.telemetry.record_hop(TraceHop::new(
+                e.trace.trace,
+                HopKind::Enqueue,
+                0,
+                Some(SpanId::derive(e.trace.trace, HopKind::DcEmit, 0)),
+                "net",
+                now.as_secs(),
+                now.as_secs(),
+                "",
+            ));
+        }
+        let mut evicted: Vec<PendingBatch> = Vec::new();
         {
             let outbox = self.outboxes.get_mut(&dc).expect("checked above");
             for chunk in entries.chunks(MAX_BATCH) {
                 self.metrics.batched_reports.add(chunk.len() as u64);
-                evicted += outbox.push(
+                evicted.extend(outbox.push(
                     &self.config.outbox,
                     PendingBatch {
                         epoch: outbox.epoch,
@@ -454,16 +517,28 @@ impl ShipNetwork {
                         attempts: 0,
                         next_send: now,
                     },
-                );
+                ));
             }
         }
-        if evicted > 0 {
-            self.metrics.expired.add(evicted as u64);
+        if !evicted.is_empty() {
+            self.metrics.expired.add(evicted.len() as u64);
             self.telemetry.event(
                 "net",
                 "expired",
-                format!("{dc}: {evicted} frame(s) evicted from a full outbox"),
+                format!(
+                    "{dc}: {} frame(s) evicted from a full outbox",
+                    evicted.len()
+                ),
             );
+            for p in &evicted {
+                self.record_batch_hops(
+                    &p.entries,
+                    HopKind::Expire,
+                    p.attempts,
+                    now,
+                    "evicted from full outbox",
+                );
+            }
         }
         Ok(())
     }
@@ -479,9 +554,9 @@ impl ShipNetwork {
         let dcs: Vec<DcId> = self.outboxes.keys().copied().collect();
         for dc in dcs {
             let cfg = self.config.outbox.clone();
-            let mut frames: Vec<NetMessage> = Vec::new();
+            let mut frames: Vec<(NetMessage, u32)> = Vec::new();
+            let mut expired: Vec<PendingBatch> = Vec::new();
             let mut retries = 0u64;
-            let mut expired = 0u64;
             {
                 let outbox = self.outboxes.get_mut(&dc).expect("key just listed");
                 let mut kept = VecDeque::with_capacity(outbox.pending.len());
@@ -491,34 +566,52 @@ impl ShipNetwork {
                         continue;
                     }
                     if p.attempts >= cfg.max_attempts {
-                        expired += 1;
+                        expired.push(p);
                         continue;
                     }
                     p.attempts += 1;
                     if p.attempts > 1 {
                         retries += 1;
                     }
-                    frames.push(NetMessage::ReportBatch {
-                        dc,
-                        epoch: p.epoch,
-                        entries: p.entries.clone(),
-                    });
+                    frames.push((
+                        NetMessage::ReportBatch {
+                            dc,
+                            epoch: p.epoch,
+                            entries: p.entries.clone(),
+                        },
+                        p.attempts,
+                    ));
                     p.next_send = now + outbox.backoff(&cfg, p.attempts);
                     kept.push_back(p);
                 }
                 outbox.pending = kept;
             }
             self.metrics.retries.add(retries);
-            if expired > 0 {
-                self.metrics.expired.add(expired);
+            if !expired.is_empty() {
+                self.metrics.expired.add(expired.len() as u64);
                 self.telemetry.event(
                     "net",
                     "expired",
-                    format!("{dc}: {expired} frame(s) exhausted the retry budget"),
+                    format!(
+                        "{dc}: {} frame(s) exhausted the retry budget",
+                        expired.len()
+                    ),
                 );
+                for p in &expired {
+                    self.record_batch_hops(
+                        &p.entries,
+                        HopKind::Expire,
+                        p.attempts,
+                        now,
+                        "retry budget exhausted",
+                    );
+                }
             }
-            for msg in frames {
-                self.transmit(now, Endpoint::Dc(dc), Endpoint::Pdme, &msg)?;
+            for (msg, attempt) in frames {
+                if let NetMessage::ReportBatch { entries, .. } = &msg {
+                    self.record_batch_hops(entries, HopKind::Send, attempt, now, "");
+                }
+                self.transmit_attempt(now, Endpoint::Dc(dc), Endpoint::Pdme, &msg, attempt)?;
             }
         }
         Ok(())
@@ -538,6 +631,13 @@ impl ShipNetwork {
     /// give these frames up, the node did) and the endpoint goes dark
     /// until [`ShipNetwork::restart_dc`].
     pub fn crash_dc(&mut self, dc: DcId) {
+        let at = self.telemetry.sim_now();
+        if let Some(outbox) = self.outboxes.get(&dc) {
+            let doomed: Vec<PendingBatch> = outbox.pending.iter().cloned().collect();
+            for p in &doomed {
+                self.record_batch_hops(&p.entries, HopKind::CrashLost, p.attempts, at, "dc crash");
+            }
+        }
         let lost = self
             .outboxes
             .get_mut(&dc)
@@ -605,6 +705,20 @@ impl ShipNetwork {
                     }
                     self.metrics.bus_transit.record(transit.as_secs());
                     self.telemetry.record_span_sim(Stage::BusTransit, transit);
+                    if let NetMessage::ReportBatch { entries, .. } = &msg {
+                        for e in entries {
+                            self.telemetry.record_hop(TraceHop::new(
+                                e.trace.trace,
+                                HopKind::Deliver,
+                                f.attempt,
+                                Some(SpanId::derive(e.trace.trace, HopKind::Send, f.attempt)),
+                                "net",
+                                f.sent_at.as_secs(),
+                                f.deliver_at.as_secs(),
+                                "",
+                            ));
+                        }
+                    }
                     self.inboxes
                         .get_mut(&to)
                         .expect("registered at send time")
@@ -962,7 +1076,7 @@ mod tests {
         let mut net = network(0.0);
         let dc = DcId::new(1);
         let reports = sample_reports(dc, &[100, 101, 102]);
-        net.enqueue_report_batch(SimTime::ZERO, dc, reports)
+        net.enqueue_report_batch(SimTime::ZERO, dc, reports, 0x5EED)
             .unwrap();
         net.pump_outboxes(SimTime::ZERO).unwrap();
         // Three reports, one frame on the wire.
@@ -983,7 +1097,7 @@ mod tests {
             other => panic!("wrong kind: {other:?}"),
         }
         // Empty batches queue nothing at all.
-        net.enqueue_report_batch(SimTime::from_secs(2.0), dc, Vec::new())
+        net.enqueue_report_batch(SimTime::from_secs(2.0), dc, Vec::new(), 0x5EED)
             .unwrap();
         assert_eq!(net.outbox_depth(dc), 1, "only the unacked frame");
     }
@@ -992,7 +1106,7 @@ mod tests {
     fn unacked_batches_retry_until_acknowledged() {
         let mut net = network(0.0);
         let dc = DcId::new(1);
-        net.enqueue_report_batch(SimTime::ZERO, dc, sample_reports(dc, &[10, 11]))
+        net.enqueue_report_batch(SimTime::ZERO, dc, sample_reports(dc, &[10, 11]), 0x5EED)
             .unwrap();
         net.pump_outboxes(SimTime::ZERO).unwrap();
         assert_eq!(net.stats().sent, 1);
@@ -1015,7 +1129,7 @@ mod tests {
     fn retries_survive_a_healing_partition_without_expiry() {
         let mut net = network(0.0);
         let dc = DcId::new(1);
-        net.enqueue_report_batch(SimTime::ZERO, dc, sample_reports(dc, &[10]))
+        net.enqueue_report_batch(SimTime::ZERO, dc, sample_reports(dc, &[10]), 0x5EED)
             .unwrap();
         net.set_partitioned(Endpoint::Dc(dc), true);
         // Every pump during the outage is swallowed by the partition.
@@ -1055,7 +1169,7 @@ mod tests {
         let dc = DcId::new(1);
         net.register(Endpoint::Dc(dc));
         net.set_partitioned(Endpoint::Pdme, true); // permanent outage
-        net.enqueue_report_batch(SimTime::ZERO, dc, sample_reports(dc, &[10]))
+        net.enqueue_report_batch(SimTime::ZERO, dc, sample_reports(dc, &[10]), 0x5EED)
             .unwrap();
         for s in 0..30 {
             net.pump_outboxes(SimTime::from_secs(s as f64)).unwrap();
@@ -1079,6 +1193,7 @@ mod tests {
                 SimTime::from_secs(i as f64),
                 dc,
                 sample_reports(dc, &[10 + i]),
+                0x5EED,
             )
             .unwrap();
         }
@@ -1090,7 +1205,7 @@ mod tests {
     fn crash_clears_the_outbox_and_restart_bumps_the_epoch() {
         let mut net = network(0.0);
         let dc = DcId::new(1);
-        net.enqueue_report_batch(SimTime::ZERO, dc, sample_reports(dc, &[10]))
+        net.enqueue_report_batch(SimTime::ZERO, dc, sample_reports(dc, &[10]), 0x5EED)
             .unwrap();
         net.crash_dc(dc);
         assert_eq!(net.outbox_depth(dc), 0, "volatile state lost");
@@ -1102,8 +1217,13 @@ mod tests {
         // Restart: new epoch is stamped on subsequent frames.
         net.restart_dc(dc, 1);
         assert_eq!(net.outbox_epoch(dc), 1);
-        net.enqueue_report_batch(SimTime::from_secs(3.0), dc, sample_reports(dc, &[1]))
-            .unwrap();
+        net.enqueue_report_batch(
+            SimTime::from_secs(3.0),
+            dc,
+            sample_reports(dc, &[1]),
+            0x5EED,
+        )
+        .unwrap();
         net.pump_outboxes(SimTime::from_secs(3.0)).unwrap();
         let got = net.recv(Endpoint::Pdme, SimTime::from_secs(4.0));
         assert_eq!(got.len(), 1);
@@ -1136,5 +1256,91 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn trace_hops_chain_enqueue_send_deliver() {
+        let mut net = network(0.0);
+        let dc = DcId::new(1);
+        net.enqueue_report_batch(SimTime::ZERO, dc, sample_reports(dc, &[42]), 0x5EED)
+            .unwrap();
+        net.pump_outboxes(SimTime::ZERO).unwrap();
+        net.recv(Endpoint::Pdme, SimTime::from_secs(1.0));
+
+        let trace = TraceId::for_report(0x5EED, 42);
+        let hops: Vec<TraceHop> = net
+            .telemetry()
+            .trace_hops()
+            .into_iter()
+            .filter(|h| h.trace == trace)
+            .collect();
+        let kinds: Vec<HopKind> = hops.iter().map(|h| h.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![HopKind::Enqueue, HopKind::Send, HopKind::Deliver]
+        );
+        // Parent linkage: Enqueue hangs off the (DC-side) root span,
+        // Send off the enqueue span, Deliver off that attempt's send.
+        assert_eq!(
+            hops[0].parent,
+            Some(SpanId::derive(trace, HopKind::DcEmit, 0))
+        );
+        assert_eq!(hops[1].parent, Some(hops[0].span));
+        assert_eq!(hops[1].attempt, 1, "first transmission");
+        assert_eq!(hops[2].parent, Some(hops[1].span));
+        assert!(hops[2].sim_end > hops[2].sim_start, "transit takes time");
+    }
+
+    #[test]
+    fn retry_hops_stay_on_the_original_trace() {
+        let mut net = network(0.0);
+        let dc = DcId::new(1);
+        net.enqueue_report_batch(SimTime::ZERO, dc, sample_reports(dc, &[7]), 0x5EED)
+            .unwrap();
+        net.pump_outboxes(SimTime::ZERO).unwrap();
+        net.pump_outboxes(SimTime::from_secs(2.0)).unwrap(); // unacked: retry
+        net.recv(Endpoint::Pdme, SimTime::from_secs(10.0));
+
+        let trace = TraceId::for_report(0x5EED, 7);
+        let hops = net.telemetry().trace_hops();
+        let sends: Vec<&TraceHop> = hops
+            .iter()
+            .filter(|h| h.trace == trace && h.kind == HopKind::Send)
+            .collect();
+        assert_eq!(sends.len(), 2, "both transmissions on the same trace");
+        assert_eq!(sends[0].attempt, 1);
+        assert_eq!(sends[1].attempt, 2);
+        // Both sends share the enqueue parent — a retry is a new span
+        // under the same enqueue, never a fresh trace.
+        assert_eq!(sends[0].parent, sends[1].parent);
+        let delivers: Vec<&TraceHop> = hops
+            .iter()
+            .filter(|h| h.trace == trace && h.kind == HopKind::Deliver)
+            .collect();
+        assert_eq!(delivers.len(), 2);
+        for d in delivers {
+            assert_eq!(
+                d.parent,
+                Some(SpanId::derive(trace, HopKind::Send, d.attempt))
+            );
+        }
+    }
+
+    #[test]
+    fn crash_records_crash_lost_hops_for_pending_frames() {
+        let mut net = network(0.0);
+        let dc = DcId::new(1);
+        net.enqueue_report_batch(SimTime::ZERO, dc, sample_reports(dc, &[3, 4]), 0x5EED)
+            .unwrap();
+        net.crash_dc(dc);
+        let hops = net.telemetry().trace_hops();
+        let lost: Vec<&TraceHop> = hops
+            .iter()
+            .filter(|h| h.kind == HopKind::CrashLost)
+            .collect();
+        assert_eq!(lost.len(), 2, "one hop per report in the lost frame");
+        for (h, seq) in lost.iter().zip([3u64, 4]) {
+            assert_eq!(h.trace, TraceId::for_report(0x5EED, seq));
+        }
     }
 }

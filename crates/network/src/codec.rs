@@ -12,12 +12,14 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mpros_core::{ConditionReport, DcId, Error, MachineId, Result};
+use mpros_telemetry::TraceContext;
 use serde::{Deserialize, Serialize};
 
 const MAGIC: [u8; 2] = *b"MP";
-/// Wire version. v2 added the batch restart `epoch` and the `Ack`
-/// message; v1 peers are rejected rather than mis-parsed.
-const VERSION: u8 = 2;
+/// Wire version. v3 added the per-report [`TraceContext`] on batch
+/// entries; v2 added the batch restart `epoch` and the `Ack` message.
+/// Older peers are rejected rather than mis-parsed.
+const VERSION: u8 = 3;
 /// Frames larger than this are rejected (corrupted length field guard).
 const MAX_PAYLOAD: usize = 16 * 1024 * 1024;
 /// Reports per batch frame; larger batches must be split by the sender.
@@ -31,6 +33,9 @@ pub const MAX_BATCH: usize = 1024;
 pub struct BatchEntry {
     /// The DC's emission sequence number for this report.
     pub seq: u64,
+    /// The report's causal trace context (v3). Carried on every
+    /// retransmission unchanged, so retries land on the same trace.
+    pub trace: TraceContext,
     /// The report itself.
     pub report: ConditionReport,
 }
@@ -282,6 +287,7 @@ mod tests {
                 .iter()
                 .map(|&seq| BatchEntry {
                     seq,
+                    trace: TraceContext::for_enqueued(mpros_telemetry::TraceId(seq ^ 0xDEAD)),
                     report: sample_report(),
                 })
                 .collect(),
@@ -308,7 +314,7 @@ mod tests {
         let forged = serde_json::to_vec(&batch(&[4, 4])).unwrap();
         let mut buf = BytesMut::new();
         buf.put_slice(b"MP");
-        buf.put_u8(2);
+        buf.put_u8(3);
         buf.put_u8(5);
         buf.put_u32_le(forged.len() as u32);
         buf.put_slice(&forged);
@@ -320,6 +326,7 @@ mod tests {
         let entries: Vec<BatchEntry> = (0..=MAX_BATCH as u64)
             .map(|seq| BatchEntry {
                 seq,
+                trace: TraceContext::default(),
                 report: sample_report(),
             })
             .collect();
@@ -346,11 +353,26 @@ mod tests {
         assert!(err.to_string().contains("version"), "{err}");
     }
 
+    /// v2 peers frame batch entries without a trace context; the
+    /// version byte rejects them before serde can mis-default fields.
+    #[test]
+    fn v2_frames_are_rejected_by_version() {
+        let payload = br#"{"ReportBatch":{"dc":2,"epoch":0,"entries":[]}}"#.to_vec();
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"MP");
+        buf.put_u8(2);
+        buf.put_u8(5);
+        buf.put_u32_le(payload.len() as u32);
+        buf.put_slice(&payload);
+        let err = decode_message(buf.freeze()).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
     #[test]
     fn length_cap_is_enforced() {
         let mut frame = BytesMut::new();
         frame.put_slice(b"MP");
-        frame.put_u8(2);
+        frame.put_u8(3);
         frame.put_u8(4);
         frame.put_u32_le(u32::MAX);
         assert!(decode_message(frame.freeze()).is_err());

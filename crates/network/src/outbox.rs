@@ -127,12 +127,14 @@ impl Outbox {
     }
 
     /// Park a frame; evicts the oldest pending frame when full.
-    /// Returns the number of frames evicted (0 or 1).
-    pub fn push(&mut self, config: &OutboxConfig, batch: PendingBatch) -> usize {
-        let mut evicted = 0;
+    /// Returns the evicted frames (so the caller can account for every
+    /// report they carried).
+    pub fn push(&mut self, config: &OutboxConfig, batch: PendingBatch) -> Vec<PendingBatch> {
+        let mut evicted = Vec::new();
         while self.pending.len() >= config.capacity.max(1) {
-            self.pending.pop_front();
-            evicted += 1;
+            if let Some(old) = self.pending.pop_front() {
+                evicted.push(old);
+            }
         }
         self.pending.push_back(batch);
         evicted
@@ -189,9 +191,11 @@ mod tests {
     fn push_evicts_oldest_when_full() {
         let cfg = OutboxConfig::new().with_capacity(2);
         let mut ob = Outbox::new(1);
-        assert_eq!(ob.push(&cfg, pending(0, 1)), 0);
-        assert_eq!(ob.push(&cfg, pending(0, 2)), 0);
-        assert_eq!(ob.push(&cfg, pending(0, 3)), 1, "oldest dropped");
+        assert!(ob.push(&cfg, pending(0, 1)).is_empty());
+        assert!(ob.push(&cfg, pending(0, 2)).is_empty());
+        let evicted = ob.push(&cfg, pending(0, 3));
+        assert_eq!(evicted.len(), 1, "oldest dropped");
+        assert_eq!(evicted[0].last_seq, 1);
         let seqs: Vec<u64> = ob.pending.iter().map(|p| p.last_seq).collect();
         assert_eq!(seqs, vec![2, 3]);
     }

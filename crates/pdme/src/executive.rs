@@ -23,7 +23,10 @@ use mpros_core::{ConditionReport, DcId, MachineId, Result, SimDuration, SimTime}
 use mpros_fusion::{FusionEngine, MaintenanceItem};
 use mpros_network::NetMessage;
 use mpros_oosm::{ObjectKind, Oosm, OosmEvent, Subscription, Value};
-use mpros_telemetry::{Counter, Histogram, Instrumented, Stage, Telemetry, WallTimer};
+use mpros_telemetry::{
+    Counter, Histogram, HopKind, Instrumented, SpanId, Stage, Telemetry, TraceHop, TraceId,
+    WallTimer,
+};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -91,6 +94,10 @@ pub struct PdmeExecutive {
     /// a newer epoch resets the watermark, because a restarted DC's
     /// sequence counter starts over.
     batch_last_seq: HashMap<DcId, (u64, u64)>,
+    /// Trace context of reports ingested but not yet fused, keyed by
+    /// raw report id: the fusion pass closes these out with `Fuse` and
+    /// `OosmUpdate` hops parented under the ingest span.
+    pending_traces: HashMap<u64, (TraceId, SpanId)>,
     telemetry: Telemetry,
     m_reports_received: Arc<Counter>,
     m_batch_replays: Arc<Counter>,
@@ -123,6 +130,7 @@ impl PdmeExecutive {
             supervisor: Supervisor::new(),
             dc_last_seen: HashMap::new(),
             batch_last_seq: HashMap::new(),
+            pending_traces: HashMap::new(),
             telemetry,
             m_reports_received,
             m_batch_replays,
@@ -222,6 +230,16 @@ impl PdmeExecutive {
                     if !fresh {
                         summary.replays += 1;
                         self.m_batch_replays.inc();
+                        self.telemetry.record_hop(TraceHop::new(
+                            entry.trace.trace,
+                            HopKind::Replay,
+                            0,
+                            Some(entry.trace.parent),
+                            "pdme",
+                            now.as_secs(),
+                            now.as_secs(),
+                            "duplicate frame dropped by replay guard",
+                        ));
                         self.telemetry.event_at(
                             now,
                             "pdme",
@@ -230,7 +248,23 @@ impl PdmeExecutive {
                         );
                         continue;
                     }
+                    let timer = WallTimer::start();
                     self.ingest_report(&entry.report, now)?;
+                    let mut hop = TraceHop::new(
+                        entry.trace.trace,
+                        HopKind::Ingest,
+                        0,
+                        Some(entry.trace.parent),
+                        "pdme",
+                        now.as_secs(),
+                        now.as_secs(),
+                        "",
+                    );
+                    hop.wall_ns = timer.elapsed().as_nanos() as u64;
+                    let ingest_span = hop.span;
+                    self.telemetry.record_hop(hop);
+                    self.pending_traces
+                        .insert(entry.report.id.raw(), (entry.trace.trace, ingest_span));
                     self.batch_last_seq.insert(*dc, (*epoch, entry.seq));
                     summary.posted += 1;
                 }
@@ -275,25 +309,6 @@ impl PdmeExecutive {
         Ok(summary)
     }
 
-    /// Step 1: accept a network message without fusing. Superseded by
-    /// [`PdmeExecutive::ingest`], which also generates the transport
-    /// acknowledgements. Returns the number of reports posted.
-    #[deprecated(since = "0.4.0", note = "use `ingest`, which also returns batch acks")]
-    pub fn handle_message(&mut self, msg: &NetMessage, now: SimTime) -> Result<usize> {
-        let mut summary = IngestSummary::default();
-        let mut acks = BTreeMap::new();
-        self.ingest_frame(msg, now, &mut summary, &mut acks)?;
-        Ok(summary.posted)
-    }
-
-    /// Accept a whole step's worth of delivered messages, then run one
-    /// fusion pass. Superseded by [`PdmeExecutive::ingest`]. Returns
-    /// the number of reports fused.
-    #[deprecated(since = "0.4.0", note = "use `ingest`, which also returns batch acks")]
-    pub fn handle_batch(&mut self, msgs: &[NetMessage], now: SimTime) -> Result<usize> {
-        Ok(self.ingest(msgs, now)?.fused)
-    }
-
     /// Steps 2–4: drain the OOSM event queue, run knowledge fusion on
     /// every newly posted report, invoke resident algorithms, and post
     /// their conclusions back. Returns the number of reports fused.
@@ -311,8 +326,39 @@ impl PdmeExecutive {
                     continue;
                 };
                 let report = self.oosm.report_payload(object)?;
+                let timer = WallTimer::start();
                 self.fusion.ingest(&report)?;
                 fused += 1;
+                // Close the report's trace out: fusion, then the fused
+                // state surfacing on the ship model (step 4 below).
+                // Resident-emitted reports carry no wire trace context
+                // and simply miss the lookup.
+                if let Some((trace, ingest_span)) = self.pending_traces.remove(&report.id.raw()) {
+                    let at = self.telemetry.sim_now().as_secs();
+                    let mut fuse_hop = TraceHop::new(
+                        trace,
+                        HopKind::Fuse,
+                        0,
+                        Some(ingest_span),
+                        "pdme",
+                        at,
+                        at,
+                        "",
+                    );
+                    fuse_hop.wall_ns = timer.elapsed().as_nanos() as u64;
+                    let fuse_span = fuse_hop.span;
+                    self.telemetry.record_hop(fuse_hop);
+                    self.telemetry.record_hop(TraceHop::new(
+                        trace,
+                        HopKind::OosmUpdate,
+                        0,
+                        Some(fuse_span),
+                        "pdme",
+                        at,
+                        at,
+                        "fused state surfaced on ship model",
+                    ));
+                }
                 // Resident pass only for externally produced reports.
                 if report.dc != PDME_RESIDENT_DC {
                     let mut emitted = Vec::new();
@@ -508,40 +554,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_two_phase_entry_points_still_work() {
-        let mut p = pdme();
-        let n = p
-            .handle_message(
-                &NetMessage::Report(report(1, 1, MachineCondition::MotorImbalance, 0.7)),
-                SimTime::ZERO,
-            )
-            .unwrap();
-        assert_eq!(n, 1);
-        // Fusion happens on event processing, not on receipt.
-        assert_eq!(
-            p.fusion()
-                .diagnostic()
-                .belief(MachineId::new(1), MachineCondition::MotorImbalance),
-            0.0
-        );
-        assert_eq!(p.process_events().unwrap(), 1);
-        let fused = p
-            .handle_batch(
-                &[NetMessage::Report(report(
-                    2,
-                    1,
-                    MachineCondition::MotorImbalance,
-                    0.6,
-                ))],
-                SimTime::ZERO,
-            )
-            .unwrap();
-        assert_eq!(fused, 1);
-        assert_eq!(p.reports_received(), 2);
-    }
-
-    #[test]
     fn maintenance_list_reflects_fused_state() {
         let mut p = pdme();
         let msgs: Vec<NetMessage> = [
@@ -698,6 +710,7 @@ mod tests {
         .into_iter()
         .map(|(id, c, b)| BatchEntry {
             seq: id,
+            trace: mpros_telemetry::TraceContext::default(),
             report: report(id, 1, c, b),
         })
         .collect();
@@ -755,7 +768,11 @@ mod tests {
     fn entry_for(seq: u64, dc: u64) -> mpros_network::BatchEntry {
         let mut r = report(seq, 1, MachineCondition::MotorImbalance, 0.5);
         r.dc = DcId::new(dc);
-        mpros_network::BatchEntry { seq, report: r }
+        mpros_network::BatchEntry {
+            seq,
+            trace: mpros_telemetry::TraceContext::default(),
+            report: r,
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Multi-level health rollup (§10.1 future work).
 //!
-//! "First, multi-level data is represented [in] the object-oriented ship
+//! "First, multi-level data is represented \[in\] the object-oriented ship
 //! model. We are not currently exploiting this fully. For example, we
 //! could reason about the health of a system based on the health of a
 //! constituent part. Currently, only the parts are tracked."

@@ -1,6 +1,6 @@
 //! The ICAS open interface (§1).
 //!
-//! "We are currently designing and refining a[n] MPROS system
+//! "We are currently designing and refining a\[n\] MPROS system
 //! architecture with open interfaces to provide machinery condition and
 //! raw sensor data to other shipboard systems such as ICAS (Integrated
 //! Condition Assessment System)", aligned with "industry standards such

@@ -52,13 +52,6 @@ impl SharedPdme {
         self.inner.lock().ingest(msgs, now)
     }
 
-    /// Ingest one network message without fusing (thread-safe).
-    #[deprecated(since = "0.4.0", note = "use `ingest`, which also returns batch acks")]
-    pub fn handle_message(&self, msg: &NetMessage, now: SimTime) -> Result<usize> {
-        #[allow(deprecated)]
-        self.inner.lock().handle_message(msg, now)
-    }
-
     /// Run the knowledge-fusion pass (thread-safe).
     pub fn process_events(&self) -> Result<usize> {
         self.inner.lock().process_events()

@@ -1,7 +1,7 @@
 //! The SBFR interpreter.
 //!
 //! Executes a set of state-machine *images* (see [`crate::program`]) in
-//! lockstep: one call to [`Interpreter::step`] is one SBFR cycle — the
+//! lockstep: one call to [`Interpreter::cycle`] is one SBFR cycle — the
 //! paper's interpreter "can cycle with a period of less than 4
 //! milliseconds" over "100 state machines operating in parallel". The
 //! interpreter works directly on the binary images, so the resident

@@ -1,0 +1,214 @@
+//! Trace exporters: Chrome trace-event JSON and JSONL.
+//!
+//! Both exporters consume hops in canonical order (see
+//! [`crate::trace::TraceLog::canonical_hops`]) and emit **simulated**
+//! time only, so the bytes they produce are identical across
+//! `Sequential` and `Parallel{N}` runs of the same seeded scenario.
+//!
+//! * [`chrome_trace`] produces a trace-event JSON object loadable in
+//!   Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`: one
+//!   `pid`, one named `tid` track per source (`dc{N}`, `net`, `pdme`),
+//!   `"X"` complete events with `ts`/`dur` in microseconds of simulated
+//!   time, and the trace/span/parent ids in `args`.
+//! * [`jsonl`] produces one JSON object per hop per line — grep-able,
+//!   streamable, and the format the `trace_e2e` tests reconstruct
+//!   journeys from.
+
+use crate::trace::TraceHop;
+use serde_json::{Map, Number, Value};
+
+fn s(v: impl Into<String>) -> Value {
+    Value::String(v.into())
+}
+
+fn u(v: u64) -> Value {
+    Value::Number(Number::from_u64(v))
+}
+
+fn f(v: f64) -> Value {
+    Value::Number(Number::from_f64(v))
+}
+
+/// Microseconds of simulated time, as an integer tick.
+fn micros(sim_s: f64) -> u64 {
+    (sim_s * 1e6).round().max(0.0) as u64
+}
+
+/// The distinct tracks of `hops`, sorted, with `dc*` tracks first, then
+/// everything else alphabetically — a stable tid assignment.
+fn tracks(hops: &[TraceHop]) -> Vec<String> {
+    let mut tracks: Vec<String> = Vec::new();
+    for h in hops {
+        if !tracks.contains(&h.track) {
+            tracks.push(h.track.clone());
+        }
+    }
+    tracks.sort_by_key(|t| {
+        let dc_rank = t.strip_prefix("dc").and_then(|n| n.parse::<u64>().ok());
+        (dc_rank.is_none(), dc_rank.unwrap_or(0), t.clone())
+    });
+    tracks
+}
+
+fn hop_args(h: &TraceHop) -> Value {
+    let mut args = Map::new();
+    args.insert("trace".into(), s(h.trace.to_string()));
+    args.insert("span".into(), s(h.span.to_string()));
+    args.insert(
+        "parent".into(),
+        match h.parent {
+            Some(p) => s(p.to_string()),
+            None => Value::Null,
+        },
+    );
+    args.insert("attempt".into(), u(u64::from(h.attempt)));
+    if !h.detail.is_empty() {
+        args.insert("detail".into(), s(h.detail.clone()));
+    }
+    Value::Object(args)
+}
+
+/// Render hops as a Chrome trace-event JSON document.
+pub fn chrome_trace(hops: &[TraceHop]) -> String {
+    let tracks = tracks(hops);
+    let tid_of = |track: &str| tracks.iter().position(|t| t == track).unwrap_or(0) as u64;
+    let mut events: Vec<Value> = Vec::with_capacity(tracks.len() + hops.len());
+    for (tid, track) in tracks.iter().enumerate() {
+        let mut m = Map::new();
+        m.insert("ph".into(), s("M"));
+        m.insert("pid".into(), u(1));
+        m.insert("tid".into(), u(tid as u64));
+        m.insert("name".into(), s("thread_name"));
+        let mut args = Map::new();
+        args.insert("name".into(), s(track.clone()));
+        m.insert("args".into(), Value::Object(args));
+        events.push(Value::Object(m));
+    }
+    for h in hops {
+        let ts = micros(h.sim_start);
+        let dur = micros(h.sim_end).saturating_sub(ts);
+        let mut m = Map::new();
+        m.insert("ph".into(), s("X"));
+        m.insert("pid".into(), u(1));
+        m.insert("tid".into(), u(tid_of(&h.track)));
+        m.insert("name".into(), s(h.kind.as_str()));
+        m.insert("cat".into(), s("mpros"));
+        m.insert("ts".into(), u(ts));
+        m.insert("dur".into(), u(dur));
+        m.insert("args".into(), hop_args(h));
+        events.push(Value::Object(m));
+    }
+    let mut doc = Map::new();
+    doc.insert("traceEvents".into(), Value::Array(events));
+    doc.insert("displayTimeUnit".into(), s("ms"));
+    serde_json::to_string(&Value::Object(doc)).expect("value tree serializes")
+}
+
+/// Render hops as JSONL: one compact JSON object per hop per line,
+/// trailing newline included (empty string for no hops).
+pub fn jsonl(hops: &[TraceHop]) -> String {
+    let mut out = String::new();
+    for h in hops {
+        let mut m = Map::new();
+        m.insert("trace".into(), s(h.trace.to_string()));
+        m.insert("span".into(), s(h.span.to_string()));
+        m.insert(
+            "parent".into(),
+            match h.parent {
+                Some(p) => s(p.to_string()),
+                None => Value::Null,
+            },
+        );
+        m.insert("kind".into(), s(h.kind.as_str()));
+        m.insert("attempt".into(), u(u64::from(h.attempt)));
+        m.insert("track".into(), s(h.track.clone()));
+        m.insert("sim_start".into(), f(h.sim_start));
+        m.insert("sim_end".into(), f(h.sim_end));
+        if !h.detail.is_empty() {
+            m.insert("detail".into(), s(h.detail.clone()));
+        }
+        out.push_str(&serde_json::to_string(&Value::Object(m)).expect("value tree serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{HopKind, SpanId, TraceHop, TraceId};
+
+    fn sample() -> Vec<TraceHop> {
+        let t = TraceId(0xABCD);
+        let root = SpanId::derive(t, HopKind::DcEmit, 0);
+        vec![
+            TraceHop::new(t, HopKind::DcEmit, 0, None, "dc2", 30.0, 30.0, "bearing"),
+            TraceHop::new(t, HopKind::Enqueue, 0, Some(root), "net", 30.0, 30.0, ""),
+            TraceHop::new(t, HopKind::Deliver, 1, None, "net", 30.0, 30.02, ""),
+            TraceHop::new(t, HopKind::Ingest, 0, None, "pdme", 30.02, 30.02, ""),
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_named_tracks() {
+        let doc = chrome_trace(&sample());
+        let v: Value = serde_json::from_str(&doc).expect("valid JSON");
+        let events = match &v["traceEvents"] {
+            Value::Array(a) => a,
+            other => panic!("traceEvents not an array: {other:?}"),
+        };
+        // 3 tracks (dc2, net, pdme) → 3 metadata events + 4 hops.
+        assert_eq!(events.len(), 7);
+        let metas: Vec<&Value> = events
+            .iter()
+            .filter(|e| e["ph"].as_str() == Some("M"))
+            .collect();
+        assert_eq!(metas.len(), 3);
+        assert_eq!(metas[0]["args"]["name"].as_str(), Some("dc2"));
+        assert_eq!(metas[1]["args"]["name"].as_str(), Some("net"));
+        assert_eq!(metas[2]["args"]["name"].as_str(), Some("pdme"));
+        let xs: Vec<&Value> = events
+            .iter()
+            .filter(|e| e["ph"].as_str() == Some("X"))
+            .collect();
+        assert_eq!(xs[0]["ts"].as_u64(), Some(30_000_000));
+        assert_eq!(xs[2]["dur"].as_u64(), Some(20_000));
+        assert_eq!(xs[0]["args"]["detail"].as_str(), Some("bearing"));
+    }
+
+    #[test]
+    fn dc_tracks_sort_numerically_before_infrastructure() {
+        let t = TraceId(1);
+        let hops: Vec<TraceHop> = vec![
+            TraceHop::new(t, HopKind::Ingest, 0, None, "pdme", 0.0, 0.0, ""),
+            TraceHop::new(t, HopKind::DcEmit, 0, None, "dc10", 0.0, 0.0, ""),
+            TraceHop::new(t, HopKind::DcEmit, 0, None, "dc2", 0.0, 0.0, ""),
+            TraceHop::new(t, HopKind::Enqueue, 0, None, "net", 0.0, 0.0, ""),
+        ];
+        assert_eq!(tracks(&hops), vec!["dc2", "dc10", "net", "pdme"]);
+    }
+
+    #[test]
+    fn jsonl_emits_one_parseable_line_per_hop() {
+        let text = jsonl(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            let v: Value = serde_json::from_str(line).expect("line parses");
+            assert!(v["trace"].as_str().is_some());
+            assert!(v["kind"].as_str().is_some());
+        }
+        let first: Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first["parent"], Value::Null);
+        let second: Value = serde_json::from_str(lines[1]).unwrap();
+        assert!(second["parent"].as_str().is_some());
+    }
+
+    #[test]
+    fn exports_are_deterministic_for_equal_input() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(chrome_trace(&a), chrome_trace(&b));
+        assert_eq!(jsonl(&a), jsonl(&b));
+    }
+}

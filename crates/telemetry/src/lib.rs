@@ -13,7 +13,10 @@
 //! * a bounded ring-buffer event [`journal`] for rare happenings (drops,
 //!   partitions, quarantined channels, fusion conflict renormalizations);
 //! * a versioned JSON [`snapshot`] exporter and a text [`dashboard`]
-//!   renderer for the shipboard examples and CI artifacts.
+//!   renderer for the shipboard examples and CI artifacts;
+//! * deterministic per-report causal tracing ([`trace`]) with Chrome
+//!   trace-event / JSONL exporters ([`export`]) and a declarative SLO
+//!   watchdog ([`slo`]).
 //!
 //! Everything is interior-mutable: one [`Telemetry`] handle is created
 //! per scenario, cloned into every component, and recorded into from
@@ -23,19 +26,24 @@
 #![forbid(unsafe_code)]
 
 pub mod dashboard;
+pub mod export;
 pub mod journal;
 pub mod metrics;
+pub mod slo;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 pub mod worker;
 
 pub use journal::{Event, Journal};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use slo::{SloCheck, SloPolicy, SloRule, SloVerdict, SloWatchdog};
 pub use snapshot::{
     CounterSnapshot, EventSnapshot, GaugeSnapshot, HistogramSnapshot, TelemetrySnapshot,
     TELEMETRY_SCHEMA_VERSION,
 };
 pub use span::{Stage, WallTimer};
+pub use trace::{HopKind, SpanId, TraceContext, TraceHop, TraceId, TraceLog};
 pub use worker::SpanBatch;
 
 use mpros_core::{SimDuration, SimTime};
@@ -74,6 +82,8 @@ struct Inner {
     span_wall: Vec<Arc<Histogram>>,
     /// Simulated-time span histograms, one per [`Stage`].
     span_sim: Vec<Arc<Histogram>>,
+    /// Per-report causal hop log (see [`trace`]).
+    trace: TraceLog,
 }
 
 /// The shared observability handle: cheap to clone, records from
@@ -114,6 +124,7 @@ impl Telemetry {
                 sim_now_bits: AtomicU64::new(0f64.to_bits()),
                 span_wall,
                 span_sim,
+                trace: TraceLog::default(),
             }),
         }
     }
@@ -203,6 +214,22 @@ impl Telemetry {
     /// The simulated-time histogram of one stage.
     pub fn span_sim(&self, stage: Stage) -> Arc<Histogram> {
         Arc::clone(&self.inner.span_sim[stage.index()])
+    }
+
+    /// Record one causal hop into the trace log.
+    #[inline]
+    pub fn record_hop(&self, hop: TraceHop) {
+        self.inner.trace.record(hop);
+    }
+
+    /// The trace log (for canonical exports and per-trace queries).
+    pub fn trace_log(&self) -> &TraceLog {
+        &self.inner.trace
+    }
+
+    /// All recorded hops in canonical (scheduling-independent) order.
+    pub fn trace_hops(&self) -> Vec<TraceHop> {
+        self.inner.trace.canonical_hops()
     }
 
     /// Capture the full state as a versioned snapshot document.

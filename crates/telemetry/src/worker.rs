@@ -1,6 +1,6 @@
 //! Per-worker span batching for parallel execution engines.
 //!
-//! The shared [`Telemetry`](crate::Telemetry) domain is safe to record
+//! The shared [`Telemetry`] domain is safe to record
 //! into from any thread, but every `record_span_wall` is an atomic RMW
 //! on histogram buckets other workers are hitting too. A worker that
 //! times many small units of work inside one scatter-gather job would

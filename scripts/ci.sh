@@ -10,6 +10,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -37,10 +40,28 @@ cargo run --release -p mpros-bench --bin exp_throughput -- --workers 1 > /dev/nu
 echo "==> exp_throughput --workers 4"
 cargo run --release -p mpros-bench --bin exp_throughput -- --workers 4
 
+# Perf-regression gate: diff the fresh BENCH_throughput.json against
+# the committed BENCH_baseline.json. Wall-clock rates get a loose,
+# host-noise-absorbing floor (PERF_GATE_WALL_TOL, default 50%); the
+# deterministic simulation outputs (latency quantiles, delivery
+# counters) must match the baseline exactly — any drift means the
+# engine's observable behaviour changed without re-blessing.
+echo "==> perf_gate (BENCH_throughput.json vs BENCH_baseline.json)"
+cargo run --release -p mpros-bench --bin perf_gate
+
 # The same fleet measurement under the lossy fault profile: drops plus
 # a seeded campaign of crashes/partitions/dropouts. Leaves the retry /
 # expiry counters in BENCH_throughput.json.
 echo "==> exp_throughput --fault-profile lossy"
 cargo run --release -p mpros-bench --bin exp_throughput -- --workers 4 --fault-profile lossy
+
+# SLO watchdog over both operating profiles. Calm sea runs tight
+# budgets; the lossy profile widens latency/staleness to absorb retry
+# backoff and partition windows but still demands net.expired == 0 —
+# the acked outbox must deliver *eventually*, even on a bad sea.
+echo "==> slo_check --profile calm"
+cargo run --release -p mpros-bench --bin slo_check -- --profile calm
+echo "==> slo_check --profile lossy"
+cargo run --release -p mpros-bench --bin slo_check -- --profile lossy
 
 echo "CI OK"

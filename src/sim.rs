@@ -70,7 +70,10 @@ use mpros_core::{
 use mpros_dc::{DataConcentrator, DcConfig, SensorFault};
 use mpros_network::{Endpoint, Envelope, NetMessage, NetworkConfig, ShipNetwork};
 use mpros_pdme::PdmeExecutive;
-use mpros_telemetry::{Instrumented, Stage, Telemetry, WallTimer};
+use mpros_telemetry::trace::dc_trace_seed;
+use mpros_telemetry::{
+    Instrumented, SloPolicy, SloVerdict, SloWatchdog, Stage, Telemetry, TraceHop, WallTimer,
+};
 use parking_lot::{Mutex, MutexGuard};
 use std::sync::Arc;
 
@@ -100,6 +103,9 @@ pub struct ShipboardSimConfig {
     pub heartbeat_period: SimDuration,
     /// How per-DC work is executed each tick.
     pub exec: ExecMode,
+    /// Service-level objectives the watchdog evaluates after every
+    /// step's supervision pass; [`SloPolicy::none`] disables it.
+    pub slo: SloPolicy,
 }
 
 impl Default for ShipboardSimConfig {
@@ -113,6 +119,7 @@ impl Default for ShipboardSimConfig {
             survey_period: SimDuration::from_secs(30.0),
             heartbeat_period: SimDuration::from_secs(10.0),
             exec: ExecMode::Sequential,
+            slo: SloPolicy::none(),
         }
     }
 }
@@ -136,6 +143,12 @@ pub struct ShipboardSim {
     last_heartbeat: Vec<SimTime>,
     telemetry: Telemetry,
     pool: Option<WorkerPool>,
+    /// Master seed, kept to re-derive trace-id streams on restarts.
+    master_seed: u64,
+    /// Per-DC trace-id stream seed for the *current* restart epoch;
+    /// shared by the DC (root hops) and the network (wire context).
+    trace_seeds: Vec<u64>,
+    watchdog: SloWatchdog,
 }
 
 impl ShipboardSim {
@@ -158,6 +171,7 @@ impl ShipboardSim {
         let mut dcs = Vec::with_capacity(config.dc_count);
         let mut dc_ids = Vec::with_capacity(config.dc_count);
         let mut dc_configs = Vec::with_capacity(config.dc_count);
+        let mut trace_seeds = Vec::with_capacity(config.dc_count);
         for i in 0..config.dc_count {
             let machine = MachineId::new(i as u64 + 1);
             let dc_id = DcId::new(i as u64 + 1);
@@ -165,7 +179,11 @@ impl ShipboardSim {
                 machine,
                 derive_stream_seed(config.seed, dc_id.raw()),
             )))));
-            let dc_cfg = DcConfig::new(dc_id, machine).with_survey_period(config.survey_period);
+            let trace_seed = dc_trace_seed(config.seed, dc_id.raw(), 0);
+            trace_seeds.push(trace_seed);
+            let dc_cfg = DcConfig::new(dc_id, machine)
+                .with_survey_period(config.survey_period)
+                .with_trace_seed(trace_seed);
             let mut dc = DataConcentrator::new(dc_cfg.clone())?;
             dc.set_telemetry(&telemetry);
             dcs.push(Arc::new(Mutex::new(dc)));
@@ -201,6 +219,9 @@ impl ShipboardSim {
             heartbeat_period: config.heartbeat_period,
             telemetry,
             pool,
+            master_seed: config.seed,
+            trace_seeds,
+            watchdog: SloWatchdog::new(config.slo),
         })
     }
 
@@ -261,6 +282,26 @@ impl ShipboardSim {
         &self.fault_plan
     }
 
+    /// The SLO watchdog's verdict from the most recent step, if the
+    /// configured policy has any rules and at least one step has run.
+    pub fn slo_verdict(&self) -> Option<&SloVerdict> {
+        self.watchdog.last_verdict()
+    }
+
+    /// Every causal trace hop recorded so far, in canonical order
+    /// (identical across execution modes; feed to
+    /// [`mpros_telemetry::export::chrome_trace`] or
+    /// [`mpros_telemetry::export::jsonl`]).
+    pub fn trace_hops(&self) -> Vec<TraceHop> {
+        self.telemetry.trace_hops()
+    }
+
+    /// The trace-id stream seed DC `idx` currently derives report
+    /// traces from (changes on every crash restart).
+    pub fn dc_trace_seed(&self, idx: usize) -> u64 {
+        self.trace_seeds[idx]
+    }
+
     /// True while DC `idx` is inside a crash window.
     pub fn is_crashed(&self, idx: usize) -> bool {
         self.crashed[idx]
@@ -315,8 +356,18 @@ impl ShipboardSim {
                     }
                     // The restarted process is a *fresh* DC: volatile
                     // detectors, schedules and id allocator reset; the
-                    // SBFR set comes back via the PDME supervisor.
-                    let mut fresh = DataConcentrator::new(self.dc_configs[idx].clone())?;
+                    // SBFR set comes back via the PDME supervisor. Its
+                    // id allocator restarting means report ids repeat,
+                    // so the trace-id stream must fold the new epoch in
+                    // — pre- and post-crash reports with the same raw
+                    // id stay distinct traces.
+                    let epoch = self.epochs[idx] + 1;
+                    self.trace_seeds[idx] = dc_trace_seed(self.master_seed, dc.raw(), epoch);
+                    let mut fresh = DataConcentrator::new(
+                        self.dc_configs[idx]
+                            .clone()
+                            .with_trace_seed(self.trace_seeds[idx]),
+                    )?;
                     fresh.set_telemetry(&self.telemetry);
                     // Harness-held fault state outlives the process:
                     // re-break any channel still inside a dropout window.
@@ -331,7 +382,7 @@ impl ShipboardSim {
                     }
                     *self.dcs[idx].lock() = fresh;
                     self.crashed[idx] = false;
-                    self.epochs[idx] += 1;
+                    self.epochs[idx] = epoch;
                     self.network.restart_dc(dc, self.epochs[idx]);
                     // A partition window may still cover the endpoint.
                     if self.fault_plan.any_active(now, |k| {
@@ -460,7 +511,7 @@ impl ShipboardSim {
         for (i, reports) in outputs {
             let reports = reports?;
             self.network
-                .enqueue_report_batch(now, self.dc_ids[i], reports)?;
+                .enqueue_report_batch(now, self.dc_ids[i], reports, self.trace_seeds[i])?;
             if now.since(self.last_heartbeat[i]) >= self.heartbeat_period {
                 self.last_heartbeat[i] = now;
                 self.network.post(
@@ -481,6 +532,7 @@ impl ShipboardSim {
         // acks back onto the wire, then a supervision pass. A stalled
         // PDME leaves its inbox queueing.
         if self.stalled {
+            self.watchdog.evaluate(&self.telemetry);
             return Ok(0);
         }
         let msgs = self.network.recv(Endpoint::Pdme, now);
@@ -504,6 +556,9 @@ impl ShipboardSim {
             };
             self.network.post(now, Envelope::to_dc(*dc, cmd))?;
         }
+        // The SLO watchdog reads the shared registry after supervision,
+        // on the control thread — deterministic under any worker count.
+        self.watchdog.evaluate(&self.telemetry);
         Ok(summary.fused)
     }
 

@@ -15,6 +15,9 @@
 //! * the journal, normalized per component: within one component the
 //!   event sequence is deterministic, while cross-component
 //!   interleaving legitimately varies with worker scheduling.
+//! * the full causal-trace export (Chrome trace-event JSON and JSONL),
+//!   byte for byte — trace/span ids are purely derived and hop times
+//!   are simulated, so the tree must not see the worker count at all.
 
 use mpros::chiller::fault::{FaultProfile, FaultSeed};
 use mpros::core::{DcId, FaultPlan, FaultTarget, MachineCondition, SimDuration, SimTime};
@@ -135,6 +138,8 @@ struct Fingerprint {
     counters: Vec<(String, String, u64)>,
     sim_histograms: Vec<(String, String, u64, String)>,
     journal_by_component: BTreeMap<String, Vec<(f64, String, String)>>,
+    chrome_trace: String,
+    trace_jsonl: String,
 }
 
 fn run(scenario: &Scenario, exec: ExecMode) -> Fingerprint {
@@ -198,6 +203,7 @@ fn run(scenario: &Scenario, exec: ExecMode) -> Fingerprint {
             .or_default()
             .push((e.at.as_secs(), e.kind.clone(), e.detail.clone()));
     }
+    let hops = sim.trace_hops();
     Fingerprint {
         icas_json: icas.to_json().expect("ICAS serializes"),
         fused,
@@ -205,6 +211,8 @@ fn run(scenario: &Scenario, exec: ExecMode) -> Fingerprint {
         counters,
         sim_histograms,
         journal_by_component,
+        chrome_trace: mpros::telemetry::export::chrome_trace(&hops),
+        trace_jsonl: mpros::telemetry::export::jsonl(&hops),
     }
 }
 
@@ -242,6 +250,16 @@ fn parallel_stepping_is_byte_identical_to_sequential() {
             assert_eq!(
                 reference.journal_by_component, parallel.journal_by_component,
                 "{}: journal diverged at {workers} workers",
+                scenario.name
+            );
+            assert_eq!(
+                reference.chrome_trace, parallel.chrome_trace,
+                "{}: Chrome trace export diverged at {workers} workers",
+                scenario.name
+            );
+            assert_eq!(
+                reference.trace_jsonl, parallel.trace_jsonl,
+                "{}: JSONL trace export diverged at {workers} workers",
                 scenario.name
             );
             assert_eq!(reference, parallel, "{}: full fingerprint", scenario.name);

@@ -9,6 +9,7 @@ use mpros::core::{
 use mpros::network::{decode_message, encode_message, BatchEntry, NetMessage, MAX_BATCH};
 use mpros::oosm::Oosm;
 use mpros::pdme::PdmeExecutive;
+use mpros::telemetry::{SpanId, TraceContext, TraceId};
 use proptest::prelude::*;
 
 fn arb_report() -> impl Strategy<Value = ConditionReport> {
@@ -60,15 +61,19 @@ fn arb_batch() -> impl Strategy<Value = NetMessage> {
     (
         0u64..100,
         0u64..4,
-        proptest::collection::vec((1u64..50, arb_report()), 0..6),
+        proptest::collection::vec((1u64..50, 0u64..=u64::MAX, arb_report()), 0..6),
     )
         .prop_map(|(start, epoch, items)| {
             let mut seq = start;
             let entries = items
                 .into_iter()
-                .map(|(gap, report)| {
+                .map(|(gap, trace_raw, report)| {
                     seq += gap;
-                    BatchEntry { seq, report }
+                    BatchEntry {
+                        seq,
+                        trace: TraceContext::for_enqueued(TraceId(trace_raw)),
+                        report,
+                    }
                 })
                 .collect();
             NetMessage::ReportBatch {
@@ -142,6 +147,38 @@ proptest! {
     }
 
     #[test]
+    fn any_trace_context_survives_the_wire(
+        seq in 1u64..1000,
+        trace_raw in 0u64..=u64::MAX,
+        parent_raw in 0u64..=u64::MAX,
+        report in arb_report(),
+    ) {
+        // Arbitrary (not just derivable) trace/parent ids roundtrip:
+        // the codec carries the context opaquely.
+        let batch = NetMessage::ReportBatch {
+            dc: DcId::new(3),
+            epoch: 1,
+            entries: vec![BatchEntry {
+                seq,
+                trace: TraceContext { trace: TraceId(trace_raw), parent: SpanId(parent_raw) },
+                report,
+            }],
+        };
+        let back = decode_message(encode_message(&batch).unwrap()).unwrap();
+        prop_assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected(batch in arb_batch(), cut_fraction in 0.0..1.0f64) {
+        let frame = encode_message(&batch).unwrap();
+        // Any strict prefix must fail to decode — whether the cut lands
+        // in the header, the length field, or mid-payload.
+        let cut = ((frame.len() as f64) * cut_fraction) as usize;
+        prop_assert!(cut < frame.len());
+        prop_assert!(decode_message(frame.slice(0..cut)).is_err());
+    }
+
+    #[test]
     fn any_batch_flows_into_fusion(batch in arb_batch()) {
         let NetMessage::ReportBatch { ref entries, .. } = batch else { unreachable!() };
         let mut pdme = PdmeExecutive::new();
@@ -170,6 +207,7 @@ proptest! {
 fn max_size_batch_roundtrips_and_oversize_is_rejected() {
     let entry = |seq: u64| BatchEntry {
         seq,
+        trace: TraceContext::for_enqueued(TraceId(seq ^ 0xABCD)),
         report: ConditionReport::builder(
             MachineId::new(1),
             MachineCondition::from_index(0).unwrap(),
