@@ -16,7 +16,13 @@
 //!     pool (`--workers N`, default 4), surveys due every step so each
 //!     job is real work. Both runs produce byte-identical simulation
 //!     state (see `tests/parallel_determinism.rs`); this measures the
-//!     wall-clock side of that trade.
+//!     wall-clock side of that trade. `--crash-at K` tears the PDME
+//!     down after timed step K and rebuilds it from the durable store
+//!     mid-measurement (see `tests/crash_restore.rs`), folding a
+//!     crash-restore cycle into the stepping rate;
+//!  5. the durability layer itself: raw WAL append throughput into the
+//!     in-memory medium, and the latency of a full crash-recovery
+//!     (scan + snapshot decode + tail replay) from the fleet run's log.
 //!
 //! Besides the console tables, writes `BENCH_throughput.json` with the
 //! headline rates and the per-stage span quantiles from the shared
@@ -33,6 +39,7 @@ use mpros_core::{
 use mpros_dli::{DliExpertSystem, SpectralFeatures};
 use mpros_network::{Endpoint, Envelope, NetMessage, NetStats, NetworkConfig, ShipNetwork};
 use mpros_pdme::PdmeExecutive;
+use mpros_store::{RecoveryManager, StoreHandle, FRAME_HEADER_LEN, FRAME_TRAILER_LEN};
 use mpros_telemetry::{Instrumented, Stage, Telemetry, WallTimer};
 use serde::Serialize;
 use std::time::Instant;
@@ -90,6 +97,7 @@ struct FleetBench {
     host_cores: usize,
     steps_timed: usize,
     fault_profile: String,
+    crash_at: Option<usize>,
     sequential_steps_per_s: f64,
     parallel_steps_per_s: f64,
     speedup: f64,
@@ -107,6 +115,20 @@ struct HostInfo {
     cores: usize,
 }
 
+/// The durability layer's numbers: deterministic WAL volume from the
+/// seeded fleet run (exact-gated) plus wall-clock append and recovery
+/// rates (tolerance-gated like every other host-dependent rate).
+#[derive(Serialize)]
+struct StoreBench {
+    wal_appends: u64,
+    wal_bytes: u64,
+    recovery_tail_frames: u64,
+    appends_per_s: f64,
+    append_mb_per_s: f64,
+    recovery_p50_s: f64,
+    recovery_p95_s: f64,
+}
+
 #[derive(Serialize)]
 struct BenchDoc {
     schema_version: u32,
@@ -117,6 +139,7 @@ struct BenchDoc {
     aggregate_samples_per_s_8_workers: f64,
     pdme_reports_per_s_100_dcs: f64,
     fleet: FleetBench,
+    store: StoreBench,
     wall_stages: Vec<StageQuantiles>,
     sim_latencies: Vec<LatencyQuantiles>,
 }
@@ -175,12 +198,24 @@ fn lossy_profile() -> (NetworkConfig, FaultPlan) {
 /// the chunky-job regime the pool is built for. Also returns the
 /// network's delivery counters so fault profiles surface their retry
 /// and expiry behaviour in the benchmark document.
+/// One fleet measurement's outputs: the stepping rate plus everything
+/// the benchmark document reads back out of the finished simulation.
+struct FleetRun {
+    rate: f64,
+    net_stats: NetStats,
+    e2e: Vec<f64>,
+    wal_appends: u64,
+    wal_bytes: u64,
+    wal_log: Vec<u8>,
+}
+
 fn fleet_steps_per_s(
     exec: ExecMode,
     steps: usize,
     network: &NetworkConfig,
     fault_plan: &FaultPlan,
-) -> (f64, NetStats, Vec<f64>) {
+    crash_at: Option<usize>,
+) -> FleetRun {
     let mut sim = ShipboardSim::new(ShipboardSimConfig {
         dc_count: 8,
         seed: 5,
@@ -208,14 +243,28 @@ fn fleet_steps_per_s(
     let dt = SimDuration::from_secs(30.0);
     sim.step(dt).expect("warmup step");
     let start = Instant::now();
-    for _ in 0..steps {
+    for step in 0..steps {
         sim.step(dt).expect("timed step");
+        // A mid-measurement crash-restore cycle: the rebuild from
+        // snapshot + WAL tail is part of the timed work, and the final
+        // state stays byte-identical (tests/crash_restore.rs).
+        if crash_at == Some(step) {
+            sim.crash_restore_pdme().expect("crash-restore succeeds");
+        }
     }
     let rate = steps as f64 / start.elapsed().as_secs_f64();
     // Trace-derived end-to-end report latencies (DC emission to the
     // last fusion hop, simulated seconds, sorted ascending).
     let e2e = mpros_telemetry::trace::e2e_latencies(&sim.trace_hops());
-    (rate, sim.network().stats(), e2e)
+    let snap = sim.telemetry().snapshot();
+    FleetRun {
+        rate,
+        net_stats: sim.network().stats(),
+        e2e,
+        wal_appends: snap.counter("store", "wal_appends"),
+        wal_bytes: snap.counter("store", "wal_bytes"),
+        wal_log: sim.store().contents().expect("store readable"),
+    }
 }
 
 fn main() {
@@ -236,6 +285,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "none".to_string());
+    let crash_at = args
+        .iter()
+        .position(|a| a == "--crash-at")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok());
     let (fleet_network, fleet_fault_plan) = match fault_profile.as_str() {
         "none" => (NetworkConfig::default(), FaultPlan::none()),
         "lossy" => lossy_profile(),
@@ -359,20 +413,27 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let fleet_steps = 10;
-    let (seq_rate, _, _) = fleet_steps_per_s(
+    let seq = fleet_steps_per_s(
         ExecMode::Sequential,
         fleet_steps,
         &fleet_network,
         &fleet_fault_plan,
+        crash_at,
     );
-    let (par_rate, net_stats, fleet_e2e) = fleet_steps_per_s(
+    let par = fleet_steps_per_s(
         ExecMode::Parallel { workers },
         fleet_steps,
         &fleet_network,
         &fleet_fault_plan,
+        crash_at,
     );
+    let (seq_rate, par_rate) = (seq.rate, par.rate);
+    let (net_stats, fleet_e2e) = (par.net_stats, par.e2e);
     let speedup = par_rate / seq_rate;
     println!("fleet fault profile: {fault_profile}");
+    if let Some(step) = crash_at {
+        println!("  crash-restore cycle after timed step {step} (both modes)");
+    }
     if fault_profile != "none" {
         println!(
             "  net: sent={} delivered={} dropped={} retries={} expired={}",
@@ -396,6 +457,61 @@ fn main() {
     ]);
     print!("{}", t.render());
     println!("(host cores: {host_cores}; scaling is bounded by min(workers, cores, DCs))");
+
+    // 5. Durability layer: raw WAL append throughput, then the cost of
+    // a full crash-recovery from the fleet run's actual log.
+    println!();
+    let store_tel = Telemetry::new();
+    let wal = StoreHandle::in_memory(&store_tel);
+    let append_count = 20_000usize;
+    let payload_len = 256usize;
+    let start = Instant::now();
+    for _ in 0..append_count {
+        wal.append(9, vec![0x5A; payload_len]).expect("append");
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let appends_per_s = append_count as f64 / secs;
+    let framed_len = FRAME_HEADER_LEN + payload_len + FRAME_TRAILER_LEN;
+    let append_mb_per_s = (append_count * framed_len) as f64 / secs / 1e6;
+    println!(
+        "WAL append throughput: {:.0} appends/s ({:.1} MB/s framed, {payload_len}-byte payloads)",
+        appends_per_s, append_mb_per_s
+    );
+    // Recovery: scan the log, decode the newest snapshot, replay the
+    // tail through the executive — the whole restart path, repeated so
+    // the quantiles mean something.
+    let manager = RecoveryManager::new(&store_tel);
+    let mut recovery_samples = Vec::new();
+    let mut recovery_tail_frames = 0u64;
+    for _ in 0..20 {
+        let start = Instant::now();
+        let recovered = manager.recover(&par.wal_log);
+        let engine = PdmeExecutive::restore(&recovered).expect("fleet log restores");
+        recovery_samples.push(start.elapsed().as_secs_f64());
+        recovery_tail_frames = recovered.tail.len() as u64;
+        std::hint::black_box(engine);
+    }
+    recovery_samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let store_bench = StoreBench {
+        wal_appends: par.wal_appends,
+        wal_bytes: par.wal_bytes,
+        recovery_tail_frames,
+        appends_per_s,
+        append_mb_per_s,
+        recovery_p50_s: percentile(&recovery_samples, 0.50),
+        recovery_p95_s: percentile(&recovery_samples, 0.95),
+    };
+    println!(
+        "crash-recovery from the fleet log ({} B, {} tail frames): p50={:.2} ms p95={:.2} ms",
+        par.wal_log.len(),
+        recovery_tail_frames,
+        store_bench.recovery_p50_s * 1e3,
+        store_bench.recovery_p95_s * 1e3,
+    );
+    println!(
+        "fleet WAL volume: {} appends, {} bytes (deterministic; perf-gated exactly)",
+        par.wal_appends, par.wal_bytes
+    );
 
     // Latency quantiles from the shared telemetry domain.
     println!("\nlatency histograms (simulated time):");
@@ -452,7 +568,7 @@ fn main() {
         .filter(|q| q.count > 0)
         .collect();
     let doc = BenchDoc {
-        schema_version: 4,
+        schema_version: 5,
         git_revision: git_revision(),
         git_dirty: git_dirty(),
         host: HostInfo {
@@ -469,6 +585,7 @@ fn main() {
             host_cores,
             steps_timed: fleet_steps,
             fault_profile: fault_profile.clone(),
+            crash_at,
             sequential_steps_per_s: seq_rate,
             parallel_steps_per_s: par_rate,
             speedup,
@@ -478,6 +595,7 @@ fn main() {
             net_retries: net_stats.retries,
             net_expired: net_stats.expired,
         },
+        store: store_bench,
         wall_stages,
         sim_latencies,
     };

@@ -152,13 +152,17 @@ fn main() {
 
     let mut gate = Gate::new();
 
-    // Wall-clock rates: host-dependent, loose floor.
+    // Wall-clock rates: host-dependent, loose floor. The WAL append
+    // rate rides here — recovery latencies are recorded in the document
+    // but not gated (they measure a 20-sample spot check, too noisy to
+    // floor meaningfully).
     for path in [
         ["single_core_samples_per_s"].as_slice(),
         &["aggregate_samples_per_s_8_workers"],
         &["pdme_reports_per_s_100_dcs"],
         &["fleet", "sequential_steps_per_s"],
         &["fleet", "parallel_steps_per_s"],
+        &["store", "appends_per_s"],
     ] {
         let name = path.join(".");
         match (f64_at(&base, path), f64_at(&cur, path)) {
@@ -181,6 +185,22 @@ fn main() {
         match (
             u64_at(&base, &["fleet", field]),
             u64_at(&cur, &["fleet", field]),
+        ) {
+            (Some(b), Some(c)) => gate.exact_u64(&name, b, c),
+            _ => gate
+                .violations
+                .push(format!("{name}: missing from document")),
+        }
+    }
+
+    // WAL volume: the seeded fleet run journals a deterministic frame
+    // sequence, so append and byte counts (and the replay-tail length
+    // after the final periodic snapshot) must reproduce exactly.
+    for field in ["wal_appends", "wal_bytes", "recovery_tail_frames"] {
+        let name = format!("store.{field}");
+        match (
+            u64_at(&base, &["store", field]),
+            u64_at(&cur, &["store", field]),
         ) {
             (Some(b), Some(c)) => gate.exact_u64(&name, b, c),
             _ => gate

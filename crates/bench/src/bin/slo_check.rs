@@ -15,7 +15,13 @@
 //! The final verdict is printed as machine-readable JSON so CI logs
 //! capture exactly which rule broke and by how much.
 //!
-//! Usage: `slo_check --profile calm|lossy [--minutes N]`.
+//! `--crash-restore` opens a `PdmeCrash` window at the run's midpoint:
+//! the PDME is torn down and rebuilt from the durable store (latest
+//! snapshot + WAL tail), so the verdict CI judges is produced by a
+//! *restored* engine — which must meet the same budgets, because the
+//! restore is byte-identical (see `tests/crash_restore.rs`).
+//!
+//! Usage: `slo_check --profile calm|lossy [--minutes N] [--crash-restore]`.
 
 use mpros::chiller::fault::{FaultProfile, FaultSeed};
 use mpros::core::{DcId, FaultPlan, FaultPlanConfig, MachineCondition, SimDuration, SimTime};
@@ -72,8 +78,14 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(5.0);
+    let crash_restore = args.iter().any(|a| a == "--crash-restore");
 
-    let (network, fault_plan, slo) = profile(&profile_name);
+    let (network, mut fault_plan, slo) = profile(&profile_name);
+    if crash_restore {
+        let mid = minutes * 30.0; // seconds: half the campaign
+        fault_plan =
+            fault_plan.with_pdme_crash(SimTime::from_secs(mid), SimTime::from_secs(mid + 1.0));
+    }
     let mut sim = ShipboardSim::new(ShipboardSimConfig {
         dc_count: 8,
         seed: 5,
@@ -106,6 +118,23 @@ fn main() {
 
     let verdict = sim.slo_verdict().expect("watchdog evaluated every step");
     println!("{}", verdict.to_json().expect("verdict serializes"));
+    if crash_restore {
+        let replayed = sim
+            .telemetry()
+            .snapshot()
+            .counter("store", "recovery_replayed");
+        if replayed == 0 {
+            eprintln!(
+                "slo_check[{profile_name}]: FAIL — --crash-restore given but no WAL \
+                 records were replayed; the verdict is not from a restored engine"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "slo_check[{profile_name}]: verdict from a restored engine \
+             ({replayed} WAL records replayed after the mid-run crash)"
+        );
+    }
     let stats = sim.network().stats();
     eprintln!(
         "slo_check[{profile_name}]: {fused} reports fused over {minutes} min; \

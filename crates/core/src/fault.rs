@@ -58,6 +58,12 @@ pub enum FaultKind {
     /// The PDME stops ingesting and supervising for the window;
     /// delivered frames queue at its network inbox.
     PdmeStall,
+    /// The PDME process crashes and is immediately restarted from its
+    /// durable store (snapshot + WAL tail). Unlike [`FaultKind::PdmeStall`]
+    /// the in-memory engine is torn down and rebuilt; with an attached
+    /// store the restore is output-transparent, so the window's `until`
+    /// edge is a no-op (the restart happens at `from`).
+    PdmeCrash,
     /// A network partition isolates one endpoint for the window.
     Partition {
         /// The isolated endpoint.
@@ -72,6 +78,7 @@ impl FaultKind {
             FaultKind::DcCrash { .. } => "dc_crash",
             FaultKind::SensorDropout { .. } => "sensor_dropout",
             FaultKind::PdmeStall => "pdme_stall",
+            FaultKind::PdmeCrash => "pdme_crash",
             FaultKind::Partition { .. } => "partition",
         }
     }
@@ -86,6 +93,7 @@ impl FaultKind {
                 FaultTarget::Dc(dc) => (3, 0, dc.raw()),
                 FaultTarget::Pdme => (3, 1, 0),
             },
+            FaultKind::PdmeCrash => (4, 0, 0),
         }
     }
 }
@@ -242,6 +250,12 @@ impl FaultPlan {
     /// Stall the PDME over `[from, until)`.
     pub fn with_pdme_stall(self, from: SimTime, until: SimTime) -> Self {
         self.with_window(FaultKind::PdmeStall, from, until)
+    }
+
+    /// Crash the PDME at `from` (it restarts from its durable store in
+    /// the same tick; `until` only bounds the window for bookkeeping).
+    pub fn with_pdme_crash(self, from: SimTime, until: SimTime) -> Self {
+        self.with_window(FaultKind::PdmeCrash, from, until)
     }
 
     /// Draw a random campaign from a dedicated RNG stream of `seed`.

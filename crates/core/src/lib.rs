@@ -15,6 +15,7 @@
 
 pub mod belief;
 pub mod condition;
+pub mod durable;
 pub mod error;
 pub mod fault;
 pub mod id;
@@ -26,6 +27,7 @@ pub mod time;
 
 pub use belief::Belief;
 pub use condition::{FailureGroup, MachineCondition};
+pub use durable::Durable;
 pub use error::{Error, Result};
 pub use fault::{FaultKind, FaultPlan, FaultPlanConfig, FaultTarget, FaultTransition, FaultWindow};
 pub use id::{DcId, IdAllocator, KnowledgeSourceId, MachineId, ObjectId, ReportId, SensorId};

@@ -14,7 +14,9 @@
 //! another").
 
 use crate::mass::{MassFunction, Subset};
-use mpros_core::{ConditionReport, Error, FailureGroup, MachineCondition, MachineId, Result};
+use mpros_core::{
+    ConditionReport, Durable, Error, FailureGroup, MachineCondition, MachineId, Result,
+};
 use std::collections::HashMap;
 
 /// Incoming certainties are capped just below 1 so that two dead-certain
@@ -189,6 +191,65 @@ impl DiagnosticFusion {
     }
 }
 
+impl Durable for FrameState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.mass.encode(out);
+        self.conflict.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        let mass = MassFunction::decode(input)?;
+        let conflict = f64::decode(input)?;
+        if !conflict.is_finite() || conflict < 0.0 {
+            return Err(Error::invalid(format!(
+                "durable frame: bad accumulated conflict {conflict}"
+            )));
+        }
+        Ok(FrameState { mass, conflict })
+    }
+}
+
+/// Wire form: frames sorted by `(machine, group)` key so the encoding is
+/// canonical regardless of `HashMap` iteration order; decoding enforces
+/// the ordering, which also rules out duplicate keys.
+impl Durable for DiagnosticFusion {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let mut keys: Vec<(MachineId, FailureGroup)> = self.frames.keys().copied().collect();
+        keys.sort_unstable();
+        keys.len().encode(out);
+        for key in keys {
+            key.0.encode(out);
+            key.1.encode(out);
+            self.frames[&key].encode(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        let count = usize::decode(input)?;
+        let mut frames = HashMap::with_capacity(count);
+        let mut prev: Option<(MachineId, FailureGroup)> = None;
+        for _ in 0..count {
+            let machine = MachineId::decode(input)?;
+            let group = FailureGroup::decode(input)?;
+            let key = (machine, group);
+            if prev.is_some_and(|p| key <= p) {
+                return Err(Error::invalid("durable diagnosis: frames out of order"));
+            }
+            prev = Some(key);
+            let state = FrameState::decode(input)?;
+            let expected = group.members().len() + 1;
+            if state.mass.frame_size() != expected {
+                return Err(Error::invalid(format!(
+                    "durable diagnosis: {group} frame has {} hypotheses, expected {expected}",
+                    state.mass.frame_size()
+                )));
+            }
+            frames.insert(key, state);
+        }
+        Ok(DiagnosticFusion { frames })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,6 +420,25 @@ mod tests {
         let all = f.all();
         assert_eq!(all.len(), 3);
         assert!(all[0].machine <= all[1].machine && all[1].machine <= all[2].machine);
+    }
+
+    #[test]
+    fn durable_roundtrip_preserves_every_frame() {
+        let mut f = DiagnosticFusion::new();
+        f.ingest(&report(2, MachineCondition::RefrigerantLeak, 0.5))
+            .unwrap();
+        f.ingest(&report(1, MachineCondition::MotorImbalance, 0.8))
+            .unwrap();
+        f.ingest(&report(1, MachineCondition::MotorMisalignment, 0.6))
+            .unwrap();
+        let bytes = f.to_durable_bytes();
+        let back = DiagnosticFusion::from_durable_bytes(&bytes).unwrap();
+        assert_eq!(back.to_durable_bytes(), bytes, "canonical encoding");
+        for d in f.all() {
+            let restored = back.diagnosis(d.machine, d.group).unwrap();
+            assert_eq!(restored, d, "fused view survives the roundtrip exactly");
+        }
+        assert_eq!(back.all().len(), f.all().len());
     }
 
     #[test]

@@ -13,8 +13,8 @@
 use crate::diagnostic::{DiagnosticFusion, FusedDiagnosis};
 use crate::prognostic::fuse_into;
 use mpros_core::{
-    ConditionReport, FailureGroup, MachineCondition, MachineId, PrognosticVector, Result, Severity,
-    SimDuration,
+    ConditionReport, Durable, Error, FailureGroup, MachineCondition, MachineId, PrognosticVector,
+    Result, Severity, SimDuration,
 };
 use mpros_telemetry::{Counter, Instrumented, Stage, Telemetry, WallTimer};
 use std::collections::HashMap;
@@ -188,6 +188,95 @@ impl FusionEngine {
                 .expect("priorities are finite")
         });
         items
+    }
+
+    /// Re-attach to `telemetry` *without* carrying counter totals over.
+    ///
+    /// The restore path's counterpart of [`FusionEngine::set_telemetry`]:
+    /// after a snapshot+WAL replay the private-domain counters double what
+    /// the shared registry already recorded before the crash, so a
+    /// carry-over join would double-count every replayed report.
+    pub fn rebind_telemetry(&mut self, telemetry: &Telemetry) {
+        self.m_ingested = telemetry.counter("fusion", "reports_ingested");
+        self.m_conflicts = telemetry.counter("fusion", "conflicts");
+        self.telemetry = telemetry.clone();
+    }
+}
+
+/// Wire form: the diagnostic state followed by the three per-key maps,
+/// each sorted by key for a canonical encoding (decoding enforces the
+/// ordering, which also rules out duplicates). The decoded engine observes
+/// a fresh private telemetry domain until re-bound.
+impl Durable for FusionEngine {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.diagnostic.encode(out);
+        let mut prog: Vec<&(MachineId, MachineCondition)> = self.prognostics.keys().collect();
+        prog.sort_unstable();
+        prog.len().encode(out);
+        for key in prog {
+            key.encode(out);
+            self.prognostics[key].encode(out);
+        }
+        let mut worst: Vec<&(MachineId, MachineCondition)> = self.worst_severity.keys().collect();
+        worst.sort_unstable();
+        worst.len().encode(out);
+        for key in worst {
+            key.encode(out);
+            self.worst_severity[key].encode(out);
+        }
+        let mut seen: Vec<&(MachineId, FailureGroup)> = self.seen_conflict.keys().collect();
+        seen.sort_unstable();
+        seen.len().encode(out);
+        for key in seen {
+            key.encode(out);
+            self.seen_conflict[key].encode(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        fn decode_map<K: Durable + Ord + std::hash::Hash + Copy, V: Durable>(
+            input: &mut &[u8],
+            what: &str,
+        ) -> Result<HashMap<K, V>> {
+            let count = usize::decode(input)?;
+            let mut map = HashMap::with_capacity(count);
+            let mut prev: Option<K> = None;
+            for _ in 0..count {
+                let key = K::decode(input)?;
+                if prev.is_some_and(|p| key <= p) {
+                    return Err(Error::invalid(format!(
+                        "durable fusion: {what} keys out of order"
+                    )));
+                }
+                prev = Some(key);
+                map.insert(key, V::decode(input)?);
+            }
+            Ok(map)
+        }
+        let diagnostic = DiagnosticFusion::decode(input)?;
+        let prognostics = decode_map(input, "prognostic")?;
+        let worst_severity = decode_map(input, "severity")?;
+        let seen_conflict: HashMap<(MachineId, FailureGroup), f64> = decode_map(input, "conflict")?;
+        for (key, k) in &seen_conflict {
+            if !k.is_finite() || *k < 0.0 {
+                return Err(Error::invalid(format!(
+                    "durable fusion: bad journaled conflict {k} for machine {}",
+                    key.0.raw()
+                )));
+            }
+        }
+        let telemetry = Telemetry::new();
+        let m_ingested = telemetry.counter("fusion", "reports_ingested");
+        let m_conflicts = telemetry.counter("fusion", "conflicts");
+        Ok(FusionEngine {
+            diagnostic,
+            prognostics,
+            worst_severity,
+            seen_conflict,
+            telemetry,
+            m_ingested,
+            m_conflicts,
+        })
     }
 }
 
@@ -372,6 +461,39 @@ mod tests {
             .unwrap();
         let list = e.maintenance_list();
         assert_eq!(list.len(), 1, "only the believed condition is listed");
+    }
+
+    #[test]
+    fn durable_roundtrip_preserves_maintenance_list() {
+        let mut e = FusionEngine::new();
+        e.ingest(&prognostic_report(
+            1,
+            MachineCondition::MotorBearingDefect,
+            0.9,
+            &[(0.5, 0.6)],
+        ))
+        .unwrap();
+        e.ingest(&report(1, MachineCondition::MotorBearingDefect, 0.8, 0.9))
+            .unwrap();
+        e.ingest(&report(1, MachineCondition::MotorImbalance, 0.5, 0.2))
+            .unwrap();
+        e.ingest(&report(1, MachineCondition::MotorMisalignment, 0.6, 0.2))
+            .unwrap();
+        e.ingest(&report(2, MachineCondition::CondenserFouling, 0.2, 0.1))
+            .unwrap();
+        let bytes = e.to_durable_bytes();
+        let back = FusionEngine::from_durable_bytes(&bytes).unwrap();
+        assert_eq!(back.to_durable_bytes(), bytes, "canonical encoding");
+        let a = e.maintenance_list();
+        let b = back.maintenance_list();
+        assert_eq!(a, b, "prioritized list survives the roundtrip exactly");
+        // Counters restart at zero on the decoded engine's private domain;
+        // rebind attaches to a shared registry without double-counting.
+        let shared = Telemetry::new();
+        shared.counter("fusion", "reports_ingested").add(5);
+        let mut back = back;
+        back.rebind_telemetry(&shared);
+        assert_eq!(shared.counter("fusion", "reports_ingested").get(), 5);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! chosen over Bayes nets ("they require prior estimates ... The data is
 //! not yet available for the CBM domain").
 
-use mpros_core::{Error, Result};
+use mpros_core::{Durable, Error, Result};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -279,6 +279,60 @@ impl MassFunction {
     }
 }
 
+/// Bit-exact wire form: frame size, then the focal subsets in ascending
+/// bitmask order with their raw `f64` masses. Decoding revalidates every
+/// invariant `from_masses` enforces (nonempty focals inside the frame,
+/// masses positive and summing to one) plus canonical ordering, so a
+/// decoded function is indistinguishable from the one encoded.
+impl Durable for MassFunction {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.n.encode(out);
+        self.masses.len().encode(out);
+        for (&bits, &m) in &self.masses {
+            u32::from(bits).encode(out);
+            m.encode(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        let n = usize::decode(input)?;
+        if n == 0 || n > MAX_FRAME {
+            return Err(Error::invalid(format!("durable mass: bad frame size {n}")));
+        }
+        let full = Subset::full(n);
+        let count = usize::decode(input)?;
+        let mut masses = BTreeMap::new();
+        let mut prev: Option<u16> = None;
+        let mut sum = 0.0;
+        for _ in 0..count {
+            let bits = u16::try_from(u32::decode(input)?)
+                .map_err(|_| Error::invalid("durable mass: focal bits exceed u16"))?;
+            if prev.is_some_and(|p| bits <= p) {
+                return Err(Error::invalid("durable mass: focals out of order"));
+            }
+            prev = Some(bits);
+            let s = Subset(bits);
+            if s.is_empty() || !s.is_subset_of(full) {
+                return Err(Error::invalid(format!(
+                    "durable mass: focal {s} outside the {n}-hypothesis frame"
+                )));
+            }
+            let m = f64::decode(input)?;
+            if !m.is_finite() || m <= 0.0 {
+                return Err(Error::invalid(format!("durable mass: bad mass {m}")));
+            }
+            masses.insert(bits, m);
+            sum += m;
+        }
+        if (sum - 1.0).abs() > SUM_TOL {
+            return Err(Error::invalid(format!(
+                "durable mass: masses sum to {sum}, expected 1"
+            )));
+        }
+        Ok(MassFunction { n, masses })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,6 +434,30 @@ mod tests {
         )
         .is_ok());
         assert!(MassFunction::from_masses(3, &[(Subset::EMPTY, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn durable_roundtrip_is_bit_exact() {
+        let m1 = MassFunction::simple_support(3, Subset::singleton(0), 0.40).unwrap();
+        let m2 = MassFunction::simple_support(3, Subset::of(&[1, 2]), 0.75).unwrap();
+        let (fused, _) = m1.combine(&m2).unwrap();
+        let bytes = fused.to_durable_bytes();
+        let back = MassFunction::from_durable_bytes(&bytes).unwrap();
+        assert_eq!(back, fused);
+        assert_eq!(back.to_durable_bytes(), bytes, "canonical encoding");
+    }
+
+    #[test]
+    fn durable_rejects_corrupt_payloads() {
+        let m = MassFunction::simple_support(3, Subset::singleton(1), 0.5).unwrap();
+        let bytes = m.to_durable_bytes();
+        // Truncation is rejected.
+        assert!(MassFunction::from_durable_bytes(&bytes[..bytes.len() - 1]).is_err());
+        // A flipped mass byte breaks the sum-to-one invariant.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(MassFunction::from_durable_bytes(&bad).is_err());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::events::{EventBus, OosmEvent, Subscription};
 use crate::store::{Store, Value};
-use mpros_core::{Error, ObjectId, Result};
+use mpros_core::{Durable, Error, ObjectId, Result};
 use mpros_telemetry::{Counter, Telemetry};
 use std::fmt;
 use std::sync::Arc;
@@ -176,6 +176,16 @@ impl Oosm {
     /// The telemetry domain this model records into.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// Re-join a shared telemetry domain *without* carrying counter
+    /// totals over. This is the restore-path counterpart of
+    /// [`Oosm::set_telemetry`]: after a crash-restore the shared domain
+    /// already holds the pre-crash totals, so a carry-over join would
+    /// double-count every replayed report.
+    pub fn rebind_telemetry(&mut self, telemetry: &Telemetry) {
+        self.m_reports_posted = telemetry.counter("oosm", "reports_posted");
+        self.telemetry = telemetry.clone();
     }
 
     /// Subscribe to change events (§4.5).
@@ -417,6 +427,35 @@ impl Oosm {
         self.store
             .row_count("objects")
             .expect("objects table exists")
+    }
+}
+
+/// Persistence: the relational store plus the two id allocators. The
+/// event bus is volatile by design — subscriptions belong to the
+/// consuming engine, which re-subscribes after a restore — and the
+/// decoded model observes a fresh private telemetry domain until the
+/// host rebinds it.
+impl Durable for Oosm {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.store.encode(out);
+        self.next_object.encode(out);
+        self.next_row.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        let store = Store::decode(input)?;
+        let next_object = u64::decode(input)?;
+        let next_row = i64::decode(input)?;
+        let telemetry = Telemetry::new();
+        let m_reports_posted = telemetry.counter("oosm", "reports_posted");
+        Ok(Oosm {
+            store,
+            bus: EventBus::new(),
+            next_object,
+            next_row,
+            telemetry,
+            m_reports_posted,
+        })
     }
 }
 

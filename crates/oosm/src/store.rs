@@ -8,7 +8,7 @@
 //! predicate, equality selection with a primary-key index on the first
 //! column when it is an integer.
 
-use mpros_core::{Error, Result};
+use mpros_core::{Durable, Error, Result};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -390,6 +390,123 @@ impl Store {
     /// Number of live rows.
     pub fn row_count(&self, table: &str) -> Result<usize> {
         Ok(self.table(table)?.live)
+    }
+}
+
+impl Durable for Value {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Int(v) => {
+                out.push(0);
+                v.encode(out);
+            }
+            Value::Float(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+            Value::Text(s) => {
+                out.push(2);
+                s.encode(out);
+            }
+            Value::Bool(b) => {
+                out.push(3);
+                b.encode(out);
+            }
+            Value::Null => out.push(4),
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        match u8::decode(input)? {
+            0 => Ok(Value::Int(i64::decode(input)?)),
+            1 => Ok(Value::Float(f64::decode(input)?)),
+            2 => Ok(Value::Text(String::decode(input)?)),
+            3 => Ok(Value::Bool(bool::decode(input)?)),
+            4 => Ok(Value::Null),
+            tag => Err(Error::invalid(format!("value tag {tag} out of range"))),
+        }
+    }
+}
+
+/// Persistence: tables serialize sorted by name; each table carries its
+/// columns, its full row vector *including tombstones* (so internal row
+/// ids — positions — survive a restore) and the list of secondarily
+/// indexed columns. The pk index, secondary index maps and live count
+/// are derived state and are rebuilt on decode by scanning rows in
+/// ascending order, which reproduces the live index ordering because no
+/// MPROS write path mutates an indexed column in place.
+impl Durable for Store {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let mut names: Vec<&String> = self.tables.keys().collect();
+        names.sort_unstable();
+        names.len().encode(out);
+        for name in names {
+            let t = &self.tables[name];
+            (*name).encode(out);
+            t.columns.encode(out);
+            t.rows.encode(out);
+            let indexed: Vec<usize> = t.indexes.iter().map(|i| i.column).collect();
+            indexed.encode(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        let n = usize::decode(input)?;
+        let mut tables = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let name = String::decode(input)?;
+            let columns = Vec::<String>::decode(input)?;
+            if columns.is_empty() {
+                return Err(Error::invalid(format!(
+                    "durable table {name} has no columns"
+                )));
+            }
+            let rows = Vec::<Option<Row>>::decode(input)?;
+            let indexed = Vec::<usize>::decode(input)?;
+            let mut table = Table {
+                columns,
+                rows,
+                ..Default::default()
+            };
+            for (row_idx, slot) in table.rows.iter().enumerate() {
+                let Some(row) = slot else { continue };
+                if row.len() != table.columns.len() {
+                    return Err(Error::invalid(format!(
+                        "durable table {name} row {row_idx} arity mismatch"
+                    )));
+                }
+                if let Some(pk) = row[0].as_int() {
+                    if table.pk_index.insert(pk, row_idx).is_some() {
+                        return Err(Error::invalid(format!(
+                            "durable table {name} has duplicate primary key {pk}"
+                        )));
+                    }
+                }
+                table.live += 1;
+            }
+            for col in indexed {
+                if col >= table.columns.len() {
+                    return Err(Error::invalid(format!(
+                        "durable table {name} indexes out-of-range column {col}"
+                    )));
+                }
+                let mut map: HashMap<IndexKey, Vec<usize>> = HashMap::new();
+                for (row_idx, slot) in table.rows.iter().enumerate() {
+                    if let Some(row) = slot {
+                        if let Some(key) = IndexKey::of(&row[col]) {
+                            map.entry(key).or_default().push(row_idx);
+                        }
+                    }
+                }
+                table.indexes.push(SecondaryIndex { column: col, map });
+            }
+            if tables.insert(name.clone(), table).is_some() {
+                return Err(Error::invalid(format!(
+                    "durable store repeats table {name}"
+                )));
+            }
+        }
+        Ok(Store { tables })
     }
 }
 

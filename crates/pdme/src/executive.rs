@@ -18,11 +18,17 @@
 //! [`IngestSummary`] whose [`BatchAck`]s feed the reliable-transport
 //! loop in `mpros-network`.
 
+use crate::historian::{Historian, MaintenanceRecord};
+use crate::journal::PdmeWalRecord;
 use crate::supervisor::Supervisor;
-use mpros_core::{ConditionReport, DcId, MachineId, Result, SimDuration, SimTime};
+use mpros_core::{
+    ConditionReport, DcId, Durable, Error, MachineCondition, MachineId, Result, SimDuration,
+    SimTime,
+};
 use mpros_fusion::{FusionEngine, MaintenanceItem};
 use mpros_network::NetMessage;
 use mpros_oosm::{ObjectKind, Oosm, OosmEvent, Subscription, Value};
+use mpros_store::{RecoveredState, StoreHandle};
 use mpros_telemetry::{
     Counter, Histogram, HopKind, Instrumented, SpanId, Stage, Telemetry, TraceHop, TraceId,
     WallTimer,
@@ -98,6 +104,14 @@ pub struct PdmeExecutive {
     /// raw report id: the fusion pass closes these out with `Fuse` and
     /// `OosmUpdate` hops parented under the ingest span.
     pending_traces: HashMap<u64, (TraceId, SpanId)>,
+    /// The maintenance archive (§9): outcomes, service lives, Weibull
+    /// life-model feed. Snapshotted and journaled with the rest of the
+    /// engine so learned life models survive restarts.
+    historian: Historian,
+    /// Durable store for WAL + snapshots; `None` runs the executive
+    /// volatile (unit tests, replay). Attached via
+    /// [`PdmeExecutive::attach_store`].
+    store: Option<StoreHandle>,
     telemetry: Telemetry,
     m_reports_received: Arc<Counter>,
     m_batch_replays: Arc<Counter>,
@@ -131,6 +145,8 @@ impl PdmeExecutive {
             dc_last_seen: HashMap::new(),
             batch_last_seq: HashMap::new(),
             pending_traces: HashMap::new(),
+            historian: Historian::new(),
+            store: None,
             telemetry,
             m_reports_received,
             m_batch_replays,
@@ -138,8 +154,43 @@ impl PdmeExecutive {
         }
     }
 
+    /// Attach the durable store: every state-changing entry point
+    /// journals to it before applying (WAL discipline), and
+    /// [`PdmeExecutive::snapshot_to_store`] checkpoints into it. Attach
+    /// after wiring (machines registered, DCs assigned) and write a
+    /// baseline snapshot so recovery never starts from an empty model.
+    pub fn attach_store(&mut self, store: StoreHandle) {
+        self.store = Some(store);
+    }
+
+    /// The attached durable store, if any.
+    pub fn store(&self) -> Option<&StoreHandle> {
+        self.store.as_ref()
+    }
+
+    /// Journal one WAL record if a store is attached. Infallible entry
+    /// points (`register_machine`, `assign_dc`) go through
+    /// [`Self::journal_or_die`] instead.
+    fn journal(&self, record: &PdmeWalRecord) -> Result<()> {
+        if let Some(store) = &self.store {
+            store.append(record.kind(), record.payload()?)?;
+        }
+        Ok(())
+    }
+
+    /// WAL discipline for entry points that cannot surface an error:
+    /// losing a journal record silently would make recovery diverge, so
+    /// an append failure (possible only on I/O-backed media) halts.
+    fn journal_or_die(&self, record: &PdmeWalRecord) {
+        self.journal(record).expect("PDME WAL append failed");
+    }
+
     /// Register a monitored machine in the ship model.
     pub fn register_machine(&mut self, machine: MachineId, name: &str) {
+        self.journal_or_die(&PdmeWalRecord::RegisterMachine {
+            machine,
+            name: name.to_string(),
+        });
         self.oosm.register_machine(machine, name);
     }
 
@@ -292,6 +343,15 @@ impl PdmeExecutive {
     /// returned [`IngestSummary`] says what happened and carries the
     /// [`BatchAck`]s the transport loop owes the DCs.
     pub fn ingest(&mut self, msgs: &[NetMessage], now: SimTime) -> Result<IngestSummary> {
+        // Journal before applying. An empty pass changes no state (no
+        // posts, no events, no liveness updates) and is not journaled,
+        // so the WAL holds exactly the frames that shaped the engine.
+        if !msgs.is_empty() {
+            self.journal(&PdmeWalRecord::Ingest {
+                now,
+                msgs: msgs.to_vec(),
+            })?;
+        }
         let mut summary = IngestSummary::default();
         let mut acks: BTreeMap<(DcId, u64), u64> = BTreeMap::new();
         for msg in msgs {
@@ -456,6 +516,11 @@ impl PdmeExecutive {
         machines: Vec<MachineId>,
         sbfr_images: Vec<(u32, Vec<u8>)>,
     ) {
+        self.journal_or_die(&PdmeWalRecord::AssignDc {
+            dc,
+            machines: machines.clone(),
+            sbfr_images: sbfr_images.clone(),
+        });
         self.supervisor.assign(dc, machines, sbfr_images);
     }
 
@@ -464,6 +529,10 @@ impl PdmeExecutive {
     /// ship model; DCs heard from again after an outage get their SBFR
     /// machine set re-downloaded via the returned command frames.
     pub fn supervise(&mut self, now: SimTime, timeout: SimDuration) -> Result<Vec<NetMessage>> {
+        // Supervision transitions depend only on (now, timeout) and the
+        // replayed liveness map, so journaling the inputs reproduces the
+        // state machine exactly.
+        self.journal(&PdmeWalRecord::Supervise { now, timeout })?;
         self.supervisor.supervise(
             now,
             timeout,
@@ -477,6 +546,237 @@ impl PdmeExecutive {
     /// no fresh report has arrived since), sorted.
     pub fn degraded_machines(&self) -> Vec<MachineId> {
         self.supervisor.degraded_machines()
+    }
+
+    /// The maintenance archive.
+    pub fn historian(&self) -> &Historian {
+        &self.historian
+    }
+
+    /// Archive a closed maintenance action (journaled).
+    pub fn record_maintenance(&mut self, record: MaintenanceRecord) -> Result<()> {
+        self.journal(&PdmeWalRecord::Maintenance(record.clone()))?;
+        self.historian.record(record);
+        Ok(())
+    }
+
+    /// Record a component (re)installation on a machine (journaled);
+    /// feeds censored lifetimes into the §10.1 Weibull life models.
+    pub fn component_installed(
+        &mut self,
+        machine: MachineId,
+        condition: MachineCondition,
+        at: SimTime,
+    ) -> Result<()> {
+        self.journal(&PdmeWalRecord::ComponentInstalled {
+            machine,
+            condition,
+            at,
+        })?;
+        self.historian.component_installed(machine, condition, at);
+        Ok(())
+    }
+
+    /// Journal a scenario fault-epoch transition (informational; the
+    /// replay path skips these, but they anchor log forensics to the
+    /// fault timeline).
+    pub fn journal_fault_transition(&self, at: SimTime, label: &str, start: bool) -> Result<()> {
+        self.journal(&PdmeWalRecord::FaultTransition {
+            at,
+            label: label.to_string(),
+            start,
+        })
+    }
+
+    /// Serialize the executive's full fused state — ship model, fusion
+    /// frames, supervision state, maintenance archive, liveness and
+    /// replay-guard watermarks — into one snapshot payload.
+    ///
+    /// Call at a step boundary: the OOSM event queue and pending trace
+    /// spans are drained there, which is what makes the encoding a
+    /// complete cut of the engine (both are serialized regardless, so a
+    /// mid-step snapshot still restores, minus open trace parentage).
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.oosm.encode(&mut out);
+        self.fusion.encode(&mut out);
+        self.supervisor.encode(&mut out);
+        self.historian.encode(&mut out);
+        let mut seen: Vec<DcId> = self.dc_last_seen.keys().copied().collect();
+        seen.sort_unstable();
+        seen.len().encode(&mut out);
+        for dc in seen {
+            dc.encode(&mut out);
+            self.dc_last_seen[&dc].encode(&mut out);
+        }
+        let mut guards: Vec<DcId> = self.batch_last_seq.keys().copied().collect();
+        guards.sort_unstable();
+        guards.len().encode(&mut out);
+        for dc in guards {
+            dc.encode(&mut out);
+            self.batch_last_seq[&dc].encode(&mut out);
+        }
+        let mut pending: Vec<u64> = self.pending_traces.keys().copied().collect();
+        pending.sort_unstable();
+        pending.len().encode(&mut out);
+        for id in pending {
+            let (trace, span) = self.pending_traces[&id];
+            id.encode(&mut out);
+            trace.0.encode(&mut out);
+            span.0.encode(&mut out);
+        }
+        out
+    }
+
+    /// Append a full snapshot of the current state to the attached
+    /// store. Returns the snapshot's WAL sequence number, or `None`
+    /// when no store is attached.
+    pub fn snapshot_to_store(&self) -> Result<Option<u64>> {
+        match &self.store {
+            Some(store) => Ok(Some(store.append_snapshot(self.snapshot_bytes())?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Rebuild an executive from one snapshot payload. The result
+    /// observes a fresh private telemetry domain and has no store
+    /// attached and no resident algorithms — hosts re-install residents
+    /// and call [`PdmeExecutive::rebind_telemetry`] +
+    /// [`PdmeExecutive::attach_store`] after recovery.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut input = bytes;
+        let mut oosm = Oosm::decode(&mut input)?;
+        let mut fusion = FusionEngine::decode(&mut input)?;
+        let supervisor = Supervisor::decode(&mut input)?;
+        let historian = Historian::decode(&mut input)?;
+        fn decode_dc_map<V: Durable>(input: &mut &[u8], what: &str) -> Result<HashMap<DcId, V>> {
+            let count = usize::decode(input)?;
+            let mut map = HashMap::with_capacity(count);
+            let mut prev: Option<DcId> = None;
+            for _ in 0..count {
+                let dc = DcId::decode(input)?;
+                if prev.is_some_and(|p| dc <= p) {
+                    return Err(Error::invalid(format!(
+                        "pdme snapshot: {what} out of order"
+                    )));
+                }
+                prev = Some(dc);
+                map.insert(dc, V::decode(input)?);
+            }
+            Ok(map)
+        }
+        let dc_last_seen = decode_dc_map::<SimTime>(&mut input, "liveness map")?;
+        let batch_last_seq = decode_dc_map::<(u64, u64)>(&mut input, "replay guards")?;
+        let count = usize::decode(&mut input)?;
+        let mut pending_traces = HashMap::with_capacity(count);
+        let mut prev: Option<u64> = None;
+        for _ in 0..count {
+            let id = u64::decode(&mut input)?;
+            if prev.is_some_and(|p| id <= p) {
+                return Err(Error::invalid("pdme snapshot: pending traces out of order"));
+            }
+            prev = Some(id);
+            let trace = TraceId(u64::decode(&mut input)?);
+            let span = SpanId(u64::decode(&mut input)?);
+            pending_traces.insert(id, (trace, span));
+        }
+        if !input.is_empty() {
+            return Err(Error::invalid(format!(
+                "pdme snapshot: {} trailing byte(s)",
+                input.len()
+            )));
+        }
+        let kf_events = oosm.subscribe();
+        let telemetry = Telemetry::new();
+        let m_reports_received = telemetry.counter("pdme", "reports_received");
+        let m_batch_replays = telemetry.counter("pdme", "batch_replays_dropped");
+        let h_report_latency = telemetry.histogram("pdme", "report_latency_s");
+        fusion.set_telemetry(&telemetry);
+        oosm.set_telemetry(&telemetry);
+        Ok(PdmeExecutive {
+            oosm,
+            kf_events,
+            fusion,
+            resident: Vec::new(),
+            supervisor,
+            dc_last_seen,
+            batch_last_seq,
+            pending_traces,
+            historian,
+            store: None,
+            telemetry,
+            m_reports_received,
+            m_batch_replays,
+            h_report_latency,
+        })
+    }
+
+    /// Rebuild an executive from recovered store state: decode the
+    /// latest snapshot (or start empty when the log predates the first
+    /// checkpoint), then replay the WAL tail through the normal entry
+    /// points. Ingestion and supervision are deterministic functions of
+    /// their journaled inputs, so the result is byte-identical to the
+    /// pre-crash engine.
+    ///
+    /// The replayed executive has no store attached (replay must not
+    /// re-journal) and counts into a private telemetry domain the
+    /// caller discards — see [`PdmeExecutive::rebind_telemetry`].
+    pub fn restore(recovered: &RecoveredState) -> Result<Self> {
+        let mut pdme = match &recovered.snapshot {
+            Some(bytes) => Self::from_snapshot_bytes(bytes)?,
+            None => PdmeExecutive::new(),
+        };
+        for frame in &recovered.tail {
+            pdme.apply(PdmeWalRecord::decode_frame(frame)?)?;
+        }
+        Ok(pdme)
+    }
+
+    /// Apply one replayed WAL record through the normal entry points.
+    fn apply(&mut self, record: PdmeWalRecord) -> Result<()> {
+        match record {
+            PdmeWalRecord::RegisterMachine { machine, name } => {
+                self.register_machine(machine, &name);
+            }
+            PdmeWalRecord::AssignDc {
+                dc,
+                machines,
+                sbfr_images,
+            } => self.assign_dc(dc, machines, sbfr_images),
+            PdmeWalRecord::Ingest { now, msgs } => {
+                self.ingest(&msgs, now)?;
+            }
+            PdmeWalRecord::Supervise { now, timeout } => {
+                self.supervise(now, timeout)?;
+            }
+            PdmeWalRecord::Maintenance(record) => self.historian.record(record),
+            PdmeWalRecord::ComponentInstalled {
+                machine,
+                condition,
+                at,
+            } => self.historian.component_installed(machine, condition, at),
+            // Informational marker: the fault machinery lives in the
+            // host scenario, not the executive.
+            PdmeWalRecord::FaultTransition { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// Re-attach to `telemetry` *without* carrying counter totals over,
+    /// cascading to the fusion engine and the ship model.
+    ///
+    /// The restore path's counterpart of `set_telemetry`: the shared
+    /// registry already holds everything the pre-crash engine counted,
+    /// and the replay re-counted the same work into the restored
+    /// engine's private domain — a carry-over join would double-count
+    /// every replayed report.
+    pub fn rebind_telemetry(&mut self, telemetry: &Telemetry) {
+        self.m_reports_received = telemetry.counter("pdme", "reports_received");
+        self.m_batch_replays = telemetry.counter("pdme", "batch_replays_dropped");
+        self.h_report_latency = telemetry.histogram("pdme", "report_latency_s");
+        self.fusion.rebind_telemetry(telemetry);
+        self.oosm.rebind_telemetry(telemetry);
+        self.telemetry = telemetry.clone();
     }
 }
 
@@ -951,6 +1251,94 @@ mod tests {
             )
             .unwrap();
         assert_eq!(summary, IngestSummary::default());
+    }
+
+    #[test]
+    fn crash_restore_reproduces_state_byte_identically() {
+        use mpros_store::{RecoveryManager, StoreHandle};
+        let tel = Telemetry::new();
+        let store = StoreHandle::in_memory(&tel);
+        let mut p = pdme();
+        p.assign_dc(DcId::new(1), vec![MachineId::new(1)], vec![(0, vec![7, 7])]);
+        // Wiring done: attach the store and write the baseline snapshot.
+        p.attach_store(store.clone());
+        p.snapshot_to_store().unwrap();
+        // Pre-checkpoint traffic.
+        p.ingest(
+            &[NetMessage::Report(report(
+                1,
+                1,
+                MachineCondition::MotorImbalance,
+                0.7,
+            ))],
+            SimTime::from_secs(2.0),
+        )
+        .unwrap();
+        p.supervise(SimTime::from_secs(3.0), SimDuration::from_secs(30.0))
+            .unwrap();
+        p.snapshot_to_store().unwrap();
+        // Post-checkpoint traffic: lands in the WAL tail only.
+        p.ingest(
+            &[
+                NetMessage::Report(report(2, 1, MachineCondition::MotorMisalignment, 0.6)),
+                NetMessage::Heartbeat {
+                    dc: DcId::new(1),
+                    at_secs: 40.0,
+                },
+            ],
+            SimTime::from_secs(40.0),
+        )
+        .unwrap();
+        p.record_maintenance(MaintenanceRecord {
+            at: SimTime::from_secs(41.0),
+            machine: MachineId::new(1),
+            condition: MachineCondition::MotorImbalance,
+            outcome: crate::historian::Outcome::Confirmed,
+            service_life: Some(SimDuration::from_hours(500.0)),
+        })
+        .unwrap();
+        // Silence past the timeout flips the supervisor state machine.
+        p.supervise(SimTime::from_secs(100.0), SimDuration::from_secs(30.0))
+            .unwrap();
+        assert_eq!(p.degraded_machines(), vec![MachineId::new(1)]);
+
+        let recovered = RecoveryManager::new(&tel).recover(&store.contents().unwrap());
+        assert!(recovered.snapshot.is_some(), "checkpoint found");
+        let restored = PdmeExecutive::restore(&recovered).unwrap();
+        assert_eq!(
+            restored.snapshot_bytes(),
+            p.snapshot_bytes(),
+            "restored engine state is byte-identical"
+        );
+        assert_eq!(restored.degraded_machines(), vec![MachineId::new(1)]);
+        assert_eq!(restored.historian().len(), 1);
+        assert_eq!(restored.maintenance_list(), p.maintenance_list());
+    }
+
+    #[test]
+    fn restore_from_wal_only_replays_from_empty() {
+        use mpros_store::{RecoveryManager, StoreHandle};
+        let tel = Telemetry::new();
+        let store = StoreHandle::in_memory(&tel);
+        let mut p = PdmeExecutive::new();
+        p.attach_store(store.clone());
+        // No snapshot ever written: wiring and traffic all go through
+        // the WAL, and recovery replays from the empty engine.
+        p.register_machine(MachineId::new(1), "A/C Compressor Motor 1");
+        p.ingest(
+            &[NetMessage::Report(report(
+                1,
+                1,
+                MachineCondition::MotorImbalance,
+                0.7,
+            ))],
+            SimTime::from_secs(2.0),
+        )
+        .unwrap();
+        let recovered = RecoveryManager::new(&tel).recover(&store.contents().unwrap());
+        assert!(recovered.snapshot.is_none());
+        let restored = PdmeExecutive::restore(&recovered).unwrap();
+        assert_eq!(restored.snapshot_bytes(), p.snapshot_bytes());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! believability-style review statistics per condition and Weibull life
 //! models per condition for hazard-refined prognostics.
 
-use mpros_core::{MachineCondition, MachineId, Result, SimDuration, SimTime};
+use mpros_core::{Durable, Error, MachineCondition, MachineId, Result, SimDuration, SimTime};
 use mpros_fusion::{Lifetime, WeibullFit};
 use std::collections::HashMap;
 
@@ -146,6 +146,81 @@ impl Historian {
     }
 }
 
+impl Durable for Outcome {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Outcome::Confirmed => 0,
+            Outcome::Reversed => 1,
+        });
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        match u8::decode(input)? {
+            0 => Ok(Outcome::Confirmed),
+            1 => Ok(Outcome::Reversed),
+            t => Err(Error::invalid(format!("durable outcome: bad tag {t}"))),
+        }
+    }
+}
+
+impl Durable for MaintenanceRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.at.encode(out);
+        self.machine.encode(out);
+        self.condition.encode(out);
+        self.outcome.encode(out);
+        self.service_life.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        Ok(MaintenanceRecord {
+            at: SimTime::decode(input)?,
+            machine: MachineId::decode(input)?,
+            condition: MachineCondition::decode(input)?,
+            outcome: Outcome::decode(input)?,
+            service_life: Option::<SimDuration>::decode(input)?,
+        })
+    }
+}
+
+/// Wire form: the archive in arrival order (record order matters to
+/// nothing today, but a byte-identical restore must not invent one),
+/// then the in-service clocks sorted by `(machine, condition)` key.
+impl Durable for Historian {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.records.encode(out);
+        let mut keys: Vec<(MachineId, MachineCondition)> =
+            self.in_service.keys().copied().collect();
+        keys.sort_unstable();
+        keys.len().encode(out);
+        for key in keys {
+            key.encode(out);
+            self.in_service[&key].encode(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        let records = Vec::<MaintenanceRecord>::decode(input)?;
+        let count = usize::decode(input)?;
+        let mut in_service = HashMap::with_capacity(count);
+        let mut prev: Option<(MachineId, MachineCondition)> = None;
+        for _ in 0..count {
+            let key = <(MachineId, MachineCondition)>::decode(input)?;
+            if prev.is_some_and(|p| key <= p) {
+                return Err(Error::invalid(
+                    "durable historian: service clocks out of order",
+                ));
+            }
+            prev = Some(key);
+            in_service.insert(key, SimTime::decode(input)?);
+        }
+        Ok(Historian {
+            records,
+            in_service,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +314,27 @@ mod tests {
         assert!(h
             .life_model(MachineCondition::GearToothWear, SimTime::ZERO)
             .is_err());
+    }
+
+    #[test]
+    fn durable_roundtrip_preserves_archive_and_clocks() {
+        let mut h = Historian::new();
+        let c = MachineCondition::MotorBearingDefect;
+        h.component_installed(MachineId::new(2), c, SimTime::ZERO);
+        h.record(record(1.0, 1, c, Outcome::Confirmed, Some(4_000.0)));
+        h.record(record(2.0, 3, c, Outcome::Reversed, None));
+        let bytes = h.to_durable_bytes();
+        let back = Historian::from_durable_bytes(&bytes).unwrap();
+        assert_eq!(back.to_durable_bytes(), bytes, "canonical encoding");
+        assert_eq!(back.len(), h.len());
+        assert_eq!(back.stats(c), h.stats(c));
+        let now = SimTime::from_secs(2_500.0 * 3_600.0);
+        let sorted = |hist: &Historian| {
+            let mut v = hist.lifetimes(c, now);
+            v.sort_by(|a, b| (a.failed, a.time).partial_cmp(&(b.failed, b.time)).unwrap());
+            v
+        };
+        assert_eq!(sorted(&back), sorted(&h));
     }
 
     #[test]

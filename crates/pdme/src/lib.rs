@@ -26,14 +26,16 @@ pub mod executive;
 pub mod health;
 pub mod historian;
 pub mod icas;
+pub mod journal;
 pub mod resident;
 pub mod shared;
 pub mod supervisor;
 
 pub use executive::{BatchAck, IngestSummary, PdmeExecutive, ResidentAlgorithm};
 pub use health::{health_of, HealthReport};
-pub use historian::Historian;
+pub use historian::{Historian, MaintenanceRecord, Outcome};
 pub use icas::{export_snapshot, IcasSnapshot};
+pub use journal::PdmeWalRecord;
 pub use resident::{FlowCorrelator, SpatialCorrelator};
 pub use shared::SharedPdme;
 pub use supervisor::{Assignment, Supervisor};

@@ -12,7 +12,7 @@
 //! until a fresh report actually arrives from them, because a DC that
 //! answers heartbeats may still be re-warming its detectors.
 
-use mpros_core::{DcId, MachineId, Result, SimDuration, SimTime};
+use mpros_core::{DcId, Durable, Error, MachineId, Result, SimDuration, SimTime};
 use mpros_network::NetMessage;
 use mpros_oosm::{Oosm, Value};
 use mpros_telemetry::Telemetry;
@@ -142,6 +142,98 @@ impl Supervisor {
     }
 }
 
+impl Durable for Assignment {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.machines.encode(out);
+        self.sbfr_images.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        Ok(Assignment {
+            machines: Vec::<MachineId>::decode(input)?,
+            sbfr_images: Vec::<(u32, Vec<u8>)>::decode(input)?,
+        })
+    }
+}
+
+impl Durable for DcState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            DcState::Healthy => 0,
+            DcState::Stale => 1,
+        });
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        match u8::decode(input)? {
+            0 => Ok(DcState::Healthy),
+            1 => Ok(DcState::Stale),
+            t => Err(Error::invalid(format!("durable dc state: bad tag {t}"))),
+        }
+    }
+}
+
+/// Wire form: the three collections in key order (they are ordered maps
+/// and sets already, so the encoding is canonical for free); decoding
+/// enforces strictly ascending keys.
+impl Durable for Supervisor {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.assignments.len().encode(out);
+        for (dc, assignment) in &self.assignments {
+            dc.encode(out);
+            assignment.encode(out);
+        }
+        self.states.len().encode(out);
+        for (dc, state) in &self.states {
+            dc.encode(out);
+            state.encode(out);
+        }
+        self.degraded.len().encode(out);
+        for machine in &self.degraded {
+            machine.encode(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        fn decode_btree<V: Durable>(input: &mut &[u8], what: &str) -> Result<BTreeMap<DcId, V>> {
+            let count = usize::decode(input)?;
+            let mut map = BTreeMap::new();
+            let mut prev: Option<DcId> = None;
+            for _ in 0..count {
+                let dc = DcId::decode(input)?;
+                if prev.is_some_and(|p| dc <= p) {
+                    return Err(Error::invalid(format!(
+                        "durable supervisor: {what} out of order"
+                    )));
+                }
+                prev = Some(dc);
+                map.insert(dc, V::decode(input)?);
+            }
+            Ok(map)
+        }
+        let assignments = decode_btree(input, "assignments")?;
+        let states = decode_btree(input, "states")?;
+        let count = usize::decode(input)?;
+        let mut degraded = BTreeSet::new();
+        let mut prev: Option<MachineId> = None;
+        for _ in 0..count {
+            let machine = MachineId::decode(input)?;
+            if prev.is_some_and(|p| machine <= p) {
+                return Err(Error::invalid(
+                    "durable supervisor: degraded set out of order",
+                ));
+            }
+            prev = Some(machine);
+            degraded.insert(machine);
+        }
+        Ok(Supervisor {
+            assignments,
+            states,
+            degraded,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +324,38 @@ mod tests {
         assert!(sup.clear_degraded(MachineId::new(10)));
         assert!(!sup.clear_degraded(MachineId::new(10)), "already cleared");
         assert_eq!(sup.degraded_machines(), vec![MachineId::new(11)]);
+    }
+
+    #[test]
+    fn durable_roundtrip_preserves_supervision_state() {
+        let (mut sup, mut oosm, tel) = rigged();
+        let timeout = SimDuration::from_secs(30.0);
+        // Drive DC 1 stale so all three collections are non-trivial.
+        sup.supervise(
+            SimTime::from_secs(50.0),
+            timeout,
+            &seen(&[(1, 5.0)]),
+            &mut oosm,
+            &tel,
+        )
+        .unwrap();
+        let bytes = sup.to_durable_bytes();
+        let mut back = Supervisor::from_durable_bytes(&bytes).unwrap();
+        assert_eq!(back.to_durable_bytes(), bytes, "canonical encoding");
+        assert_eq!(back.degraded_machines(), sup.degraded_machines());
+        // The restored supervisor remembers DC 1 is stale: renewed
+        // contact triggers the SBFR re-download exactly like the
+        // original would.
+        let cmds = back
+            .supervise(
+                SimTime::from_secs(60.0),
+                timeout,
+                &seen(&[(1, 55.0)]),
+                &mut oosm,
+                &tel,
+            )
+            .unwrap();
+        assert_eq!(cmds.len(), 1, "stale→healthy transition survives");
     }
 
     #[test]

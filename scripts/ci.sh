@@ -32,6 +32,15 @@ cargo test --release -q --test parallel_determinism
 echo "==> fault recovery suite, release"
 cargo test --release -q --test fault_recovery
 
+# The durability contract, in release: a run whose PDME crashes and is
+# rebuilt from the store (latest snapshot + WAL tail) must be
+# byte-identical to the uninterrupted run in every execution mode, and
+# a WAL truncated at any tail offset must recover to the last valid
+# frame. Release catches optimization-sensitive encoding regressions.
+echo "==> crash-restore determinism, release"
+cargo test --release -q --test crash_restore
+cargo test --release -q --test wal_torn_write
+
 # Fleet-stepping throughput at 1 and 4 workers. On hosts with < 4 cores
 # the speedup is recorded but not judged (E7.4 is conditional), so this
 # stays green on single-core CI runners.
@@ -63,5 +72,11 @@ echo "==> slo_check --profile calm"
 cargo run --release -p mpros-bench --bin slo_check -- --profile calm
 echo "==> slo_check --profile lossy"
 cargo run --release -p mpros-bench --bin slo_check -- --profile lossy
+
+# The same calm-sea budgets, judged on an engine that crashed mid-run
+# and was restored from snapshot + WAL tail — durability must not cost
+# a single SLO.
+echo "==> slo_check --profile calm --crash-restore"
+cargo run --release -p mpros-bench --bin slo_check -- --profile calm --crash-restore
 
 echo "CI OK"

@@ -46,5 +46,6 @@ pub use mpros_oosm as oosm;
 pub use mpros_pdme as pdme;
 pub use mpros_sbfr as sbfr;
 pub use mpros_signal as signal;
+pub use mpros_store as store;
 pub use mpros_telemetry as telemetry;
 pub use mpros_wnn as wnn;

@@ -70,6 +70,7 @@ use mpros_core::{
 use mpros_dc::{DataConcentrator, DcConfig, SensorFault};
 use mpros_network::{Endpoint, Envelope, NetMessage, NetworkConfig, ShipNetwork};
 use mpros_pdme::PdmeExecutive;
+use mpros_store::{RecoveryManager, StoreHandle};
 use mpros_telemetry::trace::dc_trace_seed;
 use mpros_telemetry::{
     Instrumented, SloPolicy, SloVerdict, SloWatchdog, Stage, Telemetry, TraceHop, WallTimer,
@@ -106,6 +107,11 @@ pub struct ShipboardSimConfig {
     /// Service-level objectives the watchdog evaluates after every
     /// step's supervision pass; [`SloPolicy::none`] disables it.
     pub slo: SloPolicy,
+    /// Steps between durable PDME snapshots (`0` disables periodic
+    /// checkpoints; the wiring-time baseline snapshot is always
+    /// written). Between checkpoints the WAL carries every ingested
+    /// frame, so crash recovery replays at most this many steps.
+    pub snapshot_every: u64,
 }
 
 impl Default for ShipboardSimConfig {
@@ -120,6 +126,7 @@ impl Default for ShipboardSimConfig {
             heartbeat_period: SimDuration::from_secs(10.0),
             exec: ExecMode::Sequential,
             slo: SloPolicy::none(),
+            snapshot_every: 50,
         }
     }
 }
@@ -149,6 +156,12 @@ pub struct ShipboardSim {
     /// shared by the DC (root hops) and the network (wire context).
     trace_seeds: Vec<u64>,
     watchdog: SloWatchdog,
+    /// The PDME's durable store: WAL of every ingested frame plus
+    /// periodic snapshots; [`FaultKind::PdmeCrash`] restores from it.
+    store: StoreHandle,
+    snapshot_every: u64,
+    /// Steps taken so far (snapshot cadence).
+    steps: u64,
 }
 
 impl ShipboardSim {
@@ -193,6 +206,12 @@ impl ShipboardSim {
             pdme.register_machine(machine, &format!("A/C Plant {} Chiller", i + 1));
             pdme.assign_dc(dc_id, vec![machine], sbfr_images.clone());
         }
+        // Wiring complete: attach the durable store and checkpoint the
+        // wired-but-quiet engine, so recovery always has a snapshot to
+        // start from (the WAL journals everything after this point).
+        let store = StoreHandle::in_memory(&telemetry);
+        pdme.attach_store(store.clone());
+        pdme.snapshot_to_store()?;
         let pool = match config.exec {
             ExecMode::Sequential => None,
             ExecMode::Parallel { .. } => Some(WorkerPool::new(
@@ -222,7 +241,51 @@ impl ShipboardSim {
             master_seed: config.seed,
             trace_seeds,
             watchdog: SloWatchdog::new(config.slo),
+            store,
+            snapshot_every: config.snapshot_every,
+            steps: 0,
         })
+    }
+
+    /// The PDME's durable store (WAL + snapshots). Handles are shared:
+    /// appends through the returned handle land in the same log the
+    /// crash-restore path recovers from.
+    pub fn store(&self) -> &StoreHandle {
+        &self.store
+    }
+
+    /// Crash the PDME process and rebuild it from the durable store:
+    /// decode the latest snapshot, replay the WAL tail, re-join the
+    /// ship's telemetry domain (without double-counting replayed work)
+    /// and re-attach the store. [`FaultKind::PdmeCrash`] windows call
+    /// this at their start edge; benches and tests may invoke it
+    /// directly at an arbitrary step.
+    ///
+    /// Resident algorithms are process state and do not survive — hosts
+    /// that installed any must re-install them after this returns.
+    pub fn crash_restore_pdme(&mut self) -> Result<()> {
+        let now = self.clock.now();
+        self.telemetry.event_at(
+            now,
+            "sim",
+            "pdme_crash",
+            "PDME lost; restoring from snapshot + WAL tail",
+        );
+        let recovered = RecoveryManager::new(&self.telemetry).recover(&self.store.contents()?);
+        let mut fresh = PdmeExecutive::restore(&recovered)?;
+        fresh.rebind_telemetry(&self.telemetry);
+        fresh.attach_store(self.store.clone());
+        self.pdme = fresh;
+        self.telemetry.event_at(
+            now,
+            "sim",
+            "pdme_restored",
+            format!(
+                "replayed {} WAL record(s) past the last snapshot",
+                recovered.tail.len()
+            ),
+        );
+        Ok(())
     }
 
     /// The ship-wide telemetry domain (metrics, spans, journal,
@@ -341,6 +404,13 @@ impl ShipboardSim {
     fn apply_fault_transitions(&mut self, prev: SimTime, now: SimTime) -> Result<()> {
         let transitions = self.fault_plan.transitions(prev, now);
         for transition in transitions {
+            // Anchor the durable log to the fault timeline (replay
+            // skips these markers; forensics reads them).
+            let (label, start) = match &transition {
+                FaultTransition::Start(kind) => (kind.label(), true),
+                FaultTransition::End(kind) => (kind.label(), false),
+            };
+            self.pdme.journal_fault_transition(now, label, start)?;
             match transition {
                 FaultTransition::Start(FaultKind::DcCrash { dc }) => {
                     let idx = self.dc_index(dc);
@@ -416,6 +486,18 @@ impl ShipboardSim {
                     self.telemetry
                         .event_at(now, "sim", "pdme_resume", "fusion pass resumed");
                 }
+                FaultTransition::Start(FaultKind::PdmeCrash) => {
+                    // Crash-restart is instantaneous in simulated time:
+                    // the engine is torn down and rebuilt from its
+                    // durable store before this tick's traffic flows,
+                    // which is what keeps the scenario's outputs
+                    // byte-identical to an uninterrupted run.
+                    self.crash_restore_pdme()?;
+                }
+                FaultTransition::End(FaultKind::PdmeCrash) => {
+                    // The restart happened at the window's start edge;
+                    // nothing is held down for the window's duration.
+                }
                 FaultTransition::Start(FaultKind::Partition { target }) => {
                     self.network.set_partitioned(endpoint_of(target), true);
                 }
@@ -442,6 +524,7 @@ impl ShipboardSim {
         self.clock.advance(dt);
         let now = self.clock.now();
         self.telemetry.set_sim_now(now);
+        self.steps += 1;
         self.apply_fault_transitions(prev, now)?;
 
         // Phase 1: deliver pending traffic, in DC-index order. Acks are
@@ -559,6 +642,11 @@ impl ShipboardSim {
         // The SLO watchdog reads the shared registry after supervision,
         // on the control thread — deterministic under any worker count.
         self.watchdog.evaluate(&self.telemetry);
+        // Periodic durable checkpoint, on the control thread so the
+        // store's counters are identical under any worker count.
+        if self.snapshot_every > 0 && self.steps.is_multiple_of(self.snapshot_every) {
+            self.pdme.snapshot_to_store()?;
+        }
         Ok(summary.fused)
     }
 

@@ -1,0 +1,281 @@
+//! Crash-restore determinism: a run whose PDME is torn down mid-flight
+//! and rebuilt from the durable store (latest snapshot + WAL tail) must
+//! produce **byte-identical** observable output to the run that never
+//! crashed — the durability layer is invisible in every mode.
+//!
+//! What is compared between the crashed and uninterrupted runs:
+//! * the ICAS snapshot, as its exact JSON serialization;
+//! * the SLO watchdog's final verdict, as its exact JSON serialization;
+//! * the total reports fused and received;
+//! * the deterministic (simulated-time) histograms — bus transit and
+//!   end-to-end report latency.
+//!
+//! Counters are deliberately *not* compared wholesale: the crashed run
+//! legitimately records `store.recovery_replayed` and `sim pdme_crash`
+//! journal events that the uninterrupted run does not.
+//!
+//! The torn-write test exercises the other half of the contract: the
+//! WAL truncated at byte offsets in its tail must recover cleanly to
+//! the last valid frame, and a PDME restored from any clean frame
+//! boundary must be exactly replayable.
+
+use mpros::chiller::fault::{FaultProfile, FaultSeed};
+use mpros::core::{FaultPlan, MachineCondition, SimDuration, SimTime};
+use mpros::network::NetworkConfig;
+use mpros::pdme::{export_snapshot, PdmeExecutive};
+use mpros::sim::{ExecMode, ShipboardSim, ShipboardSimConfig};
+use mpros::store::{scan_frame, FrameScan, RecoveryManager};
+use mpros::telemetry::SloPolicy;
+
+/// The lossy-network campaign from the determinism harness: 3 DCs, a
+/// dropping/jittering bus and one step-profile fault — enough traffic
+/// that the WAL tail carries real batches, acks and supervision state.
+fn lossy_config(exec: ExecMode, fault_plan: FaultPlan) -> ShipboardSimConfig {
+    ShipboardSimConfig {
+        dc_count: 3,
+        seed: 99,
+        network: NetworkConfig::default()
+            .with_drop_probability(0.15)
+            .with_jitter(SimDuration::from_millis(4.0)),
+        fault_plan,
+        survey_period: SimDuration::from_secs(30.0),
+        slo: SloPolicy::standard(30.0, 120.0, 0.9),
+        exec,
+        ..Default::default()
+    }
+}
+
+fn build(exec: ExecMode, fault_plan: FaultPlan) -> ShipboardSim {
+    let mut sim = ShipboardSim::new(lossy_config(exec, fault_plan)).expect("sim builds");
+    sim.seed_fault(
+        1,
+        FaultSeed {
+            condition: MachineCondition::RefrigerantLeak,
+            onset: SimTime::ZERO,
+            time_to_failure: SimDuration::from_minutes(6.0),
+            profile: FaultProfile::Step(0.9),
+        },
+    );
+    sim
+}
+
+/// Everything observable that must not depend on whether (or where) the
+/// PDME crashed and restored.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    icas_json: String,
+    slo_json: String,
+    fused: usize,
+    reports_received: usize,
+    sim_histograms: Vec<(String, String, u64, String)>,
+}
+
+fn fingerprint(sim: &ShipboardSim, fused: usize) -> Fingerprint {
+    let icas = export_snapshot(sim.pdme(), sim.now(), SimDuration::from_secs(30.0));
+    let snap = sim.telemetry().snapshot();
+    let sim_histograms = snap
+        .histograms
+        .iter()
+        .filter(|h| {
+            h.name.ends_with("sim_s")
+                || h.name.ends_with("latency_s")
+                || h.name.ends_with("transit_s")
+        })
+        .map(|h| {
+            (
+                h.component.clone(),
+                h.name.clone(),
+                h.count,
+                format!(
+                    "{:?}/{:?}/{:?}/{:?}/{:?}",
+                    h.min, h.max, h.p50, h.p95, h.p99
+                ),
+            )
+        })
+        .collect();
+    Fingerprint {
+        icas_json: icas.to_json().expect("ICAS serializes"),
+        slo_json: sim
+            .slo_verdict()
+            .expect("watchdog ran")
+            .to_json()
+            .expect("verdict serializes"),
+        fused,
+        reports_received: sim.pdme().reports_received(),
+        sim_histograms,
+    }
+}
+
+/// Run the campaign for 3 minutes; returns the fingerprint plus the
+/// number of WAL records replayed through recovery (0 when no crash).
+fn run(exec: ExecMode, fault_plan: FaultPlan) -> (Fingerprint, u64) {
+    let mut sim = build(exec, fault_plan);
+    let fused = sim
+        .run_for(SimDuration::from_minutes(3.0), SimDuration::from_secs(0.5))
+        .expect("campaign runs");
+    let replayed = sim
+        .telemetry()
+        .snapshot()
+        .counter("store", "recovery_replayed");
+    (fingerprint(&sim, fused), replayed)
+}
+
+/// The tentpole contract: `FaultKind::PdmeCrash` mid-run tears the
+/// engine down and rebuilds it from snapshot + WAL tail, and the final
+/// ICAS export, SLO verdict and simulated-time histograms are
+/// byte-identical to the uninterrupted run — sequentially and at every
+/// worker count.
+#[test]
+fn crashed_run_is_byte_identical_to_uninterrupted() {
+    // The crash window opens mid-campaign, after real traffic and the
+    // first periodic snapshot, so recovery replays a non-trivial tail.
+    let crash_plan =
+        FaultPlan::none().with_pdme_crash(SimTime::from_secs(80.0), SimTime::from_secs(81.0));
+    let (reference, _) = run(ExecMode::Sequential, FaultPlan::none());
+    assert!(
+        reference.reports_received > 0,
+        "scenario produced no traffic — vacuous comparison"
+    );
+    for exec in [
+        ExecMode::Sequential,
+        ExecMode::Parallel { workers: 2 },
+        ExecMode::Parallel { workers: 4 },
+        ExecMode::Parallel { workers: 8 },
+    ] {
+        let (crashed, replayed) = run(exec, crash_plan.clone());
+        assert!(
+            replayed > 0,
+            "{exec:?}: crash fired but recovery replayed no WAL records — vacuous"
+        );
+        assert_eq!(
+            reference.icas_json, crashed.icas_json,
+            "{exec:?}: ICAS snapshot diverged after crash-restore"
+        );
+        assert_eq!(
+            reference.slo_json, crashed.slo_json,
+            "{exec:?}: SLO verdict diverged after crash-restore"
+        );
+        assert_eq!(
+            reference.sim_histograms, crashed.sim_histograms,
+            "{exec:?}: simulated-time histograms diverged after crash-restore"
+        );
+        assert_eq!(reference, crashed, "{exec:?}: full fingerprint");
+    }
+}
+
+/// Crashing at *arbitrary* seeded steps — between ticks rather than on
+/// a fault-plan edge, including twice in one run — must also be
+/// output-transparent.
+#[test]
+fn restore_at_arbitrary_steps_is_transparent() {
+    let dt = SimDuration::from_secs(0.5);
+    let total_steps = 360; // 3 minutes
+    let run_manual = |crash_at: &[u64]| {
+        let mut sim = build(ExecMode::Sequential, FaultPlan::none());
+        let mut fused = 0;
+        for step in 0..total_steps {
+            fused += sim.step(dt).expect("step runs");
+            if crash_at.contains(&step) {
+                sim.crash_restore_pdme().expect("crash-restore succeeds");
+            }
+        }
+        fingerprint(&sim, fused)
+    };
+    let reference = run_manual(&[]);
+    assert!(reference.reports_received > 0, "vacuous comparison");
+    // One early crash (WAL-tail replay from the baseline snapshot), one
+    // just past a periodic snapshot, and a double-crash run.
+    for crash_at in [&[37u64][..], &[151][..], &[66, 287][..]] {
+        assert_eq!(
+            reference,
+            run_manual(crash_at),
+            "crash at steps {crash_at:?} changed observable output"
+        );
+    }
+}
+
+/// Byte offsets of every clean frame boundary in `bytes`, in order,
+/// starting with 0.
+fn frame_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut boundaries = vec![0];
+    let mut offset = 0;
+    while let FrameScan::Valid(_, consumed) = scan_frame(&bytes[offset..]) {
+        offset += consumed;
+        boundaries.push(offset);
+    }
+    assert_eq!(offset, bytes.len(), "live WAL ends on a frame boundary");
+    boundaries
+}
+
+/// Torn-write survivability: truncate the live WAL at every byte offset
+/// across its tail frames and at every frame boundary — recovery must
+/// land exactly on the last valid frame and the restored engine must
+/// match the live one wherever the log is whole.
+#[test]
+fn torn_wal_tail_recovers_to_last_valid_frame() {
+    // A shorter seeded run keeps the log small enough to scan
+    // exhaustively; 100 steps crosses the periodic-snapshot cadence.
+    let mut sim = build(ExecMode::Sequential, FaultPlan::none());
+    let mut fused = 0;
+    for _ in 0..100 {
+        fused += sim.step(SimDuration::from_secs(0.5)).expect("step runs");
+    }
+    assert!(fused > 0, "no traffic — vacuous log");
+    let bytes = sim.store().contents().expect("store readable");
+    let boundaries = frame_boundaries(&bytes);
+    assert!(
+        boundaries.len() > 20,
+        "expected a multi-frame log, got {} frames",
+        boundaries.len() - 1
+    );
+    let manager = RecoveryManager::new(sim.telemetry());
+
+    // Every byte offset across the last handful of frames (the region a
+    // torn append actually damages), plus every frame boundary.
+    let tail_start = boundaries[boundaries.len() - 4];
+    let cuts = (tail_start..=bytes.len()).chain(boundaries.iter().copied());
+    for cut in cuts {
+        let recovered = manager.recover(&bytes[..cut]);
+        let last_valid = *boundaries.iter().rfind(|&&b| b <= cut).unwrap();
+        assert_eq!(
+            recovered.valid_len as usize, last_valid,
+            "cut at {cut}: recovery did not land on the last valid frame"
+        );
+        assert_eq!(
+            recovered.dropped_bytes as usize,
+            cut - last_valid,
+            "cut at {cut}: dropped-byte accounting wrong"
+        );
+        // Any clean prefix must restore without error.
+        if cut == last_valid {
+            PdmeExecutive::restore(&recovered)
+                .unwrap_or_else(|e| panic!("restore from clean prefix {cut} failed: {e}"));
+        }
+    }
+
+    // The untruncated log restores to exactly the live engine.
+    let restored = PdmeExecutive::restore(&manager.recover(&bytes)).expect("full restore");
+    assert_eq!(
+        restored.snapshot_bytes(),
+        sim.pdme().snapshot_bytes(),
+        "full-log restore is not byte-identical to the live engine"
+    );
+
+    // A flipped byte mid-log stops recovery at the frame containing the
+    // damage — nothing after a corrupt frame is trusted.
+    for &flip_at in &[
+        boundaries[1] + 3,
+        boundaries[boundaries.len() / 2] + 7,
+        bytes.len() - 1,
+    ] {
+        let mut corrupt = bytes.clone();
+        corrupt[flip_at] ^= 0x40;
+        let recovered = manager.recover(&corrupt);
+        let containing = *boundaries.iter().rfind(|&&b| b <= flip_at).unwrap();
+        assert_eq!(
+            recovered.valid_len as usize, containing,
+            "flip at {flip_at}: recovery should stop at the damaged frame"
+        );
+        PdmeExecutive::restore(&recovered).expect("restore from corrupt-truncated log");
+    }
+}
