@@ -36,9 +36,12 @@ use mpros_core::{
     Belief, ConditionReport, DcId, FaultPlan, FaultPlanConfig, KnowledgeSourceId, MachineCondition,
     MachineId, PrognosticVector, ReportId, SimDuration, SimTime,
 };
-use mpros_dli::{DliExpertSystem, SpectralFeatures};
+use mpros_dli::{DliExpertSystem, SpectralFeatures, SurveyScratch};
 use mpros_network::{Endpoint, Envelope, NetMessage, NetStats, NetworkConfig, ShipNetwork};
 use mpros_pdme::PdmeExecutive;
+use mpros_signal::dwt::{Wavelet, WaveletDecomposition};
+use mpros_signal::fft::{fft_real, ifft_real};
+use mpros_signal::{DspContext, Spectrum, Window};
 use mpros_store::{RecoveryManager, StoreHandle, FRAME_HEADER_LEN, FRAME_TRAILER_LEN};
 use mpros_telemetry::{Instrumented, Stage, Telemetry, WallTimer};
 use serde::Serialize;
@@ -90,6 +93,26 @@ struct LatencyQuantiles {
     p99_s: f64,
 }
 
+/// The DSP execution context's numbers (the `dsp{}` block, schema v6):
+/// wall-clock rates through the zero-allocation hot path plus the legacy
+/// allocating APIs for the before/after comparison, per-survey
+/// extraction quantiles, and the context's counters from this fixed
+/// workload — the counters are deterministic, so the gate diffs them
+/// exactly.
+#[derive(Serialize)]
+struct DspBench {
+    windows_per_s: f64,
+    spectra_per_s: f64,
+    alloc_spectra_per_s: f64,
+    ifft_per_s: f64,
+    synthesize_per_s: f64,
+    survey_extract_p50_s: f64,
+    survey_extract_p95_s: f64,
+    plans_cached: u64,
+    scratch_reuses: u64,
+    bytes_avoided: u64,
+}
+
 #[derive(Serialize)]
 struct FleetBench {
     dc_count: usize,
@@ -106,6 +129,12 @@ struct FleetBench {
     net_dropped: usize,
     net_retries: usize,
     net_expired: usize,
+    /// `dsp.*` telemetry totals across the fleet run — deterministic
+    /// products of the survey workload, exact-gated like the network
+    /// counters.
+    dsp_plans_cached: u64,
+    dsp_scratch_reuses: u64,
+    dsp_bytes_avoided: u64,
 }
 
 #[derive(Serialize)]
@@ -139,6 +168,7 @@ struct BenchDoc {
     aggregate_samples_per_s_8_workers: f64,
     pdme_reports_per_s_100_dcs: f64,
     fleet: FleetBench,
+    dsp: DspBench,
     store: StoreBench,
     wall_stages: Vec<StageQuantiles>,
     sim_latencies: Vec<LatencyQuantiles>,
@@ -207,6 +237,9 @@ struct FleetRun {
     wal_appends: u64,
     wal_bytes: u64,
     wal_log: Vec<u8>,
+    dsp_plans_cached: u64,
+    dsp_scratch_reuses: u64,
+    dsp_bytes_avoided: u64,
 }
 
 fn fleet_steps_per_s(
@@ -264,6 +297,96 @@ fn fleet_steps_per_s(
         wal_appends: snap.counter("store", "wal_appends"),
         wal_bytes: snap.counter("store", "wal_bytes"),
         wal_log: sim.store().contents().expect("store readable"),
+        dsp_plans_cached: snap.counter("dsp", "plans_cached"),
+        dsp_scratch_reuses: snap.counter("dsp", "scratch_reuses"),
+        dsp_bytes_avoided: snap.counter("dsp", "bytes_avoided"),
+    }
+}
+
+/// Microbench of the DSP execution context against one labeled survey:
+/// raw windowed-FFT and amplitude-spectrum rates through the cached
+/// plans, the legacy allocating spectrum for comparison, the two legacy
+/// round-trip APIs whose hidden clones were removed (`ifft_real`,
+/// `WaveletDecomposition::synthesize`), and per-survey feature
+/// extraction quantiles. The workload is fixed, so the context's
+/// counters come out deterministic.
+fn dsp_bench() -> DspBench {
+    const FS: f64 = 16_384.0;
+    let survey = labeled_survey(
+        Some(MachineCondition::MotorBearingDefect),
+        0.7,
+        0.9,
+        3,
+        BLOCK,
+    );
+    let block = &survey.blocks[0].1;
+    let mut ctx = DspContext::new();
+    let iters = 48usize;
+
+    // Raw forward FFTs of the 32k block through the cached plan.
+    let mut freq = Vec::new();
+    let start = Instant::now();
+    for _ in 0..iters {
+        ctx.fft_real_into(block, &mut freq).expect("power-of-two");
+        std::hint::black_box(freq.len());
+    }
+    let windows_per_s = iters as f64 / start.elapsed().as_secs_f64();
+
+    // Single-sided amplitude spectra: zero-allocation vs legacy.
+    let mut spec = Spectrum::default();
+    let start = Instant::now();
+    for _ in 0..iters {
+        ctx.spectrum_into(block, FS, Window::Hann, &mut spec)
+            .expect("computable");
+        std::hint::black_box(spec.resolution());
+    }
+    let spectra_per_s = iters as f64 / start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(Spectrum::compute(block, FS, Window::Hann).expect("computable"));
+    }
+    let alloc_spectra_per_s = iters as f64 / start.elapsed().as_secs_f64();
+
+    // Legacy inverse FFT (input-spectrum clone removed this revision).
+    let spectrum = fft_real(block).expect("power-of-two");
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(ifft_real(&spectrum).expect("round-trips"));
+    }
+    let ifft_per_s = iters as f64 / start.elapsed().as_secs_f64();
+
+    // Legacy multi-level reconstruction (per-level clones removed).
+    let decomp = WaveletDecomposition::analyze(block, Wavelet::Daubechies4, 5).expect("analyzes");
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(decomp.synthesize().expect("reconstructs"));
+    }
+    let synthesize_per_s = iters as f64 / start.elapsed().as_secs_f64();
+
+    // Full 5-channel survey extraction through the reusable context.
+    let mut scratch = SurveyScratch::default();
+    let mut features = SpectralFeatures::default();
+    let mut samples = Vec::with_capacity(24);
+    for _ in 0..24 {
+        let start = Instant::now();
+        SpectralFeatures::extract_into(&mut ctx, &survey, &mut scratch, &mut features)
+            .expect("extractable");
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    let stats = ctx.stats();
+    DspBench {
+        windows_per_s,
+        spectra_per_s,
+        alloc_spectra_per_s,
+        ifft_per_s,
+        synthesize_per_s,
+        survey_extract_p50_s: percentile(&samples, 0.50),
+        survey_extract_p95_s: percentile(&samples, 0.95),
+        plans_cached: stats.plans_created,
+        scratch_reuses: stats.scratch_reuses,
+        bytes_avoided: stats.bytes_avoided,
     }
 }
 
@@ -314,6 +437,27 @@ fn main() {
     println!(
         "real-time margin over the 4×40 kHz sampler: {:.0}×\n",
         single / 160_000.0
+    );
+
+    // 1b. The DSP execution context itself.
+    let dsp = dsp_bench();
+    println!(
+        "DSP context (32k blocks): {:.0} windows/s, {:.0} spectra/s \
+         ({:.0} via the allocating API), ifft {:.0}/s, dwt synthesize {:.0}/s",
+        dsp.windows_per_s,
+        dsp.spectra_per_s,
+        dsp.alloc_spectra_per_s,
+        dsp.ifft_per_s,
+        dsp.synthesize_per_s,
+    );
+    println!(
+        "5-channel survey extraction: p50={:.2} ms p95={:.2} ms; \
+         {} plans cached, {} scratch reuses, {:.1} MB reallocation avoided\n",
+        dsp.survey_extract_p50_s * 1e3,
+        dsp.survey_extract_p95_s * 1e3,
+        dsp.plans_cached,
+        dsp.scratch_reuses,
+        dsp.bytes_avoided as f64 / 1e6,
     );
 
     // 2. Parallel fleet of DCs (one worker per DC, crossbeam scoped).
@@ -568,7 +712,7 @@ fn main() {
         .filter(|q| q.count > 0)
         .collect();
     let doc = BenchDoc {
-        schema_version: 5,
+        schema_version: 6,
         git_revision: git_revision(),
         git_dirty: git_dirty(),
         host: HostInfo {
@@ -594,7 +738,11 @@ fn main() {
             net_dropped: net_stats.dropped,
             net_retries: net_stats.retries,
             net_expired: net_stats.expired,
+            dsp_plans_cached: par.dsp_plans_cached,
+            dsp_scratch_reuses: par.dsp_scratch_reuses,
+            dsp_bytes_avoided: par.dsp_bytes_avoided,
         },
+        dsp,
         store: store_bench,
         wall_stages,
         sim_latencies,

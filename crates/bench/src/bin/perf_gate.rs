@@ -46,6 +46,20 @@ impl Gate {
         }
     }
 
+    /// Wall-clock latency (lower is better): current must stay at or
+    /// below `baseline / (1 - tol)` — the mirror of [`Gate::wall_rate`].
+    fn wall_time(&mut self, name: &str, base: f64, cur: f64, tol: f64) {
+        self.checked += 1;
+        let ceiling = base / (1.0 - tol).max(1e-9);
+        if cur > ceiling {
+            self.violations.push(format!(
+                "{name}: {cur:.6} rose above {ceiling:.6} \
+                 (baseline {base:.6}, tolerance {:.0}%)",
+                tol * 100.0
+            ));
+        }
+    }
+
     /// Deterministic float: must match to within rounding noise.
     fn exact_f64(&mut self, name: &str, base: f64, cur: f64) {
         self.checked += 1;
@@ -163,10 +177,53 @@ fn main() {
         &["fleet", "sequential_steps_per_s"],
         &["fleet", "parallel_steps_per_s"],
         &["store", "appends_per_s"],
+        &["dsp", "windows_per_s"],
+        &["dsp", "spectra_per_s"],
+        &["dsp", "alloc_spectra_per_s"],
+        &["dsp", "ifft_per_s"],
+        &["dsp", "synthesize_per_s"],
     ] {
         let name = path.join(".");
         match (f64_at(&base, path), f64_at(&cur, path)) {
             (Some(b), Some(c)) => gate.wall_rate(&name, b, c, wall_tol),
+            _ => gate
+                .violations
+                .push(format!("{name}: missing from document")),
+        }
+    }
+
+    // Per-survey DSP extraction latency: lower-is-better wall time,
+    // same loose host tolerance as the rates.
+    for field in ["survey_extract_p50_s", "survey_extract_p95_s"] {
+        let name = format!("dsp.{field}");
+        match (
+            f64_at(&base, &["dsp", field]),
+            f64_at(&cur, &["dsp", field]),
+        ) {
+            (Some(b), Some(c)) => gate.wall_time(&name, b, c, wall_tol),
+            _ => gate
+                .violations
+                .push(format!("{name}: missing from document")),
+        }
+    }
+
+    // DSP context counters: both the fixed microbench workload and the
+    // seeded fleet run drive the context deterministically, so plan and
+    // scratch accounting must reproduce exactly.
+    for (section, field) in [
+        ("dsp", "plans_cached"),
+        ("dsp", "scratch_reuses"),
+        ("dsp", "bytes_avoided"),
+        ("fleet", "dsp_plans_cached"),
+        ("fleet", "dsp_scratch_reuses"),
+        ("fleet", "dsp_bytes_avoided"),
+    ] {
+        let name = format!("{section}.{field}");
+        match (
+            u64_at(&base, &[section, field]),
+            u64_at(&cur, &[section, field]),
+        ) {
+            (Some(b), Some(c)) => gate.exact_u64(&name, b, c),
             _ => gate
                 .violations
                 .push(format!("{name}: missing from document")),

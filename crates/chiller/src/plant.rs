@@ -107,6 +107,28 @@ impl ChillerPlant {
             .sample_block(location, t0, n, sample_rate, self.load_at(t0), &self.faults)
     }
 
+    /// [`ChillerPlant::sample_vibration`] writing into a caller-provided
+    /// buffer (cleared and refilled; zero allocations once `out` has
+    /// capacity). Bit-identical waveforms.
+    pub fn sample_vibration_into(
+        &self,
+        location: AccelLocation,
+        t0: SimTime,
+        n: usize,
+        sample_rate: f64,
+        out: &mut Vec<f64>,
+    ) {
+        self.vibration.sample_block_into(
+            location,
+            t0,
+            n,
+            sample_rate,
+            self.load_at(t0),
+            &self.faults,
+            out,
+        )
+    }
+
     /// Read the process variables at `t`.
     pub fn sample_process(&self, t: SimTime) -> ProcessSnapshot {
         self.process.sample(t, self.load_at(t), &self.faults)

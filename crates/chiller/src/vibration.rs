@@ -151,17 +151,40 @@ impl VibrationSynthesizer {
         load: f64,
         faults: &FaultState,
     ) -> Vec<f64> {
-        let mut out = vec![0.0; n];
+        let mut out = Vec::with_capacity(n);
+        self.sample_block_into(location, t0, n, sample_rate, load, faults, &mut out);
+        out
+    }
+
+    /// [`VibrationSynthesizer::sample_block`] writing into a
+    /// caller-provided buffer (cleared and refilled; zero allocations
+    /// once `out` has capacity). Waveforms are bit-identical to
+    /// [`VibrationSynthesizer::sample_block`]: the noise stream is keyed
+    /// on `(seed, location, t0)` only, never on the buffer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_block_into(
+        &self,
+        location: AccelLocation,
+        t0: SimTime,
+        n: usize,
+        sample_rate: f64,
+        load: f64,
+        faults: &FaultState,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.resize(n, 0.0);
+        let out = &mut out[..];
         let dt = 1.0 / sample_rate;
         let shaft = self.train.shaft_hz(location.element(), load);
 
         // Healthy baseline: residual 1× plus (at the gear case) the mesh tone.
-        add_tone(&mut out, t0, dt, shaft, self.baseline_1x, 0.3);
+        add_tone(out, t0, dt, shaft, self.baseline_1x, 0.3);
         if location == AccelLocation::GearCase {
-            add_tone(&mut out, t0, dt, self.train.gear_mesh_hz(load), 0.04, 1.1);
+            add_tone(out, t0, dt, self.train.gear_mesh_hz(load), 0.04, 1.1);
         }
         if location == AccelLocation::PumpBearing {
-            add_tone(&mut out, t0, dt, self.train.pump_vane_pass_hz(), 0.03, 2.0);
+            add_tone(out, t0, dt, self.train.pump_vane_pass_hz(), 0.03, 2.0);
         }
 
         // Fault signatures.
@@ -174,13 +197,12 @@ impl VibrationSynthesizer {
             if k <= 0.0 {
                 continue;
             }
-            self.add_fault_signature(&mut out, location, t0, dt, load, c, sev * k);
+            self.add_fault_signature(out, location, t0, dt, load, c, sev * k);
         }
 
         // Broadband noise, deterministic per (seed, location, block start).
         let mut rng = self.block_rng(location, t0);
-        add_gaussian_noise(&mut out, &mut rng, self.noise_rms);
-        out
+        add_gaussian_noise(out, &mut rng, self.noise_rms);
     }
 
     fn block_rng(&self, location: AccelLocation, t0: SimTime) -> StdRng {

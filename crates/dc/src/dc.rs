@@ -13,19 +13,21 @@ use crate::db::{DcDatabase, DiagnosisRecord, MeasurementRecord};
 use crate::hw::{AcquisitionChain, HwConfig};
 use crate::scheduler::{Scheduler, Task};
 use mpros_chiller::process::ProcessSnapshot;
+use mpros_chiller::vibration::AccelLocation;
 use mpros_chiller::ChillerPlant;
 use mpros_core::{
     Belief, ConditionReport, DcId, IdAllocator, KnowledgeSourceId, MachineCondition, MachineId,
     ReportId, Result, Severity, SimDuration, SimTime,
 };
 use mpros_core::{PrognosticPoint, PrognosticVector};
-use mpros_dli::{DliExpertSystem, SpectralFeatures, VibrationSurvey};
+use mpros_dli::{DliExpertSystem, SpectralFeatures, SurveyScratch, VibrationSurvey};
 use mpros_fuzzy::FuzzyDiagnostics;
 use mpros_network::NetMessage;
 use mpros_sbfr::builtin::{spike_machine, stiction_machine};
 use mpros_sbfr::Interpreter;
 use mpros_signal::features::WaveformStats;
 use mpros_signal::trend::TrendTracker;
+use mpros_signal::{DspContext, DspStats};
 use mpros_telemetry::trace::dc_trace_seed;
 use mpros_telemetry::{
     Counter, HopKind, Instrumented, Stage, Telemetry, TraceHop, TraceId, WallTimer,
@@ -181,7 +183,24 @@ pub struct DataConcentrator {
     /// Severity history per (source, condition) — the "trend data,
     /// histories" input to next-generation prognostics (§1, §5.1).
     severity_trends: HashMap<(&'static str, MachineCondition), TrendTracker>,
-    suspect_channels: Vec<mpros_chiller::vibration::AccelLocation>,
+    suspect_channels: Vec<AccelLocation>,
+    /// Reusable DSP execution context — cached FFT plans, window tables
+    /// and the scratch arena shared by every vibration suite on this DC.
+    ctx: DspContext,
+    /// Survey workspace reused across surveys: the blocks keep their
+    /// allocations between acquisitions, and the kinematic train is
+    /// captured from the plant at first use.
+    survey: Option<VibrationSurvey>,
+    /// Block allocations recovered when channels are quarantined; the
+    /// next survey's top-up hands them back before acquisition.
+    spare_blocks: Vec<Vec<f64>>,
+    /// Reused DLI feature set and its spectral workspaces.
+    features: SpectralFeatures,
+    survey_scratch: SurveyScratch,
+    /// Reused WNN feature buffer.
+    wnn_features: Vec<f64>,
+    /// DSP totals already published to telemetry (delta basis).
+    dsp_published: DspStats,
     telemetry: Telemetry,
     /// Journal component label, e.g. `dc1`.
     component: String,
@@ -189,6 +208,9 @@ pub struct DataConcentrator {
     m_process_samples: Arc<Counter>,
     m_sbfr_cycles: Arc<Counter>,
     m_reports_emitted: Arc<Counter>,
+    m_dsp_plans: Arc<Counter>,
+    m_dsp_reuses: Arc<Counter>,
+    m_dsp_bytes: Arc<Counter>,
 }
 
 impl DataConcentrator {
@@ -209,6 +231,9 @@ impl DataConcentrator {
         let m_process_samples = telemetry.counter("dc", "process_samples");
         let m_sbfr_cycles = telemetry.counter("dc", "sbfr_cycles");
         let m_reports_emitted = telemetry.counter("dc", "reports_emitted");
+        let m_dsp_plans = telemetry.counter("dsp", "plans_cached");
+        let m_dsp_reuses = telemetry.counter("dsp", "scratch_reuses");
+        let m_dsp_bytes = telemetry.counter("dsp", "bytes_avoided");
         Ok(DataConcentrator {
             telemetry,
             component,
@@ -216,6 +241,9 @@ impl DataConcentrator {
             m_process_samples,
             m_sbfr_cycles,
             m_reports_emitted,
+            m_dsp_plans,
+            m_dsp_reuses,
+            m_dsp_bytes,
             ids: IdAllocator::starting_at(config.id.raw() * 1_000_000),
             config,
             chain,
@@ -230,6 +258,13 @@ impl DataConcentrator {
             last_emitted: HashMap::new(),
             severity_trends: HashMap::new(),
             suspect_channels: Vec::new(),
+            ctx: DspContext::new(),
+            survey: None,
+            spare_blocks: Vec::new(),
+            features: SpectralFeatures::default(),
+            survey_scratch: SurveyScratch::default(),
+            wnn_features: Vec::new(),
+            dsp_published: DspStats::default(),
         })
     }
 
@@ -365,18 +400,38 @@ impl DataConcentrator {
         now: SimTime,
         reports: &mut Vec<ConditionReport>,
     ) -> Result<()> {
+        let load = plant.load_at(now);
+        // The survey workspace persists across surveys so every block
+        // keeps its allocation; quarantined channels donate their buffers
+        // to `spare_blocks` and the top-up below hands them back before
+        // acquisition, so steady state allocates nothing.
+        let mut survey = self.survey.take().unwrap_or_else(|| VibrationSurvey {
+            train: plant.train().clone(),
+            load,
+            sample_rate: self.config.hw.sample_rate,
+            blocks: Vec::new(),
+        });
+        survey.load = load;
+        while survey.blocks.len() < self.config.hw.channels.len() {
+            let spare = self.spare_blocks.pop().unwrap_or_default();
+            survey.blocks.push((AccelLocation::MotorDriveEnd, spare));
+        }
         let timer = WallTimer::start();
-        let blocks = self.chain.survey(plant, now);
+        self.chain.survey_into(plant, now, &mut survey.blocks);
         self.m_surveys.inc();
         self.telemetry
             .record_span_wall(Stage::Acquire, timer.elapsed());
         // Channel self-check: an electrically dead block means a failed
         // transducer, not a silent machine — exclude it from analysis so
-        // the rules reason only over live channels.
+        // the rules reason only over live channels. Live blocks are
+        // compacted in place (order preserved); dead blocks return their
+        // allocations to the spare pool.
         self.suspect_channels.clear();
-        let mut live_blocks = Vec::with_capacity(blocks.len());
-        for (loc, block) in blocks {
-            let stats = WaveformStats::of(&block);
+        let blocks = &mut survey.blocks;
+        let mut live = 0usize;
+        for read in 0..blocks.len() {
+            let loc = blocks[read].0;
+            let stats = WaveformStats::of(&blocks[read].1);
             self.db.record_measurement(&MeasurementRecord {
                 at: now,
                 channel: format!("{loc:?}"),
@@ -392,24 +447,24 @@ impl DataConcentrator {
                     "quarantine",
                     format!("channel {loc:?} flatlined (rms {:.1e})", stats.rms),
                 );
+                self.spare_blocks.push(std::mem::take(&mut blocks[read].1));
             } else {
-                live_blocks.push((loc, block));
+                blocks.swap(live, read);
+                live += 1;
             }
         }
-        let blocks = live_blocks;
-        let load = plant.load_at(now);
-        let survey = VibrationSurvey {
-            train: plant.train().clone(),
-            load,
-            sample_rate: self.config.hw.sample_rate,
-            blocks: blocks.clone(),
-        };
+        blocks.truncate(live);
         // DLI: shared feature extraction, rule evaluation.
         let timer = WallTimer::start();
-        let features = SpectralFeatures::extract(&survey)?;
+        SpectralFeatures::extract_into(
+            &mut self.ctx,
+            &survey,
+            &mut self.survey_scratch,
+            &mut self.features,
+        )?;
         self.telemetry.record_span_wall(Stage::Fft, timer.elapsed());
         let timer = WallTimer::start();
-        let diagnoses = self.dli.diagnose(&features);
+        let diagnoses = self.dli.diagnose(&self.features);
         self.telemetry.record_span_wall(Stage::Dli, timer.elapsed());
         for d in diagnoses {
             self.record_severity(Source::Dli, d.condition, d.severity.value(), now);
@@ -431,16 +486,16 @@ impl DataConcentrator {
                 reports.push(report);
             }
         }
-        // WNN, when attached: truncate blocks to the classifier's length.
+        // WNN, when attached: the classifier truncates each block to its
+        // configured length internally, so no copies are made here.
         if let Some(wnn) = &self.wnn {
-            let want = wnn.config().block_len;
-            let truncated: Vec<_> = blocks
-                .iter()
-                .filter(|(_, b)| b.len() >= want)
-                .map(|(l, b)| (*l, b[..want].to_vec()))
-                .collect();
             let timer = WallTimer::start();
-            let classified = wnn.classify_blocks(&truncated, load);
+            let classified = wnn.classify_blocks_with(
+                &mut self.ctx,
+                &mut self.wnn_features,
+                &survey.blocks,
+                load,
+            );
             self.telemetry.record_span_wall(Stage::Wnn, timer.elapsed());
             if let Ok(verdict) = classified {
                 if let Some(condition) = verdict.condition() {
@@ -475,7 +530,29 @@ impl DataConcentrator {
                 }
             }
         }
+        self.survey = Some(survey);
+        self.publish_dsp_stats();
         Ok(())
+    }
+
+    /// Publish the DSP context's counter growth since the last publish
+    /// to the `dsp.*` telemetry counters. The deltas are derived purely
+    /// from the (deterministic) analysis workload, so fleet snapshots
+    /// agree across sequential and parallel execution modes.
+    fn publish_dsp_stats(&mut self) {
+        let stats = self.ctx.stats();
+        self.m_dsp_plans
+            .add(stats.plans_created - self.dsp_published.plans_created);
+        self.m_dsp_reuses
+            .add(stats.scratch_reuses - self.dsp_published.scratch_reuses);
+        self.m_dsp_bytes
+            .add(stats.bytes_avoided - self.dsp_published.bytes_avoided);
+        self.dsp_published = stats;
+    }
+
+    /// Cumulative statistics of this DC's DSP execution context.
+    pub fn dsp_stats(&self) -> DspStats {
+        self.ctx.stats()
     }
 
     fn run_process_sample(
@@ -660,13 +737,16 @@ impl Instrumented for DataConcentrator {
         if self.telemetry.same_domain(telemetry) {
             return;
         }
-        for (name, slot) in [
-            ("surveys", &mut self.m_surveys),
-            ("process_samples", &mut self.m_process_samples),
-            ("sbfr_cycles", &mut self.m_sbfr_cycles),
-            ("reports_emitted", &mut self.m_reports_emitted),
+        for (component, name, slot) in [
+            ("dc", "surveys", &mut self.m_surveys),
+            ("dc", "process_samples", &mut self.m_process_samples),
+            ("dc", "sbfr_cycles", &mut self.m_sbfr_cycles),
+            ("dc", "reports_emitted", &mut self.m_reports_emitted),
+            ("dsp", "plans_cached", &mut self.m_dsp_plans),
+            ("dsp", "scratch_reuses", &mut self.m_dsp_reuses),
+            ("dsp", "bytes_avoided", &mut self.m_dsp_bytes),
         ] {
-            let counter = telemetry.counter("dc", name);
+            let counter = telemetry.counter(component, name);
             counter.add(slot.get());
             *slot = counter;
         }

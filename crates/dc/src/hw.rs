@@ -146,15 +146,40 @@ impl AcquisitionChain {
     /// hardware would see it.
     pub fn survey(&mut self, plant: &ChillerPlant, t0: SimTime) -> Vec<(AccelLocation, Vec<f64>)> {
         let mut out = Vec::with_capacity(self.config.channels.len());
+        self.survey_into(plant, t0, &mut out);
+        out
+    }
+
+    /// [`AcquisitionChain::survey`] refilling a caller-provided buffer in
+    /// place. Existing entries (and their block allocations) are reused
+    /// index-wise, so a DC that keeps the buffer across surveys performs
+    /// zero steady-state heap allocations in acquisition. Channel order,
+    /// injected sensor faults and alarm updates are identical to
+    /// [`AcquisitionChain::survey`], and the digitized blocks are
+    /// bit-identical.
+    pub fn survey_into(
+        &mut self,
+        plant: &ChillerPlant,
+        t0: SimTime,
+        out: &mut Vec<(AccelLocation, Vec<f64>)>,
+    ) {
+        out.truncate(self.config.channels.len());
         for (bank_idx, bank) in self.config.channels.chunks(BANK_WIDTH).enumerate() {
             let bank_t0 = t0 + self.block_duration() * bank_idx as f64;
             for (offset, ch) in bank.iter().enumerate() {
                 let global = bank_idx * BANK_WIDTH + offset;
-                let mut block = plant.sample_vibration(
+                if global == out.len() {
+                    out.push((ch.location, Vec::new()));
+                }
+                let slot = &mut out[global];
+                slot.0 = ch.location;
+                let block = &mut slot.1;
+                plant.sample_vibration_into(
                     ch.location,
                     bank_t0,
                     self.config.block_len,
                     self.config.sample_rate,
+                    block,
                 );
                 match self.sensor_faults[global] {
                     None => {}
@@ -168,11 +193,9 @@ impl AcquisitionChain {
                         }
                     }
                 }
-                self.alarms[global].update_block(&block);
-                out.push((ch.location, block));
+                self.alarms[global].update_block(block);
             }
         }
-        out
     }
 
     /// Inject a sensor failure on a channel.

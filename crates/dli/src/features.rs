@@ -8,10 +8,10 @@
 use mpros_chiller::vibration::AccelLocation;
 use mpros_chiller::MachineTrain;
 use mpros_core::Result;
-use mpros_signal::envelope::bandpass_envelope;
 use mpros_signal::features::WaveformStats;
 use mpros_signal::spectrum::Spectrum;
 use mpros_signal::window::Window;
+use mpros_signal::DspContext;
 use std::collections::HashMap;
 
 /// One multi-channel vibration survey of a machine train.
@@ -64,21 +64,63 @@ pub struct SpectralFeatures {
 /// structural resonance.
 const MOTOR_ENV_BAND: (f64, f64) = (1_800.0, 3_000.0);
 
+/// Reusable spectral workspaces for [`SpectralFeatures::extract_into`].
+///
+/// Holds the raw amplitude spectrum and the envelope spectrum of the
+/// block under analysis; both retain their allocations across surveys so
+/// steady-state extraction is allocation-free.
+#[derive(Debug, Default)]
+pub struct SurveyScratch {
+    spec: Spectrum,
+    env_spec: Spectrum,
+}
+
 impl SpectralFeatures {
     /// Extract the feature set from a survey. Locations absent from the
     /// survey contribute zero features.
     pub fn extract(survey: &VibrationSurvey) -> Result<SpectralFeatures> {
-        let mut f = SpectralFeatures {
-            load: survey.load,
-            ..Default::default()
-        };
+        let mut ctx = DspContext::new();
+        let mut scratch = SurveyScratch::default();
+        let mut f = SpectralFeatures::default();
+        SpectralFeatures::extract_into(&mut ctx, survey, &mut scratch, &mut f)?;
+        Ok(f)
+    }
+
+    /// [`SpectralFeatures::extract`] through a reusable [`DspContext`]
+    /// and [`SurveyScratch`], overwriting `out` in place. Produces
+    /// features bit-identical to [`SpectralFeatures::extract`] while
+    /// performing zero steady-state heap allocations (per-location maps
+    /// keep their capacity across calls).
+    ///
+    /// On error `out` may hold a partially updated feature set.
+    pub fn extract_into(
+        ctx: &mut DspContext,
+        survey: &VibrationSurvey,
+        scratch: &mut SurveyScratch,
+        out: &mut SpectralFeatures,
+    ) -> Result<()> {
+        let f = out;
+        f.motor_half_x = 0.0;
+        f.motor_1x = 0.0;
+        f.motor_2x = 0.0;
+        f.motor_harmonics = 0.0;
+        f.pole_pass_sidebands = 0.0;
+        f.motor_bpfo_envelope = 0.0;
+        f.comp_bpfi_line = 0.0;
+        f.gear_mesh = 0.0;
+        f.gear_sidebands = 0.0;
+        f.surge_band = 0.0;
+        f.kurtosis.clear();
+        f.rms.clear();
+        f.load = survey.load;
         let motor_hz = survey.train.motor_hz(survey.load);
         let comp_hz = survey.train.compressor_hz(survey.load);
         let gmf = survey.train.gear_mesh_hz(survey.load);
         let pole_pass = survey.train.pole_pass_hz(survey.load);
 
         for (loc, block) in &survey.blocks {
-            let spec = Spectrum::compute(block, survey.sample_rate, Window::Hann)?;
+            ctx.spectrum_into(block, survey.sample_rate, Window::Hann, &mut scratch.spec)?;
+            let spec = &scratch.spec;
             let stats = WaveformStats::of(block);
             f.kurtosis.insert(*loc, stats.kurtosis);
             f.rms.insert(*loc, stats.rms);
@@ -103,12 +145,18 @@ impl SpectralFeatures {
                         f.pole_pass_sidebands = f.pole_pass_sidebands.max(lo.max(hi));
                     }
                     let bpfo = survey.train.motor_bearing.bpfo(motor_hz);
-                    f.motor_bpfo_envelope = f.motor_bpfo_envelope.max(envelope_line(
+                    ctx.envelope_spectrum_into(
                         block,
                         survey.sample_rate,
-                        MOTOR_ENV_BAND,
-                        bpfo,
-                    )?);
+                        MOTOR_ENV_BAND.0,
+                        MOTOR_ENV_BAND.1,
+                        Window::Hann,
+                        &mut scratch.env_spec,
+                    )?;
+                    let line = scratch
+                        .env_spec
+                        .amplitude_near(bpfo, bpfo * 0.04 + scratch.env_spec.resolution());
+                    f.motor_bpfo_envelope = f.motor_bpfo_envelope.max(line);
                 }
                 AccelLocation::GearCase => {
                     f.gear_mesh = spec.amplitude_near(gmf, gmf * 0.03);
@@ -134,18 +182,8 @@ impl SpectralFeatures {
                 AccelLocation::PumpBearing => {}
             }
         }
-        Ok(f)
+        Ok(())
     }
-}
-
-/// The amplitude of the `line_hz` component of the band-passed envelope
-/// spectrum — the standard bearing-defect indicator.
-fn envelope_line(block: &[f64], sample_rate: f64, band: (f64, f64), line_hz: f64) -> Result<f64> {
-    let env = bandpass_envelope(block, sample_rate, band.0, band.1)?;
-    let mean = env.iter().sum::<f64>() / env.len() as f64;
-    let ac: Vec<f64> = env.iter().map(|e| e - mean).collect();
-    let spec = Spectrum::compute(&ac, sample_rate, Window::Hann)?;
-    Ok(spec.amplitude_near(line_hz, line_hz * 0.04 + spec.resolution()))
 }
 
 #[cfg(test)]

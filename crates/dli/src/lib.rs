@@ -26,5 +26,5 @@ pub mod rules;
 
 pub use believability::BelievabilityDb;
 pub use expert::{DliDiagnosis, DliExpertSystem};
-pub use features::{SpectralFeatures, VibrationSurvey};
+pub use features::{SpectralFeatures, SurveyScratch, VibrationSurvey};
 pub use rules::{chiller_rules, Rule};

@@ -8,8 +8,9 @@
 use crate::fft::{Complex, FftPlan};
 use mpros_core::Result;
 
-/// Floor applied inside the log to avoid `log(0)`.
-const LOG_FLOOR: f64 = 1e-12;
+/// Floor applied inside the log to avoid `log(0)` (shared with the
+/// zero-allocation cepstrum path in [`crate::context`]).
+pub(crate) const LOG_FLOOR: f64 = 1e-12;
 
 /// Compute the real cepstrum of `signal` (power-of-two length).
 /// Returns `n` quefrency coefficients; index `q` corresponds to a period

@@ -55,25 +55,32 @@ pub fn idct2(coeffs: &[f64]) -> Vec<f64> {
 /// the WNN feature vector. Computes only the requested coefficients
 /// (O(n·count)), so large acquisition blocks stay cheap.
 pub fn dct_features(signal: &[f64], count: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(count.min(signal.len()));
+    dct_features_into(signal, count, &mut out);
+    out
+}
+
+/// [`dct_features`] appending into a caller-provided buffer — the
+/// zero-allocation form used by the DSP execution context's feature
+/// path. Produces values bit-identical to [`dct_features`].
+pub fn dct_features_into(signal: &[f64], count: usize, out: &mut Vec<f64>) {
     let n = signal.len();
     if n == 0 || count == 0 {
-        return Vec::new();
+        return;
     }
     let nf = n as f64;
-    (0..count.min(n))
-        .map(|k| {
-            let mut acc = 0.0;
-            for (i, &x) in signal.iter().enumerate() {
-                acc += x * (PI / nf * (i as f64 + 0.5) * k as f64).cos();
-            }
-            let scale = if k == 0 {
-                (1.0 / nf).sqrt()
-            } else {
-                (2.0 / nf).sqrt()
-            };
-            acc * scale
-        })
-        .collect()
+    for k in 0..count.min(n) {
+        let mut acc = 0.0;
+        for (i, &x) in signal.iter().enumerate() {
+            acc += x * (PI / nf * (i as f64 + 0.5) * k as f64).cos();
+        }
+        let scale = if k == 0 {
+            (1.0 / nf).sqrt()
+        } else {
+            (2.0 / nf).sqrt()
+        };
+        out.push(acc * scale);
+    }
 }
 
 #[cfg(test)]

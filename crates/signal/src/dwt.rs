@@ -13,12 +13,13 @@ use mpros_core::{Error, Result};
 use serde::{Deserialize, Serialize};
 
 /// Wavelet families supported by the transform.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Wavelet {
     /// Haar (db1): shortest support, best time localization.
     Haar,
     /// Daubechies-4 (two vanishing moments): smoother, better frequency
     /// separation for machinery transients.
+    #[default]
     Daubechies4,
 }
 
@@ -46,15 +47,27 @@ impl Wavelet {
 
     /// High-pass (wavelet) decomposition filter, derived from the
     /// low-pass by the quadrature-mirror relation `g[k] = (-1)^k h[L-1-k]`.
-    pub fn highpass(self) -> Vec<f64> {
-        let h = self.lowpass();
-        let l = h.len();
-        (0..l)
-            .map(|k| {
-                let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
-                sign * h[l - 1 - k]
-            })
-            .collect()
+    /// Returned as a static table (sign-flipping an `f64` literal is
+    /// exact, so the precomputed values are bit-identical to deriving
+    /// them at runtime) so the per-sample DWT loop never allocates.
+    pub fn highpass(self) -> &'static [f64] {
+        const SQRT2_INV: f64 = std::f64::consts::FRAC_1_SQRT_2;
+        match self {
+            Wavelet::Haar => {
+                const G: [f64; 2] = [SQRT2_INV, -SQRT2_INV];
+                &G
+            }
+            Wavelet::Daubechies4 => {
+                // g[k] = (-1)^k h[3-k] over the D4 lowpass table.
+                const G4: [f64; 4] = [
+                    -0.129_409_522_550_921_45,
+                    -0.224_143_868_041_857_35,
+                    0.836_516_303_737_469,
+                    -0.482_962_913_144_690_2,
+                ];
+                &G4
+            }
+        }
     }
 }
 
@@ -71,6 +84,21 @@ pub struct DwtLevel {
 /// Single-level DWT with periodic boundary extension. Input length must
 /// be even and at least the filter length.
 pub fn dwt_step(signal: &[f64], wavelet: Wavelet) -> Result<DwtLevel> {
+    let mut approx = Vec::with_capacity(signal.len() / 2);
+    let mut detail = Vec::with_capacity(signal.len() / 2);
+    dwt_step_into(signal, wavelet, &mut approx, &mut detail)?;
+    Ok(DwtLevel { approx, detail })
+}
+
+/// [`dwt_step`] writing into caller-provided buffers. `approx` and
+/// `detail` are cleared and refilled; with sufficient capacity this
+/// performs zero allocations.
+pub fn dwt_step_into(
+    signal: &[f64],
+    wavelet: Wavelet,
+    approx: &mut Vec<f64>,
+    detail: &mut Vec<f64>,
+) -> Result<()> {
     let n = signal.len();
     let h = wavelet.lowpass();
     let g = wavelet.highpass();
@@ -81,12 +109,12 @@ pub fn dwt_step(signal: &[f64], wavelet: Wavelet) -> Result<DwtLevel> {
         )));
     }
     let half = n / 2;
-    let mut approx = Vec::with_capacity(half);
-    let mut detail = Vec::with_capacity(half);
+    approx.clear();
+    detail.clear();
     for i in 0..half {
         let mut a = 0.0;
         let mut d = 0.0;
-        for (k, (&hk, &gk)) in h.iter().zip(&g).enumerate() {
+        for (k, (&hk, &gk)) in h.iter().zip(g).enumerate() {
             let idx = (2 * i + k) % n;
             a += hk * signal[idx];
             d += gk * signal[idx];
@@ -94,26 +122,41 @@ pub fn dwt_step(signal: &[f64], wavelet: Wavelet) -> Result<DwtLevel> {
         approx.push(a);
         detail.push(d);
     }
-    Ok(DwtLevel { approx, detail })
+    Ok(())
 }
 
 /// Inverse of a single [`dwt_step`] (periodic).
 pub fn idwt_step(level: &DwtLevel, wavelet: Wavelet) -> Result<Vec<f64>> {
-    let half = level.approx.len();
-    if level.detail.len() != half {
+    let mut out = Vec::with_capacity(level.approx.len() * 2);
+    idwt_step_into(&level.approx, &level.detail, wavelet, &mut out)?;
+    Ok(out)
+}
+
+/// Inverse of a single [`dwt_step_into`] (periodic), writing into a
+/// caller-provided buffer. `out` is cleared and refilled; with
+/// sufficient capacity this performs zero allocations.
+pub fn idwt_step_into(
+    approx: &[f64],
+    detail: &[f64],
+    wavelet: Wavelet,
+    out: &mut Vec<f64>,
+) -> Result<()> {
+    let half = approx.len();
+    if detail.len() != half {
         return Err(Error::invalid("approx/detail length mismatch"));
     }
     let n = half * 2;
     let h = wavelet.lowpass();
     let g = wavelet.highpass();
-    let mut out = vec![0.0; n];
+    out.clear();
+    out.resize(n, 0.0);
     for i in 0..half {
-        for (k, (&hk, &gk)) in h.iter().zip(&g).enumerate() {
+        for (k, (&hk, &gk)) in h.iter().zip(g).enumerate() {
             let idx = (2 * i + k) % n;
-            out[idx] += hk * level.approx[i] + gk * level.detail[i];
+            out[idx] += hk * approx[i] + gk * detail[i];
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// A multi-level wavelet decomposition (pyramid).
@@ -147,17 +190,15 @@ impl WaveletDecomposition {
         })
     }
 
-    /// Reconstruct the original signal.
+    /// Reconstruct the original signal. Ping-pongs between two buffers
+    /// instead of cloning the approximation and detail at every level.
     pub fn synthesize(&self) -> Result<Vec<f64>> {
-        let mut current = self.approx.clone();
+        let mut current = Vec::with_capacity(self.approx.len() << self.details.len());
+        let mut next = Vec::new();
+        current.extend_from_slice(&self.approx);
         for detail in self.details.iter().rev() {
-            current = idwt_step(
-                &DwtLevel {
-                    approx: current,
-                    detail: detail.clone(),
-                },
-                self.wavelet,
-            )?;
+            idwt_step_into(&current, detail, self.wavelet, &mut next)?;
+            std::mem::swap(&mut current, &mut next);
         }
         Ok(current)
     }
@@ -182,6 +223,106 @@ impl WaveletDecomposition {
     }
 }
 
+/// A reusable multi-level DWT workspace: pyramid decomposition whose
+/// per-level detail buffers, approximation buffer and ping-pong scratch
+/// are all retained across calls, so repeated analyses of same-sized
+/// blocks perform **zero allocations** in steady state.
+///
+/// Produces coefficient values bit-identical to
+/// [`WaveletDecomposition::analyze`] — the arithmetic and its order are
+/// the same; only the storage is recycled.
+#[derive(Debug, Clone, Default)]
+pub struct MultiLevelDwt {
+    /// Detail buffers; `details[l]` is reused level-for-level across
+    /// analyses. May hold more (retained) buffers than `levels`.
+    details: Vec<Vec<f64>>,
+    /// The coarse approximation after the last analysis.
+    approx: Vec<f64>,
+    /// Ping-pong partner for `approx` during analysis/reconstruction.
+    spare: Vec<f64>,
+    wavelet: Wavelet,
+    levels: usize,
+}
+
+impl MultiLevelDwt {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decompose `signal` over `levels` scales, reusing this workspace's
+    /// buffers. Results are readable through [`MultiLevelDwt::details`]
+    /// and [`MultiLevelDwt::approx`] until the next call.
+    pub fn analyze_into(&mut self, signal: &[f64], wavelet: Wavelet, levels: usize) -> Result<()> {
+        if levels == 0 {
+            return Err(Error::invalid("levels must be >= 1"));
+        }
+        self.wavelet = wavelet;
+        self.levels = levels;
+        while self.details.len() < levels {
+            self.details.push(Vec::new());
+        }
+        self.approx.clear();
+        self.approx.extend_from_slice(signal);
+        for l in 0..levels {
+            dwt_step_into(&self.approx, wavelet, &mut self.spare, &mut self.details[l])?;
+            std::mem::swap(&mut self.approx, &mut self.spare);
+        }
+        Ok(())
+    }
+
+    /// Detail coefficients per level from the last analysis;
+    /// `details()[0]` is the finest scale.
+    pub fn details(&self) -> &[Vec<f64>] {
+        &self.details[..self.levels]
+    }
+
+    /// The coarse approximation from the last analysis.
+    pub fn approx(&self) -> &[f64] {
+        &self.approx
+    }
+
+    /// The wavelet used by the last analysis.
+    pub fn wavelet(&self) -> Wavelet {
+        self.wavelet
+    }
+
+    /// Number of levels in the last analysis.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Append the §6.2 wavelet-map feature — relative energy per scale,
+    /// `[detail_1 .. detail_L, approx]`, normalized to sum to 1 (all-zero
+    /// signals map to all-zero features) — to `out`. Values are
+    /// bit-identical to [`WaveletDecomposition::energy_map`].
+    pub fn energy_map_into(&self, out: &mut Vec<f64>) {
+        let start = out.len();
+        for d in self.details() {
+            out.push(d.iter().map(|x| x * x).sum::<f64>());
+        }
+        out.push(self.approx.iter().map(|x| x * x).sum::<f64>());
+        let total: f64 = out[start..].iter().sum();
+        if total > 0.0 {
+            for e in &mut out[start..] {
+                *e /= total;
+            }
+        }
+    }
+
+    /// Reconstruct the analyzed signal into `out` (cleared and
+    /// refilled), ping-ponging through the internal scratch buffer.
+    pub fn reconstruct_into(&mut self, out: &mut Vec<f64>) -> Result<()> {
+        out.clear();
+        out.extend_from_slice(&self.approx);
+        for detail in self.details[..self.levels].iter().rev() {
+            idwt_step_into(out, detail, self.wavelet, &mut self.spare)?;
+            std::mem::swap(out, &mut self.spare);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,7 +336,7 @@ mod tests {
             let g = w.highpass();
             let hh: f64 = h.iter().map(|x| x * x).sum();
             let gg: f64 = g.iter().map(|x| x * x).sum();
-            let hg: f64 = h.iter().zip(&g).map(|(a, b)| a * b).sum();
+            let hg: f64 = h.iter().zip(g).map(|(a, b)| a * b).sum();
             assert!((hh - 1.0).abs() < 1e-12, "{w:?} lowpass norm {hh}");
             assert!((gg - 1.0).abs() < 1e-12);
             assert!(hg.abs() < 1e-12, "{w:?} filters not orthogonal");

@@ -98,9 +98,13 @@ impl Default for FeatureConfig {
 }
 
 /// The assembled §6.2 feature vector.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The `Default` value is empty; preallocate one and refill it through
+/// [`crate::context::DspContext::feature_vector_into`] to keep the
+/// extraction loop allocation-free.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct FeatureVector {
-    values: Vec<f64>,
+    pub(crate) values: Vec<f64>,
 }
 
 impl FeatureVector {

@@ -184,6 +184,54 @@ impl FftPlan {
         Ok(())
     }
 
+    /// Out-of-place forward FFT of a real signal into a caller-provided
+    /// buffer. `dst` is cleared and refilled; with sufficient capacity
+    /// this performs **zero allocations**, which is what the DC's
+    /// steady-state survey loop relies on. Bit-identical to
+    /// [`fft_real`]: the bit-reversal permutation is an involution, so
+    /// scattering `signal[bitrev[i]]` into slot `i` produces exactly the
+    /// buffer the in-place swap pass would.
+    pub fn forward_real_into(&self, signal: &[f64], dst: &mut Vec<Complex>) -> Result<()> {
+        if signal.len() != self.n {
+            return Err(Error::invalid(format!(
+                "buffer length {} does not match plan size {}",
+                signal.len(),
+                self.n
+            )));
+        }
+        dst.clear();
+        dst.extend(
+            self.bitrev
+                .iter()
+                .map(|&r| Complex::real(signal[r as usize])),
+        );
+        self.butterflies(dst, false);
+        Ok(())
+    }
+
+    /// Out-of-place inverse FFT (including the 1/n normalization) into a
+    /// caller-provided buffer, leaving `spectrum` untouched. `dst` is
+    /// cleared and refilled; with sufficient capacity this performs zero
+    /// allocations. Bit-identical to copying the spectrum and calling
+    /// [`FftPlan::inverse`].
+    pub fn inverse_into(&self, spectrum: &[Complex], dst: &mut Vec<Complex>) -> Result<()> {
+        if spectrum.len() != self.n {
+            return Err(Error::invalid(format!(
+                "buffer length {} does not match plan size {}",
+                spectrum.len(),
+                self.n
+            )));
+        }
+        dst.clear();
+        dst.extend(self.bitrev.iter().map(|&r| spectrum[r as usize]));
+        self.butterflies(dst, true);
+        let inv = 1.0 / self.n as f64;
+        for z in dst.iter_mut() {
+            *z = z.scale(inv);
+        }
+        Ok(())
+    }
+
     fn transform(&self, data: &mut [Complex], inverse: bool) -> Result<()> {
         if data.len() != self.n {
             return Err(Error::invalid(format!(
@@ -199,7 +247,13 @@ impl FftPlan {
                 data.swap(i, j);
             }
         }
-        // Iterative butterflies.
+        self.butterflies(data, inverse);
+        Ok(())
+    }
+
+    /// Iterative radix-2 butterflies over an already bit-reversed buffer
+    /// of exactly `self.n` elements.
+    fn butterflies(&self, data: &mut [Complex], inverse: bool) {
         let mut stage_base = 0usize;
         for s in 1..=self.log2n {
             let len = 1usize << s;
@@ -218,7 +272,6 @@ impl FftPlan {
             }
             stage_base += half;
         }
-        Ok(())
     }
 }
 
@@ -226,18 +279,20 @@ impl FftPlan {
 /// Convenience wrapper that builds a one-shot plan.
 pub fn fft_real(signal: &[f64]) -> Result<Vec<Complex>> {
     let plan = FftPlan::new(signal.len())?;
-    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::real(x)).collect();
-    plan.forward(&mut buf)?;
+    let mut buf = Vec::with_capacity(signal.len());
+    plan.forward_real_into(signal, &mut buf)?;
     Ok(buf)
 }
 
 /// Inverse FFT returning only real parts (caller asserts the spectrum is
-/// conjugate-symmetric, as spectra of real signals are).
+/// conjugate-symmetric, as spectra of real signals are). Transforms
+/// out-of-place via [`FftPlan::inverse_into`] rather than cloning the
+/// input spectrum into a mutable working copy first.
 pub fn ifft_real(spectrum: &[Complex]) -> Result<Vec<f64>> {
     let plan = FftPlan::new(spectrum.len())?;
-    let mut buf = spectrum.to_vec();
-    plan.inverse(&mut buf)?;
-    Ok(buf.into_iter().map(|z| z.re).collect())
+    let mut work = Vec::with_capacity(spectrum.len());
+    plan.inverse_into(spectrum, &mut work)?;
+    Ok(work.iter().map(|z| z.re).collect())
 }
 
 /// Naive O(n²) DFT used as a test oracle for the FFT.

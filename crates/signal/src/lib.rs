@@ -22,12 +22,15 @@
 //! * sliding-window trend fitting with threshold-crossing projection
 //!   ([`trend`]),
 //! * time-domain statistical features and the §6.2 feature vector
-//!   ([`features`]).
+//!   ([`features`]),
+//! * a reusable zero-allocation DSP execution context with cached FFT
+//!   plans and a scratch arena ([`context`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cepstrum;
+pub mod context;
 pub mod dct;
 pub mod dwt;
 pub mod envelope;
@@ -38,6 +41,8 @@ pub mod spectrum;
 pub mod trend;
 pub mod window;
 
+pub use context::{DspContext, DspScratch, DspStats};
+pub use dwt::MultiLevelDwt;
 pub use fft::Complex;
 pub use spectrum::Spectrum;
 pub use window::Window;

@@ -13,14 +13,19 @@ use crate::window::Window;
 use mpros_core::{Error, Result};
 
 /// A single-sided amplitude spectrum of a real signal.
-#[derive(Debug, Clone)]
+///
+/// The `Default` value is an *empty* spectrum (no bins, zero rates) —
+/// it exists so callers can preallocate a `Spectrum` once and refill it
+/// through [`crate::context::DspContext::spectrum_into`] without
+/// reallocating the amplitude buffer.
+#[derive(Debug, Clone, Default)]
 pub struct Spectrum {
     /// Amplitude (peak, not RMS) per bin, window-corrected.
-    amplitudes: Vec<f64>,
+    pub(crate) amplitudes: Vec<f64>,
     /// Frequency step between bins, Hz.
-    df: f64,
+    pub(crate) df: f64,
     /// Sample rate of the source block, Hz.
-    sample_rate: f64,
+    pub(crate) sample_rate: f64,
 }
 
 /// One spectral peak.

@@ -12,6 +12,7 @@ use crate::network::{Activation, Network, TrainParams};
 use mpros_chiller::vibration::AccelLocation;
 use mpros_core::{Error, MachineCondition, Result};
 use mpros_signal::features::{FeatureConfig, FeatureVector};
+use mpros_signal::DspContext;
 use serde::{Deserialize, Serialize};
 
 /// One class the WNN can emit.
@@ -124,6 +125,37 @@ impl WnnConfig {
         }
         out.push(load);
         Ok(out)
+    }
+
+    /// [`WnnConfig::extract_features`] through a reusable [`DspContext`],
+    /// refilling `out` in place (zero steady-state allocations once the
+    /// buffer has capacity).
+    ///
+    /// Unlike [`WnnConfig::extract_features`], blocks longer than
+    /// [`WnnConfig::block_len`] are analyzed over their leading
+    /// `block_len` samples — the truncation the data concentrator
+    /// otherwise performs by copying — and shorter blocks are treated as
+    /// missing. Feature values are bit-identical to extracting from
+    /// truncated copies. On error `out` may hold a partial prefix.
+    pub fn extract_features_into(
+        &self,
+        ctx: &mut DspContext,
+        blocks: &[(AccelLocation, Vec<f64>)],
+        load: f64,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        out.clear();
+        for &ch in &self.channels {
+            let block = blocks
+                .iter()
+                .find(|(l, _)| *l == ch)
+                .map(|(_, b)| b)
+                .filter(|b| b.len() >= self.block_len)
+                .ok_or_else(|| Error::invalid(format!("missing channel {ch:?}")))?;
+            ctx.feature_values_into(&block[..self.block_len], &self.features, &[], out)?;
+        }
+        out.push(load);
+        Ok(())
     }
 }
 
@@ -238,6 +270,25 @@ impl WnnClassifier {
     ) -> Result<WnnVerdict> {
         let f = self.config.extract_features(blocks, load)?;
         self.classify_features(&f)
+    }
+
+    /// [`WnnClassifier::classify_blocks`] through a reusable
+    /// [`DspContext`] and caller-owned feature buffer — the DC hot path.
+    /// Blocks are truncated to the configured block length internally
+    /// (see [`WnnConfig::extract_features_into`]), so callers pass full
+    /// acquisition blocks without copying. The verdict is bit-identical
+    /// to truncating the blocks and calling
+    /// [`WnnClassifier::classify_blocks`].
+    pub fn classify_blocks_with(
+        &self,
+        ctx: &mut DspContext,
+        features: &mut Vec<f64>,
+        blocks: &[(AccelLocation, Vec<f64>)],
+        load: f64,
+    ) -> Result<WnnVerdict> {
+        self.config
+            .extract_features_into(ctx, blocks, load, features)?;
+        self.classify_features(features)
     }
 
     /// Accuracy over a labeled dataset.

@@ -41,6 +41,17 @@ echo "==> crash-restore determinism, release"
 cargo test --release -q --test crash_restore
 cargo test --release -q --test wal_torn_write
 
+# The DSP contract, in release: golden-vector conformance against
+# closed-form spectra, property-based round-trips / reconstruction /
+# window identities, and the counting-allocator proof that a
+# steady-state DC survey performs zero heap allocations in the DSP
+# path. Release matters here: the allocation profile and the
+# optimization-sensitive float paths are what ship.
+echo "==> dsp golden + property + allocation suites, release"
+cargo test --release -q --test dsp_golden
+cargo test --release -q --test dsp_props
+cargo test --release -q --test dsp_alloc
+
 # Fleet-stepping throughput at 1 and 4 workers. On hosts with < 4 cores
 # the speedup is recorded but not judged (E7.4 is conditional), so this
 # stays green on single-core CI runners.
