@@ -37,12 +37,12 @@ fn median_ttf(sim: &ShipboardSim, condition: MachineCondition) -> Option<SimDura
 
 fn run_mode(condition: MachineCondition) -> Outcome {
     let horizon = SimDuration::from_minutes(20.0);
-    let mut sim = ShipboardSim::new(ShipboardSimConfig {
-        dc_count: 1,
-        seed: 23,
-        survey_period: SimDuration::from_secs(30.0),
-        ..Default::default()
-    })
+    let mut sim = ShipboardSim::new(
+        ShipboardSimConfig::new()
+            .with_dc_count(1)
+            .with_seed(23)
+            .with_survey_period(SimDuration::from_secs(30.0)),
+    )
     .expect("sim builds");
     let onset = SimTime::ZERO + SimDuration::from_minutes(1.0);
     sim.seed_fault(
@@ -142,12 +142,12 @@ fn main() {
     print!("{}", t.render());
 
     // Healthy control.
-    let mut sim = ShipboardSim::new(ShipboardSimConfig {
-        dc_count: 1,
-        seed: 29,
-        survey_period: SimDuration::from_secs(30.0),
-        ..Default::default()
-    })
+    let mut sim = ShipboardSim::new(
+        ShipboardSimConfig::new()
+            .with_dc_count(1)
+            .with_seed(29)
+            .with_survey_period(SimDuration::from_secs(30.0)),
+    )
     .expect("sim builds");
     sim.run_for(
         SimDuration::from_minutes(10.0),

@@ -1,0 +1,284 @@
+//! E11 — the serving layer under load: N concurrent console clients
+//! hammer the `mpros-gateway` query server while the 8-DC ship keeps
+//! stepping on its own thread. The claim under test is the gateway's
+//! concurrency model: publishing and serving only ever exchange an
+//! `Arc` pointer, so query load must not stall the simulation and the
+//! simulation must not starve queries.
+//!
+//! Three measurements:
+//!  1. aggregate query throughput (qps) and per-request service-time
+//!     quantiles across all clients, through the full wire codec
+//!     (encode request → route → encode response);
+//!  2. the sim thread's snapshot publish rate *while being served*,
+//!     against an unserved control run of the identical scenario;
+//!  3. the deterministic serving invariants: final snapshot version ==
+//!     steps taken, one publish per step plus the attach-time publish,
+//!     zero undecodable frames.
+//!
+//! Merges a `serving{}` block into `BENCH_throughput.json` (BenchDoc
+//! schema v7) for `perf_gate`; run `exp_throughput` first.
+//!
+//! Usage: `exp_serving [--clients N] [--steps N]`.
+
+use crossbeam::thread;
+use mpros::chiller::fault::{FaultProfile, FaultSeed};
+use mpros::gateway::{GatewayClient, GatewayConfig, GatewayRequest};
+use mpros::sim::{ShipboardSim, ShipboardSimConfig};
+use mpros_bench::{verdict, Table};
+use mpros_core::{MachineCondition, SimDuration, SimTime};
+use serde::Serialize;
+use serde_json::Value;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Per-client latency samples kept in memory (calls beyond this still
+/// count toward qps, their latencies just stop being recorded).
+const MAX_SAMPLES_PER_CLIENT: usize = 200_000;
+
+/// The `serving{}` block of the benchmark document.
+#[derive(Serialize)]
+struct ServingBench {
+    clients: usize,
+    steps: usize,
+    /// Total requests answered across all clients (host-dependent:
+    /// clients run for the stepping window's duration).
+    requests_total: u64,
+    qps: f64,
+    p50_s: f64,
+    p95_s: f64,
+    /// Publishes observed by the gateway (steps + the attach-time one).
+    snapshot_publishes: u64,
+    publish_rate_per_s: f64,
+    /// The same scenario's publish rate with zero clients attached.
+    unserved_publish_rate_per_s: f64,
+    final_version: u64,
+    bad_frames: u64,
+    /// Subscription deltas evicted by backpressure (expected 0 here:
+    /// every client polls continuously and the calm scenario produces
+    /// no supervision edges; recorded for fault-profile variants).
+    drops: u64,
+}
+
+fn build_sim() -> ShipboardSim {
+    let mut sim = ShipboardSim::new(
+        ShipboardSimConfig::new()
+            .with_dc_count(8)
+            .with_seed(5)
+            .with_survey_period(SimDuration::from_secs(30.0)),
+    )
+    .expect("sim builds");
+    // Progressing faults on two plants keep reports, prognostics and
+    // ICAS churn flowing — an all-healthy fleet would serve a static
+    // snapshot and flatter the numbers.
+    for idx in [0usize, 4] {
+        sim.seed_fault(
+            idx,
+            FaultSeed {
+                condition: MachineCondition::MotorBearingDefect,
+                onset: SimTime::ZERO,
+                time_to_failure: SimDuration::from_minutes(8.0),
+                profile: FaultProfile::EarlyOnset,
+            },
+        );
+    }
+    sim
+}
+
+/// Quantile of an ascending-sorted sample by nearest-rank.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn arg_value(args: &[String], flag: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let clients = arg_value(&args, "--clients", 8);
+    let steps = arg_value(&args, "--steps", 30);
+    let dt = SimDuration::from_secs(30.0);
+
+    println!("E11: concurrent serving over lock-free snapshots\n");
+
+    // Control: the identical scenario stepped with a gateway attached
+    // but nobody querying — the publish rate serving must not crater.
+    let mut control = build_sim();
+    control.attach_gateway(GatewayConfig::new());
+    let start = Instant::now();
+    for _ in 0..steps {
+        control.step(dt).expect("control step");
+    }
+    let unserved_publish_rate = steps as f64 / start.elapsed().as_secs_f64();
+    println!("unserved control: {unserved_publish_rate:.2} publishes/s over {steps} steps");
+
+    // Measured run: the same ship, `clients` threads querying flat out
+    // for the whole stepping window.
+    let mut sim = build_sim();
+    let gateway = sim.attach_gateway(GatewayConfig::new());
+    let stop = AtomicBool::new(false);
+    let prognostic_condition = MachineCondition::MotorBearingDefect.index();
+
+    let mut requests_total = 0u64;
+    let mut samples: Vec<f64> = Vec::new();
+    let mut per_client_calls = Vec::new();
+    let mut serve_window_s = 0.0f64;
+    thread::scope(|s| {
+        let stop = &stop;
+        let handles: Vec<_> = (0..clients)
+            .map(|i| {
+                let gw = gateway.clone();
+                s.spawn(move |_| {
+                    let client = GatewayClient::connect(gw, i as u64);
+                    let mut calls = 0u64;
+                    let mut lat = Vec::new();
+                    while !stop.load(Ordering::Relaxed) {
+                        // One round of the console's working set: the
+                        // full ICAS board, one machine drill-down, one
+                        // prognostic curve, the verdict, the counters,
+                        // and a subscription poll.
+                        let machine = (calls % 8) + 1;
+                        let round = [
+                            GatewayRequest::GetIcas,
+                            GatewayRequest::GetMachineStatus { machine },
+                            GatewayRequest::GetPrognosticVector {
+                                machine,
+                                condition_id: prognostic_condition,
+                            },
+                            GatewayRequest::GetSloVerdict,
+                            GatewayRequest::GetCounters,
+                            GatewayRequest::Subscribe { session: i as u64 },
+                        ];
+                        for req in &round {
+                            let start = Instant::now();
+                            client.call(req).expect("request serves");
+                            if lat.len() < MAX_SAMPLES_PER_CLIENT {
+                                lat.push(start.elapsed().as_secs_f64());
+                            }
+                            calls += 1;
+                        }
+                    }
+                    (calls, lat)
+                })
+            })
+            .collect();
+
+        let start = Instant::now();
+        for _ in 0..steps {
+            sim.step(dt).expect("step under serving load");
+        }
+        serve_window_s = start.elapsed().as_secs_f64();
+        stop.store(true, Ordering::Relaxed);
+        for handle in handles {
+            let (calls, lat) = handle.join().expect("client joins");
+            requests_total += calls;
+            per_client_calls.push(calls);
+            samples.extend(lat);
+        }
+    })
+    .expect("serving scope joins");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    let snap = sim.telemetry().snapshot();
+    let serving = ServingBench {
+        clients,
+        steps,
+        requests_total,
+        // The clients ran exactly as long as the stepping loop; rate
+        // against that window, not against the join tail.
+        qps: requests_total as f64 / serve_window_s,
+        p50_s: percentile(&samples, 0.50),
+        p95_s: percentile(&samples, 0.95),
+        snapshot_publishes: snap.counter("gateway", "publishes"),
+        publish_rate_per_s: steps as f64 / serve_window_s,
+        unserved_publish_rate_per_s: unserved_publish_rate,
+        final_version: gateway.version(),
+        bad_frames: snap.counter("gateway", "bad_frames"),
+        drops: snap.counter("gateway", "drops"),
+    };
+
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(&["clients".into(), serving.clients.to_string()]);
+    t.row(&["requests served".into(), serving.requests_total.to_string()]);
+    t.row(&["aggregate qps".into(), format!("{:.0}", serving.qps)]);
+    t.row(&[
+        "service time p50 / p95".into(),
+        format!(
+            "{:.1} µs / {:.1} µs",
+            serving.p50_s * 1e6,
+            serving.p95_s * 1e6
+        ),
+    ]);
+    t.row(&[
+        "publish rate (served / unserved)".into(),
+        format!(
+            "{:.2}/s / {:.2}/s",
+            serving.publish_rate_per_s, serving.unserved_publish_rate_per_s
+        ),
+    ]);
+    t.row(&[
+        "snapshot publishes".into(),
+        serving.snapshot_publishes.to_string(),
+    ]);
+    print!("{}", t.render());
+
+    // Merge the block into the throughput document (schema v7).
+    let path = "BENCH_throughput.json";
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("exp_serving: cannot read {path}: {e} (run exp_throughput first)");
+        std::process::exit(2);
+    });
+    let mut doc: Value = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("exp_serving: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    });
+    let Value::Object(map) = &mut doc else {
+        eprintln!("exp_serving: {path} is not a JSON object");
+        std::process::exit(2);
+    };
+    map.insert(
+        "serving".to_string(),
+        serde_json::to_value(&serving).expect("serializable"),
+    );
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&doc).expect("serializable"),
+    )
+    .expect("writable working directory");
+    println!("\nmerged serving{{}} into {path}");
+
+    println!();
+    let min_calls = per_client_calls.iter().copied().min().unwrap_or(0);
+    verdict(
+        "E11.1 every client is served",
+        clients >= 8 && min_calls >= 60,
+        &format!(
+            "{clients} concurrent clients, slowest completed {min_calls} calls \
+             while the ship stepped {steps} surveys"
+        ),
+    );
+    verdict(
+        "E11.2 serving never blocks the sim thread",
+        serving.final_version == steps as u64
+            && serving.snapshot_publishes == steps as u64 + 1
+            && serving.publish_rate_per_s > 0.0,
+        &format!(
+            "final snapshot version {} after {steps} steps, {} publishes",
+            serving.final_version, serving.snapshot_publishes
+        ),
+    );
+    verdict(
+        "E11.3 the wire stayed clean",
+        serving.bad_frames == 0,
+        &format!("{} undecodable frames", serving.bad_frames),
+    );
+}

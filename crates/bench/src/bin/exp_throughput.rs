@@ -249,15 +249,15 @@ fn fleet_steps_per_s(
     fault_plan: &FaultPlan,
     crash_at: Option<usize>,
 ) -> FleetRun {
-    let mut sim = ShipboardSim::new(ShipboardSimConfig {
-        dc_count: 8,
-        seed: 5,
-        network: network.clone(),
-        fault_plan: fault_plan.clone(),
-        survey_period: SimDuration::from_secs(30.0),
-        exec,
-        ..Default::default()
-    })
+    let mut sim = ShipboardSim::new(
+        ShipboardSimConfig::new()
+            .with_dc_count(8)
+            .with_seed(5)
+            .with_network(network.clone())
+            .with_fault_plan(fault_plan.clone())
+            .with_survey_period(SimDuration::from_secs(30.0))
+            .with_exec(exec),
+    )
     .expect("sim builds");
     // Seed progressing faults on two plants so condition reports (and
     // their causal traces) actually flow — an all-healthy fleet would
@@ -712,7 +712,10 @@ fn main() {
         .filter(|q| q.count > 0)
         .collect();
     let doc = BenchDoc {
-        schema_version: 6,
+        // v7: `exp_serving` merges a `serving{}` block into this
+        // document after its own run; the two binaries share the schema
+        // version, and the gate re-blesses on any bump.
+        schema_version: 7,
         git_revision: git_revision(),
         git_dirty: git_dirty(),
         host: HostInfo {

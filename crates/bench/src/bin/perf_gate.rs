@@ -192,6 +192,62 @@ fn main() {
         }
     }
 
+    // Serving layer (the `serving{}` block `exp_serving` merges in):
+    // query throughput and the under-load publish rate are wall-clock
+    // rates; service-time quantiles are lower-is-better wall times.
+    // The under-load publish rate additionally measures OS scheduler
+    // fairness (N spinning clients vs one stepper), which is far
+    // noisier than code speed on small hosts — it gets double the
+    // usual headroom.
+    let contended_tol = 1.0 - (1.0 - wall_tol) * 0.5;
+    for (path, tol) in [
+        (["serving", "qps"].as_slice(), wall_tol),
+        (&["serving", "publish_rate_per_s"], contended_tol),
+        (&["serving", "unserved_publish_rate_per_s"], wall_tol),
+    ] {
+        let name = path.join(".");
+        match (f64_at(&base, path), f64_at(&cur, path)) {
+            (Some(b), Some(c)) => gate.wall_rate(&name, b, c, tol),
+            _ => gate
+                .violations
+                .push(format!("{name}: missing from document")),
+        }
+    }
+    for field in ["p50_s", "p95_s"] {
+        let name = format!("serving.{field}");
+        match (
+            f64_at(&base, &["serving", field]),
+            f64_at(&cur, &["serving", field]),
+        ) {
+            (Some(b), Some(c)) => gate.wall_time(&name, b, c, wall_tol),
+            _ => gate
+                .violations
+                .push(format!("{name}: missing from document")),
+        }
+    }
+    // Serving invariants: the scenario is seeded and the stepping count
+    // fixed, so the version/publish accounting (and a clean wire) must
+    // reproduce exactly. Request totals are time-bounded and ride the
+    // qps rate instead.
+    for field in [
+        "clients",
+        "steps",
+        "final_version",
+        "snapshot_publishes",
+        "bad_frames",
+    ] {
+        let name = format!("serving.{field}");
+        match (
+            u64_at(&base, &["serving", field]),
+            u64_at(&cur, &["serving", field]),
+        ) {
+            (Some(b), Some(c)) => gate.exact_u64(&name, b, c),
+            _ => gate
+                .violations
+                .push(format!("{name}: missing from document")),
+        }
+    }
+
     // Per-survey DSP extraction latency: lower-is-better wall time,
     // same loose host tolerance as the rates.
     for field in ["survey_extract_p50_s", "survey_extract_p95_s"] {

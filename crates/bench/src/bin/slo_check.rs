@@ -86,15 +86,15 @@ fn main() {
         fault_plan =
             fault_plan.with_pdme_crash(SimTime::from_secs(mid), SimTime::from_secs(mid + 1.0));
     }
-    let mut sim = ShipboardSim::new(ShipboardSimConfig {
-        dc_count: 8,
-        seed: 5,
-        network,
-        fault_plan,
-        survey_period: SimDuration::from_secs(30.0),
-        slo,
-        ..Default::default()
-    })
+    let mut sim = ShipboardSim::new(
+        ShipboardSimConfig::new()
+            .with_dc_count(8)
+            .with_seed(5)
+            .with_network(network)
+            .with_fault_plan(fault_plan)
+            .with_survey_period(SimDuration::from_secs(30.0))
+            .with_slo(slo),
+    )
     .expect("sim builds");
     // Progressing faults on two plants keep condition reports flowing;
     // without traffic every latency SLO would pass vacuously.

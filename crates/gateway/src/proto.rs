@@ -1,0 +1,333 @@
+//! The gateway query protocol.
+//!
+//! Requests and responses ride the same frame layout as the ship
+//! network (`magic "MP" | version u8 | type u8 | payload_len u32 LE |
+//! JSON payload`, assembled and validated by
+//! [`mpros_network::codec::frame_payload`] /
+//! [`mpros_network::codec::deframe`]). Request type tags live in
+//! `32..`, response tags in `64..`; tags from the ship network's range
+//! (`1..=6`) are rejected here, so a misrouted frame fails loudly
+//! instead of half-parsing.
+
+use bytes::Bytes;
+use mpros_core::{Error, PrognosticVector, Result};
+use mpros_pdme::icas::IcasMachine;
+use mpros_pdme::IcasSnapshot;
+use mpros_telemetry::{CounterSnapshot, SloVerdict};
+use serde::{Deserialize, Serialize};
+
+/// Gateway payload schema version, stamped into every response.
+pub const GATEWAY_SCHEMA_VERSION: u32 = 1;
+
+/// A client request against the published serving snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum GatewayRequest {
+    /// The named machine's ICAS entry (health, status, conditions).
+    GetMachineStatus {
+        /// Raw machine id.
+        machine: u64,
+    },
+    /// The full ICAS interchange document.
+    GetIcas,
+    /// The fused prognostic curve for one `(machine, condition)` pair.
+    GetPrognosticVector {
+        /// Raw machine id.
+        machine: u64,
+        /// Condition catalog index.
+        condition_id: usize,
+    },
+    /// The SLO watchdog's verdict captured with the snapshot.
+    GetSloVerdict,
+    /// The ship's telemetry counters at snapshot time (minus the
+    /// scheduling-only `exec` and serving-side `gateway` components).
+    GetCounters,
+    /// Register (idempotently) as a subscriber and drain the session's
+    /// queued degraded/recovered deltas. Subscription is registration
+    /// *and* poll: the first call opens the session, every call returns
+    /// whatever edge-triggered deltas publishing queued since the last.
+    Subscribe {
+        /// Caller-chosen session id.
+        session: u64,
+    },
+}
+
+impl GatewayRequest {
+    /// Frame type tag (request range `32..`).
+    pub fn type_tag(&self) -> u8 {
+        match self {
+            GatewayRequest::GetMachineStatus { .. } => 32,
+            GatewayRequest::GetIcas => 33,
+            GatewayRequest::GetPrognosticVector { .. } => 34,
+            GatewayRequest::GetSloVerdict => 35,
+            GatewayRequest::GetCounters => 36,
+            GatewayRequest::Subscribe { .. } => 37,
+        }
+    }
+}
+
+/// One edge-triggered supervision transition between two published
+/// snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeltaKind {
+    /// The machine's status flipped to `degraded`.
+    Degraded,
+    /// The machine's status returned to `ok`.
+    Recovered,
+}
+
+/// A queued subscription event: machine `machine_id` changed
+/// supervision status in the snapshot stamped `snapshot_version`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusDelta {
+    /// The snapshot whose publication observed the edge.
+    pub snapshot_version: u64,
+    /// Simulated seconds of that snapshot.
+    pub at_secs: f64,
+    /// The machine that changed status.
+    pub machine_id: u64,
+    /// Direction of the change.
+    pub kind: DeltaKind,
+}
+
+/// A server response. Every variant carries the version of the
+/// snapshot it was served from, so clients can order what they see.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum GatewayResponse {
+    /// Answer to [`GatewayRequest::GetMachineStatus`].
+    MachineStatus {
+        /// Serving snapshot version.
+        snapshot_version: u64,
+        /// The machine's ICAS entry.
+        machine: IcasMachine,
+    },
+    /// Answer to [`GatewayRequest::GetIcas`].
+    Icas {
+        /// Serving snapshot version.
+        snapshot_version: u64,
+        /// The full interchange document.
+        icas: IcasSnapshot,
+    },
+    /// Answer to [`GatewayRequest::GetPrognosticVector`].
+    PrognosticVector {
+        /// Serving snapshot version.
+        snapshot_version: u64,
+        /// Raw machine id echoed back.
+        machine: u64,
+        /// Condition catalog index echoed back.
+        condition_id: usize,
+        /// The fused (conservative-envelope) curve.
+        vector: PrognosticVector,
+    },
+    /// Answer to [`GatewayRequest::GetSloVerdict`]; `None` while no
+    /// watchdog pass has run (empty policy or before the first step).
+    SloVerdict {
+        /// Serving snapshot version.
+        snapshot_version: u64,
+        /// The captured verdict.
+        verdict: Option<SloVerdict>,
+    },
+    /// Answer to [`GatewayRequest::GetCounters`].
+    Counters {
+        /// Serving snapshot version.
+        snapshot_version: u64,
+        /// Every counter, sorted by `(component, name)`.
+        counters: Vec<CounterSnapshot>,
+    },
+    /// Answer to [`GatewayRequest::Subscribe`]: the session's queued
+    /// deltas, oldest first, plus how many were evicted by backpressure
+    /// since the previous poll.
+    Deltas {
+        /// Serving snapshot version at poll time.
+        snapshot_version: u64,
+        /// The polling session.
+        session: u64,
+        /// Deltas evicted (oldest-drop) since the last poll.
+        dropped: u64,
+        /// The surviving deltas, oldest first.
+        deltas: Vec<StatusDelta>,
+    },
+    /// The requested entity does not exist in the snapshot.
+    NotFound {
+        /// Serving snapshot version.
+        snapshot_version: u64,
+        /// What was missing.
+        detail: String,
+    },
+}
+
+impl GatewayResponse {
+    /// Frame type tag (response range `64..`).
+    pub fn type_tag(&self) -> u8 {
+        match self {
+            GatewayResponse::MachineStatus { .. } => 64,
+            GatewayResponse::Icas { .. } => 65,
+            GatewayResponse::PrognosticVector { .. } => 66,
+            GatewayResponse::SloVerdict { .. } => 67,
+            GatewayResponse::Counters { .. } => 68,
+            GatewayResponse::Deltas { .. } => 69,
+            GatewayResponse::NotFound { .. } => 70,
+        }
+    }
+
+    /// The snapshot version stamped on the response.
+    pub fn snapshot_version(&self) -> u64 {
+        match self {
+            GatewayResponse::MachineStatus {
+                snapshot_version, ..
+            }
+            | GatewayResponse::Icas {
+                snapshot_version, ..
+            }
+            | GatewayResponse::PrognosticVector {
+                snapshot_version, ..
+            }
+            | GatewayResponse::SloVerdict {
+                snapshot_version, ..
+            }
+            | GatewayResponse::Counters {
+                snapshot_version, ..
+            }
+            | GatewayResponse::Deltas {
+                snapshot_version, ..
+            }
+            | GatewayResponse::NotFound {
+                snapshot_version, ..
+            } => *snapshot_version,
+        }
+    }
+}
+
+/// Encode a request into one wire frame.
+pub fn encode_request(req: &GatewayRequest) -> Result<Bytes> {
+    let payload = serde_json::to_vec(req)
+        .map_err(|e| Error::Encoding(format!("request serialization: {e}")))?;
+    mpros_network::frame_payload(req.type_tag(), &payload)
+}
+
+/// Decode one request frame. The declared type tag must match the
+/// decoded body, and must be a request tag.
+pub fn decode_request(frame: Bytes) -> Result<GatewayRequest> {
+    let (tag, payload) = mpros_network::deframe(frame)?;
+    if !(32..64).contains(&tag) {
+        return Err(Error::Encoding(format!(
+            "type tag {tag} is not a gateway request"
+        )));
+    }
+    let req: GatewayRequest = serde_json::from_slice(&payload)
+        .map_err(|e| Error::Encoding(format!("request deserialization: {e}")))?;
+    if req.type_tag() != tag {
+        return Err(Error::Encoding("type tag does not match body".into()));
+    }
+    Ok(req)
+}
+
+/// Encode a response into one wire frame.
+pub fn encode_response(resp: &GatewayResponse) -> Result<Bytes> {
+    let payload = serde_json::to_vec(resp)
+        .map_err(|e| Error::Encoding(format!("response serialization: {e}")))?;
+    mpros_network::frame_payload(resp.type_tag(), &payload)
+}
+
+/// Decode one response frame. The declared type tag must match the
+/// decoded body, and must be a response tag.
+pub fn decode_response(frame: Bytes) -> Result<GatewayResponse> {
+    let (tag, payload) = mpros_network::deframe(frame)?;
+    if tag < 64 {
+        return Err(Error::Encoding(format!(
+            "type tag {tag} is not a gateway response"
+        )));
+    }
+    let resp: GatewayResponse = serde_json::from_slice(&payload)
+        .map_err(|e| Error::Encoding(format!("response deserialization: {e}")))?;
+    if resp.type_tag() != tag {
+        return Err(Error::Encoding("type tag does not match body".into()));
+    }
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = [
+            GatewayRequest::GetMachineStatus { machine: 3 },
+            GatewayRequest::GetIcas,
+            GatewayRequest::GetPrognosticVector {
+                machine: 1,
+                condition_id: 4,
+            },
+            GatewayRequest::GetSloVerdict,
+            GatewayRequest::GetCounters,
+            GatewayRequest::Subscribe { session: 99 },
+        ];
+        for req in reqs {
+            let back = decode_request(encode_request(&req).unwrap()).unwrap();
+            assert_eq!(req, back);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resps = [
+            GatewayResponse::SloVerdict {
+                snapshot_version: 7,
+                verdict: None,
+            },
+            GatewayResponse::Counters {
+                snapshot_version: 7,
+                counters: vec![CounterSnapshot {
+                    component: "gateway".into(),
+                    name: "requests".into(),
+                    value: 12,
+                }],
+            },
+            GatewayResponse::Deltas {
+                snapshot_version: 9,
+                session: 4,
+                dropped: 2,
+                deltas: vec![StatusDelta {
+                    snapshot_version: 8,
+                    at_secs: 240.0,
+                    machine_id: 2,
+                    kind: DeltaKind::Degraded,
+                }],
+            },
+            GatewayResponse::NotFound {
+                snapshot_version: 7,
+                detail: "machine 42".into(),
+            },
+        ];
+        for resp in resps {
+            let back = decode_response(encode_response(&resp).unwrap()).unwrap();
+            assert_eq!(resp, back);
+        }
+    }
+
+    #[test]
+    fn request_and_response_tag_ranges_are_disjoint() {
+        // A response frame fed to the request decoder (and vice versa)
+        // must be rejected on the tag range, not mis-parsed.
+        let resp = GatewayResponse::SloVerdict {
+            snapshot_version: 1,
+            verdict: None,
+        };
+        assert!(decode_request(encode_response(&resp).unwrap()).is_err());
+        let req = GatewayRequest::GetIcas;
+        assert!(decode_response(encode_request(&req).unwrap()).is_err());
+    }
+
+    #[test]
+    fn ship_network_frames_are_rejected() {
+        let msg = mpros_network::NetMessage::Heartbeat {
+            dc: mpros_core::DcId::new(1),
+            at_secs: 0.0,
+        };
+        let frame = mpros_network::encode_message(&msg).unwrap();
+        assert!(decode_request(frame.clone()).is_err());
+        assert!(decode_response(frame).is_err());
+    }
+}

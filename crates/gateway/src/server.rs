@@ -1,0 +1,330 @@
+//! The gateway router: concurrent query serving over published
+//! snapshots, with per-client sessions and bounded delta queues.
+//!
+//! Concurrency model: the simulation's control thread is the only
+//! writer — it calls [`Gateway::publish`] once per step, which swaps an
+//! `Arc<ServingSnapshot>` under a write lock held only for the pointer
+//! exchange. Any number of client threads call
+//! [`Gateway::handle_frame`] concurrently; each takes the read lock
+//! just long enough to clone the `Arc`, then serves entirely from the
+//! immutable snapshot. Neither side ever waits on the other for longer
+//! than a pointer swap, so serving load cannot stall the sim thread.
+//!
+//! Backpressure: subscription deltas are queued per session with a
+//! bounded capacity; a slow client that never polls loses its *oldest*
+//! deltas first (the same eviction policy as the network outbox) and is
+//! told how many were dropped on its next poll — fresh state always
+//! wins over stale history.
+
+use crate::proto::{GatewayRequest, GatewayResponse, StatusDelta};
+use crate::snapshot::ServingSnapshot;
+use bytes::Bytes;
+use mpros_core::Result;
+use mpros_telemetry::{Stage, Telemetry, WallTimer};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// Gateway tuning knobs, builder-style like the other MPROS configs.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct GatewayConfig {
+    /// Queued deltas a session may hold before oldest-drop eviction.
+    pub session_queue_capacity: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            session_queue_capacity: 64,
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// The default configuration (64 queued deltas per session).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the per-session delta queue capacity (clamped to at least 1).
+    pub fn with_session_queue_capacity(mut self, capacity: usize) -> Self {
+        self.session_queue_capacity = capacity.max(1);
+        self
+    }
+}
+
+/// One subscriber's server-side state.
+#[derive(Debug, Default)]
+struct SessionState {
+    /// Queued deltas, oldest first.
+    queue: VecDeque<StatusDelta>,
+    /// Deltas evicted since the session's last poll.
+    dropped_since_poll: u64,
+}
+
+/// The query server. Shared as `Arc<Gateway>`: the publisher and every
+/// client thread hold clones of the same handle.
+#[derive(Debug)]
+pub struct Gateway {
+    config: GatewayConfig,
+    /// The published snapshot. Writers swap the `Arc`; readers clone it.
+    current: RwLock<Arc<ServingSnapshot>>,
+    /// Subscriber sessions, keyed by caller-chosen id. `BTreeMap` so
+    /// publish-time delta fan-out walks sessions in a fixed order.
+    sessions: Mutex<BTreeMap<u64, SessionState>>,
+    telemetry: Telemetry,
+}
+
+impl Gateway {
+    /// A gateway joined to `telemetry`, serving the empty version-0
+    /// snapshot until the first [`Gateway::publish`].
+    pub fn new(config: GatewayConfig, telemetry: &Telemetry) -> Self {
+        Gateway {
+            config,
+            current: RwLock::new(Arc::new(ServingSnapshot::empty())),
+            sessions: Mutex::new(BTreeMap::new()),
+            telemetry: telemetry.clone(),
+        }
+    }
+
+    /// The configuration the gateway was built with.
+    pub fn config(&self) -> &GatewayConfig {
+        &self.config
+    }
+
+    /// The currently published snapshot (an `Arc` clone; never blocks
+    /// longer than the publisher's pointer swap).
+    pub fn snapshot(&self) -> Arc<ServingSnapshot> {
+        self.current.read().clone()
+    }
+
+    /// The published snapshot's version (0 until the first publish).
+    pub fn version(&self) -> u64 {
+        self.current.read().version
+    }
+
+    /// Registered subscriber sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// Publish a freshly built snapshot: fan its edge-triggered
+    /// degraded/recovered deltas out to every registered session
+    /// (bounded queues, oldest-drop), then swap it in as current.
+    /// Called by the simulation's control thread after each step.
+    pub fn publish(&self, snapshot: ServingSnapshot) {
+        let prev = self.snapshot();
+        let deltas = snapshot.deltas_since(&prev);
+        let next = Arc::new(snapshot);
+        if !deltas.is_empty() {
+            let mut sessions = self.sessions.lock();
+            let drops = self.telemetry.counter("gateway", "drops");
+            let queued = self.telemetry.counter("gateway", "deltas_queued");
+            for state in sessions.values_mut() {
+                for delta in &deltas {
+                    while state.queue.len() >= self.config.session_queue_capacity {
+                        state.queue.pop_front();
+                        state.dropped_since_poll += 1;
+                        drops.inc();
+                    }
+                    state.queue.push_back(delta.clone());
+                    queued.inc();
+                }
+            }
+        }
+        *self.current.write() = next;
+        self.telemetry.counter("gateway", "publishes").inc();
+    }
+
+    /// Serve one request against the current snapshot. Pure with
+    /// respect to the snapshot: every `Get*` answer is a function of
+    /// `(snapshot version, request)` alone; `Subscribe` additionally
+    /// drains the session's queue (registration is idempotent).
+    pub fn serve(&self, req: &GatewayRequest) -> GatewayResponse {
+        let snap = self.snapshot();
+        self.serve_on(&snap, req)
+    }
+
+    fn serve_on(&self, snap: &ServingSnapshot, req: &GatewayRequest) -> GatewayResponse {
+        let snapshot_version = snap.version;
+        match req {
+            GatewayRequest::GetMachineStatus { machine } => match snap.machine(*machine) {
+                Some(m) => GatewayResponse::MachineStatus {
+                    snapshot_version,
+                    machine: m.clone(),
+                },
+                None => GatewayResponse::NotFound {
+                    snapshot_version,
+                    detail: format!("machine {machine}"),
+                },
+            },
+            GatewayRequest::GetIcas => GatewayResponse::Icas {
+                snapshot_version,
+                icas: snap.icas.clone(),
+            },
+            GatewayRequest::GetPrognosticVector {
+                machine,
+                condition_id,
+            } => match snap.prognostic(*machine, *condition_id) {
+                Some(vector) => GatewayResponse::PrognosticVector {
+                    snapshot_version,
+                    machine: *machine,
+                    condition_id: *condition_id,
+                    vector: vector.clone(),
+                },
+                None => GatewayResponse::NotFound {
+                    snapshot_version,
+                    detail: format!("prognostic for machine {machine} condition {condition_id}"),
+                },
+            },
+            GatewayRequest::GetSloVerdict => GatewayResponse::SloVerdict {
+                snapshot_version,
+                verdict: snap.slo.clone(),
+            },
+            GatewayRequest::GetCounters => GatewayResponse::Counters {
+                snapshot_version,
+                counters: snap.counters.clone(),
+            },
+            GatewayRequest::Subscribe { session } => {
+                let mut sessions = self.sessions.lock();
+                let state = sessions.entry(*session).or_default();
+                let dropped = std::mem::take(&mut state.dropped_since_poll);
+                let deltas: Vec<StatusDelta> = state.queue.drain(..).collect();
+                GatewayResponse::Deltas {
+                    snapshot_version,
+                    session: *session,
+                    dropped,
+                    deltas,
+                }
+            }
+        }
+    }
+
+    /// Serve one framed request: decode, answer, encode. Thread-safe;
+    /// this is the entry point client transports call concurrently.
+    ///
+    /// Telemetry: counts `gateway.requests` (and `gateway.bad_frames`
+    /// for undecodable input), and records the service span in both
+    /// clocks — wall seconds for the host cost of the call, simulated
+    /// seconds for the *staleness* of the data served (simulated now
+    /// minus the snapshot's timestamp).
+    pub fn handle_frame(&self, frame: Bytes) -> Result<Bytes> {
+        let timer = WallTimer::start();
+        let req = match crate::proto::decode_request(frame) {
+            Ok(req) => req,
+            Err(e) => {
+                self.telemetry.counter("gateway", "bad_frames").inc();
+                return Err(e);
+            }
+        };
+        let snap = self.snapshot();
+        let resp = self.serve_on(&snap, &req);
+        let out = crate::proto::encode_response(&resp)?;
+        self.telemetry.counter("gateway", "requests").inc();
+        let staleness = self
+            .telemetry
+            .sim_now()
+            .since(mpros_core::SimTime::from_secs(snap.at_secs));
+        self.telemetry
+            .record_span(Stage::GatewayServe, timer.elapsed(), staleness);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::DeltaKind;
+    use mpros_pdme::icas::{IcasMachine, IcasSnapshot, ICAS_SCHEMA_VERSION};
+
+    fn snap_with(version: u64, statuses: &[(u64, &str)]) -> ServingSnapshot {
+        let mut snap = ServingSnapshot::empty();
+        snap.version = version;
+        snap.at_secs = version as f64;
+        snap.icas = IcasSnapshot {
+            schema_version: ICAS_SCHEMA_VERSION,
+            at_secs: version as f64,
+            machines: statuses
+                .iter()
+                .map(|&(id, status)| IcasMachine {
+                    machine_id: id,
+                    name: format!("machine {id}"),
+                    health: 1.0,
+                    status: status.to_string(),
+                    report_count: 0,
+                    conditions: Vec::new(),
+                })
+                .collect(),
+            data_concentrators: Vec::new(),
+        };
+        snap
+    }
+
+    #[test]
+    fn publish_swaps_the_served_version() {
+        let gw = Gateway::new(GatewayConfig::new(), &Telemetry::new());
+        assert_eq!(gw.version(), 0);
+        gw.publish(snap_with(3, &[(1, "ok")]));
+        assert_eq!(gw.version(), 3);
+        match gw.serve(&GatewayRequest::GetIcas) {
+            GatewayResponse::Icas {
+                snapshot_version, ..
+            } => assert_eq!(snapshot_version, 3),
+            other => panic!("wrong response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subscribe_sees_edge_triggered_deltas_only() {
+        let gw = Gateway::new(GatewayConfig::new(), &Telemetry::new());
+        gw.publish(snap_with(1, &[(1, "ok"), (2, "ok")]));
+        // Register before the edge.
+        let _ = gw.serve(&GatewayRequest::Subscribe { session: 9 });
+        // Machine 2 degrades at version 2, stays degraded at 3 (no new
+        // delta), recovers at 4.
+        gw.publish(snap_with(2, &[(1, "ok"), (2, "degraded")]));
+        gw.publish(snap_with(3, &[(1, "ok"), (2, "degraded")]));
+        gw.publish(snap_with(4, &[(1, "ok"), (2, "ok")]));
+        match gw.serve(&GatewayRequest::Subscribe { session: 9 }) {
+            GatewayResponse::Deltas {
+                dropped, deltas, ..
+            } => {
+                assert_eq!(dropped, 0);
+                let kinds: Vec<(u64, u64, DeltaKind)> = deltas
+                    .iter()
+                    .map(|d| (d.snapshot_version, d.machine_id, d.kind))
+                    .collect();
+                assert_eq!(
+                    kinds,
+                    vec![(2, 2, DeltaKind::Degraded), (4, 2, DeltaKind::Recovered)]
+                );
+            }
+            other => panic!("wrong response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slow_sessions_drop_oldest_deltas() {
+        let t = Telemetry::new();
+        let gw = Gateway::new(GatewayConfig::new().with_session_queue_capacity(2), &t);
+        gw.publish(snap_with(1, &[(1, "ok")]));
+        let _ = gw.serve(&GatewayRequest::Subscribe { session: 1 });
+        // Four edges against a capacity-2 queue: the two oldest evict.
+        for v in 2..=5 {
+            let status = if v % 2 == 0 { "degraded" } else { "ok" };
+            gw.publish(snap_with(v, &[(1, status)]));
+        }
+        match gw.serve(&GatewayRequest::Subscribe { session: 1 }) {
+            GatewayResponse::Deltas {
+                dropped, deltas, ..
+            } => {
+                assert_eq!(dropped, 2);
+                let versions: Vec<u64> = deltas.iter().map(|d| d.snapshot_version).collect();
+                assert_eq!(versions, vec![4, 5], "newest survive, oldest dropped");
+            }
+            other => panic!("wrong response {other:?}"),
+        }
+        assert_eq!(t.counter("gateway", "drops").get(), 2);
+    }
+}

@@ -16,10 +16,14 @@ use mpros_telemetry::TraceContext;
 use serde::{Deserialize, Serialize};
 
 const MAGIC: [u8; 2] = *b"MP";
-/// Wire version. v3 added the per-report [`TraceContext`] on batch
+/// Wire version. v4 opened the header to the gateway query protocol
+/// (`mpros-gateway` claims the type-tag ranges 32.. for requests and
+/// 64.. for responses and frames them through [`frame_payload`] /
+/// [`deframe`]); v3 added the per-report [`TraceContext`] on batch
 /// entries; v2 added the batch restart `epoch` and the `Ack` message.
 /// Older peers are rejected rather than mis-parsed.
-const VERSION: u8 = 3;
+pub const WIRE_VERSION: u8 = 4;
+const VERSION: u8 = WIRE_VERSION;
 /// Frames larger than this are rejected (corrupted length field guard).
 const MAX_PAYLOAD: usize = 16 * 1024 * 1024;
 /// Reports per batch frame; larger batches must be split by the sender.
@@ -133,25 +137,32 @@ fn validate_batch(entries: &[BatchEntry]) -> Result<()> {
     Ok(())
 }
 
-/// Encode a message into one frame.
-pub fn encode_message(msg: &NetMessage) -> Result<Bytes> {
-    if let NetMessage::ReportBatch { entries, .. } = msg {
-        validate_batch(entries)?;
+/// Assemble one wire frame around an already-serialized payload.
+///
+/// This is the framing half of the codec, shared with `mpros-gateway`:
+/// every protocol speaking the MPROS wire discipline frames payloads
+/// through here so the header layout, version byte and length cap stay
+/// identical across message families.
+pub fn frame_payload(tag: u8, payload: &[u8]) -> Result<Bytes> {
+    if payload.len() > MAX_PAYLOAD {
+        return Err(Error::Encoding(format!(
+            "payload length {} exceeds cap",
+            payload.len()
+        )));
     }
-    let payload = serde_json::to_vec(msg)
-        .map_err(|e| Error::Encoding(format!("payload serialization: {e}")))?;
     let mut buf = BytesMut::with_capacity(8 + payload.len());
     buf.put_slice(&MAGIC);
     buf.put_u8(VERSION);
-    buf.put_u8(msg.type_tag());
+    buf.put_u8(tag);
     buf.put_u32_le(payload.len() as u32);
-    buf.put_slice(&payload);
+    buf.put_slice(payload);
     Ok(buf.freeze())
 }
 
-/// Decode one frame. The declared type tag must match the decoded body
-/// (defense against frame corruption).
-pub fn decode_message(mut frame: Bytes) -> Result<NetMessage> {
+/// Strip and validate a frame header; returns the declared type tag and
+/// the payload bytes. Rejects bad magic, foreign versions, oversized or
+/// mismatched lengths — the caller only deserializes what survived.
+pub fn deframe(mut frame: Bytes) -> Result<(u8, Bytes)> {
     if frame.len() < 8 {
         return Err(Error::Encoding("frame shorter than header".into()));
     }
@@ -177,7 +188,24 @@ pub fn decode_message(mut frame: Bytes) -> Result<NetMessage> {
             frame.len()
         )));
     }
-    let msg: NetMessage = serde_json::from_slice(&frame)
+    Ok((tag, frame))
+}
+
+/// Encode a message into one frame.
+pub fn encode_message(msg: &NetMessage) -> Result<Bytes> {
+    if let NetMessage::ReportBatch { entries, .. } = msg {
+        validate_batch(entries)?;
+    }
+    let payload = serde_json::to_vec(msg)
+        .map_err(|e| Error::Encoding(format!("payload serialization: {e}")))?;
+    frame_payload(msg.type_tag(), &payload)
+}
+
+/// Decode one frame. The declared type tag must match the decoded body
+/// (defense against frame corruption).
+pub fn decode_message(frame: Bytes) -> Result<NetMessage> {
+    let (tag, payload) = deframe(frame)?;
+    let msg: NetMessage = serde_json::from_slice(&payload)
         .map_err(|e| Error::Encoding(format!("payload deserialization: {e}")))?;
     if msg.type_tag() != tag {
         return Err(Error::Encoding("type tag does not match body".into()));
@@ -314,7 +342,7 @@ mod tests {
         let forged = serde_json::to_vec(&batch(&[4, 4])).unwrap();
         let mut buf = BytesMut::new();
         buf.put_slice(b"MP");
-        buf.put_u8(3);
+        buf.put_u8(VERSION);
         buf.put_u8(5);
         buf.put_u32_le(forged.len() as u32);
         buf.put_slice(&forged);
@@ -368,13 +396,37 @@ mod tests {
         assert!(err.to_string().contains("version"), "{err}");
     }
 
+    /// v3 peers predate the gateway tag ranges; the version byte
+    /// rejects them so a v3 node never half-speaks the v4 protocol.
+    #[test]
+    fn v3_frames_are_rejected_by_version() {
+        let payload = br#"{"Heartbeat":{"dc":2,"at_secs":1.0}}"#.to_vec();
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"MP");
+        buf.put_u8(3);
+        buf.put_u8(4);
+        buf.put_u32_le(payload.len() as u32);
+        buf.put_slice(&payload);
+        let err = decode_message(buf.freeze()).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
     #[test]
     fn length_cap_is_enforced() {
         let mut frame = BytesMut::new();
         frame.put_slice(b"MP");
-        frame.put_u8(3);
+        frame.put_u8(VERSION);
         frame.put_u8(4);
         frame.put_u32_le(u32::MAX);
         assert!(decode_message(frame.freeze()).is_err());
+    }
+
+    #[test]
+    fn framing_helpers_roundtrip_arbitrary_payloads() {
+        let payload = br#"{"anything":42}"#;
+        let frame = frame_payload(33, payload).unwrap();
+        let (tag, body) = deframe(frame).unwrap();
+        assert_eq!(tag, 33);
+        assert_eq!(&body[..], payload);
     }
 }

@@ -18,5 +18,8 @@ pub mod codec;
 pub mod outbox;
 
 pub use bus::{Endpoint, Envelope, NetStats, NetworkConfig, ShipNetwork};
-pub use codec::{decode_message, encode_message, BatchEntry, NetMessage, MAX_BATCH};
+pub use codec::{
+    decode_message, deframe, encode_message, frame_payload, BatchEntry, NetMessage, MAX_BATCH,
+    WIRE_VERSION,
+};
 pub use outbox::OutboxConfig;

@@ -41,11 +41,14 @@ pub enum Stage {
     /// analyses), as executed by the scatter-gather engine — the unit
     /// of work the worker pool parallelizes.
     DcStep,
+    /// One gateway query served against a published state snapshot
+    /// (decode request → serve → encode response).
+    GatewayServe,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 12] = [
+    pub const ALL: [Stage; 13] = [
         Stage::Acquire,
         Stage::Fft,
         Stage::Dli,
@@ -58,6 +61,7 @@ impl Stage {
         Stage::OosmPost,
         Stage::Fusion,
         Stage::DcStep,
+        Stage::GatewayServe,
     ];
 
     /// Stable snake_case name (used in metric keys and JSON snapshots).
@@ -75,6 +79,7 @@ impl Stage {
             Stage::OosmPost => "oosm_post",
             Stage::Fusion => "fusion",
             Stage::DcStep => "dc_step",
+            Stage::GatewayServe => "gateway_serve",
         }
     }
 

@@ -48,14 +48,14 @@ fn main() -> mpros::core::Result<()> {
         ),
         None => FaultPlan::none(),
     };
-    let mut sim = ShipboardSim::new(ShipboardSimConfig {
-        dc_count: 2,
-        seed: 11,
-        survey_period: SimDuration::from_secs(60.0),
-        fault_plan,
-        exec,
-        ..Default::default()
-    })?;
+    let mut sim = ShipboardSim::new(
+        ShipboardSimConfig::new()
+            .with_dc_count(2)
+            .with_seed(11)
+            .with_survey_period(SimDuration::from_secs(60.0))
+            .with_fault_plan(fault_plan)
+            .with_exec(exec),
+    )?;
 
     // Train the compact WNN classifier and attach it to both DCs so all
     // four knowledge sources (DLI, SBFR, WNN, fuzzy) are live.

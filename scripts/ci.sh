@@ -13,6 +13,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+# Public-API drift check: the rendered item list must match the
+# committed API_SURFACE.txt. Intentional surface changes re-bless with
+# scripts/api_surface.sh --bless.
+echo "==> api surface (vs API_SURFACE.txt)"
+scripts/api_surface.sh
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -59,6 +65,12 @@ echo "==> exp_throughput --workers 1"
 cargo run --release -p mpros-bench --bin exp_throughput -- --workers 1 > /dev/null
 echo "==> exp_throughput --workers 4"
 cargo run --release -p mpros-bench --bin exp_throughput -- --workers 4
+
+# The serving layer under load: 8 concurrent clients hammering the
+# gateway while the fleet steps. Merges serving{} into
+# BENCH_throughput.json so perf_gate below judges it too.
+echo "==> exp_serving"
+cargo run --release -p mpros-bench --bin exp_serving
 
 # Perf-regression gate: diff the fresh BENCH_throughput.json against
 # the committed BENCH_baseline.json. Wall-clock rates get a loose,

@@ -9,16 +9,14 @@
 //! integration tests.
 //!
 //! ```
-//! use mpros::core::{MachineCondition, SimDuration, SimTime};
+//! use mpros::prelude::*;
 //! use mpros::chiller::fault::{FaultProfile, FaultSeed};
-//! use mpros::sim::{ShipboardSim, ShipboardSimConfig};
 //!
 //! // One chiller + DC + PDME; seed a bearing defect and watch the
 //! // prioritized maintenance list.
-//! let mut sim = ShipboardSim::new(ShipboardSimConfig {
-//!     survey_period: SimDuration::from_secs(30.0),
-//!     ..Default::default()
-//! }).unwrap();
+//! let mut sim = ShipboardSim::new(
+//!     ShipboardSimConfig::new().with_survey_period(SimDuration::from_secs(30.0)),
+//! ).unwrap();
 //! sim.seed_fault(0, FaultSeed {
 //!     condition: MachineCondition::MotorBearingDefect,
 //!     onset: SimTime::ZERO,
@@ -28,11 +26,21 @@
 //! sim.run_for(SimDuration::from_minutes(4.0), SimDuration::from_secs(0.25)).unwrap();
 //! let list = sim.pdme().maintenance_list();
 //! assert_eq!(list[0].condition, MachineCondition::MotorBearingDefect);
+//!
+//! // Serve the fused state to concurrent clients over the framed
+//! // gateway protocol (see `mpros::gateway`).
+//! let handle = sim.attach_gateway(GatewayConfig::new());
+//! let client = GatewayClient::connect(handle, 1);
+//! assert!(!client.icas().unwrap().machines.is_empty());
 //! ```
 
 #![forbid(unsafe_code)]
 
-pub mod exec;
+// The scatter-gather engine is an implementation detail of
+// `ShipboardSim::step`; only its `ExecMode` knob is public, re-exported
+// through `sim` and the prelude.
+pub(crate) mod exec;
+pub mod prelude;
 pub mod sim;
 
 pub use mpros_chiller as chiller;
@@ -41,6 +49,7 @@ pub use mpros_dc as dc;
 pub use mpros_dli as dli;
 pub use mpros_fusion as fusion;
 pub use mpros_fuzzy as fuzzy;
+pub use mpros_gateway as gateway;
 pub use mpros_network as network;
 pub use mpros_oosm as oosm;
 pub use mpros_pdme as pdme;

@@ -19,7 +19,7 @@
 //! 2. **Execute** — each live DC applies its commands and runs
 //!    everything due at `now` against its plant
 //!    ([`DataConcentrator::step`]). Sequentially this happens inline;
-//!    in parallel mode it is scattered across the [`WorkerPool`].
+//!    in parallel mode it is scattered across the worker pool.
 //! 3. **Merge** — each live DC's report buffer is parked in its
 //!    network outbox as one batched frame, its heartbeat posted if due,
 //!    again in ascending DC-index order; then every due outbox frame
@@ -68,6 +68,7 @@ use mpros_core::{
     MachineId, Result, SimClock, SimDuration, SimTime,
 };
 use mpros_dc::{DataConcentrator, DcConfig, SensorFault};
+use mpros_gateway::{Gateway, GatewayConfig, ServingSnapshot};
 use mpros_network::{Endpoint, Envelope, NetMessage, NetworkConfig, ShipNetwork};
 use mpros_pdme::PdmeExecutive;
 use mpros_store::{RecoveryManager, StoreHandle};
@@ -81,7 +82,21 @@ use std::sync::Arc;
 pub use crate::exec::ExecMode;
 
 /// Configuration of a shipboard simulation.
+///
+/// Built with the same chainable pattern as `NetworkConfig`, `DcConfig`
+/// and `OutboxConfig`: start from [`ShipboardSimConfig::new`] and apply
+/// `with_*` setters. The struct is `#[non_exhaustive]`, so new knobs
+/// can be added without breaking downstream construction sites.
+///
+/// ```
+/// use mpros::sim::{ExecMode, ShipboardSimConfig};
+/// let config = ShipboardSimConfig::new()
+///     .with_dc_count(4)
+///     .with_exec(ExecMode::Parallel { workers: 2 });
+/// assert_eq!(config.dc_count, 4);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ShipboardSimConfig {
     /// Number of chiller plants / Data Concentrators.
     pub dc_count: usize,
@@ -131,6 +146,75 @@ impl Default for ShipboardSimConfig {
     }
 }
 
+impl ShipboardSimConfig {
+    /// The default configuration: one DC, seed 7, calm network,
+    /// sequential stepping, no SLOs, checkpoints every 50 steps.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the number of chiller plants / Data Concentrators.
+    pub fn with_dc_count(mut self, dc_count: usize) -> Self {
+        self.dc_count = dc_count;
+        self
+    }
+
+    /// Set the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the network behaviour.
+    pub fn with_network(mut self, network: NetworkConfig) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Set the scheduled fault plan.
+    pub fn with_fault_plan(mut self, fault_plan: FaultPlan) -> Self {
+        self.fault_plan = fault_plan;
+        self
+    }
+
+    /// Set the supervisor's DC liveness timeout.
+    pub fn with_dc_timeout(mut self, dc_timeout: SimDuration) -> Self {
+        self.dc_timeout = dc_timeout;
+        self
+    }
+
+    /// Set the per-DC vibration-survey period.
+    pub fn with_survey_period(mut self, survey_period: SimDuration) -> Self {
+        self.survey_period = survey_period;
+        self
+    }
+
+    /// Set the DC heartbeat period.
+    pub fn with_heartbeat_period(mut self, heartbeat_period: SimDuration) -> Self {
+        self.heartbeat_period = heartbeat_period;
+        self
+    }
+
+    /// Set the execution mode.
+    pub fn with_exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Set the service-level objectives the watchdog evaluates.
+    pub fn with_slo(mut self, slo: SloPolicy) -> Self {
+        self.slo = slo;
+        self
+    }
+
+    /// Set the durable-checkpoint cadence (`0` disables periodic
+    /// snapshots).
+    pub fn with_snapshot_every(mut self, snapshot_every: u64) -> Self {
+        self.snapshot_every = snapshot_every;
+        self
+    }
+}
+
 /// The running simulation.
 pub struct ShipboardSim {
     plants: Vec<Arc<Mutex<ChillerPlant>>>,
@@ -162,6 +246,11 @@ pub struct ShipboardSim {
     snapshot_every: u64,
     /// Steps taken so far (snapshot cadence).
     steps: u64,
+    /// The serving gateway, when one is attached: after every step the
+    /// control thread builds a [`ServingSnapshot`] and publishes it, so
+    /// query traffic reads immutable state and never touches the live
+    /// engine.
+    gateway: Option<Arc<Gateway>>,
 }
 
 impl ShipboardSim {
@@ -244,7 +333,45 @@ impl ShipboardSim {
             store,
             snapshot_every: config.snapshot_every,
             steps: 0,
+            gateway: None,
         })
+    }
+
+    /// Attach a serving gateway joined to the ship's telemetry domain.
+    /// From now on every [`ShipboardSim::step`] ends by publishing a
+    /// fresh [`ServingSnapshot`] (stamped with the step ordinal) to the
+    /// returned handle; share the `Arc` with any number of client
+    /// threads. An initial snapshot of the current state is published
+    /// immediately, so clients never observe the empty version 0 once
+    /// this returns.
+    pub fn attach_gateway(&mut self, config: GatewayConfig) -> Arc<Gateway> {
+        let gateway = Arc::new(Gateway::new(config, &self.telemetry));
+        self.gateway = Some(gateway.clone());
+        self.publish_serving_snapshot();
+        gateway
+    }
+
+    /// The attached gateway, if any.
+    pub fn gateway(&self) -> Option<&Arc<Gateway>> {
+        self.gateway.as_ref()
+    }
+
+    /// Build and publish the post-step serving snapshot. Runs on the
+    /// control thread while the engine is quiet; a no-op without an
+    /// attached gateway, so un-served simulations pay nothing.
+    fn publish_serving_snapshot(&self) {
+        let Some(gateway) = &self.gateway else {
+            return;
+        };
+        let snapshot = ServingSnapshot::build(
+            self.steps,
+            self.clock.now(),
+            &self.pdme,
+            self.dc_timeout,
+            self.watchdog.last_verdict(),
+            &self.telemetry,
+        );
+        gateway.publish(snapshot);
     }
 
     /// The PDME's durable store (WAL + snapshots). Handles are shared:
@@ -297,6 +424,13 @@ impl ShipboardSim {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.clock.now()
+    }
+
+    /// Steps taken so far. Doubles as the serving-snapshot version
+    /// stamp: after any step, an attached gateway serves version
+    /// `steps()`.
+    pub fn steps(&self) -> u64 {
+        self.steps
     }
 
     /// Worker threads stepping DCs (0 in sequential mode).
@@ -616,6 +750,7 @@ impl ShipboardSim {
         // PDME leaves its inbox queueing.
         if self.stalled {
             self.watchdog.evaluate(&self.telemetry);
+            self.publish_serving_snapshot();
             return Ok(0);
         }
         let msgs = self.network.recv(Endpoint::Pdme, now);
@@ -647,6 +782,10 @@ impl ShipboardSim {
         if self.snapshot_every > 0 && self.steps.is_multiple_of(self.snapshot_every) {
             self.pdme.snapshot_to_store()?;
         }
+        // Serving snapshot last: clients see the state *after* this
+        // step's fusion, supervision and SLO verdict, stamped with the
+        // step ordinal as its version.
+        self.publish_serving_snapshot();
         Ok(summary.fused)
     }
 

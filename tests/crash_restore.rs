@@ -31,18 +31,18 @@ use mpros::telemetry::SloPolicy;
 /// dropping/jittering bus and one step-profile fault — enough traffic
 /// that the WAL tail carries real batches, acks and supervision state.
 fn lossy_config(exec: ExecMode, fault_plan: FaultPlan) -> ShipboardSimConfig {
-    ShipboardSimConfig {
-        dc_count: 3,
-        seed: 99,
-        network: NetworkConfig::default()
-            .with_drop_probability(0.15)
-            .with_jitter(SimDuration::from_millis(4.0)),
-        fault_plan,
-        survey_period: SimDuration::from_secs(30.0),
-        slo: SloPolicy::standard(30.0, 120.0, 0.9),
-        exec,
-        ..Default::default()
-    }
+    ShipboardSimConfig::new()
+        .with_dc_count(3)
+        .with_seed(99)
+        .with_network(
+            NetworkConfig::default()
+                .with_drop_probability(0.15)
+                .with_jitter(SimDuration::from_millis(4.0)),
+        )
+        .with_fault_plan(fault_plan)
+        .with_survey_period(SimDuration::from_secs(30.0))
+        .with_slo(SloPolicy::standard(30.0, 120.0, 0.9))
+        .with_exec(exec)
 }
 
 fn build(exec: ExecMode, fault_plan: FaultPlan) -> ShipboardSim {

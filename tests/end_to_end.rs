@@ -6,12 +6,12 @@ use mpros::core::{MachineCondition, MachineId, SimDuration, SimTime};
 use mpros::sim::{ShipboardSim, ShipboardSimConfig};
 
 fn sim_with(dc_count: usize) -> ShipboardSim {
-    ShipboardSim::new(ShipboardSimConfig {
-        dc_count,
-        seed: 3,
-        survey_period: SimDuration::from_secs(30.0),
-        ..Default::default()
-    })
+    ShipboardSim::new(
+        ShipboardSimConfig::new()
+            .with_dc_count(dc_count)
+            .with_seed(3)
+            .with_survey_period(SimDuration::from_secs(30.0)),
+    )
     .expect("sim builds")
 }
 

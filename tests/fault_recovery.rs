@@ -21,14 +21,14 @@ const DC_TIMEOUT: f64 = 30.0;
 /// Three DCs, each with a developing plant fault so every station has
 /// something to say (and to re-detect after an outage).
 fn fleet(fault_plan: FaultPlan) -> ShipboardSim {
-    let mut sim = ShipboardSim::new(ShipboardSimConfig {
-        dc_count: 3,
-        seed: 41,
-        fault_plan,
-        dc_timeout: SimDuration::from_secs(DC_TIMEOUT),
-        survey_period: SimDuration::from_secs(30.0),
-        ..Default::default()
-    })
+    let mut sim = ShipboardSim::new(
+        ShipboardSimConfig::new()
+            .with_dc_count(3)
+            .with_seed(41)
+            .with_fault_plan(fault_plan)
+            .with_dc_timeout(SimDuration::from_secs(DC_TIMEOUT))
+            .with_survey_period(SimDuration::from_secs(30.0)),
+    )
     .unwrap();
     for (idx, condition) in [
         (0, MachineCondition::MotorBearingDefect),

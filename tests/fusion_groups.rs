@@ -7,12 +7,12 @@ use mpros::core::{FailureGroup, MachineCondition, MachineId, SimDuration, SimTim
 use mpros::sim::{ShipboardSim, ShipboardSimConfig};
 
 fn run_with_faults(faults: &[(MachineCondition, f64)]) -> ShipboardSim {
-    let mut sim = ShipboardSim::new(ShipboardSimConfig {
-        dc_count: 1,
-        seed: 5,
-        survey_period: SimDuration::from_secs(30.0),
-        ..Default::default()
-    })
+    let mut sim = ShipboardSim::new(
+        ShipboardSimConfig::new()
+            .with_dc_count(1)
+            .with_seed(5)
+            .with_survey_period(SimDuration::from_secs(30.0)),
+    )
     .unwrap();
     for &(condition, minutes) in faults {
         sim.seed_fault(

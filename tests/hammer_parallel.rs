@@ -14,13 +14,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 #[test]
 fn stepping_under_concurrent_snapshots_never_tears() {
-    let mut sim = ShipboardSim::new(ShipboardSimConfig {
-        dc_count: 4,
-        seed: 42,
-        survey_period: SimDuration::from_secs(20.0),
-        exec: ExecMode::Parallel { workers: 4 },
-        ..Default::default()
-    })
+    let mut sim = ShipboardSim::new(
+        ShipboardSimConfig::new()
+            .with_dc_count(4)
+            .with_seed(42)
+            .with_survey_period(SimDuration::from_secs(20.0))
+            .with_exec(ExecMode::Parallel { workers: 4 }),
+    )
     .expect("sim builds");
     for idx in [0, 3] {
         sim.seed_fault(

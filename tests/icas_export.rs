@@ -9,12 +9,12 @@ use mpros::sim::{ShipboardSim, ShipboardSimConfig};
 
 #[test]
 fn live_run_exports_a_consumable_snapshot() {
-    let mut sim = ShipboardSim::new(ShipboardSimConfig {
-        dc_count: 2,
-        seed: 13,
-        survey_period: SimDuration::from_secs(30.0),
-        ..Default::default()
-    })
+    let mut sim = ShipboardSim::new(
+        ShipboardSimConfig::new()
+            .with_dc_count(2)
+            .with_seed(13)
+            .with_survey_period(SimDuration::from_secs(30.0)),
+    )
     .unwrap();
     sim.seed_fault(
         0,
@@ -57,12 +57,12 @@ fn live_run_exports_a_consumable_snapshot() {
 
 #[test]
 fn snapshot_tracks_state_changes_over_time() {
-    let mut sim = ShipboardSim::new(ShipboardSimConfig {
-        dc_count: 1,
-        seed: 17,
-        survey_period: SimDuration::from_secs(30.0),
-        ..Default::default()
-    })
+    let mut sim = ShipboardSim::new(
+        ShipboardSimConfig::new()
+            .with_dc_count(1)
+            .with_seed(17)
+            .with_survey_period(SimDuration::from_secs(30.0)),
+    )
     .unwrap();
     sim.seed_fault(
         0,

@@ -8,13 +8,13 @@ use mpros::network::{Endpoint, NetworkConfig};
 use mpros::sim::{ShipboardSim, ShipboardSimConfig};
 
 fn lossy_sim(drop_probability: f64) -> ShipboardSim {
-    let mut sim = ShipboardSim::new(ShipboardSimConfig {
-        dc_count: 1,
-        seed: 9,
-        survey_period: SimDuration::from_secs(20.0),
-        network: NetworkConfig::default().with_drop_probability(drop_probability),
-        ..Default::default()
-    })
+    let mut sim = ShipboardSim::new(
+        ShipboardSimConfig::new()
+            .with_dc_count(1)
+            .with_seed(9)
+            .with_survey_period(SimDuration::from_secs(20.0))
+            .with_network(NetworkConfig::default().with_drop_probability(drop_probability)),
+    )
     .unwrap();
     sim.seed_fault(
         0,

@@ -143,15 +143,15 @@ struct Fingerprint {
 }
 
 fn run(scenario: &Scenario, exec: ExecMode) -> Fingerprint {
-    let mut sim = ShipboardSim::new(ShipboardSimConfig {
-        dc_count: scenario.dc_count,
-        seed: scenario.seed,
-        network: scenario.network.clone(),
-        fault_plan: scenario.fault_plan.clone(),
-        survey_period: SimDuration::from_secs(30.0),
-        exec,
-        ..Default::default()
-    })
+    let mut sim = ShipboardSim::new(
+        ShipboardSimConfig::new()
+            .with_dc_count(scenario.dc_count)
+            .with_seed(scenario.seed)
+            .with_network(scenario.network.clone())
+            .with_fault_plan(scenario.fault_plan.clone())
+            .with_survey_period(SimDuration::from_secs(30.0))
+            .with_exec(exec),
+    )
     .expect("sim builds");
     for (idx, fault) in &scenario.faults {
         sim.seed_fault(*idx, *fault);

@@ -12,12 +12,12 @@ use mpros::sim::{ShipboardSim, ShipboardSimConfig};
 
 #[test]
 fn pdme_downloads_a_new_machine_into_a_running_dc() {
-    let mut sim = ShipboardSim::new(ShipboardSimConfig {
-        dc_count: 1,
-        seed: 21,
-        survey_period: SimDuration::from_secs(60.0),
-        ..Default::default()
-    })
+    let mut sim = ShipboardSim::new(
+        ShipboardSimConfig::new()
+            .with_dc_count(1)
+            .with_seed(21)
+            .with_survey_period(SimDuration::from_secs(60.0)),
+    )
     .unwrap();
     // Warm the system up.
     sim.run_for(SimDuration::from_secs(5.0), SimDuration::from_secs(0.25))

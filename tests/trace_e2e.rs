@@ -26,14 +26,14 @@ fn bearing_fault() -> FaultSeed {
 }
 
 fn run_sim(fault_plan: FaultPlan, slo: SloPolicy, minutes: f64) -> ShipboardSim {
-    let mut sim = ShipboardSim::new(ShipboardSimConfig {
-        dc_count: 2,
-        seed: 17,
-        fault_plan,
-        slo,
-        survey_period: SimDuration::from_secs(30.0),
-        ..Default::default()
-    })
+    let mut sim = ShipboardSim::new(
+        ShipboardSimConfig::new()
+            .with_dc_count(2)
+            .with_seed(17)
+            .with_fault_plan(fault_plan)
+            .with_slo(slo)
+            .with_survey_period(SimDuration::from_secs(30.0)),
+    )
     .expect("sim builds");
     sim.seed_fault(0, bearing_fault());
     sim.run_for(
@@ -150,12 +150,8 @@ fn crash_loses_frames_on_trace_and_restarts_a_fresh_stream() {
         SimTime::from_secs(80.0),
     );
     let seed_before = {
-        let sim = ShipboardSim::new(ShipboardSimConfig {
-            dc_count: 2,
-            seed: 17,
-            ..Default::default()
-        })
-        .unwrap();
+        let sim =
+            ShipboardSim::new(ShipboardSimConfig::new().with_dc_count(2).with_seed(17)).unwrap();
         sim.dc_trace_seed(0)
     };
     let sim = run_sim(plan, SloPolicy::none(), 4.0);

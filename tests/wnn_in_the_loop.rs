@@ -28,12 +28,12 @@ fn wnn_reports_flow_to_the_pdme() {
     // installation would load.
     let clf = WnnClassifier::from_json(&clf.to_json().unwrap()).unwrap();
 
-    let mut sim = ShipboardSim::new(ShipboardSimConfig {
-        dc_count: 1,
-        seed: 3,
-        survey_period: SimDuration::from_secs(30.0),
-        ..Default::default()
-    })
+    let mut sim = ShipboardSim::new(
+        ShipboardSimConfig::new()
+            .with_dc_count(1)
+            .with_seed(3)
+            .with_survey_period(SimDuration::from_secs(30.0)),
+    )
     .unwrap();
     sim.dc_mut(0).attach_wnn(clf);
     sim.seed_fault(
