@@ -16,7 +16,11 @@
 //!     zero undecodable frames.
 //!
 //! Merges a `serving{}` block into `BENCH_throughput.json` (BenchDoc
-//! schema v7) for `perf_gate`; run `exp_throughput` first.
+//! schema v8) for `perf_gate`; run `exp_throughput` first. A second
+//! phase measures the wire-v5 observability mix — `GetMetrics` (with
+//! its text exposition render), `StreamJournal` cursor polls and
+//! `ListIncidents` against a sealed flight-recorder capture — and
+//! merges it as the `obs{}` block.
 //!
 //! Usage: `exp_serving [--clients N] [--steps N]`.
 
@@ -57,6 +61,27 @@ struct ServingBench {
     /// every client polls continuously and the calm scenario produces
     /// no supervision edges; recorded for fault-profile variants).
     drops: u64,
+}
+
+/// The `obs{}` block: the observability-client mix over wire v5.
+#[derive(Serialize)]
+struct ObsBench {
+    /// `GetMetrics` calls answered (informational; the rate rides on
+    /// the latency quantiles below).
+    metrics_calls: u64,
+    /// Service time of a full `GetMetrics` round trip — snapshot fields
+    /// plus the pre-rendered exposition — through the wire codec.
+    metrics_p50_s: f64,
+    metrics_p95_s: f64,
+    /// `StreamJournal` cursor polls answered, and their rate.
+    journal_calls: u64,
+    journal_tail_qps: f64,
+    /// Bytes of the final Prometheus text exposition (deterministic:
+    /// the scenario is seeded and the serving surface filtered).
+    exposition_len_final: u64,
+    /// Sealed flight-recorder incidents at the end (the bench seals
+    /// exactly one, via the manual capture API).
+    incidents_sealed: u64,
 }
 
 fn build_sim() -> ShipboardSim {
@@ -206,6 +231,70 @@ fn main() {
         drops: snap.counter("gateway", "drops"),
     };
 
+    // Observability phase: seal one manual incident (the capture lands
+    // on the next step and seals after the recorder's post window),
+    // then let two console clients run the wire-v5 mix — metrics +
+    // exposition, journal tail polls, incident listings.
+    sim.capture_incident("bench checkpoint");
+    for _ in 0..6 {
+        sim.step(dt).expect("obs phase step");
+    }
+    const OBS_CLIENTS: usize = 2;
+    const OBS_ROUNDS: usize = 200;
+    let mut metrics_lat: Vec<f64> = Vec::new();
+    let mut journal_calls = 0u64;
+    let mut obs_window_s = 0.0f64;
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..OBS_CLIENTS)
+            .map(|i| {
+                let gw = gateway.clone();
+                s.spawn(move |_| {
+                    let client = GatewayClient::connect(gw, 100 + i as u64);
+                    let mut lat = Vec::new();
+                    let mut cursor = 0u64;
+                    let mut polls = 0u64;
+                    let start = Instant::now();
+                    for round in 0..OBS_ROUNDS {
+                        let t0 = Instant::now();
+                        let m = client.metrics().expect("GetMetrics serves");
+                        lat.push(t0.elapsed().as_secs_f64());
+                        assert!(!m.exposition.is_empty(), "exposition rendered");
+                        let page = client
+                            .stream_journal(cursor, 64)
+                            .expect("StreamJournal serves");
+                        cursor = page.next_cursor;
+                        polls += 1;
+                        if round % 20 == 0 {
+                            let listed = client.incidents().expect("ListIncidents serves");
+                            assert!(!listed.is_empty(), "the manual capture sealed");
+                        }
+                    }
+                    (lat, polls, start.elapsed().as_secs_f64())
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (lat, polls, window) = handle.join().expect("obs client joins");
+            metrics_lat.extend(lat);
+            journal_calls += polls;
+            obs_window_s = obs_window_s.max(window);
+        }
+    })
+    .expect("obs scope joins");
+    metrics_lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    let probe = GatewayClient::connect(gateway.clone(), 999);
+    let final_metrics = probe.metrics().expect("final GetMetrics");
+    let obs = ObsBench {
+        metrics_calls: metrics_lat.len() as u64,
+        metrics_p50_s: percentile(&metrics_lat, 0.50),
+        metrics_p95_s: percentile(&metrics_lat, 0.95),
+        journal_calls,
+        journal_tail_qps: journal_calls as f64 / obs_window_s,
+        exposition_len_final: final_metrics.exposition.len() as u64,
+        incidents_sealed: probe.incidents().expect("ListIncidents").len() as u64,
+    };
+
     let mut t = Table::new(&["metric", "value"]);
     t.row(&["clients".into(), serving.clients.to_string()]);
     t.row(&["requests served".into(), serving.requests_total.to_string()]);
@@ -229,6 +318,22 @@ fn main() {
         "snapshot publishes".into(),
         serving.snapshot_publishes.to_string(),
     ]);
+    t.row(&[
+        "obs: GetMetrics p50 / p95".into(),
+        format!(
+            "{:.1} µs / {:.1} µs",
+            obs.metrics_p50_s * 1e6,
+            obs.metrics_p95_s * 1e6
+        ),
+    ]);
+    t.row(&[
+        "obs: journal tail qps".into(),
+        format!("{:.0}", obs.journal_tail_qps),
+    ]);
+    t.row(&[
+        "obs: exposition bytes / incidents".into(),
+        format!("{} / {}", obs.exposition_len_final, obs.incidents_sealed),
+    ]);
     print!("{}", t.render());
 
     // Merge the block into the throughput document (schema v7).
@@ -249,12 +354,16 @@ fn main() {
         "serving".to_string(),
         serde_json::to_value(&serving).expect("serializable"),
     );
+    map.insert(
+        "obs".to_string(),
+        serde_json::to_value(&obs).expect("serializable"),
+    );
     std::fs::write(
         path,
         serde_json::to_string_pretty(&doc).expect("serializable"),
     )
     .expect("writable working directory");
-    println!("\nmerged serving{{}} into {path}");
+    println!("\nmerged serving{{}} and obs{{}} into {path}");
 
     println!();
     let min_calls = per_client_calls.iter().copied().min().unwrap_or(0);
@@ -280,5 +389,15 @@ fn main() {
         "E11.3 the wire stayed clean",
         serving.bad_frames == 0,
         &format!("{} undecodable frames", serving.bad_frames),
+    );
+    verdict(
+        "E11.4 the observability plane answers the console mix",
+        obs.incidents_sealed == 1
+            && obs.exposition_len_final > 0
+            && obs.metrics_calls == (OBS_CLIENTS * OBS_ROUNDS) as u64,
+        &format!(
+            "{} GetMetrics calls, {}-byte exposition, {} sealed incident(s)",
+            obs.metrics_calls, obs.exposition_len_final, obs.incidents_sealed
+        ),
     );
 }

@@ -715,7 +715,10 @@ fn main() {
         // v7: `exp_serving` merges a `serving{}` block into this
         // document after its own run; the two binaries share the schema
         // version, and the gate re-blesses on any bump.
-        schema_version: 7,
+        // v8: `exp_serving` additionally merges the `obs{}` block — the
+        // wire-v5 observability mix (GetMetrics / StreamJournal /
+        // ListIncidents) against the same gateway.
+        schema_version: 8,
         git_revision: git_revision(),
         git_dirty: git_dirty(),
         host: HostInfo {

@@ -248,6 +248,46 @@ fn main() {
         }
     }
 
+    // Observability mix (the `obs{}` block `exp_serving` merges in):
+    // GetMetrics service time is a lower-is-better wall time and the
+    // journal tail poll rate a wall rate; the final exposition length
+    // and the sealed-incident count are products of the seeded
+    // scenario's filtered serving surface, so they must reproduce
+    // exactly.
+    for field in ["metrics_p50_s", "metrics_p95_s"] {
+        let name = format!("obs.{field}");
+        match (
+            f64_at(&base, &["obs", field]),
+            f64_at(&cur, &["obs", field]),
+        ) {
+            (Some(b), Some(c)) => gate.wall_time(&name, b, c, wall_tol),
+            _ => gate
+                .violations
+                .push(format!("{name}: missing from document")),
+        }
+    }
+    match (
+        f64_at(&base, &["obs", "journal_tail_qps"]),
+        f64_at(&cur, &["obs", "journal_tail_qps"]),
+    ) {
+        (Some(b), Some(c)) => gate.wall_rate("obs.journal_tail_qps", b, c, wall_tol),
+        _ => gate
+            .violations
+            .push("obs.journal_tail_qps: missing from document".to_string()),
+    }
+    for field in ["exposition_len_final", "incidents_sealed"] {
+        let name = format!("obs.{field}");
+        match (
+            u64_at(&base, &["obs", field]),
+            u64_at(&cur, &["obs", field]),
+        ) {
+            (Some(b), Some(c)) => gate.exact_u64(&name, b, c),
+            _ => gate
+                .violations
+                .push(format!("{name}: missing from document")),
+        }
+    }
+
     // Per-survey DSP extraction latency: lower-is-better wall time,
     // same loose host tolerance as the rates.
     for field in ["survey_extract_p50_s", "survey_extract_p95_s"] {

@@ -12,7 +12,10 @@ use crate::server::Gateway;
 use mpros_core::{Error, PrognosticVector, Result};
 use mpros_pdme::icas::IcasMachine;
 use mpros_pdme::IcasSnapshot;
-use mpros_telemetry::{CounterSnapshot, SloVerdict};
+use mpros_telemetry::{
+    CounterSnapshot, EventSnapshot, GaugeSnapshot, HistogramSnapshot, HopRecord, Incident,
+    IncidentSummary, SloVerdict,
+};
 use std::sync::Arc;
 
 /// The drained result of one subscription poll.
@@ -24,6 +27,37 @@ pub struct DeltaBatch {
     pub dropped: u64,
     /// The surviving deltas, oldest first.
     pub deltas: Vec<StatusDelta>,
+}
+
+/// The result of one `GetMetrics` call: the sim-domain telemetry view
+/// plus its Prometheus-style text rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// Serving snapshot version.
+    pub snapshot_version: u64,
+    /// Simulated seconds of the snapshot.
+    pub at_secs: f64,
+    /// Sim-domain counters, sorted by `(component, name)`.
+    pub counters: Vec<CounterSnapshot>,
+    /// Sim-domain gauges, sorted by `(component, name)`.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// Simulated-time histograms, sorted by `(component, name)`.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Prometheus-style text exposition of the above.
+    pub exposition: String,
+}
+
+/// One page of the remote journal tail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalPage {
+    /// Serving snapshot version at poll time.
+    pub snapshot_version: u64,
+    /// Cursor for the next poll.
+    pub next_cursor: u64,
+    /// Events the cursor missed to oldest-drop eviction.
+    pub dropped: u64,
+    /// The served events, oldest first.
+    pub events: Vec<EventSnapshot>,
 }
 
 /// A connected client: one session id against one gateway.
@@ -104,6 +138,77 @@ impl GatewayClient {
         match self.call(&GatewayRequest::GetCounters)? {
             GatewayResponse::Counters { counters, .. } => Ok(counters),
             other => Err(unexpected("Counters", &other)),
+        }
+    }
+
+    /// The full sim-domain telemetry view at snapshot time, structured
+    /// and as text exposition (wire v5).
+    pub fn metrics(&self) -> Result<MetricsReport> {
+        match self.call(&GatewayRequest::GetMetrics)? {
+            GatewayResponse::Metrics {
+                snapshot_version,
+                at_secs,
+                counters,
+                gauges,
+                histograms,
+                exposition,
+            } => Ok(MetricsReport {
+                snapshot_version,
+                at_secs,
+                counters,
+                gauges,
+                histograms,
+                exposition,
+            }),
+            other => Err(unexpected("Metrics", &other)),
+        }
+    }
+
+    /// One page of the normalized journal tail starting at `cursor`
+    /// (pass 0 to start, then feed `next_cursor` back in; wire v5).
+    pub fn stream_journal(&self, cursor: u64, max: u32) -> Result<JournalPage> {
+        match self.call(&GatewayRequest::StreamJournal { cursor, max })? {
+            GatewayResponse::Journal {
+                snapshot_version,
+                next_cursor,
+                dropped,
+                events,
+            } => Ok(JournalPage {
+                snapshot_version,
+                next_cursor,
+                dropped,
+                events,
+            }),
+            GatewayResponse::NotFound { detail, .. } => Err(Error::not_found(detail)),
+            other => Err(unexpected("Journal", &other)),
+        }
+    }
+
+    /// Summaries of the retained sealed incidents, oldest first
+    /// (wire v5).
+    pub fn incidents(&self) -> Result<Vec<IncidentSummary>> {
+        match self.call(&GatewayRequest::ListIncidents)? {
+            GatewayResponse::Incidents { incidents, .. } => Ok(incidents),
+            GatewayResponse::NotFound { detail, .. } => Err(Error::not_found(detail)),
+            other => Err(unexpected("Incidents", &other)),
+        }
+    }
+
+    /// One sealed incident bundle by its deterministic id (wire v5).
+    pub fn incident(&self, id: u64) -> Result<Incident> {
+        match self.call(&GatewayRequest::GetIncident { id })? {
+            GatewayResponse::Incident { incident, .. } => Ok(incident),
+            GatewayResponse::NotFound { detail, .. } => Err(Error::not_found(detail)),
+            other => Err(unexpected("Incident", &other)),
+        }
+    }
+
+    /// The recorded hops of one trace, canonically ordered (wire v5).
+    pub fn trace(&self, trace: u64) -> Result<Vec<HopRecord>> {
+        match self.call(&GatewayRequest::GetTrace { trace })? {
+            GatewayResponse::Trace { hops, .. } => Ok(hops),
+            GatewayResponse::NotFound { detail, .. } => Err(Error::not_found(detail)),
+            other => Err(unexpected("Trace", &other)),
         }
     }
 

@@ -40,7 +40,7 @@ pub mod proto;
 pub mod server;
 pub mod snapshot;
 
-pub use client::{DeltaBatch, GatewayClient};
+pub use client::{DeltaBatch, GatewayClient, JournalPage, MetricsReport};
 pub use proto::{
     decode_request, decode_response, encode_request, encode_response, DeltaKind, GatewayRequest,
     GatewayResponse, StatusDelta, GATEWAY_SCHEMA_VERSION,

@@ -13,7 +13,10 @@ use bytes::Bytes;
 use mpros_core::{Error, PrognosticVector, Result};
 use mpros_pdme::icas::IcasMachine;
 use mpros_pdme::IcasSnapshot;
-use mpros_telemetry::{CounterSnapshot, SloVerdict};
+use mpros_telemetry::{
+    CounterSnapshot, EventSnapshot, GaugeSnapshot, HistogramSnapshot, HopRecord, Incident,
+    IncidentSummary, SloVerdict,
+};
 use serde::{Deserialize, Serialize};
 
 /// Gateway payload schema version, stamped into every response.
@@ -50,6 +53,33 @@ pub enum GatewayRequest {
         /// Caller-chosen session id.
         session: u64,
     },
+    /// The full sim-domain telemetry view at snapshot time — structured
+    /// counters/gauges/histograms plus the pre-rendered Prometheus-style
+    /// text exposition (wire v5).
+    GetMetrics,
+    /// One page of the normalized journal tail: a cursor-based bounded
+    /// oldest-drop stream; pass cursor 0 to start, then feed the
+    /// returned `next_cursor` back in (wire v5).
+    StreamJournal {
+        /// Recorder stream sequence to resume from.
+        cursor: u64,
+        /// Maximum events to return in this page.
+        max: u32,
+    },
+    /// Summaries of the sealed incidents the flight recorder retains
+    /// (wire v5).
+    ListIncidents,
+    /// One sealed incident bundle by its deterministic id (wire v5).
+    GetIncident {
+        /// The incident id (see `mpros_telemetry::incident_id`).
+        id: u64,
+    },
+    /// Every recorded hop of one trace, canonically ordered — the
+    /// remote form of `TraceLog::trace` (wire v5).
+    GetTrace {
+        /// Raw trace id.
+        trace: u64,
+    },
 }
 
 impl GatewayRequest {
@@ -62,6 +92,50 @@ impl GatewayRequest {
             GatewayRequest::GetSloVerdict => 35,
             GatewayRequest::GetCounters => 36,
             GatewayRequest::Subscribe { .. } => 37,
+            GatewayRequest::GetMetrics => 38,
+            GatewayRequest::StreamJournal { .. } => 39,
+            GatewayRequest::ListIncidents => 40,
+            GatewayRequest::GetIncident { .. } => 41,
+            GatewayRequest::GetTrace { .. } => 42,
+        }
+    }
+
+    /// Number of request kinds (the tag range `32..32 + COUNT`); sizes
+    /// the gateway's per-request-type instrument tables.
+    pub const KIND_COUNT: usize = 11;
+
+    /// Every request kind name, indexed by `type_tag() - 32` — the
+    /// gateway pre-registers one `service_time` histogram per entry so
+    /// the serve path never touches the registry lock.
+    pub const KINDS: [&'static str; Self::KIND_COUNT] = [
+        "get_machine_status",
+        "get_icas",
+        "get_prognostic_vector",
+        "get_slo_verdict",
+        "get_counters",
+        "subscribe",
+        "get_metrics",
+        "stream_journal",
+        "list_incidents",
+        "get_incident",
+        "get_trace",
+    ];
+
+    /// Stable snake_case name of the request kind (used for the
+    /// gateway's per-request `service_time` histograms).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GatewayRequest::GetMachineStatus { .. } => "get_machine_status",
+            GatewayRequest::GetIcas => "get_icas",
+            GatewayRequest::GetPrognosticVector { .. } => "get_prognostic_vector",
+            GatewayRequest::GetSloVerdict => "get_slo_verdict",
+            GatewayRequest::GetCounters => "get_counters",
+            GatewayRequest::Subscribe { .. } => "subscribe",
+            GatewayRequest::GetMetrics => "get_metrics",
+            GatewayRequest::StreamJournal { .. } => "stream_journal",
+            GatewayRequest::ListIncidents => "list_incidents",
+            GatewayRequest::GetIncident { .. } => "get_incident",
+            GatewayRequest::GetTrace { .. } => "get_trace",
         }
     }
 }
@@ -155,6 +229,56 @@ pub enum GatewayResponse {
         /// What was missing.
         detail: String,
     },
+    /// Answer to [`GatewayRequest::GetMetrics`] (wire v5).
+    Metrics {
+        /// Serving snapshot version.
+        snapshot_version: u64,
+        /// Simulated seconds of the snapshot.
+        at_secs: f64,
+        /// Sim-domain counters, sorted by `(component, name)`.
+        counters: Vec<CounterSnapshot>,
+        /// Sim-domain gauges, sorted by `(component, name)`.
+        gauges: Vec<GaugeSnapshot>,
+        /// Sim-domain (simulated-time) histograms, sorted by
+        /// `(component, name)`.
+        histograms: Vec<HistogramSnapshot>,
+        /// Prometheus-style text exposition of the above.
+        exposition: String,
+    },
+    /// Answer to [`GatewayRequest::StreamJournal`] (wire v5).
+    Journal {
+        /// Serving snapshot version.
+        snapshot_version: u64,
+        /// Cursor for the next poll.
+        next_cursor: u64,
+        /// Events the cursor missed to oldest-drop eviction.
+        dropped: u64,
+        /// The served events, oldest first.
+        events: Vec<EventSnapshot>,
+    },
+    /// Answer to [`GatewayRequest::ListIncidents`] (wire v5).
+    Incidents {
+        /// Serving snapshot version.
+        snapshot_version: u64,
+        /// Retained sealed incidents, oldest first.
+        incidents: Vec<IncidentSummary>,
+    },
+    /// Answer to [`GatewayRequest::GetIncident`] (wire v5).
+    Incident {
+        /// Serving snapshot version.
+        snapshot_version: u64,
+        /// The sealed bundle.
+        incident: Incident,
+    },
+    /// Answer to [`GatewayRequest::GetTrace`] (wire v5).
+    Trace {
+        /// Serving snapshot version.
+        snapshot_version: u64,
+        /// Raw trace id echoed back.
+        trace: u64,
+        /// The trace's hops, canonically ordered.
+        hops: Vec<HopRecord>,
+    },
 }
 
 impl GatewayResponse {
@@ -168,6 +292,11 @@ impl GatewayResponse {
             GatewayResponse::Counters { .. } => 68,
             GatewayResponse::Deltas { .. } => 69,
             GatewayResponse::NotFound { .. } => 70,
+            GatewayResponse::Metrics { .. } => 71,
+            GatewayResponse::Journal { .. } => 72,
+            GatewayResponse::Incidents { .. } => 73,
+            GatewayResponse::Incident { .. } => 74,
+            GatewayResponse::Trace { .. } => 75,
         }
     }
 
@@ -193,6 +322,21 @@ impl GatewayResponse {
                 snapshot_version, ..
             }
             | GatewayResponse::NotFound {
+                snapshot_version, ..
+            }
+            | GatewayResponse::Metrics {
+                snapshot_version, ..
+            }
+            | GatewayResponse::Journal {
+                snapshot_version, ..
+            }
+            | GatewayResponse::Incidents {
+                snapshot_version, ..
+            }
+            | GatewayResponse::Incident {
+                snapshot_version, ..
+            }
+            | GatewayResponse::Trace {
                 snapshot_version, ..
             } => *snapshot_version,
         }
@@ -263,6 +407,14 @@ mod tests {
             GatewayRequest::GetSloVerdict,
             GatewayRequest::GetCounters,
             GatewayRequest::Subscribe { session: 99 },
+            GatewayRequest::GetMetrics,
+            GatewayRequest::StreamJournal {
+                cursor: 17,
+                max: 64,
+            },
+            GatewayRequest::ListIncidents,
+            GatewayRequest::GetIncident { id: 0xDEAD_BEEF },
+            GatewayRequest::GetTrace { trace: 42 },
         ];
         for req in reqs {
             let back = decode_request(encode_request(&req).unwrap()).unwrap();
@@ -299,6 +451,57 @@ mod tests {
             GatewayResponse::NotFound {
                 snapshot_version: 7,
                 detail: "machine 42".into(),
+            },
+            GatewayResponse::Metrics {
+                snapshot_version: 7,
+                at_secs: 180.0,
+                counters: vec![],
+                gauges: vec![GaugeSnapshot {
+                    component: "pdme".into(),
+                    name: "dc_staleness_max".into(),
+                    value: 1.5,
+                }],
+                histograms: vec![],
+                exposition: "# TYPE mpros_pdme_dc_staleness_max gauge\n\
+                             mpros_pdme_dc_staleness_max 1.5\n"
+                    .into(),
+            },
+            GatewayResponse::Journal {
+                snapshot_version: 7,
+                next_cursor: 12,
+                dropped: 3,
+                events: vec![EventSnapshot {
+                    seq: 11,
+                    at_secs: 170.0,
+                    component: "net".into(),
+                    kind: "partition".into(),
+                    detail: "Dc(2) unreachable".into(),
+                }],
+            },
+            GatewayResponse::Incidents {
+                snapshot_version: 7,
+                incidents: vec![IncidentSummary {
+                    id: 99,
+                    trigger: mpros_telemetry::IncidentTrigger::DcCrashed { dc: 2 },
+                    step: 40,
+                    at_secs: 120.0,
+                    records: 5,
+                }],
+            },
+            GatewayResponse::Trace {
+                snapshot_version: 7,
+                trace: 42,
+                hops: vec![HopRecord {
+                    trace: 42,
+                    span: 7,
+                    parent: None,
+                    kind: "dc_emit".into(),
+                    attempt: 0,
+                    track: "dc1".into(),
+                    sim_start: 3.0,
+                    sim_end: 3.0,
+                    detail: String::new(),
+                }],
             },
         ];
         for resp in resps {

@@ -20,7 +20,9 @@ use crate::proto::{GatewayRequest, GatewayResponse, StatusDelta};
 use crate::snapshot::ServingSnapshot;
 use bytes::Bytes;
 use mpros_core::Result;
-use mpros_telemetry::{Stage, Telemetry, WallTimer};
+use mpros_telemetry::{
+    Counter, FlightRecorder, Histogram, HopRecord, Stage, Telemetry, TraceId, WallTimer,
+};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
@@ -74,23 +76,52 @@ pub struct Gateway {
     /// publish-time delta fan-out walks sessions in a fixed order.
     sessions: Mutex<BTreeMap<u64, SessionState>>,
     telemetry: Telemetry,
+    /// Wall-clock service-time histograms, one per request kind
+    /// (indexed by `type_tag - 32`), pre-registered so the serve path
+    /// never touches the registry lock.
+    service_time: Vec<Arc<Histogram>>,
+    /// Exposition bytes shipped through `GetMetrics` responses.
+    exposition_bytes: Arc<Counter>,
+    /// The scenario's flight recorder, when one is attached; backs the
+    /// `StreamJournal` / `ListIncidents` / `GetIncident` requests.
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl Gateway {
     /// A gateway joined to `telemetry`, serving the empty version-0
     /// snapshot until the first [`Gateway::publish`].
     pub fn new(config: GatewayConfig, telemetry: &Telemetry) -> Self {
+        let service_time = GatewayRequest::KINDS
+            .iter()
+            .map(|kind| telemetry.histogram("gateway", &format!("service_time.{kind}.wall_s")))
+            .collect();
+        let exposition_bytes = telemetry.counter("gateway", "exposition_bytes");
         Gateway {
             config,
             current: RwLock::new(Arc::new(ServingSnapshot::empty())),
             sessions: Mutex::new(BTreeMap::new()),
             telemetry: telemetry.clone(),
+            service_time,
+            exposition_bytes,
+            recorder: None,
         }
     }
 
     /// The configuration the gateway was built with.
     pub fn config(&self) -> &GatewayConfig {
         &self.config
+    }
+
+    /// Attach the scenario's flight recorder. Called at wiring time,
+    /// before the gateway is shared; without one, the recorder-backed
+    /// requests answer `NotFound`.
+    pub fn set_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
     }
 
     /// The currently published snapshot (an `Arc` clone; never blocks
@@ -198,6 +229,71 @@ impl Gateway {
                     deltas,
                 }
             }
+            GatewayRequest::GetMetrics => {
+                self.exposition_bytes.add(snap.exposition.len() as u64);
+                GatewayResponse::Metrics {
+                    snapshot_version,
+                    at_secs: snap.at_secs,
+                    counters: snap.counters.clone(),
+                    gauges: snap.gauges.clone(),
+                    histograms: snap.sim_histograms.clone(),
+                    exposition: snap.exposition.clone(),
+                }
+            }
+            GatewayRequest::StreamJournal { cursor, max } => match &self.recorder {
+                Some(recorder) => {
+                    let batch = recorder.journal_tail(*cursor, *max as usize);
+                    GatewayResponse::Journal {
+                        snapshot_version,
+                        next_cursor: batch.next_cursor,
+                        dropped: batch.dropped,
+                        events: batch.events,
+                    }
+                }
+                None => self.no_recorder(snapshot_version),
+            },
+            GatewayRequest::ListIncidents => match &self.recorder {
+                Some(recorder) => GatewayResponse::Incidents {
+                    snapshot_version,
+                    incidents: recorder.incidents(),
+                },
+                None => self.no_recorder(snapshot_version),
+            },
+            GatewayRequest::GetIncident { id } => match &self.recorder {
+                Some(recorder) => match recorder.incident(*id) {
+                    Some(incident) => GatewayResponse::Incident {
+                        snapshot_version,
+                        incident,
+                    },
+                    None => GatewayResponse::NotFound {
+                        snapshot_version,
+                        detail: format!("incident {id:016x}"),
+                    },
+                },
+                None => self.no_recorder(snapshot_version),
+            },
+            GatewayRequest::GetTrace { trace } => {
+                let hops = self.telemetry.trace_log().trace(TraceId(*trace));
+                if hops.is_empty() {
+                    GatewayResponse::NotFound {
+                        snapshot_version,
+                        detail: format!("trace {trace:016x}"),
+                    }
+                } else {
+                    GatewayResponse::Trace {
+                        snapshot_version,
+                        trace: *trace,
+                        hops: hops.iter().map(HopRecord::from).collect(),
+                    }
+                }
+            }
+        }
+    }
+
+    fn no_recorder(&self, snapshot_version: u64) -> GatewayResponse {
+        GatewayResponse::NotFound {
+            snapshot_version,
+            detail: "no flight recorder attached".into(),
         }
     }
 
@@ -226,8 +322,10 @@ impl Gateway {
             .telemetry
             .sim_now()
             .since(mpros_core::SimTime::from_secs(snap.at_secs));
+        let wall = timer.elapsed();
+        self.service_time[(req.type_tag() - 32) as usize].record(wall.as_secs_f64());
         self.telemetry
-            .record_span(Stage::GatewayServe, timer.elapsed(), staleness);
+            .record_span(Stage::GatewayServe, wall, staleness);
         Ok(out)
     }
 }

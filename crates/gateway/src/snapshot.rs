@@ -12,7 +12,24 @@
 use crate::proto::{DeltaKind, StatusDelta};
 use mpros_core::{PrognosticVector, SimDuration, SimTime};
 use mpros_pdme::{export_snapshot, IcasSnapshot, PdmeExecutive};
-use mpros_telemetry::{CounterSnapshot, SloVerdict, Telemetry};
+use mpros_telemetry::{
+    exposition, CounterSnapshot, GaugeSnapshot, HistogramSnapshot, SloVerdict, Telemetry,
+};
+
+/// Whether a metric belongs to the served (sim-domain) state: the
+/// scheduling-only `exec` component and the serving-side `gateway`
+/// component are excluded, so responses stay byte-identical across
+/// execution modes and serving load.
+fn served_component(component: &str) -> bool {
+    component != "exec" && component != "gateway"
+}
+
+/// Whether a histogram records *simulated* time (deterministic) rather
+/// than host wall-clock. Same name filter the parallel-determinism
+/// suite fingerprints.
+fn sim_histogram(name: &str) -> bool {
+    name.ends_with("sim_s") || name.ends_with("latency_s") || name.ends_with("transit_s")
+}
 
 /// One fused prognostic curve, keyed for lookup.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,10 +63,19 @@ pub struct ServingSnapshot {
     /// the served state blind to scheduling (pool job counts exist only
     /// in parallel mode) and to the serving layer itself (request
     /// counts track host-side client timing); what remains is a
-    /// deterministic product of the seeded simulation. Gauges and
-    /// histograms (which mix in host wall-clock) deliberately stay out
-    /// of the serving surface entirely.
+    /// deterministic product of the seeded simulation.
     pub counters: Vec<CounterSnapshot>,
+    /// Sim-domain gauges, same component exclusions as `counters`.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// Simulated-time histograms (`*.sim_s`, `*.latency_s`,
+    /// `*.transit_s`) of the sim-domain components. Wall-clock
+    /// histograms stay out of the serving surface — they describe the
+    /// host, not the scenario, and would break cross-mode byte identity.
+    pub sim_histograms: Vec<HistogramSnapshot>,
+    /// Prometheus-style text exposition of `counters` + `gauges` +
+    /// `sim_histograms`, rendered once at build time so every
+    /// `GetMetrics` answer for one snapshot version is the same bytes.
+    pub exposition: String,
     /// Fused prognostic curves, sorted by `(machine_id, condition_id)`.
     pub prognostics: Vec<PrognosticEntry>,
 }
@@ -69,6 +95,9 @@ impl ServingSnapshot {
             },
             slo: None,
             counters: Vec::new(),
+            gauges: Vec::new(),
+            sim_histograms: Vec::new(),
+            exposition: exposition::render(&[], &[], &[]),
             prognostics: Vec::new(),
         }
     }
@@ -97,18 +126,32 @@ impl ServingSnapshot {
             })
             .collect();
         prognostics.sort_by_key(|e| (e.machine_id, e.condition_id));
-        let counters = telemetry
-            .snapshot()
+        let tel = telemetry.snapshot();
+        let counters: Vec<CounterSnapshot> = tel
             .counters
             .into_iter()
-            .filter(|c| c.component != "exec" && c.component != "gateway")
+            .filter(|c| served_component(&c.component))
             .collect();
+        let gauges: Vec<GaugeSnapshot> = tel
+            .gauges
+            .into_iter()
+            .filter(|g| served_component(&g.component))
+            .collect();
+        let sim_histograms: Vec<HistogramSnapshot> = tel
+            .histograms
+            .into_iter()
+            .filter(|h| served_component(&h.component) && sim_histogram(&h.name))
+            .collect();
+        let exposition = exposition::render(&counters, &gauges, &sim_histograms);
         ServingSnapshot {
             version,
             at_secs: now.as_secs(),
             icas,
             slo: slo.cloned(),
             counters,
+            gauges,
+            sim_histograms,
+            exposition,
             prognostics,
         }
     }

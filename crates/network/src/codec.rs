@@ -16,13 +16,16 @@ use mpros_telemetry::TraceContext;
 use serde::{Deserialize, Serialize};
 
 const MAGIC: [u8; 2] = *b"MP";
-/// Wire version. v4 opened the header to the gateway query protocol
-/// (`mpros-gateway` claims the type-tag ranges 32.. for requests and
-/// 64.. for responses and frames them through [`frame_payload`] /
-/// [`deframe`]); v3 added the per-report [`TraceContext`] on batch
-/// entries; v2 added the batch restart `epoch` and the `Ack` message.
-/// Older peers are rejected rather than mis-parsed.
-pub const WIRE_VERSION: u8 = 4;
+/// Wire version. v5 grew the gateway tag ranges with the observability
+/// plane (`GetMetrics`/`StreamJournal`/`ListIncidents`/`GetIncident`/
+/// `GetTrace` requests 38–42 and their responses 71–75); v4 opened the
+/// header to the gateway query protocol (`mpros-gateway` claims the
+/// type-tag ranges 32.. for requests and 64.. for responses and frames
+/// them through [`frame_payload`] / [`deframe`]); v3 added the
+/// per-report [`TraceContext`] on batch entries; v2 added the batch
+/// restart `epoch` and the `Ack` message. Older peers are rejected
+/// rather than mis-parsed.
+pub const WIRE_VERSION: u8 = 5;
 const VERSION: u8 = WIRE_VERSION;
 /// Frames larger than this are rejected (corrupted length field guard).
 const MAX_PAYLOAD: usize = 16 * 1024 * 1024;
@@ -405,6 +408,23 @@ mod tests {
         buf.put_slice(b"MP");
         buf.put_u8(3);
         buf.put_u8(4);
+        buf.put_u32_le(payload.len() as u32);
+        buf.put_slice(&payload);
+        let err = decode_message(buf.freeze()).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    /// v4 peers predate the observability tag ranges; the version byte
+    /// rejects them so a v4 gateway never half-speaks the v5 protocol
+    /// (a v4 `GetCounters` frame is shown here, but any v4 frame fails
+    /// the same check).
+    #[test]
+    fn v4_frames_are_rejected_by_version() {
+        let payload = br#""GetCounters""#.to_vec();
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"MP");
+        buf.put_u8(4);
+        buf.put_u8(36);
         buf.put_u32_le(payload.len() as u32);
         buf.put_slice(&payload);
         let err = decode_message(buf.freeze()).unwrap_err();

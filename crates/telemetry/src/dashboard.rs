@@ -116,6 +116,22 @@ pub fn render(snap: &TelemetrySnapshot) -> String {
         }
     }
 
+    // Trace-log health: how full the bounded hop log got, and whether
+    // it ever refused a hop (after which canonical exports are partial).
+    let watermark = snap
+        .gauge("trace", "hops_retained_watermark")
+        .unwrap_or(0.0);
+    let evicted = snap.counter("trace", "hops_evicted");
+    let _ = writeln!(
+        out,
+        "\ntraces: retained watermark {watermark:.0} hops, {evicted} evicted{}",
+        if evicted > 0 {
+            " (canonical exports partial)"
+        } else {
+            ""
+        }
+    );
+
     let shown = snap.events.len().min(8);
     let _ = writeln!(
         out,

@@ -27,16 +27,23 @@
 
 pub mod dashboard;
 pub mod export;
+pub mod exposition;
 pub mod journal;
 pub mod metrics;
+pub mod recorder;
 pub mod slo;
 pub mod snapshot;
 pub mod span;
 pub mod trace;
 pub mod worker;
 
+pub use exposition::ExpositionStats;
 pub use journal::{Event, Journal};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use recorder::{
+    incident_id, CounterDelta, FlightRecorder, GaugeSample, HopRecord, Incident, IncidentSummary,
+    IncidentTrigger, JournalBatch, RecorderConfig, StepRecord, INCIDENT_SCHEMA_VERSION,
+};
 pub use slo::{SloCheck, SloPolicy, SloRule, SloVerdict, SloWatchdog};
 pub use snapshot::{
     CounterSnapshot, EventSnapshot, GaugeSnapshot, HistogramSnapshot, TelemetrySnapshot,
@@ -84,6 +91,13 @@ struct Inner {
     span_sim: Vec<Arc<Histogram>>,
     /// Per-report causal hop log (see [`trace`]).
     trace: TraceLog,
+    /// Hops the trace log refused because it was at capacity;
+    /// pre-registered so the hot path never touches the registry lock.
+    hops_evicted: Arc<Counter>,
+    /// High-water mark of retained hops (watermark semantics via
+    /// [`Gauge::set_max`]) — with [`Inner::hops_evicted`] it tells an
+    /// operator how close a long run came to the trace cap.
+    trace_watermark: Arc<Gauge>,
 }
 
 /// The shared observability handle: cheap to clone, records from
@@ -117,6 +131,8 @@ impl Telemetry {
             .iter()
             .map(|s| registry.histogram("span", &format!("{s}.sim_s")))
             .collect();
+        let hops_evicted = registry.counter("trace", "hops_evicted");
+        let trace_watermark = registry.gauge("trace", "hops_retained_watermark");
         Telemetry {
             inner: Arc::new(Inner {
                 registry,
@@ -125,6 +141,8 @@ impl Telemetry {
                 span_wall,
                 span_sim,
                 trace: TraceLog::default(),
+                hops_evicted,
+                trace_watermark,
             }),
         }
     }
@@ -216,10 +234,19 @@ impl Telemetry {
         Arc::clone(&self.inner.span_sim[stage.index()])
     }
 
-    /// Record one causal hop into the trace log.
+    /// Record one causal hop into the trace log. A hop refused by the
+    /// full log is surfaced as the `trace.hops_evicted` counter; the
+    /// `trace.hops_retained_watermark` gauge tracks how full the log
+    /// has ever been.
     #[inline]
     pub fn record_hop(&self, hop: TraceHop) {
-        self.inner.trace.record(hop);
+        if self.inner.trace.record(hop) {
+            self.inner
+                .trace_watermark
+                .set_max(self.inner.trace.watermark() as f64);
+        } else {
+            self.inner.hops_evicted.inc();
+        }
     }
 
     /// The trace log (for canonical exports and per-trace queries).
@@ -364,6 +391,27 @@ mod tests {
         snap.schema_version = 99;
         let json = snap.to_json().unwrap();
         assert!(TelemetrySnapshot::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn hop_eviction_surfaces_as_counter_and_watermark() {
+        let t = Telemetry::new();
+        let trace = TraceId(1);
+        for attempt in 0..3 {
+            t.record_hop(TraceHop::new(
+                trace,
+                HopKind::Send,
+                attempt,
+                None,
+                "net",
+                0.0,
+                0.0,
+                "",
+            ));
+        }
+        assert_eq!(t.counter("trace", "hops_evicted").get(), 0);
+        assert_eq!(t.gauge("trace", "hops_retained_watermark").get(), 3.0);
+        assert_eq!(t.trace_log().watermark(), 3);
     }
 
     #[test]

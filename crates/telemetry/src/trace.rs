@@ -279,6 +279,7 @@ fn canonical_key(h: &TraceHop) -> (u64, u64, u64, u64, u32, String) {
 struct State {
     hops: Vec<TraceHop>,
     dropped: u64,
+    watermark: usize,
 }
 
 /// Bounded, thread-safe hop log.
@@ -315,19 +316,47 @@ impl TraceLog {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Record one hop.
-    pub fn record(&self, hop: TraceHop) {
+    /// Record one hop. Returns `true` if the hop was retained, `false`
+    /// if the log was full and the hop was counted as dropped — callers
+    /// (the [`crate::Telemetry`] handle) surface the drop as the
+    /// `trace.hops_evicted` counter instead of losing it silently.
+    pub fn record(&self, hop: TraceHop) -> bool {
         let mut s = self.lock();
         if s.hops.len() >= self.capacity {
             s.dropped += 1;
-            return;
+            return false;
         }
         s.hops.push(hop);
+        s.watermark = s.watermark.max(s.hops.len());
+        true
     }
 
     /// Number of retained hops.
     pub fn len(&self) -> usize {
         self.lock().hops.len()
+    }
+
+    /// The retention bound the log was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// High-water mark of retained hops over the log's lifetime.
+    /// Together with [`TraceLog::capacity`] this tells an operator how
+    /// close a long run came to the cap (and `dropped` says whether it
+    /// hit it).
+    pub fn watermark(&self) -> usize {
+        self.lock().watermark
+    }
+
+    /// The hops recorded at raw index `start` and beyond, in insertion
+    /// order, together with the new log length (the cursor for the next
+    /// call). Insertion order is scheduling-dependent — cursor readers
+    /// (the flight recorder) canonical-sort each delta themselves.
+    pub fn hops_from(&self, start: usize) -> (Vec<TraceHop>, usize) {
+        let s = self.lock();
+        let from = start.min(s.hops.len());
+        (s.hops[from..].to_vec(), s.hops.len())
     }
 
     /// Whether no hop has been recorded.
@@ -473,6 +502,28 @@ mod tests {
         assert_eq!(log.len(), 1);
         assert_eq!(log.dropped(), 1);
         assert_eq!(log.canonical_hops()[0].kind, HopKind::DcEmit);
+        assert_eq!(log.watermark(), 1);
+        assert_eq!(log.capacity(), 1);
+    }
+
+    #[test]
+    fn record_reports_retention_and_hops_from_pages_in_insertion_order() {
+        let log = TraceLog::new(2);
+        let t = TraceId(1);
+        let mk = |kind| TraceHop::new(t, kind, 0, None, "dc1", 0.0, 0.0, "");
+        assert!(log.record(mk(HopKind::DcEmit)));
+        let (delta, cursor) = log.hops_from(0);
+        assert_eq!(delta.len(), 1);
+        assert_eq!(cursor, 1);
+        assert!(log.record(mk(HopKind::Enqueue)));
+        assert!(!log.record(mk(HopKind::Send)));
+        let (delta, cursor) = log.hops_from(cursor);
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].kind, HopKind::Enqueue);
+        assert_eq!(cursor, 2);
+        // A stale past-the-end cursor is clamped, not a panic.
+        assert_eq!(log.hops_from(99).0.len(), 0);
+        assert_eq!(log.watermark(), 2);
     }
 
     #[test]

@@ -32,6 +32,13 @@ cargo test -q
 echo "==> determinism equivalence, release (sequential vs parallel)"
 cargo test --release -q --test parallel_determinism
 
+# The flight recorder's determinism contract, in release: a faulted run
+# seals incident bundles (and serves a Prometheus exposition) that are
+# byte-identical across exec modes and across a WAL crash-restore, all
+# fetched through the wire-v5 gateway protocol.
+echo "==> incident determinism, release"
+cargo test --release -q --test incident_replay
+
 # The survivability contract, in release: a seeded crash/partition/stall
 # campaign must degrade visibly, retry across the outages with zero
 # expired batches, and converge back to the no-fault baseline.
@@ -71,6 +78,12 @@ cargo run --release -p mpros-bench --bin exp_throughput -- --workers 4
 # BENCH_throughput.json so perf_gate below judges it too.
 echo "==> exp_serving"
 cargo run --release -p mpros-bench --bin exp_serving
+
+# Exposition-format lint: the Prometheus text the gateway serves must
+# obey its own grammar (headers, _total suffixes, sorted unique
+# series), and the validator must reject corrupted variants of it.
+echo "==> exposition_lint"
+cargo run --release -p mpros-bench --bin exposition_lint
 
 # Perf-regression gate: diff the fresh BENCH_throughput.json against
 # the committed BENCH_baseline.json. Wall-clock rates get a loose,

@@ -1,0 +1,177 @@
+//! `mpros-top` — a live console dashboard over the gateway wire.
+//!
+//! Runs a faulted shipboard scenario on its own thread and watches it
+//! the way a remote ICAS console would: every refresh issues
+//! `GetMetrics` for the sim-domain telemetry view (rendered with the
+//! same `dashboard` code the in-process monitoring example uses),
+//! `StreamJournal` to tail the event journal from a cursor, and
+//! `ListIncidents` for the flight recorder's sealed captures. Nothing
+//! here reads engine state directly — every byte crosses the framed
+//! wire-v5 protocol, so this binary doubles as an end-to-end smoke
+//! test of the observability plane.
+//!
+//! Usage:
+//!   mpros-top [--dcs N] [--minutes M] [--refresh-ms MS] [--frames N]
+//!
+//! `--frames N` exits after N renders (for CI / scripted runs); the
+//! default 0 keeps rendering until the scenario finishes.
+
+use mpros::chiller::fault::{FaultProfile, FaultSeed};
+use mpros::prelude::*;
+use mpros::telemetry::dashboard;
+use mpros::telemetry::{TelemetrySnapshot, TELEMETRY_SCHEMA_VERSION};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn arg_value<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<T>().ok())
+        .unwrap_or(default)
+}
+
+/// The faulted scenario under observation: a bearing defect progressing
+/// on two plants plus a mid-run DC crash window, so the journal churns,
+/// the SLO watchdog has something to judge, and the flight recorder
+/// seals at least one incident for the console to list.
+fn build_sim(dcs: usize, minutes: f64) -> ShipboardSim {
+    let crash_from = SimTime::from_secs(minutes * 60.0 * 0.3);
+    let crash_until = SimTime::from_secs(minutes * 60.0 * 0.5);
+    let mut sim = ShipboardSim::new(
+        ShipboardSimConfig::new()
+            .with_dc_count(dcs)
+            .with_seed(11)
+            .with_survey_period(SimDuration::from_secs(30.0))
+            .with_fault_plan(FaultPlan::none().with_dc_crash(
+                DcId::new(2),
+                crash_from,
+                crash_until,
+            )),
+    )
+    .expect("sim builds");
+    for idx in [0usize, dcs / 2] {
+        sim.seed_fault(
+            idx,
+            FaultSeed {
+                condition: MachineCondition::MotorBearingDefect,
+                onset: SimTime::ZERO,
+                time_to_failure: SimDuration::from_minutes(minutes * 0.8),
+                profile: FaultProfile::EarlyOnset,
+            },
+        );
+    }
+    sim
+}
+
+/// Rebuild a `TelemetrySnapshot` from the wire-served metrics and
+/// journal page so the remote view can reuse the in-process dashboard
+/// renderer verbatim.
+fn snapshot_from_wire(metrics: &MetricsReport, journal: &JournalPage) -> TelemetrySnapshot {
+    TelemetrySnapshot {
+        schema_version: TELEMETRY_SCHEMA_VERSION,
+        at_secs: metrics.at_secs,
+        counters: metrics.counters.clone(),
+        gauges: metrics.gauges.clone(),
+        histograms: metrics.histograms.clone(),
+        events: journal.events.clone(),
+        events_dropped: journal.dropped,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let dcs = arg_value(&args, "--dcs", 4usize).max(1);
+    let minutes = arg_value(&args, "--minutes", 10.0f64).max(1.0);
+    let refresh_ms = arg_value(&args, "--refresh-ms", 250u64).max(10);
+    let frames = arg_value(&args, "--frames", 0u64);
+
+    let mut sim = build_sim(dcs, minutes);
+    let gateway = sim.attach_gateway(GatewayConfig::new());
+    let done = Arc::new(AtomicBool::new(false));
+
+    let sim_done = done.clone();
+    let stepper = std::thread::spawn(move || {
+        let dt = SimDuration::from_secs(5.0);
+        let steps = (minutes * 60.0 / dt.as_secs()).ceil() as u64;
+        for _ in 0..steps {
+            sim.step(dt).expect("scenario step");
+            // Pace the scenario so a human watching the dashboard sees
+            // it evolve rather than finish in one refresh.
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        sim_done.store(true, Ordering::Relaxed);
+    });
+
+    let client = GatewayClient::connect(gateway, 1);
+    let mut cursor = 0u64;
+    let mut rendered = 0u64;
+    let interactive = frames == 0;
+
+    loop {
+        let metrics = match client.metrics() {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("mpros-top: GetMetrics failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let journal = match client.stream_journal(cursor, 64) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("mpros-top: StreamJournal failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        cursor = journal.next_cursor;
+        let incidents = client.incidents().unwrap_or_default();
+
+        let snap = snapshot_from_wire(&metrics, &journal);
+        let mut out = dashboard::render(&snap);
+        let _ = writeln!(
+            out,
+            "\nincidents ({} sealed, snapshot v{})",
+            incidents.len(),
+            metrics.snapshot_version
+        );
+        for inc in incidents.iter().rev().take(6).rev() {
+            let _ = writeln!(
+                out,
+                "  {:016x} step {:>5} t+{:.1}s {} ({} records)",
+                inc.id,
+                inc.step,
+                inc.at_secs,
+                inc.trigger.kind(),
+                inc.records
+            );
+        }
+        let _ = writeln!(
+            out,
+            "exposition: {} bytes served over wire v5",
+            metrics.exposition.len()
+        );
+
+        if interactive {
+            // Clear and home between frames for a stable live view.
+            print!("\x1b[2J\x1b[H{out}");
+        } else {
+            println!("--- frame {rendered} ---\n{out}");
+        }
+
+        rendered += 1;
+        if frames > 0 && rendered >= frames {
+            break;
+        }
+        if done.load(Ordering::Relaxed) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(refresh_ms));
+    }
+
+    // In frame-limited mode the scenario thread may still be stepping;
+    // let it finish so the process exits cleanly either way.
+    stepper.join().expect("scenario thread joins");
+    println!("mpros-top: {rendered} frames rendered, exiting");
+}

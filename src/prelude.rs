@@ -31,7 +31,7 @@ pub use mpros_network::{NetworkConfig, OutboxConfig};
 // and the client that speaks it.
 pub use mpros_gateway::{
     DeltaBatch, Gateway, GatewayClient, GatewayConfig, GatewayRequest, GatewayResponse,
-    ServingSnapshot, StatusDelta,
+    JournalPage, MetricsReport, ServingSnapshot, StatusDelta,
 };
 
 // ICAS interchange documents served by the gateway.
@@ -41,4 +41,10 @@ pub use mpros_pdme::IcasSnapshot;
 // types, and the SLO watchdog vocabulary.
 pub use mpros_telemetry::{
     CounterSnapshot, SloPolicy, SloRule, SloVerdict, Telemetry, TelemetrySnapshot,
+};
+
+// The flight recorder: bounded incident capture with deterministic
+// ids, sealed bundles retrievable over the gateway (wire v5).
+pub use mpros_telemetry::{
+    FlightRecorder, Incident, IncidentSummary, IncidentTrigger, RecorderConfig,
 };

@@ -74,7 +74,8 @@ use mpros_pdme::PdmeExecutive;
 use mpros_store::{RecoveryManager, StoreHandle};
 use mpros_telemetry::trace::dc_trace_seed;
 use mpros_telemetry::{
-    Instrumented, SloPolicy, SloVerdict, SloWatchdog, Stage, Telemetry, TraceHop, WallTimer,
+    FlightRecorder, IncidentTrigger, Instrumented, RecorderConfig, SloPolicy, SloVerdict,
+    SloWatchdog, Stage, Telemetry, TraceHop, WallTimer,
 };
 use parking_lot::{Mutex, MutexGuard};
 use std::sync::Arc;
@@ -127,6 +128,11 @@ pub struct ShipboardSimConfig {
     /// written). Between checkpoints the WAL carries every ingested
     /// frame, so crash recovery replays at most this many steps.
     pub snapshot_every: u64,
+    /// Flight-recorder tuning (step-record ring size, incident pre/post
+    /// context windows, retention bounds). The recorder is always on —
+    /// its per-step capture is a bounded read of state the control
+    /// thread already owns.
+    pub recorder: RecorderConfig,
 }
 
 impl Default for ShipboardSimConfig {
@@ -142,6 +148,7 @@ impl Default for ShipboardSimConfig {
             exec: ExecMode::Sequential,
             slo: SloPolicy::none(),
             snapshot_every: 50,
+            recorder: RecorderConfig::default(),
         }
     }
 }
@@ -213,6 +220,12 @@ impl ShipboardSimConfig {
         self.snapshot_every = snapshot_every;
         self
     }
+
+    /// Set the flight-recorder tuning.
+    pub fn with_recorder(mut self, recorder: RecorderConfig) -> Self {
+        self.recorder = recorder;
+        self
+    }
 }
 
 /// The running simulation.
@@ -251,6 +264,16 @@ pub struct ShipboardSim {
     /// query traffic reads immutable state and never touches the live
     /// engine.
     gateway: Option<Arc<Gateway>>,
+    /// The always-on flight recorder: one bounded step-record capture
+    /// per step, incident sealing on trigger edges. Shared with an
+    /// attached gateway, which serves it over the wire.
+    recorder: Arc<FlightRecorder>,
+    /// Incident triggers raised since the last step's capture (fault
+    /// transitions, crash-restores, explicit captures); drained into
+    /// the recorder at the end of every step.
+    pending_triggers: Vec<IncidentTrigger>,
+    /// The previous step's SLO pass/fail, for violation edge detection.
+    last_slo_pass: Option<bool>,
 }
 
 impl ShipboardSim {
@@ -334,6 +357,9 @@ impl ShipboardSim {
             snapshot_every: config.snapshot_every,
             steps: 0,
             gateway: None,
+            recorder: Arc::new(FlightRecorder::new(config.recorder, config.seed)),
+            pending_triggers: Vec::new(),
+            last_slo_pass: None,
         })
     }
 
@@ -345,7 +371,9 @@ impl ShipboardSim {
     /// immediately, so clients never observe the empty version 0 once
     /// this returns.
     pub fn attach_gateway(&mut self, config: GatewayConfig) -> Arc<Gateway> {
-        let gateway = Arc::new(Gateway::new(config, &self.telemetry));
+        let mut gateway = Gateway::new(config, &self.telemetry);
+        gateway.set_recorder(self.recorder.clone());
+        let gateway = Arc::new(gateway);
         self.gateway = Some(gateway.clone());
         self.publish_serving_snapshot();
         gateway
@@ -381,6 +409,43 @@ impl ShipboardSim {
         &self.store
     }
 
+    /// The scenario's flight recorder: per-step records, the journal
+    /// tail, and sealed incident bundles. An attached gateway serves
+    /// the same handle over the wire.
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Raise a manual incident trigger: the flight recorder opens a
+    /// capture at the end of the *next* step (the explicit-API-call
+    /// trigger edge), sealing once the post-context window fills.
+    pub fn capture_incident(&mut self, label: impl Into<String>) {
+        self.pending_triggers.push(IncidentTrigger::Manual {
+            label: label.into(),
+        });
+    }
+
+    /// End-of-step flight capture, on the control thread with the
+    /// engine quiet: detect the SLO violation edge, then feed the
+    /// step's record and any raised triggers to the recorder.
+    fn record_flight(&mut self) {
+        let verdict = self.watchdog.last_verdict().cloned();
+        if let Some(v) = &verdict {
+            if !v.pass && self.last_slo_pass.unwrap_or(true) {
+                self.pending_triggers.push(IncidentTrigger::SloViolation);
+            }
+            self.last_slo_pass = Some(v.pass);
+        }
+        let triggers = std::mem::take(&mut self.pending_triggers);
+        self.recorder.observe_step(
+            self.steps,
+            self.clock.now().as_secs(),
+            &self.telemetry,
+            verdict.as_ref(),
+            &triggers,
+        );
+    }
+
     /// Crash the PDME process and rebuild it from the durable store:
     /// decode the latest snapshot, replay the WAL tail, re-join the
     /// ship's telemetry domain (without double-counting replayed work)
@@ -403,6 +468,8 @@ impl ShipboardSim {
         fresh.rebind_telemetry(&self.telemetry);
         fresh.attach_store(self.store.clone());
         self.pdme = fresh;
+        self.pending_triggers
+            .push(IncidentTrigger::PdmeCrashRestore);
         self.telemetry.event_at(
             now,
             "sim",
@@ -551,6 +618,8 @@ impl ShipboardSim {
                     if !self.crashed[idx] {
                         self.crashed[idx] = true;
                         self.network.crash_dc(dc);
+                        self.pending_triggers
+                            .push(IncidentTrigger::DcCrashed { dc: dc.raw() });
                     }
                 }
                 FaultTransition::End(FaultKind::DcCrash { dc }) => {
@@ -750,6 +819,7 @@ impl ShipboardSim {
         // PDME leaves its inbox queueing.
         if self.stalled {
             self.watchdog.evaluate(&self.telemetry);
+            self.record_flight();
             self.publish_serving_snapshot();
             return Ok(0);
         }
@@ -782,9 +852,12 @@ impl ShipboardSim {
         if self.snapshot_every > 0 && self.steps.is_multiple_of(self.snapshot_every) {
             self.pdme.snapshot_to_store()?;
         }
-        // Serving snapshot last: clients see the state *after* this
-        // step's fusion, supervision and SLO verdict, stamped with the
-        // step ordinal as its version.
+        // Flight capture after everything the step did (fusion,
+        // supervision, SLO, checkpoint) so the step record holds the
+        // step's complete counter movement; serving snapshot last, so
+        // clients see the state *after* this step's fusion, supervision
+        // and SLO verdict, stamped with the step ordinal as its version.
+        self.record_flight();
         self.publish_serving_snapshot();
         Ok(summary.fused)
     }

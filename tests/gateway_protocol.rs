@@ -11,7 +11,11 @@ use mpros::gateway::{
 };
 use mpros::network::decode_message;
 use mpros::pdme::icas::{IcasCondition, IcasDc, IcasMachine, IcasSnapshot, ICAS_SCHEMA_VERSION};
-use mpros::telemetry::{CounterSnapshot, SloCheck, SloVerdict};
+use mpros::telemetry::{
+    CounterDelta, CounterSnapshot, EventSnapshot, GaugeSample, GaugeSnapshot, HistogramSnapshot,
+    HopRecord, Incident, IncidentTrigger, SloCheck, SloVerdict, StepRecord,
+    INCIDENT_SCHEMA_VERSION,
+};
 use proptest::prelude::*;
 
 fn arb_request() -> impl Strategy<Value = GatewayRequest> {
@@ -27,6 +31,12 @@ fn arb_request() -> impl Strategy<Value = GatewayRequest> {
         Just(GatewayRequest::GetSloVerdict),
         Just(GatewayRequest::GetCounters),
         (0u64..=u64::MAX).prop_map(|session| GatewayRequest::Subscribe { session }),
+        Just(GatewayRequest::GetMetrics),
+        (0u64..=u64::MAX, 0u32..10_000)
+            .prop_map(|(cursor, max)| GatewayRequest::StreamJournal { cursor, max }),
+        Just(GatewayRequest::ListIncidents),
+        (0u64..=u64::MAX).prop_map(|id| GatewayRequest::GetIncident { id }),
+        (0u64..=u64::MAX).prop_map(|trace| GatewayRequest::GetTrace { trace }),
     ]
 }
 
@@ -105,6 +115,156 @@ fn arb_delta() -> impl Strategy<Value = StatusDelta> {
                 at_secs,
                 machine_id,
                 kind,
+            },
+        )
+}
+
+fn arb_counter() -> impl Strategy<Value = CounterSnapshot> {
+    (".{0,10}", ".{0,10}", 0u64..=u64::MAX).prop_map(|(component, name, value)| CounterSnapshot {
+        component,
+        name,
+        value,
+    })
+}
+
+fn arb_gauge() -> impl Strategy<Value = GaugeSnapshot> {
+    (".{0,10}", ".{0,10}", -1e6..1e6f64).prop_map(|(component, name, value)| GaugeSnapshot {
+        component,
+        name,
+        value,
+    })
+}
+
+fn arb_histogram() -> impl Strategy<Value = HistogramSnapshot> {
+    (
+        ".{0,10}",
+        ".{0,10}",
+        0u64..100_000,
+        proptest::option::of(0.0..1e3f64),
+        proptest::option::of(0.0..1e3f64),
+        proptest::option::of(0.0..1e3f64),
+    )
+        .prop_map(
+            |(component, name, count, min, max, p50)| HistogramSnapshot {
+                component,
+                name,
+                count,
+                min,
+                max,
+                mean: p50,
+                p50,
+                p95: max,
+                p99: max,
+            },
+        )
+}
+
+fn arb_event() -> impl Strategy<Value = EventSnapshot> {
+    (0u64..100_000, 0.0..1e6f64, ".{0,10}", ".{0,10}", ".{0,30}").prop_map(
+        |(seq, at_secs, component, kind, detail)| EventSnapshot {
+            seq,
+            at_secs,
+            component,
+            kind,
+            detail,
+        },
+    )
+}
+
+fn arb_hop() -> impl Strategy<Value = HopRecord> {
+    (
+        1u64..=u64::MAX,
+        1u64..=u64::MAX,
+        proptest::option::of(1u64..=u64::MAX),
+        prop_oneof![Just("dc_emit"), Just("send"), Just("deliver")],
+        0u32..5,
+        prop_oneof![Just("dc1"), Just("net"), Just("pdme")],
+        (0.0..1e6f64, 0.0..100.0f64),
+        ".{0,20}",
+    )
+        .prop_map(
+            |(trace, span, parent, kind, attempt, track, (start, len), detail)| HopRecord {
+                trace,
+                span,
+                parent,
+                kind: kind.to_string(),
+                attempt,
+                track: track.to_string(),
+                sim_start: start,
+                sim_end: start + len,
+                detail,
+            },
+        )
+}
+
+fn arb_trigger() -> impl Strategy<Value = IncidentTrigger> {
+    prop_oneof![
+        Just(IncidentTrigger::SloViolation),
+        (1u64..100).prop_map(|dc| IncidentTrigger::DcCrashed { dc }),
+        Just(IncidentTrigger::PdmeCrashRestore),
+        ".{0,12}".prop_map(|label| IncidentTrigger::Manual { label }),
+    ]
+}
+
+fn arb_step_record() -> impl Strategy<Value = StepRecord> {
+    (
+        0u64..100_000,
+        0.0..1e6f64,
+        proptest::collection::vec(arb_event(), 0..3),
+        proptest::collection::vec(arb_hop(), 0..3),
+        proptest::collection::vec(
+            (".{0,10}", ".{0,10}", 0u64..1000, 0u64..100_000).prop_map(
+                |(component, name, delta, total)| CounterDelta {
+                    component,
+                    name,
+                    delta,
+                    total,
+                },
+            ),
+            0..3,
+        ),
+        proptest::collection::vec(
+            (".{0,10}", ".{0,10}", -1e3..1e3f64).prop_map(|(component, name, value)| GaugeSample {
+                component,
+                name,
+                value,
+            }),
+            0..3,
+        ),
+    )
+        .prop_map(
+            |(step, at_secs, events, hops, counter_deltas, gauges)| StepRecord {
+                step,
+                at_secs,
+                events,
+                hops,
+                counter_deltas,
+                gauges,
+                slo: None,
+            },
+        )
+}
+
+fn arb_incident() -> impl Strategy<Value = Incident> {
+    (
+        0u64..=u64::MAX,
+        arb_trigger(),
+        0u64..100_000,
+        0.0..1e6f64,
+        0usize..8,
+        0usize..4,
+        proptest::collection::vec(arb_step_record(), 0..4),
+    )
+        .prop_map(
+            |(id, trigger, step, at_secs, pre_steps, post_steps, records)| Incident {
+                schema_version: INCIDENT_SCHEMA_VERSION,
+                id,
+                trigger,
+                step,
+                at_secs,
+                pre_steps,
+                post_steps,
+                records,
             },
         )
 }
@@ -215,12 +375,75 @@ fn arb_response() -> impl Strategy<Value = GatewayResponse> {
                     deltas,
                 }
             }),
-        (version, ".{0,40}").prop_map(|(snapshot_version, detail)| {
+        (version.clone(), ".{0,40}").prop_map(|(snapshot_version, detail)| {
             GatewayResponse::NotFound {
                 snapshot_version,
                 detail,
             }
         }),
+        (
+            version.clone(),
+            0.0..1e6f64,
+            proptest::collection::vec(arb_counter(), 0..3),
+            proptest::collection::vec(arb_gauge(), 0..3),
+            proptest::collection::vec(arb_histogram(), 0..3),
+            ".{0,60}",
+        )
+            .prop_map(
+                |(snapshot_version, at_secs, counters, gauges, histograms, exposition)| {
+                    GatewayResponse::Metrics {
+                        snapshot_version,
+                        at_secs,
+                        counters,
+                        gauges,
+                        histograms,
+                        exposition,
+                    }
+                },
+            ),
+        (
+            version.clone(),
+            0u64..=u64::MAX,
+            0u64..1000,
+            proptest::collection::vec(arb_event(), 0..4),
+        )
+            .prop_map(|(snapshot_version, next_cursor, dropped, events)| {
+                GatewayResponse::Journal {
+                    snapshot_version,
+                    next_cursor,
+                    dropped,
+                    events,
+                }
+            }),
+        (
+            version.clone(),
+            proptest::collection::vec(
+                (arb_incident()).prop_map(|incident| incident.summary()),
+                0..4,
+            ),
+        )
+            .prop_map(|(snapshot_version, incidents)| {
+                GatewayResponse::Incidents {
+                    snapshot_version,
+                    incidents,
+                }
+            }),
+        (version.clone(), arb_incident()).prop_map(|(snapshot_version, incident)| {
+            GatewayResponse::Incident {
+                snapshot_version,
+                incident,
+            }
+        }),
+        (
+            version,
+            1u64..=u64::MAX,
+            proptest::collection::vec(arb_hop(), 0..4),
+        )
+            .prop_map(|(snapshot_version, trace, hops)| GatewayResponse::Trace {
+                snapshot_version,
+                trace,
+                hops,
+            }),
     ]
 }
 
@@ -269,6 +492,20 @@ proptest! {
         let mut bytes = frame.to_vec();
         bytes[byte] ^= flip;
         prop_assert!(decode_request(bytes::Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn wire_v4_frames_are_rejected_by_version_byte(req in arb_request(), resp in arb_response()) {
+        // The observability tags (GetMetrics and friends) only exist in
+        // wire v5; a peer still speaking v4 must be refused outright on
+        // the version byte (index 2, after the 2-byte magic), never
+        // best-effort parsed.
+        let mut bytes = encode_request(&req).unwrap().to_vec();
+        bytes[2] = 4;
+        prop_assert!(decode_request(bytes::Bytes::from(bytes)).is_err());
+        let mut bytes = encode_response(&resp).unwrap().to_vec();
+        bytes[2] = 4;
+        prop_assert!(decode_response(bytes::Bytes::from(bytes)).is_err());
     }
 
     #[test]

@@ -73,6 +73,26 @@ fn serve_fingerprint(exec: ExecMode) -> Vec<Vec<u8>> {
             condition_id: MachineCondition::MotorBearingDefect.index(),
         });
     }
+    // The wire-v5 observability legs. The incident and trace ids are
+    // read from the run, but both are deterministic derivations, so the
+    // script stays identical across modes.
+    let incident = sim
+        .flight_recorder()
+        .incidents()
+        .first()
+        .map(|s| s.id)
+        .expect("the crash window sealed an incident");
+    let trace = sim
+        .trace_hops()
+        .first()
+        .map(|h| h.trace.raw())
+        .expect("the run recorded traces");
+    script.push(GatewayRequest::GetMetrics);
+    script.push(GatewayRequest::StreamJournal { cursor: 0, max: 32 });
+    script.push(GatewayRequest::ListIncidents);
+    script.push(GatewayRequest::GetIncident { id: incident });
+    script.push(GatewayRequest::GetTrace { trace });
+    script.push(GatewayRequest::GetIncident { id: 0 }); // NotFound leg
     script
         .iter()
         .map(|req| {
@@ -107,6 +127,30 @@ fn gateway_responses_are_byte_identical_across_exec_modes() {
                 "the crash window produced no supervision edges"
             );
         }
+        other => panic!("wrong response {other:?}"),
+    }
+    // And the observability legs: real exposition text, a sealed
+    // incident, a non-empty hop chain.
+    match decode_response(bytes::Bytes::from(reference[13].clone())).unwrap() {
+        GatewayResponse::Metrics { exposition, .. } => {
+            assert!(exposition.contains("# TYPE"), "empty exposition");
+        }
+        other => panic!("wrong response {other:?}"),
+    }
+    match decode_response(bytes::Bytes::from(reference[15].clone())).unwrap() {
+        GatewayResponse::Incidents { incidents, .. } => {
+            assert!(!incidents.is_empty(), "no incidents listed");
+        }
+        other => panic!("wrong response {other:?}"),
+    }
+    match decode_response(bytes::Bytes::from(reference[17].clone())).unwrap() {
+        GatewayResponse::Trace { hops, .. } => {
+            assert!(!hops.is_empty(), "no hops served");
+        }
+        other => panic!("wrong response {other:?}"),
+    }
+    match decode_response(bytes::Bytes::from(reference[18].clone())).unwrap() {
+        GatewayResponse::NotFound { .. } => {}
         other => panic!("wrong response {other:?}"),
     }
     for workers in [2, 4, 8] {

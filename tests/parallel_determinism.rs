@@ -140,6 +140,13 @@ struct Fingerprint {
     journal_by_component: BTreeMap<String, Vec<(f64, String, String)>>,
     chrome_trace: String,
     trace_jsonl: String,
+    /// The Prometheus-style text exposition the gateway would serve —
+    /// rendered from the filtered sim-domain metrics, so it must be
+    /// byte-identical across modes like everything else it derives from.
+    exposition: String,
+    /// Every sealed flight-recorder incident as its exact JSON (scenario
+    /// 3's DC crash guarantees at least one seal).
+    incidents_json: String,
 }
 
 fn run(scenario: &Scenario, exec: ExecMode) -> Fingerprint {
@@ -204,6 +211,27 @@ fn run(scenario: &Scenario, exec: ExecMode) -> Fingerprint {
             .push((e.at.as_secs(), e.kind.clone(), e.detail.clone()));
     }
     let hops = sim.trace_hops();
+    let serving = mpros::gateway::ServingSnapshot::build(
+        sim.steps(),
+        sim.now(),
+        sim.pdme(),
+        SimDuration::from_secs(30.0),
+        sim.slo_verdict(),
+        sim.telemetry(),
+    );
+    let recorder = sim.flight_recorder();
+    let incidents_json = recorder
+        .incidents()
+        .iter()
+        .map(|summary| {
+            recorder
+                .incident(summary.id)
+                .expect("listed incident is retrievable")
+                .to_json()
+                .expect("incident serializes")
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
     Fingerprint {
         icas_json: icas.to_json().expect("ICAS serializes"),
         fused,
@@ -213,6 +241,8 @@ fn run(scenario: &Scenario, exec: ExecMode) -> Fingerprint {
         journal_by_component,
         chrome_trace: mpros::telemetry::export::chrome_trace(&hops),
         trace_jsonl: mpros::telemetry::export::jsonl(&hops),
+        exposition: serving.exposition,
+        incidents_json,
     }
 }
 
@@ -225,6 +255,15 @@ fn parallel_stepping_is_byte_identical_to_sequential() {
             "{}: scenario produced no traffic — vacuous comparison",
             scenario.name
         );
+        if scenario.name == "fault-plan-crash-partition" {
+            // The DC crash window must have sealed at least one flight
+            // recorder incident, or the incident comparison is vacuous.
+            assert!(
+                !reference.incidents_json.is_empty(),
+                "{}: faulted scenario sealed no incidents",
+                scenario.name
+            );
+        }
         for workers in [2, 4, 8] {
             let parallel = run(&scenario, ExecMode::Parallel { workers });
             assert_eq!(
@@ -260,6 +299,16 @@ fn parallel_stepping_is_byte_identical_to_sequential() {
             assert_eq!(
                 reference.trace_jsonl, parallel.trace_jsonl,
                 "{}: JSONL trace export diverged at {workers} workers",
+                scenario.name
+            );
+            assert_eq!(
+                reference.exposition, parallel.exposition,
+                "{}: metrics exposition diverged at {workers} workers",
+                scenario.name
+            );
+            assert_eq!(
+                reference.incidents_json, parallel.incidents_json,
+                "{}: sealed incidents diverged at {workers} workers",
                 scenario.name
             );
             assert_eq!(reference, parallel, "{}: full fingerprint", scenario.name);

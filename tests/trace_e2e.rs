@@ -214,6 +214,58 @@ fn slo_watchdog_passes_calm_sea_and_fails_a_forced_stall() {
 }
 
 #[test]
+fn completed_journey_is_retrievable_over_the_gateway_wire() {
+    use mpros::gateway::{GatewayClient, GatewayConfig};
+
+    let mut sim = run_sim(FaultPlan::none(), SloPolicy::none(), 3.0);
+    let hops = sim.trace_hops();
+    let done = hops
+        .iter()
+        .find(|h| h.kind == HopKind::OosmUpdate)
+        .expect("at least one report fused into the ship model");
+    let trace = done.trace;
+    let expected = hops_of(&hops, trace);
+
+    // A remote console asks for the same journey by trace id: the served
+    // hops must match the in-process chain field for field (minus the
+    // diagnostic wall-clock, which never crosses the wire).
+    let gateway = sim.attach_gateway(GatewayConfig::new());
+    let client = GatewayClient::connect(gateway, 7);
+    let served = client.trace(trace.raw()).expect("known trace serves");
+
+    assert_eq!(served.len(), expected.len(), "hop count over the wire");
+    let kinds: Vec<&str> = served.iter().map(|h| h.kind.as_str()).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            "dc_emit",
+            "enqueue",
+            "send",
+            "deliver",
+            "ingest",
+            "fuse",
+            "oosm_update",
+        ],
+        "served chain is the full causal journey"
+    );
+    for (wire, local) in served.iter().zip(expected.iter()) {
+        assert_eq!(wire.trace, local.trace.raw());
+        assert_eq!(wire.span, local.span.raw());
+        assert_eq!(wire.parent, local.parent.map(|p| p.raw()));
+        assert_eq!(wire.kind, local.kind.as_str());
+        assert_eq!(wire.attempt, local.attempt);
+        assert_eq!(wire.track, local.track);
+        assert_eq!(wire.sim_start.to_bits(), local.sim_start.to_bits());
+        assert_eq!(wire.sim_end.to_bits(), local.sim_end.to_bits());
+        assert_eq!(wire.detail, local.detail);
+    }
+
+    // An id the log never saw is a NotFound error, not an empty chain.
+    let miss = client.trace(0xdead_beef_dead_beef);
+    assert!(miss.is_err(), "unknown trace must not serve: {miss:?}");
+}
+
+#[test]
 fn chrome_trace_export_is_valid_json_with_expected_tracks() {
     let sim = run_sim(FaultPlan::none(), SloPolicy::none(), 2.0);
     let hops = sim.trace_hops();
