@@ -16,16 +16,20 @@
 //!     zero undecodable frames.
 //!
 //! Merges a `serving{}` block into `BENCH_throughput.json` (BenchDoc
-//! schema v8) for `perf_gate`; run `exp_throughput` first. A second
-//! phase measures the wire-v5 observability mix — `GetMetrics` (with
-//! its text exposition render), `StreamJournal` cursor polls and
+//! schema v9) for `perf_gate`; run `exp_throughput` first. A second
+//! phase measures the observability mix — `GetMetrics` (with its text
+//! exposition render), `StreamJournal` cursor polls and
 //! `ListIncidents` against a sealed flight-recorder capture — and
-//! merges it as the `obs{}` block.
+//! merges it as the `obs{}` block. A third phase stands up a sharded
+//! multi-ship `Fleet` and drives the wire-v6 fleet console mix —
+//! `ListShips`, `GetFleetRollup`, `GetShipIcas`, `ForShip` routing and
+//! fleet `Subscribe` polls — merging the `fleet{}` block.
 //!
 //! Usage: `exp_serving [--clients N] [--steps N]`.
 
 use crossbeam::thread;
 use mpros::chiller::fault::{FaultProfile, FaultSeed};
+use mpros::fleet::{Fleet, FleetClient, FleetConfig, FleetRequest};
 use mpros::gateway::{GatewayClient, GatewayConfig, GatewayRequest};
 use mpros::sim::{ShipboardSim, ShipboardSimConfig};
 use mpros_bench::{verdict, Table};
@@ -82,6 +86,39 @@ struct ObsBench {
     /// Sealed flight-recorder incidents at the end (the bench seals
     /// exactly one, via the manual capture API).
     incidents_sealed: u64,
+}
+
+/// The `fleet{}` block: the sharded multi-ship plane behind the
+/// routing `FleetGateway`, driven over wire v6. The client mix runs a
+/// fixed number of rounds against the settled fleet (serve-under-
+/// publish is the `serving{}` phase's claim; this one measures routing
+/// overhead and rollup cost), so every count below is a pure function
+/// of the seeded scenario and gates exactly.
+#[derive(Serialize)]
+struct FleetBench {
+    ships: usize,
+    rounds: usize,
+    fleet_clients: usize,
+    /// Fixed: `fleet_clients * rounds * 5` (five requests per round).
+    requests_total: u64,
+    /// Aggregate fleet-request rate across all clients (wall).
+    fleet_qps: f64,
+    /// Service time of a full `GetFleetRollup` round trip — the most
+    /// expensive fleet query: the whole rollup crosses the codec.
+    rollup_p50_s: f64,
+    rollup_p95_s: f64,
+    /// `ForShip` routings answered (fixed: one per round per client).
+    routed_ship_requests: u64,
+    /// Fleet snapshot publishes (steps + the construction-time one).
+    fleet_publishes: u64,
+    final_fleet_version: u64,
+    bad_frames: u64,
+    /// Shards serving at the end (no crash in this scenario: all).
+    ships_available: u64,
+    /// Machine classes in the worst-status-wins census.
+    rollup_machines: u64,
+    /// Fused prognostic curves in the rollup.
+    rollup_prognostics: u64,
 }
 
 fn build_sim() -> ShipboardSim {
@@ -295,6 +332,107 @@ fn main() {
         incidents_sealed: probe.incidents().expect("ListIncidents").len() as u64,
     };
 
+    // Fleet phase: a 3-ship sharded fleet stepped to a settled state,
+    // then the fleet console mix for a fixed number of rounds per
+    // client — totals, routings and rollup shape all deterministic.
+    const FLEET_SHIPS: usize = 3;
+    const FLEET_STEPS: usize = 20;
+    const FLEET_CLIENTS: usize = 2;
+    const FLEET_ROUNDS: usize = 150;
+    let mut fleet = Fleet::new(
+        FleetConfig::new()
+            .with_ship_count(FLEET_SHIPS)
+            .with_seed(5)
+            .with_ship(
+                ShipboardSimConfig::new()
+                    .with_dc_count(4)
+                    .with_survey_period(SimDuration::from_secs(30.0)),
+            ),
+    )
+    .expect("fleet builds");
+    // The same fault pressure as the single-ship phases, on every
+    // shard, so the rollup has degradation and curves to fuse.
+    for ship in 0..FLEET_SHIPS {
+        for idx in [0usize, 2] {
+            fleet.ship_mut(ship).seed_fault(
+                idx,
+                FaultSeed {
+                    condition: MachineCondition::MotorBearingDefect,
+                    onset: SimTime::ZERO,
+                    time_to_failure: SimDuration::from_minutes(8.0),
+                    profile: FaultProfile::EarlyOnset,
+                },
+            );
+        }
+    }
+    for _ in 0..FLEET_STEPS {
+        fleet.step(dt).expect("fleet step");
+    }
+    let fleet_gateway = fleet.gateway().clone();
+
+    let mut fleet_requests = 0u64;
+    let mut rollup_lat: Vec<f64> = Vec::new();
+    let mut fleet_window_s = 0.0f64;
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..FLEET_CLIENTS)
+            .map(|i| {
+                let gw = fleet_gateway.clone();
+                s.spawn(move |_| {
+                    let client = FleetClient::connect(gw, 200 + i as u64);
+                    let mut lat = Vec::new();
+                    let mut calls = 0u64;
+                    let start = Instant::now();
+                    for round in 0..FLEET_ROUNDS {
+                        let ship = (round % FLEET_SHIPS) as u64;
+                        client.ships().expect("ListShips serves");
+                        let t0 = Instant::now();
+                        client.rollup().expect("GetFleetRollup serves");
+                        lat.push(t0.elapsed().as_secs_f64());
+                        client.ship_icas(ship).expect("GetShipIcas serves");
+                        client
+                            .for_ship(ship, GatewayRequest::GetIcas)
+                            .expect("ForShip routes");
+                        client
+                            .call(&FleetRequest::Subscribe {
+                                session: 200 + i as u64,
+                            })
+                            .expect("fleet Subscribe serves");
+                        calls += 5;
+                    }
+                    (calls, lat, start.elapsed().as_secs_f64())
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (calls, lat, window) = handle.join().expect("fleet client joins");
+            fleet_requests += calls;
+            rollup_lat.extend(lat);
+            fleet_window_s = fleet_window_s.max(window);
+        }
+    })
+    .expect("fleet scope joins");
+    rollup_lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    let fleet_probe = FleetClient::connect(fleet_gateway.clone(), 299);
+    let final_rollup = fleet_probe.rollup().expect("final GetFleetRollup");
+    let fleet_snap = fleet.telemetry().snapshot();
+    let fleet_bench = FleetBench {
+        ships: FLEET_SHIPS,
+        rounds: FLEET_ROUNDS,
+        fleet_clients: FLEET_CLIENTS,
+        requests_total: fleet_requests,
+        fleet_qps: fleet_requests as f64 / fleet_window_s,
+        rollup_p50_s: percentile(&rollup_lat, 0.50),
+        rollup_p95_s: percentile(&rollup_lat, 0.95),
+        routed_ship_requests: fleet_snap.counter("fleet", "routed_ship_requests"),
+        fleet_publishes: fleet_snap.counter("fleet", "publishes"),
+        final_fleet_version: fleet_gateway.version(),
+        bad_frames: fleet_snap.counter("fleet", "bad_frames"),
+        ships_available: (FLEET_SHIPS - final_rollup.rollup.unavailable_ships.len()) as u64,
+        rollup_machines: final_rollup.rollup.machines.len() as u64,
+        rollup_prognostics: final_rollup.rollup.prognostics.len() as u64,
+    };
+
     let mut t = Table::new(&["metric", "value"]);
     t.row(&["clients".into(), serving.clients.to_string()]);
     t.row(&["requests served".into(), serving.requests_total.to_string()]);
@@ -334,6 +472,30 @@ fn main() {
         "obs: exposition bytes / incidents".into(),
         format!("{} / {}", obs.exposition_len_final, obs.incidents_sealed),
     ]);
+    t.row(&[
+        "fleet: requests / qps".into(),
+        format!(
+            "{} / {:.0}",
+            fleet_bench.requests_total, fleet_bench.fleet_qps
+        ),
+    ]);
+    t.row(&[
+        "fleet: rollup p50 / p95".into(),
+        format!(
+            "{:.1} µs / {:.1} µs",
+            fleet_bench.rollup_p50_s * 1e6,
+            fleet_bench.rollup_p95_s * 1e6
+        ),
+    ]);
+    t.row(&[
+        "fleet: census / curves / routed".into(),
+        format!(
+            "{} / {} / {}",
+            fleet_bench.rollup_machines,
+            fleet_bench.rollup_prognostics,
+            fleet_bench.routed_ship_requests
+        ),
+    ]);
     print!("{}", t.render());
 
     // Merge the block into the throughput document (schema v7).
@@ -358,12 +520,16 @@ fn main() {
         "obs".to_string(),
         serde_json::to_value(&obs).expect("serializable"),
     );
+    map.insert(
+        "fleet".to_string(),
+        serde_json::to_value(&fleet_bench).expect("serializable"),
+    );
     std::fs::write(
         path,
         serde_json::to_string_pretty(&doc).expect("serializable"),
     )
     .expect("writable working directory");
-    println!("\nmerged serving{{}} and obs{{}} into {path}");
+    println!("\nmerged serving{{}}, obs{{}} and fleet{{}} into {path}");
 
     println!();
     let min_calls = per_client_calls.iter().copied().min().unwrap_or(0);
@@ -398,6 +564,26 @@ fn main() {
         &format!(
             "{} GetMetrics calls, {}-byte exposition, {} sealed incident(s)",
             obs.metrics_calls, obs.exposition_len_final, obs.incidents_sealed
+        ),
+    );
+    verdict(
+        "E11.5 the fleet plane routes and rolls up deterministically",
+        fleet_bench.requests_total == (FLEET_CLIENTS * FLEET_ROUNDS * 5) as u64
+            && fleet_bench.routed_ship_requests == (FLEET_CLIENTS * FLEET_ROUNDS) as u64
+            && fleet_bench.final_fleet_version == FLEET_STEPS as u64 + 1
+            && fleet_bench.fleet_publishes == FLEET_STEPS as u64 + 1
+            && fleet_bench.bad_frames == 0
+            && fleet_bench.ships_available == FLEET_SHIPS as u64
+            && fleet_bench.rollup_machines > 0
+            && fleet_bench.rollup_prognostics > 0,
+        &format!(
+            "{} fleet requests ({} routed), fleet v{}, census {} / {} curves, {} ships up",
+            fleet_bench.requests_total,
+            fleet_bench.routed_ship_requests,
+            fleet_bench.final_fleet_version,
+            fleet_bench.rollup_machines,
+            fleet_bench.rollup_prognostics,
+            fleet_bench.ships_available
         ),
     );
 }

@@ -114,7 +114,7 @@ struct DspBench {
 }
 
 #[derive(Serialize)]
-struct FleetBench {
+struct ScalingBench {
     dc_count: usize,
     workers: usize,
     host_cores: usize,
@@ -167,7 +167,7 @@ struct BenchDoc {
     single_core_samples_per_s: f64,
     aggregate_samples_per_s_8_workers: f64,
     pdme_reports_per_s_100_dcs: f64,
-    fleet: FleetBench,
+    scaling: ScalingBench,
     dsp: DspBench,
     store: StoreBench,
     wall_stages: Vec<StageQuantiles>,
@@ -718,7 +718,10 @@ fn main() {
         // v8: `exp_serving` additionally merges the `obs{}` block — the
         // wire-v5 observability mix (GetMetrics / StreamJournal /
         // ListIncidents) against the same gateway.
-        schema_version: 8,
+        // v9: the worker-scaling block (formerly `fleet{}`) is renamed
+        // `scaling{}`; `exp_serving` now merges a real `fleet{}` block —
+        // the sharded multi-ship plane served over wire v6.
+        schema_version: 9,
         git_revision: git_revision(),
         git_dirty: git_dirty(),
         host: HostInfo {
@@ -729,7 +732,7 @@ fn main() {
         single_core_samples_per_s: single,
         aggregate_samples_per_s_8_workers: parallel_rate,
         pdme_reports_per_s_100_dcs: rate_100,
-        fleet: FleetBench {
+        scaling: ScalingBench {
             dc_count: 8,
             workers,
             host_cores,

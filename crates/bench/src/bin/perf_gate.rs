@@ -151,9 +151,9 @@ fn main() {
         );
         std::process::exit(1);
     }
-    // The fleet comparison is only apples-to-apples under one profile.
+    // The scaling comparison is only apples-to-apples under one profile.
     let profile_of = |doc: &Value| -> Option<String> {
-        doc.get("fleet")?
+        doc.get("scaling")?
             .get("fault_profile")?
             .as_str()
             .map(str::to_owned)
@@ -174,8 +174,8 @@ fn main() {
         ["single_core_samples_per_s"].as_slice(),
         &["aggregate_samples_per_s_8_workers"],
         &["pdme_reports_per_s_100_dcs"],
-        &["fleet", "sequential_steps_per_s"],
-        &["fleet", "parallel_steps_per_s"],
+        &["scaling", "sequential_steps_per_s"],
+        &["scaling", "parallel_steps_per_s"],
         &["store", "appends_per_s"],
         &["dsp", "windows_per_s"],
         &["dsp", "spectra_per_s"],
@@ -288,6 +288,57 @@ fn main() {
         }
     }
 
+    // Fleet plane (the `fleet{}` block `exp_serving` merges in): the
+    // routed-query rate is a wall rate and the rollup service-time
+    // quantiles are lower-is-better wall times; everything else — the
+    // request/publish/census accounting of the fixed, seeded scenario —
+    // must reproduce exactly.
+    match (
+        f64_at(&base, &["fleet", "fleet_qps"]),
+        f64_at(&cur, &["fleet", "fleet_qps"]),
+    ) {
+        (Some(b), Some(c)) => gate.wall_rate("fleet.fleet_qps", b, c, wall_tol),
+        _ => gate
+            .violations
+            .push("fleet.fleet_qps: missing from document".to_string()),
+    }
+    for field in ["rollup_p50_s", "rollup_p95_s"] {
+        let name = format!("fleet.{field}");
+        match (
+            f64_at(&base, &["fleet", field]),
+            f64_at(&cur, &["fleet", field]),
+        ) {
+            (Some(b), Some(c)) => gate.wall_time(&name, b, c, wall_tol),
+            _ => gate
+                .violations
+                .push(format!("{name}: missing from document")),
+        }
+    }
+    for field in [
+        "ships",
+        "rounds",
+        "fleet_clients",
+        "requests_total",
+        "routed_ship_requests",
+        "fleet_publishes",
+        "final_fleet_version",
+        "bad_frames",
+        "ships_available",
+        "rollup_machines",
+        "rollup_prognostics",
+    ] {
+        let name = format!("fleet.{field}");
+        match (
+            u64_at(&base, &["fleet", field]),
+            u64_at(&cur, &["fleet", field]),
+        ) {
+            (Some(b), Some(c)) => gate.exact_u64(&name, b, c),
+            _ => gate
+                .violations
+                .push(format!("{name}: missing from document")),
+        }
+    }
+
     // Per-survey DSP extraction latency: lower-is-better wall time,
     // same loose host tolerance as the rates.
     for field in ["survey_extract_p50_s", "survey_extract_p95_s"] {
@@ -310,9 +361,9 @@ fn main() {
         ("dsp", "plans_cached"),
         ("dsp", "scratch_reuses"),
         ("dsp", "bytes_avoided"),
-        ("fleet", "dsp_plans_cached"),
-        ("fleet", "dsp_scratch_reuses"),
-        ("fleet", "dsp_bytes_avoided"),
+        ("scaling", "dsp_plans_cached"),
+        ("scaling", "dsp_scratch_reuses"),
+        ("scaling", "dsp_bytes_avoided"),
     ] {
         let name = format!("{section}.{field}");
         match (
@@ -334,10 +385,10 @@ fn main() {
         "net_retries",
         "net_expired",
     ] {
-        let name = format!("fleet.{field}");
+        let name = format!("scaling.{field}");
         match (
-            u64_at(&base, &["fleet", field]),
-            u64_at(&cur, &["fleet", field]),
+            u64_at(&base, &["scaling", field]),
+            u64_at(&cur, &["scaling", field]),
         ) {
             (Some(b), Some(c)) => gate.exact_u64(&name, b, c),
             _ => gate

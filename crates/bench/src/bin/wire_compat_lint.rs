@@ -1,0 +1,435 @@
+//! Wire-compatibility lint: the one frame header (wire v6) carries five
+//! tag families — ship network messages, gateway requests/responses and
+//! fleet requests/responses — and nothing stops a new variant from
+//! landing on a colliding tag except this gate. It instantiates **every
+//! variant of every family**, encodes it, and asserts:
+//!
+//!  1. each observed tag sits inside its family's declared range
+//!     (ship `1..32`, gateway req `32..64`, gateway resp `64..96`,
+//!     fleet req `96..112`, fleet resp `112..128`);
+//!  2. the declared ranges are pairwise disjoint and every observed tag
+//!     is globally unique;
+//!  3. every family's decoder rejects every other family's frames —
+//!     a misrouted frame fails loudly, never half-parses.
+//!
+//! Exits non-zero on any violation; wired into `scripts/ci.sh`.
+
+use mpros::core::{
+    Belief, ConditionReport, DcId, KnowledgeSourceId, MachineCondition, MachineId,
+    PrognosticVector, ReportId, SimTime,
+};
+use mpros::fleet::{
+    decode_fleet_request, decode_fleet_response, encode_fleet_request, encode_fleet_response,
+    FleetRequest, FleetResponse, FleetRollup, FleetSloVerdict, ShipDelta, ShipInfo,
+};
+use mpros::gateway::{
+    decode_request, decode_response, encode_request, encode_response, DeltaKind, GatewayRequest,
+    GatewayResponse, StatusDelta,
+};
+use mpros::network::{decode_message, encode_message, NetMessage};
+use mpros::pdme::icas::{IcasSnapshot, ICAS_SCHEMA_VERSION};
+use mpros::telemetry::{Incident, IncidentTrigger, INCIDENT_SCHEMA_VERSION};
+use mpros_bench::{verdict, Table};
+
+/// The declared tag ranges, by family, half-open.
+const FAMILIES: [(&str, u8, u8); 5] = [
+    ("ship", 1, 32),
+    ("gateway-req", 32, 64),
+    ("gateway-resp", 64, 96),
+    ("fleet-req", 96, 112),
+    ("fleet-resp", 112, 128),
+];
+
+fn sample_report() -> ConditionReport {
+    ConditionReport::builder(
+        MachineId::new(1),
+        MachineCondition::MotorBearingDefect,
+        Belief::new(0.7),
+    )
+    .id(ReportId::new(1))
+    .dc(DcId::new(1))
+    .knowledge_source(KnowledgeSourceId::new(11))
+    .severity(0.5)
+    .timestamp(SimTime::from_secs(1.0))
+    .prognostic(PrognosticVector::from_months(&[(6.0, 0.8)]).expect("valid curve"))
+    .build()
+}
+
+fn sample_incident() -> Incident {
+    Incident {
+        schema_version: INCIDENT_SCHEMA_VERSION,
+        id: 7,
+        trigger: IncidentTrigger::PdmeCrashRestore,
+        step: 3,
+        at_secs: 1.5,
+        pre_steps: 2,
+        post_steps: 1,
+        records: Vec::new(),
+    }
+}
+
+fn empty_icas() -> IcasSnapshot {
+    IcasSnapshot {
+        schema_version: ICAS_SCHEMA_VERSION,
+        at_secs: 0.0,
+        machines: Vec::new(),
+        data_concentrators: Vec::new(),
+    }
+}
+
+fn empty_rollup() -> FleetRollup {
+    FleetRollup {
+        ship_count: 1,
+        available_ships: vec![0],
+        unavailable_ships: Vec::new(),
+        machines: Vec::new(),
+        prognostics: Vec::new(),
+        slo: FleetSloVerdict {
+            pass: true,
+            failing_ships: Vec::new(),
+            unavailable_ships: Vec::new(),
+        },
+        counters: Vec::new(),
+    }
+}
+
+/// One encoded instance of **every** variant of every family. Adding an
+/// enum variant without extending this list fails the exhaustiveness
+/// verdict below (counts are pinned), so new tags cannot dodge the lint.
+fn all_frames() -> Vec<(&'static str, String, bytes::Bytes)> {
+    let delta = StatusDelta {
+        snapshot_version: 1,
+        at_secs: 0.5,
+        machine_id: 1,
+        kind: DeltaKind::Degraded,
+    };
+    let ship_msgs = vec![
+        NetMessage::Report(sample_report()),
+        NetMessage::RunTest {
+            dc: DcId::new(1),
+            machine: MachineId::new(1),
+        },
+        NetMessage::DownloadSbfr {
+            dc: DcId::new(1),
+            slot: 0,
+            image: vec![1, 2, 3],
+        },
+        NetMessage::Heartbeat {
+            dc: DcId::new(1),
+            at_secs: 1.0,
+        },
+        NetMessage::ReportBatch {
+            dc: DcId::new(1),
+            epoch: 0,
+            entries: Vec::new(),
+        },
+        NetMessage::Ack {
+            dc: DcId::new(1),
+            epoch: 0,
+            last_seq: 9,
+        },
+    ];
+    let gateway_reqs = vec![
+        GatewayRequest::GetMachineStatus { machine: 1 },
+        GatewayRequest::GetIcas,
+        GatewayRequest::GetPrognosticVector {
+            machine: 1,
+            condition_id: 0,
+        },
+        GatewayRequest::GetSloVerdict,
+        GatewayRequest::GetCounters,
+        GatewayRequest::Subscribe { session: 1 },
+        GatewayRequest::GetMetrics,
+        GatewayRequest::StreamJournal { cursor: 0, max: 8 },
+        GatewayRequest::ListIncidents,
+        GatewayRequest::GetIncident { id: 1 },
+        GatewayRequest::GetTrace { trace: 1 },
+    ];
+    let gateway_resps = vec![
+        GatewayResponse::MachineStatus {
+            snapshot_version: 1,
+            machine: empty_icas().machines.first().cloned().unwrap_or_else(|| {
+                mpros::pdme::icas::IcasMachine {
+                    machine_id: 1,
+                    name: "m".into(),
+                    health: 1.0,
+                    status: "ok".into(),
+                    report_count: 0,
+                    conditions: Vec::new(),
+                }
+            }),
+        },
+        GatewayResponse::Icas {
+            snapshot_version: 1,
+            icas: empty_icas(),
+        },
+        GatewayResponse::PrognosticVector {
+            snapshot_version: 1,
+            machine: 1,
+            condition_id: 0,
+            vector: PrognosticVector::from_months(&[(6.0, 0.8)]).expect("valid curve"),
+        },
+        GatewayResponse::SloVerdict {
+            snapshot_version: 1,
+            verdict: None,
+        },
+        GatewayResponse::Counters {
+            snapshot_version: 1,
+            counters: Vec::new(),
+        },
+        GatewayResponse::Deltas {
+            snapshot_version: 1,
+            session: 1,
+            dropped: 0,
+            deltas: vec![delta.clone()],
+        },
+        GatewayResponse::NotFound {
+            snapshot_version: 1,
+            detail: "x".into(),
+        },
+        GatewayResponse::Metrics {
+            snapshot_version: 1,
+            at_secs: 0.0,
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+            exposition: String::new(),
+        },
+        GatewayResponse::Journal {
+            snapshot_version: 1,
+            next_cursor: 0,
+            dropped: 0,
+            events: Vec::new(),
+        },
+        GatewayResponse::Incidents {
+            snapshot_version: 1,
+            incidents: vec![sample_incident().summary()],
+        },
+        GatewayResponse::Incident {
+            snapshot_version: 1,
+            incident: sample_incident(),
+        },
+        GatewayResponse::Trace {
+            snapshot_version: 1,
+            trace: 1,
+            hops: Vec::new(),
+        },
+    ];
+    let fleet_reqs = vec![
+        FleetRequest::ListShips,
+        FleetRequest::GetFleetRollup,
+        FleetRequest::GetShipIcas { ship: 0 },
+        FleetRequest::Subscribe { session: 1 },
+        FleetRequest::ForShip {
+            ship: 0,
+            request: GatewayRequest::GetIcas,
+        },
+    ];
+    let fleet_resps = vec![
+        FleetResponse::Ships {
+            fleet_version: 1,
+            ships: vec![ShipInfo {
+                ship_id: 0,
+                available: true,
+                snapshot_version: 1,
+                at_secs: 0.0,
+                machines: 0,
+                slo_pass: None,
+            }],
+        },
+        FleetResponse::FleetRollup {
+            fleet_version: 1,
+            at_secs: 0.0,
+            rollup: empty_rollup(),
+        },
+        FleetResponse::ShipIcas {
+            fleet_version: 1,
+            ship: 0,
+            snapshot_version: 1,
+            icas: empty_icas(),
+        },
+        FleetResponse::FleetDeltas {
+            fleet_version: 1,
+            session: 1,
+            dropped: 0,
+            deltas: vec![ShipDelta {
+                ship_id: 0,
+                fleet_version: 1,
+                delta,
+            }],
+        },
+        FleetResponse::ShipUnavailable {
+            fleet_version: 1,
+            ship: 0,
+            detail: "shard_unavailable".into(),
+        },
+        FleetResponse::ShipReply {
+            fleet_version: 1,
+            ship: 0,
+            response: GatewayResponse::SloVerdict {
+                snapshot_version: 1,
+                verdict: None,
+            },
+        },
+    ];
+
+    let mut frames = Vec::new();
+    for m in ship_msgs {
+        frames.push((
+            "ship",
+            format!("{m:?}")
+                .split(['(', ' ', '{'])
+                .next()
+                .unwrap()
+                .to_string(),
+            encode_message(&m).expect("ship message encodes"),
+        ));
+    }
+    for r in gateway_reqs {
+        frames.push((
+            "gateway-req",
+            format!("{r:?}")
+                .split(['(', ' ', '{'])
+                .next()
+                .unwrap()
+                .to_string(),
+            encode_request(&r).expect("gateway request encodes"),
+        ));
+    }
+    for r in gateway_resps {
+        frames.push((
+            "gateway-resp",
+            format!("{r:?}")
+                .split(['(', ' ', '{'])
+                .next()
+                .unwrap()
+                .to_string(),
+            encode_response(&r).expect("gateway response encodes"),
+        ));
+    }
+    for r in fleet_reqs {
+        frames.push((
+            "fleet-req",
+            format!("{r:?}")
+                .split(['(', ' ', '{'])
+                .next()
+                .unwrap()
+                .to_string(),
+            encode_fleet_request(&r).expect("fleet request encodes"),
+        ));
+    }
+    for r in fleet_resps {
+        frames.push((
+            "fleet-resp",
+            format!("{r:?}")
+                .split(['(', ' ', '{'])
+                .next()
+                .unwrap()
+                .to_string(),
+            encode_fleet_response(&r).expect("fleet response encodes"),
+        ));
+    }
+    frames
+}
+
+/// Variant counts per family, pinned: adding an enum variant without
+/// teaching this lint about it trips the exhaustiveness verdict.
+const EXPECTED_COUNTS: [(&str, usize); 5] = [
+    ("ship", 6),
+    ("gateway-req", 11),
+    ("gateway-resp", 12),
+    ("fleet-req", 5),
+    ("fleet-resp", 6),
+];
+
+fn main() {
+    println!("wire compatibility lint (wire v6)\n");
+    let frames = all_frames();
+    let mut violations: Vec<String> = Vec::new();
+
+    // 1. Declared ranges pairwise disjoint.
+    for (i, &(fa, a0, a1)) in FAMILIES.iter().enumerate() {
+        for &(fb, b0, b1) in &FAMILIES[i + 1..] {
+            if a0 < b1 && b0 < a1 {
+                violations.push(format!(
+                    "ranges overlap: {fa} [{a0},{a1}) vs {fb} [{b0},{b1})"
+                ));
+            }
+        }
+    }
+
+    // 2. Every observed tag inside its family's range, all tags unique.
+    let mut seen: Vec<(u8, &str, String)> = Vec::new();
+    let mut table = Table::new(&["family", "variant", "tag"]);
+    for (family, variant, frame) in &frames {
+        // The type tag sits at frame offset 3 (magic u16, version u8,
+        // then the tag) — the same peek the fleet router uses.
+        let tag = frame[3];
+        table.row(&[family.to_string(), variant.clone(), tag.to_string()]);
+        let (_, lo, hi) = FAMILIES
+            .iter()
+            .find(|(name, _, _)| name == family)
+            .expect("family declared");
+        if !(tag >= *lo && tag < *hi) {
+            violations.push(format!("{family}::{variant} tag {tag} outside [{lo},{hi})"));
+        }
+        if let Some((_, other_family, other_variant)) = seen.iter().find(|(t, _, _)| *t == tag) {
+            violations.push(format!(
+                "tag {tag} collides: {family}::{variant} vs {other_family}::{other_variant}"
+            ));
+        }
+        seen.push((tag, family, variant.clone()));
+    }
+    print!("{}", table.render());
+
+    // 3. Exhaustiveness: the lint must cover every variant.
+    for (family, expected) in EXPECTED_COUNTS {
+        let got = frames.iter().filter(|(f, _, _)| *f == family).count();
+        if got != expected {
+            violations.push(format!(
+                "{family}: lint covers {got} variants, expected {expected} — \
+                 update wire_compat_lint alongside the enum"
+            ));
+        }
+    }
+
+    // 4. Cross-family rejection: each decoder refuses foreign frames.
+    for (family, variant, frame) in &frames {
+        let rejections: [(&str, bool); 5] = [
+            ("ship", decode_message(frame.clone()).is_err()),
+            ("gateway-req", decode_request(frame.clone()).is_err()),
+            ("gateway-resp", decode_response(frame.clone()).is_err()),
+            ("fleet-req", decode_fleet_request(frame.clone()).is_err()),
+            ("fleet-resp", decode_fleet_response(frame.clone()).is_err()),
+        ];
+        for (decoder, rejected) in rejections {
+            if decoder == *family {
+                if rejected {
+                    violations.push(format!("{family}::{variant} rejected by its own decoder"));
+                }
+            } else if !rejected {
+                violations.push(format!(
+                    "{family}::{variant} accepted by the {decoder} decoder"
+                ));
+            }
+        }
+    }
+
+    println!();
+    verdict(
+        "W1 tag ranges are collision-free",
+        violations.is_empty(),
+        &format!(
+            "{} variants across {} families, {} violation(s)",
+            frames.len(),
+            FAMILIES.len(),
+            violations.len()
+        ),
+    );
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -33,6 +33,6 @@ pub use fault::{FaultKind, FaultPlan, FaultPlanConfig, FaultTarget, FaultTransit
 pub use id::{DcId, IdAllocator, KnowledgeSourceId, MachineId, ObjectId, ReportId, SensorId};
 pub use prognostic::{PrognosticPoint, PrognosticVector};
 pub use report::{ConditionReport, ReportBuilder};
-pub use seed::derive_stream_seed;
+pub use seed::{derive_salted_seed, derive_stream_seed};
 pub use severity::{Severity, SeverityGrade, TimeToFailure};
 pub use time::{SimClock, SimDuration, SimTime};

@@ -9,10 +9,14 @@
 //! still land in statistically unrelated states, unlike the additive
 //! `seed + k·id` derivations it replaces.
 
+/// Salt separating trace-seed streams from every other consumer of the
+/// scenario master seed (plant noise, network jitter, outbox backoff).
+pub const TRACE_STREAM_SALT: u64 = 0x7AC3_5EED_CA15_A17E;
+
 /// Mix a 64-bit value to a statistically unrelated one (splitmix64
 /// finalizer, Steele et al., "Fast Splittable Pseudorandom Number
 /// Generators").
-fn splitmix64(mut z: u64) -> u64 {
+pub fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -29,6 +33,40 @@ pub fn derive_stream_seed(master: u64, stream: u64) -> u64 {
     // Two rounds with the stream folded in between so (a, b) and (b, a)
     // diverge even when master == stream.
     splitmix64(splitmix64(master) ^ splitmix64(stream ^ 0xA5A5_A5A5_5A5A_5A5A))
+}
+
+/// Derive a stream seed inside a *salted namespace*: the salt keeps one
+/// subsystem's streams (outbox backoff, ship shards, ...) disjoint from
+/// every other consumer of the same master seed even when the raw
+/// stream ids collide.
+pub fn derive_salted_seed(master: u64, stream: u64, salt: u64) -> u64 {
+    derive_stream_seed(master, stream ^ salt)
+}
+
+/// Derive a DC's trace seed from the scenario master seed, the DC's raw
+/// id and its crash epoch. Epoch is folded in because a rebuilt DC
+/// restarts its report-id allocator at the same base.
+pub fn dc_trace_seed(master: u64, dc_raw: u64, epoch: u64) -> u64 {
+    derive_stream_seed(derive_salted_seed(master, dc_raw, TRACE_STREAM_SALT), epoch)
+}
+
+/// FNV-1a over a string — the stable 64-bit digest used to fold
+/// free-form labels (incident triggers, ...) into seed derivations.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Deterministic incident id: `master seed ⊕ trigger code ⊕ step` (two
+/// [`derive_stream_seed`] rounds). The trigger code is itself a
+/// `derive_stream_seed` product so close trigger discriminants don't
+/// land in related id streams.
+pub fn incident_id(master_seed: u64, trigger_code: u64, step: u64) -> u64 {
+    derive_stream_seed(master_seed ^ trigger_code, step)
 }
 
 #[cfg(test)]
@@ -57,6 +95,42 @@ mod tests {
     fn argument_order_matters() {
         assert_ne!(derive_stream_seed(3, 9), derive_stream_seed(9, 3));
         assert_ne!(derive_stream_seed(5, 5), derive_stream_seed(5, 6));
+    }
+
+    #[test]
+    fn salted_derivation_matches_manual_xor_form() {
+        // `derive_salted_seed` is exactly the historical
+        // `derive_stream_seed(master, stream ^ salt)` pattern — blessed
+        // artifacts (WAL snapshots, bench baselines) depend on it.
+        assert_eq!(
+            derive_salted_seed(11, 3, 0x0B0C_5EED_D15C_0DE5),
+            derive_stream_seed(11, 3 ^ 0x0B0C_5EED_D15C_0DE5)
+        );
+    }
+
+    #[test]
+    fn trace_seed_distinguishes_epochs_and_dcs() {
+        let mut seen = std::collections::HashSet::new();
+        for dc in 1..=8u64 {
+            for epoch in 0..4u64 {
+                assert!(seen.insert(dc_trace_seed(5, dc, epoch)));
+            }
+        }
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Offset basis for the empty string; classic FNV-1a vector for
+        // "a". Manual-trigger incident ids depend on these exact values.
+        assert_eq!(fnv1a(""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a("a"), 0xAF63_DC4C_8601_EC8C);
+    }
+
+    #[test]
+    fn incident_id_folds_master_trigger_and_step() {
+        assert_eq!(incident_id(7, 2, 80), derive_stream_seed(7 ^ 2, 80));
+        assert_ne!(incident_id(7, 2, 80), incident_id(7, 2, 81));
+        assert_ne!(incident_id(7, 2, 80), incident_id(7, 3, 80));
     }
 
     #[test]

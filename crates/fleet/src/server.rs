@@ -1,0 +1,403 @@
+//! The fleet router: one gateway in front of N ship shards.
+//!
+//! Concurrency model mirrors the single-ship gateway: the fleet's
+//! control thread is the only writer — [`FleetGateway::publish`] swaps
+//! an `Arc<FleetSnapshot>` under a write lock held only for the pointer
+//! exchange; any number of client threads call
+//! [`FleetGateway::handle_frame`] concurrently and serve from the
+//! immutable snapshot.
+//!
+//! Routing rules (wire v6):
+//!
+//! * tags `32..64` (single-ship gateway requests) route to **shard 0**
+//!   for compatibility — a v5-era client pointed at the fleet router
+//!   keeps working against the first ship, byte-for-byte;
+//! * tags `96..112` are fleet requests, answered from the published
+//!   [`FleetSnapshot`]; [`FleetRequest::ForShip`] re-dispatches its
+//!   inner request against the addressed ship's *pinned* snapshot;
+//! * anything else is a bad frame.
+//!
+//! A crashed/crash-restoring shard answers `shard_unavailable` (and is
+//! flagged in the rollup) while every other shard keeps serving.
+
+use crate::proto::{self, FleetRequest, FleetResponse, ShipDelta, ShipInfo};
+use crate::snapshot::FleetSnapshot;
+use bytes::Bytes;
+use mpros_core::Result;
+use mpros_gateway::Gateway;
+use mpros_telemetry::{Histogram, Telemetry, WallTimer};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// Fleet router tuning knobs.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct FleetGatewayConfig {
+    /// Queued per-ship deltas a fleet session may hold before
+    /// oldest-drop eviction.
+    pub session_queue_capacity: usize,
+}
+
+impl Default for FleetGatewayConfig {
+    fn default() -> Self {
+        FleetGatewayConfig {
+            session_queue_capacity: 256,
+        }
+    }
+}
+
+impl FleetGatewayConfig {
+    /// The default configuration (256 queued deltas per session —
+    /// larger than a single ship's queue because one fleet session
+    /// watches every shard).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the per-session delta queue capacity (clamped to at least 1).
+    pub fn with_session_queue_capacity(mut self, capacity: usize) -> Self {
+        self.session_queue_capacity = capacity.max(1);
+        self
+    }
+}
+
+/// One fleet-scoped subscriber's server-side state.
+#[derive(Debug, Default)]
+struct SessionState {
+    queue: VecDeque<ShipDelta>,
+    dropped_since_poll: u64,
+}
+
+/// One shard as the router sees it: the ship's own gateway handle.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardHandle {
+    pub(crate) ship_id: u64,
+    pub(crate) gateway: Arc<Gateway>,
+}
+
+/// The fleet query router. Shared as `Arc<FleetGateway>`.
+#[derive(Debug)]
+pub struct FleetGateway {
+    config: FleetGatewayConfig,
+    /// The published fleet snapshot. Writers swap the `Arc`; readers
+    /// clone it.
+    current: RwLock<Arc<FleetSnapshot>>,
+    /// Per-shard ship-gateway handles, ascending ship id. Tag-32..64
+    /// compatibility traffic goes straight to shard 0's gateway;
+    /// `ForShip` requests serve against pinned snapshots through the
+    /// addressed shard's gateway.
+    shards: Vec<ShardHandle>,
+    /// Fleet-scoped subscriber sessions.
+    sessions: Mutex<BTreeMap<u64, SessionState>>,
+    /// The fleet's own telemetry domain (`fleet.*` counters) — distinct
+    /// from every ship's domain, so router load never perturbs a ship's
+    /// deterministic serving surface.
+    telemetry: Telemetry,
+    /// Wall-clock service-time histograms, one per fleet request kind
+    /// (indexed by `type_tag - 96`).
+    service_time: Vec<Arc<Histogram>>,
+}
+
+impl FleetGateway {
+    pub(crate) fn new(
+        config: FleetGatewayConfig,
+        telemetry: &Telemetry,
+        shards: Vec<ShardHandle>,
+    ) -> Self {
+        let service_time = FleetRequest::KINDS
+            .iter()
+            .map(|kind| telemetry.histogram("fleet", &format!("service_time.{kind}.wall_s")))
+            .collect();
+        FleetGateway {
+            config,
+            current: RwLock::new(Arc::new(FleetSnapshot::empty())),
+            shards,
+            sessions: Mutex::new(BTreeMap::new()),
+            telemetry: telemetry.clone(),
+            service_time,
+        }
+    }
+
+    /// The configuration the router was built with.
+    pub fn config(&self) -> &FleetGatewayConfig {
+        &self.config
+    }
+
+    /// The currently published fleet snapshot (an `Arc` clone).
+    pub fn snapshot(&self) -> Arc<FleetSnapshot> {
+        self.current.read().clone()
+    }
+
+    /// The published fleet snapshot's version (0 until the first
+    /// publish).
+    pub fn version(&self) -> u64 {
+        self.current.read().version
+    }
+
+    /// Registered fleet-scoped subscriber sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// Publish a freshly built fleet snapshot: diff every ship's pinned
+    /// snapshot against the previous fleet snapshot's (ascending ship
+    /// order), fan the per-ship status deltas out to every fleet
+    /// session (bounded queues, oldest-drop), then swap the snapshot in.
+    pub fn publish(&self, snapshot: FleetSnapshot) {
+        let prev = self.snapshot();
+        let mut deltas: Vec<ShipDelta> = Vec::new();
+        for ship in &snapshot.ships {
+            if !ship.available {
+                continue;
+            }
+            let Some(prev_ship) = prev.ship(ship.ship_id) else {
+                continue;
+            };
+            for delta in ship.snapshot.deltas_since(&prev_ship.snapshot) {
+                deltas.push(ShipDelta {
+                    ship_id: ship.ship_id,
+                    fleet_version: snapshot.version,
+                    delta,
+                });
+            }
+        }
+        if !deltas.is_empty() {
+            let mut sessions = self.sessions.lock();
+            let drops = self.telemetry.counter("fleet", "drops");
+            let queued = self.telemetry.counter("fleet", "deltas_queued");
+            for state in sessions.values_mut() {
+                for delta in &deltas {
+                    while state.queue.len() >= self.config.session_queue_capacity {
+                        state.queue.pop_front();
+                        state.dropped_since_poll += 1;
+                        drops.inc();
+                    }
+                    state.queue.push_back(delta.clone());
+                    queued.inc();
+                }
+            }
+        }
+        *self.current.write() = Arc::new(snapshot);
+        self.telemetry.counter("fleet", "publishes").inc();
+    }
+
+    /// Serve one fleet request against the current snapshot. Pure with
+    /// respect to the snapshot (modulo `Subscribe`'s session drain).
+    pub fn serve(&self, req: &FleetRequest) -> FleetResponse {
+        let snap = self.snapshot();
+        self.serve_on(&snap, req)
+    }
+
+    fn serve_on(&self, snap: &FleetSnapshot, req: &FleetRequest) -> FleetResponse {
+        let fleet_version = snap.version;
+        match req {
+            FleetRequest::ListShips => FleetResponse::Ships {
+                fleet_version,
+                ships: snap
+                    .ships
+                    .iter()
+                    .map(|s| ShipInfo {
+                        ship_id: s.ship_id,
+                        available: s.available,
+                        snapshot_version: s.snapshot.version,
+                        at_secs: s.snapshot.at_secs,
+                        machines: s.snapshot.icas.machines.len(),
+                        slo_pass: s.snapshot.slo.as_ref().map(|v| v.pass),
+                    })
+                    .collect(),
+            },
+            FleetRequest::GetFleetRollup => FleetResponse::FleetRollup {
+                fleet_version,
+                at_secs: snap.at_secs,
+                rollup: snap.rollup.clone(),
+            },
+            FleetRequest::GetShipIcas { ship } => match self.pinned(snap, *ship, fleet_version) {
+                Ok(entry) => FleetResponse::ShipIcas {
+                    fleet_version,
+                    ship: *ship,
+                    snapshot_version: entry.snapshot.version,
+                    icas: entry.snapshot.icas.clone(),
+                },
+                Err(unavailable) => *unavailable,
+            },
+            FleetRequest::Subscribe { session } => {
+                let mut sessions = self.sessions.lock();
+                let state = sessions.entry(*session).or_default();
+                let dropped = std::mem::take(&mut state.dropped_since_poll);
+                let deltas: Vec<ShipDelta> = state.queue.drain(..).collect();
+                FleetResponse::FleetDeltas {
+                    fleet_version,
+                    session: *session,
+                    dropped,
+                    deltas,
+                }
+            }
+            FleetRequest::ForShip { ship, request } => {
+                self.telemetry
+                    .counter("fleet", "routed_ship_requests")
+                    .inc();
+                match self.pinned(snap, *ship, fleet_version) {
+                    Ok(entry) => {
+                        let shard = self
+                            .shards
+                            .iter()
+                            .find(|s| s.ship_id == *ship)
+                            .expect("pinned() vetted the ship id");
+                        FleetResponse::ShipReply {
+                            fleet_version,
+                            ship: *ship,
+                            response: shard.gateway.serve_on(&entry.snapshot, request),
+                        }
+                    }
+                    Err(unavailable) => *unavailable,
+                }
+            }
+        }
+    }
+
+    /// The pinned entry for `ship`, or the `ShipUnavailable` response
+    /// that should be served instead (boxed: the error path is the
+    /// exceptional one, the happy path stays a thin reference).
+    fn pinned<'a>(
+        &self,
+        snap: &'a FleetSnapshot,
+        ship: u64,
+        fleet_version: u64,
+    ) -> std::result::Result<&'a crate::snapshot::ShipEntry, Box<FleetResponse>> {
+        match snap.ship(ship) {
+            Some(entry) if entry.available => Ok(entry),
+            Some(_) => {
+                self.telemetry.counter("fleet", "unavailable_hits").inc();
+                Err(Box::new(FleetResponse::ShipUnavailable {
+                    fleet_version,
+                    ship,
+                    detail: "shard_unavailable".into(),
+                }))
+            }
+            None => Err(Box::new(FleetResponse::ShipUnavailable {
+                fleet_version,
+                ship,
+                detail: "unknown_ship".into(),
+            })),
+        }
+    }
+
+    /// Serve one framed request: decode, route, answer, encode.
+    /// Thread-safe; the entry point client transports call
+    /// concurrently.
+    ///
+    /// Single-ship request frames (tags `32..64`) are forwarded to
+    /// shard 0's gateway **unchanged** and its response frame returned
+    /// as-is — the full v5 compatibility path. Fleet frames (tags
+    /// `96..112`) are served here. Everything else counts as
+    /// `fleet.bad_frames`.
+    pub fn handle_frame(&self, frame: Bytes) -> Result<Bytes> {
+        let timer = WallTimer::start();
+        // The type tag sits at a fixed header offset; peeking it routes
+        // the frame without deserializing the payload twice. Malformed
+        // frames fall through to the decoders, which reject them.
+        let tag = frame.get(3).copied().unwrap_or(0);
+        if (32..64).contains(&tag) {
+            self.telemetry
+                .counter("fleet", "routed_ship_requests")
+                .inc();
+            let shard0_available = self
+                .snapshot()
+                .ship(0)
+                .map(|s| s.available)
+                .unwrap_or(false);
+            if !shard0_available {
+                self.telemetry.counter("fleet", "unavailable_hits").inc();
+                let resp = FleetResponse::ShipUnavailable {
+                    fleet_version: self.version(),
+                    ship: 0,
+                    detail: "shard_unavailable".into(),
+                };
+                self.telemetry.counter("fleet", "requests").inc();
+                return proto::encode_fleet_response(&resp);
+            }
+            let out = self.shards[0].gateway.handle_frame(frame);
+            if out.is_ok() {
+                self.telemetry.counter("fleet", "requests").inc();
+            } else {
+                self.telemetry.counter("fleet", "bad_frames").inc();
+            }
+            return out;
+        }
+        let req = match proto::decode_fleet_request(frame) {
+            Ok(req) => req,
+            Err(e) => {
+                self.telemetry.counter("fleet", "bad_frames").inc();
+                return Err(e);
+            }
+        };
+        let snap = self.snapshot();
+        let resp = self.serve_on(&snap, &req);
+        let out = proto::encode_fleet_response(&resp)?;
+        self.telemetry.counter("fleet", "requests").inc();
+        self.service_time[(req.type_tag() - 96) as usize].record(timer.elapsed().as_secs_f64());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::ShipEntry;
+    use mpros_gateway::{GatewayConfig, ServingSnapshot};
+
+    fn router_with_one_empty_shard() -> FleetGateway {
+        let ship_tel = Telemetry::new();
+        let gateway = Arc::new(Gateway::new(GatewayConfig::new(), &ship_tel));
+        let fleet_tel = Telemetry::new();
+        let router = FleetGateway::new(
+            FleetGatewayConfig::new(),
+            &fleet_tel,
+            vec![ShardHandle {
+                ship_id: 0,
+                gateway,
+            }],
+        );
+        router.publish(
+            FleetSnapshot::build(
+                1,
+                vec![ShipEntry {
+                    ship_id: 0,
+                    available: true,
+                    snapshot: Arc::new(ServingSnapshot::empty()),
+                }],
+            )
+            .unwrap(),
+        );
+        router
+    }
+
+    #[test]
+    fn unknown_ship_is_distinguished_from_crashed_ship() {
+        let router = router_with_one_empty_shard();
+        match router.serve(&FleetRequest::GetShipIcas { ship: 9 }) {
+            FleetResponse::ShipUnavailable { detail, .. } => assert_eq!(detail, "unknown_ship"),
+            other => panic!("wrong response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ship_range_frames_route_to_shard_zero() {
+        let router = router_with_one_empty_shard();
+        let frame = mpros_gateway::encode_request(&mpros_gateway::GatewayRequest::GetIcas).unwrap();
+        let back = router.handle_frame(frame).unwrap();
+        // The reply is a plain single-ship response frame, decodable by
+        // a v5-era gateway client.
+        let resp = mpros_gateway::decode_response(back).unwrap();
+        assert!(matches!(resp, mpros_gateway::GatewayResponse::Icas { .. }));
+    }
+
+    #[test]
+    fn garbage_frames_count_as_bad() {
+        let router = router_with_one_empty_shard();
+        assert!(router
+            .handle_frame(Bytes::copy_from_slice(b"nonsense"))
+            .is_err());
+    }
+}

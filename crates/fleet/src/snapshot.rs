@@ -1,0 +1,332 @@
+//! The versioned, immutable fleet snapshot and its knowledge rollup.
+//!
+//! Built on the fleet's control thread after every shard has stepped,
+//! in ascending ship-id order (the deterministic shard merge), then
+//! published to the [`crate::FleetGateway`] by pointer swap. Each ship
+//! contributes its already-deterministic [`ServingSnapshot`] — pinned
+//! as an `Arc`, never rebuilt — so the fleet snapshot inherits the
+//! per-ship byte-identity guarantees wholesale and adds only the
+//! rollup, itself a pure fold over the pinned ship states.
+
+use mpros_core::{PrognosticVector, Result};
+use mpros_fusion::fuse_prognostics;
+use mpros_gateway::ServingSnapshot;
+use mpros_telemetry::CounterSnapshot;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One shard's contribution to a [`FleetSnapshot`].
+#[derive(Debug, Clone)]
+pub struct ShipEntry {
+    /// The shard's ship id (its index at fleet construction).
+    pub ship_id: u64,
+    /// False while the shard is crashed/crash-restoring; an
+    /// unavailable ship keeps its last pinned snapshot but is excluded
+    /// from the rollup's fusion and listed as `shard_unavailable`.
+    pub available: bool,
+    /// The ship's serving snapshot, pinned at fleet-publish time.
+    pub snapshot: Arc<ServingSnapshot>,
+}
+
+/// One machine class in the fleet census: the same machine id across
+/// every available ship, rolled up worst-status-wins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetMachine {
+    /// Raw machine id (the same id names the same machine class on
+    /// every ship of the fleet).
+    pub machine_id: u64,
+    /// Ship-model name (identical across ships by construction).
+    pub name: String,
+    /// Ships whose ICAS reports this machine, ascending.
+    pub ships: Vec<u64>,
+    /// Worst status across ships: `degraded` if *any* ship's instance
+    /// is degraded, else `ok`.
+    pub status: String,
+    /// Minimum (worst) rolled-up health across ships.
+    pub health: f64,
+    /// Ships whose instance is currently degraded, ascending.
+    pub degraded_ships: Vec<u64>,
+}
+
+/// One fleet-fused prognostic curve: the §5.4 conservative envelope
+/// taken across every available ship's fused curve for the same
+/// `(machine class, condition)` pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetPrognostic {
+    /// Raw machine id (machine class).
+    pub machine_id: u64,
+    /// Condition catalog index.
+    pub condition_id: usize,
+    /// Ships contributing a curve, ascending.
+    pub ships: Vec<u64>,
+    /// The across-ships conservative-envelope curve.
+    pub vector: PrognosticVector,
+}
+
+/// The fleet's SLO verdict: pass iff every *available* ship's own
+/// watchdog passes. Unavailable ships cannot vouch for their
+/// objectives and are listed separately rather than silently assumed
+/// healthy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSloVerdict {
+    /// Whether every available ship with a verdict passes.
+    pub pass: bool,
+    /// Available ships whose last verdict failed, ascending.
+    pub failing_ships: Vec<u64>,
+    /// Ships excluded from the verdict as `shard_unavailable`.
+    pub unavailable_ships: Vec<u64>,
+}
+
+/// The fleet-wide knowledge rollup: a pure fold over the available
+/// ships' pinned serving snapshots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetRollup {
+    /// Total shards in the fleet.
+    pub ship_count: usize,
+    /// Ships contributing to this rollup, ascending.
+    pub available_ships: Vec<u64>,
+    /// Crashed/crash-restoring ships (`shard_unavailable`), ascending.
+    pub unavailable_ships: Vec<u64>,
+    /// Machine census, worst-status-wins, sorted by machine id.
+    pub machines: Vec<FleetMachine>,
+    /// Across-ships conservative-envelope prognostics, sorted by
+    /// `(machine_id, condition_id)`.
+    pub prognostics: Vec<FleetPrognostic>,
+    /// The fleet SLO verdict.
+    pub slo: FleetSloVerdict,
+    /// Sim-domain counters summed across available ships, sorted by
+    /// `(component, name)`.
+    pub counters: Vec<CounterSnapshot>,
+}
+
+impl FleetRollup {
+    /// Fold the available ships of `ships` into a rollup. Deterministic:
+    /// inputs are visited in ascending ship order and every output list
+    /// is explicitly sorted.
+    pub fn build(ships: &[ShipEntry]) -> Result<FleetRollup> {
+        let available: Vec<&ShipEntry> = ships.iter().filter(|s| s.available).collect();
+        let available_ships: Vec<u64> = available.iter().map(|s| s.ship_id).collect();
+        let unavailable_ships: Vec<u64> = ships
+            .iter()
+            .filter(|s| !s.available)
+            .map(|s| s.ship_id)
+            .collect();
+
+        // Census: group ICAS machines by machine id across ships.
+        let mut census: BTreeMap<u64, FleetMachine> = BTreeMap::new();
+        for ship in &available {
+            for machine in &ship.snapshot.icas.machines {
+                let entry = census
+                    .entry(machine.machine_id)
+                    .or_insert_with(|| FleetMachine {
+                        machine_id: machine.machine_id,
+                        name: machine.name.clone(),
+                        ships: Vec::new(),
+                        status: "ok".into(),
+                        health: machine.health,
+                        degraded_ships: Vec::new(),
+                    });
+                entry.ships.push(ship.ship_id);
+                entry.health = entry.health.min(machine.health);
+                if machine.status == "degraded" {
+                    entry.status = "degraded".into();
+                    entry.degraded_ships.push(ship.ship_id);
+                }
+            }
+        }
+
+        // Prognostics: envelope-fuse each (machine, condition) pair's
+        // per-ship curves. Ships are visited ascending, so the fusion
+        // input order — and with it the output — is fixed.
+        let mut curves: BTreeMap<(u64, usize), (Vec<u64>, Vec<PrognosticVector>)> = BTreeMap::new();
+        for ship in &available {
+            for entry in &ship.snapshot.prognostics {
+                let slot = curves
+                    .entry((entry.machine_id, entry.condition_id))
+                    .or_default();
+                slot.0.push(ship.ship_id);
+                slot.1.push(entry.vector.clone());
+            }
+        }
+        let mut prognostics = Vec::with_capacity(curves.len());
+        for ((machine_id, condition_id), (ships, vectors)) in curves {
+            prognostics.push(FleetPrognostic {
+                machine_id,
+                condition_id,
+                ships,
+                vector: fuse_prognostics(&vectors)?,
+            });
+        }
+
+        let failing_ships: Vec<u64> = available
+            .iter()
+            .filter(|s| s.snapshot.slo.as_ref().is_some_and(|v| !v.pass))
+            .map(|s| s.ship_id)
+            .collect();
+        let slo = FleetSloVerdict {
+            pass: failing_ships.is_empty(),
+            failing_ships,
+            unavailable_ships: unavailable_ships.clone(),
+        };
+
+        // Counters: sum the (already sim-domain-filtered) ship counters
+        // by (component, name).
+        let mut summed: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for ship in &available {
+            for c in &ship.snapshot.counters {
+                *summed
+                    .entry((c.component.clone(), c.name.clone()))
+                    .or_insert(0) += c.value;
+            }
+        }
+        let counters = summed
+            .into_iter()
+            .map(|((component, name), value)| CounterSnapshot {
+                component,
+                name,
+                value,
+            })
+            .collect();
+
+        Ok(FleetRollup {
+            ship_count: ships.len(),
+            available_ships,
+            unavailable_ships,
+            machines: census.into_values().collect(),
+            prognostics,
+            slo,
+            counters,
+        })
+    }
+}
+
+/// An immutable, epoch-stamped view of the whole fleet: every ship's
+/// pinned serving snapshot plus the knowledge rollup folded from them.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct FleetSnapshot {
+    /// Fleet publishing epoch (count of fleet publishes).
+    pub version: u64,
+    /// Simulated seconds: the maximum over the available ships'
+    /// snapshot times (ships step in lockstep, so normally they agree).
+    pub at_secs: f64,
+    /// Per-ship entries, ascending ship id.
+    pub ships: Vec<ShipEntry>,
+    /// The fleet-wide rollup over the available ships.
+    pub rollup: FleetRollup,
+}
+
+impl FleetSnapshot {
+    /// The empty pre-publication snapshot (version 0, no ships).
+    pub fn empty() -> Self {
+        FleetSnapshot {
+            version: 0,
+            at_secs: 0.0,
+            ships: Vec::new(),
+            rollup: FleetRollup {
+                ship_count: 0,
+                available_ships: Vec::new(),
+                unavailable_ships: Vec::new(),
+                machines: Vec::new(),
+                prognostics: Vec::new(),
+                slo: FleetSloVerdict {
+                    pass: true,
+                    failing_ships: Vec::new(),
+                    unavailable_ships: Vec::new(),
+                },
+                counters: Vec::new(),
+            },
+        }
+    }
+
+    /// Assemble a fleet snapshot from per-ship entries (must already be
+    /// in ascending ship order — the fleet's shard-index merge order).
+    pub fn build(version: u64, ships: Vec<ShipEntry>) -> Result<Self> {
+        let rollup = FleetRollup::build(&ships)?;
+        let at_secs = ships
+            .iter()
+            .filter(|s| s.available)
+            .map(|s| s.snapshot.at_secs)
+            .fold(0.0, f64::max);
+        Ok(FleetSnapshot {
+            version,
+            at_secs,
+            ships,
+            rollup,
+        })
+    }
+
+    /// The entry for `ship_id`, if the fleet has such a shard.
+    pub fn ship(&self, ship_id: u64) -> Option<&ShipEntry> {
+        self.ships.iter().find(|s| s.ship_id == ship_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpros_pdme::icas::{IcasMachine, IcasSnapshot, ICAS_SCHEMA_VERSION};
+
+    fn entry(ship_id: u64, available: bool, statuses: &[(u64, &str, f64)]) -> ShipEntry {
+        let mut snap = ServingSnapshot::empty();
+        snap.version = 5;
+        snap.icas = IcasSnapshot {
+            schema_version: ICAS_SCHEMA_VERSION,
+            at_secs: 0.0,
+            machines: statuses
+                .iter()
+                .map(|&(id, status, health)| IcasMachine {
+                    machine_id: id,
+                    name: format!("machine {id}"),
+                    health,
+                    status: status.to_string(),
+                    report_count: 0,
+                    conditions: Vec::new(),
+                })
+                .collect(),
+            data_concentrators: Vec::new(),
+        };
+        snap.counters = vec![CounterSnapshot {
+            component: "net".into(),
+            name: "sent".into(),
+            value: 3,
+        }];
+        ShipEntry {
+            ship_id,
+            available,
+            snapshot: Arc::new(snap),
+        }
+    }
+
+    #[test]
+    fn census_is_worst_status_wins() {
+        let rollup = FleetRollup::build(&[
+            entry(0, true, &[(1, "ok", 1.0)]),
+            entry(1, true, &[(1, "degraded", 0.4)]),
+        ])
+        .unwrap();
+        assert_eq!(rollup.machines.len(), 1);
+        let m = &rollup.machines[0];
+        assert_eq!(m.status, "degraded");
+        assert_eq!(m.health, 0.4);
+        assert_eq!(m.ships, vec![0, 1]);
+        assert_eq!(m.degraded_ships, vec![1]);
+        assert_eq!(rollup.counters[0].value, 6, "counters sum across ships");
+    }
+
+    #[test]
+    fn unavailable_ships_are_excluded_and_listed() {
+        let rollup = FleetRollup::build(&[
+            entry(0, true, &[(1, "ok", 1.0)]),
+            entry(1, false, &[(1, "degraded", 0.1)]),
+        ])
+        .unwrap();
+        assert_eq!(rollup.available_ships, vec![0]);
+        assert_eq!(rollup.unavailable_ships, vec![1]);
+        assert_eq!(rollup.machines[0].status, "ok", "crashed shard excluded");
+        assert_eq!(rollup.slo.unavailable_ships, vec![1]);
+        assert!(rollup.slo.pass);
+        assert_eq!(rollup.counters[0].value, 3);
+    }
+}

@@ -5,9 +5,10 @@
 //! JSON payload`, assembled and validated by
 //! [`mpros_network::codec::frame_payload`] /
 //! [`mpros_network::codec::deframe`]). Request type tags live in
-//! `32..`, response tags in `64..`; tags from the ship network's range
-//! (`1..=6`) are rejected here, so a misrouted frame fails loudly
-//! instead of half-parsing.
+//! `32..64`, response tags in `64..96`; tags from the ship network's
+//! range (`1..=6`) and the fleet router's ranges (`96..128`) are
+//! rejected here, so a misrouted frame fails loudly instead of
+//! half-parsing.
 
 use bytes::Bytes;
 use mpros_core::{Error, PrognosticVector, Result};
@@ -375,10 +376,11 @@ pub fn encode_response(resp: &GatewayResponse) -> Result<Bytes> {
 }
 
 /// Decode one response frame. The declared type tag must match the
-/// decoded body, and must be a response tag.
+/// decoded body, and must be a single-ship response tag (the fleet
+/// router's `96..` / `112..` tag spaces are rejected here).
 pub fn decode_response(frame: Bytes) -> Result<GatewayResponse> {
     let (tag, payload) = mpros_network::deframe(frame)?;
-    if tag < 64 {
+    if !(64..96).contains(&tag) {
         return Err(Error::Encoding(format!(
             "type tag {tag} is not a gateway response"
         )));

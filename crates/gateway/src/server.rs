@@ -177,7 +177,13 @@ impl Gateway {
         self.serve_on(&snap, req)
     }
 
-    fn serve_on(&self, snap: &ServingSnapshot, req: &GatewayRequest) -> GatewayResponse {
+    /// Serve one request against an explicit snapshot rather than the
+    /// currently published one. The fleet router pins each ship's
+    /// snapshot into its own `FleetSnapshot` and answers ship-scoped
+    /// requests from the pinned state, so a fleet response is a pure
+    /// function of `(fleet version, request)` even while the ship
+    /// gateway publishes ahead of the fleet.
+    pub fn serve_on(&self, snap: &ServingSnapshot, req: &GatewayRequest) -> GatewayResponse {
         let snapshot_version = snap.version;
         match req {
             GatewayRequest::GetMachineStatus { machine } => match snap.machine(*machine) {

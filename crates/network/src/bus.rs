@@ -21,7 +21,7 @@
 use crate::codec::{decode_message, encode_message, BatchEntry, NetMessage, MAX_BATCH};
 use crate::outbox::{Outbox, OutboxConfig, PendingBatch};
 use bytes::Bytes;
-use mpros_core::{derive_stream_seed, ConditionReport, DcId, Error, Result, SimDuration, SimTime};
+use mpros_core::{derive_salted_seed, ConditionReport, DcId, Error, Result, SimDuration, SimTime};
 use mpros_telemetry::{
     Counter, Histogram, HopKind, Instrumented, SpanId, Stage, Telemetry, TraceContext, TraceHop,
     TraceId,
@@ -290,7 +290,7 @@ impl ShipNetwork {
             .entry(endpoint)
             .or_insert_with(|| Self::endpoint_counters(&self.telemetry, endpoint));
         if let Endpoint::Dc(dc) = endpoint {
-            let seed = derive_stream_seed(self.config.seed, dc.raw() ^ OUTBOX_STREAM_SALT);
+            let seed = derive_salted_seed(self.config.seed, dc.raw(), OUTBOX_STREAM_SALT);
             self.outboxes.entry(dc).or_insert_with(|| Outbox::new(seed));
         }
     }

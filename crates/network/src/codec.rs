@@ -16,16 +16,19 @@ use mpros_telemetry::TraceContext;
 use serde::{Deserialize, Serialize};
 
 const MAGIC: [u8; 2] = *b"MP";
-/// Wire version. v5 grew the gateway tag ranges with the observability
-/// plane (`GetMetrics`/`StreamJournal`/`ListIncidents`/`GetIncident`/
+/// Wire version. v6 added the fleet router's tag spaces (`mpros-fleet`
+/// claims 96..112 for fleet requests and 112..128 for fleet responses,
+/// framed through [`frame_payload`] / [`deframe`] like everything
+/// else); v5 grew the gateway tag ranges with the observability plane
+/// (`GetMetrics`/`StreamJournal`/`ListIncidents`/`GetIncident`/
 /// `GetTrace` requests 38–42 and their responses 71–75); v4 opened the
 /// header to the gateway query protocol (`mpros-gateway` claims the
-/// type-tag ranges 32.. for requests and 64.. for responses and frames
-/// them through [`frame_payload`] / [`deframe`]); v3 added the
+/// type-tag ranges 32..64 for requests and 64..96 for responses and
+/// frames them through [`frame_payload`] / [`deframe`]); v3 added the
 /// per-report [`TraceContext`] on batch entries; v2 added the batch
 /// restart `epoch` and the `Ack` message. Older peers are rejected
 /// rather than mis-parsed.
-pub const WIRE_VERSION: u8 = 5;
+pub const WIRE_VERSION: u8 = 6;
 const VERSION: u8 = WIRE_VERSION;
 /// Frames larger than this are rejected (corrupted length field guard).
 const MAX_PAYLOAD: usize = 16 * 1024 * 1024;
@@ -425,6 +428,23 @@ mod tests {
         buf.put_slice(b"MP");
         buf.put_u8(4);
         buf.put_u8(36);
+        buf.put_u32_le(payload.len() as u32);
+        buf.put_slice(&payload);
+        let err = decode_message(buf.freeze()).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    /// v5 peers predate the fleet router's tag spaces; the version byte
+    /// rejects them so a v5 gateway never half-speaks the v6 protocol
+    /// (a v5 `GetIcas` frame is shown here, but any v5 frame fails the
+    /// same check).
+    #[test]
+    fn v5_frames_are_rejected_by_version() {
+        let payload = br#""GetIcas""#.to_vec();
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"MP");
+        buf.put_u8(5);
+        buf.put_u8(33);
         buf.put_u32_le(payload.len() as u32);
         buf.put_slice(&payload);
         let err = decode_message(buf.freeze()).unwrap_err();

@@ -1,0 +1,18 @@
+//! # mpros-ship — one ship's closed-loop simulation harness
+//!
+//! Hosts [`sim::ShipboardSim`], the plant → DC → network → PDME loop
+//! that every integration test and benchmark drives, together with its
+//! scatter-gather execution engine. The facade crate re-exports
+//! [`sim`] as `mpros::sim`, so downstream code keeps its spelling; the
+//! fleet plane (`mpros-fleet`) builds on this crate to run many
+//! independent ships as shards behind one router.
+
+#![forbid(unsafe_code)]
+
+// The scatter-gather engine is an implementation detail of
+// `ShipboardSim::step`; only its `ExecMode` knob is public, re-exported
+// through `sim` and the prelude.
+pub(crate) mod exec;
+pub mod sim;
+
+pub use sim::{ExecMode, ShipboardSim, ShipboardSimConfig};

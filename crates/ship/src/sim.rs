@@ -90,7 +90,7 @@ pub use crate::exec::ExecMode;
 /// can be added without breaking downstream construction sites.
 ///
 /// ```
-/// use mpros::sim::{ExecMode, ShipboardSimConfig};
+/// use mpros_ship::sim::{ExecMode, ShipboardSimConfig};
 /// let config = ShipboardSimConfig::new()
 ///     .with_dc_count(4)
 ///     .with_exec(ExecMode::Parallel { workers: 2 });

@@ -57,17 +57,6 @@ fn sim_domain(component: &str) -> bool {
     component != "exec" && component != "gateway"
 }
 
-/// FNV-1a over a label, used to fold manual trigger labels into the
-/// deterministic incident id.
-fn fnv1a(s: &str) -> u64 {
-    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-    for b in s.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
-
 /// What fired an incident capture.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum IncidentTrigger {
@@ -107,7 +96,9 @@ impl IncidentTrigger {
             IncidentTrigger::SloViolation => derive_stream_seed(1, 0),
             IncidentTrigger::DcCrashed { dc } => derive_stream_seed(2, *dc),
             IncidentTrigger::PdmeCrashRestore => derive_stream_seed(3, 0),
-            IncidentTrigger::Manual { label } => derive_stream_seed(4, fnv1a(label)),
+            IncidentTrigger::Manual { label } => {
+                derive_stream_seed(4, mpros_core::seed::fnv1a(label))
+            }
         }
     }
 }
@@ -117,7 +108,7 @@ impl IncidentTrigger {
 /// Pure — any observer who knows the scenario seed, the trigger and the
 /// step can (re)compute the id without seeing the bundle.
 pub fn incident_id(master_seed: u64, trigger: &IncidentTrigger, step: u64) -> u64 {
-    derive_stream_seed(master_seed ^ trigger.code(), step)
+    mpros_core::seed::incident_id(master_seed, trigger.code(), step)
 }
 
 /// One trace hop as captured into records and served over the wire:

@@ -29,13 +29,10 @@
 //! part of a canonical export.
 
 use mpros_core::derive_stream_seed;
+pub use mpros_core::seed::{dc_trace_seed, TRACE_STREAM_SALT};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::{Mutex, PoisonError};
-
-/// Salt separating trace-seed streams from every other consumer of the
-/// scenario master seed (plant noise, network jitter, outbox backoff).
-pub const TRACE_STREAM_SALT: u64 = 0x7AC3_5EED_CA15_A17E;
 
 /// Default bound on retained hops; see [`TraceLog`].
 pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
@@ -93,16 +90,6 @@ impl fmt::Display for SpanId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:016x}", self.0)
     }
-}
-
-/// Derive a DC's trace seed from the scenario master seed, the DC's raw
-/// id and its crash epoch. Epoch is folded in because a rebuilt DC
-/// restarts its report-id allocator at the same base.
-pub fn dc_trace_seed(master: u64, dc_raw: u64, epoch: u64) -> u64 {
-    derive_stream_seed(
-        derive_stream_seed(master, dc_raw ^ TRACE_STREAM_SALT),
-        epoch,
-    )
 }
 
 /// The kind of pipeline hop a [`TraceHop`] records.

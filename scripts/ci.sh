@@ -54,6 +54,14 @@ echo "==> crash-restore determinism, release"
 cargo test --release -q --test crash_restore
 cargo test --release -q --test wal_torn_write
 
+# The fleet-plane contract, in release: fleet responses are pure
+# functions of (fleet version, request) — byte-identical across exec
+# modes, shard-visit interleavings and one-thread-per-shard stepping —
+# ship 0's bytes are independent of fleet size via the compat path, and
+# crashing a shard degrades only that shard.
+echo "==> fleet serving determinism, release"
+cargo test --release -q --test fleet_serving
+
 # The DSP contract, in release: golden-vector conformance against
 # closed-form spectra, property-based round-trips / reconstruction /
 # window identities, and the counting-allocator proof that a
@@ -74,10 +82,18 @@ echo "==> exp_throughput --workers 4"
 cargo run --release -p mpros-bench --bin exp_throughput -- --workers 4
 
 # The serving layer under load: 8 concurrent clients hammering the
-# gateway while the fleet steps. Merges serving{} into
-# BENCH_throughput.json so perf_gate below judges it too.
+# gateway while the ship steps, the observability console mix, and the
+# sharded fleet plane's routed console mix. Merges serving{}, obs{} and
+# fleet{} into BENCH_throughput.json so perf_gate below judges them.
 echo "==> exp_serving"
 cargo run --release -p mpros-bench --bin exp_serving
+
+# Wire-tag compatibility lint: every codec family (ship messages,
+# gateway requests/responses, fleet requests/responses) must stay in
+# its reserved tag range, tags must be globally unique, and each
+# family's decoder must reject the other families' frames.
+echo "==> wire_compat_lint"
+cargo run --release -p mpros-bench --bin wire_compat_lint
 
 # Exposition-format lint: the Prometheus text the gateway serves must
 # obey its own grammar (headers, _total suffixes, sorted unique

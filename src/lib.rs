@@ -36,17 +36,18 @@
 
 #![forbid(unsafe_code)]
 
-// The scatter-gather engine is an implementation detail of
-// `ShipboardSim::step`; only its `ExecMode` knob is public, re-exported
-// through `sim` and the prelude.
-pub(crate) mod exec;
 pub mod prelude;
-pub mod sim;
+
+// The single-ship simulation (plant → DC → network → PDME loop) lives
+// in `mpros-ship` so the fleet plane can shard it; the historical
+// `mpros::sim` spelling is preserved here.
+pub use mpros_ship::sim;
 
 pub use mpros_chiller as chiller;
 pub use mpros_core as core;
 pub use mpros_dc as dc;
 pub use mpros_dli as dli;
+pub use mpros_fleet as fleet;
 pub use mpros_fusion as fusion;
 pub use mpros_fuzzy as fuzzy;
 pub use mpros_gateway as gateway;
@@ -54,6 +55,7 @@ pub use mpros_network as network;
 pub use mpros_oosm as oosm;
 pub use mpros_pdme as pdme;
 pub use mpros_sbfr as sbfr;
+pub use mpros_ship as ship;
 pub use mpros_signal as signal;
 pub use mpros_store as store;
 pub use mpros_telemetry as telemetry;

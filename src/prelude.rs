@@ -34,6 +34,13 @@ pub use mpros_gateway::{
     JournalPage, MetricsReport, ServingSnapshot, StatusDelta,
 };
 
+// The fleet plane: sharded multi-ship simulation behind one routing
+// gateway with a fleet-wide knowledge rollup (wire v6).
+pub use mpros_fleet::{
+    Fleet, FleetClient, FleetConfig, FleetDeltaBatch, FleetGateway, FleetGatewayConfig,
+    FleetRequest, FleetResponse, FleetRollup, FleetSnapshot, RollupReport, ShipDelta, ShipInfo,
+};
+
 // ICAS interchange documents served by the gateway.
 pub use mpros_pdme::IcasSnapshot;
 

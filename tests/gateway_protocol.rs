@@ -1,10 +1,16 @@
-//! Gateway wire protocol: every request and response variant must
-//! survive the frame codec bit for bit, and malformed input — truncated
-//! frames, corrupted headers, frames from the ship network's tag range —
+//! Gateway and fleet wire protocol: every request and response variant
+//! of both tag families must survive the frame codec bit for bit, and
+//! malformed input — truncated frames, corrupted headers, frames from a
+//! sibling family's tag range, frames stamped with a stale wire version —
 //! must be rejected, never half-parsed. Mirrors
 //! `tests/protocol_roundtrip.rs` for the serving plane.
 
 use mpros::core::PrognosticVector;
+use mpros::fleet::{
+    decode_fleet_request, decode_fleet_response, encode_fleet_request, encode_fleet_response,
+    FleetMachine, FleetPrognostic, FleetRequest, FleetResponse, FleetRollup, FleetSloVerdict,
+    ShipDelta, ShipInfo,
+};
 use mpros::gateway::{
     decode_request, decode_response, encode_request, encode_response, DeltaKind, GatewayRequest,
     GatewayResponse, StatusDelta,
@@ -447,6 +453,191 @@ fn arb_response() -> impl Strategy<Value = GatewayResponse> {
     ]
 }
 
+fn arb_fleet_request() -> impl Strategy<Value = FleetRequest> {
+    prop_oneof![
+        Just(FleetRequest::ListShips),
+        Just(FleetRequest::GetFleetRollup),
+        (0u64..16).prop_map(|ship| FleetRequest::GetShipIcas { ship }),
+        (0u64..=u64::MAX).prop_map(|session| FleetRequest::Subscribe { session }),
+        (0u64..16, arb_request())
+            .prop_map(|(ship, request)| FleetRequest::ForShip { ship, request }),
+    ]
+}
+
+fn arb_ship_info() -> impl Strategy<Value = ShipInfo> {
+    (
+        0u64..16,
+        prop_oneof![Just(true), Just(false)],
+        0u64..10_000,
+        0.0..1e6f64,
+        0usize..32,
+        proptest::option::of(prop_oneof![Just(true), Just(false)]),
+    )
+        .prop_map(
+            |(ship_id, available, snapshot_version, at_secs, machines, slo_pass)| ShipInfo {
+                ship_id,
+                available,
+                snapshot_version,
+                at_secs,
+                machines,
+                slo_pass,
+            },
+        )
+}
+
+fn arb_ship_delta() -> impl Strategy<Value = ShipDelta> {
+    (0u64..16, 0u64..10_000, arb_delta()).prop_map(|(ship_id, fleet_version, delta)| ShipDelta {
+        ship_id,
+        fleet_version,
+        delta,
+    })
+}
+
+fn arb_fleet_rollup() -> impl Strategy<Value = FleetRollup> {
+    (
+        1usize..16,
+        proptest::collection::vec(0u64..16, 0..4),
+        proptest::collection::vec(0u64..16, 0..4),
+        proptest::collection::vec(
+            (
+                0u64..50,
+                ".{0,20}",
+                proptest::collection::vec(0u64..16, 0..4),
+                prop_oneof![Just("ok"), Just("degraded")],
+                0.0..=1.0f64,
+            ),
+            0..4,
+        ),
+        proptest::collection::vec(
+            (
+                0u64..50,
+                0usize..12,
+                proptest::collection::vec(0u64..16, 0..4),
+                arb_prognostic(),
+            ),
+            0..3,
+        ),
+        proptest::collection::vec(arb_counter(), 0..4),
+    )
+        .prop_map(
+            |(ship_count, available_ships, unavailable_ships, machines, prognostics, counters)| {
+                FleetRollup {
+                    ship_count,
+                    available_ships,
+                    unavailable_ships: unavailable_ships.clone(),
+                    machines: machines
+                        .into_iter()
+                        .map(|(machine_id, name, ships, status, health)| FleetMachine {
+                            machine_id,
+                            name,
+                            ships: ships.clone(),
+                            status: status.to_string(),
+                            health,
+                            degraded_ships: if status == "degraded" {
+                                ships
+                            } else {
+                                Vec::new()
+                            },
+                        })
+                        .collect(),
+                    prognostics: prognostics
+                        .into_iter()
+                        .map(
+                            |(machine_id, condition_id, ships, vector)| FleetPrognostic {
+                                machine_id,
+                                condition_id,
+                                ships,
+                                vector,
+                            },
+                        )
+                        .collect(),
+                    slo: FleetSloVerdict {
+                        pass: true,
+                        failing_ships: Vec::new(),
+                        unavailable_ships,
+                    },
+                    counters,
+                }
+            },
+        )
+}
+
+fn arb_fleet_response() -> impl Strategy<Value = FleetResponse> {
+    let version = 0u64..10_000;
+    prop_oneof![
+        (
+            version.clone(),
+            proptest::collection::vec(arb_ship_info(), 0..5)
+        )
+            .prop_map(|(fleet_version, ships)| FleetResponse::Ships {
+                fleet_version,
+                ships,
+            }),
+        (version.clone(), 0.0..1e6f64, arb_fleet_rollup()).prop_map(
+            |(fleet_version, at_secs, rollup)| FleetResponse::FleetRollup {
+                fleet_version,
+                at_secs,
+                rollup,
+            }
+        ),
+        (
+            version.clone(),
+            0u64..16,
+            0u64..10_000,
+            0.0..1e6f64,
+            proptest::collection::vec(arb_machine(), 0..3),
+        )
+            .prop_map(
+                |(fleet_version, ship, snapshot_version, at_secs, machines)| {
+                    FleetResponse::ShipIcas {
+                        fleet_version,
+                        ship,
+                        snapshot_version,
+                        icas: IcasSnapshot {
+                            schema_version: ICAS_SCHEMA_VERSION,
+                            at_secs,
+                            machines,
+                            data_concentrators: Vec::new(),
+                        },
+                    }
+                }
+            ),
+        (
+            version.clone(),
+            0u64..=u64::MAX,
+            0u64..1000,
+            proptest::collection::vec(arb_ship_delta(), 0..5),
+        )
+            .prop_map(|(fleet_version, session, dropped, deltas)| {
+                FleetResponse::FleetDeltas {
+                    fleet_version,
+                    session,
+                    dropped,
+                    deltas,
+                }
+            }),
+        (
+            version.clone(),
+            0u64..16,
+            prop_oneof![Just("shard_unavailable"), Just("unknown_ship")],
+        )
+            .prop_map(
+                |(fleet_version, ship, detail)| FleetResponse::ShipUnavailable {
+                    fleet_version,
+                    ship,
+                    detail: detail.to_string(),
+                }
+            ),
+        (version, 0u64..16, arb_response()).prop_map(|(fleet_version, ship, response)| {
+            FleetResponse::ShipReply {
+                fleet_version,
+                ship,
+                response,
+            }
+        }),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -514,5 +705,99 @@ proptest! {
         // must be refused on the tag range, not mis-parsed as a report.
         prop_assert!(decode_message(encode_request(&req).unwrap()).is_err());
         prop_assert!(decode_message(encode_response(&resp).unwrap()).is_err());
+    }
+
+    #[test]
+    fn any_fleet_request_survives_the_wire(req in arb_fleet_request()) {
+        let frame = encode_fleet_request(&req).unwrap();
+        prop_assert_eq!(decode_fleet_request(frame).unwrap(), req);
+    }
+
+    #[test]
+    fn any_fleet_response_survives_the_wire(resp in arb_fleet_response()) {
+        let frame = encode_fleet_response(&resp).unwrap();
+        prop_assert_eq!(decode_fleet_response(frame).unwrap(), resp);
+    }
+
+    #[test]
+    fn truncated_fleet_request_frames_are_rejected(
+        req in arb_fleet_request(),
+        cut_fraction in 0.0..1.0f64,
+    ) {
+        let frame = encode_fleet_request(&req).unwrap();
+        let cut = ((frame.len() as f64) * cut_fraction) as usize;
+        prop_assert!(cut < frame.len());
+        prop_assert!(decode_fleet_request(frame.slice(0..cut)).is_err());
+    }
+
+    #[test]
+    fn truncated_fleet_response_frames_are_rejected(
+        resp in arb_fleet_response(),
+        cut_fraction in 0.0..1.0f64,
+    ) {
+        let frame = encode_fleet_response(&resp).unwrap();
+        let cut = ((frame.len() as f64) * cut_fraction) as usize;
+        prop_assert!(cut < frame.len());
+        prop_assert!(decode_fleet_response(frame.slice(0..cut)).is_err());
+    }
+
+    #[test]
+    fn corrupted_fleet_headers_are_rejected(
+        req in arb_fleet_request(),
+        resp in arb_fleet_response(),
+        byte in 0usize..8,
+        flip in 1u8..=255,
+    ) {
+        // Same discipline as the single-ship family: any change to any
+        // header byte — magic, version, type tag, or the length field —
+        // must fail the decode.
+        let mut bytes = encode_fleet_request(&req).unwrap().to_vec();
+        bytes[byte] ^= flip;
+        prop_assert!(decode_fleet_request(bytes::Bytes::from(bytes)).is_err());
+        let mut bytes = encode_fleet_response(&resp).unwrap().to_vec();
+        bytes[byte] ^= flip;
+        prop_assert!(decode_fleet_response(bytes::Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn wire_v5_frames_are_rejected_by_version_byte(
+        req in arb_fleet_request(),
+        resp in arb_fleet_response(),
+    ) {
+        // The fleet tags (ListShips and friends) only exist in wire v6;
+        // a peer still speaking v5 must be refused outright on the
+        // version byte (index 2, after the 2-byte magic), never
+        // best-effort parsed — and the single-ship decoders moved to v6
+        // with the same cut.
+        let mut bytes = encode_fleet_request(&req).unwrap().to_vec();
+        bytes[2] = 5;
+        prop_assert!(decode_fleet_request(bytes::Bytes::from(bytes)).is_err());
+        let mut bytes = encode_fleet_response(&resp).unwrap().to_vec();
+        bytes[2] = 5;
+        prop_assert!(decode_fleet_response(bytes::Bytes::from(bytes)).is_err());
+        let mut bytes = encode_request(&GatewayRequest::GetIcas).unwrap().to_vec();
+        bytes[2] = 5;
+        prop_assert!(decode_request(bytes::Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn tag_families_reject_each_other(
+        req in arb_request(),
+        resp in arb_response(),
+        freq in arb_fleet_request(),
+        fresp in arb_fleet_response(),
+    ) {
+        // Four tag families share one frame header; each family's
+        // decoder must refuse the other three ranges so a misrouted
+        // frame fails loudly instead of half-parsing.
+        for frame in [encode_fleet_request(&freq).unwrap(), encode_fleet_response(&fresp).unwrap()] {
+            prop_assert!(decode_request(frame.clone()).is_err());
+            prop_assert!(decode_response(frame.clone()).is_err());
+            prop_assert!(decode_message(frame).is_err());
+        }
+        for frame in [encode_request(&req).unwrap(), encode_response(&resp).unwrap()] {
+            prop_assert!(decode_fleet_request(frame.clone()).is_err());
+            prop_assert!(decode_fleet_response(frame).is_err());
+        }
     }
 }
